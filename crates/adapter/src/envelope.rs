@@ -1,0 +1,191 @@
+//! XML message envelopes for the data-adapter service.
+//!
+//! Requests carry the SQL text and positional parameters; responses carry
+//! either a RowSet or an update count. Both directions are serialized to
+//! text and re-parsed, modeling the wire format of a Web service call.
+
+use flowcore::{FlowError, FlowResult};
+use sqlkernel::{DataType, QueryResult, Value};
+use xmlval::{Element, XmlNode};
+
+/// A parsed adapter request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdapterRequest {
+    /// `executeQuery`, `executeUpdate` or `callProcedure`.
+    pub operation: String,
+    pub sql: String,
+    pub params: Vec<Value>,
+}
+
+/// A parsed adapter response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdapterResponse {
+    /// Query / procedure result.
+    Rows(QueryResult),
+    /// DML/DDL acknowledgement.
+    Affected(usize),
+    /// Fault raised by the adapter.
+    Fault(String),
+}
+
+/// Serialize a request envelope to XML text.
+pub fn build_request(operation: &str, sql: &str, params: &[Value]) -> String {
+    let mut root = Element::new("dataRequest").with_attr("operation", operation);
+    root.children.push(XmlNode::Element(
+        Element::new("sql").with_child(XmlNode::text(sql)),
+    ));
+    for p in params {
+        let mut param = Element::new("param");
+        match p {
+            Value::Null => param.set_attr("null", "true"),
+            other => {
+                param.set_attr(
+                    "type",
+                    other.data_type().expect("non-null has a type").sql_name(),
+                );
+                param.children.push(XmlNode::text(other.render()));
+            }
+        }
+        root.children.push(XmlNode::Element(param));
+    }
+    XmlNode::Element(root).to_xml()
+}
+
+/// Parse a request envelope from XML text.
+pub fn parse_request(text: &str) -> FlowResult<AdapterRequest> {
+    let root = xmlval::parse(text).map_err(FlowError::from)?;
+    if root.name != "dataRequest" {
+        return Err(FlowError::Service(format!(
+            "expected <dataRequest>, found <{}>",
+            root.name
+        )));
+    }
+    let operation = root
+        .attr("operation")
+        .ok_or_else(|| FlowError::Service("request missing operation".into()))?
+        .to_string();
+    let sql = root
+        .child_text("sql")
+        .ok_or_else(|| FlowError::Service("request missing <sql>".into()))?;
+    let mut params = Vec::new();
+    for p in root.children_named("param") {
+        if p.attr("null") == Some("true") {
+            params.push(Value::Null);
+            continue;
+        }
+        let ty = p
+            .attr("type")
+            .and_then(DataType::from_name)
+            .unwrap_or(DataType::Text);
+        let v = Value::Text(p.text_content())
+            .coerce(ty)
+            .map_err(FlowError::Service)?;
+        params.push(v);
+    }
+    Ok(AdapterRequest {
+        operation,
+        sql,
+        params,
+    })
+}
+
+/// Serialize a response envelope to XML text.
+pub fn build_response(response: &AdapterResponse) -> String {
+    let root = match response {
+        AdapterResponse::Rows(rs) => Element::new("dataResponse")
+            .with_attr("kind", "rows")
+            .with_child(xmlval::rowset::encode(rs)),
+        AdapterResponse::Affected(n) => Element::new("dataResponse")
+            .with_attr("kind", "affected")
+            .with_attr("rows", n.to_string()),
+        AdapterResponse::Fault(msg) => Element::new("dataResponse")
+            .with_attr("kind", "fault")
+            .with_child(XmlNode::Element(
+                Element::new("message").with_child(XmlNode::text(msg.clone())),
+            )),
+    };
+    XmlNode::Element(root).to_xml()
+}
+
+/// Parse a response envelope from XML text.
+pub fn parse_response(text: &str) -> FlowResult<AdapterResponse> {
+    let root = xmlval::parse(text).map_err(FlowError::from)?;
+    if root.name != "dataResponse" {
+        return Err(FlowError::Service(format!(
+            "expected <dataResponse>, found <{}>",
+            root.name
+        )));
+    }
+    match root.attr("kind") {
+        Some("rows") => {
+            let rowset = root
+                .child("RowSet")
+                .ok_or_else(|| FlowError::Service("rows response missing RowSet".into()))?;
+            let rs = xmlval::rowset::decode(&XmlNode::Element(rowset.clone()))
+                .map_err(FlowError::from)?;
+            Ok(AdapterResponse::Rows(rs))
+        }
+        Some("affected") => {
+            let n = root
+                .attr("rows")
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| FlowError::Service("affected response missing rows".into()))?;
+            Ok(AdapterResponse::Affected(n))
+        }
+        Some("fault") => Ok(AdapterResponse::Fault(
+            root.child_text("message").unwrap_or_default(),
+        )),
+        other => Err(FlowError::Service(format!(
+            "unknown response kind {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let text = build_request(
+            "executeQuery",
+            "SELECT * FROM t WHERE a = ? AND b = ?",
+            &[Value::Int(1), Value::Null],
+        );
+        let req = parse_request(&text).unwrap();
+        assert_eq!(req.operation, "executeQuery");
+        assert_eq!(req.params, vec![Value::Int(1), Value::Null]);
+        assert!(req.sql.contains("WHERE a = ?"));
+    }
+
+    #[test]
+    fn request_escapes_sql_text() {
+        let text = build_request("executeQuery", "SELECT 'a<b' FROM t WHERE x < 3", &[]);
+        let req = parse_request(&text).unwrap();
+        assert_eq!(req.sql, "SELECT 'a<b' FROM t WHERE x < 3");
+    }
+
+    #[test]
+    fn response_round_trips_all_kinds() {
+        let rs = QueryResult {
+            columns: vec!["a".into()],
+            rows: vec![vec![Value::Int(5)], vec![Value::Null]],
+        };
+        for r in [
+            AdapterResponse::Rows(rs),
+            AdapterResponse::Affected(7),
+            AdapterResponse::Fault("boom".into()),
+        ] {
+            let text = build_response(&r);
+            assert_eq!(parse_response(&text).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn malformed_envelopes_error() {
+        assert!(parse_request("<wrong/>").is_err());
+        assert!(parse_request("<dataRequest operation='q'/>").is_err());
+        assert!(parse_response("<dataResponse kind='nope'/>").is_err());
+        assert!(parse_response("not xml").is_err());
+    }
+}

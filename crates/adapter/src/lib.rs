@@ -1,0 +1,28 @@
+//! `adapter` — the adapter technology of Figure 1: the *other* way to
+//! add SQL support to workflow products.
+//!
+//! *“An adapter realizes a service that encapsulates SQL-specific
+//! functionality and that can be called by other processes. Adapters
+//! typically mask data management operations as Web services. […] One
+//! important characteristic of this approach is that data management
+//! issues are separated from the process logic.”* (Sec. II)
+//!
+//! This crate implements that baseline so the workspace can contrast it
+//! with SQL inline support, both qualitatively (Fig. 1) and
+//! quantitatively (the `inline_vs_adapter` benchmark). The contrast is
+//! honest about marshalling: every request and response crosses the
+//! service boundary as **serialized XML text** that is re-parsed on the
+//! other side — exactly the envelope cost a Web service interface implies
+//! — and the process logic sees only opaque operations, never SQL
+//! activities.
+
+pub mod envelope;
+pub mod service;
+
+pub use envelope::{
+    build_request, build_response, parse_request, parse_response, AdapterRequest, AdapterResponse,
+};
+pub use service::{
+    call_adapter, expect_rows, register_data_adapter, sample_process_via_adapter, AdapterCall,
+    DataAdapterService,
+};

@@ -1,0 +1,368 @@
+//! The data-adapter service and a process-side call helper.
+
+use flowcore::{
+    Activity, ActivityContext, FlowError, FlowResult, Message, ProcessDefinition, ServiceRegistry,
+    VarValue,
+};
+use sqlkernel::{Database, QueryResult, StatementResult, Value};
+
+use crate::envelope::{
+    build_request, build_response, parse_request, parse_response, AdapterResponse,
+};
+
+/// A data adapter wrapping one database behind a service interface.
+#[derive(Clone)]
+pub struct DataAdapterService {
+    db: Database,
+}
+
+impl DataAdapterService {
+    /// Wrap a database.
+    pub fn new(db: Database) -> DataAdapterService {
+        DataAdapterService { db }
+    }
+
+    /// Handle one serialized request envelope, returning the serialized
+    /// response envelope.
+    pub fn handle(&self, request_text: &str) -> FlowResult<String> {
+        let req = parse_request(request_text)?;
+        let conn = self.db.connect();
+        let outcome = match req.operation.as_str() {
+            "executeQuery" | "callProcedure" => {
+                conn.execute(&req.sql, &req.params).map(|r| match r {
+                    StatementResult::Rows(rs) => AdapterResponse::Rows(rs),
+                    StatementResult::Affected(n) => AdapterResponse::Affected(n),
+                    _ => AdapterResponse::Affected(0),
+                })
+            }
+            "executeUpdate" => conn.execute(&req.sql, &req.params).map(|r| match r {
+                StatementResult::Affected(n) => AdapterResponse::Affected(n),
+                StatementResult::Rows(rs) => AdapterResponse::Rows(rs),
+                _ => AdapterResponse::Affected(0),
+            }),
+            other => {
+                return Err(FlowError::Service(format!(
+                    "unknown adapter operation '{other}'"
+                )))
+            }
+        };
+        let response = match outcome {
+            Ok(r) => r,
+            Err(e) => AdapterResponse::Fault(e.to_string()),
+        };
+        Ok(build_response(&response))
+    }
+}
+
+/// Register the adapter under `service_name` in a registry. The service
+/// expects a scalar part `request` (the envelope text) and returns a
+/// scalar part `response`.
+pub fn register_data_adapter(
+    registry: &mut ServiceRegistry,
+    service_name: impl Into<String>,
+    db: Database,
+) {
+    let adapter = DataAdapterService::new(db);
+    registry.register_fn(service_name, move |input: &Message| {
+        let request = input
+            .scalar_part("request")?
+            .as_str()
+            .ok_or_else(|| FlowError::Service("adapter request must be text".into()))?
+            .to_string();
+        let response = adapter.handle(&request)?;
+        Ok(Message::new().with_part("response", Value::Text(response)))
+    });
+}
+
+/// Process-side invocation: marshal, call, unmarshal. Returns rows or the
+/// affected count.
+pub fn call_adapter(
+    ctx: &ActivityContext<'_>,
+    service_name: &str,
+    operation: &str,
+    sql: &str,
+    params: &[Value],
+) -> FlowResult<AdapterResponse> {
+    let request = build_request(operation, sql, params);
+    let reply = ctx.services.invoke(
+        service_name,
+        &Message::new().with_part("request", Value::Text(request)),
+    )?;
+    let text = reply
+        .scalar_part("response")?
+        .as_str()
+        .ok_or_else(|| FlowError::Service("adapter response must be text".into()))?
+        .to_string();
+    let response = parse_response(&text)?;
+    if let AdapterResponse::Fault(msg) = &response {
+        return Err(FlowError::Service(format!("adapter fault: {msg}")));
+    }
+    Ok(response)
+}
+
+/// An activity that calls the adapter service and stores a query result
+/// (decoded from the envelope) into a variable as an XML RowSet. This is
+/// what the running example looks like with adapter technology: the
+/// process sees a generic service invocation, not a SQL activity.
+pub struct AdapterCall {
+    name: String,
+    service: String,
+    operation: String,
+    sql: String,
+    param_vars: Vec<String>,
+    target_var: Option<String>,
+}
+
+impl AdapterCall {
+    /// Build an adapter call.
+    pub fn new(
+        name: impl Into<String>,
+        service: impl Into<String>,
+        operation: impl Into<String>,
+        sql: impl Into<String>,
+    ) -> AdapterCall {
+        AdapterCall {
+            name: name.into(),
+            service: service.into(),
+            operation: operation.into(),
+            sql: sql.into(),
+            param_vars: Vec::new(),
+            target_var: None,
+        }
+    }
+
+    /// Builder: bind a scalar variable as the next parameter.
+    pub fn param_var(mut self, variable: impl Into<String>) -> AdapterCall {
+        self.param_vars.push(variable.into());
+        self
+    }
+
+    /// Builder: store the decoded result RowSet into a variable.
+    pub fn result_into(mut self, variable: impl Into<String>) -> AdapterCall {
+        self.target_var = Some(variable.into());
+        self
+    }
+}
+
+impl Activity for AdapterCall {
+    fn kind(&self) -> &str {
+        "invoke"
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn execute(&self, ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+        let mut params = Vec::with_capacity(self.param_vars.len());
+        for v in &self.param_vars {
+            params.push(ctx.variables.require_scalar(v)?.clone());
+        }
+        ctx.note(
+            "invoke",
+            &self.name,
+            format!("adapter {}::{}", self.service, self.operation),
+        );
+        let response = call_adapter(ctx, &self.service, &self.operation, &self.sql, &params)?;
+        match response {
+            AdapterResponse::Rows(rs) => {
+                if let Some(var) = &self.target_var {
+                    ctx.variables
+                        .set(var.clone(), VarValue::Xml(xmlval::rowset::encode(&rs)));
+                }
+            }
+            AdapterResponse::Affected(n) => {
+                ctx.note("invoke", &self.name, format!("{n} rows affected"));
+            }
+            AdapterResponse::Fault(_) => unreachable!("faults raised in call_adapter"),
+        }
+        Ok(())
+    }
+}
+
+/// The running example realized purely with adapter technology: the same
+/// aggregation + supplier ordering flow, but every data operation is a
+/// Web service call with envelope marshalling. Used as the Figure 1
+/// contrast and by the `inline_vs_adapter` benchmark.
+pub fn sample_process_via_adapter(adapter_service: &str) -> ProcessDefinition {
+    use flowcore::builtins::{CopyFrom, Invoke, Sequence, Snippet, While};
+
+    let adapter = adapter_service.to_string();
+    let adapter_for_insert = adapter.clone();
+
+    let fetch = Snippet::new("bind next tuple", move |ctx| {
+        let pos = ctx
+            .variables
+            .get("pos")
+            .and_then(|v| v.as_scalar())
+            .and_then(Value::as_i64)
+            .unwrap_or(0) as usize;
+        let xml = ctx.variables.require_xml("SV_ItemList")?;
+        let row = xml
+            .as_element()
+            .and_then(|e| e.children_named("Row").nth(pos))
+            .ok_or_else(|| FlowError::Variable("cursor past end".into()))?
+            .clone();
+        ctx.variables
+            .set("CurrentItem", xmlval::XmlNode::Element(row));
+        ctx.variables.set("pos", Value::Int((pos + 1) as i64));
+        Ok(())
+    });
+
+    let insert_conf = Snippet::new("record confirmation via adapter", move |ctx| {
+        let item = xmlval::Path::parse("/Row/ItemId")
+            .expect("valid")
+            .select_text(ctx.variables.require_xml("CurrentItem")?)
+            .unwrap_or_default();
+        let qty = xmlval::Path::parse("/Row/Quantity")
+            .expect("valid")
+            .select_text(ctx.variables.require_xml("CurrentItem")?)
+            .unwrap_or_default();
+        let conf = ctx.variables.require_scalar("OrderConfirmation")?.clone();
+        call_adapter(
+            ctx,
+            &adapter_for_insert,
+            "executeUpdate",
+            "INSERT INTO OrderConfirmations (ConfId, ItemId, Quantity, Confirmation) \
+             VALUES (NEXTVAL('conf_ids'), ?, ?, ?)",
+            &[Value::Text(item), Value::Text(qty), conf],
+        )?;
+        Ok(())
+    });
+
+    let loop_body = Sequence::new("order item")
+        .then(
+            Invoke::new("Invoke OrderFromSupplier", patterns::ORDER_FROM_SUPPLIER)
+                .input(
+                    "ItemType",
+                    CopyFrom::path("CurrentItem", "/Row/ItemId").expect("valid"),
+                )
+                .input(
+                    "Quantity",
+                    CopyFrom::path("CurrentItem", "/Row/Quantity").expect("valid"),
+                )
+                .output("Confirmation", "OrderConfirmation"),
+        )
+        .then(insert_conf);
+
+    let body = Sequence::new("main")
+        .then(
+            AdapterCall::new(
+                "query via adapter",
+                adapter.clone(),
+                "executeQuery",
+                "SELECT ItemId, SUM(Quantity) AS Quantity FROM Orders \
+                 WHERE Approved = TRUE GROUP BY ItemId ORDER BY ItemId",
+            )
+            .result_into("SV_ItemList"),
+        )
+        .then(While::new(
+            "while: more items",
+            |ctx: &ActivityContext<'_>| {
+                let pos = ctx
+                    .variables
+                    .get("pos")
+                    .and_then(|v| v.as_scalar())
+                    .and_then(Value::as_i64)
+                    .unwrap_or(0) as usize;
+                Ok(pos < xmlval::rowset::row_count(ctx.variables.require_xml("SV_ItemList")?))
+            },
+            Sequence::new("iteration").then(fetch).then(loop_body),
+        ));
+
+    ProcessDefinition::new("OrderAggregation/Adapter (Fig. 1 baseline)", body)
+}
+
+/// Convenience for tests/benches: a decoded rows response or an error.
+pub fn expect_rows(response: AdapterResponse) -> FlowResult<QueryResult> {
+    match response {
+        AdapterResponse::Rows(rs) => Ok(rs),
+        other => Err(FlowError::Service(format!("expected rows, got {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowcore::{Engine, Variables};
+    use patterns::probe::ProbeEnv;
+
+    #[test]
+    fn adapter_handles_query_update_fault() {
+        let env = ProbeEnv::fresh();
+        let adapter = DataAdapterService::new(env.db.clone());
+        let resp = adapter
+            .handle(&build_request(
+                "executeQuery",
+                "SELECT COUNT(*) FROM Orders",
+                &[],
+            ))
+            .unwrap();
+        match parse_response(&resp).unwrap() {
+            AdapterResponse::Rows(rs) => assert_eq!(rs.rows[0][0], Value::Int(6)),
+            other => panic!("{other:?}"),
+        }
+        let resp = adapter
+            .handle(&build_request(
+                "executeUpdate",
+                "DELETE FROM Orders WHERE Approved = FALSE",
+                &[],
+            ))
+            .unwrap();
+        assert_eq!(parse_response(&resp).unwrap(), AdapterResponse::Affected(2));
+        let resp = adapter
+            .handle(&build_request("executeQuery", "SELECT * FROM nosuch", &[]))
+            .unwrap();
+        assert!(matches!(
+            parse_response(&resp).unwrap(),
+            AdapterResponse::Fault(_)
+        ));
+        assert!(adapter
+            .handle(&build_request("bogusOp", "SELECT 1", &[]))
+            .is_err());
+    }
+
+    #[test]
+    fn running_example_via_adapter_matches_inline_results() {
+        let env = ProbeEnv::fresh();
+        let mut engine = Engine::with_services(env.engine.services().clone());
+        register_data_adapter(engine.services_mut(), "OrdersDataService", env.db.clone());
+        let def = sample_process_via_adapter("OrdersDataService");
+        let inst = engine.run(&def, Variables::new()).unwrap();
+        assert!(inst.is_completed(), "{:?}", inst.outcome);
+        assert_eq!(env.db.table_len("OrderConfirmations").unwrap(), 3);
+        // The process logic contains only invokes and snippets — data
+        // management is separated from the process logic (Sec. II).
+        assert!(inst
+            .audit
+            .events()
+            .iter()
+            .all(|e| e.kind != "sql" && e.kind != "sqlDatabase" && e.kind != "assign"));
+    }
+
+    #[test]
+    fn adapter_call_activity_binds_params() {
+        let env = ProbeEnv::fresh();
+        let mut engine = Engine::new();
+        register_data_adapter(engine.services_mut(), "ds", env.db.clone());
+        let root = flowcore::builtins::Sequence::new("s")
+            .then(flowcore::builtins::Snippet::new("init", |ctx| {
+                ctx.variables.set("item", Value::text("widget"));
+                Ok(())
+            }))
+            .then(
+                AdapterCall::new(
+                    "q",
+                    "ds",
+                    "executeQuery",
+                    "SELECT OrderId FROM Orders WHERE ItemId = ? ORDER BY OrderId",
+                )
+                .param_var("item")
+                .result_into("R"),
+            );
+        let inst = engine
+            .run(&ProcessDefinition::new("t", root), Variables::new())
+            .unwrap();
+        assert!(inst.is_completed(), "{:?}", inst.outcome);
+        let xml = inst.variables.require_xml("R").unwrap();
+        assert_eq!(xmlval::rowset::row_count(xml), 3);
+    }
+}

@@ -1,0 +1,105 @@
+//! Envelope robustness: the adapter boundary must survive hostile or
+//! awkward payloads, because everything crosses it as text.
+
+use adapter::{
+    build_request, build_response, parse_request, parse_response, AdapterRequest,
+    AdapterResponse, DataAdapterService,
+};
+use sqlkernel::{Database, QueryResult, Value};
+
+#[test]
+fn sql_with_xml_metacharacters_round_trips() {
+    let sql = "SELECT * FROM t WHERE a < 3 AND b > 1 AND c = '<&\"quote\">'";
+    let text = build_request("executeQuery", sql, &[]);
+    let req = parse_request(&text).unwrap();
+    assert_eq!(req.sql, sql);
+}
+
+#[test]
+fn params_preserve_types_and_nulls() {
+    let params = vec![
+        Value::Int(-42),
+        Value::Float(2.5),
+        Value::Bool(true),
+        Value::Null,
+        Value::text("o'brien & <sons>"),
+    ];
+    let text = build_request("executeUpdate", "INSERT INTO t VALUES (?,?,?,?,?)", &params);
+    let req = parse_request(&text).unwrap();
+    assert_eq!(
+        req,
+        AdapterRequest {
+            operation: "executeUpdate".into(),
+            sql: "INSERT INTO t VALUES (?,?,?,?,?)".into(),
+            params,
+        }
+    );
+}
+
+#[test]
+fn empty_result_and_wide_rows_round_trip() {
+    let empty = AdapterResponse::Rows(QueryResult::empty(vec!["a".into(), "b".into()]));
+    assert_eq!(parse_response(&build_response(&empty)).unwrap(), empty);
+
+    let wide = AdapterResponse::Rows(QueryResult {
+        columns: (0..12).map(|i| format!("c{i}")).collect(),
+        rows: vec![(0..12).map(Value::Int).collect()],
+    });
+    assert_eq!(parse_response(&build_response(&wide)).unwrap(), wide);
+}
+
+#[test]
+fn adapter_executes_parameterized_requests_end_to_end() {
+    let db = Database::new("edge");
+    db.connect()
+        .execute_script(
+            "CREATE TABLE t (id INT PRIMARY KEY, v TEXT);
+             INSERT INTO t VALUES (1, 'a'), (2, 'b');",
+        )
+        .unwrap();
+    let svc = DataAdapterService::new(db);
+    let resp = svc
+        .handle(&build_request(
+            "executeQuery",
+            "SELECT v FROM t WHERE id = ?",
+            &[Value::Int(2)],
+        ))
+        .unwrap();
+    match parse_response(&resp).unwrap() {
+        AdapterResponse::Rows(rs) => assert_eq!(rs.rows, vec![vec![Value::text("b")]]),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn fault_text_is_preserved_verbatim() {
+    let db = Database::new("edge");
+    let svc = DataAdapterService::new(db);
+    let resp = svc
+        .handle(&build_request("executeQuery", "SELECT <,> FROM", &[]))
+        .unwrap();
+    match parse_response(&resp).unwrap() {
+        AdapterResponse::Fault(msg) => assert!(msg.contains("error"), "{msg}"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn call_procedure_operation_returns_rows() {
+    let db = Database::new("edge");
+    db.connect()
+        .execute_script(
+            "CREATE TABLE t (id INT PRIMARY KEY);
+             INSERT INTO t VALUES (1), (2), (3);
+             CREATE PROCEDURE total() AS BEGIN SELECT COUNT(*) FROM t; END;",
+        )
+        .unwrap();
+    let svc = DataAdapterService::new(db);
+    let resp = svc
+        .handle(&build_request("callProcedure", "CALL total()", &[]))
+        .unwrap();
+    match parse_response(&resp).unwrap() {
+        AdapterResponse::Rows(rs) => assert_eq!(rs.rows[0][0], Value::Int(3)),
+        other => panic!("{other:?}"),
+    }
+}

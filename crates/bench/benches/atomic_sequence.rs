@@ -1,0 +1,70 @@
+//! BENCH-ATOMIC: the atomic SQL sequence (Sec. III-B item 3) — bundling
+//! k SQL activities into one transaction vs executing each as its own
+//! unit of work in a long-running process.
+//!
+//! Both variants run through the full BIS stack (engine, deployment,
+//! activities). Expected shape: the atomic sequence amortizes
+//! connection/transaction setup, winning modestly and increasingly with
+//! k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bis::{AtomicSqlSequence, BisDeployment, DataSourceRegistry, SqlActivity};
+use flowcore::builtins::Sequence;
+use flowcore::{Engine, ProcessDefinition, Variables};
+
+fn update_activity(i: usize) -> SqlActivity {
+    SqlActivity::new(
+        format!("SQL_{i}"),
+        "DS",
+        format!("UPDATE src SET b = b + 1 WHERE id % 16 = {}", i % 16),
+    )
+}
+
+fn deployed(
+    db: &sqlkernel::Database,
+    root: impl flowcore::Activity + 'static,
+) -> ProcessDefinition {
+    BisDeployment::new(DataSourceRegistry::new().with(db.clone()))
+        .bind_data_source("DS", db.name())
+        .deploy(ProcessDefinition::new("bench", root))
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("atomic_sequence");
+    group.sample_size(10);
+    let engine = Engine::new();
+
+    for k in [2usize, 8, 32] {
+        let db = bench::seeded_wide_db("atomic", 512);
+
+        let mut atomic = AtomicSqlSequence::new("atomic");
+        for i in 0..k {
+            atomic = atomic.then(update_activity(i));
+        }
+        let atomic_def = deployed(&db, atomic);
+
+        let mut separate = Sequence::new("separate");
+        for i in 0..k {
+            separate = separate.then(update_activity(i));
+        }
+        let separate_def = deployed(&db, separate);
+
+        group.bench_with_input(BenchmarkId::new("one_transaction", k), &k, |b, _| {
+            b.iter(|| {
+                let inst = engine.run(&atomic_def, Variables::new()).unwrap();
+                assert!(inst.is_completed());
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("k_autocommits", k), &k, |b, _| {
+            b.iter(|| {
+                let inst = engine.run(&separate_def, Variables::new()).unwrap();
+                assert!(inst.is_completed());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

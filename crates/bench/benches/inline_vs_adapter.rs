@@ -1,0 +1,48 @@
+//! BENCH-ADAPTER: quantify the Fig. 1 dichotomy — SQL inline support vs
+//! adapter technology.
+//!
+//! Both sides answer the same query; the adapter path additionally pays
+//! the Web-service envelope: serialize the request to XML, parse it in
+//! the adapter, serialize the RowSet response, parse it back in the
+//! process. Expected shape: inline wins by a factor that grows with the
+//! result size (the envelope is O(result bytes)).
+
+use adapter::{build_request, parse_response, AdapterResponse, DataAdapterService};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inline_vs_adapter");
+    group.sample_size(10);
+
+    for n in [16usize, 128, 1024, 4096] {
+        let db = bench::seeded_wide_db("adaptvs", n);
+        let conn = db.connect();
+        let service = DataAdapterService::new(db.clone());
+        let sql = "SELECT id, a, b, c, d FROM src";
+
+        group.bench_with_input(BenchmarkId::new("inline", n), &n, |b, _| {
+            b.iter(|| {
+                // Inline support: direct statement + RowSet
+                // materialization (what a retrieve set does).
+                let rs = conn.query(black_box(sql), &[]).unwrap();
+                xmlval::rowset::encode(&rs)
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("adapter", n), &n, |b, _| {
+            b.iter(|| {
+                let request = build_request("executeQuery", black_box(sql), &[]);
+                let response_text = service.handle(&request).unwrap();
+                match parse_response(&response_text).unwrap() {
+                    AdapterResponse::Rows(rs) => xmlval::rowset::encode(&rs),
+                    other => panic!("unexpected {other:?}"),
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

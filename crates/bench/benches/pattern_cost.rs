@@ -1,0 +1,115 @@
+//! BENCH-PATTERNS: the running example end-to-end on every stack.
+//!
+//! Figures 4, 6 and 8 describe the *same* business logic; this benchmark
+//! runs all three realizations (plus the adapter baseline) against
+//! identical seed data and measures full-instance wall time. The paper
+//! refuses a cross-product performance comparison because the vendors'
+//! platforms differ; on this workspace's *uniform* substrate the
+//! comparison isolates exactly the integration-style overheads:
+//! external result tables + retrieval (BIS), DataSet materialization
+//! (WF), XML RowSet + XSQL page parsing (SOA), envelope marshalling
+//! (adapter).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use flowcore::{Engine, Variables};
+use patterns::probe::ProbeEnv;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("running_example");
+    group.sample_size(10);
+
+    for n in [50usize, 500] {
+        group.bench_with_input(BenchmarkId::new("bis_fig4", n), &n, |b, &n| {
+            b.iter_with_setup(
+                || {
+                    let env = ProbeEnv::fresh();
+                    grow_orders(&env, n);
+                    let registry = bis::DataSourceRegistry::new().with(env.db.clone());
+                    let def = bis::figure4_process(registry, env.db.name());
+                    (env, def)
+                },
+                |(env, def)| {
+                    let inst = env.engine.run(&def, Variables::new()).unwrap();
+                    assert!(inst.is_completed());
+                },
+            )
+        });
+
+        group.bench_with_input(BenchmarkId::new("wf_fig6", n), &n, |b, &n| {
+            b.iter_with_setup(
+                || {
+                    let env = ProbeEnv::fresh();
+                    grow_orders(&env, n);
+                    let def = wf::figure6_process(env.db.clone());
+                    (env, def)
+                },
+                |(env, def)| {
+                    let inst = env.engine.run(&def, Variables::new()).unwrap();
+                    assert!(inst.is_completed());
+                },
+            )
+        });
+
+        group.bench_with_input(BenchmarkId::new("soa_fig8", n), &n, |b, &n| {
+            b.iter_with_setup(
+                || {
+                    let env = ProbeEnv::fresh();
+                    grow_orders(&env, n);
+                    let def = soa::figure8_process(env.db.clone());
+                    (env, def)
+                },
+                |(env, def)| {
+                    let inst = env.engine.run(&def, Variables::new()).unwrap();
+                    assert!(inst.is_completed());
+                },
+            )
+        });
+
+        group.bench_with_input(BenchmarkId::new("adapter_baseline", n), &n, |b, &n| {
+            b.iter_with_setup(
+                || {
+                    let env = ProbeEnv::fresh();
+                    grow_orders(&env, n);
+                    let mut engine = Engine::with_services(env.engine.services().clone());
+                    adapter::register_data_adapter(
+                        engine.services_mut(),
+                        "OrdersDataService",
+                        env.db.clone(),
+                    );
+                    let def = adapter::sample_process_via_adapter("OrdersDataService");
+                    (engine, def)
+                },
+                |(engine, def)| {
+                    let inst = engine.run(&def, Variables::new()).unwrap();
+                    assert!(inst.is_completed());
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+/// Add `extra` synthetic orders on top of the probe seed, keeping the
+/// item-type cardinality fixed so the aggregated item list stays small
+/// while the scanned data grows.
+fn grow_orders(env: &ProbeEnv, extra: usize) {
+    let conn = env.db.connect();
+    let stmt = conn
+        .prepare("INSERT INTO Orders VALUES (?, ?, ?, TRUE)")
+        .unwrap();
+    for i in 0..extra {
+        conn.execute_prepared(
+            &stmt,
+            &[
+                sqlkernel::Value::Int(1000 + i as i64),
+                sqlkernel::Value::text(bench::ITEM_TYPES[i % bench::ITEM_TYPES.len()]),
+                sqlkernel::Value::Int((i % 9) as i64 + 1),
+            ],
+        )
+        .unwrap();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! BENCH-REF: quantify Sec. III-B / VI-B — BIS set references pass
+//! external data **by reference**, while WF/SOA-style processing passes
+//! it **by value** (materialize into the process space, then push back).
+//!
+//! Scenario: copy a staging table's content into a sink table across an
+//! activity boundary.
+//!
+//! * `by_reference` — the BIS way: one set-oriented SQL statement
+//!   (`INSERT INTO sink SELECT … FROM src`); the rows never leave the
+//!   data source.
+//! * `by_value` — the materializing way: query `src`, encode the result
+//!   as an XML RowSet in the process space, decode it again on the
+//!   consuming side, and insert row by row.
+//!
+//! Expected shape (paper claim): by-reference stays nearly flat with row
+//! count, by-value grows linearly and loses by a widening factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ref_vs_materialize");
+    group.sample_size(10);
+
+    for n in [16usize, 128, 1024, 4096] {
+        let db = bench::seeded_wide_db("refmat", n);
+        let conn = db.connect();
+
+        group.bench_with_input(BenchmarkId::new("by_reference", n), &n, |b, _| {
+            b.iter(|| {
+                conn.execute("DELETE FROM sink", &[]).unwrap();
+                conn.execute("INSERT INTO sink SELECT * FROM src", &[])
+                    .unwrap()
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("by_value", n), &n, |b, _| {
+            let insert = conn
+                .prepare("INSERT INTO sink VALUES (?, ?, ?, ?, ?)")
+                .unwrap();
+            b.iter(|| {
+                conn.execute("DELETE FROM sink", &[]).unwrap();
+                // Materialize into the process space…
+                let rs = conn.query("SELECT * FROM src", &[]).unwrap();
+                let xml = xmlval::rowset::encode(&rs);
+                // …hand the XML across the activity boundary…
+                let decoded = xmlval::rowset::decode(black_box(&xml)).unwrap();
+                // …and push it back row by row.
+                for row in &decoded.rows {
+                    conn.execute_prepared(&insert, row).unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

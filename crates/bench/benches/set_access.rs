@@ -1,0 +1,80 @@
+//! BENCH-CURSOR: internal-data access paths over a materialized set
+//! (Sec. III-C / IV-C / V-C).
+//!
+//! * `sequential_cursor_xml` — the while + Java-Snippet cursor over an
+//!   XML RowSet (BIS / SOA workaround), full pass.
+//! * `sequential_dataset` — WF's code-activity iteration over a DataSet,
+//!   full pass.
+//! * `random_access_xml` — one positional XPath access
+//!   (`/RowSet/Row[k]/…`, the BPEL-specific assign).
+//! * `random_access_dataset` — one `DataTable.Select` predicate query.
+//!
+//! Expected shape: DataSet access is cheaper than XML-tree access (no
+//! tree navigation), and random XPath access costs O(k) in the row index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlkernel::{QueryResult, Value};
+use std::hint::black_box;
+use wf::{DataSet, DataTable};
+use xmlval::Path;
+
+fn result_of(n: usize) -> QueryResult {
+    QueryResult {
+        columns: vec!["ItemId".into(), "Quantity".into()],
+        rows: (0..n)
+            .map(|i| vec![Value::Text(format!("item-{i:05}")), Value::Int(i as i64)])
+            .collect(),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_access");
+    group.sample_size(10);
+
+    for n in [64usize, 512, 4096] {
+        let rs = result_of(n);
+        let xml = xmlval::rowset::encode(&rs);
+        let root = xml.as_element().unwrap().clone();
+        let mut ds = DataSet::new();
+        ds.add_table(DataTable::from_result("t", &rs));
+
+        group.bench_with_input(BenchmarkId::new("sequential_cursor_xml", n), &n, |b, _| {
+            b.iter(|| {
+                let mut total = 0i64;
+                for i in 0..n {
+                    let v = xmlval::rowset::cell_value(black_box(&xml), i, "Quantity").unwrap();
+                    total += v.as_i64().unwrap();
+                }
+                total
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("sequential_dataset", n), &n, |b, _| {
+            b.iter(|| {
+                let t = ds.first_table().unwrap();
+                let mut total = 0i64;
+                for row in t.live_rows() {
+                    total += row.values()[1].as_i64().unwrap();
+                }
+                total
+            })
+        });
+
+        let mid_path = Path::parse(&format!("/RowSet/Row[{}]/Quantity", n / 2)).unwrap();
+        group.bench_with_input(BenchmarkId::new("random_access_xml", n), &n, |b, _| {
+            b.iter(|| mid_path.select_strings(black_box(&root)))
+        });
+
+        let needle = Value::Text(format!("item-{:05}", n / 2));
+        group.bench_with_input(BenchmarkId::new("random_access_dataset", n), &n, |b, _| {
+            b.iter(|| {
+                let t = ds.first_table().unwrap();
+                t.select(|r| r.values()[0] == needle)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Substrate sanity benchmarks: parser, executor, DML and index paths of
+//! the `sqlkernel` engine (BENCH-SQLKERNEL in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlkernel::{parser::parse_statement, Value};
+use std::hint::black_box;
+
+fn bench_parse(c: &mut Criterion) {
+    let sql = "SELECT o.ItemId, SUM(o.Quantity) AS total, COUNT(*) FROM Orders o \
+               JOIN Items i ON o.ItemId = i.ItemId WHERE o.Approved = TRUE \
+               AND o.Quantity BETWEEN 1 AND 100 GROUP BY o.ItemId \
+               HAVING SUM(o.Quantity) > 5 ORDER BY total DESC LIMIT 10";
+    c.bench_function("parse/aggregation_join_query", |b| {
+        b.iter(|| parse_statement(black_box(sql)).unwrap())
+    });
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("execute/group_by_aggregation");
+    group.sample_size(20);
+    for n in [100usize, 1_000, 10_000] {
+        let db = bench::seeded_orders_db("agg", n);
+        let conn = db.connect();
+        let q = conn
+            .prepare(
+                "SELECT ItemId, SUM(Quantity) FROM Orders WHERE Approved = TRUE GROUP BY ItemId",
+            )
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| conn.execute_prepared(black_box(&q), &[]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    c.bench_function("execute/insert_row", |b| {
+        let db = sqlkernel::Database::new("ins");
+        let conn = db.connect();
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)", &[])
+            .unwrap();
+        let stmt = conn.prepare("INSERT INTO t VALUES (?, ?)").unwrap();
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            conn.execute_prepared(&stmt, &[Value::Int(i), Value::text("payload")])
+                .unwrap()
+        });
+    });
+}
+
+fn bench_point_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("execute/point_lookup_10k_rows");
+    group.sample_size(30);
+    let db = bench::seeded_wide_db("look", 10_000);
+    let conn = db.connect();
+    // Scan: predicate over a non-indexed column.
+    let scan = conn.prepare("SELECT a FROM src WHERE b = ?").unwrap();
+    group.bench_function("full_scan", |b| {
+        b.iter(|| conn.execute_prepared(&scan, &[Value::Int(500)]).unwrap())
+    });
+    // Index fast path: same predicate after CREATE INDEX.
+    conn.execute("CREATE INDEX idx_b ON src (b)", &[]).unwrap();
+    group.bench_function("index_lookup", |b| {
+        b.iter(|| conn.execute_prepared(&scan, &[Value::Int(500)]).unwrap())
+    });
+    // Primary-key point lookup (unique index).
+    let pk = conn.prepare("SELECT a FROM src WHERE id = ?").unwrap();
+    group.bench_function("pk_lookup", |b| {
+        b.iter(|| conn.execute_prepared(&pk, &[Value::Int(5000)]).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_aggregation,
+    bench_insert,
+    bench_point_lookup
+);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates Figure 1 — the SQL-support taxonomy.
+
+fn main() {
+    print!(
+        "{}",
+        patterns::report::render_figure1(&patterns::figure1_entries())
+    );
+}

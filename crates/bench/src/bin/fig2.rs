@@ -1,0 +1,5 @@
+//! Regenerates Figure 2 — the data management pattern catalog.
+
+fn main() {
+    print!("{}", patterns::report::render_figure2());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 3 — process modeling and execution in IBM BIS.
+
+use patterns::SqlIntegration;
+
+fn main() {
+    print!("{}", bis::BisProduct.architecture().render());
+}

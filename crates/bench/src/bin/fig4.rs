@@ -1,0 +1,38 @@
+//! Regenerates Figure 4 — the sample workflow on IBM BIS technology —
+//! by actually running it and printing the annotated flow (audit trail)
+//! plus the resulting database state.
+
+use flowcore::Variables;
+use patterns::probe::ProbeEnv;
+
+fn main() {
+    println!("FIG. 4 — SAMPLE WORKFLOW USING IBM BIS TECHNOLOGY (live run)\n");
+    let env = ProbeEnv::fresh();
+    let registry = bis::DataSourceRegistry::new().with(env.db.clone());
+    let def = bis::figure4_process(registry, env.db.name());
+    let inst = env
+        .engine
+        .run(&def, Variables::new())
+        .expect("engine accepts the definition");
+    assert!(inst.is_completed(), "instance faulted: {:?}", inst.outcome);
+
+    println!("Activity trace (▶ start, ✓ complete, · note):\n");
+    print!("{}", inst.audit.render());
+
+    let conn = env.db.connect();
+    let rs = conn
+        .query(
+            "SELECT ItemId, Quantity, Confirmation FROM OrderConfirmations ORDER BY ItemId",
+            &[],
+        )
+        .expect("confirmations readable");
+    println!(
+        "\nResulting SR_OrderConfirmations table:\n\n{}",
+        rs.to_grid()
+    );
+    println!(
+        "Set references used: SR_Orders → Orders (input), SR_ItemList → generated \
+         per-instance result table (dropped at cleanup), SR_OrderConfirmations → \
+         persistent table."
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 5 — process modeling and execution in Microsoft WF.
+
+use patterns::SqlIntegration;
+
+fn main() {
+    print!("{}", wf::WfProduct.architecture().render());
+}

@@ -1,0 +1,33 @@
+//! Regenerates Figure 6 — the sample workflow on Microsoft WF technology
+//! — by running it and printing the annotated flow.
+
+use flowcore::Variables;
+use patterns::probe::ProbeEnv;
+
+fn main() {
+    println!("FIG. 6 — SAMPLE WORKFLOW USING MICROSOFT WF TECHNOLOGY (live run)\n");
+    let env = ProbeEnv::fresh();
+    let def = wf::figure6_process(env.db.clone());
+    let inst = env
+        .engine
+        .run(&def, Variables::new())
+        .expect("engine accepts the definition");
+    assert!(inst.is_completed(), "instance faulted: {:?}", inst.outcome);
+
+    println!("Activity trace (▶ start, ✓ complete, · note):\n");
+    print!("{}", inst.audit.render());
+
+    let conn = env.db.connect();
+    let rs = conn
+        .query(
+            "SELECT ItemId, Quantity, Confirmation FROM OrderConfirmations ORDER BY ItemId",
+            &[],
+        )
+        .expect("confirmations readable");
+    println!("\nResulting OrderConfirmations table:\n\n{}", rs.to_grid());
+    println!(
+        "Table names are static text inside the SQL; the query result was \
+         automatically materialized into the DataSet host variable SV_ItemList, \
+         whose lifecycle ended with the process instance."
+    );
+}

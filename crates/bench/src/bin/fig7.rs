@@ -1,0 +1,8 @@
+//! Regenerates Figure 7 — process modeling and execution in Oracle SOA
+//! Suite.
+
+use patterns::SqlIntegration;
+
+fn main() {
+    print!("{}", soa::OracleProduct.architecture().render());
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table I — general information and data management
+//! capabilities — from the products' introspection APIs.
+
+fn main() {
+    let infos: Vec<_> = bench::all_products()
+        .iter()
+        .map(|p| p.product_info())
+        .collect();
+    print!("{}", patterns::report::render_table1(&infos));
+}

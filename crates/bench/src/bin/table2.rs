@@ -1,0 +1,68 @@
+//! Regenerates Table II — the data management pattern support matrix —
+//! from *executed* demonstrations.
+//!
+//! For each product and each of the nine patterns, the pattern is run
+//! against a fresh probe environment through the product's integration
+//! style. The printed matrix is backed one-to-one by those runs; any
+//! divergence between claim and demonstration aborts with a diagnosis.
+//! Pass `--evidence` to also print the per-cell evidence lines, and
+//! `--check-paper` to additionally compare against the published matrix.
+
+use patterns::report::render_table2;
+use patterns::verify_support_matrix;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let show_evidence = args.iter().any(|a| a == "--evidence");
+    let check_paper = args.iter().any(|a| a == "--check-paper");
+
+    let products = bench::all_products();
+    let mut matrices = Vec::new();
+    let mut evidence_blocks = Vec::new();
+
+    for product in &products {
+        let matrix = product.support_matrix();
+        eprintln!("verifying {} …", matrix.product);
+        match verify_support_matrix(product.as_ref()) {
+            Ok(demos) => {
+                let mut block = format!("\n=== {} ===\n", matrix.product);
+                for d in demos {
+                    block.push_str(&format!(
+                        "  {:<18} [{}] {:?}\n",
+                        d.pattern.title(),
+                        d.mechanism,
+                        d.level
+                    ));
+                    for e in &d.evidence {
+                        block.push_str(&format!("      · {e}\n"));
+                    }
+                }
+                evidence_blocks.push(block);
+            }
+            Err(e) => {
+                eprintln!("VERIFICATION FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+        matrices.push(matrix);
+    }
+
+    print!("{}", render_table2(&matrices));
+
+    if check_paper {
+        let paper = patterns::paper::paper_table2();
+        if matrices == paper {
+            println!("\n[check-paper] generated matrix matches the published Table II exactly.");
+        } else {
+            eprintln!("\n[check-paper] MISMATCH with the published Table II!");
+            std::process::exit(1);
+        }
+    }
+
+    if show_evidence {
+        println!("\nEVIDENCE (every cell above was produced by a run):");
+        for b in evidence_blocks {
+            print!("{b}");
+        }
+    }
+}

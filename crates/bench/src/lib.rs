@@ -1,0 +1,130 @@
+//! Shared harness for the table/figure regeneration binaries and the
+//! Criterion benchmarks.
+
+use patterns::SqlIntegration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqlkernel::{Database, Value};
+
+/// All three surveyed products, in Table order.
+pub fn all_products() -> Vec<Box<dyn SqlIntegration>> {
+    vec![
+        Box::new(bis::BisProduct),
+        Box::new(wf::WfProduct),
+        Box::new(soa::OracleProduct),
+    ]
+}
+
+/// Item-type vocabulary for synthetic workloads.
+pub const ITEM_TYPES: [&str; 8] = [
+    "widget", "gadget", "sprocket", "cog", "flange", "bracket", "gear", "bolt",
+];
+
+/// Build an order database with `n_orders` synthetic orders over the
+/// standard probe schema (deterministic: seeded RNG).
+pub fn seeded_orders_db(name: &str, n_orders: usize) -> Database {
+    let db = Database::new(name);
+    let conn = db.connect();
+    conn.execute_script(
+        "CREATE TABLE Orders (
+            OrderId INT PRIMARY KEY,
+            ItemId TEXT NOT NULL,
+            Quantity INT NOT NULL,
+            Approved BOOL NOT NULL);
+         CREATE TABLE OrderConfirmations (
+            ConfId INT PRIMARY KEY,
+            ItemId TEXT NOT NULL,
+            Quantity INT NOT NULL,
+            Confirmation TEXT);
+         CREATE SEQUENCE conf_ids START WITH 1;",
+    )
+    .expect("schema is valid");
+    let mut rng = StdRng::seed_from_u64(0x5EED + n_orders as u64);
+    let insert = conn
+        .prepare("INSERT INTO Orders VALUES (?, ?, ?, ?)")
+        .expect("valid insert");
+    for i in 0..n_orders {
+        let item = ITEM_TYPES[rng.gen_range(0..ITEM_TYPES.len())];
+        let qty = rng.gen_range(1..50i64);
+        let approved = rng.gen_bool(0.7);
+        conn.execute_prepared(
+            &insert,
+            &[
+                Value::Int(i as i64 + 1),
+                Value::text(item),
+                Value::Int(qty),
+                Value::Bool(approved),
+            ],
+        )
+        .expect("insert succeeds");
+    }
+    db
+}
+
+/// A wide staging table for data-volume sweeps: `n_rows` rows × 4 data
+/// columns plus key.
+pub fn seeded_wide_db(name: &str, n_rows: usize) -> Database {
+    let db = Database::new(name);
+    let conn = db.connect();
+    conn.execute(
+        "CREATE TABLE src (id INT PRIMARY KEY, a TEXT, b INT, c FLOAT, d TEXT)",
+        &[],
+    )
+    .expect("valid ddl");
+    conn.execute(
+        "CREATE TABLE sink (id INT PRIMARY KEY, a TEXT, b INT, c FLOAT, d TEXT)",
+        &[],
+    )
+    .expect("valid ddl");
+    let mut rng = StdRng::seed_from_u64(0xDA7A + n_rows as u64);
+    let insert = conn
+        .prepare("INSERT INTO src VALUES (?, ?, ?, ?, ?)")
+        .expect("valid");
+    for i in 0..n_rows {
+        conn.execute_prepared(
+            &insert,
+            &[
+                Value::Int(i as i64),
+                Value::Text(format!("payload-{i:06}")),
+                Value::Int(rng.gen_range(0..1000)),
+                Value::Float(rng.gen_range(0.0..1.0)),
+                Value::Text(format!("tail-{}", rng.gen_range(0..100))),
+            ],
+        )
+        .expect("insert succeeds");
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_orders_are_deterministic() {
+        let a = seeded_orders_db("a", 100);
+        let b = seeded_orders_db("b", 100);
+        let qa = a
+            .connect()
+            .query("SELECT SUM(Quantity) FROM Orders", &[])
+            .unwrap();
+        let qb = b
+            .connect()
+            .query("SELECT SUM(Quantity) FROM Orders", &[])
+            .unwrap();
+        assert_eq!(qa, qb);
+        assert_eq!(a.table_len("Orders").unwrap(), 100);
+    }
+
+    #[test]
+    fn wide_db_sizes() {
+        let db = seeded_wide_db("w", 50);
+        assert_eq!(db.table_len("src").unwrap(), 50);
+        assert_eq!(db.table_len("sink").unwrap(), 0);
+    }
+
+    #[test]
+    fn three_products() {
+        assert_eq!(all_products().len(), 3);
+    }
+}

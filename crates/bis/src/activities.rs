@@ -1,0 +1,409 @@
+//! The information service activities (Sec. III-B): `SQL activity`,
+//! `retrieve set activity` and `atomic SQL sequence`.
+
+use flowcore::builtins::CopyFrom;
+use flowcore::{
+    exec_activity, Activity, ActivityContext, ExecutionMode, FlowError, FlowResult, VarValue,
+    Variables,
+};
+use sqlkernel::{StatementResult, Value};
+
+use crate::datasource::BisRuntime;
+use crate::setref::{get_set_ref, substitute_set_refs, SetRef};
+
+/// Read a parameter source as a scalar SQL value.
+fn param_value(from: &CopyFrom, vars: &Variables) -> FlowResult<Value> {
+    var_to_scalar(from.read(vars)?)
+}
+
+fn var_to_scalar(v: VarValue) -> FlowResult<Value> {
+    match v {
+        VarValue::Scalar(v) => Ok(v),
+        VarValue::Null => Ok(Value::Null),
+        VarValue::Xml(x) => Ok(Value::Text(x.text_content())),
+        VarValue::Opaque(_) => Err(FlowError::Variable(
+            "cannot bind an opaque handle as a SQL parameter".into(),
+        )),
+    }
+}
+
+/// Execute SQL against the database a data source variable points to,
+/// routing through the open transactional connection when an atomic
+/// scope is active.
+pub fn execute_on_data_source(
+    ctx: &mut ActivityContext<'_>,
+    data_source_var: &str,
+    sql: &str,
+    params: &[Value],
+) -> FlowResult<StatementResult> {
+    let conn_string = ctx
+        .variables
+        .require_scalar(data_source_var)?
+        .as_str()
+        .ok_or_else(|| {
+            FlowError::Variable(format!(
+                "data source variable '{data_source_var}' must hold a connection string"
+            ))
+        })?
+        .to_string();
+    let runtime = ctx
+        .extensions
+        .get_mut::<BisRuntime>()
+        .ok_or_else(|| FlowError::Definition("BIS runtime not installed".into()))?;
+    let db = runtime.registry.resolve(&conn_string)?.clone();
+    if runtime.atomic_active {
+        let conn = runtime
+            .atomic_connections
+            .entry(db.name().to_string())
+            .or_insert_with(|| {
+                let c = db.connect();
+                c.execute("BEGIN", &[])
+                    .expect("BEGIN on a fresh connection cannot fail");
+                c
+            });
+        conn.execute(sql, params).map_err(Into::into)
+    } else {
+        db.connect().execute(sql, params).map_err(Into::into)
+    }
+}
+
+/// The SQL activity: embeds one SQL statement — query, DML, DDL or stored
+/// procedure call — that is sent to the referenced database system and
+/// processed there. Query / CALL results are **not** passed into the
+/// process space: they are stored into the table referenced by the result
+/// set reference and remain external (Sec. III-B item 1).
+pub struct SqlActivity {
+    name: String,
+    /// SQL text with `{SetRefVar}` placeholders for set references.
+    sql_template: String,
+    data_source_var: String,
+    params: Vec<CopyFrom>,
+    /// Result set reference variable receiving query/CALL output.
+    result_set_ref: Option<String>,
+}
+
+impl SqlActivity {
+    /// Build a SQL activity.
+    pub fn new(
+        name: impl Into<String>,
+        data_source_var: impl Into<String>,
+        sql_template: impl Into<String>,
+    ) -> SqlActivity {
+        SqlActivity {
+            name: name.into(),
+            sql_template: sql_template.into(),
+            data_source_var: data_source_var.into(),
+            params: Vec::new(),
+            result_set_ref: None,
+        }
+    }
+
+    /// Builder: bind the next `?` host parameter.
+    pub fn param(mut self, from: CopyFrom) -> SqlActivity {
+        self.params.push(from);
+        self
+    }
+
+    /// Builder: bind a scalar variable as the next `?` parameter.
+    pub fn param_var(self, variable: impl Into<String>) -> SqlActivity {
+        self.param(CopyFrom::Variable(variable.into()))
+    }
+
+    /// Builder: store the result set into the table referenced by this
+    /// result set reference variable.
+    pub fn result_into(mut self, set_ref_var: impl Into<String>) -> SqlActivity {
+        self.result_set_ref = Some(set_ref_var.into());
+        self
+    }
+}
+
+impl Activity for SqlActivity {
+    fn kind(&self) -> &str {
+        "sql"
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn export_attributes(&self) -> Vec<(String, String)> {
+        let mut out = vec![
+            ("sql".into(), self.sql_template.clone()),
+            ("dataSource".into(), self.data_source_var.clone()),
+        ];
+        if let Some(r) = &self.result_set_ref {
+            out.push(("resultSetReference".into(), r.clone()));
+        }
+        out
+    }
+    fn execute(&self, ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+        let sql = substitute_set_refs(ctx, &self.sql_template)?;
+        let mut params = Vec::with_capacity(self.params.len());
+        for p in &self.params {
+            params.push(param_value(p, ctx.variables)?);
+        }
+        let shown = if params.is_empty() {
+            sql.clone()
+        } else {
+            format!(
+                "{sql} ⟨{}⟩",
+                params
+                    .iter()
+                    .map(Value::render)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
+        ctx.note("sql", &self.name, shown);
+
+        let result = execute_on_data_source(ctx, &self.data_source_var, &sql, &params)?;
+        match result {
+            StatementResult::Rows(rs) => {
+                let Some(ref_var) = &self.result_set_ref else {
+                    ctx.note(
+                        "sql",
+                        &self.name,
+                        format!(
+                            "{} result rows discarded (no result set reference)",
+                            rs.len()
+                        ),
+                    );
+                    return Ok(());
+                };
+                let set_ref = get_set_ref(ctx, ref_var)?;
+                store_result_externally(ctx, &self.data_source_var, &set_ref, &rs)?;
+                ctx.note(
+                    "sql",
+                    &self.name,
+                    format!(
+                        "{} rows stored in external table {} (referenced by {ref_var})",
+                        rs.len(),
+                        set_ref.table
+                    ),
+                );
+            }
+            StatementResult::Affected(n) => {
+                ctx.note("sql", &self.name, format!("{n} rows affected"));
+            }
+            StatementResult::Ddl => {
+                ctx.note("sql", &self.name, "DDL executed");
+            }
+            StatementResult::TxnControl => {}
+        }
+        Ok(())
+    }
+}
+
+/// Store a query result in the external table a result set reference
+/// points at, creating the table on first use if the deployment did not
+/// pre-create it (the paper's lifecycle management normally handles
+/// creation via preparation statements).
+fn store_result_externally(
+    ctx: &mut ActivityContext<'_>,
+    data_source_var: &str,
+    set_ref: &SetRef,
+    rs: &sqlkernel::QueryResult,
+) -> FlowResult<()> {
+    let table = &set_ref.table;
+    // Create on demand with column types inferred from the data.
+    let conn_string = ctx.variables.require_scalar(data_source_var)?.render();
+    {
+        let runtime = ctx
+            .extensions
+            .get_mut::<BisRuntime>()
+            .ok_or_else(|| FlowError::Definition("BIS runtime not installed".into()))?;
+        let db = runtime.registry.resolve(&conn_string)?.clone();
+        if !db.has_table(table) {
+            let cols: Vec<String> = rs
+                .columns
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let ty = rs
+                        .rows
+                        .iter()
+                        .find_map(|r| r[i].data_type())
+                        .unwrap_or(sqlkernel::DataType::Text);
+                    format!("{c} {}", ty.sql_name())
+                })
+                .collect();
+            let ddl = format!("CREATE TABLE {table} ({})", cols.join(", "));
+            db.connect().execute(&ddl, &[])?;
+            runtime
+                .result_tables
+                .push((db.name().to_string(), table.clone()));
+        }
+    }
+    let placeholders = vec!["?"; rs.columns.len()].join(", ");
+    let insert = format!("INSERT INTO {table} VALUES ({placeholders})");
+    for row in &rs.rows {
+        execute_on_data_source(ctx, data_source_var, &insert, row)?;
+    }
+    Ok(())
+}
+
+/// The retrieve set activity: bridges external and internal data
+/// processing by loading the table a set reference points at into the
+/// process space as an XML RowSet (Sec. III-B item 2).
+pub struct RetrieveSetActivity {
+    name: String,
+    set_ref_var: String,
+    data_source_var: String,
+    target_set_var: String,
+}
+
+impl RetrieveSetActivity {
+    /// Build a retrieve set activity.
+    pub fn new(
+        name: impl Into<String>,
+        data_source_var: impl Into<String>,
+        set_ref_var: impl Into<String>,
+        target_set_var: impl Into<String>,
+    ) -> RetrieveSetActivity {
+        RetrieveSetActivity {
+            name: name.into(),
+            set_ref_var: set_ref_var.into(),
+            data_source_var: data_source_var.into(),
+            target_set_var: target_set_var.into(),
+        }
+    }
+}
+
+impl Activity for RetrieveSetActivity {
+    fn kind(&self) -> &str {
+        "retrieveSet"
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn export_attributes(&self) -> Vec<(String, String)> {
+        vec![
+            ("setReference".into(), self.set_ref_var.clone()),
+            ("setVariable".into(), self.target_set_var.clone()),
+            ("dataSource".into(), self.data_source_var.clone()),
+        ]
+    }
+    fn execute(&self, ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+        let set_ref = get_set_ref(ctx, &self.set_ref_var)?;
+        let sql = format!("SELECT * FROM {}", set_ref.table);
+        let result = execute_on_data_source(ctx, &self.data_source_var, &sql, &[])?;
+        let rs = result
+            .rows()
+            .ok_or_else(|| FlowError::Definition("retrieve set expected a query result".into()))?;
+        let n = rs.len();
+        let rowset = xmlval::rowset::encode(&rs);
+        ctx.variables.set(self.target_set_var.clone(), rowset);
+        ctx.note(
+            "retrieveSet",
+            &self.name,
+            format!(
+                "materialized {n} rows from {} into set variable {} (XML RowSet)",
+                set_ref.table, self.target_set_var
+            ),
+        );
+        Ok(())
+    }
+}
+
+/// The atomic SQL sequence (Sec. III-B item 3): in long-running processes
+/// its embedded SQL / retrieve set activities execute as a single
+/// transaction. In short-running processes the whole instance already is
+/// one transaction, so the activity is a plain sequence there.
+pub struct AtomicSqlSequence {
+    name: String,
+    children: Vec<Box<dyn Activity>>,
+}
+
+impl AtomicSqlSequence {
+    /// Empty atomic sequence.
+    pub fn new(name: impl Into<String>) -> AtomicSqlSequence {
+        AtomicSqlSequence {
+            name: name.into(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Builder: append an activity.
+    pub fn then(mut self, child: impl Activity + 'static) -> AtomicSqlSequence {
+        self.children.push(Box::new(child));
+        self
+    }
+}
+
+impl Activity for AtomicSqlSequence {
+    fn kind(&self) -> &str {
+        "atomicSqlSequence"
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn children(&self) -> Vec<&dyn Activity> {
+        self.children.iter().map(|c| c.as_ref()).collect()
+    }
+    fn execute(&self, ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+        if ctx.mode == ExecutionMode::ShortRunning {
+            // Whole instance is one transaction already.
+            ctx.note(
+                "atomicSqlSequence",
+                &self.name,
+                "short-running process: instance-level transaction applies",
+            );
+            for child in &self.children {
+                exec_activity(child.as_ref(), ctx)?;
+            }
+            return Ok(());
+        }
+
+        {
+            let runtime = ctx
+                .extensions
+                .get_mut::<BisRuntime>()
+                .ok_or_else(|| FlowError::Definition("BIS runtime not installed".into()))?;
+            if runtime.atomic_active {
+                return Err(FlowError::Definition(
+                    "atomic SQL sequences cannot be nested".into(),
+                ));
+            }
+            runtime.atomic_active = true;
+        }
+        ctx.note("atomicSqlSequence", &self.name, "transaction started");
+
+        let mut result = Ok(());
+        for child in &self.children {
+            result = exec_activity(child.as_ref(), ctx);
+            if result.is_err() {
+                break;
+            }
+        }
+
+        let runtime = ctx
+            .extensions
+            .get_mut::<BisRuntime>()
+            .expect("installed above");
+        runtime.atomic_active = false;
+        let conns: Vec<_> = runtime.atomic_connections.drain().collect();
+        match &result {
+            Ok(()) => {
+                for (_, conn) in conns {
+                    conn.execute("COMMIT", &[])?;
+                }
+                ctx.note("atomicSqlSequence", &self.name, "transaction committed");
+            }
+            Err(_) => {
+                for (_, conn) in conns {
+                    conn.rollback_if_open();
+                }
+                ctx.note("atomicSqlSequence", &self.name, "transaction rolled back");
+            }
+        }
+        result
+    }
+}
+
+/// A Java-Snippet: IBM's extension for embedding code directly in the
+/// process logic (used by the paper's workarounds for sequential access,
+/// tuple insert/delete, and synchronization).
+pub fn java_snippet(
+    name: impl Into<String>,
+    body: impl Fn(&mut ActivityContext<'_>) -> FlowResult<()> + 'static,
+) -> flowcore::builtins::Snippet {
+    flowcore::builtins::Snippet::with_kind(name, "java-snippet", body)
+}

@@ -1,0 +1,331 @@
+//! Deployment configuration: data-source binding, set-reference
+//! declarations, and the lifecycle management of Sec. III-B
+//! (“Additional Features”): preparation and cleanup statements for data
+//! sources, and per-instance lifecycle of result set tables.
+
+use std::sync::Arc;
+
+use flowcore::{ActivityContext, ExecutionMode, FlowError, FlowResult, ProcessDefinition};
+use sqlkernel::Value;
+
+use crate::datasource::{connection_string, BisRuntime, DataSourceRegistry};
+use crate::setref::SetRef;
+
+/// Declaration of a result set reference variable whose backing table is
+/// created per instance (with a generated unique name) and dropped at the
+/// end of the workflow.
+#[derive(Debug, Clone)]
+pub struct ResultSetDecl {
+    /// The variable name (e.g. `SR_ItemList`).
+    pub var: String,
+    /// The data source variable the table lives on.
+    pub data_source_var: String,
+    /// Column DDL, e.g. `(ItemId TEXT, Quantity INT)`. When `None`, the
+    /// table is created lazily by the first SQL activity storing into it.
+    pub columns_ddl: Option<String>,
+}
+
+/// The deployment descriptor for a BIS process: everything WID would
+/// configure outside the flow itself.
+#[derive(Debug, Clone, Default)]
+pub struct BisDeployment {
+    registry: DataSourceRegistry,
+    data_source_bindings: Vec<(String, String)>,
+    input_sets: Vec<(String, String)>,
+    result_sets: Vec<ResultSetDecl>,
+    preparations: Vec<(String, String)>,
+    cleanups: Vec<(String, String)>,
+}
+
+impl BisDeployment {
+    /// Deployment over a data source registry.
+    pub fn new(registry: DataSourceRegistry) -> BisDeployment {
+        BisDeployment {
+            registry,
+            ..Default::default()
+        }
+    }
+
+    /// Bind a data source variable to a database name (deployment-time
+    /// binding; the process may re-bind at runtime with an assign).
+    pub fn bind_data_source(
+        mut self,
+        var: impl Into<String>,
+        db_name: impl Into<String>,
+    ) -> BisDeployment {
+        self.data_source_bindings.push((var.into(), db_name.into()));
+        self
+    }
+
+    /// Declare an input set reference to an existing table.
+    pub fn input_set(mut self, var: impl Into<String>, table: impl Into<String>) -> BisDeployment {
+        self.input_sets.push((var.into(), table.into()));
+        self
+    }
+
+    /// Declare a result set reference with per-instance table lifecycle.
+    pub fn result_set(
+        mut self,
+        var: impl Into<String>,
+        data_source_var: impl Into<String>,
+        columns_ddl: Option<&str>,
+    ) -> BisDeployment {
+        self.result_sets.push(ResultSetDecl {
+            var: var.into(),
+            data_source_var: data_source_var.into(),
+            columns_ddl: columns_ddl.map(str::to_string),
+        });
+        self
+    }
+
+    /// Add a preparation script (DDL) run on a data source before the
+    /// process body.
+    pub fn prepare(
+        mut self,
+        data_source_var: impl Into<String>,
+        script: impl Into<String>,
+    ) -> BisDeployment {
+        self.preparations
+            .push((data_source_var.into(), script.into()));
+        self
+    }
+
+    /// Add a cleanup script run on a data source after the process body.
+    pub fn cleanup(
+        mut self,
+        data_source_var: impl Into<String>,
+        script: impl Into<String>,
+    ) -> BisDeployment {
+        self.cleanups.push((data_source_var.into(), script.into()));
+        self
+    }
+
+    /// The registry (for re-use by probes).
+    pub fn registry(&self) -> &DataSourceRegistry {
+        &self.registry
+    }
+
+    /// Install this deployment onto a process definition: adds the setup
+    /// hook (runtime installation, variable binding, preparation
+    /// statements, result-table creation) and the cleanup hook (cleanup
+    /// statements, result-table drop, short-running commit).
+    pub fn deploy(self, def: ProcessDefinition) -> ProcessDefinition {
+        let d = Arc::new(self);
+        let setup = d.clone();
+        let cleanup = d;
+        def.with_setup(move |ctx| setup.run_setup(ctx))
+            .with_cleanup(move |ctx| cleanup.run_cleanup(ctx))
+    }
+
+    fn run_setup(&self, ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+        ctx.extensions
+            .insert(BisRuntime::new(self.registry.clone()));
+
+        for (var, db_name) in &self.data_source_bindings {
+            ctx.variables
+                .set(var.clone(), Value::Text(connection_string(db_name)));
+        }
+        for (var, table) in &self.input_sets {
+            ctx.variables
+                .set(var.clone(), SetRef::input(table.clone()).into_var());
+        }
+
+        for (ds_var, script) in &self.preparations {
+            self.run_script(ctx, ds_var, script)?;
+        }
+
+        for decl in &self.result_sets {
+            let table = format!(
+                "rs_{}_{}",
+                decl.var.to_lowercase().replace(['#', ' '], "_"),
+                ctx.instance_id
+            );
+            if let Some(cols) = &decl.columns_ddl {
+                let ddl = format!("CREATE TABLE {table} {cols}");
+                self.run_script(ctx, &decl.data_source_var, &ddl)?;
+                let db_name = self.db_name_of(ctx, &decl.data_source_var)?;
+                let runtime = ctx
+                    .extensions
+                    .get_mut::<BisRuntime>()
+                    .expect("installed above");
+                runtime.result_tables.push((db_name, table.clone()));
+            }
+            ctx.variables
+                .set(decl.var.clone(), SetRef::result(table).into_var());
+        }
+
+        if ctx.mode == ExecutionMode::ShortRunning {
+            let runtime = ctx
+                .extensions
+                .get_mut::<BisRuntime>()
+                .expect("installed above");
+            runtime.atomic_active = true;
+        }
+        Ok(())
+    }
+
+    fn run_cleanup(&self, ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+        // Close the instance-level transaction of short-running processes.
+        if ctx.mode == ExecutionMode::ShortRunning {
+            if let Some(runtime) = ctx.extensions.get_mut::<BisRuntime>() {
+                runtime.atomic_active = false;
+                let conns: Vec<_> = runtime.atomic_connections.drain().collect();
+                for (_, conn) in conns {
+                    conn.execute("COMMIT", &[])?;
+                }
+            }
+        }
+
+        for (ds_var, script) in &self.cleanups {
+            self.run_script(ctx, ds_var, script)?;
+        }
+
+        // Drop per-instance result set tables.
+        let tables = ctx
+            .extensions
+            .get_mut::<BisRuntime>()
+            .map(|r| std::mem::take(&mut r.result_tables))
+            .unwrap_or_default();
+        for (db_name, table) in tables {
+            let db = self.registry.resolve(&connection_string(&db_name))?.clone();
+            db.connect()
+                .execute(&format!("DROP TABLE IF EXISTS {table}"), &[])?;
+        }
+        Ok(())
+    }
+
+    fn db_name_of(&self, ctx: &ActivityContext<'_>, ds_var: &str) -> FlowResult<String> {
+        let conn_string = ctx.variables.require_scalar(ds_var)?.render();
+        Ok(self.registry.resolve(&conn_string)?.name().to_string())
+    }
+
+    fn run_script(&self, ctx: &ActivityContext<'_>, ds_var: &str, script: &str) -> FlowResult<()> {
+        let conn_string = ctx.variables.require_scalar(ds_var)?.render();
+        let db = self.registry.resolve(&conn_string)?;
+        db.connect()
+            .execute_script(script)
+            .map_err(FlowError::from)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowcore::builtins::Empty;
+    use flowcore::{Engine, Variables};
+    use sqlkernel::Database;
+
+    fn registry_with(db: &Database) -> DataSourceRegistry {
+        DataSourceRegistry::new().with(db.clone())
+    }
+
+    #[test]
+    fn deploys_variables_and_runtime() {
+        let db = Database::new("orders_db");
+        db.connect()
+            .execute("CREATE TABLE Orders (a INT)", &[])
+            .unwrap();
+        let def = BisDeployment::new(registry_with(&db))
+            .bind_data_source("DS_Orders", "orders_db")
+            .input_set("SR_Orders", "Orders")
+            .deploy(ProcessDefinition::new("p", Empty::new("e")));
+        let engine = Engine::new();
+        let inst = engine.run(&def, Variables::new()).unwrap();
+        assert!(inst.is_completed(), "{:?}", inst.outcome);
+        assert_eq!(
+            inst.variables.require_scalar("DS_Orders").unwrap().render(),
+            "sqlkernel://orders_db"
+        );
+        let sr = inst
+            .variables
+            .require_opaque::<SetRef>("SR_Orders")
+            .unwrap();
+        assert_eq!(sr.table, "Orders");
+    }
+
+    #[test]
+    fn result_set_lifecycle_creates_and_drops_table() {
+        let db = Database::new("orders_db");
+        let def = BisDeployment::new(registry_with(&db))
+            .bind_data_source("DS", "orders_db")
+            .result_set("SR_ItemList", "DS", Some("(ItemId TEXT, Quantity INT)"))
+            .deploy(ProcessDefinition::new(
+                "p",
+                flowcore::builtins::Snippet::new("check", |ctx| {
+                    let sr = ctx.variables.require_opaque::<SetRef>("SR_ItemList")?;
+                    ctx.variables
+                        .set("observed_table", Value::Text(sr.table.clone()));
+                    Ok(())
+                }),
+            ));
+        let engine = Engine::new();
+        let inst = engine.run(&def, Variables::new()).unwrap();
+        assert!(inst.is_completed(), "{:?}", inst.outcome);
+        let table = inst
+            .variables
+            .require_scalar("observed_table")
+            .unwrap()
+            .render();
+        assert!(table.starts_with("rs_sr_itemlist_"));
+        // Dropped after the instance finished.
+        assert!(!db.has_table(&table));
+    }
+
+    #[test]
+    fn unique_result_table_names_per_instance() {
+        let db = Database::new("d");
+        let def = BisDeployment::new(registry_with(&db))
+            .bind_data_source("DS", "d")
+            .result_set("SR", "DS", Some("(v INT)"))
+            .deploy(ProcessDefinition::new(
+                "p",
+                flowcore::builtins::Snippet::new("remember", |ctx| {
+                    let sr = ctx.variables.require_opaque::<SetRef>("SR")?;
+                    ctx.variables.set("t", Value::Text(sr.table.clone()));
+                    Ok(())
+                }),
+            ));
+        let engine = Engine::new();
+        let a = engine.run(&def, Variables::new()).unwrap();
+        let b = engine.run(&def, Variables::new()).unwrap();
+        assert_ne!(
+            a.variables.require_scalar("t").unwrap(),
+            b.variables.require_scalar("t").unwrap()
+        );
+    }
+
+    #[test]
+    fn preparation_and_cleanup_scripts_run() {
+        let db = Database::new("d");
+        let def = BisDeployment::new(registry_with(&db))
+            .bind_data_source("DS", "d")
+            .prepare(
+                "DS",
+                "CREATE TABLE staging (v INT); INSERT INTO staging VALUES (1);",
+            )
+            .cleanup("DS", "DROP TABLE staging")
+            .deploy(ProcessDefinition::new(
+                "p",
+                flowcore::builtins::Snippet::new("observe", |ctx| {
+                    ctx.variables.set("present", Value::Bool(true));
+                    Ok(())
+                }),
+            ));
+        let engine = Engine::new();
+        let inst = engine.run(&def, Variables::new()).unwrap();
+        assert!(inst.is_completed(), "{:?}", inst.outcome);
+        assert!(!db.has_table("staging"));
+    }
+
+    #[test]
+    fn bad_preparation_fails_instance_start() {
+        let db = Database::new("d");
+        let def = BisDeployment::new(registry_with(&db))
+            .bind_data_source("DS", "d")
+            .prepare("DS", "CREATE BOGUS")
+            .deploy(ProcessDefinition::new("p", Empty::new("e")));
+        let engine = Engine::new();
+        assert!(engine.run(&def, Variables::new()).is_err());
+    }
+}

@@ -1,0 +1,517 @@
+//! [`SqlIntegration`] implementation for the BIS-style stack: Table I
+//! column, Figure 3 architecture, and executable demonstrations of all
+//! nine data management patterns (Sec. III-C).
+
+use flowcore::builtins::{Assign, CopyFrom, CopyTo, Sequence, Snippet};
+use flowcore::{CompletedInstance, Outcome, ProcessDefinition, Variables};
+use patterns::{
+    Architecture, DataPattern, Demonstration, ProbeEnv, ProbeError, ProductInfo, SqlIntegration,
+    SupportLevel, SupportMatrix,
+};
+use sqlkernel::Value;
+use xmlval::{Element, XmlNode};
+
+use crate::activities::{execute_on_data_source, java_snippet, RetrieveSetActivity, SqlActivity};
+use crate::cursor::cursor_loop;
+use crate::datasource::DataSourceRegistry;
+use crate::deployment::BisDeployment;
+
+/// The IBM Business Integration Suite integration style.
+pub struct BisProduct;
+
+/// Mechanism row labels (Table II).
+const MECH_SQL: &str = "SQL";
+const MECH_RETRIEVE: &str = "Retrieve Set";
+const MECH_ASSIGN: &str = "Assign (BPEL-specific XPath)";
+const MECH_WORKAROUND: &str = "Only workarounds possible";
+
+fn run(env: &ProbeEnv, def: ProcessDefinition) -> Result<CompletedInstance, ProbeError> {
+    let inst = env.engine.run(&def, Variables::new())?;
+    match inst.outcome {
+        Outcome::Completed => Ok(inst),
+        ref other => Err(ProbeError(format!("instance ended {other:?}"))),
+    }
+}
+
+fn base_deployment(env: &ProbeEnv) -> BisDeployment {
+    BisDeployment::new(
+        DataSourceRegistry::new()
+            .with(env.db.clone())
+            .with(env.alt_db.clone()),
+    )
+    .bind_data_source("DS_Orders", env.db.name())
+    .input_set("SR_Orders", "Orders")
+    .input_set("SR_OrderConfirmations", "OrderConfirmations")
+}
+
+/// Body that fills `SV_ItemList` with the aggregated item list (used by
+/// every internal-data pattern demo).
+fn retrieval_prefix() -> Sequence {
+    Sequence::new("prepare SV_ItemList")
+        .then(
+            SqlActivity::new("SQL_1", "DS_Orders", crate::sample::SQL_1).result_into("SR_ItemList"),
+        )
+        .then(RetrieveSetActivity::new(
+            "Retrieve Set",
+            "DS_Orders",
+            "SR_ItemList",
+            "SV_ItemList",
+        ))
+}
+
+fn with_item_list(env: &ProbeEnv, tail: impl flowcore::Activity + 'static) -> ProcessDefinition {
+    base_deployment(env)
+        .result_set(
+            "SR_ItemList",
+            "DS_Orders",
+            Some("(ItemId TEXT, Quantity INT)"),
+        )
+        .deploy(ProcessDefinition::new(
+            "probe",
+            retrieval_prefix().then_boxed(Box::new(tail)),
+        ))
+}
+
+impl SqlIntegration for BisProduct {
+    fn product_info(&self) -> ProductInfo {
+        ProductInfo {
+            vendor: "IBM".into(),
+            product: "Business Integration Suite (BIS)".into(),
+            workflow_language: "BPEL".into(),
+            process_modeling: "graphical, (markup)".into(),
+            design_tool: "WebSphere Integration Developer".into(),
+            sql_inline_support: vec![
+                "SQL Activity".into(),
+                "Retrieve Set Activity".into(),
+                "Atomic SQL Sequence".into(),
+            ],
+            external_dataset_reference: "Set Reference, static text".into(),
+            materialized_set_representation: "proprietary XML RowSet".into(),
+            external_datasource_reference: "dynamic, static".into(),
+            additional_features: vec!["Lifecycle Management for DB Entities".into()],
+        }
+    }
+
+    fn architecture(&self) -> Architecture {
+        // Figure 3: Process Modeling and Execution in IBM BIS.
+        Architecture::new("IBM Business Integration Suite (Fig. 3)")
+            .layer(
+                "WebSphere Integration Developer (modeling)",
+                &[
+                    "Process Editor (graphical, BPEL output)",
+                    "Information Server Plugin (information service activities)",
+                    "code generation & deployment",
+                ],
+            )
+            .layer(
+                "WebSphere Process Server — Service Components",
+                &["BPEL Process Engine", "human task / state machine services"],
+            )
+            .layer(
+                "WebSphere Process Server — Supporting Services",
+                &["data maps", "relationships", "selectors"],
+            )
+            .layer(
+                "SOA Core",
+                &[
+                    "service component invocation",
+                    "interaction with external services & systems",
+                ],
+            )
+            .layer("J2EE Runtime & SOA Infrastructure", &["application server"])
+    }
+
+    fn support_matrix(&self) -> SupportMatrix {
+        patterns::paper::ibm_support()
+    }
+
+    fn demonstrate(
+        &self,
+        pattern: DataPattern,
+        env: &mut ProbeEnv,
+    ) -> Result<Vec<Demonstration>, ProbeError> {
+        match pattern {
+            DataPattern::Query => self.demo_query(env),
+            DataPattern::SetIud => self.demo_set_iud(env),
+            DataPattern::DataSetup => self.demo_data_setup(env),
+            DataPattern::StoredProcedure => self.demo_stored_procedure(env),
+            DataPattern::SetRetrieval => self.demo_set_retrieval(env),
+            DataPattern::SequentialSetAccess => self.demo_sequential_access(env),
+            DataPattern::RandomSetAccess => self.demo_random_access(env),
+            DataPattern::TupleIud => self.demo_tuple_iud(env),
+            DataPattern::Synchronization => self.demo_synchronization(env),
+        }
+    }
+}
+
+impl BisProduct {
+    fn demo_query(&self, env: &ProbeEnv) -> Result<Vec<Demonstration>, ProbeError> {
+        // SQL activity with input + result set references; the result
+        // stays in the data source and is only referenced.
+        let def = base_deployment(env)
+            .result_set(
+                "SR_ItemList",
+                "DS_Orders",
+                Some("(ItemId TEXT, Quantity INT)"),
+            )
+            .deploy(ProcessDefinition::new(
+                "query-probe",
+                Sequence::new("main")
+                    .then(
+                        SqlActivity::new("SQL_1", "DS_Orders", crate::sample::SQL_1)
+                            .result_into("SR_ItemList"),
+                    )
+                    .then(Snippet::new("count external rows", |ctx| {
+                        let n = execute_on_data_source(
+                            ctx,
+                            "DS_Orders",
+                            "SELECT COUNT(*) FROM {SR_ItemList}",
+                            &[],
+                        );
+                        // Placeholder substitution happens in SqlActivity,
+                        // not raw strings — do it explicitly here.
+                        let _ = n;
+                        let sql = crate::setref::substitute_set_refs(
+                            ctx,
+                            "SELECT COUNT(*) FROM {SR_ItemList}",
+                        )?;
+                        let r = execute_on_data_source(ctx, "DS_Orders", &sql, &[])?
+                            .rows()
+                            .expect("count query returns rows");
+                        ctx.variables.set("external_rows", r.rows[0][0].clone());
+                        Ok(())
+                    })),
+            ));
+        let inst = run(env, def)?;
+        let n = inst.variables.require_scalar("external_rows")?.render();
+        if n != "3" {
+            return Err(ProbeError(format!("expected 3 external rows, got {n}")));
+        }
+        Ok(vec![Demonstration::new(
+            DataPattern::Query,
+            MECH_SQL,
+            SupportLevel::Native,
+        )
+        .evidence(format!("SQL activity ran: {}", crate::sample::SQL_1))
+        .evidence(
+            "result set remained external, referenced by SR_ItemList (3 rows)",
+        )])
+    }
+
+    fn demo_set_iud(&self, env: &ProbeEnv) -> Result<Vec<Demonstration>, ProbeError> {
+        let def = base_deployment(env).deploy(ProcessDefinition::new(
+            "iud-probe",
+            SqlActivity::new(
+                "SQL_upd",
+                "DS_Orders",
+                "UPDATE {SR_Orders} SET Approved = TRUE WHERE Approved = FALSE",
+            ),
+        ));
+        run(env, def)?;
+        let conn = env.db.connect();
+        let approved = conn
+            .query("SELECT COUNT(*) FROM Orders WHERE Approved = TRUE", &[])?
+            .single_value()?
+            .clone();
+        if approved != Value::Int(6) {
+            return Err(ProbeError(format!(
+                "expected 6 approved orders, got {approved}"
+            )));
+        }
+        Ok(vec![Demonstration::new(
+            DataPattern::SetIud,
+            MECH_SQL,
+            SupportLevel::Native,
+        )
+        .evidence(
+            "set-oriented UPDATE via SQL activity affected 2 rows",
+        )])
+    }
+
+    fn demo_data_setup(&self, env: &ProbeEnv) -> Result<Vec<Demonstration>, ProbeError> {
+        let def = base_deployment(env).deploy(ProcessDefinition::new(
+            "setup-probe",
+            Sequence::new("main")
+                .then(SqlActivity::new(
+                    "SQL_ddl",
+                    "DS_Orders",
+                    "CREATE TABLE audit_log (Id INT PRIMARY KEY, Note TEXT)",
+                ))
+                .then(SqlActivity::new(
+                    "SQL_ddl2",
+                    "DS_Orders",
+                    "CREATE INDEX idx_orders_item ON Orders (ItemId)",
+                )),
+        ));
+        run(env, def)?;
+        if !env.db.has_table("audit_log") {
+            return Err(ProbeError("DDL did not create audit_log".into()));
+        }
+        Ok(vec![Demonstration::new(
+            DataPattern::DataSetup,
+            MECH_SQL,
+            SupportLevel::Native,
+        )
+        .evidence(
+            "CREATE TABLE and CREATE INDEX executed at process runtime via SQL activities",
+        )])
+    }
+
+    fn demo_stored_procedure(&self, env: &ProbeEnv) -> Result<Vec<Demonstration>, ProbeError> {
+        let def = base_deployment(env)
+            .result_set(
+                "SR_Totals",
+                "DS_Orders",
+                Some("(ItemId TEXT, Quantity INT)"),
+            )
+            .deploy(ProcessDefinition::new(
+                "proc-probe",
+                Sequence::new("main")
+                    .then(
+                        SqlActivity::new("SQL_call", "DS_Orders", "CALL item_total('widget')")
+                            .result_into("SR_Totals"),
+                    )
+                    .then(Snippet::new("read result", |ctx| {
+                        let sql = crate::setref::substitute_set_refs(
+                            ctx,
+                            "SELECT Quantity FROM {SR_Totals}",
+                        )?;
+                        let r = execute_on_data_source(ctx, "DS_Orders", &sql, &[])?
+                            .rows()
+                            .expect("rows");
+                        ctx.variables.set("total", r.rows[0][0].clone());
+                        Ok(())
+                    })),
+            ));
+        let inst = run(env, def)?;
+        if inst.variables.require_scalar("total")? != &Value::Int(15) {
+            return Err(ProbeError("stored procedure result wrong".into()));
+        }
+        Ok(vec![Demonstration::new(
+            DataPattern::StoredProcedure,
+            MECH_SQL,
+            SupportLevel::Native,
+        )
+        .evidence(
+            "CALL item_total('widget') via SQL activity; result referenced externally",
+        )])
+    }
+
+    fn demo_set_retrieval(&self, env: &ProbeEnv) -> Result<Vec<Demonstration>, ProbeError> {
+        let def = with_item_list(env, flowcore::builtins::Empty::new("done"));
+        let inst = run(env, def)?;
+        let rowset = inst.variables.require_xml("SV_ItemList")?;
+        let n = xmlval::rowset::row_count(rowset);
+        if n != 3 {
+            return Err(ProbeError(format!("expected 3 materialized rows, got {n}")));
+        }
+        Ok(vec![Demonstration::new(
+            DataPattern::SetRetrieval,
+            MECH_RETRIEVE,
+            SupportLevel::Native,
+        )
+        .evidence("retrieve set activity materialized SR_ItemList into set variable SV_ItemList")
+        .evidence(
+            "explicit materialization step — result set treated as external until retrieved",
+        )])
+    }
+
+    fn demo_sequential_access(&self, env: &ProbeEnv) -> Result<Vec<Demonstration>, ProbeError> {
+        let collect = Snippet::new("collect item", |ctx| {
+            let item = xmlval::Path::parse("/Row/ItemId")
+                .expect("valid")
+                .select_text(ctx.variables.require_xml("CurrentItem")?)
+                .unwrap_or_default();
+            let seen = ctx
+                .variables
+                .get("seen")
+                .and_then(|v| v.as_scalar())
+                .map(Value::render)
+                .unwrap_or_default();
+            ctx.variables
+                .set("seen", Value::Text(format!("{seen}{item},")));
+            Ok(())
+        });
+        let def = with_item_list(
+            env,
+            cursor_loop("cursor", "SV_ItemList", "CurrentItem", collect),
+        );
+        let inst = run(env, def)?;
+        let seen = inst.variables.require_scalar("seen")?.render();
+        if seen != "gadget,sprocket,widget," {
+            return Err(ProbeError(format!("cursor visited: {seen}")));
+        }
+        Ok(vec![Demonstration::new(
+            DataPattern::SequentialSetAccess,
+            MECH_WORKAROUND,
+            SupportLevel::Workaround,
+        )
+        .evidence("while activity + Java-Snippet advanced a cursor over SV_ItemList")
+        .evidence(format!("visited in order: {seen}"))])
+    }
+
+    fn demo_random_access(&self, env: &ProbeEnv) -> Result<Vec<Demonstration>, ProbeError> {
+        let def = with_item_list(
+            env,
+            Assign::new("pick second row").copy(
+                CopyFrom::path("SV_ItemList", "/RowSet/Row[2]/ItemId").expect("valid"),
+                CopyTo::Variable("picked".into()),
+            ),
+        );
+        let inst = run(env, def)?;
+        let picked = inst.variables.require_scalar("picked")?.render();
+        if picked != "sprocket" {
+            return Err(ProbeError(format!("random access picked '{picked}'")));
+        }
+        Ok(vec![Demonstration::new(
+            DataPattern::RandomSetAccess,
+            MECH_ASSIGN,
+            SupportLevel::Native,
+        )
+        .evidence(
+            "assign with XPath /RowSet/Row[2]/ItemId selected a specific tuple",
+        )])
+    }
+
+    fn demo_tuple_iud(&self, env: &ProbeEnv) -> Result<Vec<Demonstration>, ProbeError> {
+        // Part 1 — UPDATE via assign + XPath (abstract level).
+        let def = with_item_list(
+            env,
+            Assign::new("update first quantity").copy(
+                CopyFrom::Literal(Value::Int(99).into()),
+                CopyTo::path("SV_ItemList", "/RowSet/Row[1]/Quantity").expect("valid"),
+            ),
+        );
+        let inst = run(env, def)?;
+        let updated =
+            xmlval::rowset::cell_value(inst.variables.require_xml("SV_ItemList")?, 0, "Quantity")?;
+        if updated.render() != "99" {
+            return Err(ProbeError(format!("assign-update produced {updated}")));
+        }
+
+        // Part 2 — INSERT and DELETE need a Java-Snippet workaround.
+        let mutate = java_snippet("insert+delete tuples", |ctx| {
+            let xml = ctx.variables.require_xml_mut("SV_ItemList")?;
+            let root = xml
+                .as_element_mut()
+                .ok_or_else(|| flowcore::FlowError::Variable("rowset not an element".into()))?;
+            // Delete the first row…
+            let first = root
+                .children
+                .iter()
+                .position(|c| c.as_element().is_some_and(|e| e.name == "Row"))
+                .ok_or_else(|| flowcore::FlowError::Variable("no rows".into()))?;
+            root.children.remove(first);
+            // …and insert a new one.
+            let row = Element::new("Row")
+                .with_child(XmlNode::Element(
+                    Element::new("ItemId")
+                        .with_attr("type", "TEXT")
+                        .with_child(XmlNode::text("cog")),
+                ))
+                .with_child(XmlNode::Element(
+                    Element::new("Quantity")
+                        .with_attr("type", "INT")
+                        .with_child(XmlNode::text("7")),
+                ));
+            root.children.push(XmlNode::Element(row));
+            Ok(())
+        });
+        let def = with_item_list(env, mutate);
+        let inst = run(env, def)?;
+        let rowset = inst.variables.require_xml("SV_ItemList")?;
+        let n = xmlval::rowset::row_count(rowset);
+        let last = xmlval::rowset::cell_value(rowset, n - 1, "ItemId")?;
+        if n != 3 || last.render() != "cog" {
+            return Err(ProbeError(format!(
+                "snippet IUD produced {n} rows, last item {last}"
+            )));
+        }
+
+        Ok(vec![
+            Demonstration::new(
+                DataPattern::TupleIud,
+                MECH_ASSIGN,
+                SupportLevel::Partial(patterns::paper::FOOTNOTE_ONLY_UPDATE.into()),
+            )
+            .evidence("assign set /RowSet/Row[1]/Quantity to 99 — update only"),
+            Demonstration::new(
+                DataPattern::TupleIud,
+                MECH_WORKAROUND,
+                SupportLevel::Partial(patterns::paper::FOOTNOTE_ONLY_DELETE_INSERT.into()),
+            )
+            .evidence("Java-Snippet deleted one tuple and inserted tuple ('cog', 7)"),
+        ])
+    }
+
+    fn demo_synchronization(&self, env: &ProbeEnv) -> Result<Vec<Demonstration>, ProbeError> {
+        // Local change to the cache, then a hand-written UPDATE pushes it
+        // back to the source (Sec. III-C: “As a simple workaround, one may
+        // specify appropriate UPDATE statements in an SQL activity”).
+        let body = Sequence::new("sync")
+            .then(Assign::new("change cache").copy(
+                CopyFrom::Literal(Value::Int(100).into()),
+                CopyTo::path("SV_ItemList", "/RowSet/Row[3]/Quantity").expect("valid"),
+            ))
+            .then(java_snippet("write back changed tuple", |ctx| {
+                let rowset = ctx.variables.require_xml("SV_ItemList")?.clone();
+                let item = xmlval::rowset::cell_value(&rowset, 2, "ItemId")?;
+                let qty = xmlval::rowset::cell_value(&rowset, 2, "Quantity")?;
+                execute_on_data_source(
+                    ctx,
+                    "DS_Orders",
+                    "UPDATE Orders SET Quantity = ? WHERE ItemId = ? AND Approved = TRUE",
+                    &[qty, item],
+                )?;
+                Ok(())
+            }));
+        let def = with_item_list(env, body);
+        run(env, def)?;
+        let conn = env.db.connect();
+        let synced = conn
+            .query(
+                "SELECT COUNT(*) FROM Orders WHERE ItemId = 'widget' AND Quantity = 100",
+                &[],
+            )?
+            .single_value()?
+            .clone();
+        if synced != Value::Int(2) {
+            return Err(ProbeError(format!("sync wrote {synced} rows")));
+        }
+        Ok(vec![Demonstration::new(
+            DataPattern::Synchronization,
+            MECH_WORKAROUND,
+            SupportLevel::Workaround,
+        )
+        .evidence(
+            "manual UPDATE statements propagated cache changes to the Orders table",
+        )])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bis_matrix_is_fully_demonstrated() {
+        let demos = patterns::verify_support_matrix(&BisProduct).unwrap();
+        // 9 patterns, Tuple IUD twice.
+        assert_eq!(demos.len(), 10);
+        assert!(demos.iter().all(|d| !d.evidence.is_empty()));
+    }
+
+    #[test]
+    fn bis_matrix_matches_paper() {
+        assert_eq!(BisProduct.support_matrix(), patterns::paper::ibm_support());
+    }
+
+    #[test]
+    fn architecture_and_info() {
+        let a = BisProduct.architecture();
+        assert!(a.render().contains("BPEL Process Engine"));
+        let i = BisProduct.product_info();
+        assert_eq!(i.workflow_language, "BPEL");
+        assert_eq!(i.external_datasource_reference, "dynamic, static");
+    }
+}

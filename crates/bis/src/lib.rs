@@ -1,0 +1,44 @@
+//! `bis` — the IBM Business Integration Suite integration style
+//! (paper Sec. III).
+//!
+//! BIS adds *information service activities* to BPEL:
+//!
+//! * [`activities::SqlActivity`] — embeds any SQL statement (query, DML,
+//!   DDL, stored procedure call); query results **stay in the data
+//!   source**, referenced by a result set reference,
+//! * [`activities::RetrieveSetActivity`] — the explicit materialization
+//!   step loading external data into an XML RowSet set variable,
+//! * [`activities::AtomicSqlSequence`] — bundles SQL activities into one
+//!   transaction in long-running processes,
+//! * [`setref`] — input/result set references: handles to external
+//!   tables usable in place of static table names (pass-by-reference of
+//!   external data),
+//! * [`datasource`] — data source variables with **dynamic binding**:
+//!   connection strings held in process variables, re-bindable at
+//!   deployment time or runtime,
+//! * [`deployment`] — lifecycle management: preparation/cleanup
+//!   statements and per-instance result-set tables with generated names,
+//! * [`cursor`] — the while + Java-Snippet cursor workaround for
+//!   sequential set access,
+//! * [`sample`] — the Figure 4 running example,
+//! * [`integration::BisProduct`] — the [`patterns::SqlIntegration`]
+//!   implementation with executable demonstrations of all nine data
+//!   management patterns.
+
+pub mod activities;
+pub mod cursor;
+pub mod datasource;
+pub mod deployment;
+pub mod integration;
+pub mod sample;
+pub mod setref;
+
+pub use activities::{
+    execute_on_data_source, java_snippet, AtomicSqlSequence, RetrieveSetActivity, SqlActivity,
+};
+pub use cursor::cursor_loop;
+pub use datasource::{connection_string, BisRuntime, DataSourceRegistry};
+pub use deployment::BisDeployment;
+pub use integration::BisProduct;
+pub use sample::figure4_process;
+pub use setref::{SetRef, SetRefKind};

@@ -1,0 +1,154 @@
+//! The Figure 4 sample workflow: the paper's running example realized
+//! with IBM BIS technology.
+//!
+//! The flow aggregates approved orders per item type (SQL activity
+//! `SQL_1` with input set reference `SR_Orders` and result set reference
+//! `SR_ItemList`), materializes the item list into the process space
+//! (retrieve set activity → set variable `SV_ItemList`), iterates with
+//! the while + Java-Snippet cursor, calls the `OrderFromSupplier` Web
+//! service per item, and records each confirmation via `SQL_2` into the
+//! persistent table referenced by `SR_OrderConfirmations`.
+
+use flowcore::builtins::{CopyFrom, Invoke, Sequence};
+use flowcore::ProcessDefinition;
+
+use crate::activities::{RetrieveSetActivity, SqlActivity};
+use crate::cursor::cursor_loop;
+use crate::datasource::DataSourceRegistry;
+use crate::deployment::BisDeployment;
+
+/// The aggregation query of activity `SQL_1`, over set references.
+pub const SQL_1: &str = "SELECT ItemId, SUM(Quantity) AS Quantity FROM {SR_Orders} \
+                         WHERE Approved = TRUE GROUP BY ItemId ORDER BY ItemId";
+
+/// The insert of activity `SQL_2`, over a set reference.
+pub const SQL_2: &str = "INSERT INTO {SR_OrderConfirmations} \
+                         (ConfId, ItemId, Quantity, Confirmation) \
+                         VALUES (NEXTVAL('conf_ids'), ?, ?, ?)";
+
+/// Build the Figure 4 process, deployed against `orders_db` (which must
+/// be registered in `registry` and carry the probe schema of
+/// [`patterns::probe::seed_orders`]).
+pub fn figure4_process(registry: DataSourceRegistry, orders_db: &str) -> ProcessDefinition {
+    let loop_body = Sequence::new("order item")
+        .then(
+            Invoke::new("Invoke OrderFromSupplier", patterns::ORDER_FROM_SUPPLIER)
+                .input(
+                    "ItemType",
+                    CopyFrom::path("CurrentItem", "/Row/ItemId").expect("valid path"),
+                )
+                .input(
+                    "Quantity",
+                    CopyFrom::path("CurrentItem", "/Row/Quantity").expect("valid path"),
+                )
+                .output("Confirmation", "OrderConfirmation"),
+        )
+        .then(
+            SqlActivity::new("SQL_2", "DS_Orders", SQL_2)
+                .param(CopyFrom::path("CurrentItem", "/Row/ItemId").expect("valid path"))
+                .param(CopyFrom::path("CurrentItem", "/Row/Quantity").expect("valid path"))
+                .param_var("OrderConfirmation"),
+        );
+
+    let body = Sequence::new("main")
+        .then(SqlActivity::new("SQL_1", "DS_Orders", SQL_1).result_into("SR_ItemList"))
+        .then(RetrieveSetActivity::new(
+            "Retrieve Set",
+            "DS_Orders",
+            "SR_ItemList",
+            "SV_ItemList",
+        ))
+        .then(cursor_loop(
+            "while: SV_ItemList has more tuples",
+            "SV_ItemList",
+            "CurrentItem",
+            loop_body,
+        ));
+
+    BisDeployment::new(registry)
+        .bind_data_source("DS_Orders", orders_db)
+        .input_set("SR_Orders", "Orders")
+        .input_set("SR_OrderConfirmations", "OrderConfirmations")
+        .result_set(
+            "SR_ItemList",
+            "DS_Orders",
+            Some("(ItemId TEXT, Quantity INT)"),
+        )
+        .deploy(ProcessDefinition::new(
+            "OrderAggregation/BIS (Fig. 4)",
+            body,
+        ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowcore::Variables;
+    use patterns::probe::{expected_item_list, ProbeEnv};
+    use sqlkernel::Value;
+
+    #[test]
+    fn figure4_end_to_end() {
+        let env = ProbeEnv::fresh();
+        let registry = DataSourceRegistry::new().with(env.db.clone());
+        let def = figure4_process(registry, env.db.name());
+        let inst = env.engine.run(&def, Variables::new()).unwrap();
+        assert!(inst.is_completed(), "{:?}", inst.outcome);
+
+        // One supplier order per aggregated item type, in item order.
+        assert_eq!(
+            env.confirmations(),
+            vec![
+                "confirmed:gadget:3",
+                "confirmed:sprocket:2",
+                "confirmed:widget:15"
+            ]
+        );
+
+        // Confirmations persisted with aggregated quantities.
+        let conn = env.db.connect();
+        let rs = conn
+            .query(
+                "SELECT ItemId, Quantity, Confirmation FROM OrderConfirmations ORDER BY ItemId",
+                &[],
+            )
+            .unwrap();
+        let want: Vec<(String, i64)> = expected_item_list()
+            .into_iter()
+            .map(|(s, n)| (s.to_string(), n))
+            .collect();
+        let got: Vec<(String, i64)> = rs
+            .rows
+            .iter()
+            .map(|r| (r[0].render(), r[1].as_i64().unwrap()))
+            .collect();
+        assert_eq!(got, want);
+        assert_eq!(rs.rows[0][2], Value::text("confirmed:gadget:3"));
+
+        // The per-instance result set table was dropped at cleanup.
+        assert!(env
+            .db
+            .table_names()
+            .iter()
+            .all(|t| !t.starts_with("rs_sr_itemlist")));
+
+        // The audit trail shows the paper's activity mix.
+        assert!(inst.audit.completed("SQL_1"));
+        assert!(inst.audit.completed("Retrieve Set"));
+        assert_eq!(inst.audit.completed_count("sql"), 1 + 3); // SQL_1 + 3×SQL_2
+        assert_eq!(inst.audit.completed_count("invoke"), 3);
+        assert!(inst.audit.events().iter().any(|e| e.kind == "java-snippet"));
+    }
+
+    #[test]
+    fn figure4_runs_twice_thanks_to_lifecycle_management() {
+        let env = ProbeEnv::fresh();
+        let registry = DataSourceRegistry::new().with(env.db.clone());
+        let def = figure4_process(registry, env.db.name());
+        env.engine.run(&def, Variables::new()).unwrap();
+        let second = env.engine.run(&def, Variables::new()).unwrap();
+        assert!(second.is_completed(), "{:?}", second.outcome);
+        // Confirmations from both instances persisted.
+        assert_eq!(env.db.table_len("OrderConfirmations").unwrap(), 6);
+    }
+}

@@ -1,0 +1,144 @@
+//! Set reference variables (Sec. III-B, “Referencing External Data Sets”).
+//!
+//! A set reference is a handle to an external table, usable *in place of a
+//! static table name* inside an information service activity. Passing a
+//! result set reference into a consecutive activity passes external data
+//! **by reference instead of by value** — the paper's key contrast with
+//! the WF/SOA approaches, and the subject of the `ref_vs_materialize`
+//! benchmark.
+
+use flowcore::{ActivityContext, FlowError, FlowResult, OpaqueValue, VarValue};
+
+/// The role a set reference plays in an activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetRefKind {
+    /// Refers to an existing table an activity reads or changes.
+    Input,
+    /// Refers to a (typically generated) table holding a query or
+    /// procedure result. May be re-used as input by later activities.
+    Result,
+}
+
+/// A handle to an external table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetRef {
+    pub kind: SetRefKind,
+    /// The referenced table name (generated and unique per instance for
+    /// result set references).
+    pub table: String,
+}
+
+impl SetRef {
+    /// An input set reference to a named table.
+    pub fn input(table: impl Into<String>) -> SetRef {
+        SetRef {
+            kind: SetRefKind::Input,
+            table: table.into(),
+        }
+    }
+
+    /// A result set reference to a generated table.
+    pub fn result(table: impl Into<String>) -> SetRef {
+        SetRef {
+            kind: SetRefKind::Result,
+            table: table.into(),
+        }
+    }
+
+    /// Wrap as a workflow variable value.
+    pub fn into_var(self) -> VarValue {
+        VarValue::Opaque(OpaqueValue::new("set-reference", self))
+    }
+}
+
+/// Read a set reference variable.
+pub fn get_set_ref(ctx: &ActivityContext<'_>, var: &str) -> FlowResult<SetRef> {
+    Ok(ctx.variables.require_opaque::<SetRef>(var)?.clone())
+}
+
+/// Substitute `{VarName}` placeholders in a SQL template with the tables
+/// their set reference variables point at. This is how an information
+/// service activity uses set references “in place of static table names”.
+pub fn substitute_set_refs(ctx: &ActivityContext<'_>, sql_template: &str) -> FlowResult<String> {
+    let mut out = String::with_capacity(sql_template.len());
+    let mut rest = sql_template;
+    while let Some(open) = rest.find('{') {
+        out.push_str(&rest[..open]);
+        let close = rest[open..].find('}').ok_or_else(|| {
+            FlowError::Definition(format!("unbalanced '{{' in SQL template: {sql_template}"))
+        })? + open;
+        let var = &rest[open + 1..close];
+        let set_ref = get_set_ref(ctx, var)?;
+        out.push_str(&set_ref.table);
+        rest = &rest[close + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowcore::{AuditTrail, Extensions, ServiceRegistry, Variables};
+
+    fn with_ctx<R>(vars: &mut Variables, f: impl FnOnce(&ActivityContext<'_>) -> R) -> R {
+        let services = ServiceRegistry::new();
+        let mut audit = AuditTrail::new();
+        let mut ext = Extensions::new();
+        let ctx = ActivityContext {
+            instance_id: 1,
+            variables: vars,
+            services: &services,
+            audit: &mut audit,
+            mode: flowcore::ExecutionMode::LongRunning,
+            extensions: &mut ext,
+            depth: 0,
+        };
+        f(&ctx)
+    }
+
+    #[test]
+    fn set_ref_as_variable() {
+        let mut vars = Variables::new();
+        vars.set("SR_Orders", SetRef::input("Orders").into_var());
+        with_ctx(&mut vars, |ctx| {
+            let sr = get_set_ref(ctx, "SR_Orders").unwrap();
+            assert_eq!(sr.table, "Orders");
+            assert_eq!(sr.kind, SetRefKind::Input);
+        });
+    }
+
+    #[test]
+    fn template_substitution() {
+        let mut vars = Variables::new();
+        vars.set("SR_Orders", SetRef::input("Orders").into_var());
+        vars.set("SR_ItemList", SetRef::result("rs_itemlist_17").into_var());
+        with_ctx(&mut vars, |ctx| {
+            let sql = substitute_set_refs(
+                ctx,
+                "INSERT INTO {SR_ItemList} SELECT ItemId FROM {SR_Orders}",
+            )
+            .unwrap();
+            assert_eq!(sql, "INSERT INTO rs_itemlist_17 SELECT ItemId FROM Orders");
+        });
+    }
+
+    #[test]
+    fn substitution_errors() {
+        let mut vars = Variables::new();
+        vars.set("NotASetRef", sqlkernel::Value::Int(1));
+        with_ctx(&mut vars, |ctx| {
+            assert!(substitute_set_refs(ctx, "SELECT * FROM {Missing}").is_err());
+            assert!(substitute_set_refs(ctx, "SELECT * FROM {NotASetRef}").is_err());
+            assert!(substitute_set_refs(ctx, "SELECT * FROM {Broken").is_err());
+        });
+    }
+
+    #[test]
+    fn no_placeholders_is_identity() {
+        let mut vars = Variables::new();
+        with_ctx(&mut vars, |ctx| {
+            assert_eq!(substitute_set_refs(ctx, "SELECT 1").unwrap(), "SELECT 1");
+        });
+    }
+}

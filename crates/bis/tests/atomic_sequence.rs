@@ -1,0 +1,219 @@
+//! Transaction-boundary semantics of the atomic SQL sequence
+//! (Sec. III-B item 3), exercised through the full stack.
+
+use bis::{AtomicSqlSequence, BisDeployment, DataSourceRegistry, SqlActivity};
+use flowcore::builtins::{Scope, Sequence, Snippet};
+use flowcore::{Engine, ExecutionMode, ProcessDefinition, Variables};
+use sqlkernel::{Database, Value};
+
+fn seeded() -> Database {
+    let db = Database::new("orders_db");
+    db.connect()
+        .execute_script(
+            "CREATE TABLE t (id INT PRIMARY KEY, v INT);
+             INSERT INTO t VALUES (1, 10), (2, 20);",
+        )
+        .unwrap();
+    db
+}
+
+fn deploy(db: &Database, root: impl flowcore::Activity + 'static) -> ProcessDefinition {
+    BisDeployment::new(DataSourceRegistry::new().with(db.clone()))
+        .bind_data_source("DS", db.name())
+        .deploy(ProcessDefinition::new("atomic-test", root))
+}
+
+fn count(db: &Database, pred: &str) -> i64 {
+    db.connect()
+        .query(&format!("SELECT COUNT(*) FROM t WHERE {pred}"), &[])
+        .unwrap()
+        .single_value()
+        .unwrap()
+        .as_i64()
+        .unwrap()
+}
+
+#[test]
+fn atomic_sequence_commits_all_children() {
+    let db = seeded();
+    let def = deploy(
+        &db,
+        AtomicSqlSequence::new("bundle")
+            .then(SqlActivity::new(
+                "a",
+                "DS",
+                "UPDATE t SET v = v + 1 WHERE id = 1",
+            ))
+            .then(SqlActivity::new("b", "DS", "INSERT INTO t VALUES (3, 30)"))
+            .then(SqlActivity::new("c", "DS", "DELETE FROM t WHERE id = 2")),
+    );
+    let inst = Engine::new().run(&def, Variables::new()).unwrap();
+    assert!(inst.is_completed(), "{:?}", inst.outcome);
+    assert_eq!(count(&db, "id = 1 AND v = 11"), 1);
+    assert_eq!(count(&db, "id = 3"), 1);
+    assert_eq!(count(&db, "id = 2"), 0);
+}
+
+#[test]
+fn atomic_sequence_rolls_back_everything_on_fault() {
+    let db = seeded();
+    let def = deploy(
+        &db,
+        AtomicSqlSequence::new("bundle")
+            .then(SqlActivity::new("a", "DS", "UPDATE t SET v = 999"))
+            .then(SqlActivity::new("b", "DS", "INSERT INTO t VALUES (3, 30)"))
+            // Primary-key violation faults the sequence.
+            .then(SqlActivity::new(
+                "boom",
+                "DS",
+                "INSERT INTO t VALUES (1, 0)",
+            )),
+    );
+    let inst = Engine::new().run(&def, Variables::new()).unwrap();
+    assert!(inst.is_faulted());
+    // Nothing from the bundle survived.
+    assert_eq!(count(&db, "v = 999"), 0);
+    assert_eq!(count(&db, "id = 3"), 0);
+    assert_eq!(count(&db, "TRUE"), 2);
+}
+
+#[test]
+fn separate_activities_do_not_roll_back_each_other() {
+    // The contrast case: without the atomic sequence, the first update
+    // sticks even though the second activity faults.
+    let db = seeded();
+    let def = deploy(
+        &db,
+        Sequence::new("unbundled")
+            .then(SqlActivity::new("a", "DS", "UPDATE t SET v = 999"))
+            .then(SqlActivity::new(
+                "boom",
+                "DS",
+                "INSERT INTO t VALUES (1, 0)",
+            )),
+    );
+    let inst = Engine::new().run(&def, Variables::new()).unwrap();
+    assert!(inst.is_faulted());
+    assert_eq!(count(&db, "v = 999"), 2);
+}
+
+#[test]
+fn fault_handler_sees_rolled_back_state() {
+    let db = seeded();
+    let atomic = AtomicSqlSequence::new("bundle")
+        .then(SqlActivity::new("a", "DS", "DELETE FROM t"))
+        .then(SqlActivity::new("boom", "DS", "SELECT * FROM nosuch"));
+    let def = deploy(
+        &db,
+        Scope::new("guard", atomic).catch_all(Snippet::new("observe", |ctx| {
+            let n = bis::execute_on_data_source(ctx, "DS", "SELECT COUNT(*) FROM t", &[])?
+                .rows()
+                .expect("rows");
+            ctx.variables.set("seen", n.rows[0][0].clone());
+            Ok(())
+        })),
+    );
+    let inst = Engine::new().run(&def, Variables::new()).unwrap();
+    assert!(inst.is_completed(), "{:?}", inst.outcome);
+    // The handler observed the restored table, not the deleted one.
+    assert_eq!(
+        inst.variables.require_scalar("seen").unwrap(),
+        &Value::Int(2)
+    );
+}
+
+#[test]
+fn nested_atomic_sequences_rejected() {
+    let db = seeded();
+    let def = deploy(
+        &db,
+        AtomicSqlSequence::new("outer")
+            .then(AtomicSqlSequence::new("inner").then(SqlActivity::new("a", "DS", "SELECT 1"))),
+    );
+    let inst = Engine::new().run(&def, Variables::new()).unwrap();
+    assert!(inst.is_faulted());
+    // And the failure text names the problem.
+    let fault = format!("{:?}", inst.outcome);
+    assert!(fault.contains("nested"), "{fault}");
+}
+
+#[test]
+fn short_running_mode_spans_the_whole_instance() {
+    // In short-running processes all SQL activities of the process run
+    // in one transaction — even outside an atomic sequence — and commit
+    // at instance end (Sec. III-B).
+    let db = seeded();
+    let def = BisDeployment::new(DataSourceRegistry::new().with(db.clone()))
+        .bind_data_source("DS", db.name())
+        .deploy(
+            ProcessDefinition::new(
+                "micro-flow",
+                Sequence::new("main")
+                    .then(SqlActivity::new("a", "DS", "UPDATE t SET v = v * 2"))
+                    .then(SqlActivity::new("b", "DS", "INSERT INTO t VALUES (4, 40)")),
+            )
+            .with_mode(ExecutionMode::ShortRunning),
+        );
+    let inst = Engine::new().run(&def, Variables::new()).unwrap();
+    assert!(inst.is_completed(), "{:?}", inst.outcome);
+    assert_eq!(count(&db, "id = 4"), 1);
+    assert_eq!(count(&db, "v = 20 OR v = 40"), 3);
+}
+
+#[test]
+fn atomic_sequence_is_transparent_in_short_running_mode() {
+    let db = seeded();
+    let def = BisDeployment::new(DataSourceRegistry::new().with(db.clone()))
+        .bind_data_source("DS", db.name())
+        .deploy(
+            ProcessDefinition::new(
+                "micro-flow",
+                AtomicSqlSequence::new("bundle").then(SqlActivity::new(
+                    "a",
+                    "DS",
+                    "INSERT INTO t VALUES (5, 50)",
+                )),
+            )
+            .with_mode(ExecutionMode::ShortRunning),
+        );
+    let inst = Engine::new().run(&def, Variables::new()).unwrap();
+    assert!(inst.is_completed(), "{:?}", inst.outcome);
+    assert_eq!(count(&db, "id = 5"), 1);
+}
+
+#[test]
+fn atomic_sequence_spanning_two_data_sources() {
+    let db_a = seeded();
+    let db_b = Database::new("other_db");
+    db_b.connect()
+        .execute("CREATE TABLE u (id INT PRIMARY KEY)", &[])
+        .unwrap();
+    let def = BisDeployment::new(
+        DataSourceRegistry::new()
+            .with(db_a.clone())
+            .with(db_b.clone()),
+    )
+    .bind_data_source("DS_A", db_a.name())
+    .bind_data_source("DS_B", db_b.name())
+    .deploy(ProcessDefinition::new(
+        "two-phase-ish",
+        AtomicSqlSequence::new("bundle")
+            .then(SqlActivity::new(
+                "a",
+                "DS_A",
+                "INSERT INTO t VALUES (9, 90)",
+            ))
+            .then(SqlActivity::new("b", "DS_B", "INSERT INTO u VALUES (1)"))
+            // fault after both wrote
+            .then(SqlActivity::new(
+                "boom",
+                "DS_A",
+                "INSERT INTO t VALUES (9, 0)",
+            )),
+    ));
+    let inst = Engine::new().run(&def, Variables::new()).unwrap();
+    assert!(inst.is_faulted());
+    // Both participants rolled back.
+    assert_eq!(count(&db_a, "id = 9"), 0);
+    assert_eq!(db_b.table_len("u").unwrap(), 0);
+}

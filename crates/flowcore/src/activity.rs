@@ -1,0 +1,273 @@
+//! The activity model: the choreography layer's unit of work.
+//!
+//! An [`Activity`] is a stateless description; all run-time state lives in
+//! the [`ActivityContext`]. Vendor crates extend the activity set simply
+//! by implementing the trait (this is the extension point the paper
+//! credits Microsoft WF for, and that IBM's information service
+//! activities exploit in BIS).
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+
+use crate::audit::{AuditStatus, AuditTrail};
+use crate::error::{FlowError, FlowResult};
+use crate::service::ServiceRegistry;
+use crate::value::Variables;
+
+/// Long-running vs short-running execution (Sec. III-B: in short-running
+/// processes all SQL activities share one transaction; in long-running
+/// processes boundaries are set explicitly via atomic SQL sequences).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Interruptible process; each activity is its own unit of work
+    /// unless bundled by an atomic sequence.
+    #[default]
+    LongRunning,
+    /// Micro-flow; the engine brackets the whole instance in one
+    /// transaction scope.
+    ShortRunning,
+}
+
+/// Type-indexed per-instance extension state for vendor runtimes
+/// (data-source bindings, open transactions, cursors, …).
+#[derive(Default)]
+pub struct Extensions {
+    map: HashMap<TypeId, Box<dyn Any + Send>>,
+}
+
+impl Extensions {
+    /// Empty extension map.
+    pub fn new() -> Extensions {
+        Extensions::default()
+    }
+
+    /// Insert (replacing) a value of type `T`.
+    pub fn insert<T: Any + Send>(&mut self, value: T) {
+        self.map.insert(TypeId::of::<T>(), Box::new(value));
+    }
+
+    /// Shared view of the `T` slot.
+    pub fn get<T: Any + Send>(&self) -> Option<&T> {
+        self.map
+            .get(&TypeId::of::<T>())
+            .and_then(|b| b.downcast_ref::<T>())
+    }
+
+    /// Mutable view of the `T` slot.
+    pub fn get_mut<T: Any + Send>(&mut self) -> Option<&mut T> {
+        self.map
+            .get_mut(&TypeId::of::<T>())
+            .and_then(|b| b.downcast_mut::<T>())
+    }
+
+    /// Get the `T` slot, inserting a default first if absent.
+    pub fn get_or_insert_with<T: Any + Send>(&mut self, f: impl FnOnce() -> T) -> &mut T {
+        self.map
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Box::new(f()))
+            .downcast_mut::<T>()
+            .expect("slot holds T by construction")
+    }
+
+    /// Remove the `T` slot.
+    pub fn remove<T: Any + Send>(&mut self) -> Option<T> {
+        self.map
+            .remove(&TypeId::of::<T>())
+            .and_then(|b| b.downcast::<T>().ok())
+            .map(|b| *b)
+    }
+}
+
+/// Everything an executing activity can touch.
+pub struct ActivityContext<'a> {
+    /// Instance id assigned by the engine.
+    pub instance_id: u64,
+    /// The process variable pool.
+    pub variables: &'a mut Variables,
+    /// The function layer.
+    pub services: &'a ServiceRegistry,
+    /// The audit trail.
+    pub audit: &'a mut AuditTrail,
+    /// Long- vs short-running execution.
+    pub mode: ExecutionMode,
+    /// Vendor extension state.
+    pub extensions: &'a mut Extensions,
+    /// Current nesting depth (managed by [`exec_activity`]).
+    pub depth: u32,
+}
+
+impl ActivityContext<'_> {
+    /// Record an informational note against the current activity.
+    pub fn note(&mut self, kind: &str, name: &str, detail: impl Into<String>) {
+        self.audit
+            .record(self.depth + 1, kind, name, AuditStatus::Note, detail);
+    }
+}
+
+/// One node of the choreography layer.
+pub trait Activity {
+    /// Activity kind tag (`"sequence"`, `"sql"`, `"invoke"`, …).
+    fn kind(&self) -> &str;
+
+    /// Display name.
+    fn name(&self) -> &str;
+
+    /// Execute against the context. Child activities must be run through
+    /// [`exec_activity`] so nesting depth and audit records stay correct.
+    fn execute(&self, ctx: &mut ActivityContext<'_>) -> FlowResult<()>;
+
+    /// Child activities, in declaration order — introspection for
+    /// exporters (BPEL markup) and tooling. Composites override this;
+    /// basic activities keep the empty default.
+    fn children(&self) -> Vec<&dyn Activity> {
+        Vec::new()
+    }
+
+    /// Extra attributes for markup export (service names, SQL text, …).
+    fn export_attributes(&self) -> Vec<(String, String)> {
+        Vec::new()
+    }
+}
+
+/// Total number of activities in a tree (the node itself included).
+pub fn activity_count(activity: &dyn Activity) -> usize {
+    1 + activity
+        .children()
+        .iter()
+        .map(|c| activity_count(*c))
+        .sum::<usize>()
+}
+
+/// Execute `activity` with audit bookkeeping. All composite activities and
+/// the engine itself funnel through here.
+pub fn exec_activity(activity: &dyn Activity, ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+    ctx.audit.record(
+        ctx.depth,
+        activity.kind(),
+        activity.name(),
+        AuditStatus::Started,
+        "",
+    );
+    ctx.depth += 1;
+    let result = activity.execute(ctx);
+    ctx.depth -= 1;
+    match &result {
+        Ok(()) => ctx.audit.record(
+            ctx.depth,
+            activity.kind(),
+            activity.name(),
+            AuditStatus::Completed,
+            "",
+        ),
+        Err(FlowError::Exited) => ctx.audit.record(
+            ctx.depth,
+            activity.kind(),
+            activity.name(),
+            AuditStatus::Completed,
+            "exit requested",
+        ),
+        Err(e) => ctx.audit.record(
+            ctx.depth,
+            activity.kind(),
+            activity.name(),
+            AuditStatus::Faulted,
+            e.to_string(),
+        ),
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Probe;
+    impl Activity for Probe {
+        fn kind(&self) -> &str {
+            "probe"
+        }
+        fn name(&self) -> &str {
+            "p"
+        }
+        fn execute(&self, ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+            ctx.variables.set("ran", sqlkernel::Value::Bool(true));
+            ctx.note("probe", "p", "inside");
+            Ok(())
+        }
+    }
+
+    fn with_ctx(f: impl FnOnce(&mut ActivityContext<'_>)) -> (Variables, AuditTrail) {
+        let mut vars = Variables::new();
+        let services = ServiceRegistry::new();
+        let mut audit = AuditTrail::new();
+        let mut ext = Extensions::new();
+        {
+            let mut ctx = ActivityContext {
+                instance_id: 1,
+                variables: &mut vars,
+                services: &services,
+                audit: &mut audit,
+                mode: ExecutionMode::LongRunning,
+                extensions: &mut ext,
+                depth: 0,
+            };
+            f(&mut ctx);
+        }
+        (vars, audit)
+    }
+
+    #[test]
+    fn exec_activity_records_lifecycle() {
+        let (vars, audit) = with_ctx(|ctx| {
+            exec_activity(&Probe, ctx).unwrap();
+        });
+        assert_eq!(
+            vars.require_scalar("ran").unwrap(),
+            &sqlkernel::Value::Bool(true)
+        );
+        let kinds: Vec<_> = audit.events().iter().map(|e| e.status).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                AuditStatus::Started,
+                AuditStatus::Note,
+                AuditStatus::Completed
+            ]
+        );
+    }
+
+    struct Faulty;
+    impl Activity for Faulty {
+        fn kind(&self) -> &str {
+            "faulty"
+        }
+        fn name(&self) -> &str {
+            "f"
+        }
+        fn execute(&self, _ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+            Err(FlowError::fault("boom", "kaput"))
+        }
+    }
+
+    #[test]
+    fn faults_recorded() {
+        let (_, audit) = with_ctx(|ctx| {
+            assert!(exec_activity(&Faulty, ctx).is_err());
+            assert_eq!(ctx.depth, 0, "depth restored after fault");
+        });
+        assert_eq!(audit.with_status(AuditStatus::Faulted).count(), 1);
+    }
+
+    #[test]
+    fn extensions_slots() {
+        let mut ext = Extensions::new();
+        ext.insert(41u32);
+        assert_eq!(ext.get::<u32>(), Some(&41));
+        *ext.get_mut::<u32>().unwrap() += 1;
+        assert_eq!(ext.remove::<u32>(), Some(42));
+        assert!(ext.get::<u32>().is_none());
+        let v = ext.get_or_insert_with::<Vec<String>>(Vec::new);
+        v.push("x".into());
+        assert_eq!(ext.get::<Vec<String>>().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Execution audit trail.
+//!
+//! Every activity execution is recorded with nesting depth, so a finished
+//! instance can be rendered as the kind of annotated flow diagram the
+//! paper shows in Figures 4, 6 and 8.
+
+use std::fmt;
+
+/// Lifecycle status of one audit event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditStatus {
+    Started,
+    Completed,
+    Faulted,
+    /// Informational detail emitted mid-activity (SQL text, bound values…).
+    Note,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct AuditEvent {
+    /// Monotonic sequence number within the instance.
+    pub seq: u64,
+    /// Nesting depth of the activity.
+    pub depth: u32,
+    /// Activity kind (`sequence`, `sql`, `invoke`, …).
+    pub kind: String,
+    /// Activity display name.
+    pub name: String,
+    pub status: AuditStatus,
+    /// Free-form detail (SQL statement, fault text, …).
+    pub detail: String,
+}
+
+/// The ordered event log of one process instance.
+#[derive(Debug, Clone, Default)]
+pub struct AuditTrail {
+    events: Vec<AuditEvent>,
+}
+
+impl AuditTrail {
+    /// Empty trail.
+    pub fn new() -> AuditTrail {
+        AuditTrail::default()
+    }
+
+    /// Record an event; `depth` comes from the execution context.
+    pub fn record(
+        &mut self,
+        depth: u32,
+        kind: &str,
+        name: &str,
+        status: AuditStatus,
+        detail: impl Into<String>,
+    ) {
+        let seq = self.events.len() as u64;
+        self.events.push(AuditEvent {
+            seq,
+            depth,
+            kind: kind.to_string(),
+            name: name.to_string(),
+            status,
+            detail: detail.into(),
+        });
+    }
+
+    /// All events, in order.
+    pub fn events(&self) -> &[AuditEvent] {
+        &self.events
+    }
+
+    /// Events of a given status.
+    pub fn with_status(&self, status: AuditStatus) -> impl Iterator<Item = &AuditEvent> {
+        self.events.iter().filter(move |e| e.status == status)
+    }
+
+    /// How many activities of `kind` completed?
+    pub fn completed_count(&self, kind: &str) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind == kind && e.status == AuditStatus::Completed)
+            .count()
+    }
+
+    /// Did an activity with this name complete?
+    pub fn completed(&self, name: &str) -> bool {
+        self.events
+            .iter()
+            .any(|e| e.name == name && e.status == AuditStatus::Completed)
+    }
+
+    /// Render the trail as an indented text flow (Figures 4/6/8 output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            let marker = match e.status {
+                AuditStatus::Started => "▶",
+                AuditStatus::Completed => "✓",
+                AuditStatus::Faulted => "✗",
+                AuditStatus::Note => "·",
+            };
+            let indent = "  ".repeat(e.depth as usize);
+            out.push_str(&format!("{indent}{marker} [{}] {}", e.kind, e.name));
+            if !e.detail.is_empty() {
+                out.push_str(&format!(" — {}", e.detail));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Only the start events, rendered compactly — the activity order.
+    pub fn activity_order(&self) -> Vec<String> {
+        self.events
+            .iter()
+            .filter(|e| e.status == AuditStatus::Started)
+            .map(|e| e.name.clone())
+            .collect()
+    }
+}
+
+impl fmt::Display for AuditTrail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut t = AuditTrail::new();
+        t.record(0, "sequence", "main", AuditStatus::Started, "");
+        t.record(1, "sql", "SQL_1", AuditStatus::Started, "SELECT …");
+        t.record(1, "sql", "SQL_1", AuditStatus::Completed, "3 rows");
+        t.record(0, "sequence", "main", AuditStatus::Completed, "");
+        assert_eq!(t.events().len(), 4);
+        assert_eq!(t.completed_count("sql"), 1);
+        assert!(t.completed("SQL_1"));
+        assert!(!t.completed("SQL_2"));
+        assert_eq!(t.activity_order(), vec!["main", "SQL_1"]);
+    }
+
+    #[test]
+    fn render_indents_by_depth() {
+        let mut t = AuditTrail::new();
+        t.record(0, "sequence", "main", AuditStatus::Started, "");
+        t.record(
+            1,
+            "invoke",
+            "OrderFromSupplier",
+            AuditStatus::Faulted,
+            "down",
+        );
+        let s = t.render();
+        assert!(s.contains("▶ [sequence] main"));
+        assert!(s.contains("  ✗ [invoke] OrderFromSupplier — down"));
+    }
+
+    #[test]
+    fn sequence_numbers_monotonic() {
+        let mut t = AuditTrail::new();
+        for i in 0..5 {
+            t.record(0, "empty", &format!("e{i}"), AuditStatus::Note, "");
+        }
+        let seqs: Vec<u64> = t.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,1007 @@
+//! The built-in activity library: the BPEL-style structured and basic
+//! activities every vendor layer builds on.
+
+use sqlkernel::Value;
+use xmlval::{Path, XmlNode};
+
+use crate::activity::{exec_activity, Activity, ActivityContext};
+use crate::error::{FlowError, FlowResult};
+use crate::service::Message;
+use crate::value::{VarValue, Variables};
+
+/// A boolean condition over the executing context.
+pub type Condition = Box<dyn Fn(&ActivityContext<'_>) -> FlowResult<bool>>;
+
+/// A computed assign source over the variable pool.
+pub type ComputeFn = Box<dyn Fn(&Variables) -> FlowResult<VarValue>>;
+
+/// An embedded code body (snippets / code activities).
+pub type SnippetBody = Box<dyn Fn(&mut ActivityContext<'_>) -> FlowResult<()>>;
+
+/// Guard against runaway loops in misconfigured processes.
+const MAX_LOOP_ITERATIONS: u64 = 1_000_000;
+
+// ---------------------------------------------------------------- sequence
+
+/// Executes children strictly in order.
+pub struct Sequence {
+    name: String,
+    children: Vec<Box<dyn Activity>>,
+}
+
+impl Sequence {
+    /// Empty sequence.
+    pub fn new(name: impl Into<String>) -> Sequence {
+        Sequence {
+            name: name.into(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Builder: append a child.
+    pub fn then(mut self, child: impl Activity + 'static) -> Sequence {
+        self.children.push(Box::new(child));
+        self
+    }
+
+    /// Builder: append a boxed child.
+    pub fn then_boxed(mut self, child: Box<dyn Activity>) -> Sequence {
+        self.children.push(child);
+        self
+    }
+
+    /// Number of children.
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Is the sequence empty?
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+impl Activity for Sequence {
+    fn kind(&self) -> &str {
+        "sequence"
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn children(&self) -> Vec<&dyn Activity> {
+        self.children.iter().map(|c| c.as_ref()).collect()
+    }
+    fn execute(&self, ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+        for child in &self.children {
+            exec_activity(child.as_ref(), ctx)?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- flow
+
+/// Unordered branches. BPEL's `flow` is conceptually parallel; this
+/// engine runs branches one after another (they share one variable pool),
+/// which preserves the observable semantics for independent branches.
+pub struct Flow {
+    name: String,
+    branches: Vec<Box<dyn Activity>>,
+}
+
+impl Flow {
+    /// Empty flow.
+    pub fn new(name: impl Into<String>) -> Flow {
+        Flow {
+            name: name.into(),
+            branches: Vec::new(),
+        }
+    }
+
+    /// Builder: add a branch.
+    pub fn branch(mut self, child: impl Activity + 'static) -> Flow {
+        self.branches.push(Box::new(child));
+        self
+    }
+}
+
+impl Activity for Flow {
+    fn kind(&self) -> &str {
+        "flow"
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn children(&self) -> Vec<&dyn Activity> {
+        self.branches.iter().map(|c| c.as_ref()).collect()
+    }
+    fn execute(&self, ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+        for b in &self.branches {
+            exec_activity(b.as_ref(), ctx)?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- loops
+
+/// `while cond { body }`.
+pub struct While {
+    name: String,
+    cond: Condition,
+    body: Box<dyn Activity>,
+}
+
+impl While {
+    /// Construct a while loop.
+    pub fn new(
+        name: impl Into<String>,
+        cond: impl Fn(&ActivityContext<'_>) -> FlowResult<bool> + 'static,
+        body: impl Activity + 'static,
+    ) -> While {
+        While {
+            name: name.into(),
+            cond: Box::new(cond),
+            body: Box::new(body),
+        }
+    }
+}
+
+impl Activity for While {
+    fn kind(&self) -> &str {
+        "while"
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn children(&self) -> Vec<&dyn Activity> {
+        vec![self.body.as_ref()]
+    }
+    fn execute(&self, ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+        let mut iterations = 0u64;
+        while (self.cond)(ctx)? {
+            exec_activity(self.body.as_ref(), ctx)?;
+            iterations += 1;
+            if iterations >= MAX_LOOP_ITERATIONS {
+                return Err(FlowError::Definition(format!(
+                    "while '{}' exceeded {MAX_LOOP_ITERATIONS} iterations",
+                    self.name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `repeat { body } until cond`.
+pub struct RepeatUntil {
+    name: String,
+    cond: Condition,
+    body: Box<dyn Activity>,
+}
+
+impl RepeatUntil {
+    /// Construct a repeat-until loop.
+    pub fn new(
+        name: impl Into<String>,
+        body: impl Activity + 'static,
+        cond: impl Fn(&ActivityContext<'_>) -> FlowResult<bool> + 'static,
+    ) -> RepeatUntil {
+        RepeatUntil {
+            name: name.into(),
+            cond: Box::new(cond),
+            body: Box::new(body),
+        }
+    }
+}
+
+impl Activity for RepeatUntil {
+    fn kind(&self) -> &str {
+        "repeatUntil"
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn children(&self) -> Vec<&dyn Activity> {
+        vec![self.body.as_ref()]
+    }
+    fn execute(&self, ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+        let mut iterations = 0u64;
+        loop {
+            exec_activity(self.body.as_ref(), ctx)?;
+            if (self.cond)(ctx)? {
+                return Ok(());
+            }
+            iterations += 1;
+            if iterations >= MAX_LOOP_ITERATIONS {
+                return Err(FlowError::Definition(format!(
+                    "repeatUntil '{}' exceeded {MAX_LOOP_ITERATIONS} iterations",
+                    self.name
+                )));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- if
+
+/// Two-way conditional.
+pub struct If {
+    name: String,
+    cond: Condition,
+    then_branch: Box<dyn Activity>,
+    else_branch: Option<Box<dyn Activity>>,
+}
+
+impl If {
+    /// `if cond { then }`.
+    pub fn new(
+        name: impl Into<String>,
+        cond: impl Fn(&ActivityContext<'_>) -> FlowResult<bool> + 'static,
+        then_branch: impl Activity + 'static,
+    ) -> If {
+        If {
+            name: name.into(),
+            cond: Box::new(cond),
+            then_branch: Box::new(then_branch),
+            else_branch: None,
+        }
+    }
+
+    /// Builder: add an else branch.
+    pub fn otherwise(mut self, else_branch: impl Activity + 'static) -> If {
+        self.else_branch = Some(Box::new(else_branch));
+        self
+    }
+}
+
+impl Activity for If {
+    fn kind(&self) -> &str {
+        "if"
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn children(&self) -> Vec<&dyn Activity> {
+        let mut out: Vec<&dyn Activity> = vec![self.then_branch.as_ref()];
+        if let Some(e) = &self.else_branch {
+            out.push(e.as_ref());
+        }
+        out
+    }
+    fn execute(&self, ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+        if (self.cond)(ctx)? {
+            exec_activity(self.then_branch.as_ref(), ctx)
+        } else if let Some(e) = &self.else_branch {
+            exec_activity(e.as_ref(), ctx)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------- assign
+
+/// Where an assign copy reads from.
+pub enum CopyFrom {
+    /// A constant.
+    Literal(VarValue),
+    /// Another variable, wholesale.
+    Variable(String),
+    /// The string value of a path selection inside an XML variable —
+    /// this is the BPEL-specific XPath access of Table II.
+    Path { variable: String, path: Path },
+    /// The first element selected by a path, cloned as an XML value.
+    PathNode { variable: String, path: Path },
+    /// Computed from the variable pool (expression escape hatch).
+    Compute(ComputeFn),
+}
+
+impl CopyFrom {
+    /// Shorthand for a path source.
+    pub fn path(variable: impl Into<String>, path: &str) -> FlowResult<CopyFrom> {
+        Ok(CopyFrom::Path {
+            variable: variable.into(),
+            path: Path::parse(path)?,
+        })
+    }
+
+    /// Read the source value from the variable pool.
+    pub fn read(&self, vars: &Variables) -> FlowResult<VarValue> {
+        match self {
+            CopyFrom::Literal(v) => Ok(v.clone()),
+            CopyFrom::Variable(name) => Ok(vars.require(name)?.clone()),
+            CopyFrom::Path { variable, path } => {
+                let xml = vars.require_xml(variable)?;
+                let text = path.select_text(xml).ok_or_else(|| {
+                    FlowError::Variable(format!(
+                        "path '{path}' selected nothing in variable '{variable}'"
+                    ))
+                })?;
+                Ok(VarValue::Scalar(Value::Text(text)))
+            }
+            CopyFrom::PathNode { variable, path } => {
+                let xml = vars.require_xml(variable)?;
+                let el = xml
+                    .as_element()
+                    .and_then(|e| path.select_elements(e).into_iter().next())
+                    .ok_or_else(|| {
+                        FlowError::Variable(format!(
+                            "path '{path}' selected no element in variable '{variable}'"
+                        ))
+                    })?;
+                Ok(VarValue::Xml(XmlNode::Element(el.clone())))
+            }
+            CopyFrom::Compute(f) => f(vars),
+        }
+    }
+}
+
+/// Where an assign copy writes to.
+pub enum CopyTo {
+    /// A variable, wholesale.
+    Variable(String),
+    /// The text content of elements selected by a path inside an XML
+    /// variable (covers the UPDATE half of the Tuple IUD pattern).
+    Path { variable: String, path: Path },
+}
+
+impl CopyTo {
+    /// Shorthand for a path target.
+    pub fn path(variable: impl Into<String>, path: &str) -> FlowResult<CopyTo> {
+        Ok(CopyTo::Path {
+            variable: variable.into(),
+            path: Path::parse(path)?,
+        })
+    }
+
+    /// Write `value` to the target.
+    pub fn write(&self, vars: &mut Variables, value: VarValue) -> FlowResult<()> {
+        match self {
+            CopyTo::Variable(name) => {
+                vars.set(name.clone(), value);
+                Ok(())
+            }
+            CopyTo::Path { variable, path } => {
+                let text = match &value {
+                    VarValue::Scalar(v) => v.render(),
+                    VarValue::Xml(x) => x.text_content(),
+                    VarValue::Null => String::new(),
+                    VarValue::Opaque(_) => {
+                        return Err(FlowError::Variable(
+                            "cannot write an opaque handle through a path".into(),
+                        ))
+                    }
+                };
+                let xml = vars.require_xml_mut(variable)?;
+                let root = xml.as_element_mut().ok_or_else(|| {
+                    FlowError::Variable(format!("variable '{variable}' is not an element"))
+                })?;
+                let chains = path.select_chains(root)?;
+                if chains.is_empty() {
+                    return Err(FlowError::Variable(format!(
+                        "path '{path}' selected nothing in variable '{variable}'"
+                    )));
+                }
+                for chain in chains {
+                    if let Some(el) = xmlval::path::element_by_chain_mut(root, &chain) {
+                        el.set_text(text.clone());
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One copy rule inside an assign.
+pub struct Copy {
+    pub from: CopyFrom,
+    pub to: CopyTo,
+}
+
+/// The BPEL `assign` activity: an ordered list of copies.
+pub struct Assign {
+    name: String,
+    copies: Vec<Copy>,
+}
+
+impl Assign {
+    /// Empty assign.
+    pub fn new(name: impl Into<String>) -> Assign {
+        Assign {
+            name: name.into(),
+            copies: Vec::new(),
+        }
+    }
+
+    /// Builder: add a copy rule.
+    pub fn copy(mut self, from: CopyFrom, to: CopyTo) -> Assign {
+        self.copies.push(Copy { from, to });
+        self
+    }
+}
+
+impl Activity for Assign {
+    fn kind(&self) -> &str {
+        "assign"
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn execute(&self, ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+        for c in &self.copies {
+            let v = c.from.read(ctx.variables)?;
+            c.to.write(ctx.variables, v)?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- invoke
+
+/// Calls a registered service, mapping variables into message parts and
+/// reply parts back into variables.
+pub struct Invoke {
+    name: String,
+    service: String,
+    inputs: Vec<(String, CopyFrom)>,
+    outputs: Vec<(String, String)>,
+}
+
+impl Invoke {
+    /// Invoke `service`.
+    pub fn new(name: impl Into<String>, service: impl Into<String>) -> Invoke {
+        Invoke {
+            name: name.into(),
+            service: service.into(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Builder: bind an input part.
+    pub fn input(mut self, part: impl Into<String>, from: CopyFrom) -> Invoke {
+        self.inputs.push((part.into(), from));
+        self
+    }
+
+    /// Builder: route a reply part into a variable.
+    pub fn output(mut self, part: impl Into<String>, variable: impl Into<String>) -> Invoke {
+        self.outputs.push((part.into(), variable.into()));
+        self
+    }
+}
+
+impl Activity for Invoke {
+    fn kind(&self) -> &str {
+        "invoke"
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn export_attributes(&self) -> Vec<(String, String)> {
+        vec![("partnerService".into(), self.service.clone())]
+    }
+    fn execute(&self, ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+        let mut msg = Message::new();
+        for (part, from) in &self.inputs {
+            msg.set_part(part.clone(), from.read(ctx.variables)?);
+        }
+        ctx.note(
+            "invoke",
+            &self.name,
+            format!("calling service '{}'", self.service),
+        );
+        let reply = ctx.services.invoke(&self.service, &msg)?;
+        for (part, variable) in &self.outputs {
+            let v = reply.part(part).cloned().ok_or_else(|| {
+                FlowError::Service(format!(
+                    "service '{}' reply missing part '{part}'",
+                    self.service
+                ))
+            })?;
+            ctx.variables.set(variable.clone(), v);
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------- simple
+
+/// Does nothing (useful as a placeholder branch).
+pub struct Empty {
+    name: String,
+}
+
+impl Empty {
+    /// Construct.
+    pub fn new(name: impl Into<String>) -> Empty {
+        Empty { name: name.into() }
+    }
+}
+
+impl Activity for Empty {
+    fn kind(&self) -> &str {
+        "empty"
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn execute(&self, _ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+        Ok(())
+    }
+}
+
+/// Raises a named fault.
+pub struct Throw {
+    name: String,
+    fault: String,
+    message: String,
+}
+
+impl Throw {
+    /// Construct.
+    pub fn new(
+        name: impl Into<String>,
+        fault: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Throw {
+        Throw {
+            name: name.into(),
+            fault: fault.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl Activity for Throw {
+    fn kind(&self) -> &str {
+        "throw"
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn export_attributes(&self) -> Vec<(String, String)> {
+        vec![
+            ("faultName".into(), self.fault.clone()),
+            ("faultMessage".into(), self.message.clone()),
+        ]
+    }
+    fn execute(&self, _ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+        Err(FlowError::fault(self.fault.clone(), self.message.clone()))
+    }
+}
+
+/// Terminates the instance immediately (BPEL `exit`).
+pub struct Exit {
+    name: String,
+}
+
+impl Exit {
+    /// Construct.
+    pub fn new(name: impl Into<String>) -> Exit {
+        Exit { name: name.into() }
+    }
+}
+
+impl Activity for Exit {
+    fn kind(&self) -> &str {
+        "exit"
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn execute(&self, _ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+        Err(FlowError::Exited)
+    }
+}
+
+/// Embedded native code — the analog of IBM's Java-Snippets and WF's code
+/// activities. The `kind` label is configurable so vendor layers can
+/// surface it as `java-snippet` or `code` in audit trails.
+pub struct Snippet {
+    name: String,
+    kind: String,
+    body: SnippetBody,
+}
+
+impl Snippet {
+    /// A snippet with kind `"snippet"`.
+    pub fn new(
+        name: impl Into<String>,
+        body: impl Fn(&mut ActivityContext<'_>) -> FlowResult<()> + 'static,
+    ) -> Snippet {
+        Snippet::with_kind(name, "snippet", body)
+    }
+
+    /// A snippet with a custom kind label.
+    pub fn with_kind(
+        name: impl Into<String>,
+        kind: impl Into<String>,
+        body: impl Fn(&mut ActivityContext<'_>) -> FlowResult<()> + 'static,
+    ) -> Snippet {
+        Snippet {
+            name: name.into(),
+            kind: kind.into(),
+            body: Box::new(body),
+        }
+    }
+}
+
+impl Activity for Snippet {
+    fn kind(&self) -> &str {
+        &self.kind
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn execute(&self, ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+        (self.body)(ctx)
+    }
+}
+
+// ---------------------------------------------------------------- scope
+
+/// A fault handler attached to a scope.
+pub struct FaultHandler {
+    /// Fault name to catch; `None` is catch-all.
+    pub catches: Option<String>,
+    pub body: Box<dyn Activity>,
+}
+
+/// A scope with fault handlers. On a caught fault, the fault's name and
+/// message are exposed as `$faultName` / `$faultMessage` variables while
+/// the handler runs.
+pub struct Scope {
+    name: String,
+    body: Box<dyn Activity>,
+    handlers: Vec<FaultHandler>,
+}
+
+impl Scope {
+    /// Scope around `body`.
+    pub fn new(name: impl Into<String>, body: impl Activity + 'static) -> Scope {
+        Scope {
+            name: name.into(),
+            body: Box::new(body),
+            handlers: Vec::new(),
+        }
+    }
+
+    /// Builder: catch a specific fault.
+    pub fn catch(mut self, fault: impl Into<String>, handler: impl Activity + 'static) -> Scope {
+        self.handlers.push(FaultHandler {
+            catches: Some(fault.into()),
+            body: Box::new(handler),
+        });
+        self
+    }
+
+    /// Builder: catch any fault.
+    pub fn catch_all(mut self, handler: impl Activity + 'static) -> Scope {
+        self.handlers.push(FaultHandler {
+            catches: None,
+            body: Box::new(handler),
+        });
+        self
+    }
+}
+
+impl Activity for Scope {
+    fn kind(&self) -> &str {
+        "scope"
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn children(&self) -> Vec<&dyn Activity> {
+        let mut out: Vec<&dyn Activity> = vec![self.body.as_ref()];
+        out.extend(self.handlers.iter().map(|h| h.body.as_ref()));
+        out
+    }
+    fn execute(&self, ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+        match exec_activity(self.body.as_ref(), ctx) {
+            Ok(()) => Ok(()),
+            Err(FlowError::Exited) => Err(FlowError::Exited),
+            Err(e) => {
+                let (fault_name, fault_message) = match &e {
+                    FlowError::Fault { name, message } => (name.clone(), message.clone()),
+                    other => ("systemFault".to_string(), other.to_string()),
+                };
+                let handler = self.handlers.iter().find(|h| match &h.catches {
+                    Some(f) => *f == fault_name,
+                    None => true,
+                });
+                match handler {
+                    Some(h) => {
+                        ctx.variables
+                            .set("$faultName", Value::text(fault_name.clone()));
+                        ctx.variables
+                            .set("$faultMessage", Value::text(fault_message));
+                        exec_activity(h.body.as_ref(), ctx)
+                    }
+                    None => Err(e),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::process::ProcessDefinition;
+    use xmlval::Element;
+
+    fn run(root: impl Activity + 'static) -> crate::process::CompletedInstance {
+        let engine = Engine::new();
+        let def = ProcessDefinition::new("test", root);
+        engine.run(&def, Variables::new()).unwrap()
+    }
+
+    fn set_var(name: &str, v: impl Into<VarValue> + Clone + 'static) -> Snippet {
+        let name = name.to_string();
+        Snippet::new(format!("set {name}"), move |ctx| {
+            ctx.variables.set(name.clone(), v.clone().into());
+            Ok(())
+        })
+    }
+
+    #[test]
+    fn sequence_runs_in_order() {
+        let inst = run(Sequence::new("s")
+            .then(set_var("a", Value::Int(1)))
+            .then(Snippet::new("check", |ctx| {
+                ctx.variables.require_scalar("a")?;
+                ctx.variables.set("b", Value::Int(2));
+                Ok(())
+            })));
+        assert!(inst.is_completed());
+        assert_eq!(inst.variables.require_scalar("b").unwrap(), &Value::Int(2));
+    }
+
+    #[test]
+    fn while_loop_counts() {
+        let body = Snippet::new("inc", |ctx| {
+            let v = ctx.variables.require_scalar("i")?.as_i64().unwrap();
+            ctx.variables.set("i", Value::Int(v + 1));
+            Ok(())
+        });
+        let root = Sequence::new("s")
+            .then(set_var("i", Value::Int(0)))
+            .then(While::new(
+                "w",
+                |ctx: &ActivityContext<'_>| {
+                    Ok(ctx.variables.require_scalar("i")?.as_i64().unwrap() < 5)
+                },
+                body,
+            ));
+        let inst = run(root);
+        assert_eq!(inst.variables.require_scalar("i").unwrap(), &Value::Int(5));
+    }
+
+    #[test]
+    fn repeat_until_runs_at_least_once() {
+        let root = Sequence::new("s")
+            .then(set_var("n", Value::Int(0)))
+            .then(RepeatUntil::new(
+                "r",
+                Snippet::new("inc", |ctx| {
+                    let v = ctx.variables.require_scalar("n")?.as_i64().unwrap();
+                    ctx.variables.set("n", Value::Int(v + 1));
+                    Ok(())
+                }),
+                |ctx: &ActivityContext<'_>| {
+                    Ok(ctx.variables.require_scalar("n")?.as_i64().unwrap() >= 1)
+                },
+            ));
+        let inst = run(root);
+        assert_eq!(inst.variables.require_scalar("n").unwrap(), &Value::Int(1));
+    }
+
+    #[test]
+    fn if_branches() {
+        let root = Sequence::new("s").then(set_var("x", Value::Int(10))).then(
+            If::new(
+                "big?",
+                |ctx: &ActivityContext<'_>| {
+                    Ok(ctx.variables.require_scalar("x")?.as_i64().unwrap() > 5)
+                },
+                set_var("r", Value::text("big")),
+            )
+            .otherwise(set_var("r", Value::text("small"))),
+        );
+        let inst = run(root);
+        assert_eq!(
+            inst.variables.require_scalar("r").unwrap(),
+            &Value::text("big")
+        );
+    }
+
+    #[test]
+    fn assign_literal_variable_and_paths() {
+        let doc = XmlNode::Element(
+            Element::new("order")
+                .with_text_child("item", "widget")
+                .with_text_child("qty", "5"),
+        );
+        let root = Sequence::new("s").then(set_var("doc", doc)).then(
+            Assign::new("a")
+                .copy(
+                    CopyFrom::Literal(VarValue::Scalar(Value::Int(42))),
+                    CopyTo::Variable("answer".into()),
+                )
+                .copy(
+                    CopyFrom::path("doc", "/order/item").unwrap(),
+                    CopyTo::Variable("item".into()),
+                )
+                .copy(
+                    CopyFrom::Literal(VarValue::Scalar(Value::Int(9))),
+                    CopyTo::path("doc", "/order/qty").unwrap(),
+                ),
+        );
+        let inst = run(root);
+        assert_eq!(
+            inst.variables.require_scalar("answer").unwrap(),
+            &Value::Int(42)
+        );
+        assert_eq!(
+            inst.variables.require_scalar("item").unwrap(),
+            &Value::text("widget")
+        );
+        assert_eq!(
+            Path::parse("/order/qty")
+                .unwrap()
+                .select_text(inst.variables.require_xml("doc").unwrap())
+                .as_deref(),
+            Some("9")
+        );
+    }
+
+    #[test]
+    fn assign_path_node_clones_subtree() {
+        let doc = XmlNode::Element(
+            Element::new("rows")
+                .with_child(XmlNode::Element(
+                    Element::new("row").with_text_child("a", "1"),
+                ))
+                .with_child(XmlNode::Element(
+                    Element::new("row").with_text_child("a", "2"),
+                )),
+        );
+        let root = Sequence::new("s")
+            .then(set_var("rows", doc))
+            .then(Assign::new("a").copy(
+                CopyFrom::PathNode {
+                    variable: "rows".into(),
+                    path: Path::parse("/rows/row[2]").unwrap(),
+                },
+                CopyTo::Variable("current".into()),
+            ));
+        let inst = run(root);
+        let cur = inst.variables.require_xml("current").unwrap();
+        assert_eq!(cur.text_content(), "2");
+    }
+
+    #[test]
+    fn assign_missing_path_faults() {
+        let root = Sequence::new("s")
+            .then(set_var("doc", XmlNode::Element(Element::new("a"))))
+            .then(Assign::new("a").copy(
+                CopyFrom::path("doc", "/a/missing").unwrap(),
+                CopyTo::Variable("x".into()),
+            ));
+        let engine = Engine::new();
+        let def = ProcessDefinition::new("t", root);
+        let inst = engine.run(&def, Variables::new()).unwrap();
+        assert!(inst.is_faulted());
+    }
+
+    #[test]
+    fn invoke_maps_parts() {
+        let mut engine = Engine::new();
+        engine.services_mut().register_fn("double", |input| {
+            let v = input.scalar_part("x")?.as_i64().unwrap();
+            Ok(Message::new().with_part("y", Value::Int(v * 2)))
+        });
+        let root = Sequence::new("s").then(set_var("n", Value::Int(21))).then(
+            Invoke::new("call", "double")
+                .input("x", CopyFrom::Variable("n".into()))
+                .output("y", "result"),
+        );
+        let def = ProcessDefinition::new("t", root);
+        let inst = engine.run(&def, Variables::new()).unwrap();
+        assert_eq!(
+            inst.variables.require_scalar("result").unwrap(),
+            &Value::Int(42)
+        );
+    }
+
+    #[test]
+    fn invoke_unknown_service_faults_instance() {
+        let root = Invoke::new("call", "missing");
+        let inst = run(root);
+        assert!(inst.is_faulted());
+    }
+
+    #[test]
+    fn scope_catches_named_fault() {
+        let root = Scope::new(
+            "guard",
+            Sequence::new("b").then(Throw::new("t", "orderFault", "no stock")),
+        )
+        .catch("orderFault", set_var("handled", Value::Bool(true)));
+        let inst = run(root);
+        assert!(inst.is_completed());
+        assert_eq!(
+            inst.variables.require_scalar("handled").unwrap(),
+            &Value::Bool(true)
+        );
+        assert_eq!(
+            inst.variables.require_scalar("$faultName").unwrap(),
+            &Value::text("orderFault")
+        );
+    }
+
+    #[test]
+    fn scope_catch_all_handles_system_faults() {
+        let root = Scope::new(
+            "guard",
+            Snippet::new("bad", |ctx| {
+                ctx.variables.require("no-such-var")?;
+                Ok(())
+            }),
+        )
+        .catch_all(set_var("handled", Value::Bool(true)));
+        let inst = run(root);
+        assert!(inst.is_completed());
+        assert_eq!(
+            inst.variables.require_scalar("$faultName").unwrap(),
+            &Value::text("systemFault")
+        );
+    }
+
+    #[test]
+    fn scope_without_matching_handler_rethrows() {
+        let root = Scope::new("guard", Throw::new("t", "a", "")).catch("b", Empty::new("nope"));
+        let inst = run(root);
+        assert!(inst.is_faulted());
+    }
+
+    #[test]
+    fn exit_terminates_instance_cleanly() {
+        let root = Sequence::new("s")
+            .then(set_var("before", Value::Bool(true)))
+            .then(Exit::new("done"))
+            .then(set_var("after", Value::Bool(true)));
+        let inst = run(root);
+        assert!(inst.is_exited());
+        assert!(inst.variables.contains("before"));
+        assert!(!inst.variables.contains("after"));
+    }
+
+    #[test]
+    fn exit_passes_through_scope_handlers() {
+        let root = Scope::new("guard", Exit::new("bye")).catch_all(Empty::new("never"));
+        let inst = run(root);
+        assert!(inst.is_exited());
+    }
+
+    #[test]
+    fn flow_runs_all_branches() {
+        let root = Flow::new("f")
+            .branch(set_var("a", Value::Int(1)))
+            .branch(set_var("b", Value::Int(2)));
+        let inst = run(root);
+        assert!(inst.variables.contains("a") && inst.variables.contains("b"));
+    }
+
+    #[test]
+    fn empty_does_nothing() {
+        let inst = run(Empty::new("e"));
+        assert!(inst.is_completed());
+        assert!(inst.audit.completed("e"));
+    }
+}

@@ -1,0 +1,198 @@
+//! The process engine: creates instances, runs setup hooks, executes the
+//! root activity, runs cleanup hooks, and classifies the outcome.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::activity::{exec_activity, ActivityContext, Extensions};
+use crate::audit::{AuditStatus, AuditTrail};
+use crate::error::{FlowError, FlowResult};
+use crate::process::{CompletedInstance, Outcome, ProcessDefinition};
+use crate::service::ServiceRegistry;
+use crate::value::Variables;
+
+/// The workflow engine. Holds the service registry (function layer) and
+/// hands out instance ids; process state itself is per-run.
+#[derive(Debug, Default)]
+pub struct Engine {
+    services: ServiceRegistry,
+    instance_counter: AtomicU64,
+}
+
+impl Engine {
+    /// Engine with an empty service registry.
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// Engine with a pre-populated registry.
+    pub fn with_services(services: ServiceRegistry) -> Engine {
+        Engine {
+            services,
+            instance_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Mutable access to the registry (registration phase).
+    pub fn services_mut(&mut self) -> &mut ServiceRegistry {
+        &mut self.services
+    }
+
+    /// Shared access to the registry.
+    pub fn services(&self) -> &ServiceRegistry {
+        &self.services
+    }
+
+    /// Run one instance of `def` starting from `initial` variables.
+    ///
+    /// Returns `Err` only for infrastructure failures in *setup hooks* —
+    /// faults during normal execution are reported through
+    /// [`CompletedInstance::outcome`] so callers always get the audit
+    /// trail and final variable state.
+    pub fn run(
+        &self,
+        def: &ProcessDefinition,
+        initial: Variables,
+    ) -> FlowResult<CompletedInstance> {
+        let instance_id = self.instance_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut variables = initial;
+        let mut audit = AuditTrail::new();
+        let mut extensions = Extensions::new();
+
+        audit.record(
+            0,
+            "process",
+            def.name(),
+            AuditStatus::Started,
+            format!("instance {instance_id}, mode {:?}", def.mode()),
+        );
+
+        let mut ctx = ActivityContext {
+            instance_id,
+            variables: &mut variables,
+            services: &self.services,
+            audit: &mut audit,
+            mode: def.mode(),
+            extensions: &mut extensions,
+            depth: 1,
+        };
+
+        for hook in def.setup_hooks() {
+            hook(&mut ctx)?;
+        }
+
+        let result = exec_activity(def.root(), &mut ctx);
+
+        // Cleanup hooks always run; their faults only surface when the
+        // body itself succeeded.
+        let mut cleanup_fault: Option<FlowError> = None;
+        for hook in def.cleanup_hooks() {
+            if let Err(e) = hook(&mut ctx) {
+                cleanup_fault.get_or_insert(e);
+            }
+        }
+
+        let outcome = match result {
+            Ok(()) => match cleanup_fault {
+                None => Outcome::Completed,
+                Some(e) => Outcome::Faulted(e),
+            },
+            Err(FlowError::Exited) => Outcome::Exited,
+            Err(e) => Outcome::Faulted(e),
+        };
+
+        let status = match &outcome {
+            Outcome::Completed | Outcome::Exited => AuditStatus::Completed,
+            Outcome::Faulted(_) => AuditStatus::Faulted,
+        };
+        audit.record(0, "process", def.name(), status, format!("{outcome:?}"));
+
+        Ok(CompletedInstance {
+            instance_id,
+            process_name: def.name().to_string(),
+            outcome,
+            variables,
+            audit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtins::{Empty, Snippet, Throw};
+    use sqlkernel::Value;
+
+    #[test]
+    fn instance_ids_increase() {
+        let engine = Engine::new();
+        let def = ProcessDefinition::new("p", Empty::new("e"));
+        let a = engine.run(&def, Variables::new()).unwrap();
+        let b = engine.run(&def, Variables::new()).unwrap();
+        assert!(b.instance_id > a.instance_id);
+    }
+
+    #[test]
+    fn setup_and_cleanup_hooks_run() {
+        let engine = Engine::new();
+        let def = ProcessDefinition::new("p", Empty::new("e"))
+            .with_setup(|ctx| {
+                ctx.variables.set("setup", Value::Bool(true));
+                Ok(())
+            })
+            .with_cleanup(|ctx| {
+                ctx.variables.set("cleanup", Value::Bool(true));
+                Ok(())
+            });
+        let inst = engine.run(&def, Variables::new()).unwrap();
+        assert!(inst.variables.contains("setup"));
+        assert!(inst.variables.contains("cleanup"));
+    }
+
+    #[test]
+    fn cleanup_runs_even_on_fault() {
+        let engine = Engine::new();
+        let def = ProcessDefinition::new("p", Throw::new("t", "f", "m")).with_cleanup(|ctx| {
+            ctx.variables.set("cleanup", Value::Bool(true));
+            Ok(())
+        });
+        let inst = engine.run(&def, Variables::new()).unwrap();
+        assert!(inst.is_faulted());
+        assert!(inst.variables.contains("cleanup"));
+    }
+
+    #[test]
+    fn cleanup_fault_surfaces_when_body_succeeds() {
+        let engine = Engine::new();
+        let def = ProcessDefinition::new("p", Empty::new("e"))
+            .with_cleanup(|_| Err(FlowError::Variable("cleanup broke".into())));
+        let inst = engine.run(&def, Variables::new()).unwrap();
+        assert!(inst.is_faulted());
+    }
+
+    #[test]
+    fn initial_variables_visible() {
+        let engine = Engine::new();
+        let def = ProcessDefinition::new(
+            "p",
+            Snippet::new("read", |ctx| {
+                ctx.variables.require_scalar("seed")?;
+                Ok(())
+            }),
+        );
+        let mut vars = Variables::new();
+        vars.set("seed", Value::Int(7));
+        let inst = engine.run(&def, vars).unwrap();
+        assert!(inst.is_completed());
+    }
+
+    #[test]
+    fn audit_brackets_process() {
+        let engine = Engine::new();
+        let def = ProcessDefinition::new("proc", Empty::new("e"));
+        let inst = engine.run(&def, Variables::new()).unwrap();
+        let events = inst.audit.events();
+        assert_eq!(events.first().unwrap().kind, "process");
+        assert_eq!(events.last().unwrap().kind, "process");
+        assert_eq!(events.last().unwrap().status, AuditStatus::Completed);
+    }
+}

@@ -1,0 +1,98 @@
+//! Workflow fault model.
+
+use std::fmt;
+
+/// Convenient alias.
+pub type FlowResult<T> = Result<T, FlowError>;
+
+/// Faults and failures that can occur during process execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// A named fault, thrown explicitly (`Throw`) or by an activity.
+    /// Caught by `Scope` fault handlers.
+    Fault { name: String, message: String },
+    /// A variable problem: unknown name, wrong type, bad path.
+    Variable(String),
+    /// A service invocation problem: unknown service or service failure.
+    Service(String),
+    /// The process definition itself is invalid.
+    Definition(String),
+    /// An embedded SQL operation failed.
+    Sql(sqlkernel::SqlError),
+    /// An XML value operation failed.
+    Xml(xmlval::XmlError),
+    /// The `Exit` activity terminated the instance. Not a fault — the
+    /// engine converts it into a normal (exited) completion.
+    Exited,
+}
+
+impl FlowError {
+    /// Construct a named fault.
+    pub fn fault(name: impl Into<String>, message: impl Into<String>) -> FlowError {
+        FlowError::Fault {
+            name: name.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Machine-readable class for assertions.
+    pub fn class(&self) -> &'static str {
+        match self {
+            FlowError::Fault { .. } => "fault",
+            FlowError::Variable(_) => "variable",
+            FlowError::Service(_) => "service",
+            FlowError::Definition(_) => "definition",
+            FlowError::Sql(_) => "sql",
+            FlowError::Xml(_) => "xml",
+            FlowError::Exited => "exited",
+        }
+    }
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Fault { name, message } => write!(f, "fault '{name}': {message}"),
+            FlowError::Variable(m) => write!(f, "variable error: {m}"),
+            FlowError::Service(m) => write!(f, "service error: {m}"),
+            FlowError::Definition(m) => write!(f, "definition error: {m}"),
+            FlowError::Sql(e) => write!(f, "sql error: {e}"),
+            FlowError::Xml(e) => write!(f, "xml error: {e}"),
+            FlowError::Exited => write!(f, "process exited"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<sqlkernel::SqlError> for FlowError {
+    fn from(e: sqlkernel::SqlError) -> Self {
+        FlowError::Sql(e)
+    }
+}
+
+impl From<xmlval::XmlError> for FlowError {
+    fn from(e: xmlval::XmlError) -> Self {
+        FlowError::Xml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_construction_and_display() {
+        let f = FlowError::fault("orderFailed", "supplier unavailable");
+        assert_eq!(f.class(), "fault");
+        assert!(f.to_string().contains("orderFailed"));
+    }
+
+    #[test]
+    fn conversions() {
+        let s: FlowError = sqlkernel::SqlError::Runtime("x".into()).into();
+        assert_eq!(s.class(), "sql");
+        let x: FlowError = xmlval::XmlError::Parse("y".into()).into();
+        assert_eq!(x.class(), "xml");
+    }
+}

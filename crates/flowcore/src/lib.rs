@@ -1,0 +1,92 @@
+//! `flowcore` — a BPEL-style workflow engine.
+//!
+//! The paper's products share a *two-level programming model* (Sec. II):
+//! a **function layer** of executable components (Web services) and a
+//! **choreography layer** that orders them. `flowcore` reproduces both:
+//!
+//! * [`service::ServiceRegistry`] — the function layer; anything
+//!   implementing [`service::Service`] is invocable,
+//! * [`activity::Activity`] — the choreography layer's extensible
+//!   activity model, with the BPEL built-ins in [`builtins`]:
+//!   `Sequence`, `Flow`, `While`, `RepeatUntil`, `If`, `Assign` (with
+//!   XPath-style copy sources/targets), `Invoke`, `Scope` with fault
+//!   handlers, `Throw`, `Exit`, `Empty`, and `Snippet` (the Java-Snippet
+//!   / code-activity analog),
+//! * [`engine::Engine`] — instance execution with setup/cleanup hooks
+//!   (the substrate for IBM BIS preparation/cleanup statements),
+//!   long-running vs short-running modes, and a full [`audit::AuditTrail`]
+//!   from which the paper's Figure 4/6/8 flow renderings are generated.
+//!
+//! The vendor crates (`bis`, `wf`, `soa`) each add their SQL-specific
+//! activity types on top of this engine — exactly the three integration
+//! styles the paper contrasts.
+//!
+//! ```
+//! use flowcore::prelude::*;
+//! use sqlkernel::Value;
+//!
+//! let mut engine = Engine::new();
+//! engine.services_mut().register_fn("greet", |input| {
+//!     let name = input.scalar_part("name")?.clone();
+//!     Ok(Message::new().with_part("greeting", Value::Text(format!("hello {name}"))))
+//! });
+//!
+//! let process = ProcessDefinition::new(
+//!     "quickstart",
+//!     Sequence::new("main")
+//!         .then(Assign::new("init").copy(
+//!             CopyFrom::Literal(Value::text("workflow").into()),
+//!             CopyTo::Variable("name".into()),
+//!         ))
+//!         .then(
+//!             Invoke::new("call", "greet")
+//!                 .input("name", CopyFrom::Variable("name".into()))
+//!                 .output("greeting", "out"),
+//!         ),
+//! );
+//!
+//! let instance = engine.run(&process, Variables::new()).unwrap();
+//! assert!(instance.is_completed());
+//! assert_eq!(
+//!     instance.variables.require_scalar("out").unwrap(),
+//!     &Value::text("hello workflow"),
+//! );
+//! ```
+
+pub mod activity;
+pub mod audit;
+pub mod bpel;
+pub mod builtins;
+pub mod engine;
+pub mod error;
+pub mod process;
+pub mod service;
+pub mod value;
+
+pub use activity::{
+    activity_count, exec_activity, Activity, ActivityContext, ExecutionMode, Extensions,
+};
+pub use audit::{AuditEvent, AuditStatus, AuditTrail};
+pub use bpel::{export_bpel, extension_activity_count};
+pub use engine::Engine;
+pub use error::{FlowError, FlowResult};
+pub use process::{CompletedInstance, Outcome, ProcessDefinition};
+pub use service::{Message, Service, ServiceRegistry};
+pub use value::{OpaqueValue, VarValue, Variables};
+
+/// Common imports for building processes.
+pub mod prelude {
+    pub use crate::activity::{
+        exec_activity, Activity, ActivityContext, ExecutionMode, Extensions,
+    };
+    pub use crate::audit::{AuditStatus, AuditTrail};
+    pub use crate::builtins::{
+        Assign, Condition, Copy, CopyFrom, CopyTo, Empty, Exit, FaultHandler, Flow, If, Invoke,
+        RepeatUntil, Scope, Sequence, Snippet, Throw, While,
+    };
+    pub use crate::engine::Engine;
+    pub use crate::error::{FlowError, FlowResult};
+    pub use crate::process::{CompletedInstance, Outcome, ProcessDefinition};
+    pub use crate::service::{Message, Service, ServiceRegistry};
+    pub use crate::value::{OpaqueValue, VarValue, Variables};
+}

@@ -1,0 +1,181 @@
+//! Process definitions and completed instances.
+
+use std::sync::Arc;
+
+use crate::activity::{Activity, ActivityContext, ExecutionMode};
+use crate::audit::AuditTrail;
+use crate::error::{FlowError, FlowResult};
+use crate::value::Variables;
+
+/// A hook run against the instance context at start or end of execution.
+/// BIS preparation/cleanup statements are modeled on these.
+pub type InstanceHook = Arc<dyn Fn(&mut ActivityContext<'_>) -> FlowResult<()>>;
+
+/// A deployable process model: a named root activity plus deployment
+/// configuration (mode, start/finish hooks).
+pub struct ProcessDefinition {
+    name: String,
+    root: Box<dyn Activity>,
+    mode: ExecutionMode,
+    setup_hooks: Vec<InstanceHook>,
+    cleanup_hooks: Vec<InstanceHook>,
+}
+
+impl ProcessDefinition {
+    /// Define a process with the given root activity.
+    pub fn new(name: impl Into<String>, root: impl Activity + 'static) -> ProcessDefinition {
+        ProcessDefinition {
+            name: name.into(),
+            root: Box::new(root),
+            mode: ExecutionMode::LongRunning,
+            setup_hooks: Vec::new(),
+            cleanup_hooks: Vec::new(),
+        }
+    }
+
+    /// Builder: set the execution mode.
+    pub fn with_mode(mut self, mode: ExecutionMode) -> ProcessDefinition {
+        self.mode = mode;
+        self
+    }
+
+    /// Builder: add a setup hook (runs before the root activity).
+    pub fn with_setup(
+        mut self,
+        hook: impl Fn(&mut ActivityContext<'_>) -> FlowResult<()> + 'static,
+    ) -> ProcessDefinition {
+        self.setup_hooks.push(Arc::new(hook));
+        self
+    }
+
+    /// Builder: add a cleanup hook (runs after the root activity, even on
+    /// fault).
+    pub fn with_cleanup(
+        mut self,
+        hook: impl Fn(&mut ActivityContext<'_>) -> FlowResult<()> + 'static,
+    ) -> ProcessDefinition {
+        self.cleanup_hooks.push(Arc::new(hook));
+        self
+    }
+
+    /// Process name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Execution mode.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    pub(crate) fn root(&self) -> &dyn Activity {
+        self.root.as_ref()
+    }
+
+    pub(crate) fn setup_hooks(&self) -> &[InstanceHook] {
+        &self.setup_hooks
+    }
+
+    pub(crate) fn cleanup_hooks(&self) -> &[InstanceHook] {
+        &self.cleanup_hooks
+    }
+}
+
+impl std::fmt::Debug for ProcessDefinition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessDefinition")
+            .field("name", &self.name)
+            .field("mode", &self.mode)
+            .field("root", &self.root.name())
+            .finish_non_exhaustive()
+    }
+}
+
+/// How an instance ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The root activity finished normally.
+    Completed,
+    /// An `Exit` activity terminated the instance.
+    Exited,
+    /// An unhandled fault escaped the root activity.
+    Faulted(FlowError),
+}
+
+/// A finished process instance: outcome, final variables, audit trail.
+#[derive(Debug)]
+pub struct CompletedInstance {
+    pub instance_id: u64,
+    pub process_name: String,
+    pub outcome: Outcome,
+    pub variables: Variables,
+    pub audit: AuditTrail,
+}
+
+impl CompletedInstance {
+    /// Did the instance complete normally?
+    pub fn is_completed(&self) -> bool {
+        self.outcome == Outcome::Completed
+    }
+
+    /// Did an `Exit` terminate it?
+    pub fn is_exited(&self) -> bool {
+        self.outcome == Outcome::Exited
+    }
+
+    /// Did a fault escape?
+    pub fn is_faulted(&self) -> bool {
+        matches!(self.outcome, Outcome::Faulted(_))
+    }
+
+    /// The escaping fault, if any.
+    pub fn fault(&self) -> Option<&FlowError> {
+        match &self.outcome {
+            Outcome::Faulted(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Propagate the fault as a `Result` (for tests and examples that
+    /// expect success).
+    pub fn into_result(self) -> FlowResult<CompletedInstance> {
+        match &self.outcome {
+            Outcome::Faulted(e) => Err(e.clone()),
+            _ => Ok(self),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtins::Empty;
+
+    #[test]
+    fn definition_builder() {
+        let def = ProcessDefinition::new("p", Empty::new("root"))
+            .with_mode(ExecutionMode::ShortRunning)
+            .with_setup(|_| Ok(()))
+            .with_cleanup(|_| Ok(()));
+        assert_eq!(def.name(), "p");
+        assert_eq!(def.mode(), ExecutionMode::ShortRunning);
+        assert_eq!(def.setup_hooks().len(), 1);
+        assert_eq!(def.cleanup_hooks().len(), 1);
+        assert!(format!("{def:?}").contains("ShortRunning"));
+    }
+
+    #[test]
+    fn outcome_predicates() {
+        let inst = CompletedInstance {
+            instance_id: 1,
+            process_name: "p".into(),
+            outcome: Outcome::Faulted(FlowError::fault("f", "m")),
+            variables: Variables::new(),
+            audit: AuditTrail::new(),
+        };
+        assert!(inst.is_faulted());
+        assert!(!inst.is_completed());
+        assert!(inst.fault().is_some());
+        assert!(inst.into_result().is_err());
+    }
+}

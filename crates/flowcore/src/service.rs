@@ -1,0 +1,193 @@
+//! The function layer: registered services callable from `Invoke`
+//! activities.
+//!
+//! The paper's two-level programming model (Sec. II) puts executable
+//! components — Web services — below the choreography layer. Here a
+//! service is anything implementing [`Service`]; the registry plays the
+//! role of the SOA core / WSDL binding framework.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::{FlowError, FlowResult};
+use crate::value::VarValue;
+
+/// A message exchanged with a service: named parts.
+#[derive(Debug, Clone, Default)]
+pub struct Message {
+    parts: Vec<(String, VarValue)>,
+}
+
+impl Message {
+    /// Empty message.
+    pub fn new() -> Message {
+        Message::default()
+    }
+
+    /// Builder: add a part.
+    pub fn with_part(mut self, name: impl Into<String>, value: impl Into<VarValue>) -> Message {
+        self.parts.push((name.into(), value.into()));
+        self
+    }
+
+    /// Add a part.
+    pub fn set_part(&mut self, name: impl Into<String>, value: impl Into<VarValue>) {
+        self.parts.push((name.into(), value.into()));
+    }
+
+    /// Look up a part by name.
+    pub fn part(&self, name: &str) -> Option<&VarValue> {
+        self.parts.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Require a scalar part.
+    pub fn scalar_part(&self, name: &str) -> FlowResult<&sqlkernel::Value> {
+        self.part(name)
+            .and_then(VarValue::as_scalar)
+            .ok_or_else(|| FlowError::Service(format!("message missing scalar part '{name}'")))
+    }
+
+    /// All parts in order.
+    pub fn parts(&self) -> &[(String, VarValue)] {
+        &self.parts
+    }
+
+    /// Number of parts.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Is the message empty?
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+}
+
+/// A callable service endpoint.
+pub trait Service: Send + Sync {
+    /// Handle a request message.
+    fn invoke(&self, input: &Message) -> FlowResult<Message>;
+}
+
+/// Adapter turning a closure into a [`Service`].
+pub struct ServiceFn<F>(pub F);
+
+impl<F> Service for ServiceFn<F>
+where
+    F: Fn(&Message) -> FlowResult<Message> + Send + Sync,
+{
+    fn invoke(&self, input: &Message) -> FlowResult<Message> {
+        (self.0)(input)
+    }
+}
+
+/// The service registry (function layer).
+#[derive(Clone, Default)]
+pub struct ServiceRegistry {
+    services: HashMap<String, Arc<dyn Service>>,
+}
+
+impl ServiceRegistry {
+    /// Empty registry.
+    pub fn new() -> ServiceRegistry {
+        ServiceRegistry::default()
+    }
+
+    /// Register a service object.
+    pub fn register(&mut self, name: impl Into<String>, service: Arc<dyn Service>) {
+        self.services.insert(name.into(), service);
+    }
+
+    /// Register a closure as a service.
+    pub fn register_fn<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: Fn(&Message) -> FlowResult<Message> + Send + Sync + 'static,
+    {
+        self.register(name, Arc::new(ServiceFn(f)));
+    }
+
+    /// Invoke a registered service.
+    pub fn invoke(&self, name: &str, input: &Message) -> FlowResult<Message> {
+        let svc = self
+            .services
+            .get(name)
+            .ok_or_else(|| FlowError::Service(format!("service '{name}' is not registered")))?;
+        svc.invoke(input)
+    }
+
+    /// Is a service registered?
+    pub fn contains(&self, name: &str) -> bool {
+        self.services.contains_key(name)
+    }
+
+    /// Sorted service names.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.services.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl std::fmt::Debug for ServiceRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceRegistry")
+            .field("services", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlkernel::Value;
+
+    #[test]
+    fn message_parts() {
+        let m = Message::new()
+            .with_part("ItemType", Value::text("widget"))
+            .with_part("Quantity", Value::Int(15));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.scalar_part("Quantity").unwrap(), &Value::Int(15));
+        assert!(m.scalar_part("missing").is_err());
+        assert!(m.part("ItemType").is_some());
+    }
+
+    #[test]
+    fn registry_invoke() {
+        let mut reg = ServiceRegistry::new();
+        reg.register_fn("echo", |input| {
+            let v = input.scalar_part("x")?.clone();
+            Ok(Message::new().with_part("y", v))
+        });
+        assert!(reg.contains("echo"));
+        let out = reg
+            .invoke("echo", &Message::new().with_part("x", Value::Int(1)))
+            .unwrap();
+        assert_eq!(out.scalar_part("y").unwrap(), &Value::Int(1));
+    }
+
+    #[test]
+    fn unknown_service_errors() {
+        let reg = ServiceRegistry::new();
+        let err = reg.invoke("nope", &Message::new()).unwrap_err();
+        assert_eq!(err.class(), "service");
+    }
+
+    #[test]
+    fn service_can_fault() {
+        let mut reg = ServiceRegistry::new();
+        reg.register_fn("broken", |_| Err(FlowError::fault("supplierDown", "503")));
+        assert_eq!(
+            reg.invoke("broken", &Message::new()).unwrap_err().class(),
+            "fault"
+        );
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut reg = ServiceRegistry::new();
+        reg.register_fn("b", |_| Ok(Message::new()));
+        reg.register_fn("a", |_| Ok(Message::new()));
+        assert_eq!(reg.names(), vec!["a", "b"]);
+    }
+}

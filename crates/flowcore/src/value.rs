@@ -1,0 +1,286 @@
+//! Process variables.
+//!
+//! The paper distinguishes *internal data* (managed in the process space)
+//! from *external data* (managed by a database). Internal data lives in
+//! [`Variables`]: scalars, XML documents (RowSets among them), and opaque
+//! vendor-specific handles (WF `DataSet`s, BIS set references, data-source
+//! variables) attached through [`OpaqueValue`].
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sqlkernel::Value;
+use xmlval::XmlNode;
+
+use crate::error::{FlowError, FlowResult};
+
+/// A vendor-extensible variable payload.
+#[derive(Clone)]
+pub struct OpaqueValue {
+    type_label: &'static str,
+    value: Arc<dyn Any + Send + Sync>,
+}
+
+impl OpaqueValue {
+    /// Wrap any shareable value.
+    pub fn new<T: Any + Send + Sync>(type_label: &'static str, value: T) -> OpaqueValue {
+        OpaqueValue {
+            type_label,
+            value: Arc::new(value),
+        }
+    }
+
+    /// The label supplied at construction (for diagnostics).
+    pub fn type_label(&self) -> &'static str {
+        self.type_label
+    }
+
+    /// Try to view the payload as `T`.
+    pub fn downcast<T: Any + Send + Sync>(&self) -> Option<&T> {
+        self.value.downcast_ref::<T>()
+    }
+}
+
+impl std::fmt::Debug for OpaqueValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OpaqueValue<{}>", self.type_label)
+    }
+}
+
+/// One process variable.
+#[derive(Debug, Clone)]
+pub enum VarValue {
+    /// Unset / null.
+    Null,
+    /// A scalar (the paper's `OrderConfirmation`, `CurrentItem` fields…).
+    Scalar(Value),
+    /// An XML document (BPEL variables, RowSets).
+    Xml(XmlNode),
+    /// Vendor-specific handle (DataSet, set reference, …).
+    Opaque(OpaqueValue),
+}
+
+impl VarValue {
+    /// Scalar view.
+    pub fn as_scalar(&self) -> Option<&Value> {
+        match self {
+            VarValue::Scalar(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// XML view.
+    pub fn as_xml(&self) -> Option<&XmlNode> {
+        match self {
+            VarValue::Xml(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// Opaque view, downcast to `T`.
+    pub fn as_opaque<T: Any + Send + Sync>(&self) -> Option<&T> {
+        match self {
+            VarValue::Opaque(o) => o.downcast::<T>(),
+            _ => None,
+        }
+    }
+
+    /// Short type tag for audit output.
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            VarValue::Null => "null",
+            VarValue::Scalar(_) => "scalar",
+            VarValue::Xml(_) => "xml",
+            VarValue::Opaque(o) => o.type_label(),
+        }
+    }
+
+    /// Render for audit/debug output (truncated).
+    pub fn render_short(&self) -> String {
+        let full = match self {
+            VarValue::Null => "∅".to_string(),
+            VarValue::Scalar(v) => v.render(),
+            VarValue::Xml(x) => x.to_xml(),
+            VarValue::Opaque(o) => format!("<{}>", o.type_label()),
+        };
+        if full.len() > 60 {
+            let mut cut = 59;
+            while cut > 0 && !full.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            format!("{}…", &full[..cut])
+        } else {
+            full
+        }
+    }
+}
+
+impl From<Value> for VarValue {
+    fn from(v: Value) -> Self {
+        VarValue::Scalar(v)
+    }
+}
+
+impl From<XmlNode> for VarValue {
+    fn from(x: XmlNode) -> Self {
+        VarValue::Xml(x)
+    }
+}
+
+/// The variable pool of one process instance. Names are case-sensitive,
+/// as in BPEL.
+#[derive(Debug, Clone, Default)]
+pub struct Variables {
+    map: HashMap<String, VarValue>,
+}
+
+impl Variables {
+    /// Empty pool.
+    pub fn new() -> Variables {
+        Variables::default()
+    }
+
+    /// Set (declare or overwrite) a variable.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<VarValue>) {
+        self.map.insert(name.into(), value.into());
+    }
+
+    /// Get a variable, if set.
+    pub fn get(&self, name: &str) -> Option<&VarValue> {
+        self.map.get(name)
+    }
+
+    /// Get or fail with a variable fault.
+    pub fn require(&self, name: &str) -> FlowResult<&VarValue> {
+        self.get(name)
+            .ok_or_else(|| FlowError::Variable(format!("variable '{name}' is not set")))
+    }
+
+    /// Require a scalar variable.
+    pub fn require_scalar(&self, name: &str) -> FlowResult<&Value> {
+        self.require(name)?
+            .as_scalar()
+            .ok_or_else(|| FlowError::Variable(format!("variable '{name}' is not a scalar")))
+    }
+
+    /// Require an XML variable.
+    pub fn require_xml(&self, name: &str) -> FlowResult<&XmlNode> {
+        self.require(name)?
+            .as_xml()
+            .ok_or_else(|| FlowError::Variable(format!("variable '{name}' is not XML")))
+    }
+
+    /// Mutable access to an XML variable.
+    pub fn require_xml_mut(&mut self, name: &str) -> FlowResult<&mut XmlNode> {
+        match self.map.get_mut(name) {
+            Some(VarValue::Xml(x)) => Ok(x),
+            Some(_) => Err(FlowError::Variable(format!("variable '{name}' is not XML"))),
+            None => Err(FlowError::Variable(format!("variable '{name}' is not set"))),
+        }
+    }
+
+    /// Require an opaque variable of type `T`.
+    pub fn require_opaque<T: Any + Send + Sync>(&self, name: &str) -> FlowResult<&T> {
+        self.require(name)?.as_opaque::<T>().ok_or_else(|| {
+            FlowError::Variable(format!(
+                "variable '{name}' does not hold the expected handle type"
+            ))
+        })
+    }
+
+    /// Is a variable set?
+    pub fn contains(&self, name: &str) -> bool {
+        self.map.contains_key(name)
+    }
+
+    /// Remove a variable.
+    pub fn unset(&mut self, name: &str) -> Option<VarValue> {
+        self.map.remove(name)
+    }
+
+    /// Sorted variable names.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.map.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the pool empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlval::Element;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut vars = Variables::new();
+        vars.set("q", Value::Int(5));
+        assert_eq!(vars.require_scalar("q").unwrap(), &Value::Int(5));
+        assert!(vars.require_scalar("missing").is_err());
+        assert_eq!(vars.require("missing").unwrap_err().class(), "variable");
+    }
+
+    #[test]
+    fn xml_round_trip_and_mutation() {
+        let mut vars = Variables::new();
+        vars.set("doc", XmlNode::Element(Element::new("a")));
+        assert!(vars.require_xml("doc").is_ok());
+        assert!(vars.require_scalar("doc").is_err());
+        if let XmlNode::Element(e) = vars.require_xml_mut("doc").unwrap() {
+            e.set_text("hi");
+        }
+        assert_eq!(vars.require_xml("doc").unwrap().text_content(), "hi");
+    }
+
+    #[test]
+    fn opaque_downcasting() {
+        #[derive(Debug, PartialEq)]
+        struct Handle(u32);
+        let mut vars = Variables::new();
+        vars.set(
+            "h",
+            VarValue::Opaque(OpaqueValue::new("test-handle", Handle(7))),
+        );
+        assert_eq!(vars.require_opaque::<Handle>("h").unwrap(), &Handle(7));
+        assert!(vars.require_opaque::<String>("h").is_err());
+        assert_eq!(vars.get("h").unwrap().type_tag(), "test-handle");
+    }
+
+    #[test]
+    fn names_sorted_and_unset() {
+        let mut vars = Variables::new();
+        vars.set("b", Value::Int(1));
+        vars.set("a", Value::Int(2));
+        assert_eq!(vars.names(), vec!["a", "b"]);
+        vars.unset("a");
+        assert_eq!(vars.len(), 1);
+        assert!(!vars.contains("a"));
+    }
+
+    #[test]
+    fn render_short_truncates() {
+        let long = "x".repeat(200);
+        let v = VarValue::Scalar(Value::text(long));
+        assert!(v.render_short().len() <= 62);
+        assert!(v.render_short().ends_with('…'));
+    }
+
+    #[test]
+    fn case_sensitive_names() {
+        let mut vars = Variables::new();
+        vars.set("Item", Value::Int(1));
+        assert!(vars.get("item").is_none());
+        assert!(vars.get("Item").is_some());
+    }
+}

@@ -1,0 +1,79 @@
+//! `patterns` — the paper's analytical core, made executable.
+//!
+//! *“An Overview of SQL Support in Workflow Products”* compares three
+//! commercial stacks along (a) general product information, (b) data
+//! management capabilities, and (c) a catalog of nine **data management
+//! patterns**. This crate turns that comparison framework into code:
+//!
+//! * [`pattern::DataPattern`] — the nine patterns of Figure 2,
+//! * [`support`] — the Table II support model (native / partial /
+//!   workaround realizations per mechanism row),
+//! * [`product`] — Table I product descriptions, Figure 3/5/7
+//!   architecture inventories, and the [`product::SqlIntegration`] trait
+//!   that the `bis`, `wf` and `soa` crates implement,
+//! * [`probe`] — the running-example environment (order database +
+//!   `OrderFromSupplier` service) that every pattern is *demonstrated*
+//!   against: the support matrices this workspace reports are backed by
+//!   executed code, not by hand-written claims,
+//! * [`taxonomy`] — the Figure 1 adapter-vs-inline taxonomy,
+//! * [`paper`] — the published Tables as ground-truth constants,
+//! * [`report`] — text renderers that regenerate every table and figure.
+
+pub mod paper;
+pub mod pattern;
+pub mod probe;
+pub mod product;
+pub mod report;
+pub mod support;
+pub mod taxonomy;
+
+pub use pattern::DataPattern;
+pub use probe::{Demonstration, ProbeEnv, ProbeError, ORDER_FROM_SUPPLIER};
+pub use product::{ArchLayer, Architecture, ProductInfo, SqlIntegration};
+pub use support::{PatternRealization, SupportLevel, SupportMatrix};
+pub use taxonomy::{figure1_entries, InlineStyle, IntegrationApproach, TaxonomyEntry};
+
+/// Verify a product's support claim against executed demonstrations.
+///
+/// For every pattern, the set of `(mechanism, level)` pairs returned by
+/// [`SqlIntegration::demonstrate`] must equal the set claimed by
+/// [`SqlIntegration::support_matrix`] — a claim without a witnessing run,
+/// or a run the matrix does not claim, is a reproduction failure.
+///
+/// Returns the demonstrations (for evidence rendering) or the first
+/// discrepancy.
+pub fn verify_support_matrix(
+    product: &dyn SqlIntegration,
+) -> Result<Vec<Demonstration>, ProbeError> {
+    let matrix = product.support_matrix();
+    let mut all_demos = Vec::new();
+    for pattern in DataPattern::ALL {
+        let mut env = ProbeEnv::fresh();
+        let demos = product.demonstrate(pattern, &mut env)?;
+        let mut claimed: Vec<(String, SupportLevel)> = matrix
+            .for_pattern(pattern)
+            .into_iter()
+            .map(|r| (r.mechanism.clone(), r.level.clone()))
+            .collect();
+        let mut witnessed: Vec<(String, SupportLevel)> = demos
+            .iter()
+            .map(|d| (d.mechanism.clone(), d.level.clone()))
+            .collect();
+        claimed.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| format!("{:?}", a.1).cmp(&format!("{:?}", b.1)))
+        });
+        witnessed.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then_with(|| format!("{:?}", a.1).cmp(&format!("{:?}", b.1)))
+        });
+        if claimed != witnessed {
+            return Err(ProbeError(format!(
+                "{}: {pattern} — claimed {claimed:?} but demonstrated {witnessed:?}",
+                matrix.product,
+            )));
+        }
+        all_demos.extend(demos);
+    }
+    Ok(all_demos)
+}

@@ -1,0 +1,209 @@
+//! The ground truth: Tables I and II exactly as published in the paper.
+//!
+//! Vendor crates *generate* their support matrices from running code; the
+//! integration tests and the Table II benchmark binary compare those
+//! generated matrices against the constants below. A reproduction claim
+//! lives or dies on this comparison.
+
+use crate::pattern::DataPattern::*;
+use crate::support::{PatternRealization, SupportMatrix};
+
+/// Product key for IBM Business Integration Suite.
+pub const IBM: &str = "IBM Business Integration Suite";
+/// Product key for Microsoft Workflow Foundation.
+pub const MICROSOFT: &str = "Microsoft Workflow Foundation";
+/// Product key for Oracle SOA Suite.
+pub const ORACLE: &str = "Oracle SOA Suite";
+
+/// Table II footnote ¹.
+pub const FOOTNOTE_ONLY_UPDATE: &str = "only UPDATE";
+/// Table II footnote ².
+pub const FOOTNOTE_ONLY_DELETE_INSERT: &str = "only DELETE and INSERT";
+
+/// Table II, block "IBM Business Integration Suite".
+pub fn ibm_support() -> SupportMatrix {
+    SupportMatrix::new(IBM)
+        .with(PatternRealization::native(Query, "SQL"))
+        .with(PatternRealization::native(SetIud, "SQL"))
+        .with(PatternRealization::native(DataSetup, "SQL"))
+        .with(PatternRealization::native(StoredProcedure, "SQL"))
+        .with(PatternRealization::native(SetRetrieval, "Retrieve Set"))
+        .with(PatternRealization::native(
+            RandomSetAccess,
+            "Assign (BPEL-specific XPath)",
+        ))
+        .with(PatternRealization::partial(
+            TupleIud,
+            "Assign (BPEL-specific XPath)",
+            FOOTNOTE_ONLY_UPDATE,
+        ))
+        .with(PatternRealization::workaround(SequentialSetAccess))
+        .with(PatternRealization {
+            pattern: TupleIud,
+            mechanism: "Only workarounds possible".into(),
+            level: crate::support::SupportLevel::Partial(FOOTNOTE_ONLY_DELETE_INSERT.to_string()),
+        })
+        .with(PatternRealization::workaround(Synchronization))
+}
+
+/// Table II, block "Microsoft Workflow Foundation".
+pub fn microsoft_support() -> SupportMatrix {
+    SupportMatrix::new(MICROSOFT)
+        .with(PatternRealization::native(Query, "SQL Database"))
+        .with(PatternRealization::native(SetIud, "SQL Database"))
+        .with(PatternRealization::native(DataSetup, "SQL Database"))
+        .with(PatternRealization::native(StoredProcedure, "SQL Database"))
+        .with(PatternRealization::native(SetRetrieval, "SQL Database"))
+        .with(PatternRealization::workaround(SequentialSetAccess))
+        .with(PatternRealization::workaround(RandomSetAccess))
+        .with(PatternRealization::workaround(TupleIud))
+        .with(PatternRealization::workaround(Synchronization))
+}
+
+/// Table II, block "Oracle SOA Suite".
+pub fn oracle_support() -> SupportMatrix {
+    SupportMatrix::new(ORACLE)
+        .with(PatternRealization::native(
+            Query,
+            "Assign (XPath Ext. Functions)",
+        ))
+        .with(PatternRealization::native(
+            SetIud,
+            "Assign (XPath Ext. Functions)",
+        ))
+        .with(PatternRealization::native(
+            DataSetup,
+            "Assign (XPath Ext. Functions)",
+        ))
+        .with(PatternRealization::native(
+            StoredProcedure,
+            "Assign (XPath Ext. Functions)",
+        ))
+        .with(PatternRealization::native(
+            SetRetrieval,
+            "Assign (XPath Ext. Functions)",
+        ))
+        .with(PatternRealization::native(
+            TupleIud,
+            "Assign (XPath Ext. Functions)",
+        ))
+        .with(PatternRealization::native(
+            RandomSetAccess,
+            "Assign (BPEL-specific XPath)",
+        ))
+        .with(PatternRealization::partial(
+            TupleIud,
+            "Assign (BPEL-specific XPath)",
+            FOOTNOTE_ONLY_UPDATE,
+        ))
+        .with(PatternRealization::workaround(SequentialSetAccess))
+        .with(PatternRealization::workaround(Synchronization))
+}
+
+/// All three published matrices, in Table II order.
+pub fn paper_table2() -> Vec<SupportMatrix> {
+    vec![ibm_support(), microsoft_support(), oracle_support()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::DataPattern;
+
+    #[test]
+    fn all_products_cover_all_patterns() {
+        // Sec. II-A: "we expect a complete coverage from all approaches".
+        for m in paper_table2() {
+            assert!(m.complete(), "{} does not cover all patterns", m.product);
+        }
+    }
+
+    #[test]
+    fn external_patterns_always_abstract() {
+        // Sec. VI-C: all patterns concerning external data are realized at
+        // an abstract level in every product.
+        for m in paper_table2() {
+            for p in DataPattern::ALL
+                .into_iter()
+                .filter(|p| p.on_external_data())
+            {
+                assert!(
+                    m.abstractly_covered(p),
+                    "{}: {} should be native",
+                    m.product,
+                    p
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ibm_workaround_set_matches_paper() {
+        // Sec. III "Conclusion": workarounds for Sequential Access, parts
+        // of Tuple IUD, and Synchronization.
+        let m = ibm_support();
+        assert_eq!(
+            m.workaround_only(),
+            vec![
+                DataPattern::SequentialSetAccess,
+                DataPattern::Synchronization
+            ]
+        );
+        assert!(!m.abstractly_covered(DataPattern::TupleIud));
+    }
+
+    #[test]
+    fn microsoft_internal_patterns_are_workarounds() {
+        let m = microsoft_support();
+        assert_eq!(
+            m.workaround_only(),
+            vec![
+                DataPattern::SequentialSetAccess,
+                DataPattern::RandomSetAccess,
+                DataPattern::TupleIud,
+                DataPattern::Synchronization
+            ]
+        );
+    }
+
+    #[test]
+    fn oracle_covers_tuple_iud_abstractly() {
+        // Sec. VI-C: "Oracle SOA Suite provides an additional proprietary
+        // XPath function for covering the complete Tuple IUD Pattern at an
+        // abstract level."
+        let m = oracle_support();
+        assert!(m.abstractly_covered(DataPattern::TupleIud));
+        assert_eq!(
+            m.workaround_only(),
+            vec![
+                DataPattern::SequentialSetAccess,
+                DataPattern::Synchronization
+            ]
+        );
+    }
+
+    #[test]
+    fn mechanism_row_order_matches_table2() {
+        assert_eq!(
+            ibm_support().mechanisms(),
+            vec![
+                "SQL",
+                "Retrieve Set",
+                "Assign (BPEL-specific XPath)",
+                "Only workarounds possible"
+            ]
+        );
+        assert_eq!(
+            microsoft_support().mechanisms(),
+            vec!["SQL Database", "Only workarounds possible"]
+        );
+        assert_eq!(
+            oracle_support().mechanisms(),
+            vec![
+                "Assign (XPath Ext. Functions)",
+                "Assign (BPEL-specific XPath)",
+                "Only workarounds possible"
+            ]
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! The nine data management patterns of Sec. II-B / Figure 2.
+
+use std::fmt;
+
+/// A data management pattern for accessing and processing data in
+/// business processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataPattern {
+    /// Query external data via SQL; results stay external or are
+    /// materialized into the process space.
+    Query,
+    /// Set-oriented INSERT/UPDATE/DELETE on external data.
+    SetIud,
+    /// DDL for configuration/setup during process execution.
+    DataSetup,
+    /// Calling stored procedures on external data.
+    StoredProcedure,
+    /// Retrieve external data and materialize it as a set-oriented data
+    /// structure (a cache) in the process space.
+    SetRetrieval,
+    /// Sequential (cursor-style) access to the cache.
+    SequentialSetAccess,
+    /// Random access to the cache.
+    RandomSetAccess,
+    /// Insert/update/delete of tuples in the cache.
+    TupleIud,
+    /// Synchronize the cache with the original data source.
+    Synchronization,
+}
+
+impl DataPattern {
+    /// All patterns, in the column order of Table II.
+    pub const ALL: [DataPattern; 9] = [
+        DataPattern::Query,
+        DataPattern::SetIud,
+        DataPattern::DataSetup,
+        DataPattern::StoredProcedure,
+        DataPattern::SetRetrieval,
+        DataPattern::SequentialSetAccess,
+        DataPattern::RandomSetAccess,
+        DataPattern::TupleIud,
+        DataPattern::Synchronization,
+    ];
+
+    /// Display name as used in Table II column heads.
+    pub fn title(&self) -> &'static str {
+        match self {
+            DataPattern::Query => "Query",
+            DataPattern::SetIud => "Set IUD",
+            DataPattern::DataSetup => "Data Setup",
+            DataPattern::StoredProcedure => "Stored Procedure",
+            DataPattern::SetRetrieval => "Set Retrieval",
+            DataPattern::SequentialSetAccess => "Seq. Set Access",
+            DataPattern::RandomSetAccess => "Random Set Access",
+            DataPattern::TupleIud => "Tuple IUD",
+            DataPattern::Synchronization => "Synchronization",
+        }
+    }
+
+    /// Does the pattern operate on *external* data (managed by a DBMS)?
+    /// The remaining patterns operate on internal data in the process
+    /// space (Figure 2's two-space picture; Set Retrieval bridges the two
+    /// and is classified with the internal group as in the paper's
+    /// discussion).
+    pub fn on_external_data(&self) -> bool {
+        matches!(
+            self,
+            DataPattern::Query
+                | DataPattern::SetIud
+                | DataPattern::DataSetup
+                | DataPattern::StoredProcedure
+        )
+    }
+
+    /// One-sentence description from Sec. II-B.
+    pub fn description(&self) -> &'static str {
+        match self {
+            DataPattern::Query => {
+                "Query external data by means of SQL queries; results are stored \
+                 in the external data source or materialized in the process space."
+            }
+            DataPattern::SetIud => {
+                "Perform set-oriented insert, update and delete operations on \
+                 external data via SQL statements."
+            }
+            DataPattern::DataSetup => {
+                "Execute DDL statements on a relational database system for \
+                 configuration and setup purposes during process execution."
+            }
+            DataPattern::StoredProcedure => {
+                "Express complex processing of external data by calling stored \
+                 procedures."
+            }
+            DataPattern::SetRetrieval => {
+                "Retrieve data from an external data source and materialize it in \
+                 a set-oriented data structure within the process space; the \
+                 structure acts like a data cache holding no connection to the \
+                 original source."
+            }
+            DataPattern::SequentialSetAccess => {
+                "Sequential (cursor-style) access to the data cache in the \
+                 process space."
+            }
+            DataPattern::RandomSetAccess => "Random access to specific tuples of the data cache.",
+            DataPattern::TupleIud => {
+                "Insert, update and delete of individual tuples in the data cache."
+            }
+            DataPattern::Synchronization => {
+                "Synchronize a local data cache with the original data source."
+            }
+        }
+    }
+}
+
+impl fmt::Display for DataPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.title())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_patterns_with_unique_titles() {
+        let mut titles: Vec<&str> = DataPattern::ALL.iter().map(|p| p.title()).collect();
+        titles.sort_unstable();
+        titles.dedup();
+        assert_eq!(titles.len(), 9);
+    }
+
+    #[test]
+    fn external_internal_split_matches_figure2() {
+        let external: Vec<DataPattern> = DataPattern::ALL
+            .into_iter()
+            .filter(DataPattern::on_external_data)
+            .collect();
+        assert_eq!(
+            external,
+            vec![
+                DataPattern::Query,
+                DataPattern::SetIud,
+                DataPattern::DataSetup,
+                DataPattern::StoredProcedure
+            ]
+        );
+        assert_eq!(DataPattern::ALL.len() - external.len(), 5);
+    }
+
+    #[test]
+    fn descriptions_nonempty() {
+        for p in DataPattern::ALL {
+            assert!(!p.description().is_empty());
+            assert!(!p.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Product descriptions (Table I) and architecture inventories
+//! (Figures 3, 5, 7), plus the [`SqlIntegration`] trait every vendor
+//! crate implements.
+
+use crate::pattern::DataPattern;
+use crate::probe::{Demonstration, ProbeEnv, ProbeError};
+use crate::support::SupportMatrix;
+
+/// The Table I row set for one product.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProductInfo {
+    pub vendor: String,
+    pub product: String,
+    // --- General information ---
+    pub workflow_language: String,
+    pub process_modeling: String,
+    pub design_tool: String,
+    // --- Data management capabilities ---
+    pub sql_inline_support: Vec<String>,
+    pub external_dataset_reference: String,
+    pub materialized_set_representation: String,
+    pub external_datasource_reference: String,
+    pub additional_features: Vec<String>,
+}
+
+/// One architecture layer with its components (a box row in
+/// Figures 3/5/7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchLayer {
+    pub name: String,
+    pub components: Vec<String>,
+}
+
+/// A product architecture: ordered layers from design tool down to
+/// runtime substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Architecture {
+    pub product: String,
+    pub layers: Vec<ArchLayer>,
+}
+
+impl Architecture {
+    /// Build an architecture description.
+    pub fn new(product: impl Into<String>) -> Architecture {
+        Architecture {
+            product: product.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Builder: append a layer.
+    pub fn layer(mut self, name: impl Into<String>, components: &[&str]) -> Architecture {
+        self.layers.push(ArchLayer {
+            name: name.into(),
+            components: components.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Render as a boxed text diagram.
+    pub fn render(&self) -> String {
+        let mut out = format!("Architecture: {}\n", self.product);
+        let width = self
+            .layers
+            .iter()
+            .flat_map(|l| {
+                l.components
+                    .iter()
+                    .map(String::len)
+                    .chain(std::iter::once(l.name.len() + 2))
+            })
+            .max()
+            .unwrap_or(20)
+            .max(28);
+        out.push_str(&format!("┌{}┐\n", "─".repeat(width + 2)));
+        for (i, layer) in self.layers.iter().enumerate() {
+            if i > 0 {
+                out.push_str(&format!("├{}┤\n", "─".repeat(width + 2)));
+            }
+            out.push_str(&format!("│ {:w$} │\n", layer.name, w = width));
+            for c in &layer.components {
+                out.push_str(&format!("│   {:w$} │\n", format!("· {c}"), w = width - 2));
+            }
+        }
+        out.push_str(&format!("└{}┘\n", "─".repeat(width + 2)));
+        out
+    }
+}
+
+/// The contract every SQL-integration approach fulfills. Implemented by
+/// the `bis`, `wf` and `soa` crates; consumed by the benchmark harness to
+/// regenerate Tables I and II and Figures 3-8 from *running code*.
+pub trait SqlIntegration {
+    /// Table I rows.
+    fn product_info(&self) -> ProductInfo;
+
+    /// Figure 3/5/7 component inventory.
+    fn architecture(&self) -> Architecture;
+
+    /// The product's support claim (row layout of Table II).
+    fn support_matrix(&self) -> SupportMatrix;
+
+    /// Execute `pattern` against the probe environment using this
+    /// product's integration style, returning evidence for *every*
+    /// realization (Table II may mark one pattern in several mechanism
+    /// rows). The benchmark harness cross-checks the demonstrations
+    /// against [`SqlIntegration::support_matrix`]: a claim without a
+    /// passing demonstration — or a demonstration without a claim —
+    /// fails Table II generation.
+    fn demonstrate(
+        &self,
+        pattern: DataPattern,
+        env: &mut ProbeEnv,
+    ) -> Result<Vec<Demonstration>, ProbeError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn architecture_renders_layers() {
+        let a = Architecture::new("Demo")
+            .layer("Design", &["Editor"])
+            .layer("Runtime", &["Engine", "Services"]);
+        let s = a.render();
+        assert!(s.contains("Design"));
+        assert!(s.contains("· Engine"));
+        assert!(s.lines().count() >= 7);
+    }
+
+    #[test]
+    fn product_info_fields() {
+        let p = ProductInfo {
+            vendor: "IBM".into(),
+            product: "BIS".into(),
+            workflow_language: "BPEL".into(),
+            process_modeling: "graphical".into(),
+            design_tool: "WID".into(),
+            sql_inline_support: vec!["SQL Activity".into()],
+            external_dataset_reference: "Set Reference".into(),
+            materialized_set_representation: "XML RowSet".into(),
+            external_datasource_reference: "dynamic, static".into(),
+            additional_features: vec!["Lifecycle Management".into()],
+        };
+        assert_eq!(p.vendor, "IBM");
+        assert_eq!(p.sql_inline_support.len(), 1);
+    }
+}

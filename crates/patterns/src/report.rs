@@ -1,0 +1,324 @@
+//! Text renderers that regenerate the paper's tables and figures from
+//! live data structures.
+
+use crate::pattern::DataPattern;
+use crate::product::ProductInfo;
+use crate::support::{SupportLevel, SupportMatrix};
+use crate::taxonomy::TaxonomyEntry;
+
+fn row(label: &str, cells: &[String], widths: &[usize], label_width: usize) -> String {
+    let mut line = format!("{:label_width$} |", label);
+    for (c, w) in cells.iter().zip(widths) {
+        line.push_str(&format!(" {:w$} |", c, w = *w));
+    }
+    line.push('\n');
+    line
+}
+
+/// Render Table I — general information and data management capabilities.
+pub fn render_table1(products: &[ProductInfo]) -> String {
+    let label_width = 36;
+    let widths: Vec<usize> = products
+        .iter()
+        .map(|p| {
+            p.product
+                .len()
+                .max(
+                    p.sql_inline_support
+                        .iter()
+                        .map(String::len)
+                        .max()
+                        .unwrap_or(0),
+                )
+                .max(
+                    p.additional_features
+                        .iter()
+                        .map(String::len)
+                        .max()
+                        .unwrap_or(1),
+                )
+                .max(p.materialized_set_representation.len())
+                .max(p.design_tool.len())
+                .max(p.workflow_language.len())
+                .max(p.process_modeling.len())
+                .max(p.external_dataset_reference.len())
+                .max(p.external_datasource_reference.len())
+                .max(p.vendor.len())
+        })
+        .collect();
+
+    let mut out = String::new();
+    out.push_str("TABLE I — GENERAL INFORMATION AND DATA MANAGEMENT CAPABILITIES\n\n");
+    let vendors: Vec<String> = products.iter().map(|p| p.vendor.clone()).collect();
+    let names: Vec<String> = products.iter().map(|p| p.product.clone()).collect();
+    out.push_str(&row("", &vendors, &widths, label_width));
+    out.push_str(&row("", &names, &widths, label_width));
+    let sep = format!(
+        "{}\n",
+        "-".repeat(label_width + 2 + widths.iter().map(|w| w + 3).sum::<usize>())
+    );
+    out.push_str(&sep);
+    out.push_str("General Information\n");
+    let field = |f: fn(&ProductInfo) -> String| -> Vec<String> {
+        products.iter().map(f).collect::<Vec<String>>()
+    };
+    out.push_str(&row(
+        "  Workflow Language",
+        &field(|p| p.workflow_language.clone()),
+        &widths,
+        label_width,
+    ));
+    out.push_str(&row(
+        "  Level of Process Modeling",
+        &field(|p| p.process_modeling.clone()),
+        &widths,
+        label_width,
+    ));
+    out.push_str(&row(
+        "  Workflow Design Tool",
+        &field(|p| p.design_tool.clone()),
+        &widths,
+        label_width,
+    ));
+    out.push_str(&sep);
+    out.push_str("Data Management Capabilities\n");
+    let max_inline = products
+        .iter()
+        .map(|p| p.sql_inline_support.len())
+        .max()
+        .unwrap_or(0);
+    for i in 0..max_inline {
+        let label = if i == 0 { "  SQL Inline Support" } else { "" };
+        out.push_str(&row(
+            label,
+            &field_idx(products, i, |p| &p.sql_inline_support),
+            &widths,
+            label_width,
+        ));
+    }
+    out.push_str(&row(
+        "  Reference to External Data Set",
+        &field(|p| p.external_dataset_reference.clone()),
+        &widths,
+        label_width,
+    ));
+    out.push_str(&row(
+        "  Materialized Set Representation",
+        &field(|p| p.materialized_set_representation.clone()),
+        &widths,
+        label_width,
+    ));
+    out.push_str(&row(
+        "  Reference to External Data Source",
+        &field(|p| p.external_datasource_reference.clone()),
+        &widths,
+        label_width,
+    ));
+    let max_feat = products
+        .iter()
+        .map(|p| p.additional_features.len().max(1))
+        .max()
+        .unwrap_or(1);
+    for i in 0..max_feat {
+        let label = if i == 0 { "  Additional Features" } else { "" };
+        let cells: Vec<String> = products
+            .iter()
+            .map(|p| {
+                p.additional_features.get(i).cloned().unwrap_or_else(|| {
+                    if i == 0 {
+                        "-".into()
+                    } else {
+                        String::new()
+                    }
+                })
+            })
+            .collect();
+        out.push_str(&row(label, &cells, &widths, label_width));
+    }
+    out
+}
+
+fn field_idx<'a>(
+    products: &'a [ProductInfo],
+    i: usize,
+    f: impl Fn(&'a ProductInfo) -> &'a Vec<String>,
+) -> Vec<String> {
+    products
+        .iter()
+        .map(|p| f(p).get(i).cloned().unwrap_or_default())
+        .collect()
+}
+
+/// Render Table II — the pattern support matrix, with footnotes.
+pub fn render_table2(matrices: &[SupportMatrix]) -> String {
+    let mut out = String::new();
+    out.push_str("TABLE II — DATA MANAGEMENT PATTERN SUPPORT\n\n");
+
+    // Collect footnote qualifiers in order of appearance.
+    let mut footnotes: Vec<String> = Vec::new();
+    for m in matrices {
+        for r in &m.realizations {
+            if let SupportLevel::Partial(q) = &r.level {
+                if !footnotes.contains(q) {
+                    footnotes.push(q.clone());
+                }
+            }
+        }
+    }
+    let footnote_index = |q: &str| footnotes.iter().position(|f| f == q).unwrap() + 1;
+
+    let label_width = matrices
+        .iter()
+        .flat_map(|m| m.mechanisms().into_iter().map(str::len))
+        .max()
+        .unwrap_or(10)
+        .max(30);
+    let col_widths: Vec<usize> = DataPattern::ALL
+        .iter()
+        .map(|p| p.title().len().max(3))
+        .collect();
+
+    // Header.
+    let headers: Vec<String> = DataPattern::ALL
+        .iter()
+        .map(|p| p.title().to_string())
+        .collect();
+    out.push_str(&row("", &headers, &col_widths, label_width));
+    let sep = format!(
+        "{}\n",
+        "-".repeat(label_width + 2 + col_widths.iter().map(|w| w + 3).sum::<usize>())
+    );
+    out.push_str(&sep);
+
+    for m in matrices {
+        out.push_str(&format!("{}\n", m.product));
+        for mech in m.mechanisms() {
+            let cells: Vec<String> = DataPattern::ALL
+                .iter()
+                .map(|p| {
+                    m.realizations
+                        .iter()
+                        .find(|r| r.mechanism == mech && r.pattern == *p)
+                        .map(|r| match &r.level {
+                            SupportLevel::Partial(q) => {
+                                format!("x^{}", footnote_index(q))
+                            }
+                            _ => "x".to_string(),
+                        })
+                        .unwrap_or_default()
+                })
+                .collect();
+            out.push_str(&row(&format!("  {mech}"), &cells, &col_widths, label_width));
+        }
+        out.push_str(&sep);
+    }
+
+    if !footnotes.is_empty() {
+        let legend: Vec<String> = footnotes
+            .iter()
+            .enumerate()
+            .map(|(i, q)| format!("^{} {}", i + 1, q))
+            .collect();
+        out.push_str(&legend.join(", "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render Figure 1 — the SQL-support taxonomy.
+pub fn render_figure1(entries: &[TaxonomyEntry]) -> String {
+    let mut out = String::new();
+    out.push_str("FIG. 1 — SQL SUPPORT IN SELECTED WORKFLOW PRODUCTS\n\n");
+    out.push_str("SQL support in workflow products\n");
+    out.push_str("├── adapter technology (service integration; data management\n");
+    out.push_str("│   separated from the process logic)\n");
+    out.push_str("└── SQL inline support (tight integration; data management\n");
+    out.push_str("    uncovered at the process level)\n\n");
+    for e in entries {
+        out.push_str(&format!("  {:<36} {}\n", e.product, e.approach));
+        out.push_str(&format!("  {:<36}   {}\n", "", e.note));
+    }
+    out
+}
+
+/// Render Figure 2 — the data management pattern catalog.
+pub fn render_figure2() -> String {
+    let mut out = String::new();
+    out.push_str("FIG. 2 — DATA MANAGEMENT PATTERNS\n\n");
+    out.push_str("External data (managed by a DBMS, outside the process space):\n");
+    for p in DataPattern::ALL.iter().filter(|p| p.on_external_data()) {
+        out.push_str(&format!(
+            "  • {:<18} {}\n",
+            format!("{p} Pattern"),
+            p.description()
+        ));
+    }
+    out.push_str("\nInternal data (the data cache in the process space):\n");
+    for p in DataPattern::ALL.iter().filter(|p| !p.on_external_data()) {
+        out.push_str(&format!(
+            "  • {:<18} {}\n",
+            format!("{p} Pattern"),
+            p.description()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+    use crate::taxonomy::figure1_entries;
+
+    fn sample_product() -> ProductInfo {
+        ProductInfo {
+            vendor: "IBM".into(),
+            product: "Business Integration Suite (BIS)".into(),
+            workflow_language: "BPEL".into(),
+            process_modeling: "graphical, (markup)".into(),
+            design_tool: "WebSphere Integration Developer".into(),
+            sql_inline_support: vec![
+                "SQL Activity".into(),
+                "Retrieve Set Activity".into(),
+                "Atomic SQL Sequence".into(),
+            ],
+            external_dataset_reference: "Set Reference, static text".into(),
+            materialized_set_representation: "proprietary XML RowSet".into(),
+            external_datasource_reference: "dynamic, static".into(),
+            additional_features: vec!["Lifecycle Management for DB Entities".into()],
+        }
+    }
+
+    #[test]
+    fn table1_contains_all_fields() {
+        let s = render_table1(&[sample_product()]);
+        assert!(s.contains("Workflow Language"));
+        assert!(s.contains("BPEL"));
+        assert!(s.contains("Atomic SQL Sequence"));
+        assert!(s.contains("Lifecycle Management"));
+        assert!(s.contains("dynamic, static"));
+    }
+
+    #[test]
+    fn table2_matches_paper_shape() {
+        let s = render_table2(&paper::paper_table2());
+        assert!(s.contains("IBM Business Integration Suite"));
+        assert!(s.contains("Only workarounds possible"));
+        // Footnotes present and numbered.
+        assert!(s.contains("x^1"));
+        assert!(s.contains("x^2"));
+        assert!(s.contains("^1 only UPDATE"));
+        assert!(s.contains("^2 only DELETE and INSERT"));
+    }
+
+    #[test]
+    fn figures_render() {
+        let f1 = render_figure1(&figure1_entries());
+        assert!(f1.contains("adapter technology"));
+        assert!(f1.contains("Oracle SOA Suite"));
+        let f2 = render_figure2();
+        assert!(f2.contains("External data"));
+        assert!(f2.contains("Synchronization Pattern"));
+        assert_eq!(f2.matches("Pattern").count(), 9);
+    }
+}

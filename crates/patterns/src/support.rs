@@ -1,0 +1,203 @@
+//! The support model behind Table II: which mechanism realizes which
+//! pattern, at what abstraction level.
+
+use crate::pattern::DataPattern;
+
+/// How abstractly a pattern is realized (Sec. VI-C: the more
+/// implementation details are hidden from the process designer, the
+/// better).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SupportLevel {
+    /// A dedicated abstract mechanism covers the pattern.
+    Native,
+    /// A dedicated mechanism covers part of the pattern (Table II's
+    /// footnotes, e.g. “only UPDATE”).
+    Partial(String),
+    /// Only realizable through user-specific code (Java-Snippets, code
+    /// activities, manual SQL).
+    Workaround,
+}
+
+impl SupportLevel {
+    /// Table II cell mark.
+    pub fn mark(&self) -> String {
+        match self {
+            SupportLevel::Native => "x".to_string(),
+            SupportLevel::Partial(q) => format!("x ({q})"),
+            SupportLevel::Workaround => "x".to_string(),
+        }
+    }
+
+    /// Is this a workaround-level realization?
+    pub fn is_workaround(&self) -> bool {
+        matches!(self, SupportLevel::Workaround)
+    }
+}
+
+/// One realization of one pattern by one mechanism — one `x` in Table II.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternRealization {
+    pub pattern: DataPattern,
+    /// Row label in Table II (e.g. "SQL", "Retrieve Set",
+    /// "Assign (BPEL-specific XPath)", "Only workarounds possible").
+    pub mechanism: String,
+    pub level: SupportLevel,
+}
+
+impl PatternRealization {
+    /// Native realization.
+    pub fn native(pattern: DataPattern, mechanism: impl Into<String>) -> PatternRealization {
+        PatternRealization {
+            pattern,
+            mechanism: mechanism.into(),
+            level: SupportLevel::Native,
+        }
+    }
+
+    /// Partial realization with a footnote qualifier.
+    pub fn partial(
+        pattern: DataPattern,
+        mechanism: impl Into<String>,
+        qualifier: impl Into<String>,
+    ) -> PatternRealization {
+        PatternRealization {
+            pattern,
+            mechanism: mechanism.into(),
+            level: SupportLevel::Partial(qualifier.into()),
+        }
+    }
+
+    /// Workaround realization.
+    pub fn workaround(pattern: DataPattern) -> PatternRealization {
+        PatternRealization {
+            pattern,
+            mechanism: "Only workarounds possible".into(),
+            level: SupportLevel::Workaround,
+        }
+    }
+}
+
+/// The full pattern-support claim of one product: an ordered list of
+/// mechanism rows, each marking the patterns it realizes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SupportMatrix {
+    pub product: String,
+    pub realizations: Vec<PatternRealization>,
+}
+
+impl SupportMatrix {
+    /// Empty matrix for a product.
+    pub fn new(product: impl Into<String>) -> SupportMatrix {
+        SupportMatrix {
+            product: product.into(),
+            realizations: Vec::new(),
+        }
+    }
+
+    /// Builder: add a realization.
+    pub fn with(mut self, r: PatternRealization) -> SupportMatrix {
+        self.realizations.push(r);
+        self
+    }
+
+    /// Mechanism row labels, in first-appearance order.
+    pub fn mechanisms(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for r in &self.realizations {
+            if !out.contains(&r.mechanism.as_str()) {
+                out.push(&r.mechanism);
+            }
+        }
+        out
+    }
+
+    /// The realization(s) of a pattern.
+    pub fn for_pattern(&self, pattern: DataPattern) -> Vec<&PatternRealization> {
+        self.realizations
+            .iter()
+            .filter(|r| r.pattern == pattern)
+            .collect()
+    }
+
+    /// Is the pattern realized at all?
+    pub fn covers(&self, pattern: DataPattern) -> bool {
+        !self.for_pattern(pattern).is_empty()
+    }
+
+    /// Is the pattern *fully* covered without workarounds?
+    /// (Partial + workaround combinations count as needing workarounds.)
+    pub fn abstractly_covered(&self, pattern: DataPattern) -> bool {
+        let rs = self.for_pattern(pattern);
+        !rs.is_empty() && rs.iter().any(|r| r.level == SupportLevel::Native)
+    }
+
+    /// Patterns realizable only through workarounds.
+    pub fn workaround_only(&self) -> Vec<DataPattern> {
+        DataPattern::ALL
+            .into_iter()
+            .filter(|p| {
+                let rs = self.for_pattern(*p);
+                !rs.is_empty() && rs.iter().all(|r| r.level.is_workaround())
+            })
+            .collect()
+    }
+
+    /// All nine patterns covered (the completeness expectation of
+    /// Sec. II-A)?
+    pub fn complete(&self) -> bool {
+        DataPattern::ALL.into_iter().all(|p| self.covers(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SupportMatrix {
+        SupportMatrix::new("Test Suite")
+            .with(PatternRealization::native(DataPattern::Query, "SQL"))
+            .with(PatternRealization::native(
+                DataPattern::SetRetrieval,
+                "Retrieve Set",
+            ))
+            .with(PatternRealization::partial(
+                DataPattern::TupleIud,
+                "Assign",
+                "only UPDATE",
+            ))
+            .with(PatternRealization::workaround(DataPattern::TupleIud))
+            .with(PatternRealization::workaround(DataPattern::Synchronization))
+    }
+
+    #[test]
+    fn mechanisms_in_order() {
+        let m = sample();
+        assert_eq!(
+            m.mechanisms(),
+            vec!["SQL", "Retrieve Set", "Assign", "Only workarounds possible"]
+        );
+    }
+
+    #[test]
+    fn coverage_queries() {
+        let m = sample();
+        assert!(m.covers(DataPattern::Query));
+        assert!(m.abstractly_covered(DataPattern::Query));
+        assert!(!m.covers(DataPattern::DataSetup));
+        assert!(!m.complete());
+        // Tuple IUD has a partial + a workaround → not abstractly covered,
+        // but also not workaround-only.
+        assert!(!m.abstractly_covered(DataPattern::TupleIud));
+        assert_eq!(m.workaround_only(), vec![DataPattern::Synchronization]);
+    }
+
+    #[test]
+    fn marks() {
+        assert_eq!(SupportLevel::Native.mark(), "x");
+        assert_eq!(
+            SupportLevel::Partial("only UPDATE".into()).mark(),
+            "x (only UPDATE)"
+        );
+        assert!(SupportLevel::Workaround.is_workaround());
+    }
+}

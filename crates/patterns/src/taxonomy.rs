@@ -1,0 +1,122 @@
+//! The Figure 1 taxonomy: how SQL support is added to workflow products.
+
+use std::fmt;
+
+/// Styles of *SQL inline support* — tight integration of SQL into the
+/// process logic (Sec. II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InlineStyle {
+    /// A language extension adding SQL-specific activity types
+    /// (IBM BIS information service activities).
+    SqlActivities,
+    /// An extensible activity library augmented with customized SQL
+    /// activity types (Microsoft WF).
+    CustomActivityTypes,
+    /// Proprietary XPath extension functions inside assign activities
+    /// (Oracle SOA Suite).
+    XPathExtensionFunctions,
+}
+
+impl InlineStyle {
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            InlineStyle::SqlActivities => "SQL-specific activity types",
+            InlineStyle::CustomActivityTypes => "customized SQL activity types",
+            InlineStyle::XPathExtensionFunctions => "XPath extension functions",
+        }
+    }
+}
+
+/// The two top-level approaches of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrationApproach {
+    /// Service integration: adapters mask data management operations as
+    /// Web services, separating them from the process logic.
+    Adapter,
+    /// SQL inline support: data management uncovered at the process
+    /// level by augmenting the workflow language.
+    SqlInline(InlineStyle),
+}
+
+impl fmt::Display for IntegrationApproach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntegrationApproach::Adapter => f.write_str("adapter technology"),
+            IntegrationApproach::SqlInline(s) => {
+                write!(f, "SQL inline support ({})", s.label())
+            }
+        }
+    }
+}
+
+/// One product's position in the taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaxonomyEntry {
+    pub product: String,
+    pub approach: IntegrationApproach,
+    pub note: String,
+}
+
+/// The Figure 1 entries for the surveyed products (all of them also
+/// provide adapter technology; the inline style is what differentiates
+/// them).
+pub fn figure1_entries() -> Vec<TaxonomyEntry> {
+    vec![
+        TaxonomyEntry {
+            product: "IBM Business Integration Suite".into(),
+            approach: IntegrationApproach::SqlInline(InlineStyle::SqlActivities),
+            note: "BPEL language extension: SQL / retrieve set / atomic SQL sequence activities"
+                .into(),
+        },
+        TaxonomyEntry {
+            product: "Microsoft Workflow Foundation".into(),
+            approach: IntegrationApproach::SqlInline(InlineStyle::CustomActivityTypes),
+            note: "extensible activity set augmented to customized SQL activities".into(),
+        },
+        TaxonomyEntry {
+            product: "Oracle SOA Suite".into(),
+            approach: IntegrationApproach::SqlInline(InlineStyle::XPathExtensionFunctions),
+            note: "proprietary XPath extension functions executing SQL on a database system".into(),
+        },
+        TaxonomyEntry {
+            product: "all vendors".into(),
+            approach: IntegrationApproach::Adapter,
+            note: "data management operations masked as Web services, outside the process logic"
+                .into(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_inline_styles_one_adapter() {
+        let entries = figure1_entries();
+        let inline: Vec<_> = entries
+            .iter()
+            .filter(|e| matches!(e.approach, IntegrationApproach::SqlInline(_)))
+            .collect();
+        assert_eq!(inline.len(), 3);
+        assert_eq!(entries.len() - inline.len(), 1);
+    }
+
+    #[test]
+    fn styles_distinct() {
+        let entries = figure1_entries();
+        let mut styles: Vec<String> = entries.iter().map(|e| e.approach.to_string()).collect();
+        styles.sort();
+        styles.dedup();
+        assert_eq!(styles.len(), 4);
+    }
+
+    #[test]
+    fn display_text() {
+        assert!(IntegrationApproach::Adapter.to_string().contains("adapter"));
+        assert!(IntegrationApproach::SqlInline(InlineStyle::SqlActivities)
+            .to_string()
+            .contains("inline"));
+    }
+}

@@ -1,0 +1,166 @@
+//! The verification harness must reject products whose support claims
+//! diverge from what their demonstrations actually do — in either
+//! direction. Without these negative tests, Table II generation could
+//! silently rubber-stamp wrong matrices.
+
+use patterns::{
+    verify_support_matrix, Architecture, DataPattern, Demonstration, PatternRealization,
+    ProbeEnv, ProbeError, ProductInfo, SqlIntegration, SupportLevel, SupportMatrix,
+};
+
+/// A toy product whose demonstrations are configurable.
+struct FakeProduct {
+    matrix: SupportMatrix,
+    /// What `demonstrate` actually reports for the Query pattern.
+    query_demo: Vec<(String, SupportLevel)>,
+}
+
+impl SqlIntegration for FakeProduct {
+    fn product_info(&self) -> ProductInfo {
+        ProductInfo {
+            vendor: "Test".into(),
+            product: "Fake".into(),
+            workflow_language: "none".into(),
+            process_modeling: "none".into(),
+            design_tool: "none".into(),
+            sql_inline_support: vec![],
+            external_dataset_reference: "-".into(),
+            materialized_set_representation: "-".into(),
+            external_datasource_reference: "-".into(),
+            additional_features: vec![],
+        }
+    }
+
+    fn architecture(&self) -> Architecture {
+        Architecture::new("Fake")
+    }
+
+    fn support_matrix(&self) -> SupportMatrix {
+        self.matrix.clone()
+    }
+
+    fn demonstrate(
+        &self,
+        pattern: DataPattern,
+        _env: &mut ProbeEnv,
+    ) -> Result<Vec<Demonstration>, ProbeError> {
+        if pattern == DataPattern::Query {
+            Ok(self
+                .query_demo
+                .iter()
+                .map(|(m, l)| Demonstration::new(pattern, m.clone(), l.clone()).evidence("fake"))
+                .collect())
+        } else {
+            // Everything else honestly claims + demonstrates a workaround.
+            Ok(vec![Demonstration::new(
+                pattern,
+                "Only workarounds possible",
+                SupportLevel::Workaround,
+            )
+            .evidence("fake")])
+        }
+    }
+}
+
+fn honest_matrix() -> SupportMatrix {
+    let mut m = SupportMatrix::new("Fake")
+        .with(PatternRealization::native(DataPattern::Query, "Magic"));
+    for p in DataPattern::ALL.into_iter().skip(1) {
+        m = m.with(PatternRealization::workaround(p));
+    }
+    m
+}
+
+#[test]
+fn honest_product_verifies() {
+    let p = FakeProduct {
+        matrix: honest_matrix(),
+        query_demo: vec![("Magic".into(), SupportLevel::Native)],
+    };
+    let demos = verify_support_matrix(&p).unwrap();
+    assert_eq!(demos.len(), 9);
+}
+
+#[test]
+fn claim_without_demonstration_is_rejected() {
+    // Matrix claims Query natively via "Magic", but the demo reports a
+    // workaround instead.
+    let p = FakeProduct {
+        matrix: honest_matrix(),
+        query_demo: vec![(
+            "Only workarounds possible".into(),
+            SupportLevel::Workaround,
+        )],
+    };
+    let err = verify_support_matrix(&p).unwrap_err();
+    assert!(err.to_string().contains("Query"), "{err}");
+}
+
+#[test]
+fn demonstration_without_claim_is_rejected() {
+    // The demo reports an extra realization the matrix never claimed.
+    let p = FakeProduct {
+        matrix: honest_matrix(),
+        query_demo: vec![
+            ("Magic".into(), SupportLevel::Native),
+            ("Extra".into(), SupportLevel::Native),
+        ],
+    };
+    assert!(verify_support_matrix(&p).is_err());
+}
+
+#[test]
+fn wrong_level_is_rejected() {
+    // Same mechanism, but demonstrated only partially.
+    let p = FakeProduct {
+        matrix: honest_matrix(),
+        query_demo: vec![(
+            "Magic".into(),
+            SupportLevel::Partial("only SELECT *".into()),
+        )],
+    };
+    assert!(verify_support_matrix(&p).is_err());
+}
+
+#[test]
+fn missing_pattern_demonstration_is_rejected() {
+    // Matrix claims Synchronization, but demonstrate returns nothing for it.
+    struct Silent;
+    impl SqlIntegration for Silent {
+        fn product_info(&self) -> ProductInfo {
+            FakeProduct {
+                matrix: honest_matrix(),
+                query_demo: vec![],
+            }
+            .product_info()
+        }
+        fn architecture(&self) -> Architecture {
+            Architecture::new("Silent")
+        }
+        fn support_matrix(&self) -> SupportMatrix {
+            honest_matrix()
+        }
+        fn demonstrate(
+            &self,
+            pattern: DataPattern,
+            _env: &mut ProbeEnv,
+        ) -> Result<Vec<Demonstration>, ProbeError> {
+            if pattern == DataPattern::Synchronization {
+                Ok(vec![]) // claims it, never shows it
+            } else if pattern == DataPattern::Query {
+                Ok(vec![Demonstration::new(
+                    pattern,
+                    "Magic",
+                    SupportLevel::Native,
+                )])
+            } else {
+                Ok(vec![Demonstration::new(
+                    pattern,
+                    "Only workarounds possible",
+                    SupportLevel::Workaround,
+                )])
+            }
+        }
+    }
+    assert!(verify_support_matrix(&Silent).is_err());
+}

@@ -1,0 +1,246 @@
+//! The `bpelx` extension operations (Sec. V-C): Oracle-specific XPath
+//! operations inside assign activities *“that allow to update, insert and
+//! delete local XML data”* — this is what lets Oracle cover the complete
+//! Tuple IUD pattern at an abstract level (Table II).
+
+use flowcore::builtins::CopyFrom;
+use flowcore::{Activity, ActivityContext, FlowError, FlowResult, VarValue};
+use xmlval::{path::element_by_chain_mut, Element, Path, XmlNode};
+
+/// One local-data mutation.
+pub enum BpelxOp {
+    /// `bpelx:copy` — set the text of the selected element(s).
+    Update { path: Path, value: CopyFrom },
+    /// `bpelx:insertChildInto` — append an element under the selected
+    /// parent(s).
+    InsertChild { path: Path, child: Element },
+    /// `bpelx:remove` — delete the selected element(s).
+    Remove { path: Path },
+}
+
+impl BpelxOp {
+    fn display(&self) -> String {
+        match self {
+            BpelxOp::Update { path, .. } => format!("bpelx:copy → {path}"),
+            BpelxOp::InsertChild { path, child } => {
+                format!("bpelx:insertChildInto <{}> under {path}", child.name)
+            }
+            BpelxOp::Remove { path } => format!("bpelx:remove {path}"),
+        }
+    }
+}
+
+/// An assign activity carrying `bpelx` operations over one XML variable.
+pub struct BpelxAssign {
+    name: String,
+    variable: String,
+    ops: Vec<BpelxOp>,
+}
+
+impl BpelxAssign {
+    /// Operations over `variable`.
+    pub fn new(name: impl Into<String>, variable: impl Into<String>) -> BpelxAssign {
+        BpelxAssign {
+            name: name.into(),
+            variable: variable.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Builder: update the text of selected elements.
+    pub fn update(mut self, path: &str, value: CopyFrom) -> FlowResult<BpelxAssign> {
+        self.ops.push(BpelxOp::Update {
+            path: Path::parse(path)?,
+            value,
+        });
+        Ok(self)
+    }
+
+    /// Builder: insert a child under selected parents.
+    pub fn insert_child(mut self, path: &str, child: Element) -> FlowResult<BpelxAssign> {
+        self.ops.push(BpelxOp::InsertChild {
+            path: Path::parse(path)?,
+            child,
+        });
+        Ok(self)
+    }
+
+    /// Builder: remove selected elements.
+    pub fn remove(mut self, path: &str) -> FlowResult<BpelxAssign> {
+        self.ops.push(BpelxOp::Remove {
+            path: Path::parse(path)?,
+        });
+        Ok(self)
+    }
+}
+
+impl Activity for BpelxAssign {
+    fn kind(&self) -> &str {
+        "assign"
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn execute(&self, ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+        for op in &self.ops {
+            ctx.note("assign", &self.name, op.display());
+            // Pre-compute any source value before borrowing the target.
+            let update_text = match op {
+                BpelxOp::Update { value, .. } => Some(match value.read(ctx.variables)? {
+                    VarValue::Scalar(v) => v.render(),
+                    VarValue::Xml(x) => x.text_content(),
+                    VarValue::Null => String::new(),
+                    VarValue::Opaque(_) => {
+                        return Err(FlowError::Variable(
+                            "cannot write an opaque handle into XML".into(),
+                        ))
+                    }
+                }),
+                _ => None,
+            };
+
+            let xml = ctx.variables.require_xml_mut(&self.variable)?;
+            let root = xml.as_element_mut().ok_or_else(|| {
+                FlowError::Variable(format!("variable '{}' is not an element", self.variable))
+            })?;
+            match op {
+                BpelxOp::Update { path, .. } => {
+                    let chains = path.select_chains(root)?;
+                    if chains.is_empty() {
+                        return Err(FlowError::Variable(format!(
+                            "bpelx:copy selected nothing via {path}"
+                        )));
+                    }
+                    let text = update_text.expect("computed above");
+                    for chain in chains {
+                        if let Some(el) = element_by_chain_mut(root, &chain) {
+                            el.set_text(text.clone());
+                        }
+                    }
+                }
+                BpelxOp::InsertChild { path, child } => {
+                    let chains = path.select_chains(root)?;
+                    if chains.is_empty() {
+                        return Err(FlowError::Variable(format!(
+                            "bpelx:insertChildInto selected nothing via {path}"
+                        )));
+                    }
+                    for chain in chains {
+                        if let Some(el) = element_by_chain_mut(root, &chain) {
+                            el.children.push(XmlNode::Element(child.clone()));
+                        }
+                    }
+                }
+                BpelxOp::Remove { path } => {
+                    let mut chains = path.select_chains(root)?;
+                    if chains.is_empty() {
+                        return Err(FlowError::Variable(format!(
+                            "bpelx:remove selected nothing via {path}"
+                        )));
+                    }
+                    // Remove deepest-last so earlier indices stay valid:
+                    // sort descending by the chain itself.
+                    chains.sort();
+                    for chain in chains.into_iter().rev() {
+                        let (last, parent_chain) =
+                            chain.split_last().expect("chains select non-root nodes");
+                        if let Some(parent) = element_by_chain_mut(root, parent_chain) {
+                            if *last < parent.children.len() {
+                                parent.children.remove(*last);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowcore::{Engine, ProcessDefinition, Variables};
+    use sqlkernel::{QueryResult, Value};
+
+    fn rowset() -> XmlNode {
+        xmlval::rowset::encode(&QueryResult {
+            columns: vec!["ItemId".into(), "Quantity".into()],
+            rows: vec![
+                vec![Value::text("gadget"), Value::Int(3)],
+                vec![Value::text("widget"), Value::Int(15)],
+            ],
+        })
+    }
+
+    fn run(root: impl Activity + 'static) -> flowcore::CompletedInstance {
+        let def = ProcessDefinition::new("t", root);
+        let mut vars = Variables::new();
+        vars.set("SV", rowset());
+        Engine::new().run(&def, vars).unwrap()
+    }
+
+    #[test]
+    fn update_insert_delete_cover_tuple_iud() {
+        let new_row = Element::new("Row")
+            .with_text_child("ItemId", "cog")
+            .with_text_child("Quantity", "7");
+        let act = BpelxAssign::new("a", "SV")
+            .update(
+                "/RowSet/Row[1]/Quantity",
+                CopyFrom::Literal(Value::Int(99).into()),
+            )
+            .unwrap()
+            .insert_child("/RowSet", new_row)
+            .unwrap()
+            .remove("/RowSet/Row[2]")
+            .unwrap();
+        let inst = run(act);
+        assert!(inst.is_completed(), "{:?}", inst.outcome);
+        let xml = inst.variables.require_xml("SV").unwrap();
+        let root = xml.as_element().unwrap();
+        let rows: Vec<String> = Path::parse("/RowSet/Row/ItemId")
+            .unwrap()
+            .select_strings(root);
+        assert_eq!(rows, vec!["gadget", "cog"]);
+        assert_eq!(
+            Path::parse("/RowSet/Row[1]/Quantity")
+                .unwrap()
+                .select_strings(root),
+            vec!["99"]
+        );
+    }
+
+    #[test]
+    fn remove_multiple_selections() {
+        let act = BpelxAssign::new("a", "SV").remove("/RowSet/Row").unwrap();
+        let inst = run(act);
+        let xml = inst.variables.require_xml("SV").unwrap();
+        assert_eq!(xmlval::rowset::row_count(xml), 0);
+    }
+
+    #[test]
+    fn empty_selection_faults() {
+        let act = BpelxAssign::new("a", "SV").remove("/RowSet/Nope").unwrap();
+        let inst = run(act);
+        assert!(inst.is_faulted());
+    }
+
+    #[test]
+    fn update_from_another_variable() {
+        let act = BpelxAssign::new("a", "SV")
+            .update("/RowSet/Row[2]/Quantity", CopyFrom::Variable("n".into()))
+            .unwrap();
+        let def = ProcessDefinition::new("t", act);
+        let mut vars = Variables::new();
+        vars.set("SV", rowset());
+        vars.set("n", Value::Int(42));
+        let inst = Engine::new().run(&def, vars).unwrap();
+        assert!(inst.is_completed());
+        let xml = inst.variables.require_xml("SV").unwrap();
+        assert_eq!(
+            xmlval::rowset::cell_value(xml, 1, "Quantity").unwrap(),
+            Value::Int(42)
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! The sequential-access workaround (Sec. V-C): *“one can use as
+//! workaround a while activity and an Oracle-specific Java-Snippet
+//! activity for providing sequential access to rows of an XML RowSet.”*
+
+use flowcore::builtins::{Sequence, While};
+use flowcore::{Activity, ActivityContext, FlowError};
+use sqlkernel::Value;
+use xmlval::XmlNode;
+
+use crate::functions::java_snippet;
+
+fn position_var(set_var: &str) -> String {
+    format!("{set_var}#pos")
+}
+
+fn position(ctx: &ActivityContext<'_>, set_var: &str) -> usize {
+    ctx.variables
+        .get(&position_var(set_var))
+        .and_then(|v| v.as_scalar())
+        .and_then(Value::as_i64)
+        .unwrap_or(0) as usize
+}
+
+/// Build the while + Java-Snippet iteration over an XML RowSet variable,
+/// binding each `<Row>` to `current_var`.
+pub fn rowset_while(
+    name: impl Into<String>,
+    rowset_var: impl Into<String>,
+    current_var: impl Into<String>,
+    body: impl Activity + 'static,
+) -> While {
+    let rowset_var = rowset_var.into();
+    let current_var = current_var.into();
+    let cond_var = rowset_var.clone();
+    let fetch_var = rowset_var.clone();
+
+    let fetch = java_snippet(
+        format!("store next tuple of {rowset_var} into {current_var}"),
+        move |ctx| {
+            let pos = position(ctx, &fetch_var);
+            let xml = ctx.variables.require_xml(&fetch_var)?;
+            let row = xml
+                .as_element()
+                .and_then(|e| e.children_named(xmlval::rowset::ROW_ELEM).nth(pos))
+                .ok_or_else(|| {
+                    FlowError::Variable(format!("iteration past row {pos} of '{fetch_var}'"))
+                })?
+                .clone();
+            ctx.variables
+                .set(current_var.clone(), XmlNode::Element(row));
+            ctx.variables
+                .set(position_var(&fetch_var), Value::Int((pos + 1) as i64));
+            Ok(())
+        },
+    );
+
+    While::new(
+        name,
+        move |ctx: &ActivityContext<'_>| {
+            let len = xmlval::rowset::row_count(ctx.variables.require_xml(&cond_var)?);
+            Ok(position(ctx, &cond_var) < len)
+        },
+        Sequence::new("iteration")
+            .then(fetch)
+            .then_boxed(Box::new(body)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowcore::builtins::Snippet;
+    use flowcore::{Engine, ProcessDefinition, Variables};
+    use sqlkernel::QueryResult;
+
+    #[test]
+    fn iterates_rowset() {
+        let rs = QueryResult {
+            columns: vec!["v".into()],
+            rows: vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+                vec![Value::Int(3)],
+            ],
+        };
+        let body = Snippet::new("sum", |ctx| {
+            let cur = ctx.variables.require_xml("Cur")?;
+            let text = cur.text_content().parse::<i64>().unwrap_or(0);
+            let acc = ctx
+                .variables
+                .get("acc")
+                .and_then(|x| x.as_scalar())
+                .and_then(Value::as_i64)
+                .unwrap_or(0);
+            ctx.variables.set("acc", Value::Int(acc + text));
+            Ok(())
+        });
+        let def = ProcessDefinition::new("t", rowset_while("loop", "SV", "Cur", body));
+        let mut vars = Variables::new();
+        vars.set("SV", xmlval::rowset::encode(&rs));
+        let inst = Engine::new().run(&def, vars).unwrap();
+        assert!(inst.is_completed(), "{:?}", inst.outcome);
+        assert_eq!(
+            inst.variables.require_scalar("acc").unwrap(),
+            &Value::Int(6)
+        );
+    }
+}

@@ -1,0 +1,423 @@
+//! The XPath extension functions (Sec. V-B) and the assign activity that
+//! hosts them.
+//!
+//! Oracle's SQL inline support is *not* a set of SQL activity types:
+//! proprietary XPath extension functions (`ora:` / `orcl:` namespaces)
+//! are called from within BPEL assign activities. [`SoaAssign`] models
+//! exactly that: an assign whose source is one extension function call
+//! and whose target is a process variable.
+
+use flowcore::builtins::CopyFrom;
+use flowcore::{Activity, ActivityContext, FlowError, FlowResult, VarValue};
+use sqlkernel::{Database, Value};
+use xmlval::XmlNode;
+
+use crate::env::env_of;
+use crate::xsql::process_xsql;
+
+/// `ora:query-database(sql, connection)` — executes any valid SQL query
+/// given as a string and returns the result set as an XML RowSet.
+pub fn query_database(db: &Database, sql: &str) -> FlowResult<XmlNode> {
+    let rs = db.connect().query(sql, &[]).map_err(FlowError::from)?;
+    Ok(xmlval::rowset::encode(&rs))
+}
+
+/// `ora:sequence-next-val(sequence, connection)` — the next value of a
+/// predefined integer sequence (e.g. for unique primary keys).
+pub fn sequence_next_val(db: &Database, sequence: &str) -> FlowResult<Value> {
+    let rs = db
+        .connect()
+        .query("SELECT NEXTVAL(?)", &[Value::text(sequence)])
+        .map_err(FlowError::from)?;
+    Ok(rs.single_value().map_err(FlowError::from)?.clone())
+}
+
+/// `orcl:lookup-table(table, inputColumn, key, outputColumn, connection)`
+/// — generates `SELECT outputColumn FROM table WHERE inputColumn = key`
+/// and returns exactly one column value.
+pub fn lookup_table(
+    db: &Database,
+    table: &str,
+    input_column: &str,
+    key: &Value,
+    output_column: &str,
+) -> FlowResult<Value> {
+    let sql = format!("SELECT {output_column} FROM {table} WHERE {input_column} = ?");
+    let rs = db
+        .connect()
+        .query(&sql, std::slice::from_ref(key))
+        .map_err(FlowError::from)?;
+    match rs.rows.len() {
+        1 => Ok(rs.rows[0][0].clone()),
+        0 => Err(FlowError::Variable(format!(
+            "lookup-table: no row in {table} with {input_column} = {key}"
+        ))),
+        n => Err(FlowError::Variable(format!(
+            "lookup-table: {n} rows matched in {table} (expected exactly one)"
+        ))),
+    }
+}
+
+/// One XPath extension function call, as embeddable in an assign.
+pub enum ExtFunction {
+    /// `ora:query-database(sql, conn)`.
+    QueryDatabase { connection: String, sql: String },
+    /// `ora:sequence-next-val(sequence, conn)`.
+    SequenceNextVal {
+        connection: String,
+        sequence: String,
+    },
+    /// `orcl:lookup-table(table, inputColumn, key, outputColumn, conn)`.
+    LookupTable {
+        connection: String,
+        table: String,
+        input_column: String,
+        key: CopyFrom,
+        output_column: String,
+    },
+    /// `ora:processXSQL(page, params…, conn)`.
+    ProcessXsql {
+        connection: String,
+        page: String,
+        params: Vec<(String, CopyFrom)>,
+    },
+}
+
+impl ExtFunction {
+    /// The `namespace:function` spelling for audit output.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            ExtFunction::QueryDatabase { .. } => "ora:query-database",
+            ExtFunction::SequenceNextVal { .. } => "ora:sequence-next-val",
+            ExtFunction::LookupTable { .. } => "orcl:lookup-table",
+            ExtFunction::ProcessXsql { .. } => "ora:processXSQL",
+        }
+    }
+
+    fn evaluate(&self, ctx: &mut ActivityContext<'_>) -> FlowResult<VarValue> {
+        match self {
+            ExtFunction::QueryDatabase { connection, sql } => {
+                let db = env_of(ctx)?.resolve(connection)?;
+                Ok(VarValue::Xml(query_database(&db, sql)?))
+            }
+            ExtFunction::SequenceNextVal {
+                connection,
+                sequence,
+            } => {
+                let db = env_of(ctx)?.resolve(connection)?;
+                Ok(VarValue::Scalar(sequence_next_val(&db, sequence)?))
+            }
+            ExtFunction::LookupTable {
+                connection,
+                table,
+                input_column,
+                key,
+                output_column,
+            } => {
+                let db = env_of(ctx)?.resolve(connection)?;
+                let key = match key.read(ctx.variables)? {
+                    VarValue::Scalar(v) => v,
+                    VarValue::Xml(x) => Value::Text(x.text_content()),
+                    other => {
+                        return Err(FlowError::Variable(format!(
+                            "lookup-table key must be scalar, got {}",
+                            other.type_tag()
+                        )))
+                    }
+                };
+                Ok(VarValue::Scalar(lookup_table(
+                    &db,
+                    table,
+                    input_column,
+                    &key,
+                    output_column,
+                )?))
+            }
+            ExtFunction::ProcessXsql {
+                connection,
+                page,
+                params,
+            } => {
+                let db = env_of(ctx)?.resolve(connection)?;
+                let mut bound = Vec::with_capacity(params.len());
+                for (name, from) in params {
+                    let v = match from.read(ctx.variables)? {
+                        VarValue::Scalar(v) => v,
+                        VarValue::Xml(x) => Value::Text(x.text_content()),
+                        VarValue::Null => Value::Null,
+                        VarValue::Opaque(_) => {
+                            return Err(FlowError::Variable(format!(
+                                "XSQL parameter '{name}' cannot be an opaque handle"
+                            )))
+                        }
+                    };
+                    bound.push((name.clone(), v));
+                }
+                Ok(VarValue::Xml(process_xsql(&db, page, &bound)?))
+            }
+        }
+    }
+}
+
+/// An assign activity whose source is one XPath extension function call.
+/// Optionally also stores a return status (for `processXSQL`, the
+/// paper's `Status` variable in Figure 8).
+pub struct SoaAssign {
+    name: String,
+    function: ExtFunction,
+    target_var: String,
+    status_var: Option<String>,
+}
+
+impl SoaAssign {
+    /// `target_var ← function()`.
+    pub fn new(
+        name: impl Into<String>,
+        function: ExtFunction,
+        target_var: impl Into<String>,
+    ) -> SoaAssign {
+        SoaAssign {
+            name: name.into(),
+            function,
+            target_var: target_var.into(),
+            status_var: None,
+        }
+    }
+
+    /// Builder: also set `status_var` to `"OK"` / the fault text.
+    pub fn with_status(mut self, status_var: impl Into<String>) -> SoaAssign {
+        self.status_var = Some(status_var.into());
+        self
+    }
+}
+
+impl Activity for SoaAssign {
+    fn kind(&self) -> &str {
+        "assign"
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn execute(&self, ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+        ctx.note(
+            "assign",
+            &self.name,
+            format!("{}(…) → {}", self.function.display_name(), self.target_var),
+        );
+        let result = self.function.evaluate(ctx);
+        if let Some(status_var) = &self.status_var {
+            let status = match &result {
+                Ok(_) => "OK".to_string(),
+                Err(e) => format!("FAULT: {e}"),
+            };
+            ctx.variables.set(status_var.clone(), Value::Text(status));
+        }
+        let value = result?;
+        ctx.variables.set(self.target_var.clone(), value);
+        Ok(())
+    }
+}
+
+/// `getVariableData(variable, path)` — the BPEL XPath function for
+/// extracting row sets or single node values from an XML RowSet
+/// (available both in assigns and Java snippets, Sec. V-C).
+pub fn get_variable_data(variable: impl Into<String>, path: &str) -> FlowResult<CopyFrom> {
+    CopyFrom::path(variable, path)
+}
+
+/// Like [`get_variable_data`] but extracting a whole node (entire row).
+pub fn get_variable_node(variable: impl Into<String>, path: &str) -> FlowResult<CopyFrom> {
+    Ok(CopyFrom::PathNode {
+        variable: variable.into(),
+        path: xmlval::Path::parse(path)?,
+    })
+}
+
+/// An Oracle-specific Java-Snippet activity (the `bpelx:exec` analog used
+/// by the paper's sequential-access workaround).
+pub fn java_snippet(
+    name: impl Into<String>,
+    body: impl Fn(&mut ActivityContext<'_>) -> FlowResult<()> + 'static,
+) -> flowcore::builtins::Snippet {
+    flowcore::builtins::Snippet::with_kind(name, "java-snippet", body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{connection_string, SoaEnvironment};
+    use flowcore::{Engine, ProcessDefinition, Variables};
+
+    fn db() -> Database {
+        let d = Database::new("orders_db");
+        d.connect()
+            .execute_script(
+                "CREATE TABLE t (id INT PRIMARY KEY, name TEXT);
+                 INSERT INTO t VALUES (1, 'widget'), (2, 'gadget');
+                 CREATE SEQUENCE s START WITH 500;",
+            )
+            .unwrap();
+        d
+    }
+
+    fn run(d: &Database, root: impl Activity + 'static) -> flowcore::CompletedInstance {
+        let def = SoaEnvironment::new()
+            .with_database(d.clone())
+            .install(ProcessDefinition::new("t", root));
+        Engine::new().run(&def, Variables::new()).unwrap()
+    }
+
+    #[test]
+    fn query_database_materializes_rowset() {
+        let d = db();
+        let inst = run(
+            &d,
+            SoaAssign::new(
+                "Assign_1",
+                ExtFunction::QueryDatabase {
+                    connection: connection_string("orders_db"),
+                    sql: "SELECT name FROM t ORDER BY id".into(),
+                },
+                "SV",
+            ),
+        );
+        assert!(inst.is_completed(), "{:?}", inst.outcome);
+        let xml = inst.variables.require_xml("SV").unwrap();
+        assert_eq!(xmlval::rowset::row_count(xml), 2);
+    }
+
+    #[test]
+    fn sequence_next_val_advances() {
+        let d = db();
+        let root = flowcore::builtins::Sequence::new("s")
+            .then(SoaAssign::new(
+                "a1",
+                ExtFunction::SequenceNextVal {
+                    connection: connection_string("orders_db"),
+                    sequence: "s".into(),
+                },
+                "id1",
+            ))
+            .then(SoaAssign::new(
+                "a2",
+                ExtFunction::SequenceNextVal {
+                    connection: connection_string("orders_db"),
+                    sequence: "s".into(),
+                },
+                "id2",
+            ));
+        let inst = run(&d, root);
+        assert_eq!(
+            inst.variables.require_scalar("id1").unwrap(),
+            &Value::Int(500)
+        );
+        assert_eq!(
+            inst.variables.require_scalar("id2").unwrap(),
+            &Value::Int(501)
+        );
+    }
+
+    #[test]
+    fn lookup_table_exact_semantics() {
+        let d = db();
+        let inst = run(
+            &d,
+            SoaAssign::new(
+                "lk",
+                ExtFunction::LookupTable {
+                    connection: connection_string("orders_db"),
+                    table: "t".into(),
+                    input_column: "id".into(),
+                    key: CopyFrom::Literal(Value::Int(2).into()),
+                    output_column: "name".into(),
+                },
+                "found",
+            ),
+        );
+        assert_eq!(
+            inst.variables.require_scalar("found").unwrap(),
+            &Value::text("gadget")
+        );
+        // Missing key faults the instance.
+        let inst = run(
+            &d,
+            SoaAssign::new(
+                "lk",
+                ExtFunction::LookupTable {
+                    connection: connection_string("orders_db"),
+                    table: "t".into(),
+                    input_column: "id".into(),
+                    key: CopyFrom::Literal(Value::Int(99).into()),
+                    output_column: "name".into(),
+                },
+                "found",
+            ),
+        );
+        assert!(inst.is_faulted());
+    }
+
+    #[test]
+    fn process_xsql_with_status() {
+        let d = db();
+        let inst = run(
+            &d,
+            SoaAssign::new(
+                "Assign_2",
+                ExtFunction::ProcessXsql {
+                    connection: connection_string("orders_db"),
+                    page: "<xsql:page xmlns:xsql=\"urn:x\">\
+                           <xsql:dml>INSERT INTO t VALUES ({@id}, {@name})</xsql:dml>\
+                           </xsql:page>"
+                        .into(),
+                    params: vec![
+                        ("id".into(), CopyFrom::Literal(Value::Int(3).into())),
+                        ("name".into(), CopyFrom::Literal(Value::text("cog").into())),
+                    ],
+                },
+                "Result",
+            )
+            .with_status("Status"),
+        );
+        assert!(inst.is_completed(), "{:?}", inst.outcome);
+        assert_eq!(
+            inst.variables.require_scalar("Status").unwrap(),
+            &Value::text("OK")
+        );
+        assert_eq!(d.table_len("t").unwrap(), 3);
+    }
+
+    #[test]
+    fn status_records_faults() {
+        let d = db();
+        let inst = run(
+            &d,
+            SoaAssign::new(
+                "bad",
+                ExtFunction::ProcessXsql {
+                    connection: connection_string("orders_db"),
+                    page: "<xsql:page xmlns:xsql=\"urn:x\">\
+                           <xsql:dml>INSERT INTO nosuch VALUES (1)</xsql:dml>\
+                           </xsql:page>"
+                        .into(),
+                    params: vec![],
+                },
+                "Result",
+            )
+            .with_status("Status"),
+        );
+        assert!(inst.is_faulted());
+        assert!(inst
+            .variables
+            .require_scalar("Status")
+            .unwrap()
+            .render()
+            .starts_with("FAULT"));
+    }
+
+    #[test]
+    fn get_variable_data_helpers() {
+        assert!(get_variable_data("SV", "/RowSet/Row[1]/ItemId").is_ok());
+        assert!(get_variable_node("SV", "/RowSet/Row[1]").is_ok());
+        assert!(get_variable_data("SV", "a[[").is_err());
+    }
+}

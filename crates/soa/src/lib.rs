@@ -1,0 +1,42 @@
+//! `soa` — the Oracle SOA Suite integration style (paper Sec. V).
+//!
+//! Oracle's SQL inline support is based not on SQL activity types but on
+//! proprietary **XPath extension functions** called from BPEL assign
+//! activities:
+//!
+//! * [`functions::query_database`] / [`functions::ExtFunction::QueryDatabase`]
+//!   — `ora:query-database`: any SQL query, result as XML RowSet,
+//! * [`functions::sequence_next_val`] — `ora:sequence-next-val`,
+//! * [`functions::lookup_table`] — `orcl:lookup-table` (generated
+//!   single-row lookup),
+//! * [`xsql::process_xsql`] — `ora:processXSQL`: SQL embedded in XML
+//!   documents, covering queries, DML, DDL and stored procedures,
+//! * [`functions::SoaAssign`] — the assign activity hosting a function
+//!   call, with the Figure 8 `Status` return-status convention,
+//! * [`bpelx::BpelxAssign`] — Oracle-specific local-XML mutations
+//!   (update / insertChildInto / remove) covering the complete Tuple IUD
+//!   pattern at an abstract level,
+//! * [`cursor::rowset_while`] — the while + Java-Snippet workaround for
+//!   sequential RowSet access,
+//! * [`sample::figure8_process`] — the running example (Fig. 8),
+//! * [`integration::OracleProduct`] — the [`patterns::SqlIntegration`]
+//!   implementation.
+
+pub mod bpelx;
+pub mod cursor;
+pub mod env;
+pub mod functions;
+pub mod integration;
+pub mod sample;
+pub mod xsql;
+
+pub use bpelx::{BpelxAssign, BpelxOp};
+pub use cursor::rowset_while;
+pub use env::{connection_string, SoaEnvironment};
+pub use functions::{
+    get_variable_data, get_variable_node, java_snippet, lookup_table, query_database,
+    sequence_next_val, ExtFunction, SoaAssign,
+};
+pub use integration::OracleProduct;
+pub use sample::figure8_process;
+pub use xsql::process_xsql;

@@ -1,0 +1,167 @@
+//! The Figure 8 sample workflow: the running example realized with
+//! Oracle SOA Suite technology.
+//!
+//! All tables are identified by name as static text. `Assign_1` calls
+//! `ora:query-database` and stores the XML RowSet in `SV_ItemList`; a
+//! while activity with an Oracle-specific Java-Snippet iterates; `Invoke`
+//! calls `OrderFromSupplier`; `Assign_2` calls `ora:processXSQL` with an
+//! INSERT whose parameters come from `CurrentItem` and
+//! `OrderConfirmation`, and `Status` receives the return status.
+
+use flowcore::builtins::{Invoke, Sequence};
+use flowcore::ProcessDefinition;
+
+use crate::cursor::rowset_while;
+use crate::env::{connection_string, SoaEnvironment};
+use crate::functions::{get_variable_data, ExtFunction, SoaAssign};
+
+/// The query executed by `Assign_1` via `ora:query-database`.
+pub const ASSIGN_1_SQL: &str = "SELECT ItemId, SUM(Quantity) AS Quantity FROM Orders \
+                                WHERE Approved = TRUE GROUP BY ItemId ORDER BY ItemId";
+
+/// The XSQL page executed by `Assign_2` via `ora:processXSQL`.
+pub const ASSIGN_2_XSQL: &str = "<xsql:page xmlns:xsql=\"urn:oracle-xsql\">\
+    <xsql:dml>INSERT INTO OrderConfirmations (ConfId, ItemId, Quantity, Confirmation) \
+    VALUES (NEXTVAL('conf_ids'), {@item}, {@quantity}, {@confirmation})</xsql:dml>\
+    </xsql:page>";
+
+/// Build the Figure 8 process over `db` (probe schema expected).
+pub fn figure8_process(db: sqlkernel::Database) -> ProcessDefinition {
+    let conn = connection_string(db.name());
+    let env = SoaEnvironment::new().with_database(db);
+
+    let loop_body = Sequence::new("order item")
+        .then(
+            Invoke::new("Invoke OrderFromSupplier", patterns::ORDER_FROM_SUPPLIER)
+                .input(
+                    "ItemType",
+                    get_variable_data("CurrentItem", "/Row/ItemId").expect("valid path"),
+                )
+                .input(
+                    "Quantity",
+                    get_variable_data("CurrentItem", "/Row/Quantity").expect("valid path"),
+                )
+                .output("Confirmation", "OrderConfirmation"),
+        )
+        .then(
+            SoaAssign::new(
+                "Assign_2",
+                ExtFunction::ProcessXsql {
+                    connection: conn.clone(),
+                    page: ASSIGN_2_XSQL.into(),
+                    params: vec![
+                        (
+                            "item".into(),
+                            get_variable_data("CurrentItem", "/Row/ItemId").expect("valid path"),
+                        ),
+                        (
+                            "quantity".into(),
+                            get_variable_data("CurrentItem", "/Row/Quantity").expect("valid path"),
+                        ),
+                        (
+                            "confirmation".into(),
+                            flowcore::builtins::CopyFrom::Variable("OrderConfirmation".into()),
+                        ),
+                    ],
+                },
+                "Assign2Result",
+            )
+            .with_status("Status"),
+        );
+
+    let body = Sequence::new("main")
+        .then(SoaAssign::new(
+            "Assign_1",
+            ExtFunction::QueryDatabase {
+                connection: conn,
+                sql: ASSIGN_1_SQL.into(),
+            },
+            "SV_ItemList",
+        ))
+        .then(rowset_while(
+            "while: more rows in SV_ItemList",
+            "SV_ItemList",
+            "CurrentItem",
+            loop_body,
+        ));
+
+    env.install(ProcessDefinition::new(
+        "OrderAggregation/SOA (Fig. 8)",
+        body,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowcore::Variables;
+    use patterns::probe::{expected_item_list, ProbeEnv};
+    use sqlkernel::Value;
+
+    #[test]
+    fn figure8_end_to_end() {
+        let env = ProbeEnv::fresh();
+        let def = figure8_process(env.db.clone());
+        let inst = env.engine.run(&def, Variables::new()).unwrap();
+        assert!(inst.is_completed(), "{:?}", inst.outcome);
+
+        assert_eq!(
+            env.confirmations(),
+            vec![
+                "confirmed:gadget:3",
+                "confirmed:sprocket:2",
+                "confirmed:widget:15"
+            ]
+        );
+
+        let conn = env.db.connect();
+        let rs = conn
+            .query(
+                "SELECT ItemId, Quantity, Confirmation FROM OrderConfirmations ORDER BY ItemId",
+                &[],
+            )
+            .unwrap();
+        let want: Vec<(String, i64)> = expected_item_list()
+            .into_iter()
+            .map(|(s, n)| (s.to_string(), n))
+            .collect();
+        let got: Vec<(String, i64)> = rs
+            .rows
+            .iter()
+            .map(|r| (r[0].render(), r[1].as_i64().unwrap()))
+            .collect();
+        assert_eq!(got, want);
+
+        // Status of the last processXSQL call.
+        assert_eq!(
+            inst.variables.require_scalar("Status").unwrap(),
+            &Value::text("OK")
+        );
+
+        // Oracle's audit profile: assigns host the SQL, no sql activity
+        // kind at all, Java-Snippets for iteration.
+        assert_eq!(inst.audit.completed_count("assign"), 1 + 3);
+        assert_eq!(inst.audit.completed_count("sql"), 0);
+        assert_eq!(inst.audit.completed_count("sqlDatabase"), 0);
+        assert!(inst.audit.events().iter().any(|e| e.kind == "java-snippet"));
+    }
+
+    #[test]
+    fn figure8_status_surfaces_supplier_data() {
+        // Confirmation strings end up in the table via {@confirmation}.
+        let env = ProbeEnv::fresh();
+        let def = figure8_process(env.db.clone());
+        env.engine.run(&def, Variables::new()).unwrap();
+        let conn = env.db.connect();
+        let rs = conn
+            .query(
+                "SELECT Confirmation FROM OrderConfirmations WHERE ItemId = 'widget'",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(
+            rs.single_value().unwrap(),
+            &Value::text("confirmed:widget:15")
+        );
+    }
+}

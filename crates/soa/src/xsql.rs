@@ -1,0 +1,215 @@
+//! The XSQL framework (Sec. V-B item 4): *“accesses an XML file, which
+//! includes an SQL statement, executes it … and returns its result in
+//! XML. The XSQL Framework combines XML, XSLT, and SQL. It generates XML
+//! results from parameterized SQL queries and supports DML and DDL
+//! operations as well as stored procedures.”*
+//!
+//! An XSQL page is an XML document whose action elements carry SQL:
+//!
+//! ```xml
+//! <xsql:page xmlns:xsql="urn:oracle-xsql">
+//!   <xsql:query>SELECT * FROM Orders WHERE ItemId = {@item}</xsql:query>
+//!   <xsql:dml>INSERT INTO log VALUES ({@item}, {@qty})</xsql:dml>
+//!   <xsql:ddl>CREATE TABLE t (a INT)</xsql:ddl>
+//!   <xsql:call>CALL item_total({@item})</xsql:call>
+//! </xsql:page>
+//! ```
+//!
+//! `{@name}` references are replaced by the SQL literal of the bound
+//! parameter before execution. The page result is an `<xsql-results>`
+//! document with one child per action: an XML RowSet for queries and
+//! result-returning calls, a `<status rows="…"/>` element for DML/DDL.
+
+use sqlkernel::{Database, StatementResult, Value};
+use xmlval::{Element, XmlNode};
+
+use flowcore::{FlowError, FlowResult};
+
+/// The recognized action element names.
+const ACTIONS: [&str; 4] = ["xsql:query", "xsql:dml", "xsql:ddl", "xsql:call"];
+
+/// Execute an XSQL page text against a database with named parameters.
+pub fn process_xsql(db: &Database, page: &str, params: &[(String, Value)]) -> FlowResult<XmlNode> {
+    let doc = xmlval::parse(page).map_err(FlowError::from)?;
+    if doc.name != "xsql:page" {
+        return Err(FlowError::Definition(format!(
+            "XSQL page must have an <xsql:page> root, found <{}>",
+            doc.name
+        )));
+    }
+    let mut results = Element::new("xsql-results");
+    let conn = db.connect();
+    let mut executed = 0usize;
+    for action in doc.child_elements() {
+        if !ACTIONS.contains(&action.name.as_str()) {
+            return Err(FlowError::Definition(format!(
+                "unknown XSQL action <{}>",
+                action.name
+            )));
+        }
+        let sql = substitute_params(&action.text_content(), params)?;
+        let result = conn.execute(&sql, &[]).map_err(FlowError::from)?;
+        executed += 1;
+        match result {
+            StatementResult::Rows(rs) => {
+                results.children.push(xmlval::rowset::encode(&rs));
+            }
+            StatementResult::Affected(n) => {
+                results.children.push(XmlNode::Element(
+                    Element::new("status")
+                        .with_attr("action", action.name.clone())
+                        .with_attr("rows", n.to_string()),
+                ));
+            }
+            StatementResult::Ddl => {
+                results.children.push(XmlNode::Element(
+                    Element::new("status")
+                        .with_attr("action", action.name.clone())
+                        .with_attr("rows", "0"),
+                ));
+            }
+            StatementResult::TxnControl => {}
+        }
+    }
+    if executed == 0 {
+        return Err(FlowError::Definition(
+            "XSQL page contains no action elements".into(),
+        ));
+    }
+    Ok(XmlNode::Element(results))
+}
+
+/// Replace `{@name}` references with SQL literals.
+fn substitute_params(sql: &str, params: &[(String, Value)]) -> FlowResult<String> {
+    let mut out = String::with_capacity(sql.len());
+    let mut rest = sql;
+    while let Some(open) = rest.find("{@") {
+        out.push_str(&rest[..open]);
+        let close = rest[open..].find('}').ok_or_else(|| {
+            FlowError::Definition(format!("unbalanced '{{@' in XSQL statement: {sql}"))
+        })? + open;
+        let name = &rest[open + 2..close];
+        let value = params
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v)
+            .ok_or_else(|| FlowError::Variable(format!("XSQL parameter '{name}' is not bound")))?;
+        out.push_str(&value.to_sql_literal());
+        rest = &rest[close + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let db = Database::new("d");
+        db.connect()
+            .execute_script(
+                "CREATE TABLE t (id INT PRIMARY KEY, name TEXT);
+                 INSERT INTO t VALUES (1, 'widget'), (2, 'gadget');
+                 CREATE PROCEDURE find_one(k) AS BEGIN
+                   SELECT name FROM t WHERE id = :k;
+                 END;",
+            )
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn query_action_returns_rowset() {
+        let out = process_xsql(
+            &db(),
+            "<xsql:page xmlns:xsql=\"urn:oracle-xsql\">\
+               <xsql:query>SELECT name FROM t ORDER BY id</xsql:query>\
+             </xsql:page>",
+            &[],
+        )
+        .unwrap();
+        let rowset = out.as_element().unwrap().child("RowSet").unwrap();
+        assert_eq!(rowset.children_named("Row").count(), 2);
+    }
+
+    #[test]
+    fn dml_ddl_and_call_actions() {
+        let d = db();
+        let out = process_xsql(
+            &d,
+            "<xsql:page xmlns:xsql=\"urn:oracle-xsql\">\
+               <xsql:ddl>CREATE TABLE log (v TEXT)</xsql:ddl>\
+               <xsql:dml>INSERT INTO log VALUES ('a'), ('b')</xsql:dml>\
+               <xsql:call>CALL find_one(2)</xsql:call>\
+             </xsql:page>",
+            &[],
+        )
+        .unwrap();
+        let root = out.as_element().unwrap();
+        assert_eq!(root.children.len(), 3);
+        let statuses: Vec<&Element> = root.children_named("status").collect();
+        assert_eq!(statuses[0].attr("rows"), Some("0")); // ddl
+        assert_eq!(statuses[1].attr("rows"), Some("2")); // dml
+        let rowset = root.child("RowSet").unwrap();
+        assert!(rowset.to_string().contains("gadget"));
+        assert!(d.has_table("log"));
+    }
+
+    #[test]
+    fn parameter_substitution_quotes_literals() {
+        let d = db();
+        let out = process_xsql(
+            &d,
+            "<xsql:page xmlns:xsql=\"urn:oracle-xsql\">\
+               <xsql:dml>INSERT INTO t VALUES ({@id}, {@name})</xsql:dml>\
+             </xsql:page>",
+            &[
+                ("id".into(), Value::Int(3)),
+                ("name".into(), Value::text("o'brien")),
+            ],
+        )
+        .unwrap();
+        assert!(out.to_xml().contains("rows=\"1\""));
+        let conn = d.connect();
+        let rs = conn.query("SELECT name FROM t WHERE id = 3", &[]).unwrap();
+        assert_eq!(rs.single_value().unwrap(), &Value::text("o'brien"));
+    }
+
+    #[test]
+    fn unbound_parameter_errors() {
+        let err = process_xsql(
+            &db(),
+            "<xsql:page xmlns:xsql=\"urn:x\"><xsql:dml>DELETE FROM t WHERE id = {@missing}</xsql:dml></xsql:page>",
+            &[],
+        )
+        .unwrap_err();
+        assert_eq!(err.class(), "variable");
+    }
+
+    #[test]
+    fn malformed_pages_rejected() {
+        assert!(process_xsql(&db(), "<wrong/>", &[]).is_err());
+        assert!(process_xsql(
+            &db(),
+            "<xsql:page xmlns:xsql=\"urn:x\"><xsql:bogus>SELECT 1</xsql:bogus></xsql:page>",
+            &[]
+        )
+        .is_err());
+        assert!(process_xsql(&db(), "<xsql:page xmlns:xsql=\"urn:x\"/>", &[]).is_err());
+        assert!(process_xsql(&db(), "not xml", &[]).is_err());
+    }
+
+    #[test]
+    fn cdata_protects_comparison_operators() {
+        let out = process_xsql(
+            &db(),
+            "<xsql:page xmlns:xsql=\"urn:x\">\
+               <xsql:query><![CDATA[SELECT COUNT(*) FROM t WHERE id < 10]]></xsql:query>\
+             </xsql:page>",
+            &[],
+        )
+        .unwrap();
+        assert!(out.to_xml().contains(">2<"));
+    }
+}

@@ -1,0 +1,389 @@
+//! The catalog: all named objects of one database — tables, sequences,
+//! stored procedures — plus the index-name → table mapping.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+
+use crate::ast::{CreateProcedureStmt, SelectStmt};
+use crate::error::{SqlError, SqlResult};
+use crate::storage::Table;
+
+/// A monotonically advancing sequence generator.
+///
+/// Like the sequence objects of commercial engines (and unlike row data),
+/// sequence advancement is **non-transactional**: a rolled-back transaction
+/// does not give values back. `Cell` keeps advancement possible from the
+/// shared-reference expression evaluator.
+#[derive(Debug)]
+pub struct Sequence {
+    pub name: String,
+    next: Cell<i64>,
+    pub increment: i64,
+}
+
+impl Sequence {
+    /// Create a sequence starting at `start`.
+    pub fn new(name: impl Into<String>, start: i64, increment: i64) -> Sequence {
+        Sequence {
+            name: name.into(),
+            next: Cell::new(start),
+            increment,
+        }
+    }
+
+    /// Return the next value and advance.
+    pub fn next_value(&self) -> i64 {
+        let v = self.next.get();
+        self.next.set(v.wrapping_add(self.increment));
+        v
+    }
+
+    /// Peek at the value the next call will return.
+    pub fn peek(&self) -> i64 {
+        self.next.get()
+    }
+}
+
+/// A named stored query (`CREATE VIEW`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct View {
+    pub name: String,
+    pub query: SelectStmt,
+}
+
+/// A stored procedure: named formal parameters and a statement body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Procedure {
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: Vec<crate::ast::Statement>,
+}
+
+impl From<CreateProcedureStmt> for Procedure {
+    fn from(s: CreateProcedureStmt) -> Procedure {
+        Procedure {
+            name: s.name,
+            params: s.params,
+            body: s.body,
+        }
+    }
+}
+
+/// All named objects of one database. Object names are case-insensitive;
+/// the original spelling is preserved inside the object.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+    sequences: HashMap<String, Sequence>,
+    procedures: HashMap<String, Procedure>,
+    /// index name (lowered) → table name (lowered)
+    index_owner: HashMap<String, String>,
+    views: HashMap<String, View>,
+    /// View-expansion nesting depth (guards against recursive views).
+    view_depth: Cell<u32>,
+    /// How many scans were answered through an index fast path (telemetry
+    /// for tests and benchmarks; `Cell` so the read-only executor can
+    /// bump it).
+    index_scans: Cell<u64>,
+}
+
+fn key(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    // ------------------------------------------------------------- tables
+
+    /// Register a table. Fails if the name is taken.
+    pub fn add_table(&mut self, table: Table) -> SqlResult<()> {
+        let k = key(&table.schema.name);
+        if self.tables.contains_key(&k) {
+            return Err(SqlError::AlreadyExists(format!(
+                "table '{}'",
+                table.schema.name
+            )));
+        }
+        self.tables.insert(k, table);
+        Ok(())
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> SqlResult<&Table> {
+        self.tables
+            .get(&key(name))
+            .ok_or_else(|| SqlError::NotFound(format!("table '{name}'")))
+    }
+
+    /// Look up a table mutably.
+    pub fn table_mut(&mut self, name: &str) -> SqlResult<&mut Table> {
+        self.tables
+            .get_mut(&key(name))
+            .ok_or_else(|| SqlError::NotFound(format!("table '{name}'")))
+    }
+
+    /// Does a table exist?
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&key(name))
+    }
+
+    /// Remove a table, returning it (for undo). Also unregisters its indexes.
+    pub fn remove_table(&mut self, name: &str) -> SqlResult<Table> {
+        let t = self
+            .tables
+            .remove(&key(name))
+            .ok_or_else(|| SqlError::NotFound(format!("table '{name}'")))?;
+        self.index_owner.retain(|_, owner| owner != &key(name));
+        Ok(t)
+    }
+
+    /// All table names, sorted (stable output for introspection).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .tables
+            .values()
+            .map(|t| t.schema.name.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Record that a statement used an index fast path.
+    pub fn note_index_scan(&self) {
+        self.index_scans.set(self.index_scans.get() + 1);
+    }
+
+    /// Number of index fast-path scans so far.
+    pub fn index_scans(&self) -> u64 {
+        self.index_scans.get()
+    }
+
+    // ------------------------------------------------------------- indexes
+
+    /// Record that `index` belongs to `table` (both original spellings).
+    pub fn register_index(&mut self, index: &str, table: &str) -> SqlResult<()> {
+        if self.index_owner.contains_key(&key(index)) {
+            return Err(SqlError::AlreadyExists(format!("index '{index}'")));
+        }
+        self.index_owner.insert(key(index), key(table));
+        Ok(())
+    }
+
+    /// Which table owns `index`?
+    pub fn index_table(&self, index: &str) -> Option<&str> {
+        self.index_owner.get(&key(index)).map(|s| s.as_str())
+    }
+
+    /// Forget an index registration.
+    pub fn unregister_index(&mut self, index: &str) {
+        self.index_owner.remove(&key(index));
+    }
+
+    // ------------------------------------------------------------- views
+
+    /// Register a view.
+    pub fn add_view(&mut self, view: View) -> SqlResult<()> {
+        let k = key(&view.name);
+        if self.views.contains_key(&k) {
+            return Err(SqlError::AlreadyExists(format!("view '{}'", view.name)));
+        }
+        self.views.insert(k, view);
+        Ok(())
+    }
+
+    /// Look up a view.
+    pub fn view(&self, name: &str) -> SqlResult<&View> {
+        self.views
+            .get(&key(name))
+            .ok_or_else(|| SqlError::NotFound(format!("view '{name}'")))
+    }
+
+    /// Does a view exist?
+    pub fn has_view(&self, name: &str) -> bool {
+        self.views.contains_key(&key(name))
+    }
+
+    /// Remove a view (for DROP / undo).
+    pub fn remove_view(&mut self, name: &str) -> SqlResult<View> {
+        self.views
+            .remove(&key(name))
+            .ok_or_else(|| SqlError::NotFound(format!("view '{name}'")))
+    }
+
+    /// Sorted view names.
+    pub fn view_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.views.values().map(|v| v.name.clone()).collect();
+        names.sort();
+        names
+    }
+
+    /// Enter a view expansion; the guard decrements on drop. Errors once
+    /// nesting exceeds a sanity bound (recursive view definitions).
+    pub fn enter_view(&self) -> SqlResult<ViewDepthGuard<'_>> {
+        let d = self.view_depth.get();
+        if d >= 16 {
+            return Err(SqlError::Runtime(
+                "view expansion too deep (recursive view definition?)".into(),
+            ));
+        }
+        self.view_depth.set(d + 1);
+        Ok(ViewDepthGuard { catalog: self })
+    }
+
+    // ------------------------------------------------------------- sequences
+
+    /// Register a sequence.
+    pub fn add_sequence(&mut self, seq: Sequence) -> SqlResult<()> {
+        let k = key(&seq.name);
+        if self.sequences.contains_key(&k) {
+            return Err(SqlError::AlreadyExists(format!("sequence '{}'", seq.name)));
+        }
+        self.sequences.insert(k, seq);
+        Ok(())
+    }
+
+    /// Look up a sequence.
+    pub fn sequence(&self, name: &str) -> SqlResult<&Sequence> {
+        self.sequences
+            .get(&key(name))
+            .ok_or_else(|| SqlError::NotFound(format!("sequence '{name}'")))
+    }
+
+    /// Remove a sequence (for DROP / undo).
+    pub fn remove_sequence(&mut self, name: &str) -> SqlResult<Sequence> {
+        self.sequences
+            .remove(&key(name))
+            .ok_or_else(|| SqlError::NotFound(format!("sequence '{name}'")))
+    }
+
+    /// Does a sequence exist?
+    pub fn has_sequence(&self, name: &str) -> bool {
+        self.sequences.contains_key(&key(name))
+    }
+
+    // ------------------------------------------------------------- procedures
+
+    /// Register a stored procedure.
+    pub fn add_procedure(&mut self, proc: Procedure) -> SqlResult<()> {
+        let k = key(&proc.name);
+        if self.procedures.contains_key(&k) {
+            return Err(SqlError::AlreadyExists(format!(
+                "procedure '{}'",
+                proc.name
+            )));
+        }
+        self.procedures.insert(k, proc);
+        Ok(())
+    }
+
+    /// Look up a procedure.
+    pub fn procedure(&self, name: &str) -> SqlResult<&Procedure> {
+        self.procedures
+            .get(&key(name))
+            .ok_or_else(|| SqlError::NotFound(format!("procedure '{name}'")))
+    }
+
+    /// Remove a procedure (for DROP / undo).
+    pub fn remove_procedure(&mut self, name: &str) -> SqlResult<Procedure> {
+        self.procedures
+            .remove(&key(name))
+            .ok_or_else(|| SqlError::NotFound(format!("procedure '{name}'")))
+    }
+
+    /// Does a procedure exist?
+    pub fn has_procedure(&self, name: &str) -> bool {
+        self.procedures.contains_key(&key(name))
+    }
+}
+
+/// RAII guard for view-expansion depth.
+pub struct ViewDepthGuard<'a> {
+    catalog: &'a Catalog,
+}
+
+impl Drop for ViewDepthGuard<'_> {
+    fn drop(&mut self) {
+        let d = self.catalog.view_depth.get();
+        self.catalog.view_depth.set(d.saturating_sub(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, TableSchema};
+    use crate::types::DataType;
+
+    fn table(name: &str) -> Table {
+        Table::new(TableSchema::new(name, vec![Column::new("a", DataType::Int)], false).unwrap())
+    }
+
+    #[test]
+    fn table_names_case_insensitive() {
+        let mut c = Catalog::new();
+        c.add_table(table("Orders")).unwrap();
+        assert!(c.has_table("orders"));
+        assert!(c.table("ORDERS").is_ok());
+        assert!(c.add_table(table("ORDERS")).is_err());
+        assert_eq!(c.table_names(), vec!["Orders"]);
+    }
+
+    #[test]
+    fn remove_table_unregisters_indexes() {
+        let mut c = Catalog::new();
+        c.add_table(table("t")).unwrap();
+        c.register_index("i1", "t").unwrap();
+        assert_eq!(c.index_table("I1"), Some("t"));
+        c.remove_table("t").unwrap();
+        assert_eq!(c.index_table("i1"), None);
+    }
+
+    #[test]
+    fn sequence_advances_and_peeks() {
+        let s = Sequence::new("s", 10, 5);
+        assert_eq!(s.peek(), 10);
+        assert_eq!(s.next_value(), 10);
+        assert_eq!(s.next_value(), 15);
+        assert_eq!(s.peek(), 20);
+    }
+
+    #[test]
+    fn sequence_negative_increment() {
+        let s = Sequence::new("s", 0, -2);
+        assert_eq!(s.next_value(), 0);
+        assert_eq!(s.next_value(), -2);
+    }
+
+    #[test]
+    fn catalog_sequences_and_procedures() {
+        let mut c = Catalog::new();
+        c.add_sequence(Sequence::new("OrderIds", 1, 1)).unwrap();
+        assert!(c.has_sequence("orderids"));
+        assert!(c.add_sequence(Sequence::new("orderIDS", 1, 1)).is_err());
+        c.remove_sequence("ORDERIDS").unwrap();
+        assert!(!c.has_sequence("orderids"));
+
+        let p = Procedure {
+            name: "P".into(),
+            params: vec![],
+            body: vec![],
+        };
+        c.add_procedure(p.clone()).unwrap();
+        assert!(c.procedure("p").is_ok());
+        assert!(c.add_procedure(p).is_err());
+        c.remove_procedure("p").unwrap();
+        assert!(!c.has_procedure("p"));
+    }
+
+    #[test]
+    fn missing_objects_report_not_found() {
+        let c = Catalog::new();
+        assert_eq!(c.table("x").unwrap_err().class(), "not_found");
+        assert_eq!(c.sequence("x").unwrap_err().class(), "not_found");
+        assert_eq!(c.procedure("x").unwrap_err().class(), "not_found");
+    }
+}

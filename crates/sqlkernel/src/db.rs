@@ -1,0 +1,1118 @@
+//! The embeddable database facade: [`Database`], [`Connection`],
+//! prepared statements and result grids.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::ast::Statement;
+use crate::catalog::Catalog;
+use crate::error::{SqlError, SqlResult};
+use crate::parser::{parse_script, parse_statement};
+use crate::txn::UndoLog;
+use crate::types::Value;
+
+/// A materialized query result: column names plus a row grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryResult {
+    /// Empty result with the given columns.
+    pub fn empty(columns: Vec<String>) -> QueryResult {
+        QueryResult {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the grid empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Position of a column by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// Cell accessor by row number and column name.
+    pub fn cell(&self, row: usize, column: &str) -> Option<&Value> {
+        let c = self.column_index(column)?;
+        self.rows.get(row).and_then(|r| r.get(c))
+    }
+
+    /// The single value of a 1×1 result.
+    pub fn single_value(&self) -> SqlResult<&Value> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            Ok(&self.rows[0][0])
+        } else {
+            Err(SqlError::Runtime(format!(
+                "expected a 1x1 result, got {}x{}",
+                self.rows.len(),
+                self.columns.len()
+            )))
+        }
+    }
+
+    /// Render as an aligned text grid (for examples and figure output).
+    pub fn to_grid(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.render()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+            .collect();
+        out.push_str(&header.join(" | "));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-"),
+        );
+        out.push('\n');
+        for row in &rendered {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths.get(i).copied().unwrap_or(0)))
+                .collect();
+            out.push_str(&line.join(" | "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The outcome of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementResult {
+    /// A query (or result-returning `CALL`).
+    Rows(QueryResult),
+    /// DML row count.
+    Affected(usize),
+    /// DDL completed.
+    Ddl,
+    /// Transaction control completed.
+    TxnControl,
+}
+
+impl StatementResult {
+    /// The result grid, if this was a query.
+    pub fn rows(self) -> Option<QueryResult> {
+        match self {
+            StatementResult::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Affected-row count, if DML.
+    pub fn affected(&self) -> Option<usize> {
+        match self {
+            StatementResult::Affected(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Cumulative engine counters, used by the benchmark harness to report
+/// work volumes (e.g. rows shipped into the process space).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DbStats {
+    pub statements_executed: u64,
+    pub rows_returned: u64,
+    /// Scans answered through an index fast path.
+    pub index_scans: u64,
+}
+
+struct DbInner {
+    name: String,
+    catalog: Mutex<Catalog>,
+    stmt_counter: AtomicU64,
+    rows_counter: AtomicU64,
+    conn_counter: AtomicU64,
+}
+
+/// A named in-memory database. Cloning is cheap (`Arc`); all clones see
+/// the same data.
+#[derive(Clone)]
+pub struct Database {
+    inner: Arc<DbInner>,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("name", &self.inner.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new(name: impl Into<String>) -> Database {
+        Database {
+            inner: Arc::new(DbInner {
+                name: name.into(),
+                catalog: Mutex::new(Catalog::new()),
+                stmt_counter: AtomicU64::new(0),
+                rows_counter: AtomicU64::new(0),
+                conn_counter: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The database name (used by connection strings in the workflow layers).
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Open a connection.
+    pub fn connect(&self) -> Connection {
+        let id = self.inner.conn_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        Connection {
+            db: self.clone(),
+            id,
+            txn: std::cell::RefCell::new(None),
+            temp_tables: std::cell::RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Sorted table names (catalog introspection).
+    pub fn table_names(&self) -> Vec<String> {
+        self.inner.catalog.lock().table_names()
+    }
+
+    /// Does a table exist?
+    pub fn has_table(&self, name: &str) -> bool {
+        self.inner.catalog.lock().has_table(name)
+    }
+
+    /// Number of rows in a table.
+    pub fn table_len(&self, name: &str) -> SqlResult<usize> {
+        Ok(self.inner.catalog.lock().table(name)?.len())
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> DbStats {
+        DbStats {
+            statements_executed: self.inner.stmt_counter.load(Ordering::Relaxed),
+            rows_returned: self.inner.rows_counter.load(Ordering::Relaxed),
+            index_scans: self.inner.catalog.lock().index_scans(),
+        }
+    }
+
+    /// Two handles to the same database?
+    pub fn same_as(&self, other: &Database) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+/// A pre-parsed statement, reusable with different `?` bindings.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    pub(crate) stmt: Statement,
+    sql: String,
+}
+
+impl Prepared {
+    /// The original SQL text.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// The statement verb (for audit trails).
+    pub fn verb(&self) -> &'static str {
+        self.stmt.verb()
+    }
+}
+
+/// A connection: the unit of transaction scope and temp-table ownership.
+///
+/// Connections are intentionally *not* `Sync`; each workflow instance in
+/// the layers above owns its connections. Open transactions are rolled
+/// back and temporary tables dropped when the connection is dropped.
+pub struct Connection {
+    db: Database,
+    id: u64,
+    txn: std::cell::RefCell<Option<UndoLog>>,
+    temp_tables: std::cell::RefCell<Vec<String>>,
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection")
+            .field("db", &self.db.name())
+            .field("id", &self.id)
+            .field("in_txn", &self.in_transaction())
+            .finish()
+    }
+}
+
+impl Connection {
+    /// The owning database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Connection id (unique within the database).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Is an explicit transaction open?
+    pub fn in_transaction(&self) -> bool {
+        self.txn.borrow().is_some()
+    }
+
+    /// Parse without executing.
+    pub fn prepare(&self, sql: &str) -> SqlResult<Prepared> {
+        Ok(Prepared {
+            stmt: parse_statement(sql)?,
+            sql: sql.to_string(),
+        })
+    }
+
+    /// Parse and execute one statement.
+    pub fn execute(&self, sql: &str, params: &[Value]) -> SqlResult<StatementResult> {
+        let stmt = parse_statement(sql)?;
+        self.execute_ast(&stmt, params)
+    }
+
+    /// Execute a previously prepared statement.
+    pub fn execute_prepared(
+        &self,
+        prepared: &Prepared,
+        params: &[Value],
+    ) -> SqlResult<StatementResult> {
+        self.execute_ast(&prepared.stmt, params)
+    }
+
+    /// Execute and require a result grid.
+    pub fn query(&self, sql: &str, params: &[Value]) -> SqlResult<QueryResult> {
+        match self.execute(sql, params)? {
+            StatementResult::Rows(r) => Ok(r),
+            other => Err(SqlError::Semantic(format!(
+                "statement did not return rows ({other:?})"
+            ))),
+        }
+    }
+
+    /// Execute a semicolon-separated script; returns one result per statement.
+    pub fn execute_script(&self, sql: &str) -> SqlResult<Vec<StatementResult>> {
+        let stmts = parse_script(sql)?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in &stmts {
+            out.push(self.execute_ast(s, &[])?);
+        }
+        Ok(out)
+    }
+
+    /// Execute an already-parsed statement.
+    pub fn execute_ast(&self, stmt: &Statement, params: &[Value]) -> SqlResult<StatementResult> {
+        self.db.inner.stmt_counter.fetch_add(1, Ordering::Relaxed);
+        match stmt {
+            Statement::Begin => {
+                let mut txn = self.txn.borrow_mut();
+                if txn.is_some() {
+                    return Err(SqlError::Txn("transaction already open".into()));
+                }
+                *txn = Some(UndoLog::new());
+                Ok(StatementResult::TxnControl)
+            }
+            Statement::Commit => {
+                let mut txn = self.txn.borrow_mut();
+                if txn.take().is_none() {
+                    return Err(SqlError::Txn("COMMIT without open transaction".into()));
+                }
+                Ok(StatementResult::TxnControl)
+            }
+            Statement::Rollback => {
+                let log = self
+                    .txn
+                    .borrow_mut()
+                    .take()
+                    .ok_or_else(|| SqlError::Txn("ROLLBACK without open transaction".into()))?;
+                let mut catalog = self.db.inner.catalog.lock();
+                log.rollback(&mut catalog);
+                Ok(StatementResult::TxnControl)
+            }
+            other => {
+                let named: HashMap<String, Value> = HashMap::new();
+                let mut catalog = self.db.inner.catalog.lock();
+                let mut scratch = UndoLog::new();
+                match crate::exec::execute(&mut catalog, other, params, &named, &mut scratch) {
+                    Ok(result) => {
+                        if let StatementResult::Rows(rs) = &result {
+                            self.db
+                                .inner
+                                .rows_counter
+                                .fetch_add(rs.rows.len() as u64, Ordering::Relaxed);
+                        }
+                        // Track temp tables for drop-on-close.
+                        if let Statement::CreateTable(c) = other {
+                            if c.temporary {
+                                self.temp_tables.borrow_mut().push(c.name.clone());
+                            }
+                        }
+                        if let Statement::DropTable { name, .. } = other {
+                            self.temp_tables
+                                .borrow_mut()
+                                .retain(|t| !t.eq_ignore_ascii_case(name));
+                        }
+                        if let Some(txn) = self.txn.borrow_mut().as_mut() {
+                            txn.absorb(scratch);
+                        }
+                        Ok(result)
+                    }
+                    Err(e) => {
+                        // Statement atomicity: wipe this statement's effects.
+                        scratch.rollback(&mut catalog);
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Roll back any open transaction (no-op otherwise).
+    pub fn rollback_if_open(&self) {
+        if let Some(log) = self.txn.borrow_mut().take() {
+            let mut catalog = self.db.inner.catalog.lock();
+            log.rollback(&mut catalog);
+        }
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        self.rollback_if_open();
+        let temp: Vec<String> = self.temp_tables.borrow_mut().drain(..).collect();
+        if !temp.is_empty() {
+            let mut catalog = self.db.inner.catalog.lock();
+            for t in temp {
+                let _ = catalog.remove_table(&t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Database, Connection) {
+        let db = Database::new("test");
+        let conn = db.connect();
+        conn.execute_script(
+            "CREATE TABLE Orders (OrderId INT PRIMARY KEY, ItemId TEXT, \
+             Quantity INT, Approved BOOL);
+             INSERT INTO Orders VALUES
+               (1, 'widget', 10, TRUE),
+               (2, 'widget', 5, TRUE),
+               (3, 'gadget', 7, FALSE),
+               (4, 'gadget', 3, TRUE),
+               (5, 'sprocket', 2, TRUE);",
+        )
+        .unwrap();
+        (db, conn)
+    }
+
+    #[test]
+    fn basic_query() {
+        let (_db, conn) = setup();
+        let rs = conn
+            .query("SELECT ItemId, Quantity FROM Orders WHERE OrderId = 1", &[])
+            .unwrap();
+        assert_eq!(rs.columns, vec!["ItemId", "Quantity"]);
+        assert_eq!(rs.rows, vec![vec![Value::text("widget"), Value::Int(10)]]);
+    }
+
+    #[test]
+    fn the_papers_aggregation_query() {
+        // SQL_1 from Figure 4.
+        let (_db, conn) = setup();
+        let rs = conn
+            .query(
+                "SELECT ItemId, SUM(Quantity) AS Quantity FROM Orders \
+                 WHERE Approved = TRUE GROUP BY ItemId ORDER BY ItemId",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(
+            rs.rows,
+            vec![
+                vec![Value::text("gadget"), Value::Int(3)],
+                vec![Value::text("sprocket"), Value::Int(2)],
+                vec![Value::text("widget"), Value::Int(15)],
+            ]
+        );
+    }
+
+    #[test]
+    fn host_parameters() {
+        let (_db, conn) = setup();
+        let rs = conn
+            .query(
+                "SELECT OrderId FROM Orders WHERE ItemId = ? AND Quantity > ? ORDER BY OrderId",
+                &[Value::text("widget"), Value::Int(4)],
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn dml_roundtrip_and_affected_counts() {
+        let (_db, conn) = setup();
+        let r = conn
+            .execute(
+                "UPDATE Orders SET Approved = TRUE WHERE Approved = FALSE",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(r.affected(), Some(1));
+        let r = conn
+            .execute("DELETE FROM Orders WHERE Quantity < 5", &[])
+            .unwrap();
+        assert_eq!(r.affected(), Some(2));
+        let rs = conn.query("SELECT COUNT(*) FROM Orders", &[]).unwrap();
+        assert_eq!(rs.single_value().unwrap(), &Value::Int(3));
+    }
+
+    #[test]
+    fn transaction_commit_and_rollback() {
+        let (_db, conn) = setup();
+        conn.execute("BEGIN", &[]).unwrap();
+        conn.execute("DELETE FROM Orders", &[]).unwrap();
+        conn.execute("ROLLBACK", &[]).unwrap();
+        assert_eq!(
+            conn.query("SELECT COUNT(*) FROM Orders", &[])
+                .unwrap()
+                .single_value()
+                .unwrap(),
+            &Value::Int(5)
+        );
+
+        conn.execute("BEGIN", &[]).unwrap();
+        conn.execute("DELETE FROM Orders WHERE OrderId = 1", &[])
+            .unwrap();
+        conn.execute("COMMIT", &[]).unwrap();
+        assert_eq!(
+            conn.query("SELECT COUNT(*) FROM Orders", &[])
+                .unwrap()
+                .single_value()
+                .unwrap(),
+            &Value::Int(4)
+        );
+    }
+
+    #[test]
+    fn txn_misuse_errors() {
+        let (_db, conn) = setup();
+        assert_eq!(conn.execute("COMMIT", &[]).unwrap_err().class(), "txn");
+        assert_eq!(conn.execute("ROLLBACK", &[]).unwrap_err().class(), "txn");
+        conn.execute("BEGIN", &[]).unwrap();
+        assert_eq!(conn.execute("BEGIN", &[]).unwrap_err().class(), "txn");
+    }
+
+    #[test]
+    fn statement_atomicity_on_error() {
+        let (_db, conn) = setup();
+        // Second row violates the primary key; the first must not stick.
+        let err = conn
+            .execute(
+                "INSERT INTO Orders VALUES (100, 'x', 1, TRUE), (1, 'dup', 1, TRUE)",
+                &[],
+            )
+            .unwrap_err();
+        assert_eq!(err.class(), "constraint");
+        let rs = conn
+            .query("SELECT COUNT(*) FROM Orders WHERE OrderId = 100", &[])
+            .unwrap();
+        assert_eq!(rs.single_value().unwrap(), &Value::Int(0));
+    }
+
+    #[test]
+    fn dropping_connection_rolls_back_open_txn() {
+        let (db, conn) = setup();
+        {
+            let c2 = db.connect();
+            c2.execute("BEGIN", &[]).unwrap();
+            c2.execute("DELETE FROM Orders", &[]).unwrap();
+            // c2 dropped here without COMMIT.
+        }
+        assert_eq!(
+            conn.query("SELECT COUNT(*) FROM Orders", &[])
+                .unwrap()
+                .single_value()
+                .unwrap(),
+            &Value::Int(5)
+        );
+    }
+
+    #[test]
+    fn temp_tables_die_with_connection() {
+        let (db, _conn) = setup();
+        {
+            let c2 = db.connect();
+            c2.execute("CREATE TEMP TABLE scratch (v INT)", &[])
+                .unwrap();
+            assert!(db.has_table("scratch"));
+        }
+        assert!(!db.has_table("scratch"));
+    }
+
+    #[test]
+    fn prepared_statements_rebind() {
+        let (_db, conn) = setup();
+        let p = conn
+            .prepare("SELECT Quantity FROM Orders WHERE OrderId = ?")
+            .unwrap();
+        assert_eq!(p.verb(), "SELECT");
+        let q1 = conn
+            .execute_prepared(&p, &[Value::Int(1)])
+            .unwrap()
+            .rows()
+            .unwrap();
+        let q2 = conn
+            .execute_prepared(&p, &[Value::Int(4)])
+            .unwrap()
+            .rows()
+            .unwrap();
+        assert_eq!(q1.single_value().unwrap(), &Value::Int(10));
+        assert_eq!(q2.single_value().unwrap(), &Value::Int(3));
+    }
+
+    #[test]
+    fn stored_procedure_end_to_end() {
+        let (_db, conn) = setup();
+        conn.execute(
+            "CREATE PROCEDURE approve_item(item) AS BEGIN \
+               UPDATE Orders SET Approved = TRUE WHERE ItemId = :item; \
+               SELECT COUNT(*) AS n FROM Orders WHERE ItemId = :item AND Approved = TRUE; \
+             END",
+            &[],
+        )
+        .unwrap();
+        let rs = conn
+            .execute("CALL approve_item('gadget')", &[])
+            .unwrap()
+            .rows()
+            .unwrap();
+        assert_eq!(rs.single_value().unwrap(), &Value::Int(2));
+    }
+
+    #[test]
+    fn procedure_wrong_arity() {
+        let (_db, conn) = setup();
+        conn.execute("CREATE PROCEDURE p(a) AS BEGIN SELECT :a; END", &[])
+            .unwrap();
+        assert_eq!(
+            conn.execute("CALL p()", &[]).unwrap_err().class(),
+            "semantic"
+        );
+    }
+
+    #[test]
+    fn sequences_via_nextval() {
+        let (_db, conn) = setup();
+        conn.execute("CREATE SEQUENCE ids START WITH 1000", &[])
+            .unwrap();
+        let rs = conn.query("SELECT NEXTVAL('ids')", &[]).unwrap();
+        assert_eq!(rs.single_value().unwrap(), &Value::Int(1000));
+        let rs = conn.query("SELECT NEXTVAL('ids')", &[]).unwrap();
+        assert_eq!(rs.single_value().unwrap(), &Value::Int(1001));
+    }
+
+    #[test]
+    fn joins_inner_left() {
+        let (_db, conn) = setup();
+        conn.execute_script(
+            "CREATE TABLE Items (ItemId TEXT PRIMARY KEY, Price FLOAT);
+             INSERT INTO Items VALUES ('widget', 2.5), ('gadget', 4.0);",
+        )
+        .unwrap();
+        let rs = conn
+            .query(
+                "SELECT o.OrderId, i.Price FROM Orders o JOIN Items i \
+                 ON o.ItemId = i.ItemId ORDER BY o.OrderId",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 4); // sprocket has no price
+        let rs = conn
+            .query(
+                "SELECT o.OrderId, i.Price FROM Orders o LEFT JOIN Items i \
+                 ON o.ItemId = i.ItemId ORDER BY o.OrderId",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 5);
+        assert!(rs.rows[4][1].is_null());
+    }
+
+    #[test]
+    fn right_join_pads_left() {
+        let (_db, conn) = setup();
+        conn.execute_script(
+            "CREATE TABLE Items (ItemId TEXT PRIMARY KEY, Price FLOAT);
+             INSERT INTO Items VALUES ('widget', 2.5), ('unused', 9.9);",
+        )
+        .unwrap();
+        let rs = conn
+            .query(
+                "SELECT o.OrderId, i.ItemId FROM Orders o RIGHT JOIN Items i \
+                 ON o.ItemId = i.ItemId",
+                &[],
+            )
+            .unwrap();
+        // widget matches orders 1 and 2; 'unused' padded with NULL left side.
+        assert_eq!(rs.rows.len(), 3);
+        assert!(rs.rows.iter().any(|r| r[0].is_null()));
+    }
+
+    #[test]
+    fn derived_tables_and_subqueries() {
+        let (_db, conn) = setup();
+        let rs = conn
+            .query(
+                "SELECT t.ItemId FROM (SELECT ItemId, SUM(Quantity) q FROM Orders \
+                 GROUP BY ItemId) t WHERE t.q > 10",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::text("widget")]]);
+
+        let rs = conn
+            .query(
+                "SELECT OrderId FROM Orders WHERE Quantity = (SELECT MAX(Quantity) FROM Orders)",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(1)]]);
+
+        let rs = conn
+            .query(
+                "SELECT COUNT(*) FROM Orders WHERE ItemId IN \
+                 (SELECT ItemId FROM Orders WHERE Quantity > 6)",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.single_value().unwrap(), &Value::Int(4));
+    }
+
+    #[test]
+    fn distinct_order_limit_offset() {
+        let (_db, conn) = setup();
+        let rs = conn
+            .query("SELECT DISTINCT ItemId FROM Orders ORDER BY ItemId", &[])
+            .unwrap();
+        assert_eq!(rs.rows.len(), 3);
+        let rs = conn
+            .query(
+                "SELECT OrderId FROM Orders ORDER BY Quantity DESC LIMIT 2 OFFSET 1",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(3)], vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn order_by_ordinal_and_alias() {
+        let (_db, conn) = setup();
+        let rs = conn
+            .query(
+                "SELECT ItemId, SUM(Quantity) AS total FROM Orders GROUP BY ItemId \
+                 ORDER BY total DESC",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::text("widget"));
+        let rs = conn
+            .query(
+                "SELECT ItemId, Quantity FROM Orders ORDER BY 2 DESC LIMIT 1",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.rows[0][1], Value::Int(10));
+    }
+
+    #[test]
+    fn aggregates_over_empty_input() {
+        let (_db, conn) = setup();
+        let rs = conn
+            .query(
+                "SELECT COUNT(*), SUM(Quantity), MIN(Quantity) FROM Orders WHERE OrderId > 999",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Int(0));
+        assert!(rs.rows[0][1].is_null());
+        assert!(rs.rows[0][2].is_null());
+    }
+
+    #[test]
+    fn count_distinct() {
+        let (_db, conn) = setup();
+        let rs = conn
+            .query("SELECT COUNT(DISTINCT ItemId) FROM Orders", &[])
+            .unwrap();
+        assert_eq!(rs.single_value().unwrap(), &Value::Int(3));
+    }
+
+    #[test]
+    fn insert_from_select() {
+        let (_db, conn) = setup();
+        conn.execute(
+            "CREATE TABLE Summary (ItemId TEXT PRIMARY KEY, Total INT)",
+            &[],
+        )
+        .unwrap();
+        let r = conn
+            .execute(
+                "INSERT INTO Summary SELECT ItemId, SUM(Quantity) FROM Orders \
+                 WHERE Approved = TRUE GROUP BY ItemId",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(r.affected(), Some(3));
+    }
+
+    #[test]
+    fn qualified_wildcard() {
+        let (_db, conn) = setup();
+        let rs = conn
+            .query("SELECT o.* FROM Orders o WHERE o.OrderId = 1", &[])
+            .unwrap();
+        assert_eq!(rs.columns.len(), 4);
+    }
+
+    #[test]
+    fn grid_rendering() {
+        let (_db, conn) = setup();
+        let rs = conn
+            .query("SELECT ItemId, Quantity FROM Orders WHERE OrderId = 1", &[])
+            .unwrap();
+        let grid = rs.to_grid();
+        assert!(grid.contains("ItemId"));
+        assert!(grid.contains("widget"));
+    }
+
+    #[test]
+    fn stats_count_statements_and_rows() {
+        let (db, conn) = setup();
+        let before = db.stats();
+        conn.query("SELECT * FROM Orders", &[]).unwrap();
+        let after = db.stats();
+        assert_eq!(after.statements_executed, before.statements_executed + 1);
+        assert_eq!(after.rows_returned, before.rows_returned + 5);
+    }
+
+    #[test]
+    fn cross_connection_visibility() {
+        let (db, conn) = setup();
+        let c2 = db.connect();
+        conn.execute("INSERT INTO Orders VALUES (9, 'x', 1, TRUE)", &[])
+            .unwrap();
+        assert_eq!(
+            c2.query("SELECT COUNT(*) FROM Orders", &[])
+                .unwrap()
+                .single_value()
+                .unwrap(),
+            &Value::Int(6)
+        );
+        assert!(!db.same_as(&Database::new("other")));
+        assert!(db.same_as(&db.clone()));
+    }
+
+    #[test]
+    fn index_ddl_and_usage() {
+        let (_db, conn) = setup();
+        conn.execute("CREATE INDEX idx_item ON Orders (ItemId)", &[])
+            .unwrap();
+        assert_eq!(
+            conn.execute("CREATE INDEX idx_item ON Orders (ItemId)", &[])
+                .unwrap_err()
+                .class(),
+            "already_exists"
+        );
+        conn.execute("DROP INDEX idx_item", &[]).unwrap();
+        conn.execute("DROP INDEX IF EXISTS idx_item", &[]).unwrap();
+    }
+
+    #[test]
+    fn index_fast_path_used_for_pk_equality() {
+        let (db, conn) = setup();
+        let before = db.stats().index_scans;
+        let rs = conn
+            .query("SELECT ItemId FROM Orders WHERE OrderId = 3", &[])
+            .unwrap();
+        assert_eq!(rs.single_value().unwrap(), &Value::text("gadget"));
+        assert_eq!(db.stats().index_scans, before + 1);
+    }
+
+    #[test]
+    fn index_fast_path_with_params_and_reversed_sides() {
+        let (db, conn) = setup();
+        let before = db.stats().index_scans;
+        let rs = conn
+            .query(
+                "SELECT ItemId FROM Orders WHERE ? = OrderId",
+                &[Value::Int(5)],
+            )
+            .unwrap();
+        assert_eq!(rs.single_value().unwrap(), &Value::text("sprocket"));
+        assert_eq!(db.stats().index_scans, before + 1);
+    }
+
+    #[test]
+    fn index_fast_path_respects_residual_predicates() {
+        let (_db, conn) = setup();
+        let rs = conn
+            .query(
+                "SELECT COUNT(*) FROM Orders WHERE OrderId = 1 AND Approved = FALSE",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.single_value().unwrap(), &Value::Int(0));
+    }
+
+    #[test]
+    fn no_index_fast_path_without_index() {
+        let (db, conn) = setup();
+        let before = db.stats().index_scans;
+        conn.query("SELECT OrderId FROM Orders WHERE ItemId = 'widget'", &[])
+            .unwrap();
+        assert_eq!(db.stats().index_scans, before);
+        // After creating a secondary index the same query takes the fast
+        // path and returns identical results.
+        let slow = conn
+            .query(
+                "SELECT OrderId FROM Orders WHERE ItemId = 'widget' ORDER BY OrderId",
+                &[],
+            )
+            .unwrap();
+        conn.execute("CREATE INDEX idx_item ON Orders (ItemId)", &[])
+            .unwrap();
+        let fast = conn
+            .query(
+                "SELECT OrderId FROM Orders WHERE ItemId = 'widget' ORDER BY OrderId",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(slow, fast);
+        assert_eq!(db.stats().index_scans, before + 1);
+    }
+
+    #[test]
+    fn index_fast_path_equals_null_is_empty() {
+        let (db, conn) = setup();
+        let before = db.stats().index_scans;
+        let rs = conn
+            .query("SELECT * FROM Orders WHERE OrderId = NULL", &[])
+            .unwrap();
+        assert!(rs.is_empty());
+        assert_eq!(db.stats().index_scans, before + 1);
+    }
+
+    #[test]
+    fn union_and_union_all() {
+        let (_db, conn) = setup();
+        let rs = conn
+            .query(
+                "SELECT ItemId FROM Orders WHERE Approved = TRUE                  UNION SELECT ItemId FROM Orders WHERE Quantity > 5                  ORDER BY ItemId",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(
+            rs.rows,
+            vec![
+                vec![Value::text("gadget")],
+                vec![Value::text("sprocket")],
+                vec![Value::text("widget")],
+            ]
+        );
+        let rs = conn
+            .query(
+                "SELECT ItemId FROM Orders UNION ALL SELECT ItemId FROM Orders",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 10);
+    }
+
+    #[test]
+    fn union_order_by_ordinal_and_limit() {
+        let (_db, conn) = setup();
+        let rs = conn
+            .query(
+                "SELECT OrderId, Quantity FROM Orders WHERE OrderId <= 2                  UNION SELECT OrderId, Quantity FROM Orders WHERE OrderId >= 4                  ORDER BY 2 DESC LIMIT 2",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.rows[0][1], Value::Int(10));
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn union_arity_mismatch_errors() {
+        let (_db, conn) = setup();
+        let err = conn
+            .query(
+                "SELECT OrderId FROM Orders UNION SELECT OrderId, Quantity FROM Orders",
+                &[],
+            )
+            .unwrap_err();
+        assert_eq!(err.class(), "semantic");
+    }
+
+    #[test]
+    fn union_order_by_source_expression_rejected() {
+        let (_db, conn) = setup();
+        let err = conn
+            .query(
+                "SELECT OrderId FROM Orders UNION SELECT OrderId FROM Orders ORDER BY Quantity",
+                &[],
+            )
+            .unwrap_err();
+        assert_eq!(err.class(), "semantic");
+    }
+
+    #[test]
+    fn views_basic() {
+        let (_db, conn) = setup();
+        conn.execute(
+            "CREATE VIEW approved AS SELECT ItemId, SUM(Quantity) AS Total              FROM Orders WHERE Approved = TRUE GROUP BY ItemId",
+            &[],
+        )
+        .unwrap();
+        let rs = conn
+            .query("SELECT Total FROM approved WHERE ItemId = 'widget'", &[])
+            .unwrap();
+        assert_eq!(rs.single_value().unwrap(), &Value::Int(15));
+        // Views see live data.
+        conn.execute("INSERT INTO Orders VALUES (10, 'widget', 5, TRUE)", &[])
+            .unwrap();
+        let rs = conn
+            .query("SELECT Total FROM approved WHERE ItemId = 'widget'", &[])
+            .unwrap();
+        assert_eq!(rs.single_value().unwrap(), &Value::Int(20));
+    }
+
+    #[test]
+    fn views_compose_and_alias() {
+        let (_db, conn) = setup();
+        conn.execute(
+            "CREATE VIEW v1 AS SELECT OrderId, Quantity FROM Orders",
+            &[],
+        )
+        .unwrap();
+        conn.execute("CREATE VIEW v2 AS SELECT * FROM v1 WHERE Quantity > 4", &[])
+            .unwrap();
+        let rs = conn
+            .query(
+                "SELECT a.OrderId FROM v2 a JOIN Orders o ON a.OrderId = o.OrderId",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 3);
+    }
+
+    #[test]
+    fn view_name_conflicts() {
+        let (_db, conn) = setup();
+        conn.execute("CREATE VIEW w AS SELECT 1", &[]).unwrap();
+        assert_eq!(
+            conn.execute("CREATE VIEW w AS SELECT 2", &[])
+                .unwrap_err()
+                .class(),
+            "already_exists"
+        );
+        assert_eq!(
+            conn.execute("CREATE TABLE w (a INT)", &[])
+                .unwrap_err()
+                .class(),
+            "already_exists"
+        );
+        assert_eq!(
+            conn.execute("CREATE VIEW Orders AS SELECT 1", &[])
+                .unwrap_err()
+                .class(),
+            "already_exists"
+        );
+        conn.execute("CREATE VIEW IF NOT EXISTS w AS SELECT 3", &[])
+            .unwrap();
+        conn.execute("DROP VIEW w", &[]).unwrap();
+        assert_eq!(
+            conn.execute("DROP VIEW w", &[]).unwrap_err().class(),
+            "not_found"
+        );
+        conn.execute("DROP VIEW IF EXISTS w", &[]).unwrap();
+    }
+
+    #[test]
+    fn recursive_views_detected() {
+        let (_db, conn) = setup();
+        // v3 -> v4 created later -> v3 creates a cycle once both exist.
+        conn.execute("CREATE VIEW v4 AS SELECT OrderId FROM Orders", &[])
+            .unwrap();
+        conn.execute("CREATE VIEW v3 AS SELECT * FROM v4", &[])
+            .unwrap();
+        conn.execute("DROP VIEW v4", &[]).unwrap();
+        conn.execute("CREATE VIEW v4 AS SELECT * FROM v3", &[])
+            .unwrap();
+        let err = conn.query("SELECT * FROM v3", &[]).unwrap_err();
+        assert_eq!(err.class(), "runtime");
+    }
+
+    #[test]
+    fn view_rollback() {
+        let (db, conn) = setup();
+        conn.execute("BEGIN", &[]).unwrap();
+        conn.execute("CREATE VIEW tmpv AS SELECT 1", &[]).unwrap();
+        conn.execute("ROLLBACK", &[]).unwrap();
+        assert_eq!(
+            conn.query("SELECT * FROM tmpv", &[]).unwrap_err().class(),
+            "not_found"
+        );
+        let _ = db;
+    }
+
+    #[test]
+    fn ddl_transactionality() {
+        let (db, conn) = setup();
+        conn.execute("BEGIN", &[]).unwrap();
+        conn.execute("CREATE TABLE tmp1 (a INT)", &[]).unwrap();
+        conn.execute("INSERT INTO tmp1 VALUES (1)", &[]).unwrap();
+        conn.execute("ROLLBACK", &[]).unwrap();
+        assert!(!db.has_table("tmp1"));
+    }
+}

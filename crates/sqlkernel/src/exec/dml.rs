@@ -1,0 +1,234 @@
+//! DML execution: `INSERT`, `UPDATE`, `DELETE`.
+//!
+//! Mutations run in two phases: an immutable phase that evaluates
+//! predicates and new values against a snapshot view, then a mutable phase
+//! that applies the collected changes. This sidesteps the Halloween
+//! problem (an `UPDATE` whose predicate matches its own output) and lets
+//! every change record an undo entry for statement atomicity.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::catalog::Catalog;
+use crate::error::{SqlError, SqlResult};
+use crate::expr::{eval, eval_predicate, EvalCtx, RowSchema};
+use crate::storage::RowId;
+use crate::txn::{UndoLog, UndoOp};
+use crate::types::Value;
+
+/// Execute an `INSERT`; returns the number of rows inserted.
+pub fn run_insert(
+    catalog: &mut Catalog,
+    stmt: &InsertStmt,
+    params: &[Value],
+    named_params: &HashMap<String, Value>,
+    undo: &mut UndoLog,
+) -> SqlResult<usize> {
+    // Phase 1 (immutable): compute the full rows to insert.
+    let rows: Vec<Vec<Value>> = {
+        let table = catalog.table(&stmt.table)?;
+        let width = table.schema.columns.len();
+
+        // Map provided columns → schema positions.
+        let positions: Vec<usize> = match &stmt.columns {
+            Some(cols) => {
+                let mut out = Vec::with_capacity(cols.len());
+                for c in cols {
+                    let i = table.schema.resolve(c)?;
+                    if out.contains(&i) {
+                        return Err(SqlError::Semantic(format!(
+                            "column '{c}' listed twice in INSERT"
+                        )));
+                    }
+                    out.push(i);
+                }
+                out
+            }
+            None => (0..width).collect(),
+        };
+
+        let source_rows: Vec<Vec<Value>> = match &stmt.source {
+            InsertSource::Values(rows) => {
+                let ctx = EvalCtx {
+                    catalog,
+                    params,
+                    named_params,
+                    row: None,
+                    aggregates: None,
+                };
+                let mut out = Vec::with_capacity(rows.len());
+                for exprs in rows {
+                    let mut row = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        row.push(eval(e, &ctx)?);
+                    }
+                    out.push(row);
+                }
+                out
+            }
+            InsertSource::Select(sel) => {
+                super::select::run_select(catalog, sel, params, named_params)?.rows
+            }
+        };
+
+        let mut full_rows = Vec::with_capacity(source_rows.len());
+        for src in source_rows {
+            if src.len() != positions.len() {
+                return Err(SqlError::Semantic(format!(
+                    "INSERT expects {} values per row, got {}",
+                    positions.len(),
+                    src.len()
+                )));
+            }
+            let mut row = vec![Value::Null; width];
+            for (v, &pos) in src.into_iter().zip(&positions) {
+                row[pos] = v;
+            }
+            full_rows.push(row);
+        }
+        full_rows
+    };
+
+    // Phase 2 (mutable): apply.
+    let table_name = {
+        let table = catalog.table_mut(&stmt.table)?;
+        table.schema.name.clone()
+    };
+    let mut n = 0;
+    for row in rows {
+        let table = catalog.table_mut(&stmt.table)?;
+        let id = table.insert(row)?;
+        undo.record(UndoOp::Insert {
+            table: table_name.clone(),
+            row_id: id,
+        });
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Execute an `UPDATE`; returns the number of rows changed.
+pub fn run_update(
+    catalog: &mut Catalog,
+    stmt: &UpdateStmt,
+    params: &[Value],
+    named_params: &HashMap<String, Value>,
+    undo: &mut UndoLog,
+) -> SqlResult<usize> {
+    // Phase 1: collect (row_id, new_row).
+    let changes: Vec<(RowId, Vec<Value>)> = {
+        let table = catalog.table(&stmt.table)?;
+        let binding = table.schema.name.clone();
+        let schema = RowSchema::new(
+            table
+                .schema
+                .columns
+                .iter()
+                .map(|c| (Some(binding.clone()), c.name.clone()))
+                .collect(),
+        );
+        let assignments: Vec<(usize, &Expr)> = {
+            let mut out = Vec::with_capacity(stmt.assignments.len());
+            for (col, e) in &stmt.assignments {
+                out.push((table.schema.resolve(col)?, e));
+            }
+            out
+        };
+        let ctx = EvalCtx {
+            catalog,
+            params,
+            named_params,
+            row: None,
+            aggregates: None,
+        };
+        let mut changes = Vec::new();
+        for (id, row) in table.iter() {
+            let rc = ctx.with_row(&schema, row);
+            let hit = match &stmt.where_clause {
+                Some(pred) => eval_predicate(pred, &rc)?,
+                None => true,
+            };
+            if !hit {
+                continue;
+            }
+            let mut new_row = row.clone();
+            for (pos, e) in &assignments {
+                new_row[*pos] = eval(e, &rc)?;
+            }
+            changes.push((id, new_row));
+        }
+        changes
+    };
+
+    // Phase 2: apply.
+    let table_name = catalog.table(&stmt.table)?.schema.name.clone();
+    let mut n = 0;
+    for (id, new_row) in changes {
+        let table = catalog.table_mut(&stmt.table)?;
+        let old = table.update(id, new_row)?;
+        undo.record(UndoOp::Update {
+            table: table_name.clone(),
+            row_id: id,
+            old,
+        });
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Execute a `DELETE`; returns the number of rows removed.
+pub fn run_delete(
+    catalog: &mut Catalog,
+    stmt: &DeleteStmt,
+    params: &[Value],
+    named_params: &HashMap<String, Value>,
+    undo: &mut UndoLog,
+) -> SqlResult<usize> {
+    let victims: Vec<RowId> = {
+        let table = catalog.table(&stmt.table)?;
+        let binding = table.schema.name.clone();
+        let schema = RowSchema::new(
+            table
+                .schema
+                .columns
+                .iter()
+                .map(|c| (Some(binding.clone()), c.name.clone()))
+                .collect(),
+        );
+        let ctx = EvalCtx {
+            catalog,
+            params,
+            named_params,
+            row: None,
+            aggregates: None,
+        };
+        let mut out = Vec::new();
+        for (id, row) in table.iter() {
+            let hit = match &stmt.where_clause {
+                Some(pred) => {
+                    let rc = ctx.with_row(&schema, row);
+                    eval_predicate(pred, &rc)?
+                }
+                None => true,
+            };
+            if hit {
+                out.push(id);
+            }
+        }
+        out
+    };
+
+    let table_name = catalog.table(&stmt.table)?.schema.name.clone();
+    let mut n = 0;
+    for id in victims {
+        let table = catalog.table_mut(&stmt.table)?;
+        let row = table.delete(id)?;
+        undo.record(UndoOp::Delete {
+            table: table_name.clone(),
+            row_id: id,
+            row,
+        });
+        n += 1;
+    }
+    Ok(n)
+}

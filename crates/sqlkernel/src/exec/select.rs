@@ -1,0 +1,873 @@
+//! `SELECT` execution: scan → join → filter → group/aggregate → project →
+//! distinct → order → limit.
+//!
+//! The executor is a straightforward materializing pipeline. Joins use a
+//! hash join whenever the `ON` clause contains at least one pure
+//! left-column = right-column equality; remaining conjuncts become a
+//! residual filter. Grouped aggregation hashes on the `GROUP BY` key
+//! values and pre-computes every aggregate call site, which the shared
+//! expression evaluator then reads back by key.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::catalog::Catalog;
+use crate::db::QueryResult;
+use crate::error::{SqlError, SqlResult};
+use crate::expr::{aggregate_key, eval, eval_predicate, is_aggregate_name, EvalCtx, RowSchema};
+use crate::types::Value;
+
+/// One logical row to project: the source row plus its pre-computed
+/// aggregate values (grouped queries only).
+type GroupedRow = (Vec<Value>, Option<HashMap<String, Value>>);
+
+/// A materialized intermediate row set.
+#[derive(Debug, Clone)]
+pub(crate) struct Rows {
+    pub schema: RowSchema,
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// Run a `SELECT` and materialize its result.
+pub fn run_select(
+    catalog: &Catalog,
+    stmt: &SelectStmt,
+    params: &[Value],
+    named_params: &HashMap<String, Value>,
+) -> SqlResult<QueryResult> {
+    if !stmt.unions.is_empty() {
+        return run_union(catalog, stmt, params, named_params);
+    }
+
+    let ctx = EvalCtx {
+        catalog,
+        params,
+        named_params,
+        row: None,
+        aggregates: None,
+    };
+
+    // 1. FROM — with an index fast path for single-table equality
+    //    predicates over indexed columns.
+    let mut input = match &stmt.from {
+        Some(from) if from.joins.is_empty() => {
+            match try_index_scan(catalog, from, stmt.where_clause.as_ref(), &ctx)? {
+                Some(rows) => rows,
+                None => build_from(catalog, from, &ctx)?,
+            }
+        }
+        Some(from) => build_from(catalog, from, &ctx)?,
+        None => Rows {
+            schema: RowSchema::empty(),
+            rows: vec![vec![]],
+        },
+    };
+
+    // 2. WHERE
+    if let Some(pred) = &stmt.where_clause {
+        if pred.contains_aggregate() {
+            return Err(SqlError::Semantic(
+                "aggregates are not allowed in WHERE".into(),
+            ));
+        }
+        let mut kept = Vec::with_capacity(input.rows.len());
+        for row in input.rows {
+            let rc = ctx.with_row(&input.schema, &row);
+            if eval_predicate(pred, &rc)? {
+                kept.push(row);
+            }
+        }
+        input.rows = kept;
+    }
+
+    // 3. GROUP BY / aggregates
+    let needs_grouping = !stmt.group_by.is_empty()
+        || stmt.projections.iter().any(|p| match p {
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        })
+        || stmt.having.as_ref().is_some_and(|h| h.contains_aggregate())
+        || stmt.order_by.iter().any(|o| o.expr.contains_aggregate());
+
+    // Each logical row to project: (source row, optional aggregate map).
+    let groups: Vec<GroupedRow> = if needs_grouping {
+        group_rows(stmt, &input, &ctx)?
+    } else {
+        input.rows.iter().cloned().map(|r| (r, None)).collect()
+    };
+
+    // 3b. HAVING
+    let groups: Vec<GroupedRow> = if let Some(having) = &stmt.having {
+        let mut kept = Vec::new();
+        for (row, aggs) in groups {
+            let rc = EvalCtx {
+                catalog,
+                params,
+                named_params,
+                row: Some((&input.schema, &row)),
+                aggregates: aggs.as_ref(),
+            };
+            if eval_predicate(having, &rc)? {
+                kept.push((row, aggs));
+            }
+        }
+        kept
+    } else {
+        groups
+    };
+
+    // 4. Projection (also computes ORDER BY keys against source rows).
+    let (columns, proj_exprs) = projection_plan(stmt, &input.schema)?;
+    let mut out_rows: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(groups.len());
+    for (row, aggs) in &groups {
+        let rc = EvalCtx {
+            catalog,
+            params,
+            named_params,
+            row: Some((&input.schema, row)),
+            aggregates: aggs.as_ref(),
+        };
+        let mut out = Vec::with_capacity(proj_exprs.len());
+        for e in &proj_exprs {
+            out.push(eval(e, &rc)?);
+        }
+        let mut keys = Vec::with_capacity(stmt.order_by.len());
+        for item in &stmt.order_by {
+            keys.push(order_key(&item.expr, &columns, &out, &rc)?);
+        }
+        out_rows.push((out, keys));
+    }
+
+    // 5. DISTINCT
+    if stmt.distinct {
+        let mut seen: std::collections::HashSet<Vec<Value>> = std::collections::HashSet::new();
+        out_rows.retain(|(r, _)| seen.insert(r.clone()));
+    }
+
+    // 6. ORDER BY
+    if !stmt.order_by.is_empty() {
+        let descs: Vec<bool> = stmt.order_by.iter().map(|o| o.desc).collect();
+        out_rows.sort_by(|(_, ka), (_, kb)| {
+            for ((a, b), desc) in ka.iter().zip(kb).zip(&descs) {
+                let ord = a.total_cmp(b);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    let mut rows: Vec<Vec<Value>> = out_rows.into_iter().map(|(r, _)| r).collect();
+
+    // 7. OFFSET / LIMIT
+    if let Some(off) = &stmt.offset {
+        let n = const_usize(off, &ctx, "OFFSET")?;
+        rows = rows.into_iter().skip(n).collect();
+    }
+    if let Some(limit) = &stmt.limit {
+        let n = const_usize(limit, &ctx, "LIMIT")?;
+        rows.truncate(n);
+    }
+
+    Ok(QueryResult { columns, rows })
+}
+
+/// Execute a select with `UNION` arms: run every core, combine, then
+/// apply the trailing DISTINCT-like dedup, ORDER BY (output columns or
+/// ordinals only) and LIMIT/OFFSET.
+fn run_union(
+    catalog: &Catalog,
+    stmt: &SelectStmt,
+    params: &[Value],
+    named_params: &HashMap<String, Value>,
+) -> SqlResult<QueryResult> {
+    let mut head = stmt.clone();
+    head.unions = Vec::new();
+    head.order_by = Vec::new();
+    head.limit = None;
+    head.offset = None;
+
+    let mut combined = run_select(catalog, &head, params, named_params)?;
+    for arm in &stmt.unions {
+        let rs = run_select(catalog, &arm.select, params, named_params)?;
+        if rs.columns.len() != combined.columns.len() {
+            return Err(SqlError::Semantic(format!(
+                "UNION arms have {} and {} columns",
+                combined.columns.len(),
+                rs.columns.len()
+            )));
+        }
+        combined.rows.extend(rs.rows);
+        if !arm.all {
+            let mut seen = std::collections::HashSet::new();
+            combined.rows.retain(|r| seen.insert(r.clone()));
+        }
+    }
+
+    let ctx = EvalCtx {
+        catalog,
+        params,
+        named_params,
+        row: None,
+        aggregates: None,
+    };
+
+    if !stmt.order_by.is_empty() {
+        // Keys must reference output columns (by name or ordinal).
+        let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(combined.rows.len());
+        for row in combined.rows {
+            let mut keys = Vec::with_capacity(stmt.order_by.len());
+            for item in &stmt.order_by {
+                let key = match &item.expr {
+                    Expr::Literal(Value::Int(n)) if *n >= 1 && (*n as usize) <= row.len() => {
+                        row[*n as usize - 1].clone()
+                    }
+                    Expr::Column { table: None, name } => {
+                        let i = combined
+                            .columns
+                            .iter()
+                            .position(|c| c.eq_ignore_ascii_case(name))
+                            .ok_or_else(|| {
+                                SqlError::Semantic(format!(
+                                    "ORDER BY after UNION must name an output column ('{name}')"
+                                ))
+                            })?;
+                        row[i].clone()
+                    }
+                    _ => {
+                        return Err(SqlError::Semantic(
+                            "ORDER BY after UNION supports output columns and ordinals only".into(),
+                        ))
+                    }
+                };
+                keys.push(key);
+            }
+            keyed.push((row, keys));
+        }
+        let descs: Vec<bool> = stmt.order_by.iter().map(|o| o.desc).collect();
+        keyed.sort_by(|(_, ka), (_, kb)| {
+            for ((a, b), desc) in ka.iter().zip(kb).zip(&descs) {
+                let ord = a.total_cmp(b);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        combined = QueryResult {
+            columns: combined.columns,
+            rows: keyed.into_iter().map(|(r, _)| r).collect(),
+        };
+    }
+
+    if let Some(off) = &stmt.offset {
+        let n = const_usize(off, &ctx, "OFFSET")?;
+        combined.rows = combined.rows.into_iter().skip(n).collect();
+    }
+    if let Some(limit) = &stmt.limit {
+        let n = const_usize(limit, &ctx, "LIMIT")?;
+        combined.rows.truncate(n);
+    }
+    Ok(combined)
+}
+
+fn const_usize(e: &Expr, ctx: &EvalCtx<'_>, what: &str) -> SqlResult<usize> {
+    match eval(e, ctx)? {
+        Value::Int(n) if n >= 0 => Ok(n as usize),
+        other => Err(SqlError::Semantic(format!(
+            "{what} must be a non-negative integer, got {other:?}"
+        ))),
+    }
+}
+
+/// Compute one ORDER BY sort key. Resolution order: ordinal literal →
+/// output alias → source-row expression.
+fn order_key(
+    expr: &Expr,
+    out_columns: &[String],
+    out_row: &[Value],
+    rc: &EvalCtx<'_>,
+) -> SqlResult<Value> {
+    if let Expr::Literal(Value::Int(n)) = expr {
+        let i = *n;
+        if i >= 1 && (i as usize) <= out_row.len() {
+            return Ok(out_row[i as usize - 1].clone());
+        }
+        return Err(SqlError::Semantic(format!(
+            "ORDER BY ordinal {i} out of range"
+        )));
+    }
+    if let Expr::Column { table: None, name } = expr {
+        if let Some(i) = out_columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+        {
+            return Ok(out_row[i].clone());
+        }
+    }
+    eval(expr, rc)
+}
+
+/// Expand the projection list into output column names + expressions.
+fn projection_plan(stmt: &SelectStmt, schema: &RowSchema) -> SqlResult<(Vec<String>, Vec<Expr>)> {
+    let mut columns = Vec::new();
+    let mut exprs = Vec::new();
+    for item in &stmt.projections {
+        match item {
+            SelectItem::Wildcard => {
+                if schema.is_empty() {
+                    return Err(SqlError::Semantic("SELECT * without FROM".into()));
+                }
+                for (binding, name) in schema.columns() {
+                    columns.push(name.clone());
+                    exprs.push(Expr::Column {
+                        table: binding.clone(),
+                        name: name.clone(),
+                    });
+                }
+            }
+            SelectItem::QualifiedWildcard(binding) => {
+                let positions = schema.binding_positions(binding);
+                if positions.is_empty() {
+                    return Err(SqlError::NotFound(format!("table alias '{binding}'")));
+                }
+                for i in positions {
+                    let (b, name) = &schema.columns()[i];
+                    columns.push(name.clone());
+                    exprs.push(Expr::Column {
+                        table: b.clone(),
+                        name: name.clone(),
+                    });
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = match alias {
+                    Some(a) => a.clone(),
+                    None => derive_column_name(expr, columns.len()),
+                };
+                columns.push(name);
+                exprs.push(expr.clone());
+            }
+        }
+    }
+    Ok((columns, exprs))
+}
+
+fn derive_column_name(expr: &Expr, ordinal: usize) -> String {
+    match expr {
+        Expr::Column { name, .. } => name.clone(),
+        Expr::Function { name, .. } => name.to_ascii_lowercase(),
+        _ => format!("col{}", ordinal + 1),
+    }
+}
+
+/// Index fast path: for `FROM t WHERE … col = const-expr …` with an
+/// index covering exactly `[col]`, fetch candidates through the index
+/// instead of scanning. The full WHERE still runs afterwards, so this is
+/// purely an access-path optimization. Returns `None` when inapplicable.
+fn try_index_scan(
+    catalog: &Catalog,
+    from: &FromClause,
+    where_clause: Option<&Expr>,
+    ctx: &EvalCtx<'_>,
+) -> SqlResult<Option<Rows>> {
+    let TableSource::Named(name) = &from.base.source else {
+        return Ok(None);
+    };
+    let Some(pred) = where_clause else {
+        return Ok(None);
+    };
+    if pred.contains_aggregate() {
+        return Ok(None);
+    }
+    // Views (and unknown names) fall through to the general scan path,
+    // which produces the proper view expansion or error.
+    let Ok(table) = catalog.table(name) else {
+        return Ok(None);
+    };
+    let binding = from.base.binding_name().unwrap_or(name).to_string();
+
+    let mut conjuncts = Vec::new();
+    flatten_and(pred, &mut conjuncts);
+    for c in &conjuncts {
+        let Expr::Binary {
+            left,
+            op: BinOp::Eq,
+            right,
+        } = c
+        else {
+            continue;
+        };
+        // One side must be a column of this table, the other a
+        // row-independent expression.
+        let (col, value_expr) = match (left.as_ref(), right.as_ref()) {
+            (Expr::Column { table: t, name: n }, e) if is_row_independent(e) => {
+                match resolve_local(&binding, t.as_deref(), n, table) {
+                    Some(pos) => (pos, e),
+                    None => continue,
+                }
+            }
+            (e, Expr::Column { table: t, name: n }) if is_row_independent(e) => {
+                match resolve_local(&binding, t.as_deref(), n, table) {
+                    Some(pos) => (pos, e),
+                    None => continue,
+                }
+            }
+            _ => continue,
+        };
+        let Some(index) = table.find_index(&[col]) else {
+            continue;
+        };
+        let key = eval(value_expr, ctx)?;
+        let schema = RowSchema::new(
+            table
+                .schema
+                .columns
+                .iter()
+                .map(|c| (Some(binding.clone()), c.name.clone()))
+                .collect(),
+        );
+        // `col = NULL` is never true.
+        if key.is_null() {
+            catalog.note_index_scan();
+            return Ok(Some(Rows {
+                schema,
+                rows: Vec::new(),
+            }));
+        }
+        let rows: Vec<Vec<Value>> = index
+            .lookup(&crate::storage::SortKey(vec![key]))
+            .filter_map(|id| table.get(id).cloned())
+            .collect();
+        catalog.note_index_scan();
+        return Ok(Some(Rows { schema, rows }));
+    }
+    Ok(None)
+}
+
+/// Does the expression avoid column references and aggregates (i.e. can
+/// it be evaluated once per statement)? Subqueries are conservatively
+/// rejected to keep the fast path cheap to test for.
+fn is_row_independent(e: &Expr) -> bool {
+    let mut independent = true;
+    e.walk(&mut |node| {
+        if matches!(
+            node,
+            Expr::Column { .. }
+                | Expr::InSubquery { .. }
+                | Expr::Exists { .. }
+                | Expr::ScalarSubquery(_)
+        ) {
+            independent = false;
+        }
+        if let Expr::Function { name, .. } = node {
+            if is_aggregate_name(name) || name == "NEXTVAL" {
+                independent = false;
+            }
+        }
+    });
+    independent
+}
+
+fn resolve_local(
+    binding: &str,
+    qualifier: Option<&str>,
+    column: &str,
+    table: &crate::storage::Table,
+) -> Option<usize> {
+    if let Some(q) = qualifier {
+        if !q.eq_ignore_ascii_case(binding) {
+            return None;
+        }
+    }
+    table.schema.col_index(column)
+}
+
+// ---------------------------------------------------------------- FROM / joins
+
+fn build_from(catalog: &Catalog, from: &FromClause, ctx: &EvalCtx<'_>) -> SqlResult<Rows> {
+    let mut left = scan_table_ref(catalog, &from.base, ctx)?;
+    for join in &from.joins {
+        let right = scan_table_ref(catalog, &join.table, ctx)?;
+        left = join_rows(left, right, join, ctx)?;
+    }
+    Ok(left)
+}
+
+fn scan_table_ref(catalog: &Catalog, tref: &TableRef, ctx: &EvalCtx<'_>) -> SqlResult<Rows> {
+    match &tref.source {
+        TableSource::Named(name) => {
+            // Views shadow nothing: names are unique across tables and
+            // views (enforced by DDL), so check views first.
+            if catalog.has_view(name) {
+                let view = catalog.view(name)?.clone();
+                let _guard = catalog.enter_view()?;
+                let rs = run_select(catalog, &view.query, ctx.params, ctx.named_params)?;
+                let binding = tref.binding_name().unwrap_or(name).to_string();
+                let schema = RowSchema::new(
+                    rs.columns
+                        .iter()
+                        .map(|c| (Some(binding.clone()), c.clone()))
+                        .collect(),
+                );
+                return Ok(Rows {
+                    schema,
+                    rows: rs.rows,
+                });
+            }
+            let table = catalog.table(name)?;
+            let binding = tref.binding_name().unwrap_or(name).to_string();
+            let schema = RowSchema::new(
+                table
+                    .schema
+                    .columns
+                    .iter()
+                    .map(|c| (Some(binding.clone()), c.name.clone()))
+                    .collect(),
+            );
+            Ok(Rows {
+                schema,
+                rows: table.iter().map(|(_, r)| r.clone()).collect(),
+            })
+        }
+        TableSource::Subquery(sub) => {
+            let rs = run_select(ctx.catalog, sub, ctx.params, ctx.named_params)?;
+            let binding = tref
+                .alias
+                .clone()
+                .expect("parser enforces derived-table alias");
+            let schema = RowSchema::new(
+                rs.columns
+                    .iter()
+                    .map(|c| (Some(binding.clone()), c.clone()))
+                    .collect(),
+            );
+            Ok(Rows {
+                schema,
+                rows: rs.rows,
+            })
+        }
+    }
+}
+
+/// Split an `ON` conjunction into hashable equi-pairs and a residual.
+fn split_equi_join(
+    on: &Expr,
+    left: &RowSchema,
+    right: &RowSchema,
+) -> (Vec<(usize, usize)>, Vec<Expr>) {
+    let mut conjuncts = Vec::new();
+    flatten_and(on, &mut conjuncts);
+    let mut pairs = Vec::new();
+    let mut residual = Vec::new();
+    for c in conjuncts {
+        if let Expr::Binary {
+            left: a,
+            op: BinOp::Eq,
+            right: b,
+        } = &c
+        {
+            if let (
+                Expr::Column {
+                    table: ta,
+                    name: na,
+                },
+                Expr::Column {
+                    table: tb,
+                    name: nb,
+                },
+            ) = (a.as_ref(), b.as_ref())
+            {
+                let la = left.resolve(ta.as_deref(), na);
+                let rb = right.resolve(tb.as_deref(), nb);
+                if let (Ok(i), Ok(j)) = (la, rb) {
+                    pairs.push((i, j));
+                    continue;
+                }
+                let lb = left.resolve(tb.as_deref(), nb);
+                let ra = right.resolve(ta.as_deref(), na);
+                if let (Ok(i), Ok(j)) = (lb, ra) {
+                    pairs.push((i, j));
+                    continue;
+                }
+            }
+        }
+        residual.push(c);
+    }
+    (pairs, residual)
+}
+
+fn flatten_and(e: &Expr, out: &mut Vec<Expr>) {
+    if let Expr::Binary {
+        left,
+        op: BinOp::And,
+        right,
+    } = e
+    {
+        flatten_and(left, out);
+        flatten_and(right, out);
+    } else {
+        out.push(e.clone());
+    }
+}
+
+fn join_rows(left: Rows, right: Rows, join: &Join, ctx: &EvalCtx<'_>) -> SqlResult<Rows> {
+    // Combined schema: left columns then right columns.
+    let mut schema = left.schema.clone();
+    for (b, n) in right.schema.columns() {
+        schema.push(b.clone(), n.clone());
+    }
+
+    let left_width = left.schema.len();
+    let right_width = right.schema.len();
+
+    let mut out = Vec::new();
+    match join.kind {
+        JoinKind::Cross => {
+            for l in &left.rows {
+                for r in &right.rows {
+                    let mut row = l.clone();
+                    row.extend(r.iter().cloned());
+                    out.push(row);
+                }
+            }
+        }
+        JoinKind::Inner | JoinKind::Left | JoinKind::Right => {
+            let on = join
+                .on
+                .as_ref()
+                .expect("parser enforces ON for non-cross joins");
+            let (pairs, residual) = split_equi_join(on, &left.schema, &right.schema);
+
+            // Track which right rows matched (for RIGHT join padding).
+            let mut right_matched = vec![false; right.rows.len()];
+
+            // Build hash table on the right side when we have equi-pairs.
+            let hash: Option<HashMap<Vec<Value>, Vec<usize>>> = if pairs.is_empty() {
+                None
+            } else {
+                let mut h: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                for (ri, r) in right.rows.iter().enumerate() {
+                    let key: Vec<Value> = pairs.iter().map(|(_, j)| r[*j].clone()).collect();
+                    if key.iter().any(Value::is_null) {
+                        continue; // NULL never equi-joins
+                    }
+                    h.entry(key).or_default().push(ri);
+                }
+                Some(h)
+            };
+
+            for l in &left.rows {
+                let candidates: Vec<usize> = match &hash {
+                    Some(h) => {
+                        let key: Vec<Value> = pairs.iter().map(|(i, _)| l[*i].clone()).collect();
+                        if key.iter().any(Value::is_null) {
+                            Vec::new()
+                        } else {
+                            h.get(&key).cloned().unwrap_or_default()
+                        }
+                    }
+                    None => (0..right.rows.len()).collect(),
+                };
+                let mut matched = false;
+                for ri in candidates {
+                    let r = &right.rows[ri];
+                    let mut row = l.clone();
+                    row.extend(r.iter().cloned());
+                    let ok = if residual.is_empty() && hash.is_some() {
+                        true
+                    } else {
+                        let rc = ctx.with_row(&schema, &row);
+                        let mut pass = true;
+                        // With no equi-pairs the full ON is the residual set.
+                        for cond in &residual {
+                            if !eval_predicate(cond, &rc)? {
+                                pass = false;
+                                break;
+                            }
+                        }
+                        pass
+                    };
+                    if ok {
+                        matched = true;
+                        right_matched[ri] = true;
+                        out.push(row);
+                    }
+                }
+                if !matched && join.kind == JoinKind::Left {
+                    let mut row = l.clone();
+                    row.extend(std::iter::repeat_n(Value::Null, right_width));
+                    out.push(row);
+                }
+            }
+            if join.kind == JoinKind::Right {
+                for (ri, m) in right_matched.iter().enumerate() {
+                    if !m {
+                        let mut row: Vec<Value> =
+                            std::iter::repeat_n(Value::Null, left_width).collect();
+                        row.extend(right.rows[ri].iter().cloned());
+                        out.push(row);
+                    }
+                }
+            }
+        }
+    }
+    Ok(Rows { schema, rows: out })
+}
+
+// ---------------------------------------------------------------- grouping
+
+/// One aggregate call site found in the statement.
+struct AggSpec {
+    key: String,
+    name: String,
+    arg: Option<Expr>,
+    distinct: bool,
+}
+
+fn collect_aggregates(stmt: &SelectStmt) -> Vec<AggSpec> {
+    let mut specs: Vec<AggSpec> = Vec::new();
+    let mut visit = |e: &Expr| {
+        e.walk(&mut |node| {
+            if let Expr::Function {
+                name,
+                args,
+                distinct,
+                star,
+            } = node
+            {
+                if is_aggregate_name(name) {
+                    let key = aggregate_key(node);
+                    if specs.iter().any(|s| s.key == key) {
+                        return;
+                    }
+                    let arg = if *star { None } else { args.first().cloned() };
+                    specs.push(AggSpec {
+                        key,
+                        name: name.clone(),
+                        arg,
+                        distinct: *distinct,
+                    });
+                }
+            }
+        });
+    };
+    for p in &stmt.projections {
+        if let SelectItem::Expr { expr, .. } = p {
+            visit(expr);
+        }
+    }
+    if let Some(h) = &stmt.having {
+        visit(h);
+    }
+    for o in &stmt.order_by {
+        visit(&o.expr);
+    }
+    specs
+}
+
+fn group_rows(stmt: &SelectStmt, input: &Rows, ctx: &EvalCtx<'_>) -> SqlResult<Vec<GroupedRow>> {
+    let specs = collect_aggregates(stmt);
+
+    // Hash rows into groups by GROUP BY key (single global group if none).
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (i, row) in input.rows.iter().enumerate() {
+        let rc = ctx.with_row(&input.schema, row);
+        let mut key = Vec::with_capacity(stmt.group_by.len());
+        for g in &stmt.group_by {
+            key.push(eval(g, &rc)?);
+        }
+        if !groups.contains_key(&key) {
+            order.push(key.clone());
+        }
+        groups.entry(key).or_default().push(i);
+    }
+
+    // No rows and no GROUP BY → one empty group (global aggregates).
+    if groups.is_empty() && stmt.group_by.is_empty() {
+        order.push(Vec::new());
+        groups.insert(Vec::new(), Vec::new());
+    }
+
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let members = &groups[&key];
+        let mut aggs = HashMap::new();
+        for spec in &specs {
+            let v = compute_aggregate(spec, members, input, ctx)?;
+            aggs.insert(spec.key.clone(), v);
+        }
+        // Representative row: first member, or all-NULL for the empty group.
+        let repr = members
+            .first()
+            .map(|&i| input.rows[i].clone())
+            .unwrap_or_else(|| vec![Value::Null; input.schema.len()]);
+        out.push((repr, Some(aggs)));
+    }
+    Ok(out)
+}
+
+fn compute_aggregate(
+    spec: &AggSpec,
+    members: &[usize],
+    input: &Rows,
+    ctx: &EvalCtx<'_>,
+) -> SqlResult<Value> {
+    // COUNT(*) counts rows directly.
+    if spec.name == "COUNT" && spec.arg.is_none() {
+        return Ok(Value::Int(members.len() as i64));
+    }
+    let arg = spec
+        .arg
+        .as_ref()
+        .ok_or_else(|| SqlError::Semantic(format!("{}(*) is only valid for COUNT", spec.name)))?;
+
+    let mut values = Vec::with_capacity(members.len());
+    for &i in members {
+        let rc = ctx.with_row(&input.schema, &input.rows[i]);
+        let v = eval(arg, &rc)?;
+        if !v.is_null() {
+            values.push(v);
+        }
+    }
+    if spec.distinct {
+        let mut seen = std::collections::HashSet::new();
+        values.retain(|v| seen.insert(v.clone()));
+    }
+
+    match spec.name.as_str() {
+        "COUNT" => Ok(Value::Int(values.len() as i64)),
+        "SUM" | "AVG" => {
+            if values.is_empty() {
+                return Ok(Value::Null);
+            }
+            let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
+            let mut total = 0f64;
+            for v in &values {
+                total += v.as_f64().ok_or_else(|| {
+                    SqlError::Semantic(format!("{}() over non-numeric value", spec.name))
+                })?;
+            }
+            if spec.name == "AVG" {
+                Ok(Value::Float(total / values.len() as f64))
+            } else if all_int {
+                Ok(Value::Int(total as i64))
+            } else {
+                Ok(Value::Float(total))
+            }
+        }
+        "MIN" => Ok(values
+            .into_iter()
+            .min_by(|a, b| a.total_cmp(b))
+            .unwrap_or(Value::Null)),
+        "MAX" => Ok(values
+            .into_iter()
+            .max_by(|a, b| a.total_cmp(b))
+            .unwrap_or(Value::Null)),
+        other => Err(SqlError::Semantic(format!("unknown aggregate '{other}'"))),
+    }
+}

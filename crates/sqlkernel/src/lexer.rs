@@ -1,0 +1,330 @@
+//! Hand-written SQL lexer.
+//!
+//! Produces a flat `Vec<Token>` ending in [`Token::Eof`]. Comments
+//! (`-- line` and `/* block */`) and whitespace are skipped. String
+//! literals use single quotes with `''` escaping; identifiers may be
+//! double-quoted to preserve case and allow reserved words.
+
+use crate::error::{SqlError, SqlResult};
+use crate::token::{is_keyword, Sym, Token};
+
+/// Tokenize `input` into a token stream terminated by [`Token::Eof`].
+pub fn lex(input: &str) -> SqlResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_ascii_whitespace() => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(SqlError::Lex(format!(
+                            "unterminated block comment at byte {start}"
+                        )));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let (s, next) = lex_string(input, i)?;
+                tokens.push(Token::Str(s));
+                i = next;
+            }
+            '"' => {
+                let (s, next) = lex_quoted_ident(input, i)?;
+                tokens.push(Token::Ident(s));
+                i = next;
+            }
+            '?' => {
+                tokens.push(Token::Param);
+                i += 1;
+            }
+            ':' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(SqlError::Lex(format!("lone ':' at byte {i}")));
+                }
+                tokens.push(Token::NamedParam(input[start..j].to_string()));
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(input, i)?;
+                tokens.push(tok);
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let upper = word.to_ascii_uppercase();
+                if is_keyword(&upper) {
+                    tokens.push(Token::Keyword(upper));
+                } else {
+                    tokens.push(Token::Ident(word.to_string()));
+                }
+            }
+            _ => {
+                let (sym, next) = lex_symbol(bytes, i)?;
+                tokens.push(Token::Symbol(sym));
+                i = next;
+            }
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+fn lex_string(input: &str, start: usize) -> SqlResult<(String, usize)> {
+    let bytes = input.as_bytes();
+    let mut out = String::new();
+    let mut i = start + 1;
+    loop {
+        if i >= bytes.len() {
+            return Err(SqlError::Lex(format!(
+                "unterminated string literal at byte {start}"
+            )));
+        }
+        if bytes[i] == b'\'' {
+            if bytes.get(i + 1) == Some(&b'\'') {
+                out.push('\'');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            // Copy a full UTF-8 character, not a byte.
+            let ch = input[i..].chars().next().unwrap();
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+}
+
+fn lex_quoted_ident(input: &str, start: usize) -> SqlResult<(String, usize)> {
+    let bytes = input.as_bytes();
+    let mut i = start + 1;
+    let mut out = String::new();
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            return Ok((out, i + 1));
+        }
+        let ch = input[i..].chars().next().unwrap();
+        out.push(ch);
+        i += ch.len_utf8();
+    }
+    Err(SqlError::Lex(format!(
+        "unterminated quoted identifier at byte {start}"
+    )))
+}
+
+fn lex_number(input: &str, start: usize) -> SqlResult<(Token, usize)> {
+    let bytes = input.as_bytes();
+    let mut i = start;
+    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_float = false;
+    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+            is_float = true;
+            i = j;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let text = &input[start..i];
+    if is_float {
+        text.parse::<f64>()
+            .map(|f| (Token::Float(f), i))
+            .map_err(|_| SqlError::Lex(format!("bad float literal '{text}'")))
+    } else {
+        text.parse::<i64>()
+            .map(|v| (Token::Int(v), i))
+            .map_err(|_| SqlError::Lex(format!("integer literal '{text}' out of range")))
+    }
+}
+
+fn lex_symbol(bytes: &[u8], i: usize) -> SqlResult<(Sym, usize)> {
+    let two = |a: u8, b: u8| bytes[i] == a && bytes.get(i + 1) == Some(&b);
+    if two(b'<', b'=') {
+        return Ok((Sym::LtEq, i + 2));
+    }
+    if two(b'>', b'=') {
+        return Ok((Sym::GtEq, i + 2));
+    }
+    if two(b'<', b'>') {
+        return Ok((Sym::NotEq, i + 2));
+    }
+    if two(b'!', b'=') {
+        return Ok((Sym::NotEq, i + 2));
+    }
+    if two(b'|', b'|') {
+        return Ok((Sym::Concat, i + 2));
+    }
+    let sym = match bytes[i] {
+        b'(' => Sym::LParen,
+        b')' => Sym::RParen,
+        b',' => Sym::Comma,
+        b';' => Sym::Semicolon,
+        b'.' => Sym::Dot,
+        b'*' => Sym::Star,
+        b'+' => Sym::Plus,
+        b'-' => Sym::Minus,
+        b'/' => Sym::Slash,
+        b'%' => Sym::Percent,
+        b'=' => Sym::Eq,
+        b'<' => Sym::Lt,
+        b'>' => Sym::Gt,
+        other => {
+            return Err(SqlError::Lex(format!(
+                "unexpected character '{}' at byte {i}",
+                other as char
+            )))
+        }
+    };
+    Ok((sym, i + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kw(s: &str) -> Token {
+        Token::Keyword(s.into())
+    }
+    fn id(s: &str) -> Token {
+        Token::Ident(s.into())
+    }
+
+    #[test]
+    fn lex_simple_select() {
+        let toks = lex("SELECT a, b FROM t WHERE a >= 10").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                kw("SELECT"),
+                id("a"),
+                Token::Symbol(Sym::Comma),
+                id("b"),
+                kw("FROM"),
+                id("t"),
+                kw("WHERE"),
+                id("a"),
+                Token::Symbol(Sym::GtEq),
+                Token::Int(10),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_strings_and_escapes() {
+        let toks = lex("'it''s' 'λ'").unwrap();
+        assert_eq!(toks[0], Token::Str("it's".into()));
+        assert_eq!(toks[1], Token::Str("λ".into()));
+    }
+
+    #[test]
+    fn lex_numbers() {
+        let toks = lex("1 2.5 3e2 4.5E-1 7").unwrap();
+        assert_eq!(toks[0], Token::Int(1));
+        assert_eq!(toks[1], Token::Float(2.5));
+        assert_eq!(toks[2], Token::Float(300.0));
+        assert_eq!(toks[3], Token::Float(0.45));
+        assert_eq!(toks[4], Token::Int(7));
+    }
+
+    #[test]
+    fn lex_comments() {
+        let toks = lex("SELECT -- everything\n 1 /* not two\n lines */ + 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                kw("SELECT"),
+                Token::Int(1),
+                Token::Symbol(Sym::Plus),
+                Token::Int(2),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_params_and_symbols() {
+        let toks = lex("a <> ? || b != c").unwrap();
+        assert_eq!(toks[1], Token::Symbol(Sym::NotEq));
+        assert_eq!(toks[2], Token::Param);
+        assert_eq!(toks[3], Token::Symbol(Sym::Concat));
+        assert_eq!(toks[5], Token::Symbol(Sym::NotEq));
+    }
+
+    #[test]
+    fn lex_quoted_identifier_keeps_case_and_reserved_words() {
+        let toks = lex("\"Select Me\"").unwrap();
+        assert_eq!(toks[0], Token::Ident("Select Me".into()));
+    }
+
+    #[test]
+    fn lex_keywords_case_insensitive() {
+        let toks = lex("select From WHERE").unwrap();
+        assert_eq!(toks[0], kw("SELECT"));
+        assert_eq!(toks[1], kw("FROM"));
+        assert_eq!(toks[2], kw("WHERE"));
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("'oops").is_err());
+        assert!(lex("/* oops").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn dot_and_star_tokens() {
+        let toks = lex("t.* t.a 1.5").unwrap();
+        assert_eq!(toks[0], id("t"));
+        assert_eq!(toks[1], Token::Symbol(Sym::Dot));
+        assert_eq!(toks[2], Token::Symbol(Sym::Star));
+        assert_eq!(toks[3], id("t"));
+        assert_eq!(toks[4], Token::Symbol(Sym::Dot));
+        assert_eq!(toks[5], id("a"));
+        assert_eq!(toks[6], Token::Float(1.5));
+    }
+}

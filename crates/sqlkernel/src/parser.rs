@@ -1,0 +1,1382 @@
+//! Recursive-descent SQL parser.
+//!
+//! Entry points: [`parse_statement`] for a single statement and
+//! [`parse_script`] for a semicolon-separated batch (used by stored
+//! procedure bodies and the BIS preparation/cleanup statement lists).
+
+use crate::ast::*;
+use crate::error::{SqlError, SqlResult};
+use crate::lexer::lex;
+use crate::token::{Sym, Token};
+use crate::types::{DataType, Value};
+
+/// Parse exactly one statement; trailing semicolons are allowed.
+pub fn parse_statement(sql: &str) -> SqlResult<Statement> {
+    let tokens = lex(sql)?;
+    let mut p = Parser::new(tokens);
+    let stmt = p.statement()?;
+    p.skip_semicolons();
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a semicolon-separated script into a statement list.
+pub fn parse_script(sql: &str) -> SqlResult<Vec<Statement>> {
+    let tokens = lex(sql)?;
+    let mut p = Parser::new(tokens);
+    let mut out = Vec::new();
+    p.skip_semicolons();
+    while !p.at_eof() {
+        out.push(p.statement()?);
+        p.skip_semicolons();
+    }
+    Ok(out)
+}
+
+/// Parse a standalone expression (used by tests and by the workflow layers
+/// when they synthesize predicates).
+pub fn parse_expression(src: &str) -> SqlResult<Expr> {
+    let tokens = lex(src)?;
+    let mut p = Parser::new(tokens);
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    param_count: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Parser {
+        Parser {
+            tokens,
+            pos: 0,
+            param_count: 0,
+        }
+    }
+
+    fn peek(&self) -> &Token {
+        self.tokens.get(self.pos).unwrap_or(&Token::Eof)
+    }
+
+    fn peek2(&self) -> &Token {
+        self.tokens.get(self.pos + 1).unwrap_or(&Token::Eof)
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.peek().clone();
+        self.pos += 1;
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Token::Eof)
+    }
+
+    fn expect_eof(&self) -> SqlResult<()> {
+        if self.at_eof() {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "unexpected trailing token '{}'",
+                self.peek()
+            )))
+        }
+    }
+
+    fn skip_semicolons(&mut self) {
+        while matches!(self.peek(), Token::Symbol(Sym::Semicolon)) {
+            self.pos += 1;
+        }
+    }
+
+    /// If the next token is keyword `kw`, consume it and return true.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Token::Keyword(k) if k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> SqlResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected {kw}, found '{}'",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_sym(&mut self, s: Sym) -> bool {
+        if matches!(self.peek(), Token::Symbol(x) if *x == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: Sym) -> SqlResult<()> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected '{s}', found '{}'",
+                self.peek()
+            )))
+        }
+    }
+
+    /// Consume an identifier (quoted identifiers already arrive as idents).
+    fn ident(&mut self) -> SqlResult<String> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found '{other}'"
+            ))),
+        }
+    }
+
+    fn integer(&mut self) -> SqlResult<i64> {
+        match self.next() {
+            Token::Int(v) => Ok(v),
+            Token::Symbol(Sym::Minus) => match self.next() {
+                Token::Int(v) => Ok(-v),
+                other => Err(SqlError::Parse(format!(
+                    "expected integer, found '{other}'"
+                ))),
+            },
+            other => Err(SqlError::Parse(format!(
+                "expected integer, found '{other}'"
+            ))),
+        }
+    }
+
+    // ---------------------------------------------------------------- statements
+
+    fn statement(&mut self) -> SqlResult<Statement> {
+        match self.peek() {
+            Token::Keyword(k) => match k.as_str() {
+                "SELECT" => Ok(Statement::Select(self.select()?)),
+                "INSERT" => self.insert(),
+                "UPDATE" => self.update(),
+                "DELETE" => self.delete(),
+                "CREATE" => self.create(),
+                "DROP" => self.drop(),
+                "CALL" => self.call(),
+                "BEGIN" | "START" => {
+                    self.pos += 1;
+                    self.eat_kw("TRANSACTION");
+                    Ok(Statement::Begin)
+                }
+                "COMMIT" => {
+                    self.pos += 1;
+                    self.eat_kw("TRANSACTION");
+                    Ok(Statement::Commit)
+                }
+                "ROLLBACK" => {
+                    self.pos += 1;
+                    self.eat_kw("TRANSACTION");
+                    Ok(Statement::Rollback)
+                }
+                other => Err(SqlError::Parse(format!("unexpected keyword '{other}'"))),
+            },
+            other => Err(SqlError::Parse(format!(
+                "expected statement, found '{other}'"
+            ))),
+        }
+    }
+
+    fn select(&mut self) -> SqlResult<SelectStmt> {
+        let mut stmt = self.select_core()?;
+        while self.eat_kw("UNION") {
+            let all = self.eat_kw("ALL");
+            let arm = self.select_core()?;
+            stmt.unions.push(UnionArm {
+                all,
+                select: Box::new(arm),
+            });
+        }
+
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                stmt.order_by.push(OrderItem { expr, desc });
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("LIMIT") {
+            stmt.limit = Some(self.expr()?);
+        }
+        if self.eat_kw("OFFSET") {
+            stmt.offset = Some(self.expr()?);
+        }
+        Ok(stmt)
+    }
+
+    /// One select core: everything up to (not including) UNION / ORDER BY
+    /// / LIMIT.
+    fn select_core(&mut self) -> SqlResult<SelectStmt> {
+        self.expect_kw("SELECT")?;
+        let distinct = if self.eat_kw("DISTINCT") {
+            true
+        } else {
+            self.eat_kw("ALL");
+            false
+        };
+
+        let mut projections = vec![self.select_item()?];
+        while self.eat_sym(Sym::Comma) {
+            projections.push(self.select_item()?);
+        }
+
+        let from = if self.eat_kw("FROM") {
+            Some(self.parse_from_clause()?)
+        } else {
+            None
+        };
+
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.expr()?);
+            while self.eat_sym(Sym::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        Ok(SelectStmt {
+            distinct,
+            projections,
+            from,
+            where_clause,
+            group_by,
+            having,
+            unions: Vec::new(),
+            order_by: Vec::new(),
+            limit: None,
+            offset: None,
+        })
+    }
+
+    fn select_item(&mut self) -> SqlResult<SelectItem> {
+        if self.eat_sym(Sym::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `alias.*`
+        if let (Token::Ident(name), Token::Symbol(Sym::Dot)) = (self.peek(), self.peek2()) {
+            if matches!(
+                self.tokens.get(self.pos + 2),
+                Some(Token::Symbol(Sym::Star))
+            ) {
+                let name = name.clone();
+                self.pos += 3;
+                return Ok(SelectItem::QualifiedWildcard(name));
+            }
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else if let Token::Ident(_) = self.peek() {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_from_clause(&mut self) -> SqlResult<FromClause> {
+        let base = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let kind = if self.eat_kw("CROSS") {
+                self.expect_kw("JOIN")?;
+                JoinKind::Cross
+            } else if self.eat_kw("INNER") {
+                self.expect_kw("JOIN")?;
+                JoinKind::Inner
+            } else if self.eat_kw("LEFT") {
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinKind::Left
+            } else if self.eat_kw("RIGHT") {
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinKind::Right
+            } else if self.eat_kw("JOIN") {
+                JoinKind::Inner
+            } else if self.eat_sym(Sym::Comma) {
+                // `FROM a, b` is a cross join.
+                JoinKind::Cross
+            } else {
+                break;
+            };
+            let table = self.table_ref()?;
+            let on = if kind != JoinKind::Cross && self.eat_kw("ON") {
+                Some(self.expr()?)
+            } else if kind != JoinKind::Cross {
+                return Err(SqlError::Parse("JOIN requires an ON clause".into()));
+            } else {
+                None
+            };
+            joins.push(Join { kind, table, on });
+        }
+        Ok(FromClause { base, joins })
+    }
+
+    fn table_ref(&mut self) -> SqlResult<TableRef> {
+        if self.eat_sym(Sym::LParen) {
+            let sub = self.select()?;
+            self.expect_sym(Sym::RParen)?;
+            self.eat_kw("AS");
+            let alias = self.ident().map_err(|_| {
+                SqlError::Parse("derived table (subquery in FROM) requires an alias".into())
+            })?;
+            return Ok(TableRef {
+                source: TableSource::Subquery(Box::new(sub)),
+                alias: Some(alias),
+            });
+        }
+        let name = self.ident()?;
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else if let Token::Ident(_) = self.peek() {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef {
+            source: TableSource::Named(name),
+            alias,
+        })
+    }
+
+    fn insert(&mut self) -> SqlResult<Statement> {
+        self.expect_kw("INSERT")?;
+        self.expect_kw("INTO")?;
+        let table = self.ident()?;
+        let columns = if matches!(self.peek(), Token::Symbol(Sym::LParen))
+            && !matches!(self.peek2(), Token::Keyword(k) if k == "SELECT")
+        {
+            self.expect_sym(Sym::LParen)?;
+            let mut cols = vec![self.ident()?];
+            while self.eat_sym(Sym::Comma) {
+                cols.push(self.ident()?);
+            }
+            self.expect_sym(Sym::RParen)?;
+            Some(cols)
+        } else {
+            None
+        };
+        let source = if self.eat_kw("VALUES") {
+            let mut rows = Vec::new();
+            loop {
+                self.expect_sym(Sym::LParen)?;
+                let mut row = vec![self.expr()?];
+                while self.eat_sym(Sym::Comma) {
+                    row.push(self.expr()?);
+                }
+                self.expect_sym(Sym::RParen)?;
+                rows.push(row);
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+            InsertSource::Values(rows)
+        } else if matches!(self.peek(), Token::Keyword(k) if k == "SELECT") {
+            InsertSource::Select(Box::new(self.select()?))
+        } else if self.eat_sym(Sym::LParen) {
+            let sel = self.select()?;
+            self.expect_sym(Sym::RParen)?;
+            InsertSource::Select(Box::new(sel))
+        } else {
+            return Err(SqlError::Parse(format!(
+                "expected VALUES or SELECT, found '{}'",
+                self.peek()
+            )));
+        };
+        Ok(Statement::Insert(InsertStmt {
+            table,
+            columns,
+            source,
+        }))
+    }
+
+    fn update(&mut self) -> SqlResult<Statement> {
+        self.expect_kw("UPDATE")?;
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect_sym(Sym::Eq)?;
+            let value = self.expr()?;
+            assignments.push((col, value));
+            if !self.eat_sym(Sym::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update(UpdateStmt {
+            table,
+            assignments,
+            where_clause,
+        }))
+    }
+
+    fn delete(&mut self) -> SqlResult<Statement> {
+        self.expect_kw("DELETE")?;
+        self.expect_kw("FROM")?;
+        let table = self.ident()?;
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete(DeleteStmt {
+            table,
+            where_clause,
+        }))
+    }
+
+    fn if_not_exists(&mut self) -> SqlResult<bool> {
+        if self.eat_kw("IF") {
+            self.expect_kw("NOT")?;
+            self.expect_kw("EXISTS")?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn if_exists(&mut self) -> SqlResult<bool> {
+        if self.eat_kw("IF") {
+            self.expect_kw("EXISTS")?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn create(&mut self) -> SqlResult<Statement> {
+        self.expect_kw("CREATE")?;
+        let temporary = self.eat_kw("TEMPORARY") || self.eat_kw("TEMP");
+        let unique = self.eat_kw("UNIQUE");
+        if self.eat_kw("TABLE") {
+            let if_not_exists = self.if_not_exists()?;
+            let name = self.ident()?;
+            self.expect_sym(Sym::LParen)?;
+            let mut columns = vec![self.column_def()?];
+            while self.eat_sym(Sym::Comma) {
+                // Table-level `PRIMARY KEY (col, …)` constraint.
+                if self.eat_kw("PRIMARY") {
+                    self.expect_kw("KEY")?;
+                    self.expect_sym(Sym::LParen)?;
+                    let mut pk_cols = vec![self.ident()?];
+                    while self.eat_sym(Sym::Comma) {
+                        pk_cols.push(self.ident()?);
+                    }
+                    self.expect_sym(Sym::RParen)?;
+                    for pk in &pk_cols {
+                        let col = columns
+                            .iter_mut()
+                            .find(|c| c.name.eq_ignore_ascii_case(pk))
+                            .ok_or_else(|| {
+                                SqlError::Parse(format!("PRIMARY KEY column '{pk}' not defined"))
+                            })?;
+                        col.primary_key = true;
+                    }
+                    continue;
+                }
+                columns.push(self.column_def()?);
+            }
+            self.expect_sym(Sym::RParen)?;
+            return Ok(Statement::CreateTable(CreateTableStmt {
+                name,
+                if_not_exists,
+                temporary,
+                columns,
+            }));
+        }
+        if self.eat_kw("INDEX") {
+            let if_not_exists = self.if_not_exists()?;
+            let name = self.ident()?;
+            self.expect_kw("ON")?;
+            let table = self.ident()?;
+            self.expect_sym(Sym::LParen)?;
+            let mut columns = vec![self.ident()?];
+            while self.eat_sym(Sym::Comma) {
+                columns.push(self.ident()?);
+            }
+            self.expect_sym(Sym::RParen)?;
+            return Ok(Statement::CreateIndex {
+                name,
+                table,
+                columns,
+                unique,
+                if_not_exists,
+            });
+        }
+        if unique {
+            return Err(SqlError::Parse(
+                "UNIQUE only applies to CREATE INDEX".into(),
+            ));
+        }
+        if self.eat_kw("SEQUENCE") {
+            let if_not_exists = self.if_not_exists()?;
+            let name = self.ident()?;
+            let mut start = 1;
+            let mut increment = 1;
+            loop {
+                if self.eat_kw("START") {
+                    self.expect_kw("WITH")?;
+                    start = self.integer()?;
+                } else if self.eat_kw("INCREMENT") {
+                    self.expect_kw("BY")?;
+                    increment = self.integer()?;
+                    if increment == 0 {
+                        return Err(SqlError::Parse("INCREMENT BY 0 is invalid".into()));
+                    }
+                } else {
+                    break;
+                }
+            }
+            return Ok(Statement::CreateSequence {
+                name,
+                start,
+                increment,
+                if_not_exists,
+            });
+        }
+        if self.eat_kw("VIEW") {
+            let if_not_exists = self.if_not_exists()?;
+            let name = self.ident()?;
+            self.expect_kw("AS")?;
+            let query = self.select()?;
+            return Ok(Statement::CreateView {
+                name,
+                if_not_exists,
+                query: Box::new(query),
+            });
+        }
+        if self.eat_kw("PROCEDURE") {
+            let name = self.ident()?;
+            let mut params = Vec::new();
+            if self.eat_sym(Sym::LParen) && !self.eat_sym(Sym::RParen) {
+                params.push(self.ident()?);
+                while self.eat_sym(Sym::Comma) {
+                    params.push(self.ident()?);
+                }
+                self.expect_sym(Sym::RParen)?;
+            }
+            self.expect_kw("AS")?;
+            self.expect_kw("BEGIN")?;
+            let mut body = Vec::new();
+            self.skip_semicolons();
+            while !self.eat_kw("END") {
+                if self.at_eof() {
+                    return Err(SqlError::Parse("procedure body missing END".into()));
+                }
+                body.push(self.statement()?);
+                self.skip_semicolons();
+            }
+            return Ok(Statement::CreateProcedure(CreateProcedureStmt {
+                name,
+                params,
+                body,
+            }));
+        }
+        Err(SqlError::Parse(format!(
+            "CREATE of '{}' is not supported",
+            self.peek()
+        )))
+    }
+
+    fn column_def(&mut self) -> SqlResult<ColumnDef> {
+        let name = self.ident()?;
+        let type_name = self.ident()?;
+        let ty = DataType::from_name(&type_name)
+            .ok_or_else(|| SqlError::Parse(format!("unknown type '{type_name}'")))?;
+        // Optional length arguments: VARCHAR(40), DECIMAL(10, 2).
+        if self.eat_sym(Sym::LParen) {
+            self.integer()?;
+            if self.eat_sym(Sym::Comma) {
+                self.integer()?;
+            }
+            self.expect_sym(Sym::RParen)?;
+        }
+        let mut def = ColumnDef {
+            name,
+            ty,
+            not_null: false,
+            primary_key: false,
+            unique: false,
+            default: None,
+        };
+        loop {
+            if self.eat_kw("PRIMARY") {
+                self.expect_kw("KEY")?;
+                def.primary_key = true;
+            } else if self.eat_kw("NOT") {
+                self.expect_kw("NULL")?;
+                def.not_null = true;
+            } else if self.eat_kw("UNIQUE") {
+                def.unique = true;
+            } else if self.eat_kw("DEFAULT") {
+                def.default = Some(self.expr()?);
+            } else {
+                break;
+            }
+        }
+        Ok(def)
+    }
+
+    fn drop(&mut self) -> SqlResult<Statement> {
+        self.expect_kw("DROP")?;
+        if self.eat_kw("TABLE") {
+            let if_exists = self.if_exists()?;
+            let name = self.ident()?;
+            return Ok(Statement::DropTable { name, if_exists });
+        }
+        if self.eat_kw("INDEX") {
+            let if_exists = self.if_exists()?;
+            let name = self.ident()?;
+            return Ok(Statement::DropIndex { name, if_exists });
+        }
+        if self.eat_kw("SEQUENCE") {
+            let if_exists = self.if_exists()?;
+            let name = self.ident()?;
+            return Ok(Statement::DropSequence { name, if_exists });
+        }
+        if self.eat_kw("PROCEDURE") {
+            let if_exists = self.if_exists()?;
+            let name = self.ident()?;
+            return Ok(Statement::DropProcedure { name, if_exists });
+        }
+        if self.eat_kw("VIEW") {
+            let if_exists = self.if_exists()?;
+            let name = self.ident()?;
+            return Ok(Statement::DropView { name, if_exists });
+        }
+        Err(SqlError::Parse(format!(
+            "DROP of '{}' is not supported",
+            self.peek()
+        )))
+    }
+
+    fn call(&mut self) -> SqlResult<Statement> {
+        self.expect_kw("CALL")?;
+        let name = self.ident()?;
+        let mut args = Vec::new();
+        if self.eat_sym(Sym::LParen) && !self.eat_sym(Sym::RParen) {
+            args.push(self.expr()?);
+            while self.eat_sym(Sym::Comma) {
+                args.push(self.expr()?);
+            }
+            self.expect_sym(Sym::RParen)?;
+        }
+        Ok(Statement::Call { name, args })
+    }
+
+    // ---------------------------------------------------------------- expressions
+
+    fn expr(&mut self) -> SqlResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> SqlResult<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinOp::Or,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> SqlResult<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op: BinOp::And,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> SqlResult<Expr> {
+        if self.eat_kw("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> SqlResult<Expr> {
+        let left = self.additive()?;
+
+        // IS [NOT] NULL
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+
+        // [NOT] IN / BETWEEN / LIKE
+        let negated = self.eat_kw("NOT");
+        if self.eat_kw("IN") {
+            self.expect_sym(Sym::LParen)?;
+            if matches!(self.peek(), Token::Keyword(k) if k == "SELECT") {
+                let sub = self.select()?;
+                self.expect_sym(Sym::RParen)?;
+                return Ok(Expr::InSubquery {
+                    expr: Box::new(left),
+                    subquery: Box::new(sub),
+                    negated,
+                });
+            }
+            let mut list = vec![self.expr()?];
+            while self.eat_sym(Sym::Comma) {
+                list.push(self.expr()?);
+            }
+            self.expect_sym(Sym::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(left),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw("BETWEEN") {
+            let low = self.additive()?;
+            self.expect_kw("AND")?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw("LIKE") {
+            let pattern = self.additive()?;
+            return Ok(Expr::Like {
+                expr: Box::new(left),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        if negated {
+            return Err(SqlError::Parse(
+                "expected IN, BETWEEN or LIKE after NOT".into(),
+            ));
+        }
+
+        let op = match self.peek() {
+            Token::Symbol(Sym::Eq) => Some(BinOp::Eq),
+            Token::Symbol(Sym::NotEq) => Some(BinOp::NotEq),
+            Token::Symbol(Sym::Lt) => Some(BinOp::Lt),
+            Token::Symbol(Sym::LtEq) => Some(BinOp::LtEq),
+            Token::Symbol(Sym::Gt) => Some(BinOp::Gt),
+            Token::Symbol(Sym::GtEq) => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            });
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> SqlResult<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Symbol(Sym::Plus) => BinOp::Add,
+                Token::Symbol(Sym::Minus) => BinOp::Sub,
+                Token::Symbol(Sym::Concat) => BinOp::Concat,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> SqlResult<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Symbol(Sym::Star) => BinOp::Mul,
+                Token::Symbol(Sym::Slash) => BinOp::Div,
+                Token::Symbol(Sym::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = Expr::Binary {
+                left: Box::new(left),
+                op,
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> SqlResult<Expr> {
+        if self.eat_sym(Sym::Minus) {
+            let inner = self.unary()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(inner),
+            });
+        }
+        if self.eat_sym(Sym::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> SqlResult<Expr> {
+        match self.peek().clone() {
+            Token::Int(v) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Int(v)))
+            }
+            Token::Float(v) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Float(v)))
+            }
+            Token::Str(s) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Text(s)))
+            }
+            Token::Param => {
+                self.pos += 1;
+                let idx = self.param_count;
+                self.param_count += 1;
+                Ok(Expr::Param(idx))
+            }
+            Token::NamedParam(n) => {
+                self.pos += 1;
+                Ok(Expr::NamedParam(n))
+            }
+            Token::Keyword(k) => match k.as_str() {
+                "NULL" => {
+                    self.pos += 1;
+                    Ok(Expr::Literal(Value::Null))
+                }
+                "TRUE" => {
+                    self.pos += 1;
+                    Ok(Expr::Literal(Value::Bool(true)))
+                }
+                "FALSE" => {
+                    self.pos += 1;
+                    Ok(Expr::Literal(Value::Bool(false)))
+                }
+                "CASE" => self.case_expr(),
+                "EXISTS" => {
+                    self.pos += 1;
+                    self.expect_sym(Sym::LParen)?;
+                    let sub = self.select()?;
+                    self.expect_sym(Sym::RParen)?;
+                    Ok(Expr::Exists {
+                        subquery: Box::new(sub),
+                        negated: false,
+                    })
+                }
+                other => Err(SqlError::Parse(format!(
+                    "unexpected keyword '{other}' in expression"
+                ))),
+            },
+            Token::Symbol(Sym::LParen) => {
+                self.pos += 1;
+                if matches!(self.peek(), Token::Keyword(k) if k == "SELECT") {
+                    let sub = self.select()?;
+                    self.expect_sym(Sym::RParen)?;
+                    return Ok(Expr::ScalarSubquery(Box::new(sub)));
+                }
+                let inner = self.expr()?;
+                self.expect_sym(Sym::RParen)?;
+                Ok(inner)
+            }
+            Token::Ident(name) => {
+                self.pos += 1;
+                // Function call?
+                if matches!(self.peek(), Token::Symbol(Sym::LParen)) {
+                    self.pos += 1;
+                    let mut distinct = false;
+                    let mut star = false;
+                    let mut args = Vec::new();
+                    if self.eat_sym(Sym::Star) {
+                        star = true;
+                        self.expect_sym(Sym::RParen)?;
+                    } else if self.eat_sym(Sym::RParen) {
+                        // zero-arg function
+                    } else {
+                        distinct = self.eat_kw("DISTINCT");
+                        args.push(self.expr()?);
+                        while self.eat_sym(Sym::Comma) {
+                            args.push(self.expr()?);
+                        }
+                        self.expect_sym(Sym::RParen)?;
+                    }
+                    return Ok(Expr::Function {
+                        name: name.to_ascii_uppercase(),
+                        args,
+                        distinct,
+                        star,
+                    });
+                }
+                // Qualified column `t.a`?
+                if self.eat_sym(Sym::Dot) {
+                    let col = self.ident()?;
+                    return Ok(Expr::Column {
+                        table: Some(name),
+                        name: col,
+                    });
+                }
+                Ok(Expr::Column { table: None, name })
+            }
+            other => Err(SqlError::Parse(format!(
+                "unexpected token '{other}' in expression"
+            ))),
+        }
+    }
+
+    fn case_expr(&mut self) -> SqlResult<Expr> {
+        self.expect_kw("CASE")?;
+        let operand = if matches!(self.peek(), Token::Keyword(k) if k == "WHEN") {
+            None
+        } else {
+            Some(Box::new(self.expr()?))
+        };
+        let mut branches = Vec::new();
+        while self.eat_kw("WHEN") {
+            let when = self.expr()?;
+            self.expect_kw("THEN")?;
+            let then = self.expr()?;
+            branches.push((when, then));
+        }
+        if branches.is_empty() {
+            return Err(SqlError::Parse("CASE requires at least one WHEN".into()));
+        }
+        let else_branch = if self.eat_kw("ELSE") {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        self.expect_kw("END")?;
+        Ok(Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(sql: &str) -> SelectStmt {
+        match parse_statement(sql).unwrap() {
+            Statement::Select(s) => s,
+            other => panic!("expected SELECT, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_minimal_select() {
+        let s = sel("SELECT 1");
+        assert_eq!(s.projections.len(), 1);
+        assert!(s.from.is_none());
+    }
+
+    #[test]
+    fn parse_select_structure() {
+        let s = sel("SELECT ItemId, SUM(Quantity) AS Quantity FROM Orders \
+             WHERE Approved = TRUE GROUP BY ItemId HAVING SUM(Quantity) > 0 \
+             ORDER BY ItemId DESC LIMIT 10 OFFSET 2");
+        assert_eq!(s.projections.len(), 2);
+        assert!(s.where_clause.is_some());
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.having.is_some());
+        assert!(s.order_by[0].desc);
+        assert!(s.limit.is_some());
+        assert!(s.offset.is_some());
+        match &s.projections[1] {
+            SelectItem::Expr { alias, expr } => {
+                assert_eq!(alias.as_deref(), Some("Quantity"));
+                assert!(expr.contains_aggregate());
+            }
+            other => panic!("unexpected projection {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_joins() {
+        let s = sel("SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y CROSS JOIN d");
+        let from = s.from.unwrap();
+        assert_eq!(from.joins.len(), 3);
+        assert_eq!(from.joins[0].kind, JoinKind::Inner);
+        assert_eq!(from.joins[1].kind, JoinKind::Left);
+        assert_eq!(from.joins[2].kind, JoinKind::Cross);
+        assert!(from.joins[2].on.is_none());
+    }
+
+    #[test]
+    fn parse_comma_join() {
+        let s = sel("SELECT * FROM a, b WHERE a.x = b.x");
+        let from = s.from.unwrap();
+        assert_eq!(from.joins.len(), 1);
+        assert_eq!(from.joins[0].kind, JoinKind::Cross);
+    }
+
+    #[test]
+    fn join_requires_on() {
+        assert!(parse_statement("SELECT * FROM a JOIN b").is_err());
+    }
+
+    #[test]
+    fn parse_derived_table() {
+        let s = sel("SELECT t.a FROM (SELECT a FROM x) AS t");
+        match &s.from.unwrap().base.source {
+            TableSource::Subquery(sub) => assert_eq!(sub.projections.len(), 1),
+            other => panic!("expected subquery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derived_table_requires_alias() {
+        assert!(parse_statement("SELECT * FROM (SELECT 1)").is_err());
+    }
+
+    #[test]
+    fn parse_insert_values_multi() {
+        match parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap() {
+            Statement::Insert(i) => {
+                assert_eq!(i.columns.as_ref().unwrap().len(), 2);
+                match i.source {
+                    InsertSource::Values(rows) => assert_eq!(rows.len(), 2),
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_insert_select() {
+        match parse_statement("INSERT INTO t SELECT a FROM s").unwrap() {
+            Statement::Insert(i) => assert!(matches!(i.source, InsertSource::Select(_))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_update_delete() {
+        match parse_statement("UPDATE t SET a = a + 1, b = 'z' WHERE id = 3").unwrap() {
+            Statement::Update(u) => {
+                assert_eq!(u.assignments.len(), 2);
+                assert!(u.where_clause.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_statement("DELETE FROM t").unwrap() {
+            Statement::Delete(d) => assert!(d.where_clause.is_none()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_create_table_constraints() {
+        match parse_statement(
+            "CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(40) NOT NULL, \
+             price DECIMAL(10,2) DEFAULT 0.0, ok BOOL UNIQUE)",
+        )
+        .unwrap()
+        {
+            Statement::CreateTable(c) => {
+                assert!(c.columns[0].primary_key);
+                assert!(c.columns[1].not_null);
+                assert_eq!(c.columns[1].ty, DataType::Text);
+                assert!(c.columns[2].default.is_some());
+                assert!(c.columns[3].unique);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_table_level_primary_key() {
+        match parse_statement("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a))").unwrap() {
+            Statement::CreateTable(c) => {
+                assert!(c.columns[0].primary_key);
+                assert!(!c.columns[1].primary_key);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_temp_table_and_if_not_exists() {
+        match parse_statement("CREATE TEMP TABLE IF NOT EXISTS rs1 (v INT)").unwrap() {
+            Statement::CreateTable(c) => {
+                assert!(c.temporary);
+                assert!(c.if_not_exists);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_sequence() {
+        match parse_statement("CREATE SEQUENCE s START WITH 100 INCREMENT BY 5").unwrap() {
+            Statement::CreateSequence {
+                start, increment, ..
+            } => {
+                assert_eq!(start, 100);
+                assert_eq!(increment, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_statement("CREATE SEQUENCE s INCREMENT BY 0").is_err());
+    }
+
+    #[test]
+    fn parse_procedure() {
+        let sql = "CREATE PROCEDURE order_items(item, qty) AS BEGIN \
+                   INSERT INTO log VALUES (:item, :qty); \
+                   SELECT * FROM log WHERE item = :item; END";
+        match parse_statement(sql).unwrap() {
+            Statement::CreateProcedure(p) => {
+                assert_eq!(p.params, vec!["item", "qty"]);
+                assert_eq!(p.body.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_call() {
+        match parse_statement("CALL p(1, 'x')").unwrap() {
+            Statement::Call { name, args } => {
+                assert_eq!(name, "p");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_txn_control() {
+        assert_eq!(parse_statement("BEGIN").unwrap(), Statement::Begin);
+        assert_eq!(
+            parse_statement("START TRANSACTION").unwrap(),
+            Statement::Begin
+        );
+        assert_eq!(parse_statement("COMMIT").unwrap(), Statement::Commit);
+        assert_eq!(parse_statement("ROLLBACK").unwrap(), Statement::Rollback);
+    }
+
+    #[test]
+    fn parse_expression_precedence() {
+        // a + b * c  parses as  a + (b * c)
+        let e = parse_expression("a + b * c").unwrap();
+        match e {
+            Expr::Binary {
+                op: BinOp::Add,
+                right,
+                ..
+            } => {
+                assert!(matches!(*right, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        // NOT a = b  parses as  NOT (a = b)
+        let e = parse_expression("NOT a = b").unwrap();
+        assert!(matches!(e, Expr::Unary { op: UnOp::Not, .. }));
+        // a OR b AND c  parses as  a OR (b AND c)
+        let e = parse_expression("a OR b AND c").unwrap();
+        match e {
+            Expr::Binary {
+                op: BinOp::Or,
+                right,
+                ..
+            } => {
+                assert!(matches!(*right, Expr::Binary { op: BinOp::And, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_special_predicates() {
+        assert!(matches!(
+            parse_expression("a IS NOT NULL").unwrap(),
+            Expr::IsNull { negated: true, .. }
+        ));
+        assert!(matches!(
+            parse_expression("a NOT IN (1, 2)").unwrap(),
+            Expr::InList { negated: true, .. }
+        ));
+        assert!(matches!(
+            parse_expression("a BETWEEN 1 AND 10").unwrap(),
+            Expr::Between { negated: false, .. }
+        ));
+        assert!(matches!(
+            parse_expression("name LIKE 'w%'").unwrap(),
+            Expr::Like { .. }
+        ));
+        assert!(matches!(
+            parse_expression("a IN (SELECT x FROM t)").unwrap(),
+            Expr::InSubquery { .. }
+        ));
+        assert!(matches!(
+            parse_expression("EXISTS (SELECT 1 FROM t)").unwrap(),
+            Expr::Exists { .. }
+        ));
+        assert!(matches!(
+            parse_expression("(SELECT MAX(x) FROM t)").unwrap(),
+            Expr::ScalarSubquery(_)
+        ));
+    }
+
+    #[test]
+    fn parse_case_forms() {
+        let e = parse_expression("CASE WHEN a > 1 THEN 'big' ELSE 'small' END").unwrap();
+        assert!(matches!(e, Expr::Case { operand: None, .. }));
+        let e = parse_expression("CASE a WHEN 1 THEN 'one' WHEN 2 THEN 'two' END").unwrap();
+        match e {
+            Expr::Case {
+                operand,
+                branches,
+                else_branch,
+            } => {
+                assert!(operand.is_some());
+                assert_eq!(branches.len(), 2);
+                assert!(else_branch.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_function_forms() {
+        assert!(matches!(
+            parse_expression("COUNT(*)").unwrap(),
+            Expr::Function { star: true, .. }
+        ));
+        assert!(matches!(
+            parse_expression("COUNT(DISTINCT a)").unwrap(),
+            Expr::Function { distinct: true, .. }
+        ));
+        match parse_expression("coalesce(a, b, 0)").unwrap() {
+            Expr::Function { name, args, .. } => {
+                assert_eq!(name, "COALESCE");
+                assert_eq!(args.len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn params_numbered_in_order() {
+        let stmt = parse_statement("SELECT * FROM t WHERE a = ? AND b = ? OR c = ?").unwrap();
+        let mut indices = Vec::new();
+        if let Statement::Select(s) = stmt {
+            s.where_clause.unwrap().walk(&mut |e| {
+                if let Expr::Param(i) = e {
+                    indices.push(*i);
+                }
+            });
+        }
+        assert_eq!(indices, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn parse_script_batches() {
+        let stmts =
+            parse_script("CREATE TABLE a (x INT); INSERT INTO a VALUES (1);; SELECT * FROM a;")
+                .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_statement("SELEKT 1").is_err());
+        assert!(parse_statement("SELECT FROM").is_err());
+        assert!(parse_statement("INSERT INTO t").is_err());
+        assert!(parse_statement("SELECT 1 2").is_err());
+        assert!(parse_statement("CREATE TABLE t (a BLOB)").is_err());
+    }
+
+    #[test]
+    fn qualified_wildcard_projection() {
+        let s = sel("SELECT o.*, i.name FROM o JOIN i ON o.k = i.k");
+        assert!(matches!(&s.projections[0], SelectItem::QualifiedWildcard(t) if t == "o"));
+    }
+
+    #[test]
+    fn quoted_identifiers_allow_reserved_words() {
+        let s = sel("SELECT \"select\" FROM \"table\"");
+        assert!(matches!(
+            &s.projections[0],
+            SelectItem::Expr { expr: Expr::Column { name, .. }, .. } if name == "select"
+        ));
+    }
+}

@@ -1,0 +1,201 @@
+//! Table schemas: column definitions and name resolution.
+
+use crate::error::{SqlError, SqlResult};
+use crate::types::{DataType, Value};
+
+/// A column of a table schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    pub name: String,
+    pub ty: DataType,
+    pub not_null: bool,
+    pub primary_key: bool,
+    pub unique: bool,
+    /// Default value, already constant-folded at DDL time.
+    pub default: Option<Value>,
+}
+
+impl Column {
+    /// A plain nullable column with no constraints.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Column {
+        Column {
+            name: name.into(),
+            ty,
+            not_null: false,
+            primary_key: false,
+            unique: false,
+            default: None,
+        }
+    }
+}
+
+/// Schema of a stored table (or of a derived result set).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<Column>,
+    /// Temporary tables belong to the creating connection and vanish with it.
+    pub temporary: bool,
+}
+
+impl TableSchema {
+    /// Build a schema; fails on duplicate column names.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<Column>,
+        temporary: bool,
+    ) -> SqlResult<TableSchema> {
+        let name = name.into();
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i]
+                .iter()
+                .any(|o| o.name.eq_ignore_ascii_case(&c.name))
+            {
+                return Err(SqlError::Semantic(format!(
+                    "duplicate column '{}' in table '{name}'",
+                    c.name
+                )));
+            }
+        }
+        if columns.is_empty() {
+            return Err(SqlError::Semantic(format!(
+                "table '{name}' must have at least one column"
+            )));
+        }
+        Ok(TableSchema {
+            name,
+            columns,
+            temporary,
+        })
+    }
+
+    /// Index of a column by case-insensitive name.
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Resolve a column or fail with a helpful error.
+    pub fn resolve(&self, name: &str) -> SqlResult<usize> {
+        self.col_index(name)
+            .ok_or_else(|| SqlError::NotFound(format!("column '{name}' in table '{}'", self.name)))
+    }
+
+    /// Positions of primary-key columns, in declaration order.
+    pub fn primary_key_cols(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.primary_key)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Render back to a `CREATE TABLE` statement (used by the WF DataSet
+    /// when it snapshots a table shape, and by tests).
+    pub fn to_ddl(&self) -> String {
+        let cols: Vec<String> = self
+            .columns
+            .iter()
+            .map(|c| {
+                let mut s = format!("{} {}", c.name, c.ty.sql_name());
+                if c.primary_key {
+                    s.push_str(" PRIMARY KEY");
+                }
+                if c.not_null && !c.primary_key {
+                    s.push_str(" NOT NULL");
+                }
+                if c.unique && !c.primary_key {
+                    s.push_str(" UNIQUE");
+                }
+                if let Some(d) = &c.default {
+                    s.push_str(&format!(" DEFAULT {}", d.to_sql_literal()));
+                }
+                s
+            })
+            .collect();
+        format!(
+            "CREATE {}TABLE {} ({})",
+            if self.temporary { "TEMPORARY " } else { "" },
+            self.name,
+            cols.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "orders",
+            vec![
+                {
+                    let mut c = Column::new("OrderId", DataType::Int);
+                    c.primary_key = true;
+                    c
+                },
+                Column::new("ItemId", DataType::Text),
+                {
+                    let mut c = Column::new("Quantity", DataType::Int);
+                    c.default = Some(Value::Int(0));
+                    c
+                },
+            ],
+            false,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn col_lookup_is_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.col_index("itemid"), Some(1));
+        assert_eq!(s.col_index("ITEMID"), Some(1));
+        assert_eq!(s.col_index("nope"), None);
+        assert!(s.resolve("nope").is_err());
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        let r = TableSchema::new(
+            "t",
+            vec![
+                Column::new("a", DataType::Int),
+                Column::new("A", DataType::Int),
+            ],
+            false,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_tables_rejected() {
+        assert!(TableSchema::new("t", vec![], false).is_err());
+    }
+
+    #[test]
+    fn pk_cols() {
+        assert_eq!(schema().primary_key_cols(), vec![0]);
+    }
+
+    #[test]
+    fn ddl_round_trip_via_parser() {
+        let ddl = schema().to_ddl();
+        let stmt = crate::parser::parse_statement(&ddl).unwrap();
+        match stmt {
+            crate::ast::Statement::CreateTable(c) => {
+                assert_eq!(c.columns.len(), 3);
+                assert!(c.columns[0].primary_key);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

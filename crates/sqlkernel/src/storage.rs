@@ -1,0 +1,568 @@
+//! Row storage: tables with stable row ids and B-tree secondary indexes.
+//!
+//! Rows live in a `BTreeMap<RowId, Row>` so that ids stay stable across
+//! deletes (the undo log and the indexes both key on [`RowId`]). Indexes
+//! map composite key values to the set of row ids holding them; unique
+//! indexes enforce at-most-one id per key (ignoring keys containing NULL,
+//! per SQL convention).
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::error::{SqlError, SqlResult};
+use crate::schema::TableSchema;
+use crate::types::Value;
+
+/// Stable identifier of a row within one table.
+pub type RowId = u64;
+
+/// A stored row; always has exactly `schema.columns.len()` values.
+pub type Row = Vec<Value>;
+
+/// A totally ordered composite key, usable in `BTreeMap`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortKey(pub Vec<Value>);
+
+impl Ord for SortKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for (a, b) in self.0.iter().zip(&other.0) {
+            match a.total_cmp(b) {
+                Ordering::Equal => continue,
+                non_eq => return non_eq,
+            }
+        }
+        self.0.len().cmp(&other.0.len())
+    }
+}
+
+impl PartialOrd for SortKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A secondary (or constraint-backing) index.
+#[derive(Debug, Clone)]
+pub struct Index {
+    pub name: String,
+    /// Positions of the indexed columns in the table schema.
+    pub columns: Vec<usize>,
+    pub unique: bool,
+    map: BTreeMap<SortKey, BTreeSet<RowId>>,
+}
+
+impl Index {
+    fn key_of(&self, row: &Row) -> SortKey {
+        SortKey(self.columns.iter().map(|&i| row[i].clone()).collect())
+    }
+
+    fn key_has_null(key: &SortKey) -> bool {
+        key.0.iter().any(Value::is_null)
+    }
+
+    /// Row ids matching an exact key.
+    pub fn lookup(&self, key: &SortKey) -> impl Iterator<Item = RowId> + '_ {
+        self.map.get(key).into_iter().flatten().copied()
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A stored table: schema + rows + indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub schema: TableSchema,
+    rows: BTreeMap<RowId, Row>,
+    next_row_id: RowId,
+    indexes: Vec<Index>,
+}
+
+impl Table {
+    /// Create an empty table. A unique index backing the primary key (if
+    /// any) is created automatically, as are single-column unique indexes
+    /// for `UNIQUE` columns.
+    pub fn new(schema: TableSchema) -> Table {
+        let mut t = Table {
+            rows: BTreeMap::new(),
+            next_row_id: 1,
+            indexes: Vec::new(),
+            schema,
+        };
+        let pk = t.schema.primary_key_cols();
+        if !pk.is_empty() {
+            t.indexes.push(Index {
+                name: format!("{}_pk", t.schema.name),
+                columns: pk,
+                unique: true,
+                map: BTreeMap::new(),
+            });
+        }
+        let uniques: Vec<usize> = t
+            .schema
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.unique && !c.primary_key)
+            .map(|(i, _)| i)
+            .collect();
+        for i in uniques {
+            t.indexes.push(Index {
+                name: format!("{}_{}_unique", t.schema.name, t.schema.columns[i].name),
+                columns: vec![i],
+                unique: true,
+                map: BTreeMap::new(),
+            });
+        }
+        t
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterate rows in row-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.rows.iter().map(|(id, r)| (*id, r))
+    }
+
+    /// Fetch one row.
+    pub fn get(&self, id: RowId) -> Option<&Row> {
+        self.rows.get(&id)
+    }
+
+    /// Validate a row against NOT NULL constraints and coerce cell types.
+    pub fn normalize_row(&self, mut row: Row) -> SqlResult<Row> {
+        if row.len() != self.schema.columns.len() {
+            return Err(SqlError::Semantic(format!(
+                "table '{}' expects {} values, got {}",
+                self.schema.name,
+                self.schema.columns.len(),
+                row.len()
+            )));
+        }
+        for (i, col) in self.schema.columns.iter().enumerate() {
+            if row[i].is_null() {
+                if let Some(d) = &col.default {
+                    row[i] = d.clone();
+                }
+            }
+            if row[i].is_null() && (col.not_null || col.primary_key) {
+                return Err(SqlError::Constraint(format!(
+                    "column '{}' of table '{}' is NOT NULL",
+                    col.name, self.schema.name
+                )));
+            }
+            row[i] = row[i]
+                .coerce(col.ty)
+                .map_err(|m| SqlError::Semantic(format!("column '{}': {m}", col.name)))?;
+        }
+        Ok(row)
+    }
+
+    /// Insert a normalized row, enforcing unique indexes. Returns its id.
+    pub fn insert(&mut self, row: Row) -> SqlResult<RowId> {
+        let row = self.normalize_row(row)?;
+        self.check_unique(&row, None)?;
+        let id = self.next_row_id;
+        self.next_row_id += 1;
+        for idx in &mut self.indexes {
+            let key = idx.key_of(&row);
+            idx.map.entry(key).or_default().insert(id);
+        }
+        self.rows.insert(id, row);
+        Ok(id)
+    }
+
+    /// Re-insert a row under a specific id (undo of delete).
+    pub fn restore(&mut self, id: RowId, row: Row) {
+        for idx in &mut self.indexes {
+            let key = idx.key_of(&row);
+            idx.map.entry(key).or_default().insert(id);
+        }
+        self.next_row_id = self.next_row_id.max(id + 1);
+        self.rows.insert(id, row);
+    }
+
+    /// Replace the row at `id`. Returns the previous row.
+    pub fn update(&mut self, id: RowId, row: Row) -> SqlResult<Row> {
+        let row = self.normalize_row(row)?;
+        if !self.rows.contains_key(&id) {
+            return Err(SqlError::NotFound(format!(
+                "row {id} in table '{}'",
+                self.schema.name
+            )));
+        }
+        self.check_unique(&row, Some(id))?;
+        let old = self.rows.get(&id).cloned().expect("checked above");
+        for idx in &mut self.indexes {
+            let old_key = idx.key_of(&old);
+            let new_key = idx.key_of(&row);
+            if old_key != new_key {
+                if let Some(set) = idx.map.get_mut(&old_key) {
+                    set.remove(&id);
+                    if set.is_empty() {
+                        idx.map.remove(&old_key);
+                    }
+                }
+                idx.map.entry(new_key).or_default().insert(id);
+            }
+        }
+        self.rows.insert(id, row);
+        Ok(old)
+    }
+
+    /// Replace the row at `id` without constraint checks or normalization.
+    /// Only for undo application, where the restored state is known-valid.
+    pub fn raw_replace(&mut self, id: RowId, row: Row) {
+        if let Some(old) = self.rows.get(&id).cloned() {
+            for idx in &mut self.indexes {
+                let old_key = idx.key_of(&old);
+                let new_key = idx.key_of(&row);
+                if old_key != new_key {
+                    if let Some(set) = idx.map.get_mut(&old_key) {
+                        set.remove(&id);
+                        if set.is_empty() {
+                            idx.map.remove(&old_key);
+                        }
+                    }
+                    idx.map.entry(new_key).or_default().insert(id);
+                }
+            }
+        }
+        self.rows.insert(id, row);
+    }
+
+    /// Delete the row at `id`, returning it.
+    pub fn delete(&mut self, id: RowId) -> SqlResult<Row> {
+        let row = self.rows.remove(&id).ok_or_else(|| {
+            SqlError::NotFound(format!("row {id} in table '{}'", self.schema.name))
+        })?;
+        for idx in &mut self.indexes {
+            let key = idx.key_of(&row);
+            if let Some(set) = idx.map.get_mut(&key) {
+                set.remove(&id);
+                if set.is_empty() {
+                    idx.map.remove(&key);
+                }
+            }
+        }
+        Ok(row)
+    }
+
+    fn check_unique(&self, row: &Row, exclude: Option<RowId>) -> SqlResult<()> {
+        for idx in &self.indexes {
+            if !idx.unique {
+                continue;
+            }
+            let key = idx.key_of(row);
+            if Index::key_has_null(&key) {
+                continue;
+            }
+            let clash = idx
+                .lookup(&key)
+                .any(|id| Some(id) != exclude && self.rows.contains_key(&id));
+            if clash {
+                let cols: Vec<&str> = idx
+                    .columns
+                    .iter()
+                    .map(|&i| self.schema.columns[i].name.as_str())
+                    .collect();
+                return Err(SqlError::Constraint(format!(
+                    "duplicate key ({}) = ({}) violates unique index '{}'",
+                    cols.join(", "),
+                    key.0
+                        .iter()
+                        .map(|v| v.render())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    idx.name
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Add a secondary index over the named columns, backfilling it.
+    pub fn create_index(
+        &mut self,
+        name: impl Into<String>,
+        column_names: &[String],
+        unique: bool,
+    ) -> SqlResult<()> {
+        let name = name.into();
+        if self
+            .indexes
+            .iter()
+            .any(|i| i.name.eq_ignore_ascii_case(&name))
+        {
+            return Err(SqlError::AlreadyExists(format!("index '{name}'")));
+        }
+        let mut columns = Vec::new();
+        for c in column_names {
+            columns.push(self.schema.resolve(c)?);
+        }
+        let mut idx = Index {
+            name,
+            columns,
+            unique,
+            map: BTreeMap::new(),
+        };
+        for (id, row) in &self.rows {
+            let key = idx.key_of(row);
+            if unique && !Index::key_has_null(&key) && idx.map.contains_key(&key) {
+                return Err(SqlError::Constraint(format!(
+                    "cannot create unique index '{}': duplicate existing keys",
+                    idx.name
+                )));
+            }
+            idx.map.entry(key).or_default().insert(*id);
+        }
+        self.indexes.push(idx);
+        Ok(())
+    }
+
+    /// Drop an index by name. Returns it (for undo).
+    pub fn drop_index(&mut self, name: &str) -> SqlResult<Index> {
+        let pos = self
+            .indexes
+            .iter()
+            .position(|i| i.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| SqlError::NotFound(format!("index '{name}'")))?;
+        Ok(self.indexes.remove(pos))
+    }
+
+    /// Re-attach a previously dropped index (undo).
+    pub fn restore_index(&mut self, index: Index) {
+        self.indexes.push(index);
+    }
+
+    /// Find an equality index covering exactly the given column positions
+    /// (used by the executor's index-lookup fast path).
+    pub fn find_index(&self, columns: &[usize]) -> Option<&Index> {
+        self.indexes.iter().find(|i| i.columns == columns)
+    }
+
+    /// Does an index with this name exist on this table?
+    pub fn has_index(&self, name: &str) -> bool {
+        self.indexes
+            .iter()
+            .any(|i| i.name.eq_ignore_ascii_case(name))
+    }
+
+    /// All index names (for catalog introspection).
+    pub fn index_names(&self) -> Vec<String> {
+        self.indexes.iter().map(|i| i.name.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::types::DataType;
+
+    fn table() -> Table {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                {
+                    let mut c = Column::new("id", DataType::Int);
+                    c.primary_key = true;
+                    c
+                },
+                Column::new("name", DataType::Text),
+                Column::new("qty", DataType::Int),
+            ],
+            false,
+        )
+        .unwrap();
+        Table::new(schema)
+    }
+
+    fn row(id: i64, name: &str, qty: i64) -> Row {
+        vec![Value::Int(id), Value::text(name), Value::Int(qty)]
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = table();
+        let id = t.insert(row(1, "a", 10)).unwrap();
+        assert_eq!(t.get(id).unwrap()[1], Value::text("a"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn primary_key_enforced() {
+        let mut t = table();
+        t.insert(row(1, "a", 10)).unwrap();
+        let err = t.insert(row(1, "b", 20)).unwrap_err();
+        assert_eq!(err.class(), "constraint");
+    }
+
+    #[test]
+    fn pk_null_rejected() {
+        let mut t = table();
+        let err = t
+            .insert(vec![Value::Null, Value::text("x"), Value::Int(1)])
+            .unwrap_err();
+        assert_eq!(err.class(), "constraint");
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut t = table();
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn coercion_on_insert() {
+        let mut t = table();
+        let id = t
+            .insert(vec![Value::text("7"), Value::Int(5), Value::Float(3.0)])
+            .unwrap();
+        let r = t.get(id).unwrap();
+        assert_eq!(r[0], Value::Int(7));
+        assert_eq!(r[1], Value::text("5"));
+        assert_eq!(r[2], Value::Int(3));
+    }
+
+    #[test]
+    fn update_moves_index_entries() {
+        let mut t = table();
+        let id = t.insert(row(1, "a", 10)).unwrap();
+        t.update(id, row(2, "a", 10)).unwrap();
+        // old key free again
+        t.insert(row(1, "c", 1)).unwrap();
+        // new key taken
+        assert!(t.insert(row(2, "d", 1)).is_err());
+    }
+
+    #[test]
+    fn update_to_conflicting_pk_fails() {
+        let mut t = table();
+        let a = t.insert(row(1, "a", 1)).unwrap();
+        t.insert(row(2, "b", 2)).unwrap();
+        assert!(t.update(a, row(2, "a", 1)).is_err());
+        // a unchanged
+        assert_eq!(t.get(a).unwrap()[0], Value::Int(1));
+    }
+
+    #[test]
+    fn update_same_key_allowed() {
+        let mut t = table();
+        let a = t.insert(row(1, "a", 1)).unwrap();
+        t.update(a, row(1, "a2", 2)).unwrap();
+        assert_eq!(t.get(a).unwrap()[1], Value::text("a2"));
+    }
+
+    #[test]
+    fn delete_frees_key_and_restore_brings_back() {
+        let mut t = table();
+        let id = t.insert(row(1, "a", 1)).unwrap();
+        let old = t.delete(id).unwrap();
+        assert_eq!(t.len(), 0);
+        t.restore(id, old);
+        assert_eq!(t.get(id).unwrap()[0], Value::Int(1));
+        assert!(t.insert(row(1, "again", 9)).is_err());
+    }
+
+    #[test]
+    fn restore_bumps_next_row_id() {
+        let mut t = table();
+        let id = t.insert(row(1, "a", 1)).unwrap();
+        let old = t.delete(id).unwrap();
+        t.restore(id, old);
+        let id2 = t.insert(row(2, "b", 2)).unwrap();
+        assert_ne!(id, id2);
+    }
+
+    #[test]
+    fn secondary_index_lookup() {
+        let mut t = table();
+        t.insert(row(1, "a", 10)).unwrap();
+        t.insert(row(2, "a", 20)).unwrap();
+        t.insert(row(3, "b", 30)).unwrap();
+        t.create_index("t_name", &["name".into()], false).unwrap();
+        let idx = t.find_index(&[1]).unwrap();
+        let hits: Vec<RowId> = idx.lookup(&SortKey(vec![Value::text("a")])).collect();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(idx.key_count(), 2);
+    }
+
+    #[test]
+    fn unique_index_creation_fails_on_duplicates() {
+        let mut t = table();
+        t.insert(row(1, "a", 10)).unwrap();
+        t.insert(row(2, "a", 20)).unwrap();
+        let err = t
+            .create_index("u_name", &["name".into()], true)
+            .unwrap_err();
+        assert_eq!(err.class(), "constraint");
+    }
+
+    #[test]
+    fn unique_index_ignores_null_keys() {
+        let schema = TableSchema::new(
+            "t",
+            vec![Column::new("a", DataType::Int), {
+                let mut c = Column::new("b", DataType::Int);
+                c.unique = true;
+                c
+            }],
+            false,
+        )
+        .unwrap();
+        let mut t = Table::new(schema);
+        t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        t.insert(vec![Value::Int(2), Value::Null]).unwrap(); // two NULLs fine
+        t.insert(vec![Value::Int(3), Value::Int(9)]).unwrap();
+        assert!(t.insert(vec![Value::Int(4), Value::Int(9)]).is_err());
+    }
+
+    #[test]
+    fn drop_and_restore_index() {
+        let mut t = table();
+        t.create_index("x", &["qty".into()], false).unwrap();
+        let idx = t.drop_index("X").unwrap();
+        assert!(!t.has_index("x"));
+        t.restore_index(idx);
+        assert!(t.has_index("x"));
+        assert!(t.drop_index("nope").is_err());
+    }
+
+    #[test]
+    fn defaults_fill_nulls() {
+        let schema = TableSchema::new(
+            "t",
+            vec![Column::new("a", DataType::Int), {
+                let mut c = Column::new("b", DataType::Int);
+                c.default = Some(Value::Int(42));
+                c
+            }],
+            false,
+        )
+        .unwrap();
+        let mut t = Table::new(schema);
+        let id = t.insert(vec![Value::Int(1), Value::Null]).unwrap();
+        assert_eq!(t.get(id).unwrap()[1], Value::Int(42));
+    }
+
+    #[test]
+    fn sort_key_ordering() {
+        let a = SortKey(vec![Value::Int(1), Value::text("a")]);
+        let b = SortKey(vec![Value::Int(1), Value::text("b")]);
+        let c = SortKey(vec![Value::Null]);
+        assert!(a < b);
+        assert!(c < a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+}

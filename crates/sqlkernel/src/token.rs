@@ -1,0 +1,188 @@
+//! SQL token model produced by the [`crate::lexer`].
+
+use std::fmt;
+
+/// A lexical token. Keywords are folded into [`Token::Keyword`] with an
+/// upper-cased spelling; identifiers keep their original case but compare
+/// case-insensitively at the catalog layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// SQL keyword, upper-cased (`SELECT`, `FROM`, …).
+    Keyword(String),
+    /// Identifier (table, column, alias, function name).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal, with `''` unescaped.
+    Str(String),
+    /// `?` host-parameter placeholder.
+    Param,
+    /// `:name` named parameter (stored-procedure formal parameter reference).
+    NamedParam(String),
+    /// Punctuation / operators.
+    Symbol(Sym),
+    /// End of input (always the final token).
+    Eof,
+}
+
+/// Punctuation and operator symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Semicolon,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Concat,
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Sym::LParen => "(",
+            Sym::RParen => ")",
+            Sym::Comma => ",",
+            Sym::Semicolon => ";",
+            Sym::Dot => ".",
+            Sym::Star => "*",
+            Sym::Plus => "+",
+            Sym::Minus => "-",
+            Sym::Slash => "/",
+            Sym::Percent => "%",
+            Sym::Eq => "=",
+            Sym::NotEq => "<>",
+            Sym::Lt => "<",
+            Sym::LtEq => "<=",
+            Sym::Gt => ">",
+            Sym::GtEq => ">=",
+            Sym::Concat => "||",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k}"),
+            Token::Ident(i) => write!(f, "{i}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Param => write!(f, "?"),
+            Token::NamedParam(n) => write!(f, ":{n}"),
+            Token::Symbol(s) => write!(f, "{s}"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// The reserved words the lexer recognizes as keywords. Everything else is
+/// an identifier. Function names (`SUM`, `UPPER`, …) are deliberately *not*
+/// keywords so they can also be used as identifiers.
+pub const KEYWORDS: &[&str] = &[
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "ORDER",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "OFFSET",
+    "AS",
+    "DISTINCT",
+    "ALL",
+    "AND",
+    "OR",
+    "NOT",
+    "IN",
+    "IS",
+    "NULL",
+    "LIKE",
+    "BETWEEN",
+    "CASE",
+    "WHEN",
+    "THEN",
+    "ELSE",
+    "END",
+    "JOIN",
+    "INNER",
+    "LEFT",
+    "RIGHT",
+    "OUTER",
+    "CROSS",
+    "ON",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "UPDATE",
+    "SET",
+    "DELETE",
+    "CREATE",
+    "DROP",
+    "TABLE",
+    "INDEX",
+    "SEQUENCE",
+    "PROCEDURE",
+    "CALL",
+    "PRIMARY",
+    "KEY",
+    "UNIQUE",
+    "DEFAULT",
+    "BEGIN",
+    "COMMIT",
+    "ROLLBACK",
+    "TRANSACTION",
+    "TRUE",
+    "FALSE",
+    "EXISTS",
+    "IF",
+    "START",
+    "WITH",
+    "INCREMENT",
+    "UNION",
+    "TEMPORARY",
+    "TEMP",
+    "RETURNS",
+    "VIEW",
+];
+
+/// Is `word` (already upper-cased) a reserved keyword?
+pub fn is_keyword(word: &str) -> bool {
+    KEYWORDS.contains(&word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert!(is_keyword("SELECT"));
+        assert!(!is_keyword("SUM"));
+        assert!(!is_keyword("FOO"));
+    }
+
+    #[test]
+    fn token_display() {
+        assert_eq!(Token::Symbol(Sym::NotEq).to_string(), "<>");
+        assert_eq!(Token::Str("a'b".into()).to_string(), "'a'b'");
+        assert_eq!(Token::Param.to_string(), "?");
+    }
+}

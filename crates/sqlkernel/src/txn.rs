@@ -1,0 +1,320 @@
+//! Undo-log based transactions.
+//!
+//! Every mutating statement records compensation entries into an
+//! [`UndoLog`]. Rolling back applies the entries in reverse. Two logs are
+//! in play per statement: a *statement log* that guarantees statement
+//! atomicity even in auto-commit mode (a failed multi-row `INSERT` leaves
+//! nothing behind), and — inside an explicit transaction — the
+//! *transaction log* the statement log is folded into on success.
+//!
+//! Concurrency note: `sqlkernel` serializes all statements on one database
+//! behind a mutex, so transactions are atomic but interleaved transactions
+//! from different connections are not isolated from each other
+//! (read-uncommitted). The workflow layers built on top use short,
+//! connection-confined transactions, which is exactly the pattern the
+//! paper's *atomic SQL sequence* activity models.
+
+use crate::catalog::{Catalog, Procedure, Sequence, View};
+use crate::storage::{Index, Row, RowId, Table};
+
+/// One compensation entry.
+///
+/// `DropTable` dominates the size; undo logs are short-lived and rare on
+/// the DDL path, so boxing is not worth the indirection.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum UndoOp {
+    /// A row was inserted → undo deletes it.
+    Insert { table: String, row_id: RowId },
+    /// A row was deleted → undo restores it.
+    Delete {
+        table: String,
+        row_id: RowId,
+        row: Row,
+    },
+    /// A row was updated → undo restores the old image.
+    Update {
+        table: String,
+        row_id: RowId,
+        old: Row,
+    },
+    /// A table was created → undo drops it.
+    CreateTable { name: String },
+    /// A table was dropped → undo restores it wholesale.
+    DropTable { table: Table },
+    /// An index was created → undo drops it.
+    CreateIndex { table: String, index: String },
+    /// An index was dropped → undo re-attaches it.
+    DropIndex { table: String, index: Index },
+    /// A sequence was created → undo removes it.
+    CreateSequence { name: String },
+    /// A sequence was dropped → undo restores it (current value included).
+    DropSequence { seq: Sequence },
+    /// A procedure was created → undo removes it.
+    CreateProcedure { name: String },
+    /// A procedure was dropped → undo restores it.
+    DropProcedure { proc: Procedure },
+    /// A view was created → undo removes it.
+    CreateView { name: String },
+    /// A view was dropped → undo restores it.
+    DropView { view: View },
+}
+
+/// An ordered list of compensation entries.
+#[derive(Debug, Default)]
+pub struct UndoLog {
+    ops: Vec<UndoOp>,
+}
+
+impl UndoLog {
+    /// Empty log.
+    pub fn new() -> UndoLog {
+        UndoLog::default()
+    }
+
+    /// Record one entry.
+    pub fn record(&mut self, op: UndoOp) {
+        self.ops.push(op);
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Any entries recorded?
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Fold `other` into this log (statement commit inside a transaction).
+    pub fn absorb(&mut self, other: UndoLog) {
+        self.ops.extend(other.ops);
+    }
+
+    /// Apply all entries in reverse, restoring the pre-log state.
+    ///
+    /// Undo application is infallible by construction: every entry restores
+    /// state that was valid when recorded, and reverse order re-establishes
+    /// the intermediate states exactly. Failures (which would indicate
+    /// corruption) are ignored rather than panicking.
+    pub fn rollback(self, catalog: &mut Catalog) {
+        for op in self.ops.into_iter().rev() {
+            match op {
+                UndoOp::Insert { table, row_id } => {
+                    if let Ok(t) = catalog.table_mut(&table) {
+                        let _ = t.delete(row_id);
+                    }
+                }
+                UndoOp::Delete { table, row_id, row } => {
+                    if let Ok(t) = catalog.table_mut(&table) {
+                        t.restore(row_id, row);
+                    }
+                }
+                UndoOp::Update { table, row_id, old } => {
+                    if let Ok(t) = catalog.table_mut(&table) {
+                        t.raw_replace(row_id, old);
+                    }
+                }
+                UndoOp::CreateTable { name } => {
+                    let _ = catalog.remove_table(&name);
+                }
+                UndoOp::DropTable { table } => {
+                    let name = table.schema.name.clone();
+                    let index_names = table.index_names();
+                    if catalog.add_table(table).is_ok() {
+                        for idx in index_names {
+                            // pk/unique backing indexes were never registered;
+                            // re-registering is idempotent-by-ignore here.
+                            let _ = catalog.register_index(&idx, &name);
+                        }
+                    }
+                }
+                UndoOp::CreateIndex { table, index } => {
+                    catalog.unregister_index(&index);
+                    if let Ok(t) = catalog.table_mut(&table) {
+                        let _ = t.drop_index(&index);
+                    }
+                }
+                UndoOp::DropIndex { table, index } => {
+                    let _ = catalog.register_index(&index.name, &table);
+                    if let Ok(t) = catalog.table_mut(&table) {
+                        t.restore_index(index);
+                    }
+                }
+                UndoOp::CreateSequence { name } => {
+                    let _ = catalog.remove_sequence(&name);
+                }
+                UndoOp::DropSequence { seq } => {
+                    let _ = catalog.add_sequence(seq);
+                }
+                UndoOp::CreateProcedure { name } => {
+                    let _ = catalog.remove_procedure(&name);
+                }
+                UndoOp::DropProcedure { proc } => {
+                    let _ = catalog.add_procedure(proc);
+                }
+                UndoOp::CreateView { name } => {
+                    let _ = catalog.remove_view(&name);
+                }
+                UndoOp::DropView { view } => {
+                    let _ = catalog.add_view(view);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, TableSchema};
+    use crate::types::{DataType, Value};
+
+    fn catalog_with_table() -> Catalog {
+        let mut c = Catalog::new();
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                {
+                    let mut col = Column::new("id", DataType::Int);
+                    col.primary_key = true;
+                    col
+                },
+                Column::new("v", DataType::Text),
+            ],
+            false,
+        )
+        .unwrap();
+        c.add_table(Table::new(schema)).unwrap();
+        c
+    }
+
+    #[test]
+    fn rollback_insert() {
+        let mut c = catalog_with_table();
+        let mut log = UndoLog::new();
+        let id = c
+            .table_mut("t")
+            .unwrap()
+            .insert(vec![Value::Int(1), Value::text("a")])
+            .unwrap();
+        log.record(UndoOp::Insert {
+            table: "t".into(),
+            row_id: id,
+        });
+        log.rollback(&mut c);
+        assert_eq!(c.table("t").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn rollback_delete_restores_row() {
+        let mut c = catalog_with_table();
+        let id = c
+            .table_mut("t")
+            .unwrap()
+            .insert(vec![Value::Int(1), Value::text("a")])
+            .unwrap();
+        let mut log = UndoLog::new();
+        let row = c.table_mut("t").unwrap().delete(id).unwrap();
+        log.record(UndoOp::Delete {
+            table: "t".into(),
+            row_id: id,
+            row,
+        });
+        log.rollback(&mut c);
+        let t = c.table("t").unwrap();
+        assert_eq!(t.get(id).unwrap()[1], Value::text("a"));
+    }
+
+    #[test]
+    fn rollback_update_restores_old_image() {
+        let mut c = catalog_with_table();
+        let id = c
+            .table_mut("t")
+            .unwrap()
+            .insert(vec![Value::Int(1), Value::text("old")])
+            .unwrap();
+        let mut log = UndoLog::new();
+        let old = c
+            .table_mut("t")
+            .unwrap()
+            .update(id, vec![Value::Int(1), Value::text("new")])
+            .unwrap();
+        log.record(UndoOp::Update {
+            table: "t".into(),
+            row_id: id,
+            old,
+        });
+        log.rollback(&mut c);
+        assert_eq!(
+            c.table("t").unwrap().get(id).unwrap()[1],
+            Value::text("old")
+        );
+    }
+
+    #[test]
+    fn rollback_reverses_in_order() {
+        // insert then update then delete of the same row rolls back cleanly.
+        let mut c = catalog_with_table();
+        let mut log = UndoLog::new();
+        let t = c.table_mut("t").unwrap();
+        let id = t.insert(vec![Value::Int(9), Value::text("x")]).unwrap();
+        log.record(UndoOp::Insert {
+            table: "t".into(),
+            row_id: id,
+        });
+        let old = t.update(id, vec![Value::Int(9), Value::text("y")]).unwrap();
+        log.record(UndoOp::Update {
+            table: "t".into(),
+            row_id: id,
+            old,
+        });
+        let row = t.delete(id).unwrap();
+        log.record(UndoOp::Delete {
+            table: "t".into(),
+            row_id: id,
+            row,
+        });
+        log.rollback(&mut c);
+        assert_eq!(c.table("t").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn rollback_ddl() {
+        let mut c = Catalog::new();
+        let mut log = UndoLog::new();
+        let schema = TableSchema::new("n", vec![Column::new("a", DataType::Int)], false).unwrap();
+        c.add_table(Table::new(schema)).unwrap();
+        log.record(UndoOp::CreateTable { name: "n".into() });
+        c.add_sequence(Sequence::new("s", 1, 1)).unwrap();
+        log.record(UndoOp::CreateSequence { name: "s".into() });
+        log.rollback(&mut c);
+        assert!(!c.has_table("n"));
+        assert!(!c.has_sequence("s"));
+    }
+
+    #[test]
+    fn rollback_drop_table_restores_contents() {
+        let mut c = catalog_with_table();
+        c.table_mut("t")
+            .unwrap()
+            .insert(vec![Value::Int(5), Value::text("keep")])
+            .unwrap();
+        let mut log = UndoLog::new();
+        let table = c.remove_table("t").unwrap();
+        log.record(UndoOp::DropTable { table });
+        log.rollback(&mut c);
+        assert_eq!(c.table("t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn absorb_concatenates() {
+        let mut a = UndoLog::new();
+        a.record(UndoOp::CreateTable { name: "x".into() });
+        let mut b = UndoLog::new();
+        b.record(UndoOp::CreateTable { name: "y".into() });
+        a.absorb(b);
+        assert_eq!(a.len(), 2);
+    }
+}

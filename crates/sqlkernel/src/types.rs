@@ -1,0 +1,432 @@
+//! Runtime values and column data types.
+//!
+//! `sqlkernel` uses a small, dynamically typed value model: every cell is a
+//! [`Value`], every column declares a [`DataType`] that inserts are coerced
+//! to. Comparison follows SQL three-valued-logic at the expression layer
+//! (see [`crate::expr`]); this module provides the *total* ordering used by
+//! `ORDER BY`, `GROUP BY` and index keys, where `NULL` sorts first.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column data types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer (`INT`, `INTEGER`, `BIGINT`).
+    Int,
+    /// 64-bit IEEE float (`FLOAT`, `DOUBLE`, `REAL`, `DECIMAL`).
+    Float,
+    /// UTF-8 string (`TEXT`, `VARCHAR`, `CHAR`).
+    Text,
+    /// Boolean (`BOOL`, `BOOLEAN`).
+    Bool,
+}
+
+impl DataType {
+    /// Parse a type name as written in DDL. Length arguments such as
+    /// `VARCHAR(40)` are handled by the parser, which strips them before
+    /// calling this.
+    pub fn from_name(name: &str) -> Option<DataType> {
+        match name.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" | "BIGINT" | "SMALLINT" => Some(DataType::Int),
+            "FLOAT" | "DOUBLE" | "REAL" | "DECIMAL" | "NUMERIC" => Some(DataType::Float),
+            "TEXT" | "VARCHAR" | "CHAR" | "STRING" | "CLOB" => Some(DataType::Text),
+            "BOOL" | "BOOLEAN" => Some(DataType::Bool),
+            _ => None,
+        }
+    }
+
+    /// Canonical SQL spelling, used when round-tripping schemas to DDL.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Bool => "BOOL",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+/// A single SQL value.
+///
+/// Cloning is cheap for everything except long strings; rows are `Vec<Value>`.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 text.
+    Text(String),
+}
+
+impl Value {
+    /// Convenience constructor for text values.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// Is this SQL NULL?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The [`DataType`] of a non-null value; `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+        }
+    }
+
+    /// Numeric view of the value, if it has one. Booleans are *not* numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view of the value, if exact.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Text view (borrowing) if this is a text value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Coerce into `ty`, as done on INSERT/UPDATE into a typed column.
+    ///
+    /// The rules are deliberately narrow: ints widen to floats, floats with
+    /// zero fraction narrow to ints, anything renders to text, text parses
+    /// to numerics/bools only if it is a clean literal. NULL passes through
+    /// any type.
+    pub fn coerce(&self, ty: DataType) -> Result<Value, String> {
+        match (self, ty) {
+            (Value::Null, _) => Ok(Value::Null),
+            (Value::Int(_), DataType::Int)
+            | (Value::Float(_), DataType::Float)
+            | (Value::Text(_), DataType::Text)
+            | (Value::Bool(_), DataType::Bool) => Ok(self.clone()),
+            (Value::Int(i), DataType::Float) => Ok(Value::Float(*i as f64)),
+            (Value::Float(f), DataType::Int) => {
+                if f.fract() == 0.0 && f.abs() < 9.2e18 {
+                    Ok(Value::Int(*f as i64))
+                } else {
+                    Err(format!("cannot narrow {f} to INT"))
+                }
+            }
+            (Value::Int(i), DataType::Text) => Ok(Value::Text(i.to_string())),
+            (Value::Float(f), DataType::Text) => Ok(Value::Text(format_float(*f))),
+            (Value::Bool(b), DataType::Text) => Ok(Value::Text(b.to_string())),
+            (Value::Text(s), DataType::Int) => s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| format!("cannot parse '{s}' as INT")),
+            (Value::Text(s), DataType::Float) => s
+                .trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| format!("cannot parse '{s}' as FLOAT")),
+            (Value::Text(s), DataType::Bool) => match s.trim().to_ascii_lowercase().as_str() {
+                "true" | "t" | "1" => Ok(Value::Bool(true)),
+                "false" | "f" | "0" => Ok(Value::Bool(false)),
+                _ => Err(format!("cannot parse '{s}' as BOOL")),
+            },
+            (Value::Bool(b), DataType::Int) => Ok(Value::Int(*b as i64)),
+            (Value::Bool(_), DataType::Float)
+            | (Value::Int(_), DataType::Bool)
+            | (Value::Float(_), DataType::Bool) => Err(format!("cannot coerce {self} to {ty}")),
+        }
+    }
+
+    /// SQL comparison: `None` when either side is NULL (unknown), otherwise
+    /// the ordering. Numeric types compare cross-type; other mixed-type
+    /// comparisons order by type rank to stay deterministic.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.raw_cmp(other))
+    }
+
+    /// Total ordering used by ORDER BY / GROUP BY / index keys.
+    /// NULL sorts before everything; non-null values order numerically
+    /// (cross-type for Int/Float), lexicographically for text, and by a
+    /// fixed type rank across kinds.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        match (self.is_null(), other.is_null()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            (false, false) => self.raw_cmp(other),
+        }
+    }
+
+    fn raw_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Text(_) => 3,
+        }
+    }
+
+    /// Render the value as it appears in a result grid. NULL renders as
+    /// the empty string here; use `{:?}` when the distinction matters.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => format_float(*f),
+            Value::Text(s) => s.clone(),
+        }
+    }
+
+    /// Render as a SQL literal (quotes and escapes text). Useful for
+    /// generated statements (the WF DataAdapter sync-back uses this).
+    pub fn to_sql_literal(&self) -> String {
+        match self {
+            Value::Null => "NULL".into(),
+            Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.into(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => format_float(*f),
+            Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+/// Floats render without a trailing `.0` ambiguity: integral floats keep a
+/// single trailing `.0` so they stay re-parseable as FLOAT.
+fn format_float(f: f64) -> String {
+    if f.fract() == 0.0 && f.is_finite() && f.abs() < 1e15 {
+        format!("{f:.1}")
+    } else {
+        format!("{f}")
+    }
+}
+
+/// Equality matches the total ordering, so `Int(1) == Float(1.0)` —
+/// this is what GROUP BY and DISTINCT need.
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Ints and equal-valued floats must hash identically because they
+            // compare equal. Hash every numeric through its f64 bit pattern.
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Text(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names_round_trip() {
+        for ty in [
+            DataType::Int,
+            DataType::Float,
+            DataType::Text,
+            DataType::Bool,
+        ] {
+            assert_eq!(DataType::from_name(ty.sql_name()), Some(ty));
+        }
+        assert_eq!(DataType::from_name("VARCHAR"), Some(DataType::Text));
+        assert_eq!(DataType::from_name("blob"), None);
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert_eq!(Value::Null.sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn total_order_puts_null_first() {
+        assert_eq!(Value::Null.total_cmp(&Value::Int(i64::MIN)), Ordering::Less);
+        assert_eq!(Value::Null.total_cmp(&Value::Null), Ordering::Equal);
+    }
+
+    #[test]
+    fn cross_numeric_comparison() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(3.5).sql_cmp(&Value::Int(3)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn int_float_equality_and_hash_agree() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a = Value::Int(7);
+        let b = Value::Float(7.0);
+        assert_eq!(a, b);
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(
+            Value::Int(1).coerce(DataType::Float).unwrap(),
+            Value::Float(1.0)
+        );
+        assert_eq!(
+            Value::Float(2.0).coerce(DataType::Int).unwrap(),
+            Value::Int(2)
+        );
+        assert!(Value::Float(2.5).coerce(DataType::Int).is_err());
+        assert_eq!(
+            Value::text("42").coerce(DataType::Int).unwrap(),
+            Value::Int(42)
+        );
+        assert_eq!(
+            Value::text("true").coerce(DataType::Bool).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(Value::text("x").coerce(DataType::Int).is_err());
+        assert_eq!(Value::Null.coerce(DataType::Int).unwrap(), Value::Null);
+        assert!(Value::Bool(true).coerce(DataType::Float).is_err());
+    }
+
+    #[test]
+    fn literals_escape_quotes() {
+        assert_eq!(Value::text("o'brien").to_sql_literal(), "'o''brien'");
+        assert_eq!(Value::Null.to_sql_literal(), "NULL");
+        assert_eq!(Value::Float(4.0).to_sql_literal(), "4.0");
+    }
+
+    #[test]
+    fn render_floats() {
+        assert_eq!(Value::Float(1.0).render(), "1.0");
+        assert_eq!(Value::Float(1.25).render(), "1.25");
+    }
+}

@@ -1,0 +1,192 @@
+//! Thread-safety integration tests: one `Database`, many threads, each
+//! with its own `Connection`. The engine serializes statements behind a
+//! mutex; these tests check that nothing is lost or corrupted under
+//! contention and that constraint enforcement stays correct.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use sqlkernel::{Database, Value};
+
+#[test]
+fn concurrent_inserts_are_all_applied() {
+    let db = Database::new("mt");
+    db.connect()
+        .execute("CREATE TABLE t (id INT PRIMARY KEY, worker INT)", &[])
+        .unwrap();
+
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 200;
+
+    std::thread::scope(|scope| {
+        for w in 0..THREADS {
+            let db = db.clone();
+            scope.spawn(move || {
+                let conn = db.connect();
+                let stmt = conn.prepare("INSERT INTO t VALUES (?, ?)").unwrap();
+                for i in 0..PER_THREAD {
+                    conn.execute_prepared(
+                        &stmt,
+                        &[
+                            Value::Int((w * PER_THREAD + i) as i64),
+                            Value::Int(w as i64),
+                        ],
+                    )
+                    .unwrap();
+                }
+            });
+        }
+    });
+
+    assert_eq!(db.table_len("t").unwrap(), THREADS * PER_THREAD);
+    let rs = db
+        .connect()
+        .query(
+            "SELECT worker, COUNT(*) FROM t GROUP BY worker ORDER BY worker",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), THREADS);
+    for row in &rs.rows {
+        assert_eq!(row[1], Value::Int(PER_THREAD as i64));
+    }
+}
+
+#[test]
+fn primary_key_contention_admits_exactly_one_winner_per_key() {
+    let db = Database::new("mt2");
+    db.connect()
+        .execute("CREATE TABLE claims (k INT PRIMARY KEY, owner INT)", &[])
+        .unwrap();
+
+    const THREADS: usize = 8;
+    const KEYS: usize = 50;
+    let wins = AtomicUsize::new(0);
+    let losses = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for w in 0..THREADS {
+            let db = db.clone();
+            let wins = &wins;
+            let losses = &losses;
+            scope.spawn(move || {
+                let conn = db.connect();
+                let stmt = conn.prepare("INSERT INTO claims VALUES (?, ?)").unwrap();
+                for k in 0..KEYS {
+                    match conn
+                        .execute_prepared(&stmt, &[Value::Int(k as i64), Value::Int(w as i64)])
+                    {
+                        Ok(_) => wins.fetch_add(1, Ordering::Relaxed),
+                        Err(e) => {
+                            assert_eq!(e.class(), "constraint");
+                            losses.fetch_add(1, Ordering::Relaxed)
+                        }
+                    };
+                }
+            });
+        }
+    });
+
+    assert_eq!(wins.load(Ordering::Relaxed), KEYS);
+    assert_eq!(losses.load(Ordering::Relaxed), KEYS * (THREADS - 1));
+    assert_eq!(db.table_len("claims").unwrap(), KEYS);
+}
+
+#[test]
+fn transactions_from_parallel_connections_do_not_corrupt() {
+    // Each thread repeatedly runs BEGIN / transfer / COMMIT or ROLLBACK
+    // over its *own* pair of accounts; the invariant (total balance)
+    // must hold at the end. The engine provides per-transaction
+    // atomicity but not isolation (documented read-uncommitted), so
+    // threads must not write the same rows — this test checks atomicity
+    // under scheduler interleaving, not serializability.
+    let db = Database::new("mt3");
+    db.connect()
+        .execute_script(
+            "CREATE TABLE accounts (id INT PRIMARY KEY, balance INT);
+             INSERT INTO accounts VALUES
+                (1, 1000), (2, 1000), (3, 1000), (4, 1000),
+                (5, 1000), (6, 1000), (7, 1000), (8, 1000);",
+        )
+        .unwrap();
+
+    std::thread::scope(|scope| {
+        for w in 0..4usize {
+            let db = db.clone();
+            scope.spawn(move || {
+                let conn = db.connect();
+                for i in 0..50usize {
+                    let from = (2 * w + 1) as i64;
+                    let to = (2 * w + 2) as i64;
+                    conn.execute("BEGIN", &[]).unwrap();
+                    conn.execute(
+                        "UPDATE accounts SET balance = balance - 10 WHERE id = ?",
+                        &[Value::Int(from)],
+                    )
+                    .unwrap();
+                    conn.execute(
+                        "UPDATE accounts SET balance = balance + 10 WHERE id = ?",
+                        &[Value::Int(to)],
+                    )
+                    .unwrap();
+                    if i % 5 == 0 {
+                        conn.execute("ROLLBACK", &[]).unwrap();
+                    } else {
+                        conn.execute("COMMIT", &[]).unwrap();
+                    }
+                }
+            });
+        }
+    });
+
+    let total = db
+        .connect()
+        .query("SELECT SUM(balance) FROM accounts", &[])
+        .unwrap()
+        .single_value()
+        .unwrap()
+        .clone();
+    assert_eq!(total, Value::Int(8000));
+}
+
+#[test]
+fn readers_and_writers_interleave_safely() {
+    let db = Database::new("mt4");
+    db.connect()
+        .execute("CREATE TABLE log (id INT PRIMARY KEY, v TEXT)", &[])
+        .unwrap();
+
+    std::thread::scope(|scope| {
+        // Writer.
+        {
+            let db = db.clone();
+            scope.spawn(move || {
+                let conn = db.connect();
+                for i in 0..300i64 {
+                    conn.execute("INSERT INTO log VALUES (?, 'entry')", &[Value::Int(i)])
+                        .unwrap();
+                }
+            });
+        }
+        // Readers observe monotonically growing, never-corrupt counts.
+        for _ in 0..3 {
+            let db = db.clone();
+            scope.spawn(move || {
+                let conn = db.connect();
+                let mut last = 0i64;
+                for _ in 0..100 {
+                    let n = conn
+                        .query("SELECT COUNT(*) FROM log", &[])
+                        .unwrap()
+                        .single_value()
+                        .unwrap()
+                        .as_i64()
+                        .unwrap();
+                    assert!(n >= last);
+                    assert!(n <= 300);
+                    last = n;
+                }
+            });
+        }
+    });
+    assert_eq!(db.table_len("log").unwrap(), 300);
+}

@@ -1,0 +1,547 @@
+//! WF activity model: the Base Activity Library (no SQL!), Custom
+//! Activity Libraries, the customized `SqlDatabaseActivity`, code
+//! activities, and the while-over-DataSet cursor.
+
+use parking_lot::Mutex;
+
+use flowcore::builtins::{CopyFrom, Sequence, Snippet, While};
+use flowcore::{
+    Activity, ActivityContext, FlowError, FlowResult, OpaqueValue, VarValue, Variables,
+};
+use sqlkernel::{StatementResult, Value};
+
+use crate::dataset::DataSet;
+use crate::host::host_of;
+
+/// The activity types of WF's Base Activity Library (Sec. IV-A). Note
+/// the absence of any SQL-specific type — the gap the paper highlights:
+/// *“Currently, BAL does not provide any activity type considering SQL
+/// issues.”*
+pub const BASE_ACTIVITY_LIBRARY: &[&str] = &[
+    "Sequence",
+    "Parallel",
+    "While",
+    "IfElse",
+    "Code",
+    "InvokeWebService",
+    "InvokeWorkflow",
+    "Delay",
+    "Listen",
+    "EventDriven",
+    "HandleExternalEvent",
+    "CallExternalMethod",
+    "Policy",
+    "Replicator",
+    "Suspend",
+    "Terminate",
+    "Throw",
+    "TransactionScope",
+    "CompensatableSequence",
+    "SetState",
+    "StateMachine",
+];
+
+/// A Custom Activity Library: user-defined activity types for a problem
+/// space (Sec. IV-A). The SQL database activity lives in one of these.
+#[derive(Debug, Clone, Default)]
+pub struct CustomActivityLibrary {
+    name: String,
+    types: Vec<String>,
+}
+
+impl CustomActivityLibrary {
+    /// Empty library.
+    pub fn new(name: impl Into<String>) -> CustomActivityLibrary {
+        CustomActivityLibrary {
+            name: name.into(),
+            types: Vec::new(),
+        }
+    }
+
+    /// Register an activity type name.
+    pub fn register(mut self, type_name: impl Into<String>) -> CustomActivityLibrary {
+        self.types.push(type_name.into());
+        self
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registered type names.
+    pub fn types(&self) -> &[String] {
+        &self.types
+    }
+
+    /// Is a type registered?
+    pub fn contains(&self, type_name: &str) -> bool {
+        self.types.iter().any(|t| t == type_name)
+    }
+}
+
+/// Does the Base Activity Library provide SQL support? (It does not;
+/// this exists so the claim is checked by code, not prose.)
+pub fn bal_has_sql_support() -> bool {
+    BASE_ACTIVITY_LIBRARY
+        .iter()
+        .any(|t| t.to_ascii_lowercase().contains("sql"))
+}
+
+/// Store a [`DataSet`] in a process variable (shared, internally
+/// mutable — code activities mutate it through the ADO.NET-style API).
+pub fn dataset_var(ds: DataSet) -> VarValue {
+    VarValue::Opaque(OpaqueValue::new("dataset", Mutex::new(ds)))
+}
+
+/// Run `f` against the DataSet held in variable `name`.
+pub fn with_dataset<R>(
+    vars: &Variables,
+    name: &str,
+    f: impl FnOnce(&mut DataSet) -> FlowResult<R>,
+) -> FlowResult<R> {
+    let cell = vars.require_opaque::<Mutex<DataSet>>(name)?;
+    let mut ds = cell.lock();
+    f(&mut ds)
+}
+
+/// An event handler attached to a SQL database activity.
+pub type Handler = Box<dyn Fn(&mut ActivityContext<'_>) -> FlowResult<()>>;
+
+/// The customized **SQL database activity** (Sec. IV-B): executes one SQL
+/// statement — query, DML, DDL or stored procedure call — over a *static*
+/// connection string, with host-variable parameters, optional before/
+/// after event handlers, and automatic materialization of results into a
+/// [`DataSet`] object. The connection is opened per execution and closed
+/// afterwards.
+pub struct SqlDatabaseActivity {
+    name: String,
+    connection_string: String,
+    sql: String,
+    params: Vec<CopyFrom>,
+    result_var: Option<String>,
+    before: Option<Handler>,
+    after: Option<Handler>,
+}
+
+impl SqlDatabaseActivity {
+    /// Build an activity with a static connection string and SQL text.
+    pub fn new(
+        name: impl Into<String>,
+        connection_string: impl Into<String>,
+        sql: impl Into<String>,
+    ) -> SqlDatabaseActivity {
+        SqlDatabaseActivity {
+            name: name.into(),
+            connection_string: connection_string.into(),
+            sql: sql.into(),
+            params: Vec::new(),
+            result_var: None,
+            before: None,
+            after: None,
+        }
+    }
+
+    /// Builder: bind the next `?` host parameter.
+    pub fn param(mut self, from: CopyFrom) -> SqlDatabaseActivity {
+        self.params.push(from);
+        self
+    }
+
+    /// Builder: bind a scalar variable as the next `?` parameter.
+    pub fn param_var(self, variable: impl Into<String>) -> SqlDatabaseActivity {
+        self.param(CopyFrom::Variable(variable.into()))
+    }
+
+    /// Builder: materialize the result into this DataSet variable.
+    pub fn result_into(mut self, variable: impl Into<String>) -> SqlDatabaseActivity {
+        self.result_var = Some(variable.into());
+        self
+    }
+
+    /// Builder: code run before the statement (e.g. to initialize
+    /// parameter values).
+    pub fn before(
+        mut self,
+        handler: impl Fn(&mut ActivityContext<'_>) -> FlowResult<()> + 'static,
+    ) -> SqlDatabaseActivity {
+        self.before = Some(Box::new(handler));
+        self
+    }
+
+    /// Builder: code run after the statement (e.g. to process result
+    /// data directly).
+    pub fn after(
+        mut self,
+        handler: impl Fn(&mut ActivityContext<'_>) -> FlowResult<()> + 'static,
+    ) -> SqlDatabaseActivity {
+        self.after = Some(Box::new(handler));
+        self
+    }
+}
+
+impl Activity for SqlDatabaseActivity {
+    fn kind(&self) -> &str {
+        "sqlDatabase"
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn export_attributes(&self) -> Vec<(String, String)> {
+        let mut out = vec![
+            ("sql".into(), self.sql.clone()),
+            ("connectionString".into(), self.connection_string.clone()),
+        ];
+        if let Some(r) = &self.result_var {
+            out.push(("resultVariable".into(), r.clone()));
+        }
+        out
+    }
+    fn execute(&self, ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+        if let Some(h) = &self.before {
+            h(ctx)?;
+        }
+
+        let mut params = Vec::with_capacity(self.params.len());
+        for p in &self.params {
+            let v = p.read(ctx.variables)?;
+            params.push(match v {
+                VarValue::Scalar(s) => s,
+                VarValue::Null => Value::Null,
+                VarValue::Xml(x) => Value::Text(x.text_content()),
+                VarValue::Opaque(_) => {
+                    return Err(FlowError::Variable(
+                        "cannot bind an opaque handle as a host variable".into(),
+                    ))
+                }
+            });
+        }
+        let shown = if params.is_empty() {
+            self.sql.clone()
+        } else {
+            format!(
+                "{} ⟨{}⟩",
+                self.sql,
+                params
+                    .iter()
+                    .map(Value::render)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
+        ctx.note("sqlDatabase", &self.name, shown);
+
+        // Static connection string → open, execute, close.
+        let db = host_of(ctx)?.resolve_for_sql_activity(&self.connection_string)?;
+        let conn = db.connect();
+        let result = conn.execute(&self.sql, &params)?;
+        drop(conn); // the connection is closed again (Sec. IV-B)
+
+        match result {
+            StatementResult::Rows(rs) => {
+                // Execution of a query is always aligned with a
+                // consecutive materialization step (Sec. IV-B).
+                let n = rs.len();
+                let ds = DataSet::from_result("Table", &rs);
+                match &self.result_var {
+                    Some(var) => {
+                        ctx.variables.set(var.clone(), dataset_var(ds));
+                        ctx.note(
+                            "sqlDatabase",
+                            &self.name,
+                            format!("{n} rows materialized into DataSet variable {var}"),
+                        );
+                    }
+                    None => ctx.note(
+                        "sqlDatabase",
+                        &self.name,
+                        format!("{n} rows materialized and discarded"),
+                    ),
+                }
+            }
+            StatementResult::Affected(n) => {
+                ctx.note("sqlDatabase", &self.name, format!("{n} rows affected"));
+            }
+            StatementResult::Ddl => ctx.note("sqlDatabase", &self.name, "DDL executed"),
+            StatementResult::TxnControl => {}
+        }
+
+        if let Some(h) = &self.after {
+            h(ctx)?;
+        }
+        Ok(())
+    }
+}
+
+/// A code activity: arbitrary .NET-style code in the workflow — the only
+/// way WF reaches the patterns its activity library does not cover.
+pub fn code_activity(
+    name: impl Into<String>,
+    body: impl Fn(&mut ActivityContext<'_>) -> FlowResult<()> + 'static,
+) -> Snippet {
+    Snippet::with_kind(name, "code", body)
+}
+
+/// The current row bound by the while-over-DataSet cursor: a tuple as an
+/// array-like structure with attribute-name access (the paper's
+/// `CurrentItem["ItemQuantity"]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurrentRow {
+    pub columns: Vec<String>,
+    pub values: Vec<Value>,
+}
+
+impl CurrentRow {
+    /// Access a field by attribute name.
+    pub fn get(&self, column: &str) -> Option<&Value> {
+        let i = self
+            .columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(column))?;
+        self.values.get(i)
+    }
+}
+
+/// A parameter source reading `row_var[column]` (the indexer syntax of
+/// the paper's Figure 6).
+pub fn row_field(row_var: impl Into<String>, column: impl Into<String>) -> CopyFrom {
+    let row_var = row_var.into();
+    let column = column.into();
+    CopyFrom::Compute(Box::new(move |vars| {
+        let row = vars.require_opaque::<CurrentRow>(&row_var)?;
+        let v = row.get(&column).ok_or_else(|| {
+            FlowError::Variable(format!("row variable '{row_var}' has no column '{column}'"))
+        })?;
+        Ok(VarValue::Scalar(v.clone()))
+    }))
+}
+
+/// Hidden iteration-position variable of a DataSet cursor.
+fn position_var(dataset_var: &str) -> String {
+    format!("{dataset_var}#pos")
+}
+
+/// Build the Figure 6 iteration: a while activity whose condition (C#
+/// over the ADO.NET API in the paper, a closure here) checks for more
+/// rows, and whose body binds the next tuple to `current_var` before
+/// running `body`.
+pub fn while_over_dataset(
+    name: impl Into<String>,
+    dataset_variable: impl Into<String>,
+    current_var: impl Into<String>,
+    body: impl Activity + 'static,
+) -> While {
+    let dataset_variable = dataset_variable.into();
+    let current_var = current_var.into();
+
+    let cond_ds = dataset_variable.clone();
+    let fetch_ds = dataset_variable.clone();
+    let fetch = code_activity(
+        format!("bind next tuple of {dataset_variable} to {current_var}"),
+        move |ctx| {
+            let pos = ctx
+                .variables
+                .get(&position_var(&fetch_ds))
+                .and_then(|v| v.as_scalar())
+                .and_then(Value::as_i64)
+                .unwrap_or(0) as usize;
+            let (columns, values) = with_dataset(ctx.variables, &fetch_ds, |ds| {
+                let t = ds.first_table()?;
+                let row = t
+                    .row(pos)
+                    .ok_or_else(|| FlowError::Variable(format!("cursor past row {pos}")))?;
+                Ok((t.columns().to_vec(), row.values().to_vec()))
+            })?;
+            ctx.variables.set(
+                current_var.clone(),
+                VarValue::Opaque(OpaqueValue::new(
+                    "current-row",
+                    CurrentRow { columns, values },
+                )),
+            );
+            ctx.variables
+                .set(position_var(&fetch_ds), Value::Int((pos + 1) as i64));
+            Ok(())
+        },
+    );
+
+    While::new(
+        name,
+        move |ctx: &ActivityContext<'_>| {
+            let pos = ctx
+                .variables
+                .get(&position_var(&cond_ds))
+                .and_then(|v| v.as_scalar())
+                .and_then(Value::as_i64)
+                .unwrap_or(0) as usize;
+            let len = with_dataset(ctx.variables, &cond_ds, |ds| Ok(ds.first_table()?.len()))?;
+            Ok(pos < len)
+        },
+        Sequence::new("iteration")
+            .then(fetch)
+            .then_boxed(Box::new(body)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{connection_string, Provider, WfHost};
+    use flowcore::{Engine, ProcessDefinition};
+    use sqlkernel::Database;
+
+    #[test]
+    fn bal_has_no_sql_activity_type() {
+        assert!(!bal_has_sql_support());
+        assert!(BASE_ACTIVITY_LIBRARY.contains(&"Code"));
+        assert!(BASE_ACTIVITY_LIBRARY.contains(&"While"));
+    }
+
+    #[test]
+    fn custom_library_registration() {
+        let cal = CustomActivityLibrary::new("data activities").register("SqlDatabaseActivity");
+        assert!(cal.contains("SqlDatabaseActivity"));
+        assert!(!cal.contains("Other"));
+        assert_eq!(cal.name(), "data activities");
+        assert_eq!(cal.types().len(), 1);
+    }
+
+    fn run_with_host(db: &Database, root: impl Activity + 'static) -> flowcore::CompletedInstance {
+        let host = WfHost::new().with_database(Provider::SqlServer, db.clone());
+        let def = host.install(ProcessDefinition::new("t", root));
+        Engine::new().run(&def, Variables::new()).unwrap()
+    }
+
+    fn seeded() -> Database {
+        let db = Database::new("orders_db");
+        db.connect()
+            .execute_script(
+                "CREATE TABLE t (id INT PRIMARY KEY, v TEXT);
+                 INSERT INTO t VALUES (1, 'a'), (2, 'b');",
+            )
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn sql_database_activity_materializes_dataset() {
+        let db = seeded();
+        let cs = connection_string(Provider::SqlServer, "orders_db");
+        let inst = run_with_host(
+            &db,
+            SqlDatabaseActivity::new("q", cs, "SELECT * FROM t ORDER BY id").result_into("SV"),
+        );
+        assert!(inst.is_completed(), "{:?}", inst.outcome);
+        let n = with_dataset(&inst.variables, "SV", |ds| Ok(ds.first_table()?.len())).unwrap();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn host_variables_bind() {
+        let db = seeded();
+        let cs = connection_string(Provider::SqlServer, "orders_db");
+        let root = Sequence::new("s")
+            .then(code_activity("init", |ctx| {
+                ctx.variables.set("id", Value::Int(2));
+                Ok(())
+            }))
+            .then(
+                SqlDatabaseActivity::new("q", cs, "SELECT v FROM t WHERE id = ?")
+                    .param_var("id")
+                    .result_into("SV"),
+            );
+        let inst = run_with_host(&db, root);
+        let v = with_dataset(&inst.variables, "SV", |ds| {
+            ds.first_table()?.cell(0, "v").map_err(Into::into)
+        })
+        .unwrap();
+        assert_eq!(v, Value::text("b"));
+    }
+
+    #[test]
+    fn before_after_handlers_run_in_order() {
+        let db = seeded();
+        let cs = connection_string(Provider::SqlServer, "orders_db");
+        let inst = run_with_host(
+            &db,
+            SqlDatabaseActivity::new("q", cs, "SELECT * FROM t")
+                .before(|ctx| {
+                    ctx.variables.set("trace", Value::text("before,"));
+                    Ok(())
+                })
+                .result_into("SV")
+                .after(|ctx| {
+                    let t = ctx.variables.require_scalar("trace")?.render();
+                    ctx.variables.set("trace", Value::Text(format!("{t}after")));
+                    Ok(())
+                }),
+        );
+        assert_eq!(
+            inst.variables.require_scalar("trace").unwrap(),
+            &Value::text("before,after")
+        );
+    }
+
+    #[test]
+    fn unsupported_provider_faults() {
+        let db = seeded();
+        let host = WfHost::new().with_database(Provider::Db2, db.clone());
+        let cs = connection_string(Provider::Db2, "orders_db");
+        let def = host.install(ProcessDefinition::new(
+            "t",
+            SqlDatabaseActivity::new("q", cs, "SELECT 1"),
+        ));
+        let inst = Engine::new().run(&def, Variables::new()).unwrap();
+        assert!(inst.is_faulted());
+    }
+
+    #[test]
+    fn while_over_dataset_iterates() {
+        let db = seeded();
+        let cs = connection_string(Provider::SqlServer, "orders_db");
+        let body = code_activity("collect", |ctx| {
+            let row = ctx.variables.require_opaque::<CurrentRow>("Cur")?.clone();
+            let seen = ctx
+                .variables
+                .get("seen")
+                .and_then(|v| v.as_scalar())
+                .map(Value::render)
+                .unwrap_or_default();
+            ctx.variables.set(
+                "seen",
+                Value::Text(format!("{seen}{}", row.get("v").unwrap())),
+            );
+            Ok(())
+        });
+        let root = Sequence::new("s")
+            .then(
+                SqlDatabaseActivity::new("q", cs, "SELECT * FROM t ORDER BY id").result_into("SV"),
+            )
+            .then(while_over_dataset("loop", "SV", "Cur", body));
+        let inst = run_with_host(&db, root);
+        assert!(inst.is_completed(), "{:?}", inst.outcome);
+        assert_eq!(
+            inst.variables.require_scalar("seen").unwrap(),
+            &Value::text("ab")
+        );
+    }
+
+    #[test]
+    fn row_field_reads_by_attribute_name() {
+        let mut vars = Variables::new();
+        vars.set(
+            "Cur",
+            VarValue::Opaque(OpaqueValue::new(
+                "current-row",
+                CurrentRow {
+                    columns: vec!["ItemId".into(), "Quantity".into()],
+                    values: vec![Value::text("widget"), Value::Int(15)],
+                },
+            )),
+        );
+        let f = row_field("Cur", "quantity");
+        assert_eq!(f.read(&vars).unwrap().as_scalar().unwrap(), &Value::Int(15));
+        let bad = row_field("Cur", "nope");
+        assert!(bad.read(&vars).is_err());
+    }
+}

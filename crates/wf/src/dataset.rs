@@ -1,0 +1,543 @@
+//! An ADO.NET-style `DataSet`: the client-side cache WF materializes
+//! query results into (Sec. IV-B).
+//!
+//! The paper relies on four DataSet capabilities (Sec. IV-C): tuple
+//! insert/update/delete on the cached table, sequential iteration,
+//! querying specific tuples, and synchronizing the cache with its
+//! original data source. All four are implemented here, including the
+//! row-state machinery (`Unchanged` / `Added` / `Modified` / `Deleted`)
+//! and a [`DataAdapter`] that generates the INSERT/UPDATE/DELETE
+//! statements for sync-back — a cache *“holding no connection to the
+//! original data”*.
+
+use sqlkernel::{Connection, QueryResult, SqlError, SqlResult, Value};
+
+/// Change state of one cached row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowState {
+    /// Unchanged since fill / last accept.
+    Unchanged,
+    /// Added locally; not yet in the source.
+    Added,
+    /// Cell values changed locally.
+    Modified,
+    /// Deleted locally; still present in the source.
+    Deleted,
+}
+
+/// One cached row: current values, the original values as filled (for
+/// sync-back WHERE clauses), and a state.
+#[derive(Debug, Clone)]
+pub struct DataRow {
+    values: Vec<Value>,
+    original: Option<Vec<Value>>,
+    state: RowState,
+}
+
+impl DataRow {
+    /// Current cell values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Row state.
+    pub fn state(&self) -> RowState {
+        self.state
+    }
+}
+
+/// A cached table inside a [`DataSet`].
+#[derive(Debug, Clone)]
+pub struct DataTable {
+    name: String,
+    columns: Vec<String>,
+    /// Primary-key column positions used by the adapter's WHERE clauses.
+    key_columns: Vec<usize>,
+    rows: Vec<DataRow>,
+}
+
+impl DataTable {
+    /// Build an empty table.
+    pub fn new(name: impl Into<String>, columns: Vec<String>) -> DataTable {
+        DataTable {
+            name: name.into(),
+            columns,
+            key_columns: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Fill from a query result; all rows start `Unchanged`.
+    pub fn from_result(name: impl Into<String>, rs: &QueryResult) -> DataTable {
+        let mut t = DataTable::new(name, rs.columns.clone());
+        for row in &rs.rows {
+            t.rows.push(DataRow {
+                values: row.clone(),
+                original: Some(row.clone()),
+                state: RowState::Unchanged,
+            });
+        }
+        t
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Declare which columns form the key used for sync-back.
+    pub fn set_key_columns(&mut self, names: &[&str]) -> SqlResult<()> {
+        let mut keys = Vec::with_capacity(names.len());
+        for n in names {
+            keys.push(self.column_index(n)?);
+        }
+        self.key_columns = keys;
+        Ok(())
+    }
+
+    /// Position of a column by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> SqlResult<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+            .ok_or_else(|| SqlError::NotFound(format!("column '{name}' in DataTable")))
+    }
+
+    /// Live rows (everything except locally deleted ones).
+    pub fn live_rows(&self) -> impl Iterator<Item = &DataRow> {
+        self.rows.iter().filter(|r| r.state != RowState::Deleted)
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live_rows().count()
+    }
+
+    /// No live rows?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th live row.
+    pub fn row(&self, i: usize) -> Option<&DataRow> {
+        self.live_rows().nth(i)
+    }
+
+    /// A cell of the `i`-th live row by column name.
+    pub fn cell(&self, i: usize, column: &str) -> SqlResult<Value> {
+        let c = self.column_index(column)?;
+        self.row(i)
+            .map(|r| r.values[c].clone())
+            .ok_or_else(|| SqlError::NotFound(format!("row {i} in DataTable")))
+    }
+
+    /// Select live row indices matching a predicate over (column →
+    /// value) — the `DataTable.Select` analog.
+    pub fn select(&self, mut pred: impl FnMut(&DataRow) -> bool) -> Vec<usize> {
+        self.live_rows()
+            .enumerate()
+            .filter(|(_, r)| pred(r))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Update one cell of the `i`-th live row.
+    pub fn set_cell(&mut self, i: usize, column: &str, value: Value) -> SqlResult<()> {
+        let c = self.column_index(column)?;
+        let idx = self
+            .live_index(i)
+            .ok_or_else(|| SqlError::NotFound(format!("row {i} in DataTable")))?;
+        let row = &mut self.rows[idx];
+        row.values[c] = value;
+        if row.state == RowState::Unchanged {
+            row.state = RowState::Modified;
+        }
+        Ok(())
+    }
+
+    /// Append a new row (state `Added`).
+    pub fn add_row(&mut self, values: Vec<Value>) -> SqlResult<()> {
+        if values.len() != self.columns.len() {
+            return Err(SqlError::Semantic(format!(
+                "DataTable '{}' expects {} values, got {}",
+                self.name,
+                self.columns.len(),
+                values.len()
+            )));
+        }
+        self.rows.push(DataRow {
+            values,
+            original: None,
+            state: RowState::Added,
+        });
+        Ok(())
+    }
+
+    /// Delete the `i`-th live row: `Added` rows vanish, others are
+    /// tombstoned for the adapter.
+    pub fn delete_row(&mut self, i: usize) -> SqlResult<()> {
+        let idx = self
+            .live_index(i)
+            .ok_or_else(|| SqlError::NotFound(format!("row {i} in DataTable")))?;
+        if self.rows[idx].state == RowState::Added {
+            self.rows.remove(idx);
+        } else {
+            self.rows[idx].state = RowState::Deleted;
+        }
+        Ok(())
+    }
+
+    fn live_index(&self, i: usize) -> Option<usize> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.state != RowState::Deleted)
+            .map(|(idx, _)| idx)
+            .nth(i)
+    }
+
+    /// Rows that differ from the source (the `GetChanges` analog).
+    pub fn changes(&self) -> Vec<&DataRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.state != RowState::Unchanged)
+            .collect()
+    }
+
+    /// Accept all changes: tombstones drop, everything becomes
+    /// `Unchanged` with fresh originals.
+    pub fn accept_changes(&mut self) {
+        self.rows.retain(|r| r.state != RowState::Deleted);
+        for r in &mut self.rows {
+            r.original = Some(r.values.clone());
+            r.state = RowState::Unchanged;
+        }
+    }
+
+    /// Reject all changes: revert to the originals.
+    pub fn reject_changes(&mut self) {
+        self.rows.retain(|r| r.original.is_some());
+        for r in &mut self.rows {
+            r.values = r.original.clone().expect("retained above");
+            r.state = RowState::Unchanged;
+        }
+    }
+
+    /// Snapshot as a plain query result (live rows).
+    pub fn to_result(&self) -> QueryResult {
+        QueryResult {
+            columns: self.columns.clone(),
+            rows: self.live_rows().map(|r| r.values.clone()).collect(),
+        }
+    }
+}
+
+/// A set of cached tables — the ADO.NET `DataSet` object.
+#[derive(Debug, Clone, Default)]
+pub struct DataSet {
+    tables: Vec<DataTable>,
+}
+
+impl DataSet {
+    /// Empty data set.
+    pub fn new() -> DataSet {
+        DataSet::default()
+    }
+
+    /// A data set holding one filled table.
+    pub fn from_result(table_name: impl Into<String>, rs: &QueryResult) -> DataSet {
+        let mut ds = DataSet::new();
+        ds.tables.push(DataTable::from_result(table_name, rs));
+        ds
+    }
+
+    /// Add a table.
+    pub fn add_table(&mut self, table: DataTable) {
+        self.tables.push(table);
+    }
+
+    /// Get a table by name.
+    pub fn table(&self, name: &str) -> SqlResult<&DataTable> {
+        self.tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| SqlError::NotFound(format!("DataTable '{name}'")))
+    }
+
+    /// Mutable table access.
+    pub fn table_mut(&mut self, name: &str) -> SqlResult<&mut DataTable> {
+        self.tables
+            .iter_mut()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| SqlError::NotFound(format!("DataTable '{name}'")))
+    }
+
+    /// The first (often only) table.
+    pub fn first_table(&self) -> SqlResult<&DataTable> {
+        self.tables
+            .first()
+            .ok_or_else(|| SqlError::NotFound("DataSet has no tables".into()))
+    }
+
+    /// Mutable access to the first table.
+    pub fn first_table_mut(&mut self) -> SqlResult<&mut DataTable> {
+        self.tables
+            .first_mut()
+            .ok_or_else(|| SqlError::NotFound("DataSet has no tables".into()))
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+/// Generates and executes the SQL that reconciles a cached table with its
+/// source — the `SqlDataAdapter.Update` analog. Uses the declared key
+/// columns (original values) to address rows.
+pub struct DataAdapter;
+
+impl DataAdapter {
+    /// Push all pending changes of `table` to `target_table` through
+    /// `conn`. Returns the number of statements executed and accepts the
+    /// changes on success.
+    pub fn update(
+        conn: &Connection,
+        table: &mut DataTable,
+        target_table: &str,
+    ) -> SqlResult<usize> {
+        if table.key_columns.is_empty() {
+            return Err(SqlError::Semantic(
+                "DataAdapter requires key columns for sync-back".into(),
+            ));
+        }
+        let mut executed = 0;
+        for row in &table.rows {
+            match row.state {
+                RowState::Unchanged => {}
+                RowState::Added => {
+                    let cols = table.columns.join(", ");
+                    let placeholders = vec!["?"; table.columns.len()].join(", ");
+                    conn.execute(
+                        &format!("INSERT INTO {target_table} ({cols}) VALUES ({placeholders})"),
+                        &row.values,
+                    )?;
+                    executed += 1;
+                }
+                RowState::Modified => {
+                    let set: Vec<String> =
+                        table.columns.iter().map(|c| format!("{c} = ?")).collect();
+                    let mut params = row.values.clone();
+                    let wher = Self::key_predicate(table, row, &mut params)?;
+                    conn.execute(
+                        &format!("UPDATE {target_table} SET {} WHERE {wher}", set.join(", ")),
+                        &params,
+                    )?;
+                    executed += 1;
+                }
+                RowState::Deleted => {
+                    let mut params = Vec::new();
+                    let wher = Self::key_predicate(table, row, &mut params)?;
+                    conn.execute(&format!("DELETE FROM {target_table} WHERE {wher}"), &params)?;
+                    executed += 1;
+                }
+            }
+        }
+        table.accept_changes();
+        Ok(executed)
+    }
+
+    fn key_predicate(
+        table: &DataTable,
+        row: &DataRow,
+        params: &mut Vec<Value>,
+    ) -> SqlResult<String> {
+        let original = row.original.as_ref().ok_or_else(|| {
+            SqlError::Semantic("modified/deleted row lost its original values".into())
+        })?;
+        let mut parts = Vec::with_capacity(table.key_columns.len());
+        for &k in &table.key_columns {
+            parts.push(format!("{} = ?", table.columns[k]));
+            params.push(original[k].clone());
+        }
+        Ok(parts.join(" AND "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlkernel::Database;
+
+    fn seeded_db() -> Database {
+        let db = Database::new("d");
+        db.connect()
+            .execute_script(
+                "CREATE TABLE items (id INT PRIMARY KEY, name TEXT, qty INT);
+                 INSERT INTO items VALUES (1, 'widget', 10), (2, 'gadget', 3), (3, 'cog', 7);",
+            )
+            .unwrap();
+        db
+    }
+
+    fn filled_table(db: &Database) -> DataTable {
+        let rs = db
+            .connect()
+            .query("SELECT id, name, qty FROM items ORDER BY id", &[])
+            .unwrap();
+        let mut t = DataTable::from_result("items", &rs);
+        t.set_key_columns(&["id"]).unwrap();
+        t
+    }
+
+    #[test]
+    fn fill_and_read() {
+        let db = seeded_db();
+        let t = filled_table(&db);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.cell(0, "name").unwrap(), Value::text("widget"));
+        assert_eq!(t.cell(2, "QTY").unwrap(), Value::Int(7));
+        assert!(t.cell(9, "name").is_err());
+        assert!(t.cell(0, "nope").is_err());
+    }
+
+    #[test]
+    fn select_predicate() {
+        let db = seeded_db();
+        let t = filled_table(&db);
+        let hits = t.select(|r| r.values()[2].as_i64().unwrap() > 5);
+        assert_eq!(hits, vec![0, 2]);
+    }
+
+    #[test]
+    fn row_states_track_changes() {
+        let db = seeded_db();
+        let mut t = filled_table(&db);
+        t.set_cell(0, "qty", Value::Int(99)).unwrap();
+        t.add_row(vec![Value::Int(4), Value::text("nut"), Value::Int(1)])
+            .unwrap();
+        t.delete_row(1).unwrap();
+        let states: Vec<RowState> = t.changes().iter().map(|r| r.state()).collect();
+        assert!(states.contains(&RowState::Modified));
+        assert!(states.contains(&RowState::Added));
+        assert!(states.contains(&RowState::Deleted));
+        assert_eq!(t.len(), 3); // 3 original − 1 deleted + 1 added
+    }
+
+    #[test]
+    fn deleting_added_row_vanishes() {
+        let db = seeded_db();
+        let mut t = filled_table(&db);
+        t.add_row(vec![Value::Int(4), Value::text("nut"), Value::Int(1)])
+            .unwrap();
+        t.delete_row(3).unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(t.changes().is_empty());
+    }
+
+    #[test]
+    fn reject_changes_restores_originals() {
+        let db = seeded_db();
+        let mut t = filled_table(&db);
+        t.set_cell(0, "qty", Value::Int(99)).unwrap();
+        t.add_row(vec![Value::Int(4), Value::text("nut"), Value::Int(1)])
+            .unwrap();
+        t.delete_row(1).unwrap();
+        t.reject_changes();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.cell(0, "qty").unwrap(), Value::Int(10));
+        assert!(t.changes().is_empty());
+    }
+
+    #[test]
+    fn adapter_syncs_all_change_kinds() {
+        let db = seeded_db();
+        let mut t = filled_table(&db);
+        t.set_cell(0, "qty", Value::Int(99)).unwrap(); // widget → 99
+        t.delete_row(1).unwrap(); // gadget gone
+        t.add_row(vec![Value::Int(4), Value::text("nut"), Value::Int(1)])
+            .unwrap();
+        let conn = db.connect();
+        let n = DataAdapter::update(&conn, &mut t, "items").unwrap();
+        assert_eq!(n, 3);
+        // Cache accepted.
+        assert!(t.changes().is_empty());
+        // Source reflects the cache.
+        let rs = conn
+            .query("SELECT id, name, qty FROM items ORDER BY id", &[])
+            .unwrap();
+        assert_eq!(
+            rs.rows,
+            vec![
+                vec![Value::Int(1), Value::text("widget"), Value::Int(99)],
+                vec![Value::Int(3), Value::text("cog"), Value::Int(7)],
+                vec![Value::Int(4), Value::text("nut"), Value::Int(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn adapter_addresses_rows_by_original_key() {
+        // Changing the key itself must still target the original row.
+        let db = seeded_db();
+        let mut t = filled_table(&db);
+        t.set_cell(0, "id", Value::Int(100)).unwrap();
+        let conn = db.connect();
+        DataAdapter::update(&conn, &mut t, "items").unwrap();
+        let rs = conn.query("SELECT id FROM items ORDER BY id", &[]).unwrap();
+        assert_eq!(rs.rows[2], vec![Value::Int(100)]);
+        assert_eq!(rs.rows.len(), 3);
+    }
+
+    #[test]
+    fn adapter_requires_key_columns() {
+        let db = seeded_db();
+        let rs = db.connect().query("SELECT * FROM items", &[]).unwrap();
+        let mut t = DataTable::from_result("items", &rs);
+        t.set_cell(0, "qty", Value::Int(0)).unwrap();
+        let conn = db.connect();
+        assert!(DataAdapter::update(&conn, &mut t, "items").is_err());
+    }
+
+    #[test]
+    fn dataset_table_directory() {
+        let db = seeded_db();
+        let mut ds = DataSet::new();
+        ds.add_table(filled_table(&db));
+        assert_eq!(ds.table_count(), 1);
+        assert!(ds.table("ITEMS").is_ok());
+        assert!(ds.table("other").is_err());
+        ds.table_mut("items")
+            .unwrap()
+            .set_cell(0, "qty", Value::Int(0))
+            .unwrap();
+        assert_eq!(
+            ds.first_table().unwrap().cell(0, "qty").unwrap(),
+            Value::Int(0)
+        );
+    }
+
+    #[test]
+    fn no_connection_to_source_after_fill() {
+        // Mutating the source does not affect the cache: it is a cache
+        // "holding no connection to the original data".
+        let db = seeded_db();
+        let t = filled_table(&db);
+        db.connect().execute("DELETE FROM items", &[]).unwrap();
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn to_result_round_trip() {
+        let db = seeded_db();
+        let t = filled_table(&db);
+        let rs = t.to_result();
+        assert_eq!(rs.columns, vec!["id", "name", "qty"]);
+        assert_eq!(rs.rows.len(), 3);
+    }
+}

@@ -1,0 +1,408 @@
+//! [`SqlIntegration`] implementation for the WF-style stack: Table I
+//! column, Figure 5 architecture, and executable demonstrations of all
+//! nine data management patterns (Sec. IV-C).
+
+use flowcore::builtins::Sequence;
+use flowcore::{CompletedInstance, FlowError, Outcome, ProcessDefinition, Variables};
+use patterns::{
+    Architecture, DataPattern, Demonstration, ProbeEnv, ProbeError, ProductInfo, SqlIntegration,
+    SupportLevel, SupportMatrix,
+};
+use sqlkernel::Value;
+
+use crate::activities::{
+    code_activity, while_over_dataset, with_dataset, CurrentRow, SqlDatabaseActivity,
+};
+use crate::dataset::DataAdapter;
+use crate::host::{connection_string, Provider, WfHost};
+
+/// The Microsoft Workflow Foundation integration style.
+pub struct WfProduct;
+
+const MECH_SQL_DB: &str = "SQL Database";
+const MECH_WORKAROUND: &str = "Only workarounds possible";
+
+fn run(env: &ProbeEnv, def: ProcessDefinition) -> Result<CompletedInstance, ProbeError> {
+    let inst = env.engine.run(&def, Variables::new())?;
+    match inst.outcome {
+        Outcome::Completed => Ok(inst),
+        ref other => Err(ProbeError(format!("instance ended {other:?}"))),
+    }
+}
+
+fn deploy(env: &ProbeEnv, root: impl flowcore::Activity + 'static) -> ProcessDefinition {
+    WfHost::new()
+        .with_database(Provider::SqlServer, env.db.clone())
+        .install(ProcessDefinition::new("probe", root))
+}
+
+fn cs(env: &ProbeEnv) -> String {
+    connection_string(Provider::SqlServer, env.db.name())
+}
+
+/// Query + automatic materialization into `SV` (reused by the internal
+/// pattern demos).
+fn fill_item_list(env: &ProbeEnv) -> SqlDatabaseActivity {
+    SqlDatabaseActivity::new("SQLDatabase_1", cs(env), crate::sample::SQL_DATABASE_1)
+        .result_into("SV")
+}
+
+impl SqlIntegration for WfProduct {
+    fn product_info(&self) -> ProductInfo {
+        ProductInfo {
+            vendor: "Microsoft".into(),
+            product: "Workflow Foundation (WF)".into(),
+            workflow_language: "C#, VB, XOML (BPEL)".into(),
+            process_modeling: "graphical, code, markup".into(),
+            design_tool: "Workflow Designer".into(),
+            sql_inline_support: vec!["customized SQL Activity".into()],
+            external_dataset_reference: "static text".into(),
+            materialized_set_representation: "DataSet Object".into(),
+            external_datasource_reference: "static".into(),
+            additional_features: vec![],
+        }
+    }
+
+    fn architecture(&self) -> Architecture {
+        // Figure 5: Process Modeling and Execution in Microsoft WF.
+        Architecture::new("Microsoft Windows Workflow Foundation (Fig. 5)")
+            .layer(
+                "Workflow Designer (Visual Studio)",
+                &[
+                    "graphical construction",
+                    "code-only / markup-only (XOML) / code-separation authoring",
+                    "BPEL import/export + BPEL activity library",
+                ],
+            )
+            .layer(
+                "Activity Libraries",
+                &[
+                    "Base Activity Library (control flow, events, state — no SQL)",
+                    "Custom Activity Library (e.g. SQL database activity)",
+                ],
+            )
+            .layer(
+                "Host Process (any .NET process)",
+                &[
+                    "Runtime Engine (executes the workflow)",
+                    "Runtime Services (persistence, tracking, communication)",
+                ],
+            )
+            .layer(".NET Runtime", &["CLR"])
+    }
+
+    fn support_matrix(&self) -> SupportMatrix {
+        patterns::paper::microsoft_support()
+    }
+
+    fn demonstrate(
+        &self,
+        pattern: DataPattern,
+        env: &mut ProbeEnv,
+    ) -> Result<Vec<Demonstration>, ProbeError> {
+        match pattern {
+            DataPattern::Query => {
+                let def = deploy(
+                    env,
+                    SqlDatabaseActivity::new("q", cs(env), crate::sample::SQL_DATABASE_1)
+                        .result_into("SV"),
+                );
+                let inst = run(env, def)?;
+                let n = with_dataset(&inst.variables, "SV", |ds| Ok(ds.first_table()?.len()))?;
+                if n != 3 {
+                    return Err(ProbeError(format!("query materialized {n} rows")));
+                }
+                Ok(vec![Demonstration::new(
+                    DataPattern::Query,
+                    MECH_SQL_DB,
+                    SupportLevel::Native,
+                )
+                .evidence("SQL database activity executed the aggregation query")
+                .evidence(
+                    "result automatically materialized into a DataSet (3 rows)",
+                )])
+            }
+            DataPattern::SetIud => {
+                let def = deploy(
+                    env,
+                    SqlDatabaseActivity::new(
+                        "upd",
+                        cs(env),
+                        "UPDATE Orders SET Approved = TRUE WHERE Approved = FALSE",
+                    ),
+                );
+                run(env, def)?;
+                let n = env
+                    .db
+                    .connect()
+                    .query("SELECT COUNT(*) FROM Orders WHERE Approved = TRUE", &[])?
+                    .single_value()?
+                    .clone();
+                if n != Value::Int(6) {
+                    return Err(ProbeError(format!("{n} approved after update")));
+                }
+                Ok(vec![Demonstration::new(
+                    DataPattern::SetIud,
+                    MECH_SQL_DB,
+                    SupportLevel::Native,
+                )
+                .evidence("set-oriented UPDATE via SQL database activity")])
+            }
+            DataPattern::DataSetup => {
+                let def = deploy(
+                    env,
+                    SqlDatabaseActivity::new(
+                        "ddl",
+                        cs(env),
+                        "CREATE TABLE audit_log (Id INT PRIMARY KEY, Note TEXT)",
+                    ),
+                );
+                run(env, def)?;
+                if !env.db.has_table("audit_log") {
+                    return Err(ProbeError("DDL did not run".into()));
+                }
+                Ok(vec![Demonstration::new(
+                    DataPattern::DataSetup,
+                    MECH_SQL_DB,
+                    SupportLevel::Native,
+                )
+                .evidence(
+                    "CREATE TABLE executed through the SQL database activity",
+                )])
+            }
+            DataPattern::StoredProcedure => {
+                let def = deploy(
+                    env,
+                    SqlDatabaseActivity::new("call", cs(env), "CALL item_total('widget')")
+                        .result_into("SV"),
+                );
+                let inst = run(env, def)?;
+                let total = with_dataset(&inst.variables, "SV", |ds| {
+                    ds.first_table()?
+                        .cell(0, "Quantity")
+                        .map_err(FlowError::from)
+                })?;
+                if total != Value::Int(15) {
+                    return Err(ProbeError(format!("procedure returned {total}")));
+                }
+                Ok(vec![Demonstration::new(
+                    DataPattern::StoredProcedure,
+                    MECH_SQL_DB,
+                    SupportLevel::Native,
+                )
+                .evidence(
+                    "CALL item_total('widget') returned 15 into a DataSet",
+                )])
+            }
+            DataPattern::SetRetrieval => {
+                let def = deploy(env, fill_item_list(env));
+                let inst = run(env, def)?;
+                let n = with_dataset(&inst.variables, "SV", |ds| Ok(ds.first_table()?.len()))?;
+                if n != 3 {
+                    return Err(ProbeError(format!("{n} rows in DataSet")));
+                }
+                Ok(vec![Demonstration::new(
+                    DataPattern::SetRetrieval,
+                    MECH_SQL_DB,
+                    SupportLevel::Native,
+                )
+                .evidence(
+                    "materialization is implicit: the SQL database activity always imports \
+                     the result set into the process space as a DataSet",
+                )])
+            }
+            DataPattern::SequentialSetAccess => {
+                let body = code_activity("collect", |ctx| {
+                    let row = ctx.variables.require_opaque::<CurrentRow>("Cur")?.clone();
+                    let seen = ctx
+                        .variables
+                        .get("seen")
+                        .and_then(|v| v.as_scalar())
+                        .map(Value::render)
+                        .unwrap_or_default();
+                    ctx.variables.set(
+                        "seen",
+                        Value::Text(format!("{seen}{},", row.get("ItemId").unwrap())),
+                    );
+                    Ok(())
+                });
+                let def = deploy(
+                    env,
+                    Sequence::new("s")
+                        .then(fill_item_list(env))
+                        .then(while_over_dataset("loop", "SV", "Cur", body)),
+                );
+                let inst = run(env, def)?;
+                let seen = inst.variables.require_scalar("seen")?.render();
+                if seen != "gadget,sprocket,widget," {
+                    return Err(ProbeError(format!("visited {seen}")));
+                }
+                Ok(vec![Demonstration::new(
+                    DataPattern::SequentialSetAccess,
+                    MECH_WORKAROUND,
+                    SupportLevel::Workaround,
+                )
+                .evidence("while activity + C#-style condition over the ADO.NET API")
+                .evidence(format!("visited in order: {seen}"))])
+            }
+            DataPattern::RandomSetAccess => {
+                let def = deploy(
+                    env,
+                    Sequence::new("s")
+                        .then(fill_item_list(env))
+                        .then(code_activity("pick", |ctx| {
+                            let v = with_dataset(ctx.variables, "SV", |ds| {
+                                let t = ds.first_table()?;
+                                // DataTable.Select-style predicate query.
+                                let hits = t.select(|r| r.values()[0] == Value::text("sprocket"));
+                                let i = *hits
+                                    .first()
+                                    .ok_or_else(|| FlowError::Variable("no sprocket row".into()))?;
+                                t.cell(i, "Quantity").map_err(FlowError::from)
+                            })?;
+                            ctx.variables.set("picked", v);
+                            Ok(())
+                        })),
+                );
+                let inst = run(env, def)?;
+                if inst.variables.require_scalar("picked")? != &Value::Int(2) {
+                    return Err(ProbeError("random access picked wrong value".into()));
+                }
+                Ok(vec![Demonstration::new(
+                    DataPattern::RandomSetAccess,
+                    MECH_WORKAROUND,
+                    SupportLevel::Workaround,
+                )
+                .evidence(
+                    "code activity queried a specific tuple via DataTable.Select",
+                )])
+            }
+            DataPattern::TupleIud => {
+                let def = deploy(
+                    env,
+                    Sequence::new("s")
+                        .then(fill_item_list(env))
+                        .then(code_activity("mutate cache", |ctx| {
+                            with_dataset(ctx.variables, "SV", |ds| {
+                                let t = ds.first_table_mut()?;
+                                t.set_cell(0, "Quantity", Value::Int(99))?;
+                                t.delete_row(1)?;
+                                t.add_row(vec![Value::text("cog"), Value::Int(7)])?;
+                                Ok(())
+                            })
+                        })),
+                );
+                let inst = run(env, def)?;
+                let (n, first, last) = with_dataset(&inst.variables, "SV", |ds| {
+                    let t = ds.first_table()?;
+                    Ok((
+                        t.len(),
+                        t.cell(0, "Quantity")?,
+                        t.cell(t.len() - 1, "ItemId")?,
+                    ))
+                })?;
+                if n != 3 || first != Value::Int(99) || last != Value::text("cog") {
+                    return Err(ProbeError(format!("cache IUD gave n={n} {first} {last}")));
+                }
+                Ok(vec![Demonstration::new(
+                    DataPattern::TupleIud,
+                    MECH_WORKAROUND,
+                    SupportLevel::Workaround,
+                )
+                .evidence(
+                    "code activity inserted, updated and deleted tuples of the DataSet",
+                )])
+            }
+            DataPattern::Synchronization => {
+                let db_for_sync = env.db.clone();
+                let def = deploy(
+                    env,
+                    Sequence::new("s")
+                        .then(
+                            SqlDatabaseActivity::new(
+                                "fill",
+                                cs(env),
+                                "SELECT OrderId, ItemId, Quantity, Approved FROM Orders \
+                                 ORDER BY OrderId",
+                            )
+                            .result_into("SV"),
+                        )
+                        .then(code_activity("mutate + DataAdapter.Update", move |ctx| {
+                            with_dataset(ctx.variables, "SV", |ds| {
+                                let t = ds.first_table_mut()?;
+                                t.set_key_columns(&["OrderId"]).map_err(FlowError::from)?;
+                                t.set_cell(0, "Quantity", Value::Int(77))?;
+                                t.delete_row(5)?;
+                                t.add_row(vec![
+                                    Value::Int(7),
+                                    Value::text("nut"),
+                                    Value::Int(1),
+                                    Value::Bool(true),
+                                ])?;
+                                let conn = db_for_sync.connect();
+                                let n = DataAdapter::update(&conn, t, "Orders")
+                                    .map_err(FlowError::from)?;
+                                if n != 3 {
+                                    return Err(FlowError::Variable(format!(
+                                        "adapter ran {n} statements"
+                                    )));
+                                }
+                                Ok(())
+                            })
+                        })),
+                );
+                run(env, def)?;
+                let conn = env.db.connect();
+                let q77 = conn
+                    .query("SELECT Quantity FROM Orders WHERE OrderId = 1", &[])?
+                    .single_value()?
+                    .clone();
+                let count = conn
+                    .query("SELECT COUNT(*) FROM Orders", &[])?
+                    .single_value()?
+                    .clone();
+                if q77 != Value::Int(77) || count != Value::Int(6) {
+                    return Err(ProbeError(format!("sync state: q={q77} n={count}")));
+                }
+                Ok(vec![Demonstration::new(
+                    DataPattern::Synchronization,
+                    MECH_WORKAROUND,
+                    SupportLevel::Workaround,
+                )
+                .evidence(
+                    "code activity reconciled the DataSet with Orders via DataAdapter.Update \
+                     (1 UPDATE, 1 DELETE, 1 INSERT)",
+                )])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wf_matrix_is_fully_demonstrated() {
+        let demos = patterns::verify_support_matrix(&WfProduct).unwrap();
+        assert_eq!(demos.len(), 9);
+    }
+
+    #[test]
+    fn wf_matrix_matches_paper() {
+        assert_eq!(
+            WfProduct.support_matrix(),
+            patterns::paper::microsoft_support()
+        );
+    }
+
+    #[test]
+    fn architecture_and_info() {
+        let a = WfProduct.architecture();
+        assert!(a.render().contains("Runtime Engine"));
+        let i = WfProduct.product_info();
+        assert_eq!(i.materialized_set_representation, "DataSet Object");
+        assert_eq!(i.external_datasource_reference, "static");
+        assert!(i.additional_features.is_empty());
+    }
+}

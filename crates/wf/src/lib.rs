@@ -1,0 +1,44 @@
+//! `wf` — the Microsoft Windows Workflow Foundation integration style
+//! (paper Sec. IV).
+//!
+//! WF provides **no SQL support in its Base Activity Library**; the gap
+//! is closed by augmenting a Custom Activity Library with customized SQL
+//! activity types. This crate reproduces that structure:
+//!
+//! * [`activities::BASE_ACTIVITY_LIBRARY`] — the BAL inventory (checked
+//!   by code to contain no SQL activity type),
+//! * [`activities::CustomActivityLibrary`] — the CAL registry,
+//! * [`activities::SqlDatabaseActivity`] — the customized SQL database
+//!   activity: static connection string, static table names, `?` host
+//!   variables, before/after event handlers, automatic materialization
+//!   of results into a [`dataset::DataSet`],
+//! * [`dataset`] — the ADO.NET-style client-side cache: row states,
+//!   select, tuple IUD, and [`dataset::DataAdapter`] sync-back,
+//! * [`host`] — the host process with the SqlServer/Oracle provider
+//!   restriction the paper notes in Sec. VI-B,
+//! * [`activities::code_activity`] / [`activities::while_over_dataset`]
+//!   — the code-based workarounds for all internal-data patterns,
+//! * [`sample`] — the Figure 6 running example,
+//! * [`integration::WfProduct`] — the [`patterns::SqlIntegration`]
+//!   implementation.
+
+pub mod activities;
+pub mod bpel_import;
+pub mod dataset;
+pub mod host;
+pub mod integration;
+pub mod sample;
+pub mod tracking;
+pub mod xoml;
+
+pub use activities::{
+    bal_has_sql_support, code_activity, dataset_var, row_field, while_over_dataset, with_dataset,
+    CurrentRow, CustomActivityLibrary, SqlDatabaseActivity, BASE_ACTIVITY_LIBRARY,
+};
+pub use bpel_import::{import_bpel, BpelBindings};
+pub use dataset::{DataAdapter, DataRow, DataSet, DataTable, RowState};
+pub use host::{connection_string, parse_connection_string, Provider, WfHost};
+pub use integration::WfProduct;
+pub use sample::figure6_process;
+pub use tracking::TrackingService;
+pub use xoml::{load_xoml, CodeBehind};

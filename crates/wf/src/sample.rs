@@ -1,0 +1,120 @@
+//! The Figure 6 sample workflow: the running example realized with
+//! Microsoft WF technology.
+//!
+//! Differences from the BIS realization (Fig. 4) that the paper calls
+//! out: the `Orders` table is named **statically** inside the SQL text
+//! (no set references), the query result is **automatically
+//! materialized** into a `DataSet` object in host variable
+//! `SV_ItemList`, whose lifecycle is tied to the process instance, and
+//! iteration accesses tuples through the ADO.NET API
+//! (`CurrentItem["ItemId"]`).
+
+use flowcore::builtins::{Invoke, Sequence};
+use flowcore::ProcessDefinition;
+
+use crate::activities::{row_field, while_over_dataset, SqlDatabaseActivity};
+use crate::host::{connection_string, Provider, WfHost};
+
+/// The query of activity `SQLDatabase_1` — table name as static text.
+pub const SQL_DATABASE_1: &str = "SELECT ItemId, SUM(Quantity) AS Quantity FROM Orders \
+                                  WHERE Approved = TRUE GROUP BY ItemId ORDER BY ItemId";
+
+/// The insert of activity `SQLDatabase_2`.
+pub const SQL_DATABASE_2: &str = "INSERT INTO OrderConfirmations \
+                                  (ConfId, ItemId, Quantity, Confirmation) \
+                                  VALUES (NEXTVAL('conf_ids'), ?, ?, ?)";
+
+/// Build the Figure 6 process. `orders_db` must carry the probe schema
+/// and be registered in the returned host as a SQL Server database.
+pub fn figure6_process(db: sqlkernel::Database) -> ProcessDefinition {
+    let cs = connection_string(Provider::SqlServer, db.name());
+    let host = WfHost::new().with_database(Provider::SqlServer, db);
+
+    let loop_body = Sequence::new("order item")
+        .then(
+            Invoke::new("Invoke OrderFromSupplier", patterns::ORDER_FROM_SUPPLIER)
+                .input("ItemType", row_field("CurrentItem", "ItemId"))
+                .input("Quantity", row_field("CurrentItem", "Quantity"))
+                .output("Confirmation", "OrderConfirmation"),
+        )
+        .then(
+            SqlDatabaseActivity::new("SQLDatabase_2", cs.clone(), SQL_DATABASE_2)
+                .param(row_field("CurrentItem", "ItemId"))
+                .param(row_field("CurrentItem", "Quantity"))
+                .param_var("OrderConfirmation"),
+        );
+
+    let body = Sequence::new("main")
+        .then(
+            SqlDatabaseActivity::new("SQLDatabase_1", cs, SQL_DATABASE_1)
+                .result_into("SV_ItemList"),
+        )
+        .then(while_over_dataset(
+            "while: more tuples in SV_ItemList",
+            "SV_ItemList",
+            "CurrentItem",
+            loop_body,
+        ));
+
+    host.install(ProcessDefinition::new("OrderAggregation/WF (Fig. 6)", body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flowcore::Variables;
+    use patterns::probe::{expected_item_list, ProbeEnv};
+
+    #[test]
+    fn figure6_end_to_end() {
+        let env = ProbeEnv::fresh();
+        let def = figure6_process(env.db.clone());
+        let inst = env.engine.run(&def, Variables::new()).unwrap();
+        assert!(inst.is_completed(), "{:?}", inst.outcome);
+
+        assert_eq!(
+            env.confirmations(),
+            vec![
+                "confirmed:gadget:3",
+                "confirmed:sprocket:2",
+                "confirmed:widget:15"
+            ]
+        );
+
+        let conn = env.db.connect();
+        let rs = conn
+            .query(
+                "SELECT ItemId, Quantity FROM OrderConfirmations ORDER BY ItemId",
+                &[],
+            )
+            .unwrap();
+        let got: Vec<(String, i64)> = rs
+            .rows
+            .iter()
+            .map(|r| (r[0].render(), r[1].as_i64().unwrap()))
+            .collect();
+        let want: Vec<(String, i64)> = expected_item_list()
+            .into_iter()
+            .map(|(s, n)| (s.to_string(), n))
+            .collect();
+        assert_eq!(got, want);
+
+        // The audit trail shows WF's activity mix: SQL database
+        // activities and code activities, no set references.
+        assert_eq!(inst.audit.completed_count("sqlDatabase"), 1 + 3);
+        assert_eq!(inst.audit.completed_count("invoke"), 3);
+        assert!(inst.audit.events().iter().any(|e| e.kind == "code"));
+        assert!(inst.audit.events().iter().all(|e| e.kind != "java-snippet"));
+    }
+
+    #[test]
+    fn figure6_no_external_result_tables() {
+        // Unlike BIS, nothing external is created for the item list: the
+        // result lives only in the DataSet variable.
+        let env = ProbeEnv::fresh();
+        let before = env.db.table_names();
+        let def = figure6_process(env.db.clone());
+        env.engine.run(&def, Variables::new()).unwrap();
+        assert_eq!(env.db.table_names(), before);
+    }
+}

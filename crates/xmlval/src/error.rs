@@ -1,0 +1,55 @@
+//! Error type for XML parsing, path evaluation and RowSet codecs.
+
+use std::fmt;
+
+/// Convenient alias.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+/// Everything that can go wrong in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Malformed XML text.
+    Parse(String),
+    /// Malformed or unsupported path expression.
+    Path(String),
+    /// A path selected nothing where something was required.
+    NotFound(String),
+    /// RowSet encode/decode failure.
+    Codec(String),
+}
+
+impl XmlError {
+    /// Machine-readable class, for test assertions.
+    pub fn class(&self) -> &'static str {
+        match self {
+            XmlError::Parse(_) => "parse",
+            XmlError::Path(_) => "path",
+            XmlError::NotFound(_) => "not_found",
+            XmlError::Codec(_) => "codec",
+        }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Parse(m) => write!(f, "xml parse error: {m}"),
+            XmlError::Path(m) => write!(f, "path error: {m}"),
+            XmlError::NotFound(m) => write!(f, "not found: {m}"),
+            XmlError::Codec(m) => write!(f, "rowset codec error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_and_display() {
+        assert_eq!(XmlError::Parse("x".into()).class(), "parse");
+        assert!(XmlError::Path("bad".into()).to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,46 @@
+//! `xmlval` — XML document values for workflow variables.
+//!
+//! BPEL predetermines XPath as the expression language over process
+//! variables, and both IBM BIS and Oracle SOA Suite materialize relational
+//! result sets as *XML RowSets* — numbered row elements with one text node
+//! per attribute value. This crate provides everything the workflow layers
+//! need to model that faithfully:
+//!
+//! * an XML node tree ([`XmlNode`], [`Element`]) with serialization,
+//! * a small XML parser ([`parse()`](parse())) used by the Oracle-style XSQL
+//!   framework (which executes SQL embedded in XML documents),
+//! * a path language ([`Path`]) — the XPath subset the paper's examples
+//!   use: child steps, numeric predicates, attributes, wildcards and
+//!   `count()` — including *mutating* selections (the `bpelx`
+//!   insert/update/delete operations of Sec. V-C),
+//! * the RowSet codec ([`rowset`]) converting between
+//!   [`sqlkernel::QueryResult`] grids and their XML materialization.
+//!
+//! ```
+//! use xmlval::{rowset, Path};
+//! use sqlkernel::{Database, Value};
+//!
+//! let db = Database::new("d");
+//! let conn = db.connect();
+//! conn.execute("CREATE TABLE t (a INT, b TEXT)", &[]).unwrap();
+//! conn.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')", &[]).unwrap();
+//! let rs = conn.query("SELECT * FROM t ORDER BY a", &[]).unwrap();
+//!
+//! let xml = rowset::encode(&rs);
+//! let p = Path::parse("/RowSet/Row[2]/b").unwrap();
+//! assert_eq!(p.select_text(&xml).as_deref(), Some("y"));
+//!
+//! let back = rowset::decode(&xml).unwrap();
+//! assert_eq!(back, rs);
+//! ```
+
+pub mod error;
+pub mod node;
+pub mod parse;
+pub mod path;
+pub mod rowset;
+
+pub use error::{XmlError, XmlResult};
+pub use node::{Element, XmlNode};
+pub use parse::parse;
+pub use path::Path;

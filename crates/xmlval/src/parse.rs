@@ -1,0 +1,339 @@
+//! A compact XML parser: elements, attributes, text, comments, CDATA,
+//! processing instructions/declarations (skipped), and the five standard
+//! entities. Namespaces are not interpreted — prefixed names are kept
+//! verbatim, which matches how the paper's tooling treats `ora:`/`bpelx:`
+//! prefixes as plain markers.
+
+use crate::error::{XmlError, XmlResult};
+use crate::node::{Element, XmlNode};
+
+/// Parse a document and return its root element.
+pub fn parse(input: &str) -> XmlResult<Element> {
+    let mut p = XmlParser {
+        input,
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_misc()?;
+    let root = p.element()?;
+    p.skip_misc()?;
+    if p.pos < p.bytes.len() {
+        return Err(XmlError::Parse(format!(
+            "trailing content at byte {}",
+            p.pos
+        )));
+    }
+    Ok(root)
+}
+
+struct XmlParser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .peek()
+            .is_some_and(|c| (c as char).is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    /// Skip whitespace, comments, PIs and the XML declaration.
+    fn skip_misc(&mut self) -> XmlResult<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                self.skip_until(">")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_until(&mut self, end: &str) -> XmlResult<()> {
+        match self.input[self.pos..].find(end) {
+            Some(i) => {
+                self.pos += i + end.len();
+                Ok(())
+            }
+            None => Err(XmlError::Parse(format!(
+                "unterminated construct, expected '{end}'"
+            ))),
+        }
+    }
+
+    fn name(&mut self) -> XmlResult<String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| {
+            let c = c as char;
+            c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':')
+        }) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(XmlError::Parse(format!("expected name at byte {start}")));
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn element(&mut self) -> XmlResult<Element> {
+        if self.peek() != Some(b'<') {
+            return Err(XmlError::Parse(format!(
+                "expected '<' at byte {}",
+                self.pos
+            )));
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let mut elem = Element::new(name.clone());
+
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'>') {
+                        self.pos += 1;
+                        return Ok(elem);
+                    }
+                    return Err(XmlError::Parse(format!(
+                        "expected '/>' at byte {}",
+                        self.pos
+                    )));
+                }
+                Some(_) => {
+                    let attr_name = self.name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(XmlError::Parse(format!(
+                            "expected '=' after attribute '{attr_name}'"
+                        )));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = self.peek().ok_or_else(|| {
+                        XmlError::Parse("unexpected end in attribute value".into())
+                    })?;
+                    if quote != b'"' && quote != b'\'' {
+                        return Err(XmlError::Parse(format!(
+                            "attribute '{attr_name}' value must be quoted"
+                        )));
+                    }
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != quote) {
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return Err(XmlError::Parse(format!(
+                            "unterminated attribute value for '{attr_name}'"
+                        )));
+                    }
+                    let value = unescape(&self.input[start..self.pos])?;
+                    self.pos += 1;
+                    elem.attributes.push((attr_name, value));
+                }
+                None => return Err(XmlError::Parse("unexpected end in tag".into())),
+            }
+        }
+
+        // Children until the matching close tag.
+        loop {
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != name {
+                    return Err(XmlError::Parse(format!(
+                        "mismatched close tag: expected </{name}>, found </{close}>"
+                    )));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(XmlError::Parse(format!("expected '>' after </{close}")));
+                }
+                self.pos += 1;
+                return Ok(elem);
+            }
+            if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+                continue;
+            }
+            if self.starts_with("<![CDATA[") {
+                let start = self.pos + 9;
+                let end = self.input[start..]
+                    .find("]]>")
+                    .ok_or_else(|| XmlError::Parse("unterminated CDATA".into()))?;
+                elem.children
+                    .push(XmlNode::Text(self.input[start..start + end].to_string()));
+                self.pos = start + end + 3;
+                continue;
+            }
+            match self.peek() {
+                Some(b'<') => {
+                    let child = self.element()?;
+                    elem.children.push(XmlNode::Element(child));
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != b'<') {
+                        self.pos += 1;
+                    }
+                    let text = unescape(&self.input[start..self.pos])?;
+                    // Drop pure-whitespace runs between elements; keep
+                    // meaningful text.
+                    if !text.trim().is_empty() {
+                        elem.children.push(XmlNode::Text(text));
+                    }
+                }
+                None => {
+                    return Err(XmlError::Parse(format!(
+                        "unexpected end of input inside <{name}>"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+fn unescape(s: &str) -> XmlResult<String> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('&') {
+        out.push_str(&rest[..i]);
+        rest = &rest[i..];
+        let end = rest
+            .find(';')
+            .ok_or_else(|| XmlError::Parse(format!("unterminated entity in '{s}'")))?;
+        let entity = &rest[1..end];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            e if e.starts_with("#x") || e.starts_with("#X") => {
+                let code = u32::from_str_radix(&e[2..], 16)
+                    .map_err(|_| XmlError::Parse(format!("bad char reference '&{e};'")))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| XmlError::Parse(format!("invalid char U+{code:X}")))?,
+                );
+            }
+            e if e.starts_with('#') => {
+                let code: u32 = e[1..]
+                    .parse()
+                    .map_err(|_| XmlError::Parse(format!("bad char reference '&{e};'")))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| XmlError::Parse(format!("invalid char U+{code:X}")))?,
+                );
+            }
+            other => {
+                return Err(XmlError::Parse(format!("unknown entity '&{other};'")));
+            }
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_document() {
+        let e = parse("<a x=\"1\"><b>hi</b><c/></a>").unwrap();
+        assert_eq!(e.name, "a");
+        assert_eq!(e.attr("x"), Some("1"));
+        assert_eq!(e.child_text("b").as_deref(), Some("hi"));
+        assert!(e.child("c").unwrap().children.is_empty());
+    }
+
+    #[test]
+    fn parse_declaration_comments_doctype() {
+        let e = parse(
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE a>\n<!-- hello -->\n<a><!-- in --><b>x</b></a>",
+        )
+        .unwrap();
+        assert_eq!(e.child_text("b").as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn parse_entities_and_char_refs() {
+        let e = parse("<a q='&quot;&apos;'>&lt;&amp;&gt; &#65;&#x42;</a>").unwrap();
+        assert_eq!(e.attr("q"), Some("\"'"));
+        assert_eq!(e.text_content(), "<&> AB");
+    }
+
+    #[test]
+    fn parse_cdata() {
+        let e = parse("<sql><![CDATA[SELECT * FROM t WHERE a < 5 AND b = 'x']]></sql>").unwrap();
+        assert_eq!(e.text_content(), "SELECT * FROM t WHERE a < 5 AND b = 'x'");
+    }
+
+    #[test]
+    fn whitespace_between_elements_dropped_but_text_kept() {
+        let e = parse("<a>\n  <b>x</b>\n  <c>y z</c>\n</a>").unwrap();
+        assert_eq!(e.children.len(), 2);
+        assert_eq!(e.child_text("c").as_deref(), Some("y z"));
+    }
+
+    #[test]
+    fn namespace_prefixes_kept_verbatim() {
+        let e = parse("<ora:query xmlns:ora=\"urn:x\"><bpelx:op/></ora:query>").unwrap();
+        assert_eq!(e.name, "ora:query");
+        assert_eq!(e.child_elements().next().unwrap().name, "bpelx:op");
+    }
+
+    #[test]
+    fn round_trip_through_serializer() {
+        let src = "<a x=\"1&quot;\"><b>hi &amp; bye</b><c/><d>1 &lt; 2</d></a>";
+        let e = parse(src).unwrap();
+        let xml = crate::XmlNode::Element(e.clone()).to_xml();
+        let e2 = parse(&xml).unwrap();
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("<a>").is_err());
+        assert!(parse("<a></b>").is_err());
+        assert!(parse("<a x=1></a>").is_err());
+        assert!(parse("<a>&bogus;</a>").is_err());
+        assert!(parse("<a/><b/>").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("<a x='1' x2=></a>").is_err());
+    }
+
+    #[test]
+    fn single_quoted_attributes() {
+        let e = parse("<a x='it\"s'/>").unwrap();
+        assert_eq!(e.attr("x"), Some("it\"s"));
+    }
+}

@@ -1,0 +1,429 @@
+//! The path language — the XPath subset BPEL assign activities use in the
+//! paper's examples.
+//!
+//! Supported syntax:
+//!
+//! ```text
+//! path      := '/'? step ('/' step)* ('/@' name)?
+//! step      := (name | '*') ('[' integer ']')?
+//! ```
+//!
+//! Absolute paths test the root element with their first step; relative
+//! paths start at the context element's children. Numeric predicates are
+//! 1-based and apply after name filtering, as in XPath.
+//!
+//! Besides read-only selection, paths can resolve to *chains* — sequences
+//! of child indices — which support in-place mutation. The Oracle-style
+//! `bpelx` insert/update/delete operations and the IBM-style assign
+//! activity are both built on chains.
+
+use crate::error::{XmlError, XmlResult};
+use crate::node::{Element, XmlNode};
+
+/// A name test within a step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum NameTest {
+    Named(String),
+    Any,
+}
+
+/// One location step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Step {
+    name: NameTest,
+    /// 1-based positional predicate.
+    index: Option<usize>,
+}
+
+impl Step {
+    fn matches(&self, name: &str) -> bool {
+        match &self.name {
+            NameTest::Named(n) => n == name,
+            NameTest::Any => true,
+        }
+    }
+}
+
+/// A parsed path expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    absolute: bool,
+    steps: Vec<Step>,
+    /// Trailing attribute selection (`…/@name`).
+    attr: Option<String>,
+    source: String,
+}
+
+impl Path {
+    /// Parse a path expression.
+    pub fn parse(src: &str) -> XmlResult<Path> {
+        let trimmed = src.trim();
+        if trimmed.is_empty() {
+            return Err(XmlError::Path("empty path".into()));
+        }
+        let absolute = trimmed.starts_with('/');
+        let body = if absolute { &trimmed[1..] } else { trimmed };
+        let mut steps = Vec::new();
+        let mut attr = None;
+        if body.is_empty() {
+            if !absolute {
+                return Err(XmlError::Path("empty path".into()));
+            }
+            return Ok(Path {
+                absolute,
+                steps,
+                attr,
+                source: trimmed.to_string(),
+            });
+        }
+        let segments: Vec<&str> = body.split('/').collect();
+        for (i, seg) in segments.iter().enumerate() {
+            let seg = seg.trim();
+            if seg.is_empty() {
+                return Err(XmlError::Path(format!("empty step in '{src}'")));
+            }
+            if let Some(attr_name) = seg.strip_prefix('@') {
+                if i != segments.len() - 1 {
+                    return Err(XmlError::Path(format!(
+                        "attribute step must be last in '{src}'"
+                    )));
+                }
+                if attr_name.is_empty() {
+                    return Err(XmlError::Path(format!("empty attribute name in '{src}'")));
+                }
+                attr = Some(attr_name.to_string());
+                continue;
+            }
+            let (name_part, index) = match seg.find('[') {
+                Some(b) => {
+                    let close = seg
+                        .rfind(']')
+                        .ok_or_else(|| XmlError::Path(format!("missing ']' in '{seg}'")))?;
+                    if close != seg.len() - 1 {
+                        return Err(XmlError::Path(format!(
+                            "trailing content after predicate in '{seg}'"
+                        )));
+                    }
+                    let idx: usize = seg[b + 1..close].trim().parse().map_err(|_| {
+                        XmlError::Path(format!("predicate must be a positive integer in '{seg}'"))
+                    })?;
+                    if idx == 0 {
+                        return Err(XmlError::Path("predicate indexes are 1-based".into()));
+                    }
+                    (&seg[..b], Some(idx))
+                }
+                None => (seg, None),
+            };
+            let name = if name_part == "*" {
+                NameTest::Any
+            } else if name_part.is_empty()
+                || !name_part
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':'))
+            {
+                return Err(XmlError::Path(format!("invalid step name '{name_part}'")));
+            } else {
+                NameTest::Named(name_part.to_string())
+            };
+            steps.push(Step { name, index });
+        }
+        Ok(Path {
+            absolute,
+            steps,
+            attr,
+            source: trimmed.to_string(),
+        })
+    }
+
+    /// The original path text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Does the path end in an attribute step?
+    pub fn is_attribute(&self) -> bool {
+        self.attr.is_some()
+    }
+
+    /// Select matching elements (ignoring any trailing attribute step).
+    pub fn select_elements<'a>(&self, root: &'a Element) -> Vec<&'a Element> {
+        let mut current: Vec<&Element> = Vec::new();
+        let mut steps: &[Step] = &self.steps;
+        if self.absolute {
+            match steps.first() {
+                None => return vec![root],
+                Some(first) => {
+                    if first.matches(&root.name) && first.index.is_none_or(|i| i == 1) {
+                        current.push(root);
+                    }
+                    steps = &steps[1..];
+                }
+            }
+        } else {
+            current.push(root);
+        }
+        for step in steps {
+            let mut next = Vec::new();
+            for el in current {
+                let named: Vec<&Element> = el
+                    .child_elements()
+                    .filter(|c| step.matches(&c.name))
+                    .collect();
+                match step.index {
+                    Some(i) => {
+                        if i <= named.len() {
+                            next.push(named[i - 1]);
+                        }
+                    }
+                    None => next.extend(named),
+                }
+            }
+            current = next;
+        }
+        current
+    }
+
+    /// Select string values: attribute values for attribute paths,
+    /// text content otherwise.
+    pub fn select_strings(&self, root: &Element) -> Vec<String> {
+        let elements = self.select_elements(root);
+        match &self.attr {
+            Some(a) => elements
+                .into_iter()
+                .filter_map(|e| e.attr(a).map(str::to_string))
+                .collect(),
+            None => elements.into_iter().map(Element::text_content).collect(),
+        }
+    }
+
+    /// First string value selected, if any. Accepts a node for convenience.
+    pub fn select_text(&self, root: &XmlNode) -> Option<String> {
+        let el = root.as_element()?;
+        self.select_strings(el).into_iter().next()
+    }
+
+    /// Number of matches (the `count()` XPath function).
+    pub fn count(&self, root: &Element) -> usize {
+        match &self.attr {
+            Some(a) => self
+                .select_elements(root)
+                .into_iter()
+                .filter(|e| e.attr(a).is_some())
+                .count(),
+            None => self.select_elements(root).len(),
+        }
+    }
+
+    /// Resolve to chains of `children`-vector indices, enabling mutation.
+    /// Attribute paths are rejected — mutate attributes on the selected
+    /// element instead.
+    pub fn select_chains(&self, root: &Element) -> XmlResult<Vec<Vec<usize>>> {
+        if self.attr.is_some() {
+            return Err(XmlError::Path(format!(
+                "cannot take a mutable chain through attribute path '{}'",
+                self.source
+            )));
+        }
+        let mut current: Vec<Vec<usize>> = Vec::new();
+        let mut steps: &[Step] = &self.steps;
+        if self.absolute {
+            match steps.first() {
+                None => return Ok(vec![Vec::new()]),
+                Some(first) => {
+                    if first.matches(&root.name) && first.index.is_none_or(|i| i == 1) {
+                        current.push(Vec::new());
+                    }
+                    steps = &steps[1..];
+                }
+            }
+        } else {
+            current.push(Vec::new());
+        }
+        for step in steps {
+            let mut next = Vec::new();
+            for chain in current {
+                let el = element_by_chain(root, &chain)
+                    .expect("chains constructed here are always valid");
+                let named: Vec<usize> = el
+                    .children
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.as_element().is_some_and(|e| step.matches(&e.name)))
+                    .map(|(i, _)| i)
+                    .collect();
+                match step.index {
+                    Some(i) => {
+                        if i <= named.len() {
+                            let mut c = chain.clone();
+                            c.push(named[i - 1]);
+                            next.push(c);
+                        }
+                    }
+                    None => {
+                        for idx in named {
+                            let mut c = chain.clone();
+                            c.push(idx);
+                            next.push(c);
+                        }
+                    }
+                }
+            }
+            current = next;
+        }
+        Ok(current)
+    }
+}
+
+impl std::fmt::Display for Path {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.source)
+    }
+}
+
+/// Navigate a chain produced by [`Path::select_chains`].
+pub fn element_by_chain<'a>(root: &'a Element, chain: &[usize]) -> Option<&'a Element> {
+    let mut cur = root;
+    for &i in chain {
+        cur = cur.children.get(i)?.as_element()?;
+    }
+    Some(cur)
+}
+
+/// Mutable navigation of a chain.
+pub fn element_by_chain_mut<'a>(root: &'a mut Element, chain: &[usize]) -> Option<&'a mut Element> {
+    let mut cur = root;
+    for &i in chain {
+        cur = cur.children.get_mut(i)?.as_element_mut()?;
+    }
+    Some(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn doc() -> Element {
+        parse(
+            "<RowSet table=\"ItemList\">\
+               <Row num=\"1\"><ItemId>widget</ItemId><Quantity>15</Quantity></Row>\
+               <Row num=\"2\"><ItemId>gadget</ItemId><Quantity>3</Quantity></Row>\
+               <Row num=\"3\"><ItemId>sprocket</ItemId><Quantity>2</Quantity></Row>\
+             </RowSet>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn absolute_selection() {
+        let d = doc();
+        let p = Path::parse("/RowSet/Row/ItemId").unwrap();
+        let texts = p.select_strings(&d);
+        assert_eq!(texts, vec!["widget", "gadget", "sprocket"]);
+    }
+
+    #[test]
+    fn absolute_root_mismatch_selects_nothing() {
+        let d = doc();
+        let p = Path::parse("/Other/Row").unwrap();
+        assert!(p.select_elements(&d).is_empty());
+    }
+
+    #[test]
+    fn positional_predicates() {
+        let d = doc();
+        let p = Path::parse("/RowSet/Row[2]/ItemId").unwrap();
+        assert_eq!(p.select_strings(&d), vec!["gadget"]);
+        let p = Path::parse("/RowSet/Row[9]").unwrap();
+        assert!(p.select_elements(&d).is_empty());
+    }
+
+    #[test]
+    fn relative_paths_start_at_children() {
+        let d = doc();
+        let p = Path::parse("Row[1]/Quantity").unwrap();
+        assert_eq!(p.select_strings(&d), vec!["15"]);
+    }
+
+    #[test]
+    fn wildcard_step() {
+        let d = doc();
+        let p = Path::parse("/RowSet/Row[1]/*").unwrap();
+        assert_eq!(p.select_elements(&d).len(), 2);
+    }
+
+    #[test]
+    fn attribute_selection_and_count() {
+        let d = doc();
+        let p = Path::parse("/RowSet/Row/@num").unwrap();
+        assert_eq!(p.select_strings(&d), vec!["1", "2", "3"]);
+        assert!(p.is_attribute());
+        assert_eq!(p.count(&d), 3);
+        let p = Path::parse("/RowSet/@table").unwrap();
+        assert_eq!(p.select_strings(&d), vec!["ItemList"]);
+        let p = Path::parse("/RowSet/Row").unwrap();
+        assert_eq!(p.count(&d), 3);
+    }
+
+    #[test]
+    fn select_text_via_node() {
+        let d = XmlNode::Element(doc());
+        let p = Path::parse("/RowSet/Row[3]/ItemId").unwrap();
+        assert_eq!(p.select_text(&d).as_deref(), Some("sprocket"));
+        let p = Path::parse("/RowSet/Row[4]/ItemId").unwrap();
+        assert_eq!(p.select_text(&d), None);
+    }
+
+    #[test]
+    fn root_only_absolute_path() {
+        let d = doc();
+        let p = Path::parse("/").unwrap();
+        assert_eq!(p.select_elements(&d).len(), 1);
+    }
+
+    #[test]
+    fn chains_allow_mutation() {
+        let mut d = doc();
+        let p = Path::parse("/RowSet/Row[2]/Quantity").unwrap();
+        let chains = p.select_chains(&d).unwrap();
+        assert_eq!(chains.len(), 1);
+        element_by_chain_mut(&mut d, &chains[0])
+            .unwrap()
+            .set_text("99");
+        assert_eq!(
+            Path::parse("/RowSet/Row[2]/Quantity")
+                .unwrap()
+                .select_strings(&d),
+            vec!["99"]
+        );
+    }
+
+    #[test]
+    fn chains_reject_attribute_paths() {
+        let d = doc();
+        let p = Path::parse("/RowSet/Row/@num").unwrap();
+        assert_eq!(p.select_chains(&d).unwrap_err().class(), "path");
+    }
+
+    #[test]
+    fn chain_navigation_bounds() {
+        let d = doc();
+        assert!(element_by_chain(&d, &[0, 0]).is_some());
+        assert!(element_by_chain(&d, &[9]).is_none());
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in [
+            "", "//", "a//b", "a[0]", "a[x]", "a[1", "a[1]b", "@a/b", "a/@", "a b/c",
+        ] {
+            assert!(Path::parse(bad).is_err(), "expected error for '{bad}'");
+        }
+    }
+
+    #[test]
+    fn display_round_trips_source() {
+        let p = Path::parse("/RowSet/Row[2]/@num").unwrap();
+        assert_eq!(p.to_string(), "/RowSet/Row[2]/@num");
+    }
+}

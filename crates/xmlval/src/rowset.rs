@@ -1,0 +1,266 @@
+//! The XML RowSet codec.
+//!
+//! Sec. V-C of the paper: *“Each output tuple of an XML RowSet becomes a
+//! numbered XML element with a text node for every attribute value.”*
+//! Both IBM BIS (`set` variables) and Oracle SOA Suite (`query-database`
+//! results) use this materialized representation; Microsoft WF uses an
+//! ADO.NET `DataSet` instead (see the `wf` crate).
+//!
+//! Encoding shape:
+//!
+//! ```xml
+//! <RowSet columns="ItemId,Quantity">
+//!   <Row num="1">
+//!     <ItemId type="TEXT">widget</ItemId>
+//!     <Quantity type="INT">15</Quantity>
+//!   </Row>
+//! </RowSet>
+//! ```
+//!
+//! Cell elements carry a `type` attribute so decoding restores the exact
+//! [`Value`] variants; NULL cells are empty elements with `null="true"`.
+
+use sqlkernel::{DataType, QueryResult, Value};
+
+use crate::error::{XmlError, XmlResult};
+use crate::node::{Element, XmlNode};
+
+/// Root element name of an encoded RowSet.
+pub const ROWSET_ELEM: &str = "RowSet";
+/// Row element name.
+pub const ROW_ELEM: &str = "Row";
+
+/// Encode a query result into its XML RowSet materialization.
+pub fn encode(result: &QueryResult) -> XmlNode {
+    let mut root = Element::new(ROWSET_ELEM).with_attr("columns", result.columns.join(","));
+    for (i, row) in result.rows.iter().enumerate() {
+        let mut row_el = Element::new(ROW_ELEM).with_attr("num", (i + 1).to_string());
+        for (col, v) in result.columns.iter().zip(row) {
+            row_el.children.push(XmlNode::Element(encode_cell(col, v)));
+        }
+        root.children.push(XmlNode::Element(row_el));
+    }
+    XmlNode::Element(root)
+}
+
+fn encode_cell(column: &str, v: &Value) -> Element {
+    let mut cell = Element::new(column);
+    match v {
+        Value::Null => cell.set_attr("null", "true"),
+        other => {
+            let ty = other.data_type().expect("non-null value has a type");
+            cell.set_attr("type", ty.sql_name());
+            cell.children.push(XmlNode::text(other.render()));
+        }
+    }
+    cell
+}
+
+/// Decode an XML RowSet back into a query result.
+pub fn decode(node: &XmlNode) -> XmlResult<QueryResult> {
+    let root = node
+        .as_element()
+        .ok_or_else(|| XmlError::Codec("rowset root must be an element".into()))?;
+    if root.name != ROWSET_ELEM {
+        return Err(XmlError::Codec(format!(
+            "expected <{ROWSET_ELEM}>, found <{}>",
+            root.name
+        )));
+    }
+    let columns: Vec<String> = match root.attr("columns") {
+        Some(c) if !c.is_empty() => c.split(',').map(str::to_string).collect(),
+        _ => {
+            // Fall back to the first row's cell names.
+            match root.child(ROW_ELEM) {
+                Some(row) => row.child_elements().map(|e| e.name.clone()).collect(),
+                None => Vec::new(),
+            }
+        }
+    };
+    let mut rows = Vec::new();
+    for row_el in root.children_named(ROW_ELEM) {
+        let mut row = Vec::with_capacity(columns.len());
+        for col in &columns {
+            let cell = row_el
+                .child(col)
+                .ok_or_else(|| XmlError::Codec(format!("row missing cell for column '{col}'")))?;
+            row.push(decode_cell(cell)?);
+        }
+        rows.push(row);
+    }
+    Ok(QueryResult { columns, rows })
+}
+
+fn decode_cell(cell: &Element) -> XmlResult<Value> {
+    if cell.attr("null") == Some("true") {
+        return Ok(Value::Null);
+    }
+    let text = cell.text_content();
+    let ty = match cell.attr("type") {
+        Some(t) => DataType::from_name(t)
+            .ok_or_else(|| XmlError::Codec(format!("unknown cell type '{t}'")))?,
+        None => DataType::Text,
+    };
+    Value::Text(text)
+        .coerce(ty)
+        .map_err(|m| XmlError::Codec(format!("cell '{}': {m}", cell.name)))
+}
+
+/// Number of rows in an encoded RowSet (0 if malformed).
+pub fn row_count(node: &XmlNode) -> usize {
+    node.as_element()
+        .map(|e| e.children_named(ROW_ELEM).count())
+        .unwrap_or(0)
+}
+
+/// Fetch one decoded row (0-based) from an encoded RowSet.
+pub fn row_values(node: &XmlNode, index: usize) -> XmlResult<Vec<Value>> {
+    let decoded = decode(node)?;
+    decoded
+        .rows
+        .get(index)
+        .cloned()
+        .ok_or_else(|| XmlError::NotFound(format!("row {index} of rowset")))
+}
+
+/// Fetch one cell by 0-based row index and column name.
+pub fn cell_value(node: &XmlNode, row: usize, column: &str) -> XmlResult<Value> {
+    let root = node
+        .as_element()
+        .ok_or_else(|| XmlError::Codec("rowset root must be an element".into()))?;
+    let row_el = root
+        .children_named(ROW_ELEM)
+        .nth(row)
+        .ok_or_else(|| XmlError::NotFound(format!("row {row} of rowset")))?;
+    let cell = row_el
+        .child_elements()
+        .find(|e| e.name.eq_ignore_ascii_case(column))
+        .ok_or_else(|| XmlError::NotFound(format!("column '{column}' in row {row}")))?;
+    decode_cell(cell)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QueryResult {
+        QueryResult {
+            columns: vec![
+                "ItemId".into(),
+                "Quantity".into(),
+                "Price".into(),
+                "Ok".into(),
+            ],
+            rows: vec![
+                vec![
+                    Value::text("widget"),
+                    Value::Int(15),
+                    Value::Float(2.5),
+                    Value::Bool(true),
+                ],
+                vec![
+                    Value::text("gadget"),
+                    Value::Int(3),
+                    Value::Null,
+                    Value::Bool(false),
+                ],
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_shape_matches_paper() {
+        let xml = encode(&sample());
+        let root = xml.as_element().unwrap();
+        assert_eq!(root.name, "RowSet");
+        let rows: Vec<&Element> = root.children_named("Row").collect();
+        assert_eq!(rows.len(), 2);
+        // Numbered row elements…
+        assert_eq!(rows[0].attr("num"), Some("1"));
+        assert_eq!(rows[1].attr("num"), Some("2"));
+        // …with a text node for every attribute value.
+        assert_eq!(rows[0].child_text("ItemId").as_deref(), Some("widget"));
+        assert_eq!(rows[0].child_text("Quantity").as_deref(), Some("15"));
+    }
+
+    #[test]
+    fn round_trip_preserves_types() {
+        let rs = sample();
+        let back = decode(&encode(&rs)).unwrap();
+        assert_eq!(back, rs);
+    }
+
+    #[test]
+    fn round_trip_through_serialized_text() {
+        let rs = sample();
+        let xml_text = encode(&rs).to_pretty_xml();
+        let parsed = crate::parse::parse(&xml_text).unwrap();
+        let back = decode(&XmlNode::Element(parsed)).unwrap();
+        assert_eq!(back, rs);
+    }
+
+    #[test]
+    fn empty_result_keeps_columns() {
+        let rs = QueryResult::empty(vec!["a".into(), "b".into()]);
+        let back = decode(&encode(&rs)).unwrap();
+        assert_eq!(back.columns, vec!["a", "b"]);
+        assert!(back.rows.is_empty());
+    }
+
+    #[test]
+    fn null_cells() {
+        let xml = encode(&sample());
+        assert_eq!(cell_value(&xml, 1, "Price").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn accessors() {
+        let xml = encode(&sample());
+        assert_eq!(row_count(&xml), 2);
+        assert_eq!(cell_value(&xml, 0, "quantity").unwrap(), Value::Int(15));
+        assert_eq!(row_values(&xml, 1).unwrap()[0], Value::text("gadget"));
+        assert!(row_values(&xml, 5).is_err());
+        assert!(cell_value(&xml, 0, "nope").is_err());
+    }
+
+    #[test]
+    fn decode_rejects_wrong_root() {
+        let e = XmlNode::Element(Element::new("NotARowSet"));
+        assert_eq!(decode(&e).unwrap_err().class(), "codec");
+        assert_eq!(decode(&XmlNode::text("x")).unwrap_err().class(), "codec");
+    }
+
+    #[test]
+    fn decode_without_columns_attr_uses_first_row() {
+        let parsed =
+            crate::parse::parse("<RowSet><Row><a type=\"INT\">1</a><b>t</b></Row></RowSet>")
+                .unwrap();
+        let rs = decode(&XmlNode::Element(parsed)).unwrap();
+        assert_eq!(rs.columns, vec!["a", "b"]);
+        assert_eq!(rs.rows[0], vec![Value::Int(1), Value::text("t")]);
+    }
+
+    #[test]
+    fn decode_missing_cell_errors() {
+        let parsed = crate::parse::parse(
+            "<RowSet columns=\"a,b\"><Row><a type=\"INT\">1</a></Row></RowSet>",
+        )
+        .unwrap();
+        assert_eq!(
+            decode(&XmlNode::Element(parsed)).unwrap_err().class(),
+            "codec"
+        );
+    }
+
+    #[test]
+    fn text_values_with_markup_characters_survive() {
+        let rs = QueryResult {
+            columns: vec!["c".into()],
+            rows: vec![vec![Value::text("<a & \"b\">")]],
+        };
+        let text = encode(&rs).to_xml();
+        let parsed = crate::parse::parse(&text).unwrap();
+        let back = decode(&XmlNode::Element(parsed)).unwrap();
+        assert_eq!(back, rs);
+    }
+}

@@ -1,0 +1,43 @@
+//! The paper's running example on the Microsoft WF stack (Figure 6).
+//!
+//! Same business logic as the BIS version, realized with a customized
+//! SQL database activity: static table names in the SQL text, automatic
+//! materialization into an ADO.NET-style DataSet, iteration through the
+//! ADO.NET API inside a while activity.
+//!
+//! ```text
+//! cargo run --example order_fulfillment_wf
+//! ```
+
+use flowsql::flowcore::Variables;
+use flowsql::patterns::probe::ProbeEnv;
+use flowsql::wf;
+
+fn main() {
+    let env = ProbeEnv::fresh();
+    let def = wf::figure6_process(env.db.clone());
+    let inst = env.engine.run(&def, Variables::new()).expect("runs");
+    assert!(inst.is_completed(), "{:?}", inst.outcome);
+
+    println!("Activity trace:\n\n{}", inst.audit.render());
+    println!("Supplier confirmations issued: {:?}\n", env.confirmations());
+    let rs = env
+        .db
+        .connect()
+        .query(
+            "SELECT ItemId, Quantity, Confirmation FROM OrderConfirmations ORDER BY ItemId",
+            &[],
+        )
+        .unwrap();
+    println!("OrderConfirmations:\n\n{}", rs.to_grid());
+
+    // WF contrast highlights (Sec. IV / VI):
+    println!("WF characteristics visible above:");
+    println!(" - no set references: 'Orders' is static text in the SQL");
+    println!(" - result lives only in the DataSet variable (no external result table)");
+    println!(" - iteration used code activities over the ADO.NET API");
+    println!(
+        " - the Base Activity Library itself has no SQL activity type (checked: {})",
+        !wf::bal_has_sql_support()
+    );
+}

@@ -1,0 +1,54 @@
+//! A tour of the nine data management patterns (Figure 2), executed on
+//! all three integration styles with evidence.
+//!
+//! This is the Table II generator in narrative form: for every pattern ×
+//! product combination, the pattern is *run* against a fresh copy of the
+//! running-example database, and the mechanism + abstraction level that
+//! realized it is printed alongside the evidence.
+//!
+//! ```text
+//! cargo run --example patterns_tour
+//! ```
+
+use flowsql::patterns::{DataPattern, ProbeEnv, SqlIntegration, SupportLevel};
+
+fn main() {
+    let products: Vec<Box<dyn SqlIntegration>> = vec![
+        Box::new(flowsql::bis::BisProduct),
+        Box::new(flowsql::wf::WfProduct),
+        Box::new(flowsql::soa::OracleProduct),
+    ];
+
+    for pattern in DataPattern::ALL {
+        println!("━━━ {} Pattern ━━━", pattern.title());
+        println!("{}\n", pattern.description());
+        for product in &products {
+            let info = product.product_info();
+            let mut env = ProbeEnv::fresh();
+            match product.demonstrate(pattern, &mut env) {
+                Ok(demos) => {
+                    for d in demos {
+                        let level = match &d.level {
+                            SupportLevel::Native => "native".to_string(),
+                            SupportLevel::Partial(q) => format!("partial ({q})"),
+                            SupportLevel::Workaround => "workaround".to_string(),
+                        };
+                        println!("  {:<38} {:<12} via {}", info.product, level, d.mechanism);
+                        for e in &d.evidence {
+                            println!("      · {e}");
+                        }
+                    }
+                }
+                Err(e) => {
+                    println!("  {:<38} FAILED: {e}", info.product);
+                    std::process::exit(1);
+                }
+            }
+        }
+        println!();
+    }
+    println!(
+        "Every line above was produced by executing the pattern on that stack — \
+         this is Table II with receipts."
+    );
+}

@@ -1,0 +1,22 @@
+//! # flowsql
+//!
+//! A from-scratch Rust reproduction of the ecosystem surveyed in
+//! *“An Overview of SQL Support in Workflow Products”* (ICDE 2008):
+//! a BPEL-style workflow engine, an in-memory SQL database substrate,
+//! and the three vendor styles of embedding SQL into process logic —
+//! IBM Business Integration Suite ([`bis`]), Microsoft Windows Workflow
+//! Foundation ([`wf`]) and Oracle SOA Suite ([`soa`]) — plus the
+//! adapter-technology baseline ([`adapter`]) and the paper's
+//! data-management pattern framework ([`patterns`]).
+//!
+//! This crate is a facade: it re-exports every subsystem so examples and
+//! downstream users need a single dependency.
+
+pub use adapter;
+pub use bis;
+pub use flowcore;
+pub use patterns;
+pub use soa;
+pub use sqlkernel;
+pub use wf;
+pub use xmlval;

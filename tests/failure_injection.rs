@@ -1,0 +1,199 @@
+//! Failure injection across the stack: a flaky supplier service, faulting
+//! SQL, and the recovery mechanisms the engine provides (scope fault
+//! handlers, cleanup hooks, statement/transaction atomicity).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use flowsql::bis::{
+    BisDeployment, DataSourceRegistry, RetrieveSetActivity, SqlActivity,
+};
+use flowsql::flowcore::builtins::{CopyFrom, Invoke, Scope, Sequence, Snippet};
+use flowsql::flowcore::{Engine, FlowError, Message, ProcessDefinition, Variables};
+use flowsql::patterns::probe::seed_orders;
+use flowsql::sqlkernel::{Database, Value};
+
+/// A supplier that rejects every order for `poison` items.
+fn flaky_supplier_engine(poison: &'static str) -> (Engine, Arc<AtomicUsize>) {
+    let calls = Arc::new(AtomicUsize::new(0));
+    let counter = calls.clone();
+    let mut engine = Engine::new();
+    engine
+        .services_mut()
+        .register_fn(flowsql::patterns::ORDER_FROM_SUPPLIER, move |input: &Message| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            let item = input.scalar_part("ItemType")?.render();
+            if item == poison {
+                return Err(FlowError::fault(
+                    "supplierRejected",
+                    format!("no stock for {item}"),
+                ));
+            }
+            Ok(Message::new().with_part(
+                "Confirmation",
+                Value::Text(format!("confirmed:{item}")),
+            ))
+        });
+    (engine, calls)
+}
+
+#[test]
+fn service_fault_aborts_instance_but_cleanup_still_runs() {
+    let db = Database::new("orders_db");
+    seed_orders(&db);
+    let (engine, calls) = flaky_supplier_engine("sprocket");
+
+    let registry = DataSourceRegistry::new().with(db.clone());
+    let def = flowsql::bis::figure4_process(registry, db.name());
+    let inst = engine.run(&def, Variables::new()).unwrap();
+
+    // Item order is gadget, sprocket, widget → faulted on the second.
+    assert!(inst.is_faulted());
+    assert_eq!(calls.load(Ordering::Relaxed), 2);
+    // gadget's confirmation was recorded before the fault.
+    assert_eq!(db.table_len("OrderConfirmations").unwrap(), 1);
+    // The deployment cleanup still dropped the per-instance result table.
+    assert!(db
+        .table_names()
+        .iter()
+        .all(|t| !t.starts_with("rs_sr_itemlist")));
+}
+
+#[test]
+fn scope_handler_records_failed_orders_and_completes() {
+    let db = Database::new("orders_db");
+    seed_orders(&db);
+    db.connect()
+        .execute(
+            "CREATE TABLE FailedOrders (ItemId TEXT PRIMARY KEY, Reason TEXT)",
+            &[],
+        )
+        .unwrap();
+    let (engine, _) = flaky_supplier_engine("sprocket");
+
+    // A per-item scope: try to order; on supplierRejected, record the
+    // failure through a SQL activity and continue with the next item.
+    let order_item = Scope::new(
+        "order with recovery",
+        Invoke::new("Invoke OrderFromSupplier", flowsql::patterns::ORDER_FROM_SUPPLIER)
+            .input(
+                "ItemType",
+                CopyFrom::path("CurrentItem", "/Row/ItemId").unwrap(),
+            )
+            .input(
+                "Quantity",
+                CopyFrom::path("CurrentItem", "/Row/Quantity").unwrap(),
+            )
+            .output("Confirmation", "OrderConfirmation"),
+    )
+    .catch(
+        "supplierRejected",
+        SqlActivity::new(
+            "record failure",
+            "DS_Orders",
+            "INSERT INTO FailedOrders VALUES (?, ?)",
+        )
+        .param(CopyFrom::path("CurrentItem", "/Row/ItemId").unwrap())
+        .param_var("$faultMessage"),
+    );
+
+    let body = Sequence::new("main")
+        .then(
+            SqlActivity::new("SQL_1", "DS_Orders", flowsql::bis::sample::SQL_1)
+                .result_into("SR_ItemList"),
+        )
+        .then(RetrieveSetActivity::new(
+            "Retrieve Set",
+            "DS_Orders",
+            "SR_ItemList",
+            "SV_ItemList",
+        ))
+        .then(flowsql::bis::cursor_loop(
+            "while",
+            "SV_ItemList",
+            "CurrentItem",
+            order_item,
+        ));
+
+    let def = BisDeployment::new(DataSourceRegistry::new().with(db.clone()))
+        .bind_data_source("DS_Orders", db.name())
+        .input_set("SR_Orders", "Orders")
+        .result_set("SR_ItemList", "DS_Orders", Some("(ItemId TEXT, Quantity INT)"))
+        .deploy(ProcessDefinition::new("resilient order flow", body));
+
+    let inst = engine.run(&def, Variables::new()).unwrap();
+    assert!(inst.is_completed(), "{:?}", inst.outcome);
+
+    let conn = db.connect();
+    let failed = conn
+        .query("SELECT ItemId, Reason FROM FailedOrders", &[])
+        .unwrap();
+    assert_eq!(failed.rows.len(), 1);
+    assert_eq!(failed.rows[0][0], Value::text("sprocket"));
+    assert!(failed.rows[0][1].render().contains("no stock"));
+}
+
+#[test]
+fn sql_fault_mid_loop_leaves_consistent_partial_state() {
+    // The confirmation insert faults on the second iteration (duplicate
+    // key); statement atomicity keeps the table consistent, the audit
+    // trail shows exactly where it stopped.
+    let db = Database::new("orders_db");
+    seed_orders(&db);
+    // Force a duplicate-key collision: pre-insert ConfId 2.
+    db.connect()
+        .execute(
+            "INSERT INTO OrderConfirmations VALUES (2, 'blocker', 0, NULL)",
+            &[],
+        )
+        .unwrap();
+
+    let env_engine = {
+        let (engine, _) = flaky_supplier_engine("nothing-is-poison");
+        engine
+    };
+    let registry = DataSourceRegistry::new().with(db.clone());
+    let def = flowsql::bis::figure4_process(registry, db.name());
+    let inst = env_engine.run(&def, Variables::new()).unwrap();
+    assert!(inst.is_faulted());
+
+    // First iteration (ConfId 1) committed; second (ConfId 2) failed
+    // cleanly; nothing half-written.
+    let conn = db.connect();
+    let rs = conn
+        .query("SELECT COUNT(*) FROM OrderConfirmations WHERE Confirmation IS NOT NULL", &[])
+        .unwrap();
+    assert_eq!(rs.single_value().unwrap(), &Value::Int(1));
+    let faults: Vec<_> = inst
+        .audit
+        .events()
+        .iter()
+        .filter(|e| e.status == flowsql::flowcore::AuditStatus::Faulted)
+        .collect();
+    assert!(!faults.is_empty());
+    assert!(faults.iter().any(|e| e.detail.contains("constraint")));
+}
+
+#[test]
+fn snippet_panic_free_error_propagation_through_layers() {
+    // A snippet that returns an error (not a panic) propagates as a
+    // fault with its message intact through while → sequence → process.
+    let def = ProcessDefinition::new(
+        "deep",
+        Sequence::new("outer").then(Sequence::new("inner").then(Snippet::new(
+            "fails",
+            |_| Err(FlowError::Variable("injected failure".into())),
+        ))),
+    );
+    let inst = Engine::new().run(&def, Variables::new()).unwrap();
+    assert!(inst.is_faulted());
+    assert!(format!("{:?}", inst.outcome).contains("injected failure"));
+    // Every enclosing activity recorded the fault.
+    let fault_count = inst
+        .audit
+        .events()
+        .iter()
+        .filter(|e| e.status == flowsql::flowcore::AuditStatus::Faulted)
+        .count();
+    assert_eq!(fault_count, 4); // snippet + inner + outer + process
+}

@@ -1,0 +1,500 @@
+//! Property-based tests over the workspace's core invariants.
+
+use proptest::prelude::*;
+
+use flowsql::sqlkernel::{DataType, Database, QueryResult, Value};
+use flowsql::wf::{DataAdapter, DataTable};
+use flowsql::xmlval::{self, rowset, Path, XmlNode};
+
+// ---------------------------------------------------------------- strategies
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1.0e12f64..1.0e12).prop_map(Value::Float),
+        "[ -~]{0,24}".prop_map(Value::Text), // printable ASCII incl. quotes/brackets
+    ]
+}
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_]{0,8}".prop_map(|s| s)
+}
+
+fn arb_result() -> impl Strategy<Value = QueryResult> {
+    (1usize..5)
+        .prop_flat_map(|ncols| {
+            (
+                proptest::collection::vec(arb_ident(), ncols..=ncols),
+                proptest::collection::vec(
+                    proptest::collection::vec(arb_value(), ncols..=ncols),
+                    0..8,
+                ),
+            )
+        })
+        .prop_filter("distinct column names", |(cols, _)| {
+            let mut lower: Vec<String> = cols.iter().map(|c| c.to_lowercase()).collect();
+            lower.sort();
+            lower.dedup();
+            lower.len() == cols.len()
+        })
+        .prop_map(|(columns, rows)| QueryResult { columns, rows })
+}
+
+// ---------------------------------------------------------------- value laws
+
+proptest! {
+    #[test]
+    fn total_cmp_is_total_and_antisymmetric(a in arb_value(), b in arb_value()) {
+        let ab = a.total_cmp(&b);
+        let ba = b.total_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+    }
+
+    #[test]
+    fn total_cmp_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering::*;
+        let mut v = [a, b, c];
+        v.sort_by(|x, y| x.total_cmp(y));
+        // sorted order must be internally consistent
+        prop_assert_ne!(v[0].total_cmp(&v[1]), Greater);
+        prop_assert_ne!(v[1].total_cmp(&v[2]), Greater);
+        prop_assert_ne!(v[0].total_cmp(&v[2]), Greater);
+    }
+
+    #[test]
+    fn equality_implies_equal_hashes(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        if a == b {
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+
+    #[test]
+    fn sql_cmp_matches_total_cmp_for_non_null(a in arb_value(), b in arb_value()) {
+        if !a.is_null() && !b.is_null() {
+            prop_assert_eq!(a.sql_cmp(&b), Some(a.total_cmp(&b)));
+        } else {
+            prop_assert_eq!(a.sql_cmp(&b), None);
+        }
+    }
+
+    #[test]
+    fn text_coercion_round_trips(v in arb_value()) {
+        // Coercing to TEXT and back to the original type is lossless for
+        // ints and bools (floats render with enough precision for the
+        // ranges generated here).
+        if let Some(ty) = v.data_type() {
+            let as_text = v.coerce(DataType::Text).unwrap();
+            if ty == DataType::Int || ty == DataType::Bool {
+                prop_assert_eq!(as_text.coerce(ty).unwrap(), v);
+            }
+        }
+    }
+
+    #[test]
+    fn sql_literal_round_trips_through_parser(v in arb_value()) {
+        // to_sql_literal must re-parse to an equal constant.
+        let lit = v.to_sql_literal();
+        let expr = flowsql::sqlkernel::parser::parse_expression(&lit).unwrap();
+        let catalog = flowsql::sqlkernel::catalog::Catalog::new();
+        let ctx = flowsql::sqlkernel::expr::EvalCtx::constant(&catalog, &[]);
+        let back = flowsql::sqlkernel::expr::eval(&expr, &ctx).unwrap();
+        match (&v, &back) {
+            (Value::Float(a), Value::Float(b)) => prop_assert!((a - b).abs() <= a.abs() * 1e-12),
+            _ => prop_assert_eq!(&back, &v),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- rowset codec
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rowset_round_trips(rs in arb_result()) {
+        let xml = rowset::encode(&rs);
+        let back = rowset::decode(&xml).unwrap();
+        prop_assert_eq!(&back.columns, &rs.columns);
+        prop_assert_eq!(back.rows.len(), rs.rows.len());
+        for (a, b) in back.rows.iter().zip(&rs.rows) {
+            for (x, y) in a.iter().zip(b) {
+                match (x, y) {
+                    (Value::Float(p), Value::Float(q)) => {
+                        prop_assert!((p - q).abs() <= q.abs() * 1e-12 + 1e-12)
+                    }
+                    _ => prop_assert_eq!(x, y),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rowset_survives_serialization(rs in arb_result()) {
+        let text = rowset::encode(&rs).to_pretty_xml();
+        let parsed = xmlval::parse(&text).unwrap();
+        let back = rowset::decode(&XmlNode::Element(parsed)).unwrap();
+        prop_assert_eq!(back.rows.len(), rs.rows.len());
+        prop_assert_eq!(&back.columns, &rs.columns);
+    }
+
+    #[test]
+    fn row_count_consistent(rs in arb_result()) {
+        let xml = rowset::encode(&rs);
+        prop_assert_eq!(rowset::row_count(&xml), rs.rows.len());
+    }
+}
+
+// ---------------------------------------------------------------- LIKE
+
+proptest! {
+    #[test]
+    fn like_self_match(s in "[a-z]{0,12}") {
+        prop_assert!(flowsql::sqlkernel::expr::like_match(&s, &s));
+    }
+
+    #[test]
+    fn like_percent_prefix_suffix(s in "[a-z]{0,12}", pre in "[a-z]{0,4}", suf in "[a-z]{0,4}") {
+        let full = format!("{pre}{s}{suf}");
+        let pat = format!("%{s}%");
+        prop_assert!(flowsql::sqlkernel::expr::like_match(&full, &pat));
+        let pat2 = format!("{pre}%{suf}");
+        prop_assert!(flowsql::sqlkernel::expr::like_match(&full, &pat2));
+    }
+
+    #[test]
+    fn like_underscore_matches_any_single(s in "[a-z]{1,12}", idx in 0usize..12) {
+        let idx = idx % s.len();
+        let mut pattern: Vec<char> = s.chars().collect();
+        pattern[idx] = '_';
+        let pattern: String = pattern.into_iter().collect();
+        prop_assert!(flowsql::sqlkernel::expr::like_match(&s, &pattern));
+    }
+}
+
+// ---------------------------------------------------------------- DataSet model
+
+// Model-based test: a random operation sequence applied to both a
+// `DataTable` and a plain vector model must agree — and after
+// `DataAdapter::update`, the backing SQL table must equal the model too.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dataset_agrees_with_model_and_adapter_syncs(
+        ops in proptest::collection::vec((0u8..4, any::<u16>(), any::<i32>()), 0..24)
+    ) {
+        let db = Database::new("m");
+        let conn = db.connect();
+        conn.execute_script(
+            "CREATE TABLE t (id INT PRIMARY KEY, v INT);
+             INSERT INTO t VALUES (1, 10), (2, 20), (3, 30), (4, 40);",
+        ).unwrap();
+        let rs = conn.query("SELECT id, v FROM t ORDER BY id", &[]).unwrap();
+        let mut table = DataTable::from_result("t", &rs);
+        table.set_key_columns(&["id"]).unwrap();
+        let mut model: Vec<(i64, i64)> = vec![(1, 10), (2, 20), (3, 30), (4, 40)];
+        let mut next_id = 100i64;
+
+        for (op, pick, val) in ops {
+            match op {
+                0 if !model.is_empty() => {
+                    // update v of a random live row
+                    let i = pick as usize % model.len();
+                    table.set_cell(i, "v", Value::Int(val as i64)).unwrap();
+                    model[i].1 = val as i64;
+                }
+                1 if !model.is_empty() => {
+                    // delete a random live row
+                    let i = pick as usize % model.len();
+                    table.delete_row(i).unwrap();
+                    model.remove(i);
+                }
+                2 => {
+                    // append a new row
+                    table.add_row(vec![Value::Int(next_id), Value::Int(val as i64)]).unwrap();
+                    model.push((next_id, val as i64));
+                    next_id += 1;
+                }
+                _ => {} // no-op
+            }
+            // Cache view matches the model at every step.
+            let live: Vec<(i64, i64)> = table
+                .live_rows()
+                .map(|r| (r.values()[0].as_i64().unwrap(), r.values()[1].as_i64().unwrap()))
+                .collect();
+            prop_assert_eq!(&live, &model);
+        }
+
+        // Sync back and compare the database to the model.
+        DataAdapter::update(&conn, &mut table, "t").unwrap();
+        let mut want = model.clone();
+        want.sort();
+        let got: Vec<(i64, i64)> = conn
+            .query("SELECT id, v FROM t ORDER BY id", &[])
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| (r[0].as_i64().unwrap(), r[1].as_i64().unwrap()))
+            .collect();
+        prop_assert_eq!(got, want);
+        // And the cache is clean afterwards.
+        prop_assert!(table.changes().is_empty());
+    }
+}
+
+// ---------------------------------------------------------------- paths
+
+proptest! {
+    #[test]
+    fn path_display_round_trips(
+        names in proptest::collection::vec("[A-Za-z][A-Za-z0-9]{0,6}", 1..4),
+        idx in proptest::option::of(1usize..9),
+        absolute in any::<bool>(),
+    ) {
+        let mut src = String::new();
+        if absolute { src.push('/'); }
+        src.push_str(&names.join("/"));
+        if let Some(i) = idx { src.push_str(&format!("[{i}]")); }
+        let p = Path::parse(&src).unwrap();
+        let p2 = Path::parse(&p.to_string()).unwrap();
+        prop_assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn chains_and_elements_agree(nrows in 0usize..8, pick in 1usize..9) {
+        let rs = QueryResult {
+            columns: vec!["a".into()],
+            rows: (0..nrows).map(|i| vec![Value::Int(i as i64)]).collect(),
+        };
+        let xml = rowset::encode(&rs);
+        let root = xml.as_element().unwrap();
+        for src in [
+            "/RowSet/Row".to_string(),
+            format!("/RowSet/Row[{pick}]"),
+            format!("/RowSet/Row[{pick}]/a"),
+            "/RowSet/*/a".to_string(),
+        ] {
+            let p = Path::parse(&src).unwrap();
+            let elements = p.select_elements(root);
+            let chains = p.select_chains(root).unwrap();
+            prop_assert_eq!(elements.len(), chains.len());
+            for (el, chain) in elements.iter().zip(&chains) {
+                let via_chain = xmlval::path::element_by_chain(root, chain).unwrap();
+                prop_assert_eq!(*el, via_chain);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- transactions
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Any sequence of DML inside BEGIN…ROLLBACK leaves the table exactly
+    // as it was (transaction atomicity over the undo log).
+    #[test]
+    fn rollback_restores_exact_state(
+        ops in proptest::collection::vec((0u8..3, any::<u8>(), any::<i16>()), 1..16)
+    ) {
+        let db = Database::new("txn");
+        let conn = db.connect();
+        conn.execute_script(
+            "CREATE TABLE t (id INT PRIMARY KEY, v INT);
+             INSERT INTO t VALUES (1, 1), (2, 2), (3, 3);",
+        ).unwrap();
+        let before = conn.query("SELECT * FROM t ORDER BY id", &[]).unwrap();
+
+        conn.execute("BEGIN", &[]).unwrap();
+        let mut next = 1000i64;
+        for (op, pick, val) in ops {
+            let r = match op {
+                0 => {
+                    next += 1;
+                    conn.execute(
+                        "INSERT INTO t VALUES (?, ?)",
+                        &[Value::Int(next), Value::Int(val as i64)],
+                    )
+                }
+                1 => conn.execute(
+                    "UPDATE t SET v = ? WHERE id % 3 = ?",
+                    &[Value::Int(val as i64), Value::Int((pick % 3) as i64)],
+                ),
+                _ => conn.execute(
+                    "DELETE FROM t WHERE id % 5 = ?",
+                    &[Value::Int((pick % 5) as i64)],
+                ),
+            };
+            prop_assert!(r.is_ok());
+        }
+        conn.execute("ROLLBACK", &[]).unwrap();
+
+        let after = conn.query("SELECT * FROM t ORDER BY id", &[]).unwrap();
+        prop_assert_eq!(before, after);
+    }
+
+    // ORDER BY produces rows sorted under the engine's total order.
+    #[test]
+    fn order_by_sorts(values in proptest::collection::vec(arb_value(), 0..20)) {
+        let db = Database::new("sort");
+        let conn = db.connect();
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)", &[]).unwrap();
+        for (i, v) in values.iter().enumerate() {
+            let as_text = match v {
+                Value::Null => Value::Null,
+                other => other.coerce(DataType::Text).unwrap(),
+            };
+            conn.execute(
+                "INSERT INTO t VALUES (?, ?)",
+                &[Value::Int(i as i64), as_text],
+            ).unwrap();
+        }
+        let rs = conn.query("SELECT v FROM t ORDER BY v", &[]).unwrap();
+        for w in rs.rows.windows(2) {
+            prop_assert_ne!(w[0][0].total_cmp(&w[1][0]), std::cmp::Ordering::Greater);
+        }
+        prop_assert_eq!(rs.rows.len(), values.len());
+    }
+}
+
+// ---------------------------------------------------------------- executor vs model
+
+// The SQL executor compared against a hand-rolled reference model on
+// random data: filtering with three-valued logic, grouped aggregation,
+// DISTINCT, and UNION semantics.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn where_filter_matches_model(
+        rows in proptest::collection::vec(
+            (0i64..20, proptest::option::of(-5i64..15)), 0..30),
+        threshold in -5i64..15,
+    ) {
+        let db = Database::new("model1");
+        let conn = db.connect();
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)", &[]).unwrap();
+        for (i, (_, v)) in rows.iter().enumerate() {
+            conn.execute(
+                "INSERT INTO t VALUES (?, ?)",
+                &[Value::Int(i as i64), v.map(Value::Int).unwrap_or(Value::Null)],
+            ).unwrap();
+        }
+        let got = conn
+            .query("SELECT id FROM t WHERE v > ? ORDER BY id", &[Value::Int(threshold)])
+            .unwrap();
+        // Model: NULL comparisons are unknown → row dropped.
+        let want: Vec<i64> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, v))| v.is_some_and(|x| x > threshold))
+            .map(|(i, _)| i as i64)
+            .collect();
+        let got_ids: Vec<i64> = got.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        prop_assert_eq!(got_ids, want);
+    }
+
+    #[test]
+    fn group_by_sum_matches_model(
+        rows in proptest::collection::vec((0i64..5, -100i64..100), 0..40),
+    ) {
+        let db = Database::new("model2");
+        let conn = db.connect();
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, grp INT, v INT)", &[]).unwrap();
+        for (i, (g, v)) in rows.iter().enumerate() {
+            conn.execute(
+                "INSERT INTO t VALUES (?, ?, ?)",
+                &[Value::Int(i as i64), Value::Int(*g), Value::Int(*v)],
+            ).unwrap();
+        }
+        let got = conn
+            .query("SELECT grp, SUM(v), COUNT(*) FROM t GROUP BY grp ORDER BY grp", &[])
+            .unwrap();
+        let mut model: std::collections::BTreeMap<i64, (i64, i64)> = Default::default();
+        for (g, v) in &rows {
+            let e = model.entry(*g).or_insert((0, 0));
+            e.0 += v;
+            e.1 += 1;
+        }
+        prop_assert_eq!(got.rows.len(), model.len());
+        for row in &got.rows {
+            let g = row[0].as_i64().unwrap();
+            let (sum, count) = model[&g];
+            prop_assert_eq!(row[1].as_i64().unwrap(), sum);
+            prop_assert_eq!(row[2].as_i64().unwrap(), count);
+        }
+    }
+
+    #[test]
+    fn distinct_and_union_match_model(
+        left in proptest::collection::vec(0i64..8, 0..20),
+        right in proptest::collection::vec(0i64..8, 0..20),
+    ) {
+        let db = Database::new("model3");
+        let conn = db.connect();
+        conn.execute("CREATE TABLE a (id INT PRIMARY KEY, v INT)", &[]).unwrap();
+        conn.execute("CREATE TABLE b (id INT PRIMARY KEY, v INT)", &[]).unwrap();
+        for (i, v) in left.iter().enumerate() {
+            conn.execute("INSERT INTO a VALUES (?, ?)", &[Value::Int(i as i64), Value::Int(*v)]).unwrap();
+        }
+        for (i, v) in right.iter().enumerate() {
+            conn.execute("INSERT INTO b VALUES (?, ?)", &[Value::Int(i as i64), Value::Int(*v)]).unwrap();
+        }
+
+        // DISTINCT = set semantics.
+        let got = conn.query("SELECT DISTINCT v FROM a ORDER BY v", &[]).unwrap();
+        let mut want: Vec<i64> = left.clone();
+        want.sort_unstable();
+        want.dedup();
+        let got_vals: Vec<i64> = got.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        prop_assert_eq!(&got_vals, &want);
+
+        // UNION dedupes across both arms; UNION ALL concatenates.
+        let got = conn
+            .query("SELECT v FROM a UNION SELECT v FROM b ORDER BY v", &[])
+            .unwrap();
+        let mut union_want: Vec<i64> = left.iter().chain(right.iter()).copied().collect();
+        union_want.sort_unstable();
+        union_want.dedup();
+        let got_vals: Vec<i64> = got.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        prop_assert_eq!(&got_vals, &union_want);
+
+        let got = conn
+            .query("SELECT v FROM a UNION ALL SELECT v FROM b", &[])
+            .unwrap();
+        prop_assert_eq!(got.rows.len(), left.len() + right.len());
+    }
+
+    #[test]
+    fn inner_join_matches_nested_loop_model(
+        left in proptest::collection::vec(0i64..6, 0..12),
+        right in proptest::collection::vec(0i64..6, 0..12),
+    ) {
+        let db = Database::new("model4");
+        let conn = db.connect();
+        conn.execute("CREATE TABLE l (id INT PRIMARY KEY, k INT)", &[]).unwrap();
+        conn.execute("CREATE TABLE r (id INT PRIMARY KEY, k INT)", &[]).unwrap();
+        for (i, v) in left.iter().enumerate() {
+            conn.execute("INSERT INTO l VALUES (?, ?)", &[Value::Int(i as i64), Value::Int(*v)]).unwrap();
+        }
+        for (i, v) in right.iter().enumerate() {
+            conn.execute("INSERT INTO r VALUES (?, ?)", &[Value::Int(i as i64), Value::Int(*v)]).unwrap();
+        }
+        let got = conn
+            .query("SELECT COUNT(*) FROM l JOIN r ON l.k = r.k", &[])
+            .unwrap();
+        let want: usize = left
+            .iter()
+            .map(|lk| right.iter().filter(|rk| *rk == lk).count())
+            .sum();
+        prop_assert_eq!(got.single_value().unwrap().as_i64().unwrap(), want as i64);
+    }
+}

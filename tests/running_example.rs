@@ -1,0 +1,178 @@
+//! Cross-stack integration: the paper's running example must produce the
+//! *same observable result* on all three SQL-integration styles and the
+//! adapter baseline, while exhibiting each product's characteristic
+//! activity mix.
+
+use flowsql::adapter;
+use flowsql::bis;
+use flowsql::flowcore::{AuditStatus, Engine, Variables};
+use flowsql::patterns::probe::{expected_item_list, ProbeEnv};
+use flowsql::soa;
+use flowsql::sqlkernel::Value;
+use flowsql::wf;
+
+/// Final confirmations table, normalized.
+fn confirmations(env: &ProbeEnv) -> Vec<(String, i64, String)> {
+    env.db
+        .connect()
+        .query(
+            "SELECT ItemId, Quantity, Confirmation FROM OrderConfirmations ORDER BY ItemId",
+            &[],
+        )
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| (r[0].render(), r[1].as_i64().unwrap(), r[2].render()))
+        .collect()
+}
+
+fn expected() -> Vec<(String, i64, String)> {
+    expected_item_list()
+        .into_iter()
+        .map(|(item, qty)| (item.to_string(), qty, format!("confirmed:{item}:{qty}")))
+        .collect()
+}
+
+#[test]
+fn all_four_realizations_agree() {
+    // BIS (Fig. 4)
+    let env = ProbeEnv::fresh();
+    let registry = bis::DataSourceRegistry::new().with(env.db.clone());
+    let inst = env
+        .engine
+        .run(
+            &bis::figure4_process(registry, env.db.name()),
+            Variables::new(),
+        )
+        .unwrap();
+    assert!(inst.is_completed(), "BIS: {:?}", inst.outcome);
+    let bis_result = confirmations(&env);
+
+    // WF (Fig. 6)
+    let env = ProbeEnv::fresh();
+    let inst = env
+        .engine
+        .run(&wf::figure6_process(env.db.clone()), Variables::new())
+        .unwrap();
+    assert!(inst.is_completed(), "WF: {:?}", inst.outcome);
+    let wf_result = confirmations(&env);
+
+    // SOA (Fig. 8)
+    let env = ProbeEnv::fresh();
+    let inst = env
+        .engine
+        .run(&soa::figure8_process(env.db.clone()), Variables::new())
+        .unwrap();
+    assert!(inst.is_completed(), "SOA: {:?}", inst.outcome);
+    let soa_result = confirmations(&env);
+
+    // Adapter baseline
+    let env = ProbeEnv::fresh();
+    let mut engine = Engine::with_services(env.engine.services().clone());
+    adapter::register_data_adapter(engine.services_mut(), "ds", env.db.clone());
+    let inst = engine
+        .run(&adapter::sample_process_via_adapter("ds"), Variables::new())
+        .unwrap();
+    assert!(inst.is_completed(), "adapter: {:?}", inst.outcome);
+    let adapter_result = confirmations(&env);
+
+    let want = expected();
+    assert_eq!(bis_result, want);
+    assert_eq!(wf_result, want);
+    assert_eq!(soa_result, want);
+    assert_eq!(adapter_result, want);
+}
+
+#[test]
+fn each_stack_has_its_characteristic_activity_mix() {
+    // BIS: sql + retrieveSet + java-snippet, no sqlDatabase.
+    let env = ProbeEnv::fresh();
+    let registry = bis::DataSourceRegistry::new().with(env.db.clone());
+    let inst = env
+        .engine
+        .run(
+            &bis::figure4_process(registry, env.db.name()),
+            Variables::new(),
+        )
+        .unwrap();
+    let kinds: Vec<&str> = inst
+        .audit
+        .events()
+        .iter()
+        .map(|e| e.kind.as_str())
+        .collect();
+    assert!(kinds.contains(&"sql"));
+    assert!(kinds.contains(&"retrieveSet"));
+    assert!(kinds.contains(&"java-snippet"));
+    assert!(!kinds.contains(&"sqlDatabase"));
+
+    // WF: sqlDatabase + code, no sql / retrieveSet / java-snippet.
+    let env = ProbeEnv::fresh();
+    let inst = env
+        .engine
+        .run(&wf::figure6_process(env.db.clone()), Variables::new())
+        .unwrap();
+    let kinds: Vec<&str> = inst
+        .audit
+        .events()
+        .iter()
+        .map(|e| e.kind.as_str())
+        .collect();
+    assert!(kinds.contains(&"sqlDatabase"));
+    assert!(kinds.contains(&"code"));
+    assert!(!kinds.contains(&"sql"));
+    assert!(!kinds.contains(&"retrieveSet"));
+    assert!(!kinds.contains(&"java-snippet"));
+
+    // SOA: assign hosts the SQL; java-snippet for the cursor.
+    let env = ProbeEnv::fresh();
+    let inst = env
+        .engine
+        .run(&soa::figure8_process(env.db.clone()), Variables::new())
+        .unwrap();
+    let kinds: Vec<&str> = inst
+        .audit
+        .events()
+        .iter()
+        .map(|e| e.kind.as_str())
+        .collect();
+    assert!(kinds.contains(&"assign"));
+    assert!(kinds.contains(&"java-snippet"));
+    assert!(!kinds.contains(&"sql"));
+    assert!(!kinds.contains(&"sqlDatabase"));
+}
+
+#[test]
+fn audit_trails_are_complete_and_balanced() {
+    let env = ProbeEnv::fresh();
+    let registry = bis::DataSourceRegistry::new().with(env.db.clone());
+    let inst = env
+        .engine
+        .run(
+            &bis::figure4_process(registry, env.db.name()),
+            Variables::new(),
+        )
+        .unwrap();
+    let started = inst.audit.with_status(AuditStatus::Started).count();
+    let completed = inst.audit.with_status(AuditStatus::Completed).count();
+    let faulted = inst.audit.with_status(AuditStatus::Faulted).count();
+    assert_eq!(started, completed);
+    assert_eq!(faulted, 0);
+}
+
+#[test]
+fn running_example_is_idempotent_per_fresh_env_and_cumulative_within_one() {
+    let env = ProbeEnv::fresh();
+    let def = wf::figure6_process(env.db.clone());
+    env.engine.run(&def, Variables::new()).unwrap();
+    env.engine.run(&def, Variables::new()).unwrap();
+    // Confirmations accumulate in the persistent table (6 = 2 runs × 3).
+    assert_eq!(env.db.table_len("OrderConfirmations").unwrap(), 6);
+    // All ConfIds distinct thanks to the sequence.
+    let rs = env
+        .db
+        .connect()
+        .query("SELECT COUNT(DISTINCT ConfId) FROM OrderConfirmations", &[])
+        .unwrap();
+    assert_eq!(rs.single_value().unwrap(), &Value::Int(6));
+}
