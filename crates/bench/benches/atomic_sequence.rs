@@ -7,7 +7,7 @@
 //! connection/transaction setup, winning modestly and increasingly with
 //! k.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bis::{AtomicSqlSequence, BisDeployment, DataSourceRegistry, SqlActivity};
 use flowcore::builtins::Sequence;

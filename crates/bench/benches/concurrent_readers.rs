@@ -1,0 +1,42 @@
+//! Concurrent read scaling: N reader threads over one shared database.
+//!
+//! The `sqlkernel` catalog sits behind a reader-writer lock, so SELECTs
+//! from independent connections execute concurrently. This bench runs
+//! the standard aggregation probe from 1/2/4/8 threads against a seeded
+//! orders database; per-thread latency should stay roughly flat as the
+//! thread count grows (reads do not serialize).
+
+use bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const QUERY: &str =
+    "SELECT ItemId, SUM(Quantity) FROM Orders WHERE Approved = TRUE GROUP BY ItemId";
+
+fn bench(c: &mut Criterion) {
+    let db = bench::seeded_orders_db("readers", 2_000);
+    let mut group = c.benchmark_group("concurrent_readers");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                // One timed unit = every thread completing one query.
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        for _ in 0..threads {
+                            let conn = db.connect();
+                            s.spawn(move || {
+                                black_box(conn.query(QUERY, &[]).unwrap());
+                            });
+                        }
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

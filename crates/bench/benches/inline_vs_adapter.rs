@@ -8,7 +8,7 @@
 //! result size (the envelope is O(result bytes)).
 
 use adapter::{build_request, parse_response, AdapterResponse, DataAdapterService};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

@@ -10,7 +10,7 @@
 //! (WF), XML RowSet + XSQL page parsing (SOA), envelope marshalling
 //! (adapter).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use flowcore::{Engine, Variables};
 use patterns::probe::ProbeEnv;

@@ -15,7 +15,7 @@
 //! Expected shape (paper claim): by-reference stays nearly flat with row
 //! count, by-value grows linearly and loses by a widening factor.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

@@ -12,7 +12,7 @@
 //! Expected shape: DataSet access is cheaper than XML-tree access (no
 //! tree navigation), and random XPath access costs O(k) in the row index.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sqlkernel::{QueryResult, Value};
 use std::hint::black_box;
 use wf::{DataSet, DataTable};

@@ -1,7 +1,7 @@
 //! Substrate sanity benchmarks: parser, executor, DML and index paths of
 //! the `sqlkernel` engine (BENCH-SQLKERNEL in DESIGN.md).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sqlkernel::{parser::parse_statement, Value};
 use std::hint::black_box;
 

@@ -1,9 +1,11 @@
 //! Shared harness for the table/figure regeneration binaries and the
-//! Criterion benchmarks.
+//! benchmark targets.
+
+pub mod harness;
+pub mod rng;
 
 use patterns::SqlIntegration;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rng::SplitMix64;
 use sqlkernel::{Database, Value};
 
 /// All three surveyed products, in Table order.
@@ -39,13 +41,13 @@ pub fn seeded_orders_db(name: &str, n_orders: usize) -> Database {
          CREATE SEQUENCE conf_ids START WITH 1;",
     )
     .expect("schema is valid");
-    let mut rng = StdRng::seed_from_u64(0x5EED + n_orders as u64);
+    let mut rng = SplitMix64::seed_from_u64(0x5EED + n_orders as u64);
     let insert = conn
         .prepare("INSERT INTO Orders VALUES (?, ?, ?, ?)")
         .expect("valid insert");
     for i in 0..n_orders {
         let item = ITEM_TYPES[rng.gen_range(0..ITEM_TYPES.len())];
-        let qty = rng.gen_range(1..50i64);
+        let qty = rng.gen_range(1i64..50);
         let approved = rng.gen_bool(0.7);
         conn.execute_prepared(
             &insert,
@@ -76,7 +78,7 @@ pub fn seeded_wide_db(name: &str, n_rows: usize) -> Database {
         &[],
     )
     .expect("valid ddl");
-    let mut rng = StdRng::seed_from_u64(0xDA7A + n_rows as u64);
+    let mut rng = SplitMix64::seed_from_u64(0xDA7A + n_rows as u64);
     let insert = conn
         .prepare("INSERT INTO src VALUES (?, ?, ?, ?, ?)")
         .expect("valid");
@@ -86,9 +88,9 @@ pub fn seeded_wide_db(name: &str, n_rows: usize) -> Database {
             &[
                 Value::Int(i as i64),
                 Value::Text(format!("payload-{i:06}")),
-                Value::Int(rng.gen_range(0..1000)),
-                Value::Float(rng.gen_range(0.0..1.0)),
-                Value::Text(format!("tail-{}", rng.gen_range(0..100))),
+                Value::Int(rng.gen_range(0i64..1000)),
+                Value::Float(rng.gen_range(0.0f64..1.0)),
+                Value::Text(format!("tail-{}", rng.gen_range(0i64..100))),
             ],
         )
         .expect("insert succeeds");

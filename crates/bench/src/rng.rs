@@ -1,0 +1,110 @@
+//! Small deterministic PRNG for synthetic workloads.
+//!
+//! SplitMix64 — the same generator commonly used to seed xoshiro — is
+//! statistically adequate for workload synthesis and keeps the workspace
+//! free of external crates. Determinism is the property the benches rely
+//! on: the same seed always yields the same dataset.
+
+use std::ops::Range;
+
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)` from the high 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    pub fn gen_range<T: UniformRange>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait UniformRange: Sized {
+    fn sample(rng: &mut SplitMix64, range: Range<Self>) -> Self;
+}
+
+impl UniformRange for u64 {
+    fn sample(rng: &mut SplitMix64, range: Range<Self>) -> Self {
+        let span = range.end - range.start;
+        assert!(span > 0, "empty range");
+        // Rejection-free modulo is fine here: spans are tiny relative to
+        // 2^64, so the bias is negligible for synthetic data.
+        range.start + rng.next_u64() % span
+    }
+}
+
+impl UniformRange for i64 {
+    fn sample(rng: &mut SplitMix64, range: Range<Self>) -> Self {
+        let span = (range.end - range.start) as u64;
+        assert!(span > 0, "empty range");
+        range.start + (rng.next_u64() % span) as i64
+    }
+}
+
+impl UniformRange for usize {
+    fn sample(rng: &mut SplitMix64, range: Range<Self>) -> Self {
+        let span = (range.end - range.start) as u64;
+        assert!(span > 0, "empty range");
+        range.start + (rng.next_u64() % span) as usize
+    }
+}
+
+impl UniformRange for f64 {
+    fn sample(rng: &mut SplitMix64, range: Range<Self>) -> Self {
+        range.start + rng.next_f64() * (range.end - range.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SplitMix64::seed_from_u64(7);
+        for _ in 0..1000 {
+            let u = r.gen_range(3usize..10);
+            assert!((3..10).contains(&u));
+            let i = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+            let f = r.gen_range(0.0f64..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut r = SplitMix64::seed_from_u64(99);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.7)).count();
+        assert!((6_500..7_500).contains(&hits), "hits = {hits}");
+    }
+}

@@ -67,6 +67,57 @@ pub fn execute_on_data_source(
     }
 }
 
+/// Execute one parameterized statement once per binding in `rows`,
+/// preparing the plan a single time. This is the runtime half of the
+/// paper's deployment-time preparation: the SQL text is parsed once and
+/// the cached plan is re-bound for every row. Transaction routing
+/// matches [`execute_on_data_source`] — an active atomic scope funnels
+/// every binding through the open transactional connection.
+pub fn execute_many_on_data_source(
+    ctx: &mut ActivityContext<'_>,
+    data_source_var: &str,
+    sql: &str,
+    rows: &[Vec<Value>],
+) -> FlowResult<usize> {
+    let conn_string = ctx
+        .variables
+        .require_scalar(data_source_var)?
+        .as_str()
+        .ok_or_else(|| {
+            FlowError::Variable(format!(
+                "data source variable '{data_source_var}' must hold a connection string"
+            ))
+        })?
+        .to_string();
+    let runtime = ctx
+        .extensions
+        .get_mut::<BisRuntime>()
+        .ok_or_else(|| FlowError::Definition("BIS runtime not installed".into()))?;
+    let db = runtime.registry.resolve(&conn_string)?.clone();
+    if runtime.atomic_active {
+        let conn = runtime
+            .atomic_connections
+            .entry(db.name().to_string())
+            .or_insert_with(|| {
+                let c = db.connect();
+                c.execute("BEGIN", &[])
+                    .expect("BEGIN on a fresh connection cannot fail");
+                c
+            });
+        let prepared = conn.prepare(sql)?;
+        for row in rows {
+            conn.execute_prepared(&prepared, row)?;
+        }
+    } else {
+        let conn = db.connect();
+        let prepared = conn.prepare(sql)?;
+        for row in rows {
+            conn.execute_prepared(&prepared, row)?;
+        }
+    }
+    Ok(rows.len())
+}
+
 /// The SQL activity: embeds one SQL statement — query, DML, DDL or stored
 /// procedure call — that is sent to the referenced database system and
 /// processed there. Query / CALL results are **not** passed into the
@@ -234,9 +285,7 @@ fn store_result_externally(
     }
     let placeholders = vec!["?"; rs.columns.len()].join(", ");
     let insert = format!("INSERT INTO {table} VALUES ({placeholders})");
-    for row in &rs.rows {
-        execute_on_data_source(ctx, data_source_var, &insert, row)?;
-    }
+    execute_many_on_data_source(ctx, data_source_var, &insert, &rs.rows)?;
     Ok(())
 }
 

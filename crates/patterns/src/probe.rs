@@ -90,7 +90,7 @@ pub struct ProbeEnv {
     /// The workflow engine with `OrderFromSupplier` registered.
     pub engine: Engine,
     /// Confirmations issued by the supplier service during this probe.
-    confirmations: std::sync::Arc<parking_lot::Mutex<Vec<String>>>,
+    confirmations: std::sync::Arc<sqlkernel::sync::Mutex<Vec<String>>>,
 }
 
 impl ProbeEnv {
@@ -101,7 +101,7 @@ impl ProbeEnv {
         let alt_db = Database::new("orders_db_test");
         seed_orders(&alt_db);
 
-        let confirmations = std::sync::Arc::new(parking_lot::Mutex::new(Vec::<String>::new()));
+        let confirmations = std::sync::Arc::new(sqlkernel::sync::Mutex::new(Vec::<String>::new()));
         let mut services = ServiceRegistry::new();
         let log = confirmations.clone();
         services.register_fn(ORDER_FROM_SUPPLIER, move |input: &Message| {

@@ -111,6 +111,158 @@ impl Statement {
                 | Statement::DropView { .. }
         )
     }
+
+    /// Lowercased names of catalog objects (tables, views, sequences,
+    /// procedures) this statement reads or writes, including those reached
+    /// through subqueries, `UNION` arms, and `NEXTVAL('seq')` calls. The
+    /// statement cache keys eviction on these names: when DDL touches an
+    /// object, every cached plan that mentions it is dropped.
+    pub fn referenced_objects(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        collect_statement_objects(self, &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Lowercased names of catalog objects this statement creates or
+    /// drops. For index DDL the owning table is included too, so plans
+    /// over that table are re-planned against the new access paths.
+    pub fn ddl_targets(&self) -> Vec<String> {
+        let mut out: Vec<String> = match self {
+            Statement::CreateTable(c) => vec![c.name.clone()],
+            Statement::DropTable { name, .. }
+            | Statement::DropIndex { name, .. }
+            | Statement::CreateSequence { name, .. }
+            | Statement::DropSequence { name, .. }
+            | Statement::DropProcedure { name, .. }
+            | Statement::CreateView { name, .. }
+            | Statement::DropView { name, .. } => vec![name.clone()],
+            Statement::CreateIndex { name, table, .. } => {
+                vec![name.clone(), table.clone()]
+            }
+            Statement::CreateProcedure(p) => {
+                // Creating a procedure shadows nothing, but its body's DDL
+                // targets matter when the procedure itself runs; the CALL
+                // path asks for those separately. Here only the name.
+                vec![p.name.clone()]
+            }
+            _ => Vec::new(),
+        };
+        for n in &mut out {
+            n.make_ascii_lowercase();
+        }
+        out
+    }
+}
+
+fn collect_statement_objects(stmt: &Statement, out: &mut Vec<String>) {
+    match stmt {
+        Statement::Select(s) => collect_select_objects(s, out),
+        Statement::Insert(s) => {
+            out.push(s.table.to_ascii_lowercase());
+            match &s.source {
+                InsertSource::Values(rows) => {
+                    for row in rows {
+                        for e in row {
+                            collect_expr_objects(e, out);
+                        }
+                    }
+                }
+                InsertSource::Select(sel) => collect_select_objects(sel, out),
+            }
+        }
+        Statement::Update(s) => {
+            out.push(s.table.to_ascii_lowercase());
+            for (_, e) in &s.assignments {
+                collect_expr_objects(e, out);
+            }
+            if let Some(w) = &s.where_clause {
+                collect_expr_objects(w, out);
+            }
+        }
+        Statement::Delete(s) => {
+            out.push(s.table.to_ascii_lowercase());
+            if let Some(w) = &s.where_clause {
+                collect_expr_objects(w, out);
+            }
+        }
+        Statement::Call { name, args } => {
+            out.push(name.to_ascii_lowercase());
+            for a in args {
+                collect_expr_objects(a, out);
+            }
+        }
+        Statement::CreateView { query, .. } => collect_select_objects(query, out),
+        Statement::CreateProcedure(p) => {
+            for s in &p.body {
+                collect_statement_objects(s, out);
+            }
+        }
+        // DDL and transaction control reference only their own targets.
+        other => out.extend(other.ddl_targets()),
+    }
+}
+
+fn collect_select_objects(stmt: &SelectStmt, out: &mut Vec<String>) {
+    if let Some(from) = &stmt.from {
+        collect_table_ref_objects(&from.base, out);
+        for join in &from.joins {
+            collect_table_ref_objects(&join.table, out);
+            if let Some(on) = &join.on {
+                collect_expr_objects(on, out);
+            }
+        }
+    }
+    for item in &stmt.projections {
+        if let SelectItem::Expr { expr, .. } = item {
+            collect_expr_objects(expr, out);
+        }
+    }
+    if let Some(w) = &stmt.where_clause {
+        collect_expr_objects(w, out);
+    }
+    for g in &stmt.group_by {
+        collect_expr_objects(g, out);
+    }
+    if let Some(h) = &stmt.having {
+        collect_expr_objects(h, out);
+    }
+    for arm in &stmt.unions {
+        collect_select_objects(&arm.select, out);
+    }
+    for o in &stmt.order_by {
+        collect_expr_objects(&o.expr, out);
+    }
+    if let Some(l) = &stmt.limit {
+        collect_expr_objects(l, out);
+    }
+    if let Some(o) = &stmt.offset {
+        collect_expr_objects(o, out);
+    }
+}
+
+fn collect_table_ref_objects(tref: &TableRef, out: &mut Vec<String>) {
+    match &tref.source {
+        TableSource::Named(n) => out.push(n.to_ascii_lowercase()),
+        TableSource::Subquery(sub) => collect_select_objects(sub, out),
+    }
+}
+
+fn collect_expr_objects(e: &Expr, out: &mut Vec<String>) {
+    // `Expr::walk` deliberately does not descend into subqueries, so
+    // handle those variants here and recurse into their SELECT bodies.
+    e.walk(&mut |node| match node {
+        Expr::InSubquery { subquery, .. }
+        | Expr::Exists { subquery, .. }
+        | Expr::ScalarSubquery(subquery) => collect_select_objects(subquery, out),
+        Expr::Function { name, args, .. } if name.eq_ignore_ascii_case("NEXTVAL") => {
+            if let Some(Expr::Literal(Value::Text(seq))) = args.first() {
+                out.push(seq.to_ascii_lowercase());
+            }
+        }
+        _ => {}
+    });
 }
 
 /// `SELECT` statement (also used as subquery).

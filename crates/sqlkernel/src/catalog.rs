@@ -3,6 +3,7 @@
 
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 use crate::ast::{CreateProcedureStmt, SelectStmt};
 use crate::error::{SqlError, SqlResult};
@@ -12,12 +13,13 @@ use crate::storage::Table;
 ///
 /// Like the sequence objects of commercial engines (and unlike row data),
 /// sequence advancement is **non-transactional**: a rolled-back transaction
-/// does not give values back. `Cell` keeps advancement possible from the
-/// shared-reference expression evaluator.
+/// does not give values back. The counter is atomic so that `NEXTVAL` can
+/// advance from the read-locked (shared) query path: many concurrent
+/// readers still draw unique values.
 #[derive(Debug)]
 pub struct Sequence {
     pub name: String,
-    next: Cell<i64>,
+    next: AtomicI64,
     pub increment: i64,
 }
 
@@ -26,21 +28,20 @@ impl Sequence {
     pub fn new(name: impl Into<String>, start: i64, increment: i64) -> Sequence {
         Sequence {
             name: name.into(),
-            next: Cell::new(start),
+            next: AtomicI64::new(start),
             increment,
         }
     }
 
     /// Return the next value and advance.
     pub fn next_value(&self) -> i64 {
-        let v = self.next.get();
-        self.next.set(v.wrapping_add(self.increment));
-        v
+        // fetch_add wraps on overflow, matching the previous wrapping_add.
+        self.next.fetch_add(self.increment, Ordering::Relaxed)
     }
 
     /// Peek at the value the next call will return.
     pub fn peek(&self) -> i64 {
-        self.next.get()
+        self.next.load(Ordering::Relaxed)
     }
 }
 
@@ -79,12 +80,20 @@ pub struct Catalog {
     /// index name (lowered) → table name (lowered)
     index_owner: HashMap<String, String>,
     views: HashMap<String, View>,
-    /// View-expansion nesting depth (guards against recursive views).
-    view_depth: Cell<u32>,
     /// How many scans were answered through an index fast path (telemetry
-    /// for tests and benchmarks; `Cell` so the read-only executor can
+    /// for tests and benchmarks; atomic so the shared-lock read path can
     /// bump it).
-    index_scans: Cell<u64>,
+    index_scans: AtomicU64,
+    /// How many scans fell back to a full table walk.
+    full_scans: AtomicU64,
+}
+
+thread_local! {
+    /// View-expansion nesting depth (guards against recursive views).
+    /// Thread-local rather than a catalog field: expansion is a per-query
+    /// (hence per-thread) property, and concurrent readers must not see
+    /// each other's nesting.
+    static VIEW_DEPTH: Cell<u32> = const { Cell::new(0) };
 }
 
 fn key(name: &str) -> String {
@@ -154,12 +163,22 @@ impl Catalog {
 
     /// Record that a statement used an index fast path.
     pub fn note_index_scan(&self) {
-        self.index_scans.set(self.index_scans.get() + 1);
+        self.index_scans.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of index fast-path scans so far.
     pub fn index_scans(&self) -> u64 {
-        self.index_scans.get()
+        self.index_scans.load(Ordering::Relaxed)
+    }
+
+    /// Record that a statement walked a whole base table.
+    pub fn note_full_scan(&self) {
+        self.full_scans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of full table scans so far.
+    pub fn full_scans(&self) -> u64 {
+        self.full_scans.load(Ordering::Relaxed)
     }
 
     // ------------------------------------------------------------- indexes
@@ -223,15 +242,15 @@ impl Catalog {
 
     /// Enter a view expansion; the guard decrements on drop. Errors once
     /// nesting exceeds a sanity bound (recursive view definitions).
-    pub fn enter_view(&self) -> SqlResult<ViewDepthGuard<'_>> {
-        let d = self.view_depth.get();
+    pub fn enter_view(&self) -> SqlResult<ViewDepthGuard> {
+        let d = VIEW_DEPTH.get();
         if d >= 16 {
             return Err(SqlError::Runtime(
                 "view expansion too deep (recursive view definition?)".into(),
             ));
         }
-        self.view_depth.set(d + 1);
-        Ok(ViewDepthGuard { catalog: self })
+        VIEW_DEPTH.set(d + 1);
+        Ok(ViewDepthGuard { _private: () })
     }
 
     // ------------------------------------------------------------- sequences
@@ -301,14 +320,14 @@ impl Catalog {
 }
 
 /// RAII guard for view-expansion depth.
-pub struct ViewDepthGuard<'a> {
-    catalog: &'a Catalog,
+pub struct ViewDepthGuard {
+    _private: (),
 }
 
-impl Drop for ViewDepthGuard<'_> {
+impl Drop for ViewDepthGuard {
     fn drop(&mut self) {
-        let d = self.catalog.view_depth.get();
-        self.catalog.view_depth.set(d.saturating_sub(1));
+        let d = VIEW_DEPTH.get();
+        VIEW_DEPTH.set(d.saturating_sub(1));
     }
 }
 

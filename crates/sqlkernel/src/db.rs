@@ -5,12 +5,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
 use crate::ast::Statement;
 use crate::catalog::Catalog;
 use crate::error::{SqlError, SqlResult};
 use crate::parser::{parse_script, parse_statement};
+use crate::sync::{Mutex, RwLock};
 use crate::txn::UndoLog;
 use crate::types::Value;
 
@@ -143,21 +142,101 @@ impl StatementResult {
 }
 
 /// Cumulative engine counters, used by the benchmark harness to report
-/// work volumes (e.g. rows shipped into the process space).
+/// work volumes (e.g. rows shipped into the process space) and by tests
+/// to prove the statement cache and index fast paths are actually taken.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct DbStats {
     pub statements_executed: u64,
     pub rows_returned: u64,
     /// Scans answered through an index fast path.
     pub index_scans: u64,
+    /// Scans that walked a whole base table.
+    pub full_scans: u64,
+    /// Statement texts run through the parser.
+    pub parses: u64,
+    /// Statement-cache lookups answered without parsing.
+    pub stmt_cache_hits: u64,
+    /// Statement-cache lookups that had to parse.
+    pub stmt_cache_misses: u64,
+}
+
+/// A parsed statement plus the catalog object names it references —
+/// the unit stored in the statement cache and shared by [`Prepared`].
+#[derive(Debug)]
+pub(crate) struct CachedStmt {
+    pub(crate) stmt: Statement,
+    /// Lowercased referenced object names, for DDL invalidation.
+    objects: Vec<String>,
+}
+
+/// Bounded LRU map from SQL text to parsed plan. Recency is tracked with
+/// a monotone tick per entry; eviction removes the stalest entry. The
+/// cache is small and hit-dominated, so the O(n) eviction scan is cheaper
+/// than maintaining an ordered structure on every hit.
+struct StmtCache {
+    map: HashMap<String, (Arc<CachedStmt>, u64)>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl StmtCache {
+    fn new(capacity: usize) -> StmtCache {
+        StmtCache {
+            map: HashMap::new(),
+            tick: 0,
+            capacity,
+        }
+    }
+
+    fn get(&mut self, sql: &str) -> Option<Arc<CachedStmt>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(sql).map(|(cached, last_used)| {
+            *last_used = tick;
+            Arc::clone(cached)
+        })
+    }
+
+    fn insert(&mut self, sql: String, cached: Arc<CachedStmt>) {
+        if self.map.len() >= self.capacity && !self.map.contains_key(&sql) {
+            if let Some(stalest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&stalest);
+            }
+        }
+        self.tick += 1;
+        self.map.insert(sql, (cached, self.tick));
+    }
+
+    /// Drop every plan that references any of the given (lowercased)
+    /// object names.
+    fn invalidate(&mut self, objects: &[String]) {
+        if objects.is_empty() {
+            return;
+        }
+        self.map
+            .retain(|_, (cached, _)| !cached.objects.iter().any(|o| objects.contains(o)));
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
 }
 
 struct DbInner {
     name: String,
-    catalog: Mutex<Catalog>,
+    catalog: RwLock<Catalog>,
+    stmt_cache: Mutex<StmtCache>,
     stmt_counter: AtomicU64,
     rows_counter: AtomicU64,
     conn_counter: AtomicU64,
+    parse_counter: AtomicU64,
+    cache_hit_counter: AtomicU64,
+    cache_miss_counter: AtomicU64,
 }
 
 /// A named in-memory database. Cloning is cheap (`Arc`); all clones see
@@ -175,18 +254,72 @@ impl std::fmt::Debug for Database {
     }
 }
 
+/// Bound on distinct statement texts kept parsed. Workflow deployments
+/// run a small, fixed set of statements per activity, so this is generous;
+/// ad-hoc floods (e.g. SQL with inlined literals) evict in LRU order.
+const STMT_CACHE_CAPACITY: usize = 256;
+
 impl Database {
     /// Create an empty database.
     pub fn new(name: impl Into<String>) -> Database {
         Database {
             inner: Arc::new(DbInner {
                 name: name.into(),
-                catalog: Mutex::new(Catalog::new()),
+                catalog: RwLock::new(Catalog::new()),
+                stmt_cache: Mutex::new(StmtCache::new(STMT_CACHE_CAPACITY)),
                 stmt_counter: AtomicU64::new(0),
                 rows_counter: AtomicU64::new(0),
                 conn_counter: AtomicU64::new(0),
+                parse_counter: AtomicU64::new(0),
+                cache_hit_counter: AtomicU64::new(0),
+                cache_miss_counter: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// Fetch (or parse and cache) the plan for one statement text.
+    ///
+    /// Every `execute`/`query`/`prepare` call funnels through here, so a
+    /// statement text is parsed at most once until DDL invalidates it or
+    /// LRU pressure evicts it. DDL and transaction control are parsed but
+    /// not cached: they are not hot, and caching them would let a `DROP`
+    /// outlive its own invalidation.
+    pub(crate) fn cached_statement(&self, sql: &str) -> SqlResult<Arc<CachedStmt>> {
+        if let Some(hit) = self.inner.stmt_cache.lock().get(sql) {
+            self.inner.cache_hit_counter.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        self.inner
+            .cache_miss_counter
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner.parse_counter.fetch_add(1, Ordering::Relaxed);
+        let stmt = parse_statement(sql)?;
+        let cached = Arc::new(CachedStmt {
+            objects: stmt.referenced_objects(),
+            stmt,
+        });
+        let cacheable = !matches!(
+            cached.stmt,
+            Statement::Begin | Statement::Commit | Statement::Rollback
+        ) && !cached.stmt.is_ddl();
+        if cacheable {
+            self.inner
+                .stmt_cache
+                .lock()
+                .insert(sql.to_string(), Arc::clone(&cached));
+        }
+        Ok(cached)
+    }
+
+    /// Evict cached plans referencing any of the given object names
+    /// (already lowercased). Called after DDL executes or rolls back.
+    fn invalidate_statements(&self, objects: &[String]) {
+        self.inner.stmt_cache.lock().invalidate(objects);
+    }
+
+    /// Number of statements currently held by the statement cache.
+    pub fn stmt_cache_len(&self) -> usize {
+        self.inner.stmt_cache.lock().len()
     }
 
     /// The database name (used by connection strings in the workflow layers).
@@ -207,25 +340,30 @@ impl Database {
 
     /// Sorted table names (catalog introspection).
     pub fn table_names(&self) -> Vec<String> {
-        self.inner.catalog.lock().table_names()
+        self.inner.catalog.read().table_names()
     }
 
     /// Does a table exist?
     pub fn has_table(&self, name: &str) -> bool {
-        self.inner.catalog.lock().has_table(name)
+        self.inner.catalog.read().has_table(name)
     }
 
     /// Number of rows in a table.
     pub fn table_len(&self, name: &str) -> SqlResult<usize> {
-        Ok(self.inner.catalog.lock().table(name)?.len())
+        Ok(self.inner.catalog.read().table(name)?.len())
     }
 
     /// Engine counters.
     pub fn stats(&self) -> DbStats {
+        let catalog = self.inner.catalog.read();
         DbStats {
             statements_executed: self.inner.stmt_counter.load(Ordering::Relaxed),
             rows_returned: self.inner.rows_counter.load(Ordering::Relaxed),
-            index_scans: self.inner.catalog.lock().index_scans(),
+            index_scans: catalog.index_scans(),
+            full_scans: catalog.full_scans(),
+            parses: self.inner.parse_counter.load(Ordering::Relaxed),
+            stmt_cache_hits: self.inner.cache_hit_counter.load(Ordering::Relaxed),
+            stmt_cache_misses: self.inner.cache_miss_counter.load(Ordering::Relaxed),
         }
     }
 
@@ -235,10 +373,12 @@ impl Database {
     }
 }
 
-/// A pre-parsed statement, reusable with different `?` bindings.
+/// A pre-parsed statement, reusable with different `?` bindings. The
+/// plan is shared with the statement cache, so `prepare` + `execute` of
+/// the same text costs one parse total.
 #[derive(Debug, Clone)]
 pub struct Prepared {
-    pub(crate) stmt: Statement,
+    pub(crate) cached: Arc<CachedStmt>,
     sql: String,
 }
 
@@ -248,9 +388,14 @@ impl Prepared {
         &self.sql
     }
 
+    /// The parsed statement.
+    pub(crate) fn stmt(&self) -> &Statement {
+        &self.cached.stmt
+    }
+
     /// The statement verb (for audit trails).
     pub fn verb(&self) -> &'static str {
-        self.stmt.verb()
+        self.cached.stmt.verb()
     }
 }
 
@@ -292,18 +437,20 @@ impl Connection {
         self.txn.borrow().is_some()
     }
 
-    /// Parse without executing.
+    /// Parse without executing. The plan lands in (or comes from) the
+    /// database-wide statement cache.
     pub fn prepare(&self, sql: &str) -> SqlResult<Prepared> {
         Ok(Prepared {
-            stmt: parse_statement(sql)?,
+            cached: self.db.cached_statement(sql)?,
             sql: sql.to_string(),
         })
     }
 
-    /// Parse and execute one statement.
+    /// Execute one statement, parsing it at most once per distinct text
+    /// (the plan is reused from the statement cache on repeat calls).
     pub fn execute(&self, sql: &str, params: &[Value]) -> SqlResult<StatementResult> {
-        let stmt = parse_statement(sql)?;
-        self.execute_ast(&stmt, params)
+        let cached = self.db.cached_statement(sql)?;
+        self.execute_ast(&cached.stmt, params)
     }
 
     /// Execute a previously prepared statement.
@@ -312,7 +459,7 @@ impl Connection {
         prepared: &Prepared,
         params: &[Value],
     ) -> SqlResult<StatementResult> {
-        self.execute_ast(&prepared.stmt, params)
+        self.execute_ast(prepared.stmt(), params)
     }
 
     /// Execute and require a result grid.
@@ -328,6 +475,10 @@ impl Connection {
     /// Execute a semicolon-separated script; returns one result per statement.
     pub fn execute_script(&self, sql: &str) -> SqlResult<Vec<StatementResult>> {
         let stmts = parse_script(sql)?;
+        self.db
+            .inner
+            .parse_counter
+            .fetch_add(stmts.len() as u64, Ordering::Relaxed);
         let mut out = Vec::with_capacity(stmts.len());
         for s in &stmts {
             out.push(self.execute_ast(s, &[])?);
@@ -336,6 +487,13 @@ impl Connection {
     }
 
     /// Execute an already-parsed statement.
+    ///
+    /// `SELECT` runs under a *shared* catalog lock — any number of readers
+    /// proceed in parallel — while DML, DDL, `CALL`, and rollback take the
+    /// exclusive lock. Isolation is read-committed-per-statement: a reader
+    /// never sees a torn row (rows swap atomically behind the lock), and a
+    /// writer's partial statement is invisible because the write lock is
+    /// held for the whole statement.
     pub fn execute_ast(&self, stmt: &Statement, params: &[Value]) -> SqlResult<StatementResult> {
         self.db.inner.stmt_counter.fetch_add(1, Ordering::Relaxed);
         match stmt {
@@ -360,13 +518,23 @@ impl Connection {
                     .borrow_mut()
                     .take()
                     .ok_or_else(|| SqlError::Txn("ROLLBACK without open transaction".into()))?;
-                let mut catalog = self.db.inner.catalog.lock();
+                let mut catalog = self.db.inner.catalog.write();
                 log.rollback(&mut catalog);
                 Ok(StatementResult::TxnControl)
             }
+            Statement::Select(s) => {
+                let named: HashMap<String, Value> = HashMap::new();
+                let catalog = self.db.inner.catalog.read();
+                let rs = crate::exec::select::run_select(&catalog, s, params, &named)?;
+                self.db
+                    .inner
+                    .rows_counter
+                    .fetch_add(rs.rows.len() as u64, Ordering::Relaxed);
+                Ok(StatementResult::Rows(rs))
+            }
             other => {
                 let named: HashMap<String, Value> = HashMap::new();
-                let mut catalog = self.db.inner.catalog.lock();
+                let mut catalog = self.db.inner.catalog.write();
                 let mut scratch = UndoLog::new();
                 match crate::exec::execute(&mut catalog, other, params, &named, &mut scratch) {
                     Ok(result) => {
@@ -390,6 +558,22 @@ impl Connection {
                         if let Some(txn) = self.txn.borrow_mut().as_mut() {
                             txn.absorb(scratch);
                         }
+                        // DDL invalidates dependent cached plans. For CALL,
+                        // the procedure body may itself run DDL; collect its
+                        // targets too (one call level deep — nested CALLs
+                        // running DDL are not a supported pattern).
+                        let mut targets = other.ddl_targets();
+                        if let Statement::Call { name, .. } = other {
+                            if let Ok(proc) = catalog.procedure(name) {
+                                for body_stmt in &proc.body {
+                                    targets.extend(body_stmt.ddl_targets());
+                                }
+                            }
+                        }
+                        drop(catalog);
+                        if !targets.is_empty() {
+                            self.db.invalidate_statements(&targets);
+                        }
                         Ok(result)
                     }
                     Err(e) => {
@@ -405,7 +589,7 @@ impl Connection {
     /// Roll back any open transaction (no-op otherwise).
     pub fn rollback_if_open(&self) {
         if let Some(log) = self.txn.borrow_mut().take() {
-            let mut catalog = self.db.inner.catalog.lock();
+            let mut catalog = self.db.inner.catalog.write();
             log.rollback(&mut catalog);
         }
     }
@@ -416,10 +600,14 @@ impl Drop for Connection {
         self.rollback_if_open();
         let temp: Vec<String> = self.temp_tables.borrow_mut().drain(..).collect();
         if !temp.is_empty() {
-            let mut catalog = self.db.inner.catalog.lock();
-            for t in temp {
-                let _ = catalog.remove_table(&t);
+            let mut catalog = self.db.inner.catalog.write();
+            for t in &temp {
+                let _ = catalog.remove_table(t);
             }
+            drop(catalog);
+            // Plans over the dead temp tables must not survive either.
+            let names: Vec<String> = temp.iter().map(|t| t.to_ascii_lowercase()).collect();
+            self.db.invalidate_statements(&names);
         }
     }
 }

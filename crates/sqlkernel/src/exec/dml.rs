@@ -151,7 +151,7 @@ pub fn run_update(
             if !hit {
                 continue;
             }
-            let mut new_row = row.clone();
+            let mut new_row = (**row).clone();
             for (pos, e) in &assignments {
                 new_row[*pos] = eval(e, &rc)?;
             }

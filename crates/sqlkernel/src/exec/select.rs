@@ -9,23 +9,28 @@
 //! expression evaluator then reads back by key.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::ast::*;
 use crate::catalog::Catalog;
 use crate::db::QueryResult;
 use crate::error::{SqlError, SqlResult};
 use crate::expr::{aggregate_key, eval, eval_predicate, is_aggregate_name, EvalCtx, RowSchema};
+use crate::storage::Row;
 use crate::types::Value;
 
 /// One logical row to project: the source row plus its pre-computed
-/// aggregate values (grouped queries only).
-type GroupedRow = (Vec<Value>, Option<HashMap<String, Value>>);
+/// aggregate values (grouped queries only). The source row is shared with
+/// the pipeline input, so grouping never deep-copies row data.
+type GroupedRow = (Arc<Row>, Option<HashMap<String, Value>>);
 
-/// A materialized intermediate row set.
+/// A materialized intermediate row set. Rows are `Arc`-shared: a base
+/// table scan hands out pointers to stored rows, and derived rows (joins,
+/// views, subqueries) are allocated once and shared from then on.
 #[derive(Debug, Clone)]
 pub(crate) struct Rows {
     pub schema: RowSchema,
-    pub rows: Vec<Vec<Value>>,
+    pub rows: Vec<Arc<Row>>,
 }
 
 /// Run a `SELECT` and materialize its result.
@@ -59,7 +64,7 @@ pub fn run_select(
         Some(from) => build_from(catalog, from, &ctx)?,
         None => Rows {
             schema: RowSchema::empty(),
-            rows: vec![vec![]],
+            rows: vec![Arc::new(Vec::new())],
         },
     };
 
@@ -438,7 +443,7 @@ fn try_index_scan(
                 rows: Vec::new(),
             }));
         }
-        let rows: Vec<Vec<Value>> = index
+        let rows: Vec<Arc<Row>> = index
             .lookup(&crate::storage::SortKey(vec![key]))
             .filter_map(|id| table.get(id).cloned())
             .collect();
@@ -515,7 +520,7 @@ fn scan_table_ref(catalog: &Catalog, tref: &TableRef, ctx: &EvalCtx<'_>) -> SqlR
                 );
                 return Ok(Rows {
                     schema,
-                    rows: rs.rows,
+                    rows: rs.rows.into_iter().map(Arc::new).collect(),
                 });
             }
             let table = catalog.table(name)?;
@@ -528,9 +533,11 @@ fn scan_table_ref(catalog: &Catalog, tref: &TableRef, ctx: &EvalCtx<'_>) -> SqlR
                     .map(|c| (Some(binding.clone()), c.name.clone()))
                     .collect(),
             );
+            catalog.note_full_scan();
             Ok(Rows {
                 schema,
-                rows: table.iter().map(|(_, r)| r.clone()).collect(),
+                // Arc clones: the scan shares stored rows, no deep copy.
+                rows: table.iter().map(|(_, r)| Arc::clone(r)).collect(),
             })
         }
         TableSource::Subquery(sub) => {
@@ -547,7 +554,7 @@ fn scan_table_ref(catalog: &Catalog, tref: &TableRef, ctx: &EvalCtx<'_>) -> SqlR
             );
             Ok(Rows {
                 schema,
-                rows: rs.rows,
+                rows: rs.rows.into_iter().map(Arc::new).collect(),
             })
         }
     }
@@ -629,9 +636,10 @@ fn join_rows(left: Rows, right: Rows, join: &Join, ctx: &EvalCtx<'_>) -> SqlResu
         JoinKind::Cross => {
             for l in &left.rows {
                 for r in &right.rows {
-                    let mut row = l.clone();
+                    let mut row = Vec::with_capacity(left_width + right_width);
+                    row.extend(l.iter().cloned());
                     row.extend(r.iter().cloned());
-                    out.push(row);
+                    out.push(Arc::new(row));
                 }
             }
         }
@@ -675,7 +683,8 @@ fn join_rows(left: Rows, right: Rows, join: &Join, ctx: &EvalCtx<'_>) -> SqlResu
                 let mut matched = false;
                 for ri in candidates {
                     let r = &right.rows[ri];
-                    let mut row = l.clone();
+                    let mut row = Vec::with_capacity(left_width + right_width);
+                    row.extend(l.iter().cloned());
                     row.extend(r.iter().cloned());
                     let ok = if residual.is_empty() && hash.is_some() {
                         true
@@ -694,13 +703,13 @@ fn join_rows(left: Rows, right: Rows, join: &Join, ctx: &EvalCtx<'_>) -> SqlResu
                     if ok {
                         matched = true;
                         right_matched[ri] = true;
-                        out.push(row);
+                        out.push(Arc::new(row));
                     }
                 }
                 if !matched && join.kind == JoinKind::Left {
-                    let mut row = l.clone();
+                    let mut row: Vec<Value> = l.iter().cloned().collect();
                     row.extend(std::iter::repeat_n(Value::Null, right_width));
-                    out.push(row);
+                    out.push(Arc::new(row));
                 }
             }
             if join.kind == JoinKind::Right {
@@ -709,7 +718,7 @@ fn join_rows(left: Rows, right: Rows, join: &Join, ctx: &EvalCtx<'_>) -> SqlResu
                         let mut row: Vec<Value> =
                             std::iter::repeat_n(Value::Null, left_width).collect();
                         row.extend(right.rows[ri].iter().cloned());
-                        out.push(row);
+                        out.push(Arc::new(row));
                     }
                 }
             }
@@ -805,7 +814,7 @@ fn group_rows(stmt: &SelectStmt, input: &Rows, ctx: &EvalCtx<'_>) -> SqlResult<V
         let repr = members
             .first()
             .map(|&i| input.rows[i].clone())
-            .unwrap_or_else(|| vec![Value::Null; input.schema.len()]);
+            .unwrap_or_else(|| Arc::new(vec![Value::Null; input.schema.len()]));
         out.push((repr, Some(aggs)));
     }
     Ok(out)

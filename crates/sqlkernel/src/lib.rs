@@ -43,11 +43,12 @@ pub mod lexer;
 pub mod parser;
 pub mod schema;
 pub mod storage;
+pub mod sync;
 pub mod token;
 pub mod txn;
 pub mod types;
 
-pub use db::{Connection, Database, QueryResult, StatementResult};
+pub use db::{Connection, Database, DbStats, Prepared, QueryResult, StatementResult};
 pub use error::{SqlError, SqlResult};
 pub use schema::{Column, TableSchema};
 pub use types::{DataType, Value};

@@ -1,13 +1,17 @@
 //! Row storage: tables with stable row ids and B-tree secondary indexes.
 //!
-//! Rows live in a `BTreeMap<RowId, Row>` so that ids stay stable across
-//! deletes (the undo log and the indexes both key on [`RowId`]). Indexes
-//! map composite key values to the set of row ids holding them; unique
-//! indexes enforce at-most-one id per key (ignoring keys containing NULL,
-//! per SQL convention).
+//! Rows live in a `BTreeMap<RowId, Arc<Row>>` so that ids stay stable
+//! across deletes (the undo log and the indexes both key on [`RowId`])
+//! and so that read paths can *share* a row instead of deep-copying it:
+//! a scan hands out `Arc` clones, and mutation replaces the `Arc`
+//! wholesale (copy-on-write at row granularity). Indexes map composite
+//! key values to the set of row ids holding them; unique indexes enforce
+//! at-most-one id per key (ignoring keys containing NULL, per SQL
+//! convention).
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use crate::error::{SqlError, SqlResult};
 use crate::schema::TableSchema;
@@ -18,6 +22,12 @@ pub type RowId = u64;
 
 /// A stored row; always has exactly `schema.columns.len()` values.
 pub type Row = Vec<Value>;
+
+/// Unwrap an `Arc<Row>` without copying when this was the last reference,
+/// falling back to a deep clone when the row is still shared.
+pub fn unshare_row(row: Arc<Row>) -> Row {
+    Arc::try_unwrap(row).unwrap_or_else(|shared| (*shared).clone())
+}
 
 /// A totally ordered composite key, usable in `BTreeMap`s.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,8 +66,23 @@ impl Index {
         SortKey(self.columns.iter().map(|&i| row[i].clone()).collect())
     }
 
+    /// Would `old` and `new` land under different index keys? Compares
+    /// borrowed values directly so the common no-key-change case never
+    /// clones a `Value`.
+    fn key_changed(&self, old: &Row, new: &Row) -> bool {
+        self.columns
+            .iter()
+            .any(|&i| old[i].total_cmp(&new[i]) != Ordering::Equal)
+    }
+
     fn key_has_null(key: &SortKey) -> bool {
         key.0.iter().any(Value::is_null)
+    }
+
+    /// Does the row's index key contain a NULL? Borrowed counterpart of
+    /// [`Index::key_has_null`], used to skip key construction entirely.
+    fn row_key_has_null(&self, row: &Row) -> bool {
+        self.columns.iter().any(|&i| row[i].is_null())
     }
 
     /// Row ids matching an exact key.
@@ -75,7 +100,7 @@ impl Index {
 #[derive(Debug, Clone)]
 pub struct Table {
     pub schema: TableSchema,
-    rows: BTreeMap<RowId, Row>,
+    rows: BTreeMap<RowId, Arc<Row>>,
     next_row_id: RowId,
     indexes: Vec<Index>,
 }
@@ -129,13 +154,14 @@ impl Table {
         self.rows.is_empty()
     }
 
-    /// Iterate rows in row-id order.
-    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
+    /// Iterate rows in row-id order. Rows come out as shared `Arc`s so a
+    /// scan can retain them without deep-copying.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Arc<Row>)> {
         self.rows.iter().map(|(id, r)| (*id, r))
     }
 
     /// Fetch one row.
-    pub fn get(&self, id: RowId) -> Option<&Row> {
+    pub fn get(&self, id: RowId) -> Option<&Arc<Row>> {
         self.rows.get(&id)
     }
 
@@ -178,7 +204,7 @@ impl Table {
             let key = idx.key_of(&row);
             idx.map.entry(key).or_default().insert(id);
         }
-        self.rows.insert(id, row);
+        self.rows.insert(id, Arc::new(row));
         Ok(id)
     }
 
@@ -189,35 +215,34 @@ impl Table {
             idx.map.entry(key).or_default().insert(id);
         }
         self.next_row_id = self.next_row_id.max(id + 1);
-        self.rows.insert(id, row);
+        self.rows.insert(id, Arc::new(row));
     }
 
     /// Replace the row at `id`. Returns the previous row.
     pub fn update(&mut self, id: RowId, row: Row) -> SqlResult<Row> {
         let row = self.normalize_row(row)?;
-        if !self.rows.contains_key(&id) {
+        let Some(old) = self.rows.get(&id).cloned() else {
             return Err(SqlError::NotFound(format!(
                 "row {id} in table '{}'",
                 self.schema.name
             )));
-        }
+        };
         self.check_unique(&row, Some(id))?;
-        let old = self.rows.get(&id).cloned().expect("checked above");
         for idx in &mut self.indexes {
-            let old_key = idx.key_of(&old);
-            let new_key = idx.key_of(&row);
-            if old_key != new_key {
+            if idx.key_changed(&old, &row) {
+                let old_key = idx.key_of(&old);
                 if let Some(set) = idx.map.get_mut(&old_key) {
                     set.remove(&id);
                     if set.is_empty() {
                         idx.map.remove(&old_key);
                     }
                 }
+                let new_key = idx.key_of(&row);
                 idx.map.entry(new_key).or_default().insert(id);
             }
         }
-        self.rows.insert(id, row);
-        Ok(old)
+        self.rows.insert(id, Arc::new(row));
+        Ok(unshare_row(old))
     }
 
     /// Replace the row at `id` without constraint checks or normalization.
@@ -225,20 +250,20 @@ impl Table {
     pub fn raw_replace(&mut self, id: RowId, row: Row) {
         if let Some(old) = self.rows.get(&id).cloned() {
             for idx in &mut self.indexes {
-                let old_key = idx.key_of(&old);
-                let new_key = idx.key_of(&row);
-                if old_key != new_key {
+                if idx.key_changed(&old, &row) {
+                    let old_key = idx.key_of(&old);
                     if let Some(set) = idx.map.get_mut(&old_key) {
                         set.remove(&id);
                         if set.is_empty() {
                             idx.map.remove(&old_key);
                         }
                     }
-                    idx.map.entry(new_key).or_default().insert(id);
+                    let new_key = idx.key_of(&row);
+                idx.map.entry(new_key).or_default().insert(id);
                 }
             }
         }
-        self.rows.insert(id, row);
+        self.rows.insert(id, Arc::new(row));
     }
 
     /// Delete the row at `id`, returning it.
@@ -255,7 +280,7 @@ impl Table {
                 }
             }
         }
-        Ok(row)
+        Ok(unshare_row(row))
     }
 
     fn check_unique(&self, row: &Row, exclude: Option<RowId>) -> SqlResult<()> {
@@ -263,10 +288,12 @@ impl Table {
             if !idx.unique {
                 continue;
             }
-            let key = idx.key_of(row);
-            if Index::key_has_null(&key) {
+            // Keys containing NULL never clash (SQL convention); checking
+            // on the borrowed row skips building the key at all.
+            if idx.row_key_has_null(row) {
                 continue;
             }
+            let key = idx.key_of(row);
             let clash = idx
                 .lookup(&key)
                 .any(|id| Some(id) != exclude && self.rows.contains_key(&id));
@@ -564,5 +591,80 @@ mod tests {
         assert!(a < b);
         assert!(c < a);
         assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn unique_composite_index_ignores_null_keys() {
+        // SQL unique semantics: a key containing NULL never conflicts,
+        // even with an identical NULL-containing key.
+        let mut t = table();
+        t.create_index("u", &["name".into(), "qty".into()], true)
+            .unwrap();
+        t.insert(vec![Value::Int(1), Value::Null, Value::Int(5)])
+            .unwrap();
+        t.insert(vec![Value::Int(2), Value::Null, Value::Int(5)])
+            .unwrap();
+        t.insert(vec![Value::Int(3), Value::text("a"), Value::Null])
+            .unwrap();
+        t.insert(vec![Value::Int(4), Value::text("a"), Value::Null])
+            .unwrap();
+        assert_eq!(t.len(), 4);
+        // Fully non-NULL duplicates are still rejected.
+        t.insert(row(5, "b", 7)).unwrap();
+        let err = t.insert(row(6, "b", 7)).unwrap_err();
+        assert_eq!(err.class(), "constraint");
+    }
+
+    #[test]
+    fn update_moves_null_composite_keys_correctly() {
+        let mut t = table();
+        t.create_index("u", &["name".into(), "qty".into()], true)
+            .unwrap();
+        let id = t
+            .insert(vec![Value::Int(1), Value::Null, Value::Int(5)])
+            .unwrap();
+
+        // NULL → value: the row must move to the concrete key and start
+        // participating in uniqueness.
+        t.update(id, row(1, "a", 5)).unwrap();
+        let idx = t.find_index(&[1, 2]).unwrap();
+        let hits: Vec<_> = idx
+            .lookup(&SortKey(vec![Value::text("a"), Value::Int(5)]))
+            .collect();
+        assert_eq!(hits, vec![id]);
+        let err = t.insert(row(2, "a", 5)).unwrap_err();
+        assert_eq!(err.class(), "constraint");
+
+        // value → NULL: leaves the concrete key free again.
+        t.update(id, vec![Value::Int(1), Value::Null, Value::Int(5)])
+            .unwrap();
+        t.insert(row(2, "a", 5)).unwrap();
+
+        // NULL-key update where the key is unchanged (the borrowed
+        // comparison short-circuits; NULL == NULL under total order).
+        t.update(id, vec![Value::Int(1), Value::Null, Value::Int(5)])
+            .unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn delete_removes_null_composite_keys() {
+        let mut t = table();
+        t.create_index("u", &["name".into(), "qty".into()], true)
+            .unwrap();
+        let a = t
+            .insert(vec![Value::Int(1), Value::Null, Value::Int(5)])
+            .unwrap();
+        let b = t
+            .insert(vec![Value::Int(2), Value::Null, Value::Int(5)])
+            .unwrap();
+        t.delete(a).unwrap();
+        let idx = t.find_index(&[1, 2]).unwrap();
+        let hits: Vec<_> = idx
+            .lookup(&SortKey(vec![Value::Null, Value::Int(5)]))
+            .collect();
+        assert_eq!(hits, vec![b]);
+        t.delete(b).unwrap();
+        assert_eq!(t.find_index(&[1, 2]).unwrap().key_count(), 0);
     }
 }

@@ -7,11 +7,14 @@
 //! nothing behind), and — inside an explicit transaction — the
 //! *transaction log* the statement log is folded into on success.
 //!
-//! Concurrency note: `sqlkernel` serializes all statements on one database
-//! behind a mutex, so transactions are atomic but interleaved transactions
-//! from different connections are not isolated from each other
-//! (read-uncommitted). The workflow layers built on top use short,
-//! connection-confined transactions, which is exactly the pattern the
+//! Concurrency note: the catalog sits behind a reader-writer lock —
+//! SELECTs share a read lock and run concurrently; mutating statements
+//! take the write lock and are statement-atomic. Transactions are atomic
+//! via this undo log, but interleaved transactions from different
+//! connections are not isolated from each other (a reader between two
+//! statements of an open transaction sees its uncommitted writes). The
+//! workflow layers built on top use short, connection-confined
+//! transactions over disjoint rows, which is exactly the pattern the
 //! paper's *atomic SQL sequence* activity models.
 
 use crate::catalog::{Catalog, Procedure, Sequence, View};

@@ -1,0 +1,207 @@
+//! Statement-cache integration tests: parse-once behavior for repeated
+//! SQL text, sharing between `prepare` and plain `execute`, and cache
+//! invalidation when DDL changes an object a cached plan references.
+
+use sqlkernel::{Database, Value};
+
+#[test]
+fn repeated_execute_parses_once() {
+    let db = Database::new("cache1");
+    let conn = db.connect();
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)", &[])
+        .unwrap();
+    conn.execute("INSERT INTO t VALUES (1, 10), (2, 20)", &[])
+        .unwrap();
+
+    let base = db.stats();
+    for _ in 0..50 {
+        conn.query("SELECT v FROM t WHERE id = ?", &[Value::Int(1)])
+            .unwrap();
+    }
+    let after = db.stats();
+    assert_eq!(after.parses - base.parses, 1, "one parse for 50 executions");
+    assert_eq!(after.stmt_cache_misses - base.stmt_cache_misses, 1);
+    assert_eq!(after.stmt_cache_hits - base.stmt_cache_hits, 49);
+}
+
+#[test]
+fn prepare_and_execute_share_one_parse() {
+    let db = Database::new("cache2");
+    let conn = db.connect();
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY)", &[])
+        .unwrap();
+
+    let base = db.stats().parses;
+    let prepared = conn.prepare("INSERT INTO t VALUES (?)").unwrap();
+    for i in 0..10 {
+        conn.execute_prepared(&prepared, &[Value::Int(i)]).unwrap();
+    }
+    // Plain execute of the identical text hits the same cached plan.
+    conn.execute("INSERT INTO t VALUES (?)", &[Value::Int(100)])
+        .unwrap();
+    assert_eq!(db.stats().parses - base, 1);
+    assert_eq!(db.table_len("t").unwrap(), 11);
+}
+
+#[test]
+fn distinct_texts_parse_separately_but_cache_each() {
+    let db = Database::new("cache3");
+    let conn = db.connect();
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY)", &[])
+        .unwrap();
+    let base = db.stats().parses;
+    for _ in 0..3 {
+        conn.query("SELECT COUNT(*) FROM t", &[]).unwrap();
+        conn.query("SELECT id FROM t", &[]).unwrap();
+    }
+    assert_eq!(db.stats().parses - base, 2, "one parse per distinct text");
+}
+
+#[test]
+fn drop_table_evicts_cached_plans() {
+    let db = Database::new("cache4");
+    let conn = db.connect();
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)", &[])
+        .unwrap();
+    conn.execute("INSERT INTO t VALUES (1, 10)", &[]).unwrap();
+
+    // Populate the cache with plans referencing t.
+    conn.query("SELECT v FROM t", &[]).unwrap();
+    conn.query("SELECT COUNT(*) FROM t", &[]).unwrap();
+    let populated = db.stmt_cache_len();
+    assert!(populated >= 2);
+
+    conn.execute("DROP TABLE t", &[]).unwrap();
+    assert!(
+        db.stmt_cache_len() < populated,
+        "DROP TABLE must evict plans referencing t"
+    );
+
+    // Re-create with a different shape; the old SELECT text must plan
+    // against the new schema, not any stale cached artifact.
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT, extra INT)", &[])
+        .unwrap();
+    conn.execute("INSERT INTO t VALUES (1, 'x', 5)", &[])
+        .unwrap();
+    let rs = conn.query("SELECT v FROM t", &[]).unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::text("x")]]);
+    let rs = conn.query("SELECT extra FROM t", &[]).unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Int(5)]]);
+}
+
+#[test]
+fn drop_and_recreate_under_prepared_statement_stays_correct() {
+    // A held Prepared survives DDL on its table: plans resolve names at
+    // execution time, so the re-created schema is what executes.
+    let db = Database::new("cache5");
+    let conn = db.connect();
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)", &[])
+        .unwrap();
+    conn.execute("INSERT INTO t VALUES (1, 10)", &[]).unwrap();
+    let q = conn.prepare("SELECT v FROM t WHERE id = ?").unwrap();
+    let rs = conn
+        .execute_prepared(&q, &[Value::Int(1)])
+        .unwrap()
+        .rows()
+        .unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Int(10)]]);
+
+    conn.execute("DROP TABLE t", &[]).unwrap();
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)", &[])
+        .unwrap();
+    conn.execute("INSERT INTO t VALUES (1, 'fresh')", &[])
+        .unwrap();
+    let rs = conn
+        .execute_prepared(&q, &[Value::Int(1)])
+        .unwrap()
+        .rows()
+        .unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::text("fresh")]]);
+}
+
+#[test]
+fn ddl_statements_are_never_cached() {
+    let db = Database::new("cache6");
+    let conn = db.connect();
+    let before = db.stmt_cache_len();
+    conn.execute("CREATE TABLE a (id INT PRIMARY KEY)", &[])
+        .unwrap();
+    conn.execute("CREATE INDEX ix ON a (id)", &[]).unwrap();
+    conn.execute("DROP INDEX ix", &[]).unwrap();
+    conn.execute("DROP TABLE a", &[]).unwrap();
+    assert_eq!(db.stmt_cache_len(), before, "DDL must not occupy the cache");
+}
+
+#[test]
+fn temp_table_drop_invalidates_plans() {
+    let db = Database::new("cache7");
+    {
+        let conn = db.connect();
+        conn.execute("CREATE TEMP TABLE session_scratch (id INT PRIMARY KEY)", &[])
+            .unwrap();
+        conn.execute("INSERT INTO session_scratch VALUES (1)", &[])
+            .unwrap();
+        conn.query("SELECT COUNT(*) FROM session_scratch", &[])
+            .unwrap();
+        // Connection drop removes the temp table and must also evict
+        // plans referencing it.
+    }
+    let evicted = {
+        let map_len = db.stmt_cache_len();
+        // No cached entry may still reference the dropped temp table:
+        // re-running the text must fail cleanly (unknown table), not
+        // resurrect stale state.
+        let err = db
+            .connect()
+            .query("SELECT COUNT(*) FROM session_scratch", &[])
+            .unwrap_err();
+        (map_len, err)
+    };
+    assert!(evicted.1.to_string().to_lowercase().contains("session_scratch"));
+}
+
+#[test]
+fn cache_is_bounded_by_lru_eviction() {
+    let db = Database::new("cache8");
+    let conn = db.connect();
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY)", &[])
+        .unwrap();
+    // Far more distinct texts than the cache holds.
+    for i in 0..400 {
+        conn.query(&format!("SELECT id FROM t WHERE id = {i}"), &[])
+            .unwrap();
+    }
+    assert!(
+        db.stmt_cache_len() <= 256,
+        "cache grew past its capacity: {}",
+        db.stmt_cache_len()
+    );
+
+    // Recently used entries survive; the engine still answers correctly
+    // for evicted texts (they simply re-parse).
+    let base = db.stats().parses;
+    conn.query("SELECT id FROM t WHERE id = 399", &[]).unwrap();
+    assert_eq!(db.stats().parses, base, "hot entry must still be cached");
+}
+
+#[test]
+fn stats_expose_scan_kinds() {
+    let db = Database::new("cache9");
+    let conn = db.connect();
+    conn.execute_script(
+        "CREATE TABLE t (id INT PRIMARY KEY, v INT);
+         INSERT INTO t VALUES (1, 10), (2, 20), (3, 30);",
+    )
+    .unwrap();
+
+    let base = db.stats();
+    conn.query("SELECT v FROM t WHERE id = 2", &[]).unwrap();
+    let after_point = db.stats();
+    assert_eq!(after_point.index_scans - base.index_scans, 1);
+    assert_eq!(after_point.full_scans, base.full_scans);
+
+    conn.query("SELECT SUM(v) FROM t", &[]).unwrap();
+    let after_scan = db.stats();
+    assert_eq!(after_scan.full_scans - after_point.full_scans, 1);
+    assert_eq!(after_scan.index_scans, after_point.index_scans);
+}

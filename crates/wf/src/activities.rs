@@ -2,7 +2,7 @@
 //! Activity Libraries, the customized `SqlDatabaseActivity`, code
 //! activities, and the while-over-DataSet cursor.
 
-use parking_lot::Mutex;
+use sqlkernel::sync::Mutex;
 
 use flowcore::builtins::{CopyFrom, Sequence, Snippet, While};
 use flowcore::{

@@ -10,7 +10,7 @@
 //! statements for sync-back — a cache *“holding no connection to the
 //! original data”*.
 
-use sqlkernel::{Connection, QueryResult, SqlError, SqlResult, Value};
+use sqlkernel::{Connection, Prepared, QueryResult, SqlError, SqlResult, Value};
 
 /// Change state of one cached row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -316,34 +316,51 @@ impl DataAdapter {
                 "DataAdapter requires key columns for sync-back".into(),
             ));
         }
+        // The statement text for each change kind is fixed per table, so
+        // each kind is prepared at most once and re-bound per row.
         let mut executed = 0;
+        let mut insert: Option<Prepared> = None;
+        let mut update: Option<Prepared> = None;
+        let mut delete: Option<Prepared> = None;
         for row in &table.rows {
             match row.state {
                 RowState::Unchanged => {}
                 RowState::Added => {
-                    let cols = table.columns.join(", ");
-                    let placeholders = vec!["?"; table.columns.len()].join(", ");
-                    conn.execute(
-                        &format!("INSERT INTO {target_table} ({cols}) VALUES ({placeholders})"),
-                        &row.values,
-                    )?;
+                    if insert.is_none() {
+                        let cols = table.columns.join(", ");
+                        let placeholders = vec!["?"; table.columns.len()].join(", ");
+                        insert = Some(conn.prepare(&format!(
+                            "INSERT INTO {target_table} ({cols}) VALUES ({placeholders})"
+                        ))?);
+                    }
+                    conn.execute_prepared(insert.as_ref().expect("just prepared"), &row.values)?;
                     executed += 1;
                 }
                 RowState::Modified => {
-                    let set: Vec<String> =
-                        table.columns.iter().map(|c| format!("{c} = ?")).collect();
+                    if update.is_none() {
+                        let set: Vec<String> =
+                            table.columns.iter().map(|c| format!("{c} = ?")).collect();
+                        update = Some(conn.prepare(&format!(
+                            "UPDATE {target_table} SET {} WHERE {}",
+                            set.join(", "),
+                            Self::key_clause(table)
+                        ))?);
+                    }
                     let mut params = row.values.clone();
-                    let wher = Self::key_predicate(table, row, &mut params)?;
-                    conn.execute(
-                        &format!("UPDATE {target_table} SET {} WHERE {wher}", set.join(", ")),
-                        &params,
-                    )?;
+                    Self::push_key_params(table, row, &mut params)?;
+                    conn.execute_prepared(update.as_ref().expect("just prepared"), &params)?;
                     executed += 1;
                 }
                 RowState::Deleted => {
+                    if delete.is_none() {
+                        delete = Some(conn.prepare(&format!(
+                            "DELETE FROM {target_table} WHERE {}",
+                            Self::key_clause(table)
+                        ))?);
+                    }
                     let mut params = Vec::new();
-                    let wher = Self::key_predicate(table, row, &mut params)?;
-                    conn.execute(&format!("DELETE FROM {target_table} WHERE {wher}"), &params)?;
+                    Self::push_key_params(table, row, &mut params)?;
+                    conn.execute_prepared(delete.as_ref().expect("just prepared"), &params)?;
                     executed += 1;
                 }
             }
@@ -352,20 +369,29 @@ impl DataAdapter {
         Ok(executed)
     }
 
-    fn key_predicate(
+    /// `k1 = ? AND k2 = ?` over the declared key columns; the text
+    /// depends only on the table shape, never on row values.
+    fn key_clause(table: &DataTable) -> String {
+        table
+            .key_columns
+            .iter()
+            .map(|&k| format!("{} = ?", table.columns[k]))
+            .collect::<Vec<_>>()
+            .join(" AND ")
+    }
+
+    fn push_key_params(
         table: &DataTable,
         row: &DataRow,
         params: &mut Vec<Value>,
-    ) -> SqlResult<String> {
+    ) -> SqlResult<()> {
         let original = row.original.as_ref().ok_or_else(|| {
             SqlError::Semantic("modified/deleted row lost its original values".into())
         })?;
-        let mut parts = Vec::with_capacity(table.key_columns.len());
         for &k in &table.key_columns {
-            parts.push(format!("{} = ?", table.columns[k]));
             params.push(original[k].clone());
         }
-        Ok(parts.join(" AND "))
+        Ok(())
     }
 }
 

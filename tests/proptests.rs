@@ -1,181 +1,310 @@
 //! Property-based tests over the workspace's core invariants.
-
-use proptest::prelude::*;
+//!
+//! Self-contained randomized testing: a deterministic SplitMix64 PRNG
+//! drives the generators, so every run exercises the same cases (no
+//! external property-testing crate required — the workspace builds
+//! hermetically). Each test runs `CASES` generated inputs and reports
+//! the case index on failure so a seed can be replayed exactly.
 
 use flowsql::sqlkernel::{DataType, Database, QueryResult, Value};
 use flowsql::wf::{DataAdapter, DataTable};
 use flowsql::xmlval::{self, rowset, Path, XmlNode};
 
-// ---------------------------------------------------------------- strategies
+const CASES: u64 = 64;
+const HEAVY_CASES: u64 = 32;
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
-        (-1.0e12f64..1.0e12).prop_map(Value::Float),
-        "[ -~]{0,24}".prop_map(Value::Text), // printable ASCII incl. quotes/brackets
-    ]
+// ---------------------------------------------------------------- PRNG
+
+struct Rng {
+    state: u64,
 }
 
-fn arb_ident() -> impl Strategy<Value = String> {
-    "[A-Za-z][A-Za-z0-9_]{0,8}".prop_map(|s| s)
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform usize in `[lo, hi)`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// Uniform i64 in `[lo, hi)`.
+    fn irange(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
 }
 
-fn arb_result() -> impl Strategy<Value = QueryResult> {
-    (1usize..5)
-        .prop_flat_map(|ncols| {
-            (
-                proptest::collection::vec(arb_ident(), ncols..=ncols),
-                proptest::collection::vec(
-                    proptest::collection::vec(arb_value(), ncols..=ncols),
-                    0..8,
-                ),
+// ---------------------------------------------------------------- generators
+
+/// A random SQL value: NULL, bool, full-range int, bounded float, or a
+/// short printable-ASCII string (including quotes/brackets).
+fn gen_value(rng: &mut Rng) -> Value {
+    match rng.range(0, 5) {
+        0 => Value::Null,
+        1 => Value::Bool(rng.bool()),
+        2 => Value::Int(rng.next_u64() as i64),
+        3 => Value::Float((rng.f64() - 0.5) * 2.0e12),
+        _ => {
+            let len = rng.range(0, 25);
+            Value::Text(
+                (0..len)
+                    .map(|_| (0x20 + rng.range(0, 0x7F - 0x20) as u8) as char)
+                    .collect(),
             )
-        })
-        .prop_filter("distinct column names", |(cols, _)| {
-            let mut lower: Vec<String> = cols.iter().map(|c| c.to_lowercase()).collect();
-            lower.sort();
-            lower.dedup();
-            lower.len() == cols.len()
-        })
-        .prop_map(|(columns, rows)| QueryResult { columns, rows })
+        }
+    }
+}
+
+fn gen_ident(rng: &mut Rng) -> String {
+    const FIRST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_";
+    let mut s = String::new();
+    s.push(FIRST[rng.range(0, FIRST.len())] as char);
+    for _ in 0..rng.range(0, 9) {
+        s.push(REST[rng.range(0, REST.len())] as char);
+    }
+    s
+}
+
+/// A random query result: 1–4 columns with case-insensitively distinct
+/// names, 0–7 rows of random values.
+fn gen_result(rng: &mut Rng) -> QueryResult {
+    let ncols = rng.range(1, 5);
+    let mut columns: Vec<String> = Vec::new();
+    while columns.len() < ncols {
+        let c = gen_ident(rng);
+        if !columns.iter().any(|e| e.eq_ignore_ascii_case(&c)) {
+            columns.push(c);
+        }
+    }
+    let rows = (0..rng.range(0, 8))
+        .map(|_| (0..ncols).map(|_| gen_value(rng)).collect())
+        .collect();
+    QueryResult { columns, rows }
 }
 
 // ---------------------------------------------------------------- value laws
 
-proptest! {
-    #[test]
-    fn total_cmp_is_total_and_antisymmetric(a in arb_value(), b in arb_value()) {
+#[test]
+fn total_cmp_is_total_and_antisymmetric() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x1001 ^ case);
+        let a = gen_value(&mut rng);
+        let b = gen_value(&mut rng);
         let ab = a.total_cmp(&b);
         let ba = b.total_cmp(&a);
-        prop_assert_eq!(ab, ba.reverse());
+        assert_eq!(ab, ba.reverse(), "case {case}: {a:?} vs {b:?}");
     }
+}
 
-    #[test]
-    fn total_cmp_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
-        use std::cmp::Ordering::*;
-        let mut v = [a, b, c];
+#[test]
+fn total_cmp_is_transitive() {
+    use std::cmp::Ordering::Greater;
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x1002 ^ case);
+        let mut v = [
+            gen_value(&mut rng),
+            gen_value(&mut rng),
+            gen_value(&mut rng),
+        ];
         v.sort_by(|x, y| x.total_cmp(y));
         // sorted order must be internally consistent
-        prop_assert_ne!(v[0].total_cmp(&v[1]), Greater);
-        prop_assert_ne!(v[1].total_cmp(&v[2]), Greater);
-        prop_assert_ne!(v[0].total_cmp(&v[2]), Greater);
+        assert_ne!(v[0].total_cmp(&v[1]), Greater, "case {case}");
+        assert_ne!(v[1].total_cmp(&v[2]), Greater, "case {case}");
+        assert_ne!(v[0].total_cmp(&v[2]), Greater, "case {case}");
     }
+}
 
-    #[test]
-    fn equality_implies_equal_hashes(a in arb_value(), b in arb_value()) {
-        use std::collections::hash_map::DefaultHasher;
-        use std::hash::{Hash, Hasher};
+#[test]
+fn equality_implies_equal_hashes() {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    for case in 0..CASES * 4 {
+        let mut rng = Rng::new(0x1003 ^ case);
+        let a = gen_value(&mut rng);
+        // Mix freshly generated values with clones so the equal branch
+        // is actually exercised.
+        let b = if case % 2 == 0 {
+            a.clone()
+        } else {
+            gen_value(&mut rng)
+        };
         if a == b {
             let mut ha = DefaultHasher::new();
             let mut hb = DefaultHasher::new();
             a.hash(&mut ha);
             b.hash(&mut hb);
-            prop_assert_eq!(ha.finish(), hb.finish());
+            assert_eq!(ha.finish(), hb.finish(), "case {case}: {a:?}");
         }
     }
+}
 
-    #[test]
-    fn sql_cmp_matches_total_cmp_for_non_null(a in arb_value(), b in arb_value()) {
+#[test]
+fn sql_cmp_matches_total_cmp_for_non_null() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x1004 ^ case);
+        let a = gen_value(&mut rng);
+        let b = gen_value(&mut rng);
         if !a.is_null() && !b.is_null() {
-            prop_assert_eq!(a.sql_cmp(&b), Some(a.total_cmp(&b)));
+            assert_eq!(a.sql_cmp(&b), Some(a.total_cmp(&b)), "case {case}");
         } else {
-            prop_assert_eq!(a.sql_cmp(&b), None);
+            assert_eq!(a.sql_cmp(&b), None, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn text_coercion_round_trips(v in arb_value()) {
-        // Coercing to TEXT and back to the original type is lossless for
-        // ints and bools (floats render with enough precision for the
-        // ranges generated here).
+#[test]
+fn text_coercion_round_trips() {
+    // Coercing to TEXT and back to the original type is lossless for
+    // ints and bools (floats render with enough precision for the
+    // ranges generated here).
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x1005 ^ case);
+        let v = gen_value(&mut rng);
         if let Some(ty) = v.data_type() {
             let as_text = v.coerce(DataType::Text).unwrap();
             if ty == DataType::Int || ty == DataType::Bool {
-                prop_assert_eq!(as_text.coerce(ty).unwrap(), v);
+                assert_eq!(as_text.coerce(ty).unwrap(), v, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn sql_literal_round_trips_through_parser(v in arb_value()) {
-        // to_sql_literal must re-parse to an equal constant.
+#[test]
+fn sql_literal_round_trips_through_parser() {
+    // to_sql_literal must re-parse to an equal constant.
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x1006 ^ case);
+        let v = gen_value(&mut rng);
         let lit = v.to_sql_literal();
         let expr = flowsql::sqlkernel::parser::parse_expression(&lit).unwrap();
         let catalog = flowsql::sqlkernel::catalog::Catalog::new();
         let ctx = flowsql::sqlkernel::expr::EvalCtx::constant(&catalog, &[]);
         let back = flowsql::sqlkernel::expr::eval(&expr, &ctx).unwrap();
         match (&v, &back) {
-            (Value::Float(a), Value::Float(b)) => prop_assert!((a - b).abs() <= a.abs() * 1e-12),
-            _ => prop_assert_eq!(&back, &v),
+            (Value::Float(a), Value::Float(b)) => {
+                assert!((a - b).abs() <= a.abs() * 1e-12, "case {case}: {a} vs {b}")
+            }
+            _ => assert_eq!(&back, &v, "case {case}: literal {lit}"),
         }
     }
 }
 
 // ---------------------------------------------------------------- rowset codec
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn rowset_round_trips(rs in arb_result()) {
+#[test]
+fn rowset_round_trips() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x2001 ^ case);
+        let rs = gen_result(&mut rng);
         let xml = rowset::encode(&rs);
         let back = rowset::decode(&xml).unwrap();
-        prop_assert_eq!(&back.columns, &rs.columns);
-        prop_assert_eq!(back.rows.len(), rs.rows.len());
+        assert_eq!(&back.columns, &rs.columns, "case {case}");
+        assert_eq!(back.rows.len(), rs.rows.len(), "case {case}");
         for (a, b) in back.rows.iter().zip(&rs.rows) {
             for (x, y) in a.iter().zip(b) {
                 match (x, y) {
                     (Value::Float(p), Value::Float(q)) => {
-                        prop_assert!((p - q).abs() <= q.abs() * 1e-12 + 1e-12)
+                        assert!((p - q).abs() <= q.abs() * 1e-12 + 1e-12, "case {case}")
                     }
-                    _ => prop_assert_eq!(x, y),
+                    _ => assert_eq!(x, y, "case {case}"),
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn rowset_survives_serialization(rs in arb_result()) {
+#[test]
+fn rowset_survives_serialization() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x2002 ^ case);
+        let rs = gen_result(&mut rng);
         let text = rowset::encode(&rs).to_pretty_xml();
         let parsed = xmlval::parse(&text).unwrap();
         let back = rowset::decode(&XmlNode::Element(parsed)).unwrap();
-        prop_assert_eq!(back.rows.len(), rs.rows.len());
-        prop_assert_eq!(&back.columns, &rs.columns);
+        assert_eq!(back.rows.len(), rs.rows.len(), "case {case}");
+        assert_eq!(&back.columns, &rs.columns, "case {case}");
     }
+}
 
-    #[test]
-    fn row_count_consistent(rs in arb_result()) {
+#[test]
+fn row_count_consistent() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x2003 ^ case);
+        let rs = gen_result(&mut rng);
         let xml = rowset::encode(&rs);
-        prop_assert_eq!(rowset::row_count(&xml), rs.rows.len());
+        assert_eq!(rowset::row_count(&xml), rs.rows.len(), "case {case}");
     }
 }
 
 // ---------------------------------------------------------------- LIKE
 
-proptest! {
-    #[test]
-    fn like_self_match(s in "[a-z]{0,12}") {
-        prop_assert!(flowsql::sqlkernel::expr::like_match(&s, &s));
-    }
+fn gen_lower(rng: &mut Rng, lo: usize, hi: usize) -> String {
+    (0..rng.range(lo, hi))
+        .map(|_| (b'a' + rng.range(0, 26) as u8) as char)
+        .collect()
+}
 
-    #[test]
-    fn like_percent_prefix_suffix(s in "[a-z]{0,12}", pre in "[a-z]{0,4}", suf in "[a-z]{0,4}") {
+#[test]
+fn like_self_match() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x3001 ^ case);
+        let s = gen_lower(&mut rng, 0, 13);
+        assert!(flowsql::sqlkernel::expr::like_match(&s, &s), "case {case}: {s}");
+    }
+}
+
+#[test]
+fn like_percent_prefix_suffix() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x3002 ^ case);
+        let s = gen_lower(&mut rng, 0, 13);
+        let pre = gen_lower(&mut rng, 0, 5);
+        let suf = gen_lower(&mut rng, 0, 5);
         let full = format!("{pre}{s}{suf}");
         let pat = format!("%{s}%");
-        prop_assert!(flowsql::sqlkernel::expr::like_match(&full, &pat));
+        assert!(
+            flowsql::sqlkernel::expr::like_match(&full, &pat),
+            "case {case}: {full} LIKE {pat}"
+        );
         let pat2 = format!("{pre}%{suf}");
-        prop_assert!(flowsql::sqlkernel::expr::like_match(&full, &pat2));
+        assert!(
+            flowsql::sqlkernel::expr::like_match(&full, &pat2),
+            "case {case}: {full} LIKE {pat2}"
+        );
     }
+}
 
-    #[test]
-    fn like_underscore_matches_any_single(s in "[a-z]{1,12}", idx in 0usize..12) {
-        let idx = idx % s.len();
+#[test]
+fn like_underscore_matches_any_single() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x3003 ^ case);
+        let s = gen_lower(&mut rng, 1, 13);
+        let idx = rng.range(0, s.len());
         let mut pattern: Vec<char> = s.chars().collect();
         pattern[idx] = '_';
         let pattern: String = pattern.into_iter().collect();
-        prop_assert!(flowsql::sqlkernel::expr::like_match(&s, &pattern));
+        assert!(
+            flowsql::sqlkernel::expr::like_match(&s, &pattern),
+            "case {case}: {s} LIKE {pattern}"
+        );
     }
 }
 
@@ -184,43 +313,46 @@ proptest! {
 // Model-based test: a random operation sequence applied to both a
 // `DataTable` and a plain vector model must agree — and after
 // `DataAdapter::update`, the backing SQL table must equal the model too.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn dataset_agrees_with_model_and_adapter_syncs(
-        ops in proptest::collection::vec((0u8..4, any::<u16>(), any::<i32>()), 0..24)
-    ) {
+#[test]
+fn dataset_agrees_with_model_and_adapter_syncs() {
+    for case in 0..HEAVY_CASES {
+        let mut rng = Rng::new(0x4001 ^ case);
         let db = Database::new("m");
         let conn = db.connect();
         conn.execute_script(
             "CREATE TABLE t (id INT PRIMARY KEY, v INT);
              INSERT INTO t VALUES (1, 10), (2, 20), (3, 30), (4, 40);",
-        ).unwrap();
+        )
+        .unwrap();
         let rs = conn.query("SELECT id, v FROM t ORDER BY id", &[]).unwrap();
         let mut table = DataTable::from_result("t", &rs);
         table.set_key_columns(&["id"]).unwrap();
         let mut model: Vec<(i64, i64)> = vec![(1, 10), (2, 20), (3, 30), (4, 40)];
         let mut next_id = 100i64;
 
-        for (op, pick, val) in ops {
+        for _ in 0..rng.range(0, 24) {
+            let op = rng.range(0, 4);
+            let pick = rng.range(0, 1 << 16);
+            let val = rng.irange(i32::MIN as i64, i32::MAX as i64 + 1);
             match op {
                 0 if !model.is_empty() => {
                     // update v of a random live row
-                    let i = pick as usize % model.len();
-                    table.set_cell(i, "v", Value::Int(val as i64)).unwrap();
-                    model[i].1 = val as i64;
+                    let i = pick % model.len();
+                    table.set_cell(i, "v", Value::Int(val)).unwrap();
+                    model[i].1 = val;
                 }
                 1 if !model.is_empty() => {
                     // delete a random live row
-                    let i = pick as usize % model.len();
+                    let i = pick % model.len();
                     table.delete_row(i).unwrap();
                     model.remove(i);
                 }
                 2 => {
                     // append a new row
-                    table.add_row(vec![Value::Int(next_id), Value::Int(val as i64)]).unwrap();
-                    model.push((next_id, val as i64));
+                    table
+                        .add_row(vec![Value::Int(next_id), Value::Int(val)])
+                        .unwrap();
+                    model.push((next_id, val));
                     next_id += 1;
                 }
                 _ => {} // no-op
@@ -230,7 +362,7 @@ proptest! {
                 .live_rows()
                 .map(|r| (r.values()[0].as_i64().unwrap(), r.values()[1].as_i64().unwrap()))
                 .collect();
-            prop_assert_eq!(&live, &model);
+            assert_eq!(&live, &model, "case {case}");
         }
 
         // Sync back and compare the database to the model.
@@ -244,32 +376,63 @@ proptest! {
             .iter()
             .map(|r| (r[0].as_i64().unwrap(), r[1].as_i64().unwrap()))
             .collect();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want, "case {case}");
         // And the cache is clean afterwards.
-        prop_assert!(table.changes().is_empty());
+        assert!(table.changes().is_empty(), "case {case}");
     }
 }
 
 // ---------------------------------------------------------------- paths
 
-proptest! {
-    #[test]
-    fn path_display_round_trips(
-        names in proptest::collection::vec("[A-Za-z][A-Za-z0-9]{0,6}", 1..4),
-        idx in proptest::option::of(1usize..9),
-        absolute in any::<bool>(),
-    ) {
+#[test]
+fn path_display_round_trips() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5001 ^ case);
+        let names: Vec<String> = (0..rng.range(1, 4))
+            .map(|_| {
+                // letters/digits only (no underscore) as in the original
+                let mut s = gen_lower(&mut rng, 1, 2);
+                s.push_str(
+                    &(0..rng.range(0, 7))
+                        .map(|_| {
+                            let c = rng.range(0, 36);
+                            if c < 26 {
+                                (b'a' + c as u8) as char
+                            } else {
+                                (b'0' + (c - 26) as u8) as char
+                            }
+                        })
+                        .collect::<String>(),
+                );
+                s
+            })
+            .collect();
+        let idx = if rng.bool() {
+            Some(rng.range(1, 9))
+        } else {
+            None
+        };
+        let absolute = rng.bool();
         let mut src = String::new();
-        if absolute { src.push('/'); }
+        if absolute {
+            src.push('/');
+        }
         src.push_str(&names.join("/"));
-        if let Some(i) = idx { src.push_str(&format!("[{i}]")); }
+        if let Some(i) = idx {
+            src.push_str(&format!("[{i}]"));
+        }
         let p = Path::parse(&src).unwrap();
         let p2 = Path::parse(&p.to_string()).unwrap();
-        prop_assert_eq!(p, p2);
+        assert_eq!(p, p2, "case {case}: {src}");
     }
+}
 
-    #[test]
-    fn chains_and_elements_agree(nrows in 0usize..8, pick in 1usize..9) {
+#[test]
+fn chains_and_elements_agree() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5002 ^ case);
+        let nrows = rng.range(0, 8);
+        let pick = rng.range(1, 9);
         let rs = QueryResult {
             columns: vec!["a".into()],
             rows: (0..nrows).map(|i| vec![Value::Int(i as i64)]).collect(),
@@ -285,10 +448,10 @@ proptest! {
             let p = Path::parse(&src).unwrap();
             let elements = p.select_elements(root);
             let chains = p.select_chains(root).unwrap();
-            prop_assert_eq!(elements.len(), chains.len());
+            assert_eq!(elements.len(), chains.len(), "case {case}: {src}");
             for (el, chain) in elements.iter().zip(&chains) {
                 let via_chain = xmlval::path::element_by_chain(root, chain).unwrap();
-                prop_assert_eq!(*el, via_chain);
+                assert_eq!(*el, via_chain, "case {case}: {src}");
             }
         }
     }
@@ -296,72 +459,77 @@ proptest! {
 
 // ---------------------------------------------------------------- transactions
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    // Any sequence of DML inside BEGIN…ROLLBACK leaves the table exactly
-    // as it was (transaction atomicity over the undo log).
-    #[test]
-    fn rollback_restores_exact_state(
-        ops in proptest::collection::vec((0u8..3, any::<u8>(), any::<i16>()), 1..16)
-    ) {
+// Any sequence of DML inside BEGIN…ROLLBACK leaves the table exactly
+// as it was (transaction atomicity over the undo log).
+#[test]
+fn rollback_restores_exact_state() {
+    for case in 0..HEAVY_CASES {
+        let mut rng = Rng::new(0x6001 ^ case);
         let db = Database::new("txn");
         let conn = db.connect();
         conn.execute_script(
             "CREATE TABLE t (id INT PRIMARY KEY, v INT);
              INSERT INTO t VALUES (1, 1), (2, 2), (3, 3);",
-        ).unwrap();
+        )
+        .unwrap();
         let before = conn.query("SELECT * FROM t ORDER BY id", &[]).unwrap();
 
         conn.execute("BEGIN", &[]).unwrap();
         let mut next = 1000i64;
-        for (op, pick, val) in ops {
+        for _ in 0..rng.range(1, 16) {
+            let op = rng.range(0, 3);
+            let pick = rng.range(0, 256) as i64;
+            let val = rng.irange(i16::MIN as i64, i16::MAX as i64 + 1);
             let r = match op {
                 0 => {
                     next += 1;
                     conn.execute(
                         "INSERT INTO t VALUES (?, ?)",
-                        &[Value::Int(next), Value::Int(val as i64)],
+                        &[Value::Int(next), Value::Int(val)],
                     )
                 }
                 1 => conn.execute(
                     "UPDATE t SET v = ? WHERE id % 3 = ?",
-                    &[Value::Int(val as i64), Value::Int((pick % 3) as i64)],
+                    &[Value::Int(val), Value::Int(pick % 3)],
                 ),
-                _ => conn.execute(
-                    "DELETE FROM t WHERE id % 5 = ?",
-                    &[Value::Int((pick % 5) as i64)],
-                ),
+                _ => conn.execute("DELETE FROM t WHERE id % 5 = ?", &[Value::Int(pick % 5)]),
             };
-            prop_assert!(r.is_ok());
+            assert!(r.is_ok(), "case {case}");
         }
         conn.execute("ROLLBACK", &[]).unwrap();
 
         let after = conn.query("SELECT * FROM t ORDER BY id", &[]).unwrap();
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after, "case {case}");
     }
+}
 
-    // ORDER BY produces rows sorted under the engine's total order.
-    #[test]
-    fn order_by_sorts(values in proptest::collection::vec(arb_value(), 0..20)) {
+// ORDER BY produces rows sorted under the engine's total order.
+#[test]
+fn order_by_sorts() {
+    for case in 0..HEAVY_CASES {
+        let mut rng = Rng::new(0x6002 ^ case);
+        let values: Vec<Value> = (0..rng.range(0, 20)).map(|_| gen_value(&mut rng)).collect();
         let db = Database::new("sort");
         let conn = db.connect();
-        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)", &[]).unwrap();
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)", &[])
+            .unwrap();
         for (i, v) in values.iter().enumerate() {
             let as_text = match v {
                 Value::Null => Value::Null,
                 other => other.coerce(DataType::Text).unwrap(),
             };
-            conn.execute(
-                "INSERT INTO t VALUES (?, ?)",
-                &[Value::Int(i as i64), as_text],
-            ).unwrap();
+            conn.execute("INSERT INTO t VALUES (?, ?)", &[Value::Int(i as i64), as_text])
+                .unwrap();
         }
         let rs = conn.query("SELECT v FROM t ORDER BY v", &[]).unwrap();
         for w in rs.rows.windows(2) {
-            prop_assert_ne!(w[0][0].total_cmp(&w[1][0]), std::cmp::Ordering::Greater);
+            assert_ne!(
+                w[0][0].total_cmp(&w[1][0]),
+                std::cmp::Ordering::Greater,
+                "case {case}"
+            );
         }
-        prop_assert_eq!(rs.rows.len(), values.len());
+        assert_eq!(rs.rows.len(), values.len(), "case {case}");
     }
 }
 
@@ -370,53 +538,72 @@ proptest! {
 // The SQL executor compared against a hand-rolled reference model on
 // random data: filtering with three-valued logic, grouped aggregation,
 // DISTINCT, and UNION semantics.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn where_filter_matches_model(
-        rows in proptest::collection::vec(
-            (0i64..20, proptest::option::of(-5i64..15)), 0..30),
-        threshold in -5i64..15,
-    ) {
+#[test]
+fn where_filter_matches_model() {
+    for case in 0..HEAVY_CASES {
+        let mut rng = Rng::new(0x7001 ^ case);
+        let rows: Vec<Option<i64>> = (0..rng.range(0, 30))
+            .map(|_| {
+                if rng.range(0, 4) == 0 {
+                    None
+                } else {
+                    Some(rng.irange(-5, 15))
+                }
+            })
+            .collect();
+        let threshold = rng.irange(-5, 15);
         let db = Database::new("model1");
         let conn = db.connect();
-        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)", &[]).unwrap();
-        for (i, (_, v)) in rows.iter().enumerate() {
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)", &[])
+            .unwrap();
+        for (i, v) in rows.iter().enumerate() {
             conn.execute(
                 "INSERT INTO t VALUES (?, ?)",
                 &[Value::Int(i as i64), v.map(Value::Int).unwrap_or(Value::Null)],
-            ).unwrap();
+            )
+            .unwrap();
         }
         let got = conn
-            .query("SELECT id FROM t WHERE v > ? ORDER BY id", &[Value::Int(threshold)])
+            .query(
+                "SELECT id FROM t WHERE v > ? ORDER BY id",
+                &[Value::Int(threshold)],
+            )
             .unwrap();
         // Model: NULL comparisons are unknown → row dropped.
         let want: Vec<i64> = rows
             .iter()
             .enumerate()
-            .filter(|(_, (_, v))| v.is_some_and(|x| x > threshold))
+            .filter(|(_, v)| v.is_some_and(|x| x > threshold))
             .map(|(i, _)| i as i64)
             .collect();
         let got_ids: Vec<i64> = got.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
-        prop_assert_eq!(got_ids, want);
+        assert_eq!(got_ids, want, "case {case}");
     }
+}
 
-    #[test]
-    fn group_by_sum_matches_model(
-        rows in proptest::collection::vec((0i64..5, -100i64..100), 0..40),
-    ) {
+#[test]
+fn group_by_sum_matches_model() {
+    for case in 0..HEAVY_CASES {
+        let mut rng = Rng::new(0x7002 ^ case);
+        let rows: Vec<(i64, i64)> = (0..rng.range(0, 40))
+            .map(|_| (rng.irange(0, 5), rng.irange(-100, 100)))
+            .collect();
         let db = Database::new("model2");
         let conn = db.connect();
-        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, grp INT, v INT)", &[]).unwrap();
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, grp INT, v INT)", &[])
+            .unwrap();
         for (i, (g, v)) in rows.iter().enumerate() {
             conn.execute(
                 "INSERT INTO t VALUES (?, ?, ?)",
                 &[Value::Int(i as i64), Value::Int(*g), Value::Int(*v)],
-            ).unwrap();
+            )
+            .unwrap();
         }
         let got = conn
-            .query("SELECT grp, SUM(v), COUNT(*) FROM t GROUP BY grp ORDER BY grp", &[])
+            .query(
+                "SELECT grp, SUM(v), COUNT(*) FROM t GROUP BY grp ORDER BY grp",
+                &[],
+            )
             .unwrap();
         let mut model: std::collections::BTreeMap<i64, (i64, i64)> = Default::default();
         for (g, v) in &rows {
@@ -424,29 +611,41 @@ proptest! {
             e.0 += v;
             e.1 += 1;
         }
-        prop_assert_eq!(got.rows.len(), model.len());
+        assert_eq!(got.rows.len(), model.len(), "case {case}");
         for row in &got.rows {
             let g = row[0].as_i64().unwrap();
             let (sum, count) = model[&g];
-            prop_assert_eq!(row[1].as_i64().unwrap(), sum);
-            prop_assert_eq!(row[2].as_i64().unwrap(), count);
+            assert_eq!(row[1].as_i64().unwrap(), sum, "case {case}");
+            assert_eq!(row[2].as_i64().unwrap(), count, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn distinct_and_union_match_model(
-        left in proptest::collection::vec(0i64..8, 0..20),
-        right in proptest::collection::vec(0i64..8, 0..20),
-    ) {
+#[test]
+fn distinct_and_union_match_model() {
+    for case in 0..HEAVY_CASES {
+        let mut rng = Rng::new(0x7003 ^ case);
+        let left: Vec<i64> = (0..rng.range(0, 20)).map(|_| rng.irange(0, 8)).collect();
+        let right: Vec<i64> = (0..rng.range(0, 20)).map(|_| rng.irange(0, 8)).collect();
         let db = Database::new("model3");
         let conn = db.connect();
-        conn.execute("CREATE TABLE a (id INT PRIMARY KEY, v INT)", &[]).unwrap();
-        conn.execute("CREATE TABLE b (id INT PRIMARY KEY, v INT)", &[]).unwrap();
+        conn.execute("CREATE TABLE a (id INT PRIMARY KEY, v INT)", &[])
+            .unwrap();
+        conn.execute("CREATE TABLE b (id INT PRIMARY KEY, v INT)", &[])
+            .unwrap();
         for (i, v) in left.iter().enumerate() {
-            conn.execute("INSERT INTO a VALUES (?, ?)", &[Value::Int(i as i64), Value::Int(*v)]).unwrap();
+            conn.execute(
+                "INSERT INTO a VALUES (?, ?)",
+                &[Value::Int(i as i64), Value::Int(*v)],
+            )
+            .unwrap();
         }
         for (i, v) in right.iter().enumerate() {
-            conn.execute("INSERT INTO b VALUES (?, ?)", &[Value::Int(i as i64), Value::Int(*v)]).unwrap();
+            conn.execute(
+                "INSERT INTO b VALUES (?, ?)",
+                &[Value::Int(i as i64), Value::Int(*v)],
+            )
+            .unwrap();
         }
 
         // DISTINCT = set semantics.
@@ -455,7 +654,7 @@ proptest! {
         want.sort_unstable();
         want.dedup();
         let got_vals: Vec<i64> = got.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
-        prop_assert_eq!(&got_vals, &want);
+        assert_eq!(&got_vals, &want, "case {case}");
 
         // UNION dedupes across both arms; UNION ALL concatenates.
         let got = conn
@@ -465,28 +664,40 @@ proptest! {
         union_want.sort_unstable();
         union_want.dedup();
         let got_vals: Vec<i64> = got.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
-        prop_assert_eq!(&got_vals, &union_want);
+        assert_eq!(&got_vals, &union_want, "case {case}");
 
         let got = conn
             .query("SELECT v FROM a UNION ALL SELECT v FROM b", &[])
             .unwrap();
-        prop_assert_eq!(got.rows.len(), left.len() + right.len());
+        assert_eq!(got.rows.len(), left.len() + right.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn inner_join_matches_nested_loop_model(
-        left in proptest::collection::vec(0i64..6, 0..12),
-        right in proptest::collection::vec(0i64..6, 0..12),
-    ) {
+#[test]
+fn inner_join_matches_nested_loop_model() {
+    for case in 0..HEAVY_CASES {
+        let mut rng = Rng::new(0x7004 ^ case);
+        let left: Vec<i64> = (0..rng.range(0, 12)).map(|_| rng.irange(0, 6)).collect();
+        let right: Vec<i64> = (0..rng.range(0, 12)).map(|_| rng.irange(0, 6)).collect();
         let db = Database::new("model4");
         let conn = db.connect();
-        conn.execute("CREATE TABLE l (id INT PRIMARY KEY, k INT)", &[]).unwrap();
-        conn.execute("CREATE TABLE r (id INT PRIMARY KEY, k INT)", &[]).unwrap();
+        conn.execute("CREATE TABLE l (id INT PRIMARY KEY, k INT)", &[])
+            .unwrap();
+        conn.execute("CREATE TABLE r (id INT PRIMARY KEY, k INT)", &[])
+            .unwrap();
         for (i, v) in left.iter().enumerate() {
-            conn.execute("INSERT INTO l VALUES (?, ?)", &[Value::Int(i as i64), Value::Int(*v)]).unwrap();
+            conn.execute(
+                "INSERT INTO l VALUES (?, ?)",
+                &[Value::Int(i as i64), Value::Int(*v)],
+            )
+            .unwrap();
         }
         for (i, v) in right.iter().enumerate() {
-            conn.execute("INSERT INTO r VALUES (?, ?)", &[Value::Int(i as i64), Value::Int(*v)]).unwrap();
+            conn.execute(
+                "INSERT INTO r VALUES (?, ?)",
+                &[Value::Int(i as i64), Value::Int(*v)],
+            )
+            .unwrap();
         }
         let got = conn
             .query("SELECT COUNT(*) FROM l JOIN r ON l.k = r.k", &[])
@@ -495,6 +706,10 @@ proptest! {
             .iter()
             .map(|lk| right.iter().filter(|rk| *rk == lk).count())
             .sum();
-        prop_assert_eq!(got.single_value().unwrap().as_i64().unwrap(), want as i64);
+        assert_eq!(
+            got.single_value().unwrap().as_i64().unwrap(),
+            want as i64,
+            "case {case}"
+        );
     }
 }
