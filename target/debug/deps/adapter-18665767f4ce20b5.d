@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adapter-18665767f4ce20b5.d: crates/adapter/src/lib.rs crates/adapter/src/envelope.rs crates/adapter/src/service.rs
+
+/root/repo/target/debug/deps/libadapter-18665767f4ce20b5.rlib: crates/adapter/src/lib.rs crates/adapter/src/envelope.rs crates/adapter/src/service.rs
+
+/root/repo/target/debug/deps/libadapter-18665767f4ce20b5.rmeta: crates/adapter/src/lib.rs crates/adapter/src/envelope.rs crates/adapter/src/service.rs
+
+crates/adapter/src/lib.rs:
+crates/adapter/src/envelope.rs:
+crates/adapter/src/service.rs:

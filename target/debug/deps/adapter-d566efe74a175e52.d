@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/adapter-d566efe74a175e52.d: crates/adapter/src/lib.rs crates/adapter/src/envelope.rs crates/adapter/src/service.rs
+
+/root/repo/target/debug/deps/adapter-d566efe74a175e52: crates/adapter/src/lib.rs crates/adapter/src/envelope.rs crates/adapter/src/service.rs
+
+crates/adapter/src/lib.rs:
+crates/adapter/src/envelope.rs:
+crates/adapter/src/service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/atomic_sequence-cc572e1ebb7a5af2.d: crates/bench/benches/atomic_sequence.rs
+
+/root/repo/target/debug/deps/atomic_sequence-cc572e1ebb7a5af2: crates/bench/benches/atomic_sequence.rs
+
+crates/bench/benches/atomic_sequence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/atomic_sequence-ee8f4c6ca71b1b82.d: crates/bis/tests/atomic_sequence.rs
+
+/root/repo/target/debug/deps/atomic_sequence-ee8f4c6ca71b1b82: crates/bis/tests/atomic_sequence.rs
+
+crates/bis/tests/atomic_sequence.rs:

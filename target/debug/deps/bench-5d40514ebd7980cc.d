@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-5d40514ebd7980cc.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/rng.rs
+
+/root/repo/target/debug/deps/bench-5d40514ebd7980cc: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/rng.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/rng.rs:

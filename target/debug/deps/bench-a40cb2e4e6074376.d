@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-a40cb2e4e6074376.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/rng.rs
+
+/root/repo/target/debug/deps/libbench-a40cb2e4e6074376.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/rng.rs
+
+/root/repo/target/debug/deps/libbench-a40cb2e4e6074376.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/rng.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/rng.rs:

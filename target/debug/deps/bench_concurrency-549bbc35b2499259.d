@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_concurrency-549bbc35b2499259.d: crates/bench/src/bin/bench_concurrency.rs
+
+/root/repo/target/debug/deps/bench_concurrency-549bbc35b2499259: crates/bench/src/bin/bench_concurrency.rs
+
+crates/bench/src/bin/bench_concurrency.rs:

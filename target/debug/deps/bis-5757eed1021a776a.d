@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bis-5757eed1021a776a.d: crates/bis/src/lib.rs crates/bis/src/activities.rs crates/bis/src/cursor.rs crates/bis/src/datasource.rs crates/bis/src/deployment.rs crates/bis/src/integration.rs crates/bis/src/sample.rs crates/bis/src/setref.rs
+
+/root/repo/target/debug/deps/libbis-5757eed1021a776a.rlib: crates/bis/src/lib.rs crates/bis/src/activities.rs crates/bis/src/cursor.rs crates/bis/src/datasource.rs crates/bis/src/deployment.rs crates/bis/src/integration.rs crates/bis/src/sample.rs crates/bis/src/setref.rs
+
+/root/repo/target/debug/deps/libbis-5757eed1021a776a.rmeta: crates/bis/src/lib.rs crates/bis/src/activities.rs crates/bis/src/cursor.rs crates/bis/src/datasource.rs crates/bis/src/deployment.rs crates/bis/src/integration.rs crates/bis/src/sample.rs crates/bis/src/setref.rs
+
+crates/bis/src/lib.rs:
+crates/bis/src/activities.rs:
+crates/bis/src/cursor.rs:
+crates/bis/src/datasource.rs:
+crates/bis/src/deployment.rs:
+crates/bis/src/integration.rs:
+crates/bis/src/sample.rs:
+crates/bis/src/setref.rs:

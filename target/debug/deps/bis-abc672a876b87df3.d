@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bis-abc672a876b87df3.d: crates/bis/src/lib.rs crates/bis/src/activities.rs crates/bis/src/cursor.rs crates/bis/src/datasource.rs crates/bis/src/deployment.rs crates/bis/src/integration.rs crates/bis/src/sample.rs crates/bis/src/setref.rs
+
+/root/repo/target/debug/deps/bis-abc672a876b87df3: crates/bis/src/lib.rs crates/bis/src/activities.rs crates/bis/src/cursor.rs crates/bis/src/datasource.rs crates/bis/src/deployment.rs crates/bis/src/integration.rs crates/bis/src/sample.rs crates/bis/src/setref.rs
+
+crates/bis/src/lib.rs:
+crates/bis/src/activities.rs:
+crates/bis/src/cursor.rs:
+crates/bis/src/datasource.rs:
+crates/bis/src/deployment.rs:
+crates/bis/src/integration.rs:
+crates/bis/src/sample.rs:
+crates/bis/src/setref.rs:

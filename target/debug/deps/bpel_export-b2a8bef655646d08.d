@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bpel_export-b2a8bef655646d08.d: tests/bpel_export.rs
+
+/root/repo/target/debug/deps/bpel_export-b2a8bef655646d08: tests/bpel_export.rs
+
+tests/bpel_export.rs:

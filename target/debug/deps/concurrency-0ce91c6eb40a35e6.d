@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-0ce91c6eb40a35e6.d: crates/sqlkernel/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-0ce91c6eb40a35e6: crates/sqlkernel/tests/concurrency.rs
+
+crates/sqlkernel/tests/concurrency.rs:

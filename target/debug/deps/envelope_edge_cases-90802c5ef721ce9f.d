@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/envelope_edge_cases-90802c5ef721ce9f.d: crates/adapter/tests/envelope_edge_cases.rs
+
+/root/repo/target/debug/deps/envelope_edge_cases-90802c5ef721ce9f: crates/adapter/tests/envelope_edge_cases.rs
+
+crates/adapter/tests/envelope_edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-5aa210a8aff99f3f.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-5aa210a8aff99f3f: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-06b51be142a4f910.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-06b51be142a4f910: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-31e1de9c26f9b3a1.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-31e1de9c26f9b3a1: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

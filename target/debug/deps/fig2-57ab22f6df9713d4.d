@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-57ab22f6df9713d4.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-57ab22f6df9713d4: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-77f7d0f3005a809d.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-77f7d0f3005a809d: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

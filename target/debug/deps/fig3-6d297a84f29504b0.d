@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-6d297a84f29504b0.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-6d297a84f29504b0: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

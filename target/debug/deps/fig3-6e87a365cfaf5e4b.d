@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-6e87a365cfaf5e4b.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-6e87a365cfaf5e4b: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-44013ae2799d6dda.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-44013ae2799d6dda: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

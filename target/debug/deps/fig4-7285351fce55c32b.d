@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-7285351fce55c32b.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-7285351fce55c32b: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

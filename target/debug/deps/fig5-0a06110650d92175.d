@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-0a06110650d92175.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-0a06110650d92175: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-f45f1cae218162cc.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-f45f1cae218162cc: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-17f3955d90496486.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-17f3955d90496486: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-34370da23a723eea.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-34370da23a723eea: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

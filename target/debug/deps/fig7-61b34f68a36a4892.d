@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-61b34f68a36a4892.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-61b34f68a36a4892: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-6f4a904fe66155b7.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-6f4a904fe66155b7: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

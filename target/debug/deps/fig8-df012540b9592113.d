@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-df012540b9592113.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-df012540b9592113: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-fe307f3f73a38fab.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-fe307f3f73a38fab: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

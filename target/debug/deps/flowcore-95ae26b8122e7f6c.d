@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/flowcore-95ae26b8122e7f6c.d: crates/flowcore/src/lib.rs crates/flowcore/src/activity.rs crates/flowcore/src/audit.rs crates/flowcore/src/bpel.rs crates/flowcore/src/builtins.rs crates/flowcore/src/engine.rs crates/flowcore/src/error.rs crates/flowcore/src/process.rs crates/flowcore/src/service.rs crates/flowcore/src/value.rs
+
+/root/repo/target/debug/deps/libflowcore-95ae26b8122e7f6c.rlib: crates/flowcore/src/lib.rs crates/flowcore/src/activity.rs crates/flowcore/src/audit.rs crates/flowcore/src/bpel.rs crates/flowcore/src/builtins.rs crates/flowcore/src/engine.rs crates/flowcore/src/error.rs crates/flowcore/src/process.rs crates/flowcore/src/service.rs crates/flowcore/src/value.rs
+
+/root/repo/target/debug/deps/libflowcore-95ae26b8122e7f6c.rmeta: crates/flowcore/src/lib.rs crates/flowcore/src/activity.rs crates/flowcore/src/audit.rs crates/flowcore/src/bpel.rs crates/flowcore/src/builtins.rs crates/flowcore/src/engine.rs crates/flowcore/src/error.rs crates/flowcore/src/process.rs crates/flowcore/src/service.rs crates/flowcore/src/value.rs
+
+crates/flowcore/src/lib.rs:
+crates/flowcore/src/activity.rs:
+crates/flowcore/src/audit.rs:
+crates/flowcore/src/bpel.rs:
+crates/flowcore/src/builtins.rs:
+crates/flowcore/src/engine.rs:
+crates/flowcore/src/error.rs:
+crates/flowcore/src/process.rs:
+crates/flowcore/src/service.rs:
+crates/flowcore/src/value.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flowcore-c234f4d75426f2c6.d: crates/flowcore/src/lib.rs crates/flowcore/src/activity.rs crates/flowcore/src/audit.rs crates/flowcore/src/bpel.rs crates/flowcore/src/builtins.rs crates/flowcore/src/engine.rs crates/flowcore/src/error.rs crates/flowcore/src/process.rs crates/flowcore/src/service.rs crates/flowcore/src/value.rs
+
+/root/repo/target/debug/deps/flowcore-c234f4d75426f2c6: crates/flowcore/src/lib.rs crates/flowcore/src/activity.rs crates/flowcore/src/audit.rs crates/flowcore/src/bpel.rs crates/flowcore/src/builtins.rs crates/flowcore/src/engine.rs crates/flowcore/src/error.rs crates/flowcore/src/process.rs crates/flowcore/src/service.rs crates/flowcore/src/value.rs
+
+crates/flowcore/src/lib.rs:
+crates/flowcore/src/activity.rs:
+crates/flowcore/src/audit.rs:
+crates/flowcore/src/bpel.rs:
+crates/flowcore/src/builtins.rs:
+crates/flowcore/src/engine.rs:
+crates/flowcore/src/error.rs:
+crates/flowcore/src/process.rs:
+crates/flowcore/src/service.rs:
+crates/flowcore/src/value.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flowsql-4d1ae85a37240c9e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libflowsql-4d1ae85a37240c9e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libflowsql-4d1ae85a37240c9e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flowsql-ea242a312c93e273.d: src/lib.rs
+
+/root/repo/target/debug/deps/flowsql-ea242a312c93e273: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/inline_vs_adapter-b81278f8c36c22e1.d: crates/bench/benches/inline_vs_adapter.rs
+
+/root/repo/target/debug/deps/inline_vs_adapter-b81278f8c36c22e1: crates/bench/benches/inline_vs_adapter.rs
+
+crates/bench/benches/inline_vs_adapter.rs:

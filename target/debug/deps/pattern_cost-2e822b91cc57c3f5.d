@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pattern_cost-2e822b91cc57c3f5.d: crates/bench/benches/pattern_cost.rs
+
+/root/repo/target/debug/deps/pattern_cost-2e822b91cc57c3f5: crates/bench/benches/pattern_cost.rs
+
+crates/bench/benches/pattern_cost.rs:

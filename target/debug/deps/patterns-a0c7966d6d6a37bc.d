@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/patterns-a0c7966d6d6a37bc.d: crates/patterns/src/lib.rs crates/patterns/src/paper.rs crates/patterns/src/pattern.rs crates/patterns/src/probe.rs crates/patterns/src/product.rs crates/patterns/src/report.rs crates/patterns/src/support.rs crates/patterns/src/taxonomy.rs
+
+/root/repo/target/debug/deps/patterns-a0c7966d6d6a37bc: crates/patterns/src/lib.rs crates/patterns/src/paper.rs crates/patterns/src/pattern.rs crates/patterns/src/probe.rs crates/patterns/src/product.rs crates/patterns/src/report.rs crates/patterns/src/support.rs crates/patterns/src/taxonomy.rs
+
+crates/patterns/src/lib.rs:
+crates/patterns/src/paper.rs:
+crates/patterns/src/pattern.rs:
+crates/patterns/src/probe.rs:
+crates/patterns/src/product.rs:
+crates/patterns/src/report.rs:
+crates/patterns/src/support.rs:
+crates/patterns/src/taxonomy.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/patterns-ff20f92a463be9ba.d: crates/patterns/src/lib.rs crates/patterns/src/paper.rs crates/patterns/src/pattern.rs crates/patterns/src/probe.rs crates/patterns/src/product.rs crates/patterns/src/report.rs crates/patterns/src/support.rs crates/patterns/src/taxonomy.rs
+
+/root/repo/target/debug/deps/libpatterns-ff20f92a463be9ba.rlib: crates/patterns/src/lib.rs crates/patterns/src/paper.rs crates/patterns/src/pattern.rs crates/patterns/src/probe.rs crates/patterns/src/product.rs crates/patterns/src/report.rs crates/patterns/src/support.rs crates/patterns/src/taxonomy.rs
+
+/root/repo/target/debug/deps/libpatterns-ff20f92a463be9ba.rmeta: crates/patterns/src/lib.rs crates/patterns/src/paper.rs crates/patterns/src/pattern.rs crates/patterns/src/probe.rs crates/patterns/src/product.rs crates/patterns/src/report.rs crates/patterns/src/support.rs crates/patterns/src/taxonomy.rs
+
+crates/patterns/src/lib.rs:
+crates/patterns/src/paper.rs:
+crates/patterns/src/pattern.rs:
+crates/patterns/src/probe.rs:
+crates/patterns/src/product.rs:
+crates/patterns/src/report.rs:
+crates/patterns/src/support.rs:
+crates/patterns/src/taxonomy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-cf2baf1eb5e71cf0.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-cf2baf1eb5e71cf0: tests/proptests.rs
+
+tests/proptests.rs:

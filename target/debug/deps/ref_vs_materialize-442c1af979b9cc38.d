@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ref_vs_materialize-442c1af979b9cc38.d: crates/bench/benches/ref_vs_materialize.rs
+
+/root/repo/target/debug/deps/ref_vs_materialize-442c1af979b9cc38: crates/bench/benches/ref_vs_materialize.rs
+
+crates/bench/benches/ref_vs_materialize.rs:

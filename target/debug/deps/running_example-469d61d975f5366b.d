@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/running_example-469d61d975f5366b.d: tests/running_example.rs
+
+/root/repo/target/debug/deps/running_example-469d61d975f5366b: tests/running_example.rs
+
+tests/running_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/set_access-84155d031b059f34.d: crates/bench/benches/set_access.rs
+
+/root/repo/target/debug/deps/set_access-84155d031b059f34: crates/bench/benches/set_access.rs
+
+crates/bench/benches/set_access.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/soa-0b167c272c8f721f.d: crates/soa/src/lib.rs crates/soa/src/bpelx.rs crates/soa/src/cursor.rs crates/soa/src/env.rs crates/soa/src/functions.rs crates/soa/src/integration.rs crates/soa/src/sample.rs crates/soa/src/xsql.rs
+
+/root/repo/target/debug/deps/soa-0b167c272c8f721f: crates/soa/src/lib.rs crates/soa/src/bpelx.rs crates/soa/src/cursor.rs crates/soa/src/env.rs crates/soa/src/functions.rs crates/soa/src/integration.rs crates/soa/src/sample.rs crates/soa/src/xsql.rs
+
+crates/soa/src/lib.rs:
+crates/soa/src/bpelx.rs:
+crates/soa/src/cursor.rs:
+crates/soa/src/env.rs:
+crates/soa/src/functions.rs:
+crates/soa/src/integration.rs:
+crates/soa/src/sample.rs:
+crates/soa/src/xsql.rs:

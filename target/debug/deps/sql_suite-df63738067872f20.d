@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_suite-df63738067872f20.d: crates/sqlkernel/tests/sql_suite.rs
+
+/root/repo/target/debug/deps/sql_suite-df63738067872f20: crates/sqlkernel/tests/sql_suite.rs
+
+crates/sqlkernel/tests/sql_suite.rs:

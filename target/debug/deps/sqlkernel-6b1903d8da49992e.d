@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/sqlkernel-6b1903d8da49992e.d: crates/sqlkernel/src/lib.rs crates/sqlkernel/src/ast.rs crates/sqlkernel/src/catalog.rs crates/sqlkernel/src/db.rs crates/sqlkernel/src/error.rs crates/sqlkernel/src/exec/mod.rs crates/sqlkernel/src/exec/ddl.rs crates/sqlkernel/src/exec/dml.rs crates/sqlkernel/src/exec/select.rs crates/sqlkernel/src/expr.rs crates/sqlkernel/src/lexer.rs crates/sqlkernel/src/parser.rs crates/sqlkernel/src/schema.rs crates/sqlkernel/src/storage.rs crates/sqlkernel/src/sync.rs crates/sqlkernel/src/token.rs crates/sqlkernel/src/txn.rs crates/sqlkernel/src/types.rs
+
+/root/repo/target/debug/deps/sqlkernel-6b1903d8da49992e: crates/sqlkernel/src/lib.rs crates/sqlkernel/src/ast.rs crates/sqlkernel/src/catalog.rs crates/sqlkernel/src/db.rs crates/sqlkernel/src/error.rs crates/sqlkernel/src/exec/mod.rs crates/sqlkernel/src/exec/ddl.rs crates/sqlkernel/src/exec/dml.rs crates/sqlkernel/src/exec/select.rs crates/sqlkernel/src/expr.rs crates/sqlkernel/src/lexer.rs crates/sqlkernel/src/parser.rs crates/sqlkernel/src/schema.rs crates/sqlkernel/src/storage.rs crates/sqlkernel/src/sync.rs crates/sqlkernel/src/token.rs crates/sqlkernel/src/txn.rs crates/sqlkernel/src/types.rs
+
+crates/sqlkernel/src/lib.rs:
+crates/sqlkernel/src/ast.rs:
+crates/sqlkernel/src/catalog.rs:
+crates/sqlkernel/src/db.rs:
+crates/sqlkernel/src/error.rs:
+crates/sqlkernel/src/exec/mod.rs:
+crates/sqlkernel/src/exec/ddl.rs:
+crates/sqlkernel/src/exec/dml.rs:
+crates/sqlkernel/src/exec/select.rs:
+crates/sqlkernel/src/expr.rs:
+crates/sqlkernel/src/lexer.rs:
+crates/sqlkernel/src/parser.rs:
+crates/sqlkernel/src/schema.rs:
+crates/sqlkernel/src/storage.rs:
+crates/sqlkernel/src/sync.rs:
+crates/sqlkernel/src/token.rs:
+crates/sqlkernel/src/txn.rs:
+crates/sqlkernel/src/types.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sqlkernel_core-5471bba12b0596e2.d: crates/bench/benches/sqlkernel_core.rs
+
+/root/repo/target/debug/deps/sqlkernel_core-5471bba12b0596e2: crates/bench/benches/sqlkernel_core.rs
+
+crates/bench/benches/sqlkernel_core.rs:

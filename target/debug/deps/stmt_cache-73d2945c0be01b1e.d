@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stmt_cache-73d2945c0be01b1e.d: crates/sqlkernel/tests/stmt_cache.rs
+
+/root/repo/target/debug/deps/stmt_cache-73d2945c0be01b1e: crates/sqlkernel/tests/stmt_cache.rs
+
+crates/sqlkernel/tests/stmt_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-5b003d3b4cfeb0fa.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-5b003d3b4cfeb0fa: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

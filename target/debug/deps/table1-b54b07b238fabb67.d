@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-b54b07b238fabb67.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-b54b07b238fabb67: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-0b4129b76bc75e88.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-0b4129b76bc75e88: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-1c3438b80d9dd9a8.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-1c3438b80d9dd9a8: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_reproduction-bc99ff006123f3dd.d: tests/table_reproduction.rs
+
+/root/repo/target/debug/deps/table_reproduction-bc99ff006123f3dd: tests/table_reproduction.rs
+
+tests/table_reproduction.rs:

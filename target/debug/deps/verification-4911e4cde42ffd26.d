@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verification-4911e4cde42ffd26.d: crates/patterns/tests/verification.rs
+
+/root/repo/target/debug/deps/verification-4911e4cde42ffd26: crates/patterns/tests/verification.rs
+
+crates/patterns/tests/verification.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/xmlval-154f8d8cbb20384b.d: crates/xmlval/src/lib.rs crates/xmlval/src/error.rs crates/xmlval/src/node.rs crates/xmlval/src/parse.rs crates/xmlval/src/path.rs crates/xmlval/src/rowset.rs
+
+/root/repo/target/debug/deps/libxmlval-154f8d8cbb20384b.rlib: crates/xmlval/src/lib.rs crates/xmlval/src/error.rs crates/xmlval/src/node.rs crates/xmlval/src/parse.rs crates/xmlval/src/path.rs crates/xmlval/src/rowset.rs
+
+/root/repo/target/debug/deps/libxmlval-154f8d8cbb20384b.rmeta: crates/xmlval/src/lib.rs crates/xmlval/src/error.rs crates/xmlval/src/node.rs crates/xmlval/src/parse.rs crates/xmlval/src/path.rs crates/xmlval/src/rowset.rs
+
+crates/xmlval/src/lib.rs:
+crates/xmlval/src/error.rs:
+crates/xmlval/src/node.rs:
+crates/xmlval/src/parse.rs:
+crates/xmlval/src/path.rs:
+crates/xmlval/src/rowset.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/xmlval-6a70e34527029178.d: crates/xmlval/src/lib.rs crates/xmlval/src/error.rs crates/xmlval/src/node.rs crates/xmlval/src/parse.rs crates/xmlval/src/path.rs crates/xmlval/src/rowset.rs
+
+/root/repo/target/debug/deps/xmlval-6a70e34527029178: crates/xmlval/src/lib.rs crates/xmlval/src/error.rs crates/xmlval/src/node.rs crates/xmlval/src/parse.rs crates/xmlval/src/path.rs crates/xmlval/src/rowset.rs
+
+crates/xmlval/src/lib.rs:
+crates/xmlval/src/error.rs:
+crates/xmlval/src/node.rs:
+crates/xmlval/src/parse.rs:
+crates/xmlval/src/path.rs:
+crates/xmlval/src/rowset.rs:

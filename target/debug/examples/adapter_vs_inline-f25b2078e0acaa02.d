@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adapter_vs_inline-f25b2078e0acaa02.d: examples/adapter_vs_inline.rs
+
+/root/repo/target/debug/examples/adapter_vs_inline-f25b2078e0acaa02: examples/adapter_vs_inline.rs
+
+examples/adapter_vs_inline.rs:

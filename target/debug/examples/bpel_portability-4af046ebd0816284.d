@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bpel_portability-4af046ebd0816284.d: examples/bpel_portability.rs
+
+/root/repo/target/debug/examples/bpel_portability-4af046ebd0816284: examples/bpel_portability.rs
+
+examples/bpel_portability.rs:

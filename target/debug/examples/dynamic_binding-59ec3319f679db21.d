@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_binding-59ec3319f679db21.d: examples/dynamic_binding.rs
+
+/root/repo/target/debug/examples/dynamic_binding-59ec3319f679db21: examples/dynamic_binding.rs
+
+examples/dynamic_binding.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/markup_authoring-780a194050130430.d: examples/markup_authoring.rs
+
+/root/repo/target/debug/examples/markup_authoring-780a194050130430: examples/markup_authoring.rs
+
+examples/markup_authoring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/order_fulfillment_bis-bca26d6db34dbc05.d: examples/order_fulfillment_bis.rs
+
+/root/repo/target/debug/examples/order_fulfillment_bis-bca26d6db34dbc05: examples/order_fulfillment_bis.rs
+
+examples/order_fulfillment_bis.rs:

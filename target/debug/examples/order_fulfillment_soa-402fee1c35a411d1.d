@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/order_fulfillment_soa-402fee1c35a411d1.d: examples/order_fulfillment_soa.rs
+
+/root/repo/target/debug/examples/order_fulfillment_soa-402fee1c35a411d1: examples/order_fulfillment_soa.rs
+
+examples/order_fulfillment_soa.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/order_fulfillment_wf-1749e71f8b3e52e1.d: examples/order_fulfillment_wf.rs
+
+/root/repo/target/debug/examples/order_fulfillment_wf-1749e71f8b3e52e1: examples/order_fulfillment_wf.rs
+
+examples/order_fulfillment_wf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/patterns_tour-42de05aa01462458.d: examples/patterns_tour.rs
+
+/root/repo/target/debug/examples/patterns_tour-42de05aa01462458: examples/patterns_tour.rs
+
+examples/patterns_tour.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e8591bceaa6a5b0f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e8591bceaa6a5b0f: examples/quickstart.rs
+
+examples/quickstart.rs:

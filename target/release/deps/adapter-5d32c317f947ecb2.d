@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/adapter-5d32c317f947ecb2.d: crates/adapter/src/lib.rs crates/adapter/src/envelope.rs crates/adapter/src/service.rs
+
+/root/repo/target/release/deps/libadapter-5d32c317f947ecb2.rlib: crates/adapter/src/lib.rs crates/adapter/src/envelope.rs crates/adapter/src/service.rs
+
+/root/repo/target/release/deps/libadapter-5d32c317f947ecb2.rmeta: crates/adapter/src/lib.rs crates/adapter/src/envelope.rs crates/adapter/src/service.rs
+
+crates/adapter/src/lib.rs:
+crates/adapter/src/envelope.rs:
+crates/adapter/src/service.rs:

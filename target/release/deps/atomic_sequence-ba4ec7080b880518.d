@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/atomic_sequence-ba4ec7080b880518.d: crates/bench/benches/atomic_sequence.rs
+
+/root/repo/target/release/deps/atomic_sequence-ba4ec7080b880518: crates/bench/benches/atomic_sequence.rs
+
+crates/bench/benches/atomic_sequence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-0f427796daf0e8f2.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/rng.rs
+
+/root/repo/target/release/deps/libbench-0f427796daf0e8f2.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/rng.rs
+
+/root/repo/target/release/deps/libbench-0f427796daf0e8f2.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/rng.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/rng.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_concurrency-7d44e3721620a42e.d: crates/bench/src/bin/bench_concurrency.rs
+
+/root/repo/target/release/deps/bench_concurrency-7d44e3721620a42e: crates/bench/src/bin/bench_concurrency.rs
+
+crates/bench/src/bin/bench_concurrency.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/bis-da21e3b1eb703617.d: crates/bis/src/lib.rs crates/bis/src/activities.rs crates/bis/src/cursor.rs crates/bis/src/datasource.rs crates/bis/src/deployment.rs crates/bis/src/integration.rs crates/bis/src/sample.rs crates/bis/src/setref.rs
+
+/root/repo/target/release/deps/libbis-da21e3b1eb703617.rlib: crates/bis/src/lib.rs crates/bis/src/activities.rs crates/bis/src/cursor.rs crates/bis/src/datasource.rs crates/bis/src/deployment.rs crates/bis/src/integration.rs crates/bis/src/sample.rs crates/bis/src/setref.rs
+
+/root/repo/target/release/deps/libbis-da21e3b1eb703617.rmeta: crates/bis/src/lib.rs crates/bis/src/activities.rs crates/bis/src/cursor.rs crates/bis/src/datasource.rs crates/bis/src/deployment.rs crates/bis/src/integration.rs crates/bis/src/sample.rs crates/bis/src/setref.rs
+
+crates/bis/src/lib.rs:
+crates/bis/src/activities.rs:
+crates/bis/src/cursor.rs:
+crates/bis/src/datasource.rs:
+crates/bis/src/deployment.rs:
+crates/bis/src/integration.rs:
+crates/bis/src/sample.rs:
+crates/bis/src/setref.rs:

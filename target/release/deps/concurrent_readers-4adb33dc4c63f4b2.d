@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/concurrent_readers-4adb33dc4c63f4b2.d: crates/bench/benches/concurrent_readers.rs
+
+/root/repo/target/release/deps/concurrent_readers-4adb33dc4c63f4b2: crates/bench/benches/concurrent_readers.rs
+
+crates/bench/benches/concurrent_readers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-5772bd780a5976f4.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-5772bd780a5976f4: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-b022d8d19fa8d5ab.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-b022d8d19fa8d5ab: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-2b4540473c72eaea.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-2b4540473c72eaea: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

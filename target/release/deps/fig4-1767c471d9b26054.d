@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-1767c471d9b26054.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-1767c471d9b26054: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

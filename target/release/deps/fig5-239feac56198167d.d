@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-239feac56198167d.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-239feac56198167d: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

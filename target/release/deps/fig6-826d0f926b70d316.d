@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-826d0f926b70d316.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-826d0f926b70d316: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

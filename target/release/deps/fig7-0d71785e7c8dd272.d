@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-0d71785e7c8dd272.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-0d71785e7c8dd272: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

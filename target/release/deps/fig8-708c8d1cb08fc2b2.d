@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-708c8d1cb08fc2b2.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-708c8d1cb08fc2b2: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

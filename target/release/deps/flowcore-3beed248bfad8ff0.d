@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/flowcore-3beed248bfad8ff0.d: crates/flowcore/src/lib.rs crates/flowcore/src/activity.rs crates/flowcore/src/audit.rs crates/flowcore/src/bpel.rs crates/flowcore/src/builtins.rs crates/flowcore/src/engine.rs crates/flowcore/src/error.rs crates/flowcore/src/process.rs crates/flowcore/src/service.rs crates/flowcore/src/value.rs
+
+/root/repo/target/release/deps/libflowcore-3beed248bfad8ff0.rlib: crates/flowcore/src/lib.rs crates/flowcore/src/activity.rs crates/flowcore/src/audit.rs crates/flowcore/src/bpel.rs crates/flowcore/src/builtins.rs crates/flowcore/src/engine.rs crates/flowcore/src/error.rs crates/flowcore/src/process.rs crates/flowcore/src/service.rs crates/flowcore/src/value.rs
+
+/root/repo/target/release/deps/libflowcore-3beed248bfad8ff0.rmeta: crates/flowcore/src/lib.rs crates/flowcore/src/activity.rs crates/flowcore/src/audit.rs crates/flowcore/src/bpel.rs crates/flowcore/src/builtins.rs crates/flowcore/src/engine.rs crates/flowcore/src/error.rs crates/flowcore/src/process.rs crates/flowcore/src/service.rs crates/flowcore/src/value.rs
+
+crates/flowcore/src/lib.rs:
+crates/flowcore/src/activity.rs:
+crates/flowcore/src/audit.rs:
+crates/flowcore/src/bpel.rs:
+crates/flowcore/src/builtins.rs:
+crates/flowcore/src/engine.rs:
+crates/flowcore/src/error.rs:
+crates/flowcore/src/process.rs:
+crates/flowcore/src/service.rs:
+crates/flowcore/src/value.rs:

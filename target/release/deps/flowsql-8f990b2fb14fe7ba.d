@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flowsql-8f990b2fb14fe7ba.d: src/lib.rs
+
+/root/repo/target/release/deps/libflowsql-8f990b2fb14fe7ba.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libflowsql-8f990b2fb14fe7ba.rmeta: src/lib.rs
+
+src/lib.rs:

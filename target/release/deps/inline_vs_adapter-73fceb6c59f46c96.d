@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/inline_vs_adapter-73fceb6c59f46c96.d: crates/bench/benches/inline_vs_adapter.rs
+
+/root/repo/target/release/deps/inline_vs_adapter-73fceb6c59f46c96: crates/bench/benches/inline_vs_adapter.rs
+
+crates/bench/benches/inline_vs_adapter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pattern_cost-1cdb3044e7b1ceb6.d: crates/bench/benches/pattern_cost.rs
+
+/root/repo/target/release/deps/pattern_cost-1cdb3044e7b1ceb6: crates/bench/benches/pattern_cost.rs
+
+crates/bench/benches/pattern_cost.rs:

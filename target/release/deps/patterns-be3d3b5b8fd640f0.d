@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/patterns-be3d3b5b8fd640f0.d: crates/patterns/src/lib.rs crates/patterns/src/paper.rs crates/patterns/src/pattern.rs crates/patterns/src/probe.rs crates/patterns/src/product.rs crates/patterns/src/report.rs crates/patterns/src/support.rs crates/patterns/src/taxonomy.rs
+
+/root/repo/target/release/deps/libpatterns-be3d3b5b8fd640f0.rlib: crates/patterns/src/lib.rs crates/patterns/src/paper.rs crates/patterns/src/pattern.rs crates/patterns/src/probe.rs crates/patterns/src/product.rs crates/patterns/src/report.rs crates/patterns/src/support.rs crates/patterns/src/taxonomy.rs
+
+/root/repo/target/release/deps/libpatterns-be3d3b5b8fd640f0.rmeta: crates/patterns/src/lib.rs crates/patterns/src/paper.rs crates/patterns/src/pattern.rs crates/patterns/src/probe.rs crates/patterns/src/product.rs crates/patterns/src/report.rs crates/patterns/src/support.rs crates/patterns/src/taxonomy.rs
+
+crates/patterns/src/lib.rs:
+crates/patterns/src/paper.rs:
+crates/patterns/src/pattern.rs:
+crates/patterns/src/probe.rs:
+crates/patterns/src/product.rs:
+crates/patterns/src/report.rs:
+crates/patterns/src/support.rs:
+crates/patterns/src/taxonomy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ref_vs_materialize-7df3fa7a6a3d535a.d: crates/bench/benches/ref_vs_materialize.rs
+
+/root/repo/target/release/deps/ref_vs_materialize-7df3fa7a6a3d535a: crates/bench/benches/ref_vs_materialize.rs
+
+crates/bench/benches/ref_vs_materialize.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/set_access-64b38c10bdc24c73.d: crates/bench/benches/set_access.rs
+
+/root/repo/target/release/deps/set_access-64b38c10bdc24c73: crates/bench/benches/set_access.rs
+
+crates/bench/benches/set_access.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/soa-365dd6fed45da271.d: crates/soa/src/lib.rs crates/soa/src/bpelx.rs crates/soa/src/cursor.rs crates/soa/src/env.rs crates/soa/src/functions.rs crates/soa/src/integration.rs crates/soa/src/sample.rs crates/soa/src/xsql.rs
+
+/root/repo/target/release/deps/libsoa-365dd6fed45da271.rlib: crates/soa/src/lib.rs crates/soa/src/bpelx.rs crates/soa/src/cursor.rs crates/soa/src/env.rs crates/soa/src/functions.rs crates/soa/src/integration.rs crates/soa/src/sample.rs crates/soa/src/xsql.rs
+
+/root/repo/target/release/deps/libsoa-365dd6fed45da271.rmeta: crates/soa/src/lib.rs crates/soa/src/bpelx.rs crates/soa/src/cursor.rs crates/soa/src/env.rs crates/soa/src/functions.rs crates/soa/src/integration.rs crates/soa/src/sample.rs crates/soa/src/xsql.rs
+
+crates/soa/src/lib.rs:
+crates/soa/src/bpelx.rs:
+crates/soa/src/cursor.rs:
+crates/soa/src/env.rs:
+crates/soa/src/functions.rs:
+crates/soa/src/integration.rs:
+crates/soa/src/sample.rs:
+crates/soa/src/xsql.rs:

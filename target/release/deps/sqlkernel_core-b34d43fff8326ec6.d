@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sqlkernel_core-b34d43fff8326ec6.d: crates/bench/benches/sqlkernel_core.rs
+
+/root/repo/target/release/deps/sqlkernel_core-b34d43fff8326ec6: crates/bench/benches/sqlkernel_core.rs
+
+crates/bench/benches/sqlkernel_core.rs:

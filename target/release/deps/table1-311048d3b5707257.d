@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-311048d3b5707257.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-311048d3b5707257: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-ac34cc007bf3cb18.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-ac34cc007bf3cb18: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

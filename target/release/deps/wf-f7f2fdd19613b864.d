@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/wf-f7f2fdd19613b864.d: crates/wf/src/lib.rs crates/wf/src/activities.rs crates/wf/src/bpel_import.rs crates/wf/src/dataset.rs crates/wf/src/host.rs crates/wf/src/integration.rs crates/wf/src/sample.rs crates/wf/src/tracking.rs crates/wf/src/xoml.rs
+
+/root/repo/target/release/deps/libwf-f7f2fdd19613b864.rlib: crates/wf/src/lib.rs crates/wf/src/activities.rs crates/wf/src/bpel_import.rs crates/wf/src/dataset.rs crates/wf/src/host.rs crates/wf/src/integration.rs crates/wf/src/sample.rs crates/wf/src/tracking.rs crates/wf/src/xoml.rs
+
+/root/repo/target/release/deps/libwf-f7f2fdd19613b864.rmeta: crates/wf/src/lib.rs crates/wf/src/activities.rs crates/wf/src/bpel_import.rs crates/wf/src/dataset.rs crates/wf/src/host.rs crates/wf/src/integration.rs crates/wf/src/sample.rs crates/wf/src/tracking.rs crates/wf/src/xoml.rs
+
+crates/wf/src/lib.rs:
+crates/wf/src/activities.rs:
+crates/wf/src/bpel_import.rs:
+crates/wf/src/dataset.rs:
+crates/wf/src/host.rs:
+crates/wf/src/integration.rs:
+crates/wf/src/sample.rs:
+crates/wf/src/tracking.rs:
+crates/wf/src/xoml.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/xmlval-52ec3382b7221b97.d: crates/xmlval/src/lib.rs crates/xmlval/src/error.rs crates/xmlval/src/node.rs crates/xmlval/src/parse.rs crates/xmlval/src/path.rs crates/xmlval/src/rowset.rs
+
+/root/repo/target/release/deps/libxmlval-52ec3382b7221b97.rlib: crates/xmlval/src/lib.rs crates/xmlval/src/error.rs crates/xmlval/src/node.rs crates/xmlval/src/parse.rs crates/xmlval/src/path.rs crates/xmlval/src/rowset.rs
+
+/root/repo/target/release/deps/libxmlval-52ec3382b7221b97.rmeta: crates/xmlval/src/lib.rs crates/xmlval/src/error.rs crates/xmlval/src/node.rs crates/xmlval/src/parse.rs crates/xmlval/src/path.rs crates/xmlval/src/rowset.rs
+
+crates/xmlval/src/lib.rs:
+crates/xmlval/src/error.rs:
+crates/xmlval/src/node.rs:
+crates/xmlval/src/parse.rs:
+crates/xmlval/src/path.rs:
+crates/xmlval/src/rowset.rs:

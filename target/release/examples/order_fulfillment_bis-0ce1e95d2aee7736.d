@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/order_fulfillment_bis-0ce1e95d2aee7736.d: examples/order_fulfillment_bis.rs
+
+/root/repo/target/release/examples/order_fulfillment_bis-0ce1e95d2aee7736: examples/order_fulfillment_bis.rs
+
+examples/order_fulfillment_bis.rs:

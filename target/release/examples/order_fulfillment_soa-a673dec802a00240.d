@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/order_fulfillment_soa-a673dec802a00240.d: examples/order_fulfillment_soa.rs
+
+/root/repo/target/release/examples/order_fulfillment_soa-a673dec802a00240: examples/order_fulfillment_soa.rs
+
+examples/order_fulfillment_soa.rs:

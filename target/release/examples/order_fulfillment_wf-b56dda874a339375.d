@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/order_fulfillment_wf-b56dda874a339375.d: examples/order_fulfillment_wf.rs
+
+/root/repo/target/release/examples/order_fulfillment_wf-b56dda874a339375: examples/order_fulfillment_wf.rs
+
+examples/order_fulfillment_wf.rs:

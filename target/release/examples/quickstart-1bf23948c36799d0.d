@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-1bf23948c36799d0.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-1bf23948c36799d0: examples/quickstart.rs
+
+examples/quickstart.rs:
