@@ -2,8 +2,8 @@
 //! awkward payloads, because everything crosses it as text.
 
 use adapter::{
-    build_request, build_response, parse_request, parse_response, AdapterRequest,
-    AdapterResponse, DataAdapterService,
+    build_request, build_response, parse_request, parse_response, AdapterRequest, AdapterResponse,
+    DataAdapterService,
 };
 use sqlkernel::{Database, QueryResult, Value};
 

@@ -77,7 +77,9 @@ fn main() {
          overlap but cannot exceed 1x wall-clock throughput\",\n  \"points\": [\n{points}\n  ],\n  \
          \"engine_stats\": {{\n    \"statements_executed\": {exec},\n    \"parses\": {parses},\n    \
          \"stmt_cache_hits\": {hits},\n    \"stmt_cache_misses\": {misses},\n    \
-         \"index_scans\": {idx},\n    \"full_scans\": {full}\n  }}\n}}\n",
+         \"plan_binds\": {binds},\n    \"bound_evals\": {bevals},\n    \
+         \"index_scans\": {idx},\n    \"range_scans\": {range},\n    \
+         \"full_scans\": {full},\n    \"topk_sorts\": {topk}\n  }}\n}}\n",
         query = QUERY,
         rows = DB_ROWS,
         window = WINDOW.as_millis(),
@@ -86,8 +88,12 @@ fn main() {
         parses = stats.parses,
         hits = stats.stmt_cache_hits,
         misses = stats.stmt_cache_misses,
+        binds = stats.plan_binds,
+        bevals = stats.bound_evals,
         idx = stats.index_scans,
+        range = stats.range_scans,
         full = stats.full_scans,
+        topk = stats.topk_sorts,
     );
 
     let path = "docs/outputs/BENCH_concurrency.json";

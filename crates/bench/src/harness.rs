@@ -59,7 +59,9 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let stats = run_samples(self.sample_size, &mut |b: &mut Bencher| b_input(b, input, &mut f));
+        let stats = run_samples(self.sample_size, &mut |b: &mut Bencher| {
+            b_input(b, input, &mut f)
+        });
         report(&format!("{}/{}", self.name, id.0), &stats);
         self
     }

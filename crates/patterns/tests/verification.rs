@@ -4,8 +4,8 @@
 //! silently rubber-stamp wrong matrices.
 
 use patterns::{
-    verify_support_matrix, Architecture, DataPattern, Demonstration, PatternRealization,
-    ProbeEnv, ProbeError, ProductInfo, SqlIntegration, SupportLevel, SupportMatrix,
+    verify_support_matrix, Architecture, DataPattern, Demonstration, PatternRealization, ProbeEnv,
+    ProbeError, ProductInfo, SqlIntegration, SupportLevel, SupportMatrix,
 };
 
 /// A toy product whose demonstrations are configurable.
@@ -63,8 +63,8 @@ impl SqlIntegration for FakeProduct {
 }
 
 fn honest_matrix() -> SupportMatrix {
-    let mut m = SupportMatrix::new("Fake")
-        .with(PatternRealization::native(DataPattern::Query, "Magic"));
+    let mut m =
+        SupportMatrix::new("Fake").with(PatternRealization::native(DataPattern::Query, "Magic"));
     for p in DataPattern::ALL.into_iter().skip(1) {
         m = m.with(PatternRealization::workaround(p));
     }
@@ -87,10 +87,7 @@ fn claim_without_demonstration_is_rejected() {
     // workaround instead.
     let p = FakeProduct {
         matrix: honest_matrix(),
-        query_demo: vec![(
-            "Only workarounds possible".into(),
-            SupportLevel::Workaround,
-        )],
+        query_demo: vec![("Only workarounds possible".into(), SupportLevel::Workaround)],
     };
     let err = verify_support_matrix(&p).unwrap_err();
     assert!(err.to_string().contains("Query"), "{err}");

@@ -1,0 +1,563 @@
+//! Bound (compiled) scalar expressions.
+//!
+//! A [`BoundExpr`] is an [`Expr`](crate::ast::Expr) whose column references
+//! have been resolved to row ordinals once, at plan time, and whose constant
+//! subtrees have been folded. Evaluating one never touches column *names*,
+//! so the per-row cost of the interpreted evaluator's case-insensitive
+//! string scan (`RowSchema::resolve`) disappears from the hot path.
+//!
+//! Binding is strictly an optimization: evaluation semantics — SQL
+//! three-valued logic, NULL propagation, error messages — are shared with
+//! `expr.rs` through the `apply_*` helpers, and the differential tests in
+//! `tests/plan_cache.rs` hold the two evaluators byte-identical. Constant
+//! folding is conservative for the same reason: a subtree folds only when
+//! every child is already constant, the node is pure (no parameters,
+//! subqueries, or `NEXTVAL`), and folding *succeeds* — a subtree whose
+//! evaluation errors (e.g. `1/0`) is left unfolded so the error still
+//! surfaces at run time, exactly where the interpreter would raise it.
+
+use std::collections::HashMap;
+
+use crate::ast::{BinOp, Expr, SelectStmt, UnOp};
+use crate::catalog::Catalog;
+use crate::error::{SqlError, SqlResult};
+use crate::expr::{
+    apply_binary_op, apply_negation, apply_unary_op, compare, in_membership, is_aggregate_name,
+    like_match, scalar_function, three_and, value_to_three, RowSchema,
+};
+use crate::types::Value;
+
+/// An expression with column references resolved to ordinals.
+#[derive(Debug, Clone)]
+pub enum BoundExpr {
+    /// A constant — literals and successfully folded pure subtrees.
+    Const(Value),
+    /// Column at this position of the input row.
+    Column(usize),
+    /// `?` host parameter, positional.
+    Param(usize),
+    /// `:name` parameter (already lower-cased).
+    NamedParam(String),
+    Unary {
+        op: UnOp,
+        expr: Box<BoundExpr>,
+    },
+    Binary {
+        left: Box<BoundExpr>,
+        op: BinOp,
+        right: Box<BoundExpr>,
+    },
+    IsNull {
+        expr: Box<BoundExpr>,
+        negated: bool,
+    },
+    InList {
+        expr: Box<BoundExpr>,
+        list: Vec<BoundExpr>,
+        negated: bool,
+    },
+    /// Subqueries stay as ASTs and run through the interpreted executor:
+    /// they are uncorrelated, so they see no row and gain nothing from
+    /// ordinal binding of the outer statement.
+    InSubquery {
+        expr: Box<BoundExpr>,
+        subquery: Box<SelectStmt>,
+        negated: bool,
+    },
+    Exists {
+        subquery: Box<SelectStmt>,
+        negated: bool,
+    },
+    ScalarSubquery(Box<SelectStmt>),
+    Between {
+        expr: Box<BoundExpr>,
+        low: Box<BoundExpr>,
+        high: Box<BoundExpr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<BoundExpr>,
+        pattern: Box<BoundExpr>,
+        negated: bool,
+    },
+    Case {
+        operand: Option<Box<BoundExpr>>,
+        branches: Vec<(BoundExpr, BoundExpr)>,
+        else_branch: Option<Box<BoundExpr>>,
+    },
+    Function {
+        name: String,
+        args: Vec<BoundExpr>,
+    },
+}
+
+impl BoundExpr {
+    fn is_const(&self) -> bool {
+        matches!(self, BoundExpr::Const(_))
+    }
+
+    /// The folded value, if this is a constant.
+    pub fn const_value(&self) -> Option<&Value> {
+        match self {
+            BoundExpr::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Everything a bound expression may need at evaluation time. Unlike
+/// [`EvalCtx`](crate::expr::EvalCtx) there is no schema: positions were
+/// fixed at bind time.
+pub struct BoundCtx<'a> {
+    pub catalog: &'a Catalog,
+    pub params: &'a [Value],
+    pub named_params: &'a HashMap<String, Value>,
+    pub row: Option<&'a [Value]>,
+}
+
+/// Resolve every column reference of `expr` against `schema` and fold
+/// constant subtrees. Errors (unresolvable or ambiguous columns,
+/// aggregates) make the whole statement uncompilable — the caller falls
+/// back to the interpreter, which reports them canonically.
+pub fn bind(expr: &Expr, schema: &RowSchema) -> SqlResult<BoundExpr> {
+    let bound = bind_inner(expr, schema)?;
+    Ok(bound)
+}
+
+fn bind_inner(expr: &Expr, schema: &RowSchema) -> SqlResult<BoundExpr> {
+    let node = match expr {
+        Expr::Literal(v) => BoundExpr::Const(v.clone()),
+        Expr::Column { table, name } => BoundExpr::Column(schema.resolve(table.as_deref(), name)?),
+        Expr::Param(i) => BoundExpr::Param(*i),
+        Expr::NamedParam(n) => BoundExpr::NamedParam(n.to_ascii_lowercase()),
+        Expr::Unary { op, expr } => BoundExpr::Unary {
+            op: *op,
+            expr: Box::new(bind_inner(expr, schema)?),
+        },
+        Expr::Binary { left, op, right } => BoundExpr::Binary {
+            left: Box::new(bind_inner(left, schema)?),
+            op: *op,
+            right: Box::new(bind_inner(right, schema)?),
+        },
+        Expr::IsNull { expr, negated } => BoundExpr::IsNull {
+            expr: Box::new(bind_inner(expr, schema)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => BoundExpr::InList {
+            expr: Box::new(bind_inner(expr, schema)?),
+            list: list
+                .iter()
+                .map(|e| bind_inner(e, schema))
+                .collect::<SqlResult<Vec<_>>>()?,
+            negated: *negated,
+        },
+        Expr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => BoundExpr::InSubquery {
+            expr: Box::new(bind_inner(expr, schema)?),
+            subquery: subquery.clone(),
+            negated: *negated,
+        },
+        Expr::Exists { subquery, negated } => BoundExpr::Exists {
+            subquery: subquery.clone(),
+            negated: *negated,
+        },
+        Expr::ScalarSubquery(subquery) => BoundExpr::ScalarSubquery(subquery.clone()),
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => BoundExpr::Between {
+            expr: Box::new(bind_inner(expr, schema)?),
+            low: Box::new(bind_inner(low, schema)?),
+            high: Box::new(bind_inner(high, schema)?),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => BoundExpr::Like {
+            expr: Box::new(bind_inner(expr, schema)?),
+            pattern: Box::new(bind_inner(pattern, schema)?),
+            negated: *negated,
+        },
+        Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => BoundExpr::Case {
+            operand: match operand {
+                Some(o) => Some(Box::new(bind_inner(o, schema)?)),
+                None => None,
+            },
+            branches: branches
+                .iter()
+                .map(|(w, t)| Ok((bind_inner(w, schema)?, bind_inner(t, schema)?)))
+                .collect::<SqlResult<Vec<_>>>()?,
+            else_branch: match else_branch {
+                Some(e) => Some(Box::new(bind_inner(e, schema)?)),
+                None => None,
+            },
+        },
+        Expr::Function { name, .. } if is_aggregate_name(name) => {
+            return Err(SqlError::Semantic(format!(
+                "aggregate {name}() cannot be bound"
+            )));
+        }
+        Expr::Function { name, args, .. } => BoundExpr::Function {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| bind_inner(a, schema))
+                .collect::<SqlResult<Vec<_>>>()?,
+        },
+    };
+    Ok(fold(node))
+}
+
+/// Fold a node whose children are all constants into a constant — if it
+/// is pure and evaluation succeeds. Failed folds keep the node as-is so
+/// runtime errors stay runtime errors.
+fn fold(node: BoundExpr) -> BoundExpr {
+    let foldable = match &node {
+        BoundExpr::Const(_)
+        | BoundExpr::Column(_)
+        | BoundExpr::Param(_)
+        | BoundExpr::NamedParam(_)
+        | BoundExpr::InSubquery { .. }
+        | BoundExpr::Exists { .. }
+        | BoundExpr::ScalarSubquery(_) => false,
+        BoundExpr::Unary { expr, .. } | BoundExpr::IsNull { expr, .. } => expr.is_const(),
+        BoundExpr::Binary { left, right, .. } => left.is_const() && right.is_const(),
+        BoundExpr::InList { expr, list, .. } => {
+            expr.is_const() && list.iter().all(BoundExpr::is_const)
+        }
+        BoundExpr::Between {
+            expr, low, high, ..
+        } => expr.is_const() && low.is_const() && high.is_const(),
+        BoundExpr::Like { expr, pattern, .. } => expr.is_const() && pattern.is_const(),
+        BoundExpr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => {
+            operand.as_deref().is_none_or(BoundExpr::is_const)
+                && branches.iter().all(|(w, t)| w.is_const() && t.is_const())
+                && else_branch.as_deref().is_none_or(BoundExpr::is_const)
+        }
+        // NEXTVAL advances a sequence — never fold it.
+        BoundExpr::Function { name, args } => {
+            name != "NEXTVAL" && args.iter().all(BoundExpr::is_const)
+        }
+    };
+    if !foldable {
+        return node;
+    }
+    // A constant subtree needs no catalog, parameters, or row; a throwaway
+    // empty catalog satisfies the context. (NEXTVAL — the only
+    // catalog-dependent function — was excluded above.)
+    let catalog = Catalog::new();
+    static EMPTY: std::sync::OnceLock<HashMap<String, Value>> = std::sync::OnceLock::new();
+    let ctx = BoundCtx {
+        catalog: &catalog,
+        params: &[],
+        named_params: EMPTY.get_or_init(HashMap::new),
+        row: None,
+    };
+    match eval_bound(&node, &ctx) {
+        Ok(v) => BoundExpr::Const(v),
+        Err(_) => node,
+    }
+}
+
+/// Evaluate a bound expression. Mirrors [`crate::expr::eval`] exactly.
+pub fn eval_bound(expr: &BoundExpr, ctx: &BoundCtx<'_>) -> SqlResult<Value> {
+    match expr {
+        BoundExpr::Const(v) => Ok(v.clone()),
+        BoundExpr::Column(i) => {
+            let row = ctx.row.ok_or_else(|| {
+                SqlError::Semantic(format!("column #{i} referenced outside a row context"))
+            })?;
+            Ok(row[*i].clone())
+        }
+        BoundExpr::Param(i) => ctx
+            .params
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| SqlError::Binding(format!("missing host parameter #{}", i + 1))),
+        BoundExpr::NamedParam(n) => ctx
+            .named_params
+            .get(n)
+            .cloned()
+            .ok_or_else(|| SqlError::Binding(format!("unbound named parameter ':{n}'"))),
+        BoundExpr::Unary { op, expr } => {
+            let v = eval_bound(expr, ctx)?;
+            apply_unary_op(*op, v)
+        }
+        BoundExpr::Binary { left, op, right } => {
+            if matches!(op, BinOp::And | BinOp::Or) {
+                let l = eval_bound(left, ctx)?;
+                let l3 = value_to_three(&l, "AND/OR")?;
+                match (op, l3) {
+                    (BinOp::And, Some(false)) => return Ok(Value::Bool(false)),
+                    (BinOp::Or, Some(true)) => return Ok(Value::Bool(true)),
+                    _ => {}
+                }
+                let r = eval_bound(right, ctx)?;
+                let r3 = value_to_three(&r, "AND/OR")?;
+                let out = match op {
+                    BinOp::And => three_and(l3, r3),
+                    _ => match (l3, r3) {
+                        (Some(true), _) | (_, Some(true)) => Some(true),
+                        (Some(false), Some(false)) => Some(false),
+                        _ => None,
+                    },
+                };
+                return Ok(match out {
+                    None => Value::Null,
+                    Some(b) => Value::Bool(b),
+                });
+            }
+            let l = eval_bound(left, ctx)?;
+            let r = eval_bound(right, ctx)?;
+            apply_binary_op(*op, &l, &r)
+        }
+        BoundExpr::IsNull { expr, negated } => {
+            let v = eval_bound(expr, ctx)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let needle = eval_bound(expr, ctx)?;
+            let mut values = Vec::with_capacity(list.len());
+            for e in list {
+                values.push(eval_bound(e, ctx)?);
+            }
+            Ok(apply_negation(in_membership(&needle, &values), *negated))
+        }
+        BoundExpr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => {
+            let needle = eval_bound(expr, ctx)?;
+            let rs = run_subquery(subquery, ctx)?;
+            if rs.columns.len() != 1 {
+                return Err(SqlError::Semantic(
+                    "IN subquery must return exactly one column".into(),
+                ));
+            }
+            let values: Vec<Value> = rs.rows.into_iter().map(|mut r| r.pop().unwrap()).collect();
+            Ok(apply_negation(in_membership(&needle, &values), *negated))
+        }
+        BoundExpr::Exists { subquery, negated } => {
+            let rs = run_subquery(subquery, ctx)?;
+            Ok(Value::Bool(rs.rows.is_empty() == *negated))
+        }
+        BoundExpr::ScalarSubquery(subquery) => {
+            let rs = run_subquery(subquery, ctx)?;
+            if rs.columns.len() != 1 {
+                return Err(SqlError::Semantic(
+                    "scalar subquery must return exactly one column".into(),
+                ));
+            }
+            match rs.rows.len() {
+                0 => Ok(Value::Null),
+                1 => Ok(rs.rows[0][0].clone()),
+                n => Err(SqlError::Runtime(format!(
+                    "scalar subquery returned {n} rows"
+                ))),
+            }
+        }
+        BoundExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval_bound(expr, ctx)?;
+            let lo = eval_bound(low, ctx)?;
+            let hi = eval_bound(high, ctx)?;
+            let ge = compare(&v, &lo).map(|o| o != std::cmp::Ordering::Less);
+            let le = compare(&v, &hi).map(|o| o != std::cmp::Ordering::Greater);
+            Ok(apply_negation(three_and(ge, le), *negated))
+        }
+        BoundExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval_bound(expr, ctx)?;
+            let p = eval_bound(pattern, ctx)?;
+            match (v, p) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Text(s), Value::Text(pat)) => {
+                    Ok(Value::Bool(like_match(&s, &pat) != *negated))
+                }
+                (a, b) => Err(SqlError::Semantic(format!(
+                    "LIKE requires text operands, got {a:?} and {b:?}"
+                ))),
+            }
+        }
+        BoundExpr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => {
+            match operand {
+                Some(op) => {
+                    let subject = eval_bound(op, ctx)?;
+                    for (when, then) in branches {
+                        let w = eval_bound(when, ctx)?;
+                        if !subject.is_null() && !w.is_null() && subject == w {
+                            return eval_bound(then, ctx);
+                        }
+                    }
+                }
+                None => {
+                    for (when, then) in branches {
+                        if eval_bound(when, ctx)? == Value::Bool(true) {
+                            return eval_bound(then, ctx);
+                        }
+                    }
+                }
+            }
+            match else_branch {
+                Some(e) => eval_bound(e, ctx),
+                None => Ok(Value::Null),
+            }
+        }
+        BoundExpr::Function { name, args } => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_bound(a, ctx)?);
+            }
+            scalar_function(name, &vals, ctx.catalog)
+        }
+    }
+}
+
+/// Evaluate a bound predicate: NULL and FALSE both drop the row.
+pub fn eval_bound_predicate(expr: &BoundExpr, ctx: &BoundCtx<'_>) -> SqlResult<bool> {
+    match eval_bound(expr, ctx)? {
+        Value::Bool(b) => Ok(b),
+        Value::Null => Ok(false),
+        other => Err(SqlError::Semantic(format!(
+            "predicate evaluated to non-boolean {other:?}"
+        ))),
+    }
+}
+
+fn run_subquery(stmt: &SelectStmt, ctx: &BoundCtx<'_>) -> SqlResult<crate::db::QueryResult> {
+    // Subqueries are uncorrelated: no outer row is passed down.
+    crate::exec::select::run_select(ctx.catalog, stmt, ctx.params, ctx.named_params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expression;
+
+    fn bind_const(src: &str) -> BoundExpr {
+        let e = parse_expression(src).unwrap();
+        bind(&e, &RowSchema::empty()).unwrap()
+    }
+
+    #[test]
+    fn literals_and_pure_subtrees_fold() {
+        assert_eq!(bind_const("1 + 2 * 3").const_value(), Some(&Value::Int(7)));
+        assert_eq!(
+            bind_const("UPPER('abc') || '!'").const_value(),
+            Some(&Value::text("ABC!"))
+        );
+        assert_eq!(
+            bind_const("CASE WHEN 1 < 2 THEN 'y' ELSE 'n' END").const_value(),
+            Some(&Value::text("y"))
+        );
+    }
+
+    #[test]
+    fn params_do_not_fold() {
+        assert!(bind_const("? + 1").const_value().is_none());
+        assert!(bind_const(":x || 'a'").const_value().is_none());
+    }
+
+    #[test]
+    fn failed_fold_keeps_runtime_error() {
+        // 1/0 must error when the statement runs, not when it binds.
+        let b = bind_const("1 / 0");
+        assert!(b.const_value().is_none());
+        let catalog = Catalog::new();
+        let named = HashMap::new();
+        let ctx = BoundCtx {
+            catalog: &catalog,
+            params: &[],
+            named_params: &named,
+            row: None,
+        };
+        assert_eq!(eval_bound(&b, &ctx).unwrap_err().class(), "runtime");
+    }
+
+    #[test]
+    fn short_circuit_hides_foldable_error_like_interpreter() {
+        let b = bind_const("FALSE AND (1 / 0 = 1)");
+        let catalog = Catalog::new();
+        let named = HashMap::new();
+        let ctx = BoundCtx {
+            catalog: &catalog,
+            params: &[],
+            named_params: &named,
+            row: None,
+        };
+        assert_eq!(eval_bound(&b, &ctx).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn nextval_never_folds() {
+        let b = bind_const("NEXTVAL('s')");
+        assert!(b.const_value().is_none());
+    }
+
+    #[test]
+    fn columns_bind_to_ordinals() {
+        let schema = RowSchema::new(vec![
+            (Some("t".into()), "a".into()),
+            (Some("t".into()), "b".into()),
+        ]);
+        let e = parse_expression("t.b + a").unwrap();
+        let b = bind(&e, &schema).unwrap();
+        let catalog = Catalog::new();
+        let named = HashMap::new();
+        let row = vec![Value::Int(40), Value::Int(2)];
+        let ctx = BoundCtx {
+            catalog: &catalog,
+            params: &[],
+            named_params: &named,
+            row: Some(&row),
+        };
+        assert_eq!(eval_bound(&b, &ctx).unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn unknown_column_fails_bind() {
+        let e = parse_expression("zzz + 1").unwrap();
+        assert!(bind(&e, &RowSchema::empty()).is_err());
+    }
+
+    #[test]
+    fn aggregates_fail_bind() {
+        let e = parse_expression("SUM(1)").unwrap();
+        assert!(bind(&e, &RowSchema::empty()).is_err());
+    }
+}

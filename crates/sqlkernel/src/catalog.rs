@@ -86,6 +86,20 @@ pub struct Catalog {
     index_scans: AtomicU64,
     /// How many scans fell back to a full table walk.
     full_scans: AtomicU64,
+    /// How many scans were answered through an index *range* walk.
+    range_scans: AtomicU64,
+    /// How many statements compiled (bound) a plan.
+    plan_binds: AtomicU64,
+    /// How many rows were evaluated through bound (ordinal) expressions.
+    bound_evals: AtomicU64,
+    /// How many ORDER BY + LIMIT statements used the bounded top-K heap
+    /// instead of a full materialize-then-sort.
+    topk_sorts: AtomicU64,
+    /// Schema epoch: bumped on every change that can invalidate a compiled
+    /// plan (table/index/view/sequence/procedure creation or removal,
+    /// including undo-log rollback, which funnels through the same
+    /// methods). Plain `u64`: every bump site already holds `&mut self`.
+    epoch: u64,
 }
 
 thread_local! {
@@ -106,6 +120,17 @@ impl Catalog {
         Catalog::default()
     }
 
+    /// Current schema epoch. Compiled plans are keyed by this value: a
+    /// plan bound at epoch `e` is valid exactly while `epoch() == e`.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Advance the schema epoch, invalidating every compiled plan.
+    fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
     // ------------------------------------------------------------- tables
 
     /// Register a table. Fails if the name is taken.
@@ -118,6 +143,7 @@ impl Catalog {
             )));
         }
         self.tables.insert(k, table);
+        self.bump_epoch();
         Ok(())
     }
 
@@ -147,6 +173,7 @@ impl Catalog {
             .remove(&key(name))
             .ok_or_else(|| SqlError::NotFound(format!("table '{name}'")))?;
         self.index_owner.retain(|_, owner| owner != &key(name));
+        self.bump_epoch();
         Ok(t)
     }
 
@@ -181,6 +208,47 @@ impl Catalog {
         self.full_scans.load(Ordering::Relaxed)
     }
 
+    /// Record that a statement walked an index key range.
+    pub fn note_range_scan(&self) {
+        self.range_scans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of index range scans so far.
+    pub fn range_scans(&self) -> u64 {
+        self.range_scans.load(Ordering::Relaxed)
+    }
+
+    /// Record that a statement compiled (bound) a plan.
+    pub fn note_plan_bind(&self) {
+        self.plan_binds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of plan binds so far.
+    pub fn plan_binds(&self) -> u64 {
+        self.plan_binds.load(Ordering::Relaxed)
+    }
+
+    /// Record `n` rows evaluated through bound expressions. Callers batch
+    /// one add per statement rather than one per row.
+    pub fn note_bound_evals(&self, n: u64) {
+        self.bound_evals.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Number of bound row evaluations so far.
+    pub fn bound_evals(&self) -> u64 {
+        self.bound_evals.load(Ordering::Relaxed)
+    }
+
+    /// Record that a statement used the bounded top-K heap.
+    pub fn note_topk_sort(&self) {
+        self.topk_sorts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of top-K sorts so far.
+    pub fn topk_sorts(&self) -> u64 {
+        self.topk_sorts.load(Ordering::Relaxed)
+    }
+
     // ------------------------------------------------------------- indexes
 
     /// Record that `index` belongs to `table` (both original spellings).
@@ -189,6 +257,7 @@ impl Catalog {
             return Err(SqlError::AlreadyExists(format!("index '{index}'")));
         }
         self.index_owner.insert(key(index), key(table));
+        self.bump_epoch();
         Ok(())
     }
 
@@ -200,6 +269,7 @@ impl Catalog {
     /// Forget an index registration.
     pub fn unregister_index(&mut self, index: &str) {
         self.index_owner.remove(&key(index));
+        self.bump_epoch();
     }
 
     // ------------------------------------------------------------- views
@@ -211,6 +281,7 @@ impl Catalog {
             return Err(SqlError::AlreadyExists(format!("view '{}'", view.name)));
         }
         self.views.insert(k, view);
+        self.bump_epoch();
         Ok(())
     }
 
@@ -228,9 +299,12 @@ impl Catalog {
 
     /// Remove a view (for DROP / undo).
     pub fn remove_view(&mut self, name: &str) -> SqlResult<View> {
-        self.views
+        let v = self
+            .views
             .remove(&key(name))
-            .ok_or_else(|| SqlError::NotFound(format!("view '{name}'")))
+            .ok_or_else(|| SqlError::NotFound(format!("view '{name}'")))?;
+        self.bump_epoch();
+        Ok(v)
     }
 
     /// Sorted view names.
@@ -262,6 +336,7 @@ impl Catalog {
             return Err(SqlError::AlreadyExists(format!("sequence '{}'", seq.name)));
         }
         self.sequences.insert(k, seq);
+        self.bump_epoch();
         Ok(())
     }
 
@@ -274,9 +349,12 @@ impl Catalog {
 
     /// Remove a sequence (for DROP / undo).
     pub fn remove_sequence(&mut self, name: &str) -> SqlResult<Sequence> {
-        self.sequences
+        let s = self
+            .sequences
             .remove(&key(name))
-            .ok_or_else(|| SqlError::NotFound(format!("sequence '{name}'")))
+            .ok_or_else(|| SqlError::NotFound(format!("sequence '{name}'")))?;
+        self.bump_epoch();
+        Ok(s)
     }
 
     /// Does a sequence exist?
@@ -296,6 +374,7 @@ impl Catalog {
             )));
         }
         self.procedures.insert(k, proc);
+        self.bump_epoch();
         Ok(())
     }
 
@@ -308,9 +387,12 @@ impl Catalog {
 
     /// Remove a procedure (for DROP / undo).
     pub fn remove_procedure(&mut self, name: &str) -> SqlResult<Procedure> {
-        self.procedures
+        let p = self
+            .procedures
             .remove(&key(name))
-            .ok_or_else(|| SqlError::NotFound(format!("procedure '{name}'")))
+            .ok_or_else(|| SqlError::NotFound(format!("procedure '{name}'")))?;
+        self.bump_epoch();
+        Ok(p)
     }
 
     /// Does a procedure exist?

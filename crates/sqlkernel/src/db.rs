@@ -9,6 +9,7 @@ use crate::ast::Statement;
 use crate::catalog::Catalog;
 use crate::error::{SqlError, SqlResult};
 use crate::parser::{parse_script, parse_statement};
+use crate::plan::CompiledPlan;
 use crate::sync::{Mutex, RwLock};
 use crate::txn::UndoLog;
 use crate::types::Value;
@@ -158,6 +159,14 @@ pub struct DbStats {
     pub stmt_cache_hits: u64,
     /// Statement-cache lookups that had to parse.
     pub stmt_cache_misses: u64,
+    /// Scans served by an index *range* walk (incl. order-only walks).
+    pub range_scans: u64,
+    /// Statements compiled to a bound plan (re-binds after DDL included).
+    pub plan_binds: u64,
+    /// Bound-expression evaluations performed by compiled plans.
+    pub bound_evals: u64,
+    /// `ORDER BY … LIMIT` sorts served by the bounded top-K heap.
+    pub topk_sorts: u64,
 }
 
 /// A parsed statement plus the catalog object names it references —
@@ -167,6 +176,10 @@ pub(crate) struct CachedStmt {
     pub(crate) stmt: Statement,
     /// Lowercased referenced object names, for DDL invalidation.
     objects: Vec<String>,
+    /// The compiled plan, tagged with the catalog epoch it was bound
+    /// against. Any DDL bumps the epoch, so a stale plan is never
+    /// executed — it is silently re-bound on the next use.
+    plan: Mutex<Option<(u64, Arc<CompiledPlan>)>>,
 }
 
 /// Bounded LRU map from SQL text to parsed plan. Recency is tracked with
@@ -297,6 +310,7 @@ impl Database {
         let cached = Arc::new(CachedStmt {
             objects: stmt.referenced_objects(),
             stmt,
+            plan: Mutex::new(None),
         });
         let cacheable = !matches!(
             cached.stmt,
@@ -364,6 +378,10 @@ impl Database {
             parses: self.inner.parse_counter.load(Ordering::Relaxed),
             stmt_cache_hits: self.inner.cache_hit_counter.load(Ordering::Relaxed),
             stmt_cache_misses: self.inner.cache_miss_counter.load(Ordering::Relaxed),
+            range_scans: catalog.range_scans(),
+            plan_binds: catalog.plan_binds(),
+            bound_evals: catalog.bound_evals(),
+            topk_sorts: catalog.topk_sorts(),
         }
     }
 
@@ -386,11 +404,6 @@ impl Prepared {
     /// The original SQL text.
     pub fn sql(&self) -> &str {
         &self.sql
-    }
-
-    /// The parsed statement.
-    pub(crate) fn stmt(&self) -> &Statement {
-        &self.cached.stmt
     }
 
     /// The statement verb (for audit trails).
@@ -450,7 +463,7 @@ impl Connection {
     /// (the plan is reused from the statement cache on repeat calls).
     pub fn execute(&self, sql: &str, params: &[Value]) -> SqlResult<StatementResult> {
         let cached = self.db.cached_statement(sql)?;
-        self.execute_ast(&cached.stmt, params)
+        self.execute_cached(&cached, params)
     }
 
     /// Execute a previously prepared statement.
@@ -459,7 +472,83 @@ impl Connection {
         prepared: &Prepared,
         params: &[Value],
     ) -> SqlResult<StatementResult> {
-        self.execute_ast(prepared.stmt(), params)
+        self.execute_cached(&prepared.cached, params)
+    }
+
+    /// Fetch the cached compiled plan for this statement, re-binding it
+    /// if the catalog schema epoch moved (any DDL, including
+    /// `CREATE INDEX` / `DROP INDEX`, bumps the epoch). Must be called
+    /// with a catalog lock held so the epoch cannot move underneath.
+    fn compiled_plan(&self, cached: &CachedStmt, catalog: &Catalog) -> Arc<CompiledPlan> {
+        let epoch = catalog.epoch();
+        let mut slot = cached.plan.lock();
+        if let Some((bound_at, plan)) = slot.as_ref() {
+            if *bound_at == epoch {
+                return Arc::clone(plan);
+            }
+        }
+        catalog.note_plan_bind();
+        let plan = Arc::new(crate::plan::compile(catalog, &cached.stmt));
+        *slot = Some((epoch, Arc::clone(&plan)));
+        plan
+    }
+
+    /// Execute through the compiled plan when one applies; otherwise
+    /// fall back to [`Connection::execute_ast`] (the interpreter).
+    fn execute_cached(&self, cached: &CachedStmt, params: &[Value]) -> SqlResult<StatementResult> {
+        match &cached.stmt {
+            Statement::Select(s) => {
+                self.db.inner.stmt_counter.fetch_add(1, Ordering::Relaxed);
+                let named: HashMap<String, Value> = HashMap::new();
+                let catalog = self.db.inner.catalog.read();
+                let plan = self.compiled_plan(cached, &catalog);
+                let rs = match &*plan {
+                    CompiledPlan::Select(p) => {
+                        crate::plan::run_select_plan(&catalog, p, params, &named)?
+                    }
+                    _ => crate::exec::select::run_select(&catalog, s, params, &named)?,
+                };
+                self.db
+                    .inner
+                    .rows_counter
+                    .fetch_add(rs.rows.len() as u64, Ordering::Relaxed);
+                Ok(StatementResult::Rows(rs))
+            }
+            Statement::Update(_) | Statement::Delete(_) => {
+                let named: HashMap<String, Value> = HashMap::new();
+                let mut catalog = self.db.inner.catalog.write();
+                let plan = self.compiled_plan(cached, &catalog);
+                if matches!(&*plan, CompiledPlan::Unsupported) {
+                    drop(catalog);
+                    return self.execute_ast(&cached.stmt, params);
+                }
+                self.db.inner.stmt_counter.fetch_add(1, Ordering::Relaxed);
+                let mut scratch = UndoLog::new();
+                let result = match &*plan {
+                    CompiledPlan::Update(p) => {
+                        crate::plan::run_update_plan(&mut catalog, p, params, &named, &mut scratch)
+                    }
+                    CompiledPlan::Delete(p) => {
+                        crate::plan::run_delete_plan(&mut catalog, p, params, &named, &mut scratch)
+                    }
+                    _ => unreachable!("SELECT plans handled above"),
+                };
+                match result {
+                    Ok(n) => {
+                        if let Some(txn) = self.txn.borrow_mut().as_mut() {
+                            txn.absorb(scratch);
+                        }
+                        Ok(StatementResult::Affected(n))
+                    }
+                    Err(e) => {
+                        // Statement atomicity: wipe this statement's effects.
+                        scratch.rollback(&mut catalog);
+                        Err(e)
+                    }
+                }
+            }
+            _ => self.execute_ast(&cached.stmt, params),
+        }
     }
 
     /// Execute and require a result grid.

@@ -52,20 +52,42 @@ pub fn run_select(
         aggregates: None,
     };
 
-    // 1. FROM — with an index fast path for single-table equality
-    //    predicates over indexed columns.
-    let mut input = match &stmt.from {
+    // OFFSET / LIMIT are row-independent: evaluate them exactly once per
+    // statement, up front. Negative values are rejected here.
+    let offset = match &stmt.offset {
+        Some(e) => Some(const_usize(e, &ctx, "OFFSET")?),
+        None => None,
+    };
+    let limit = match &stmt.limit {
+        Some(e) => Some(const_usize(e, &ctx, "LIMIT")?),
+        None => None,
+    };
+
+    // 1. FROM — with an index fast path (point lookup or range walk) for
+    //    single-table statements. A range walk emits rows in key order
+    //    and reports that order, letting an ORDER BY over the same column
+    //    skip the sort below.
+    let (mut input, index_order) = match &stmt.from {
         Some(from) if from.joins.is_empty() => {
-            match try_index_scan(catalog, from, stmt.where_clause.as_ref(), &ctx)? {
-                Some(rows) => rows,
-                None => build_from(catalog, from, &ctx)?,
+            match try_index_scan(
+                catalog,
+                from,
+                stmt.where_clause.as_ref(),
+                &stmt.order_by,
+                &ctx,
+            )? {
+                Some((rows, ord)) => (rows, ord),
+                None => (build_from(catalog, from, &ctx)?, None),
             }
         }
-        Some(from) => build_from(catalog, from, &ctx)?,
-        None => Rows {
-            schema: RowSchema::empty(),
-            rows: vec![Arc::new(Vec::new())],
-        },
+        Some(from) => (build_from(catalog, from, &ctx)?, None),
+        None => (
+            Rows {
+                schema: RowSchema::empty(),
+                rows: vec![Arc::new(Vec::new())],
+            },
+            None,
+        ),
     };
 
     // 2. WHERE
@@ -123,8 +145,49 @@ pub fn run_select(
 
     // 4. Projection (also computes ORDER BY keys against source rows).
     let (columns, proj_exprs) = projection_plan(stmt, &input.schema)?;
+
+    // Did an index range walk already emit rows in ORDER BY order?
+    let order_served = !needs_grouping
+        && stmt.order_by.len() == 1
+        && index_order.is_some_and(|(col, rev)| {
+            stmt.order_by[0].desc == rev
+                && order_targets_column(
+                    &stmt.order_by[0].expr,
+                    &columns,
+                    &proj_exprs,
+                    &input.schema,
+                    col,
+                )
+        });
+
+    // Limit pushdown: once WHERE/HAVING/grouping have run, nothing below
+    // drops or reorders rows when the scan already serves the ORDER BY
+    // (and DISTINCT is absent), so only the first OFFSET+LIMIT candidates
+    // can reach the output.
+    let mut groups = groups;
+    if order_served && !stmt.distinct {
+        if let Some(n) = limit {
+            groups.truncate(n.saturating_add(offset.unwrap_or(0)));
+        }
+    }
+
+    // ORDER BY + LIMIT with no index order: accumulate through a bounded
+    // top-K heap instead of materialize-then-sort. (DISTINCT must see
+    // every row before truncation, so it keeps the full sort.)
+    let descs: Vec<bool> = stmt.order_by.iter().map(|o| o.desc).collect();
+    let mut topk = match limit {
+        Some(n) if !stmt.order_by.is_empty() && !order_served && !stmt.distinct => {
+            catalog.note_topk_sort();
+            Some(TopK::new(
+                n.saturating_add(offset.unwrap_or(0)),
+                descs.clone(),
+            ))
+        }
+        _ => None,
+    };
+
     let mut out_rows: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(groups.len());
-    for (row, aggs) in &groups {
+    for (seq, (row, aggs)) in groups.iter().enumerate() {
         let rc = EvalCtx {
             catalog,
             params,
@@ -140,7 +203,10 @@ pub fn run_select(
         for item in &stmt.order_by {
             keys.push(order_key(&item.expr, &columns, &out, &rc)?);
         }
-        out_rows.push((out, keys));
+        match &mut topk {
+            Some(t) => t.push(keys, seq, out),
+            None => out_rows.push((out, keys)),
+        }
     }
 
     // 5. DISTINCT
@@ -150,29 +216,21 @@ pub fn run_select(
     }
 
     // 6. ORDER BY
-    if !stmt.order_by.is_empty() {
-        let descs: Vec<bool> = stmt.order_by.iter().map(|o| o.desc).collect();
-        out_rows.sort_by(|(_, ka), (_, kb)| {
-            for ((a, b), desc) in ka.iter().zip(kb).zip(&descs) {
-                let ord = a.total_cmp(b);
-                let ord = if *desc { ord.reverse() } else { ord };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
+    let mut rows: Vec<Vec<Value>> = match topk {
+        Some(t) => t.into_sorted_rows(),
+        None => {
+            if !stmt.order_by.is_empty() && !order_served {
+                out_rows.sort_by(|(_, ka), (_, kb)| cmp_keys(ka, kb, &descs));
             }
-            std::cmp::Ordering::Equal
-        });
-    }
-
-    let mut rows: Vec<Vec<Value>> = out_rows.into_iter().map(|(r, _)| r).collect();
+            out_rows.into_iter().map(|(r, _)| r).collect()
+        }
+    };
 
     // 7. OFFSET / LIMIT
-    if let Some(off) = &stmt.offset {
-        let n = const_usize(off, &ctx, "OFFSET")?;
+    if let Some(n) = offset {
         rows = rows.into_iter().skip(n).collect();
     }
-    if let Some(limit) = &stmt.limit {
-        let n = const_usize(limit, &ctx, "LIMIT")?;
+    if let Some(n) = limit {
         rows.truncate(n);
     }
 
@@ -194,6 +252,23 @@ fn run_union(
     head.limit = None;
     head.offset = None;
 
+    let ctx = EvalCtx {
+        catalog,
+        params,
+        named_params,
+        row: None,
+        aggregates: None,
+    };
+    // As in `run_select`: evaluate OFFSET / LIMIT exactly once, up front.
+    let offset = match &stmt.offset {
+        Some(e) => Some(const_usize(e, &ctx, "OFFSET")?),
+        None => None,
+    };
+    let limit = match &stmt.limit {
+        Some(e) => Some(const_usize(e, &ctx, "LIMIT")?),
+        None => None,
+    };
+
     let mut combined = run_select(catalog, &head, params, named_params)?;
     for arm in &stmt.unions {
         let rs = run_select(catalog, &arm.select, params, named_params)?;
@@ -210,14 +285,6 @@ fn run_union(
             combined.rows.retain(|r| seen.insert(r.clone()));
         }
     }
-
-    let ctx = EvalCtx {
-        catalog,
-        params,
-        named_params,
-        row: None,
-        aggregates: None,
-    };
 
     if !stmt.order_by.is_empty() {
         // Keys must reference output columns (by name or ordinal).
@@ -252,34 +319,23 @@ fn run_union(
             keyed.push((row, keys));
         }
         let descs: Vec<bool> = stmt.order_by.iter().map(|o| o.desc).collect();
-        keyed.sort_by(|(_, ka), (_, kb)| {
-            for ((a, b), desc) in ka.iter().zip(kb).zip(&descs) {
-                let ord = a.total_cmp(b);
-                let ord = if *desc { ord.reverse() } else { ord };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
+        keyed.sort_by(|(_, ka), (_, kb)| cmp_keys(ka, kb, &descs));
         combined = QueryResult {
             columns: combined.columns,
             rows: keyed.into_iter().map(|(r, _)| r).collect(),
         };
     }
 
-    if let Some(off) = &stmt.offset {
-        let n = const_usize(off, &ctx, "OFFSET")?;
+    if let Some(n) = offset {
         combined.rows = combined.rows.into_iter().skip(n).collect();
     }
-    if let Some(limit) = &stmt.limit {
-        let n = const_usize(limit, &ctx, "LIMIT")?;
+    if let Some(n) = limit {
         combined.rows.truncate(n);
     }
     Ok(combined)
 }
 
-fn const_usize(e: &Expr, ctx: &EvalCtx<'_>, what: &str) -> SqlResult<usize> {
+pub(crate) fn const_usize(e: &Expr, ctx: &EvalCtx<'_>, what: &str) -> SqlResult<usize> {
     match eval(e, ctx)? {
         Value::Int(n) if n >= 0 => Ok(n as usize),
         other => Err(SqlError::Semantic(format!(
@@ -317,7 +373,11 @@ fn order_key(
 }
 
 /// Expand the projection list into output column names + expressions.
-fn projection_plan(stmt: &SelectStmt, schema: &RowSchema) -> SqlResult<(Vec<String>, Vec<Expr>)> {
+/// Shared with the plan compiler, which binds the expanded expressions.
+pub(crate) fn projection_plan(
+    stmt: &SelectStmt,
+    schema: &RowSchema,
+) -> SqlResult<(Vec<String>, Vec<Expr>)> {
     let mut columns = Vec::new();
     let mut exprs = Vec::new();
     for item in &stmt.projections {
@@ -369,24 +429,28 @@ fn derive_column_name(expr: &Expr, ordinal: usize) -> String {
     }
 }
 
-/// Index fast path: for `FROM t WHERE … col = const-expr …` with an
-/// index covering exactly `[col]`, fetch candidates through the index
-/// instead of scanning. The full WHERE still runs afterwards, so this is
-/// purely an access-path optimization. Returns `None` when inapplicable.
+/// Index fast path: for single-table statements, serve the scan through a
+/// B-tree index instead of a full walk — a point lookup for an equality
+/// conjunct, a range walk for `<`/`<=`/`>`/`>=`/`BETWEEN` conjuncts, or a
+/// whole-index walk when only an `ORDER BY` over an indexed column asks
+/// for key order. The full WHERE still runs afterwards, so this is purely
+/// an access-path optimization. Range and whole-index walks emit rows in
+/// key order and return `Some((col, desc))` so the caller can skip the
+/// sort. Returns `None` when inapplicable.
 fn try_index_scan(
     catalog: &Catalog,
     from: &FromClause,
     where_clause: Option<&Expr>,
+    order_by: &[OrderItem],
     ctx: &EvalCtx<'_>,
-) -> SqlResult<Option<Rows>> {
+) -> SqlResult<Option<(Rows, Option<(usize, bool)>)>> {
     let TableSource::Named(name) = &from.base.source else {
         return Ok(None);
     };
-    let Some(pred) = where_clause else {
-        return Ok(None);
-    };
-    if pred.contains_aggregate() {
-        return Ok(None);
+    if let Some(pred) = where_clause {
+        if pred.contains_aggregate() {
+            return Ok(None);
+        }
     }
     // Views (and unknown names) fall through to the general scan path,
     // which produces the proper view expansion or error.
@@ -396,8 +460,94 @@ fn try_index_scan(
     let binding = from.base.binding_name().unwrap_or(name).to_string();
 
     let mut conjuncts = Vec::new();
-    flatten_and(pred, &mut conjuncts);
-    for c in &conjuncts {
+    if let Some(pred) = where_clause {
+        flatten_and(pred, &mut conjuncts);
+    }
+    let schema = RowSchema::new(
+        table
+            .schema
+            .columns
+            .iter()
+            .map(|c| (Some(binding.clone()), c.name.clone()))
+            .collect(),
+    );
+
+    // Equality probe first: a point lookup beats any range walk.
+    if let Some((col, value_expr)) = find_eq_candidate(&conjuncts, &binding, table) {
+        let index = table.find_index(&[col]).expect("candidate implies index");
+        let key = eval(value_expr, ctx)?;
+        catalog.note_index_scan();
+        // `col = NULL` is never true.
+        let rows: Vec<Arc<Row>> = if key.is_null() {
+            Vec::new()
+        } else {
+            index
+                .lookup(&crate::storage::SortKey(vec![key]))
+                .filter_map(|id| table.get(id).cloned())
+                .collect()
+        };
+        return Ok(Some((Rows { schema, rows }, None)));
+    }
+
+    let order_hint = naive_order_hint(order_by, &binding, table);
+
+    // Range walk over the first indexed column with a range conjunct.
+    if let Some(spec) = find_range_candidate(&conjuncts, &binding, table) {
+        let index = table
+            .find_index(&[spec.col])
+            .expect("candidate implies index");
+        let lower = match &spec.lower {
+            Some((e, inc)) => Some((eval(e, ctx)?, *inc)),
+            None => None,
+        };
+        let upper = match &spec.upper {
+            Some((e, inc)) => Some((eval(e, ctx)?, *inc)),
+            None => None,
+        };
+        // Walk backwards when a single-item ORDER BY … DESC targets the
+        // range column, so the emission order serves the sort.
+        let rev = order_hint.is_some_and(|(c, desc)| c == spec.col && desc);
+        let ids = index.lookup_range(
+            lower.as_ref().map(|(v, i)| (v, *i)),
+            upper.as_ref().map(|(v, i)| (v, *i)),
+            rev,
+            false,
+        );
+        let rows: Vec<Arc<Row>> = ids
+            .iter()
+            .filter_map(|id| table.get(*id).cloned())
+            .collect();
+        catalog.note_range_scan();
+        return Ok(Some((Rows { schema, rows }, Some((spec.col, rev)))));
+    }
+
+    // Pure ORDER BY over an indexed column: a whole-index walk emits all
+    // rows already sorted — NULL keys included, in their NULLS-first
+    // (or, descending, NULLS-last) sort position.
+    if let Some((col, desc)) = order_hint {
+        if let Some(index) = table.find_index(&[col]) {
+            let ids = index.lookup_range(None, None, desc, true);
+            let rows: Vec<Arc<Row>> = ids
+                .iter()
+                .filter_map(|id| table.get(*id).cloned())
+                .collect();
+            catalog.note_range_scan();
+            return Ok(Some((Rows { schema, rows }, Some((col, desc)))));
+        }
+    }
+    Ok(None)
+}
+
+/// First conjunct of the form `col = row-independent-expr` (either side)
+/// over a column with a single-column index. Shared with the plan
+/// compiler, which must pick the same access path as the interpreter so
+/// both emit rows in the same order.
+pub(crate) fn find_eq_candidate<'a>(
+    conjuncts: &'a [Expr],
+    binding: &str,
+    table: &crate::storage::Table,
+) -> Option<(usize, &'a Expr)> {
+    for c in conjuncts {
         let Expr::Binary {
             left,
             op: BinOp::Eq,
@@ -410,53 +560,209 @@ fn try_index_scan(
         // row-independent expression.
         let (col, value_expr) = match (left.as_ref(), right.as_ref()) {
             (Expr::Column { table: t, name: n }, e) if is_row_independent(e) => {
-                match resolve_local(&binding, t.as_deref(), n, table) {
+                match resolve_local(binding, t.as_deref(), n, table) {
                     Some(pos) => (pos, e),
                     None => continue,
                 }
             }
             (e, Expr::Column { table: t, name: n }) if is_row_independent(e) => {
-                match resolve_local(&binding, t.as_deref(), n, table) {
+                match resolve_local(binding, t.as_deref(), n, table) {
                     Some(pos) => (pos, e),
                     None => continue,
                 }
             }
             _ => continue,
         };
-        let Some(index) = table.find_index(&[col]) else {
-            continue;
-        };
-        let key = eval(value_expr, ctx)?;
-        let schema = RowSchema::new(
-            table
-                .schema
-                .columns
-                .iter()
-                .map(|c| (Some(binding.clone()), c.name.clone()))
-                .collect(),
-        );
-        // `col = NULL` is never true.
-        if key.is_null() {
-            catalog.note_index_scan();
-            return Ok(Some(Rows {
-                schema,
-                rows: Vec::new(),
-            }));
+        if table.find_index(&[col]).is_some() {
+            return Some((col, value_expr));
         }
-        let rows: Vec<Arc<Row>> = index
-            .lookup(&crate::storage::SortKey(vec![key]))
-            .filter_map(|id| table.get(id).cloned())
-            .collect();
-        catalog.note_index_scan();
-        return Ok(Some(Rows { schema, rows }));
     }
-    Ok(None)
+    None
+}
+
+/// What one conjunct contributes to a single-column range. Bounds are
+/// `(expr, inclusive)`.
+enum RangeConstraint<'a> {
+    Lower(&'a Expr, bool),
+    Upper(&'a Expr, bool),
+    Both((&'a Expr, bool), (&'a Expr, bool)),
+}
+
+fn range_conjunct<'a>(
+    c: &'a Expr,
+    binding: &str,
+    table: &crate::storage::Table,
+) -> Option<(usize, RangeConstraint<'a>)> {
+    match c {
+        Expr::Binary { left, op, right }
+            if matches!(op, BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq) =>
+        {
+            // col <op> value
+            if let Expr::Column { table: t, name: n } = left.as_ref() {
+                if is_row_independent(right) {
+                    let col = resolve_local(binding, t.as_deref(), n, table)?;
+                    let rc = match op {
+                        BinOp::Lt => RangeConstraint::Upper(right, false),
+                        BinOp::LtEq => RangeConstraint::Upper(right, true),
+                        BinOp::Gt => RangeConstraint::Lower(right, false),
+                        BinOp::GtEq => RangeConstraint::Lower(right, true),
+                        _ => unreachable!(),
+                    };
+                    return Some((col, rc));
+                }
+            }
+            // value <op> col — same constraint with the sides flipped.
+            if let Expr::Column { table: t, name: n } = right.as_ref() {
+                if is_row_independent(left) {
+                    let col = resolve_local(binding, t.as_deref(), n, table)?;
+                    let rc = match op {
+                        BinOp::Lt => RangeConstraint::Lower(left, false),
+                        BinOp::LtEq => RangeConstraint::Lower(left, true),
+                        BinOp::Gt => RangeConstraint::Upper(left, false),
+                        BinOp::GtEq => RangeConstraint::Upper(left, true),
+                        _ => unreachable!(),
+                    };
+                    return Some((col, rc));
+                }
+            }
+            None
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated: false,
+        } => {
+            if let Expr::Column { table: t, name: n } = expr.as_ref() {
+                if is_row_independent(low) && is_row_independent(high) {
+                    let col = resolve_local(binding, t.as_deref(), n, table)?;
+                    return Some((col, RangeConstraint::Both((low, true), (high, true))));
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// A resolved range-scan candidate: the indexed column plus at most one
+/// lower and one upper bound taken from the conjuncts. Remaining
+/// conjuncts (including further bounds on the same column) stay in the
+/// residual WHERE, which always re-runs.
+pub(crate) struct RangeSpec<'a> {
+    pub col: usize,
+    pub lower: Option<(&'a Expr, bool)>,
+    pub upper: Option<(&'a Expr, bool)>,
+}
+
+/// First indexed column constrained by a range conjunct, with its first
+/// lower and first upper bound. Deterministic — the plan compiler calls
+/// this too and must agree with the interpreter on the access path.
+pub(crate) fn find_range_candidate<'a>(
+    conjuncts: &'a [Expr],
+    binding: &str,
+    table: &crate::storage::Table,
+) -> Option<RangeSpec<'a>> {
+    let mut target = None;
+    for c in conjuncts {
+        if let Some((col, _)) = range_conjunct(c, binding, table) {
+            if table.find_index(&[col]).is_some() {
+                target = Some(col);
+                break;
+            }
+        }
+    }
+    let col = target?;
+    let mut lower: Option<(&Expr, bool)> = None;
+    let mut upper: Option<(&Expr, bool)> = None;
+    for c in conjuncts {
+        match range_conjunct(c, binding, table) {
+            Some((c2, rc)) if c2 == col => match rc {
+                RangeConstraint::Lower(e, inc) => {
+                    if lower.is_none() {
+                        lower = Some((e, inc));
+                    }
+                }
+                RangeConstraint::Upper(e, inc) => {
+                    if upper.is_none() {
+                        upper = Some((e, inc));
+                    }
+                }
+                RangeConstraint::Both(lo, hi) => {
+                    if lower.is_none() {
+                        lower = Some(lo);
+                    }
+                    if upper.is_none() {
+                        upper = Some(hi);
+                    }
+                }
+            },
+            _ => {}
+        }
+    }
+    Some(RangeSpec { col, lower, upper })
+}
+
+/// Cheap syntactic check: does the (single-item) ORDER BY name a column of
+/// the scanned table directly? Used only to pick the walk direction — the
+/// authoritative skip-sort decision re-resolves against the projection
+/// (aliases can shadow source columns).
+pub(crate) fn naive_order_hint(
+    order_by: &[OrderItem],
+    binding: &str,
+    table: &crate::storage::Table,
+) -> Option<(usize, bool)> {
+    if order_by.len() != 1 {
+        return None;
+    }
+    let item = &order_by[0];
+    if let Expr::Column { table: t, name: n } = &item.expr {
+        let col = resolve_local(binding, t.as_deref(), n, table)?;
+        return Some((col, item.desc));
+    }
+    None
+}
+
+/// Does this ORDER BY item sort by exactly the given source column?
+/// Mirrors [`order_key`]'s resolution order — ordinal literal, then
+/// output alias, then source expression — so an alias shadowing a source
+/// column is honored.
+pub(crate) fn order_targets_column(
+    expr: &Expr,
+    out_columns: &[String],
+    proj_exprs: &[Expr],
+    schema: &RowSchema,
+    col: usize,
+) -> bool {
+    let target = match expr {
+        Expr::Literal(Value::Int(n)) => {
+            if *n >= 1 && (*n as usize) <= proj_exprs.len() {
+                &proj_exprs[*n as usize - 1]
+            } else {
+                return false;
+            }
+        }
+        Expr::Column { table: None, name } => {
+            match out_columns
+                .iter()
+                .position(|c| c.eq_ignore_ascii_case(name))
+            {
+                Some(i) => &proj_exprs[i],
+                None => expr,
+            }
+        }
+        e => e,
+    };
+    match target {
+        Expr::Column { table, name } => schema.resolve(table.as_deref(), name).ok() == Some(col),
+        _ => false,
+    }
 }
 
 /// Does the expression avoid column references and aggregates (i.e. can
 /// it be evaluated once per statement)? Subqueries are conservatively
 /// rejected to keep the fast path cheap to test for.
-fn is_row_independent(e: &Expr) -> bool {
+pub(crate) fn is_row_independent(e: &Expr) -> bool {
     let mut independent = true;
     e.walk(&mut |node| {
         if matches!(
@@ -477,7 +783,7 @@ fn is_row_independent(e: &Expr) -> bool {
     independent
 }
 
-fn resolve_local(
+pub(crate) fn resolve_local(
     binding: &str,
     qualifier: Option<&str>,
     column: &str,
@@ -607,7 +913,7 @@ fn split_equi_join(
     (pairs, residual)
 }
 
-fn flatten_and(e: &Expr, out: &mut Vec<Expr>) {
+pub(crate) fn flatten_and(e: &Expr, out: &mut Vec<Expr>) {
     if let Expr::Binary {
         left,
         op: BinOp::And,
@@ -878,5 +1184,104 @@ fn compute_aggregate(
             .max_by(|a, b| a.total_cmp(b))
             .unwrap_or(Value::Null)),
         other => Err(SqlError::Semantic(format!("unknown aggregate '{other}'"))),
+    }
+}
+
+// ---------------------------------------------------------------- ordering
+
+/// Compare two ORDER BY key vectors under per-key direction flags.
+pub(crate) fn cmp_keys(ka: &[Value], kb: &[Value], descs: &[bool]) -> std::cmp::Ordering {
+    for ((a, b), desc) in ka.iter().zip(kb).zip(descs) {
+        let ord = a.total_cmp(b);
+        let ord = if *desc { ord.reverse() } else { ord };
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Bounded top-K accumulator for `ORDER BY … LIMIT n`: keeps the `k`
+/// smallest `(keys, seq)` entries under the ORDER BY comparator in a
+/// max-heap, so each insertion costs O(log k) instead of sorting all `n`
+/// rows. `seq` is the arrival position; using it as the final tiebreaker
+/// makes the kept set and its order exactly what a stable full sort
+/// followed by truncation would produce.
+pub(crate) struct TopK {
+    k: usize,
+    descs: Vec<bool>,
+    /// Max-heap: `heap[0]` is the largest kept entry.
+    heap: Vec<(Vec<Value>, usize, Vec<Value>)>,
+}
+
+impl TopK {
+    pub(crate) fn new(k: usize, descs: Vec<bool>) -> TopK {
+        TopK {
+            k,
+            descs,
+            heap: Vec::new(),
+        }
+    }
+
+    fn cmp_entries(
+        &self,
+        a: &(Vec<Value>, usize, Vec<Value>),
+        b: &(Vec<Value>, usize, Vec<Value>),
+    ) -> std::cmp::Ordering {
+        cmp_keys(&a.0, &b.0, &self.descs).then(a.1.cmp(&b.1))
+    }
+
+    pub(crate) fn push(&mut self, keys: Vec<Value>, seq: usize, row: Vec<Value>) {
+        if self.k == 0 {
+            return;
+        }
+        let entry = (keys, seq, row);
+        if self.heap.len() < self.k {
+            self.heap.push(entry);
+            self.sift_up(self.heap.len() - 1);
+        } else if self.cmp_entries(&entry, &self.heap[0]).is_lt() {
+            self.heap[0] = entry;
+            self.sift_down(0);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.cmp_entries(&self.heap[i], &self.heap[parent]).is_gt() {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let mut largest = i;
+            for child in [2 * i + 1, 2 * i + 2] {
+                if child < self.heap.len()
+                    && self
+                        .cmp_entries(&self.heap[child], &self.heap[largest])
+                        .is_gt()
+                {
+                    largest = child;
+                }
+            }
+            if largest == i {
+                break;
+            }
+            self.heap.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    /// The kept rows in final ORDER BY order.
+    pub(crate) fn into_sorted_rows(self) -> Vec<Vec<Value>> {
+        let descs = self.descs;
+        let mut entries = self.heap;
+        entries.sort_by(|a, b| cmp_keys(&a.0, &b.0, &descs).then(a.1.cmp(&b.1)));
+        entries.into_iter().map(|(_, _, r)| r).collect()
     }
 }

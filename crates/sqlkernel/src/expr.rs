@@ -163,19 +163,7 @@ pub fn eval(expr: &Expr, ctx: &EvalCtx<'_>) -> SqlResult<Value> {
             .ok_or_else(|| SqlError::Binding(format!("unbound named parameter ':{n}'"))),
         Expr::Unary { op, expr } => {
             let v = eval(expr, ctx)?;
-            match op {
-                UnOp::Neg => match v {
-                    Value::Null => Ok(Value::Null),
-                    Value::Int(i) => Ok(Value::Int(-i)),
-                    Value::Float(f) => Ok(Value::Float(-f)),
-                    other => Err(SqlError::Semantic(format!("cannot negate {other:?}"))),
-                },
-                UnOp::Not => match v {
-                    Value::Null => Ok(Value::Null),
-                    Value::Bool(b) => Ok(Value::Bool(!b)),
-                    other => Err(SqlError::Semantic(format!("NOT applied to {other:?}"))),
-                },
-            }
+            apply_unary_op(*op, v)
         }
         Expr::Binary { left, op, right } => eval_binary(left, *op, right, ctx),
         Expr::IsNull { expr, negated } => {
@@ -294,7 +282,7 @@ pub fn eval(expr: &Expr, ctx: &EvalCtx<'_>) -> SqlResult<Value> {
             for a in args {
                 vals.push(eval(a, ctx)?);
             }
-            scalar_function(name, &vals, ctx)
+            scalar_function(name, &vals, ctx.catalog)
         }
     }
 }
@@ -326,7 +314,7 @@ fn subquery_column(stmt: &SelectStmt, ctx: &EvalCtx<'_>) -> SqlResult<Vec<Value>
 }
 
 /// SQL `IN` membership with NULL semantics. `None` encodes UNKNOWN.
-fn in_membership(needle: &Value, haystack: &[Value]) -> Option<bool> {
+pub(crate) fn in_membership(needle: &Value, haystack: &[Value]) -> Option<bool> {
     if haystack.is_empty() {
         return Some(false);
     }
@@ -348,14 +336,14 @@ fn in_membership(needle: &Value, haystack: &[Value]) -> Option<bool> {
     }
 }
 
-fn apply_negation(r: Option<bool>, negated: bool) -> Value {
+pub(crate) fn apply_negation(r: Option<bool>, negated: bool) -> Value {
     match r {
         None => Value::Null,
         Some(b) => Value::Bool(b != negated),
     }
 }
 
-fn three_and(a: Option<bool>, b: Option<bool>) -> Option<bool> {
+pub(crate) fn three_and(a: Option<bool>, b: Option<bool>) -> Option<bool> {
     match (a, b) {
         (Some(false), _) | (_, Some(false)) => Some(false),
         (Some(true), Some(true)) => Some(true),
@@ -363,7 +351,7 @@ fn three_and(a: Option<bool>, b: Option<bool>) -> Option<bool> {
     }
 }
 
-fn compare(a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
+pub(crate) fn compare(a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
     a.sql_cmp(b)
 }
 
@@ -396,10 +384,33 @@ fn eval_binary(left: &Expr, op: BinOp, right: &Expr, ctx: &EvalCtx<'_>) -> SqlRe
 
     let l = eval(left, ctx)?;
     let r = eval(right, ctx)?;
+    apply_binary_op(op, &l, &r)
+}
 
+/// Apply a unary operator to an already-computed operand. Shared by the
+/// interpreted evaluator and the bound (compiled) one.
+pub(crate) fn apply_unary_op(op: UnOp, v: Value) -> SqlResult<Value> {
+    match op {
+        UnOp::Neg => match v {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(SqlError::Semantic(format!("cannot negate {other:?}"))),
+        },
+        UnOp::Not => match v {
+            Value::Null => Ok(Value::Null),
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            other => Err(SqlError::Semantic(format!("NOT applied to {other:?}"))),
+        },
+    }
+}
+
+/// Apply a non-logical binary operator to two already-computed operands.
+/// Shared by the interpreted evaluator and the bound (compiled) one.
+pub(crate) fn apply_binary_op(op: BinOp, l: &Value, r: &Value) -> SqlResult<Value> {
     match op {
         BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
-            let cmp = compare(&l, &r);
+            let cmp = compare(l, r);
             let out = cmp.map(|o| match op {
                 BinOp::Eq => o == std::cmp::Ordering::Equal,
                 BinOp::NotEq => o != std::cmp::Ordering::Equal,
@@ -414,16 +425,16 @@ fn eval_binary(left: &Expr, op: BinOp, right: &Expr, ctx: &EvalCtx<'_>) -> SqlRe
                 Some(b) => Value::Bool(b),
             })
         }
-        BinOp::Concat => match (&l, &r) {
+        BinOp::Concat => match (l, r) {
             (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
             _ => Ok(Value::Text(format!("{}{}", l.render(), r.render()))),
         },
-        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => arithmetic(op, &l, &r),
-        BinOp::And | BinOp::Or => unreachable!("handled above"),
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => arithmetic(op, l, r),
+        BinOp::And | BinOp::Or => unreachable!("logical ops are handled by the caller"),
     }
 }
 
-fn value_to_three(v: &Value, what: &str) -> SqlResult<Option<bool>> {
+pub(crate) fn value_to_three(v: &Value, what: &str) -> SqlResult<Option<bool>> {
     match v {
         Value::Null => Ok(None),
         Value::Bool(b) => Ok(Some(*b)),
@@ -433,7 +444,7 @@ fn value_to_three(v: &Value, what: &str) -> SqlResult<Option<bool>> {
     }
 }
 
-fn arithmetic(op: BinOp, l: &Value, r: &Value) -> SqlResult<Value> {
+pub(crate) fn arithmetic(op: BinOp, l: &Value, r: &Value) -> SqlResult<Value> {
     if l.is_null() || r.is_null() {
         return Ok(Value::Null);
     }
@@ -511,7 +522,7 @@ pub fn like_match(s: &str, pattern: &str) -> bool {
     rec(&s, &p)
 }
 
-fn scalar_function(name: &str, args: &[Value], ctx: &EvalCtx<'_>) -> SqlResult<Value> {
+pub(crate) fn scalar_function(name: &str, args: &[Value], catalog: &Catalog) -> SqlResult<Value> {
     let arity = |n: usize| -> SqlResult<()> {
         if args.len() == n {
             Ok(())
@@ -670,7 +681,7 @@ fn scalar_function(name: &str, args: &[Value], ctx: &EvalCtx<'_>) -> SqlResult<V
             let seq_name = args[0]
                 .as_str()
                 .ok_or_else(|| SqlError::Semantic("NEXTVAL expects a sequence name".into()))?;
-            let seq = ctx.catalog.sequence(seq_name)?;
+            let seq = catalog.sequence(seq_name)?;
             Ok(Value::Int(seq.next_value()))
         }
         other => Err(SqlError::NotFound(format!("function '{other}'"))),

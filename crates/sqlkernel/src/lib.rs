@@ -34,6 +34,7 @@
 //! ```
 
 pub mod ast;
+pub mod bound;
 pub mod catalog;
 pub mod db;
 pub mod error;
@@ -41,6 +42,7 @@ pub mod exec;
 pub mod expr;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 pub mod schema;
 pub mod storage;
 pub mod sync;

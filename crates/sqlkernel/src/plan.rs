@@ -1,0 +1,621 @@
+//! Compiled statement plans.
+//!
+//! [`compile`] turns a parsed `SELECT`, `UPDATE`, or `DELETE` into a
+//! [`CompiledPlan`]: column references resolved to row ordinals
+//! ([`BoundExpr`]), constants folded, the access path (point lookup,
+//! range walk, whole-index walk, or full scan) chosen once, and the
+//! projection / ORDER BY shape fixed. Executing a compiled plan skips
+//! name resolution entirely — the per-row work is ordinal loads and
+//! value operations.
+//!
+//! Compilation is best-effort and *must not change semantics*. Anything
+//! the compiler does not understand — joins, grouping, views, unions,
+//! aggregates, unresolvable names — yields [`CompiledPlan::Unsupported`]
+//! and the caller falls back to the tree-walking interpreter, which
+//! reports errors canonically. Crucially, the compiler chooses the
+//! access path with the *same* helper functions the interpreter uses
+//! (`find_eq_candidate`, `find_range_candidate`, `naive_order_hint`), so
+//! for any statement both executors emit rows in the same order; the
+//! differential tests in `tests/plan_cache.rs` hold them byte-identical.
+//!
+//! Plans are cached per statement, keyed by the catalog's schema
+//! [`epoch`](crate::catalog::Catalog::epoch). Any DDL — including
+//! `CREATE INDEX` / `DROP INDEX`, which silently change the best access
+//! path — bumps the epoch and forces a re-bind on next execution.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::ast::{DeleteStmt, SelectStmt, Statement, TableSource, UpdateStmt};
+use crate::bound::{bind, eval_bound, eval_bound_predicate, BoundCtx, BoundExpr};
+use crate::catalog::Catalog;
+use crate::db::QueryResult;
+use crate::error::{SqlError, SqlResult};
+use crate::exec::select::{
+    cmp_keys, find_eq_candidate, find_range_candidate, flatten_and, naive_order_hint,
+    order_targets_column, projection_plan, TopK,
+};
+use crate::expr::RowSchema;
+use crate::storage::{Row, RowId, SortKey, Table};
+use crate::txn::{UndoLog, UndoOp};
+use crate::types::Value;
+
+/// How a compiled single-table `SELECT` reaches its rows.
+#[derive(Debug)]
+enum Access {
+    /// Walk the whole table in rowid order.
+    Full,
+    /// Point lookup: `col = key` over a single-column index.
+    IndexEq { col: usize, key: BoundExpr },
+    /// Range walk over a single-column index. Bounds are
+    /// `(expr, inclusive)`; `rev` walks the key order backwards.
+    IndexRange {
+        col: usize,
+        lower: Option<(BoundExpr, bool)>,
+        upper: Option<(BoundExpr, bool)>,
+        rev: bool,
+    },
+    /// Whole-index walk taken purely for `ORDER BY` key order
+    /// (NULL keys included in their sort position).
+    IndexOrder { col: usize, desc: bool },
+}
+
+/// Where one ORDER BY sort key comes from, resolved at compile time
+/// following the interpreter's rules: ordinal literal → output column;
+/// bare name matching an output alias → output column; anything else →
+/// expression over the source row.
+#[derive(Debug)]
+enum OrderKey {
+    /// The already-projected output value at this position.
+    Output(usize),
+    /// An expression evaluated against the source row.
+    Row(BoundExpr),
+}
+
+/// A compiled single-table `SELECT`.
+#[derive(Debug)]
+pub struct SelectPlan {
+    table: String,
+    access: Access,
+    /// The full WHERE clause; always re-checked, so the access path is
+    /// purely an optimization.
+    filter: Option<BoundExpr>,
+    columns: Vec<String>,
+    projections: Vec<BoundExpr>,
+    distinct: bool,
+    /// `(key source, descending)` per ORDER BY item.
+    order: Vec<(OrderKey, bool)>,
+    /// Does the access path already emit rows in ORDER BY order?
+    order_served: bool,
+    limit: Option<BoundExpr>,
+    offset: Option<BoundExpr>,
+}
+
+/// A compiled `UPDATE`: filter plus `(column ordinal, value)` pairs.
+#[derive(Debug)]
+pub struct UpdatePlan {
+    table: String,
+    filter: Option<BoundExpr>,
+    assignments: Vec<(usize, BoundExpr)>,
+}
+
+/// A compiled `DELETE`.
+#[derive(Debug)]
+pub struct DeletePlan {
+    table: String,
+    filter: Option<BoundExpr>,
+}
+
+/// The result of compiling one statement against one catalog epoch.
+#[derive(Debug)]
+pub enum CompiledPlan {
+    Select(SelectPlan),
+    Update(UpdatePlan),
+    Delete(DeletePlan),
+    /// Compilation declined; execute through the interpreter.
+    Unsupported,
+}
+
+/// Compile a statement against the current catalog state. Never fails:
+/// anything outside the compilable subset (or that would error at bind
+/// time where the interpreter errors at run time) is `Unsupported`.
+pub fn compile(catalog: &Catalog, stmt: &Statement) -> CompiledPlan {
+    match stmt {
+        Statement::Select(s) => compile_select(catalog, s).unwrap_or(CompiledPlan::Unsupported),
+        Statement::Update(u) => compile_update(catalog, u).unwrap_or(CompiledPlan::Unsupported),
+        Statement::Delete(d) => compile_delete(catalog, d).unwrap_or(CompiledPlan::Unsupported),
+        _ => CompiledPlan::Unsupported,
+    }
+}
+
+/// Row schema of a base-table scan: every column under the scan binding.
+fn table_row_schema(table: &Table, binding: &str) -> RowSchema {
+    RowSchema::new(
+        table
+            .schema
+            .columns
+            .iter()
+            .map(|c| (Some(binding.to_string()), c.name.clone()))
+            .collect(),
+    )
+}
+
+fn bind_opt(expr: Option<&crate::ast::Expr>, schema: &RowSchema) -> Option<Option<BoundExpr>> {
+    match expr {
+        Some(e) => match bind(e, schema) {
+            Ok(b) => Some(Some(b)),
+            Err(_) => None,
+        },
+        None => Some(None),
+    }
+}
+
+fn compile_select(catalog: &Catalog, stmt: &SelectStmt) -> Option<CompiledPlan> {
+    // The compilable subset: one named base table, no set operations, no
+    // grouping machinery. Everything else runs interpreted.
+    if !stmt.unions.is_empty()
+        || !stmt.group_by.is_empty()
+        || stmt.having.is_some()
+        || stmt.order_by.iter().any(|o| o.expr.contains_aggregate())
+    {
+        return None;
+    }
+    let from = stmt.from.as_ref()?;
+    if !from.joins.is_empty() {
+        return None;
+    }
+    let TableSource::Named(name) = &from.base.source else {
+        return None;
+    };
+    if catalog.has_view(name) {
+        return None;
+    }
+    let table = catalog.table(name).ok()?;
+    let binding = from.base.binding_name().unwrap_or(name).to_string();
+    let schema = table_row_schema(table, &binding);
+
+    // Projection expansion + binding. Aggregates fail `bind`, sending
+    // grouped queries to the interpreter.
+    let (columns, proj_exprs) = projection_plan(stmt, &schema).ok()?;
+    let projections: Vec<BoundExpr> = proj_exprs
+        .iter()
+        .map(|e| bind(e, &schema))
+        .collect::<SqlResult<_>>()
+        .ok()?;
+
+    // Access path: the same candidate search as the interpreter's
+    // `try_index_scan`, over the same flattened conjunct list.
+    let mut conjuncts = Vec::new();
+    if let Some(pred) = &stmt.where_clause {
+        flatten_and(pred, &mut conjuncts);
+    }
+    let order_hint = naive_order_hint(&stmt.order_by, &binding, table);
+    let (access, index_order) =
+        if let Some((col, value_expr)) = find_eq_candidate(&conjuncts, &binding, table) {
+            let key = bind(value_expr, &schema).ok()?;
+            (Access::IndexEq { col, key }, None)
+        } else if let Some(spec) = find_range_candidate(&conjuncts, &binding, table) {
+            let rev = order_hint.is_some_and(|(c, desc)| c == spec.col && desc);
+            let bind_bound = |b: Option<(&crate::ast::Expr, bool)>| match b {
+                Some((e, inc)) => bind(e, &schema).ok().map(|be| Some((be, inc))),
+                None => Some(None),
+            };
+            (
+                Access::IndexRange {
+                    col: spec.col,
+                    lower: bind_bound(spec.lower)?,
+                    upper: bind_bound(spec.upper)?,
+                    rev,
+                },
+                Some((spec.col, rev)),
+            )
+        } else if let Some((col, desc)) =
+            order_hint.filter(|(col, _)| table.find_index(&[*col]).is_some())
+        {
+            (Access::IndexOrder { col, desc }, Some((col, desc)))
+        } else {
+            (Access::Full, None)
+        };
+
+    let filter = bind_opt(stmt.where_clause.as_ref(), &schema)?;
+
+    // ORDER BY keys, resolved the way `order_key` resolves them. An
+    // out-of-range ordinal is left to the interpreter: it only errors
+    // when a row actually reaches the sort.
+    let mut order = Vec::with_capacity(stmt.order_by.len());
+    for item in &stmt.order_by {
+        let key = match &item.expr {
+            crate::ast::Expr::Literal(Value::Int(n)) => {
+                if *n >= 1 && (*n as usize) <= projections.len() {
+                    OrderKey::Output(*n as usize - 1)
+                } else {
+                    return None;
+                }
+            }
+            crate::ast::Expr::Column { table: None, name } => {
+                match columns.iter().position(|c| c.eq_ignore_ascii_case(name)) {
+                    Some(i) => OrderKey::Output(i),
+                    None => OrderKey::Row(bind(&item.expr, &schema).ok()?),
+                }
+            }
+            e => OrderKey::Row(bind(e, &schema).ok()?),
+        };
+        order.push((key, item.desc));
+    }
+
+    let order_served = stmt.order_by.len() == 1
+        && index_order.is_some_and(|(col, rev)| {
+            stmt.order_by[0].desc == rev
+                && order_targets_column(&stmt.order_by[0].expr, &columns, &proj_exprs, &schema, col)
+        });
+
+    // LIMIT/OFFSET are row-independent; bind against the empty schema.
+    let empty = RowSchema::empty();
+    let limit = bind_opt(stmt.limit.as_ref(), &empty)?;
+    let offset = bind_opt(stmt.offset.as_ref(), &empty)?;
+
+    Some(CompiledPlan::Select(SelectPlan {
+        table: name.clone(),
+        access,
+        filter,
+        columns,
+        projections,
+        distinct: stmt.distinct,
+        order,
+        order_served,
+        limit,
+        offset,
+    }))
+}
+
+fn compile_update(catalog: &Catalog, stmt: &UpdateStmt) -> Option<CompiledPlan> {
+    let table = catalog.table(&stmt.table).ok()?;
+    // The interpreter binds the scan under the table's declared name.
+    let schema = table_row_schema(table, &table.schema.name.clone());
+    let mut assignments = Vec::with_capacity(stmt.assignments.len());
+    for (col, e) in &stmt.assignments {
+        let pos = table.schema.resolve(col).ok()?;
+        assignments.push((pos, bind(e, &schema).ok()?));
+    }
+    let filter = bind_opt(stmt.where_clause.as_ref(), &schema)?;
+    Some(CompiledPlan::Update(UpdatePlan {
+        table: stmt.table.clone(),
+        filter,
+        assignments,
+    }))
+}
+
+fn compile_delete(catalog: &Catalog, stmt: &DeleteStmt) -> Option<CompiledPlan> {
+    let table = catalog.table(&stmt.table).ok()?;
+    let schema = table_row_schema(table, &table.schema.name.clone());
+    let filter = bind_opt(stmt.where_clause.as_ref(), &schema)?;
+    Some(CompiledPlan::Delete(DeletePlan {
+        table: stmt.table.clone(),
+        filter,
+    }))
+}
+
+// ---------------------------------------------------------------- execution
+
+/// Bound-evaluation tally for one statement, flushed to the catalog's
+/// `bound_evals` counter in one atomic add at the end.
+struct Evals(u64);
+
+impl Evals {
+    fn eval(&mut self, e: &BoundExpr, ctx: &BoundCtx<'_>) -> SqlResult<Value> {
+        self.0 += 1;
+        eval_bound(e, ctx)
+    }
+
+    fn pred(&mut self, e: &BoundExpr, ctx: &BoundCtx<'_>) -> SqlResult<bool> {
+        self.0 += 1;
+        eval_bound_predicate(e, ctx)
+    }
+}
+
+fn bound_usize(
+    e: &BoundExpr,
+    ctx: &BoundCtx<'_>,
+    evals: &mut Evals,
+    what: &str,
+) -> SqlResult<usize> {
+    match evals.eval(e, ctx)? {
+        Value::Int(n) if n >= 0 => Ok(n as usize),
+        other => Err(SqlError::Semantic(format!(
+            "{what} must be a non-negative integer, got {other:?}"
+        ))),
+    }
+}
+
+/// Execute a compiled `SELECT`. Mirrors `run_select`'s single-table
+/// pipeline stage for stage; counters (`index_scans`, `range_scans`,
+/// `full_scans`, `topk_sorts`) tick exactly as on the interpreted path.
+pub fn run_select_plan(
+    catalog: &Catalog,
+    plan: &SelectPlan,
+    params: &[Value],
+    named_params: &HashMap<String, Value>,
+) -> SqlResult<QueryResult> {
+    let ctx = BoundCtx {
+        catalog,
+        params,
+        named_params,
+        row: None,
+    };
+    let mut evals = Evals(0);
+
+    // OFFSET/LIMIT once per statement, before any row work.
+    let offset = match &plan.offset {
+        Some(e) => Some(bound_usize(e, &ctx, &mut evals, "OFFSET")?),
+        None => None,
+    };
+    let limit = match &plan.limit {
+        Some(e) => Some(bound_usize(e, &ctx, &mut evals, "LIMIT")?),
+        None => None,
+    };
+
+    let table = catalog.table(&plan.table)?;
+
+    // Access path.
+    let rows: Vec<Arc<Row>> = match &plan.access {
+        Access::Full => {
+            catalog.note_full_scan();
+            table.iter().map(|(_, r)| Arc::clone(r)).collect()
+        }
+        Access::IndexEq { col, key } => {
+            let index = table.find_index(&[*col]).expect("plan epoch guards index");
+            let key = evals.eval(key, &ctx)?;
+            catalog.note_index_scan();
+            if key.is_null() {
+                Vec::new()
+            } else {
+                index
+                    .lookup(&SortKey(vec![key]))
+                    .filter_map(|id| table.get(id).cloned())
+                    .collect()
+            }
+        }
+        Access::IndexRange {
+            col,
+            lower,
+            upper,
+            rev,
+        } => {
+            let index = table.find_index(&[*col]).expect("plan epoch guards index");
+            let lower = match lower {
+                Some((e, inc)) => Some((evals.eval(e, &ctx)?, *inc)),
+                None => None,
+            };
+            let upper = match upper {
+                Some((e, inc)) => Some((evals.eval(e, &ctx)?, *inc)),
+                None => None,
+            };
+            let ids = index.lookup_range(
+                lower.as_ref().map(|(v, i)| (v, *i)),
+                upper.as_ref().map(|(v, i)| (v, *i)),
+                *rev,
+                false,
+            );
+            catalog.note_range_scan();
+            ids.iter()
+                .filter_map(|id| table.get(*id).cloned())
+                .collect()
+        }
+        Access::IndexOrder { col, desc } => {
+            let index = table.find_index(&[*col]).expect("plan epoch guards index");
+            let mut ids = index.lookup_range(None, None, *desc, true);
+            // Limit pushdown into the walk itself: with no filter, the
+            // id→row mapping is 1:1, so rows past OFFSET+LIMIT can never
+            // reach the output when the walk serves the ORDER BY.
+            if plan.filter.is_none() && plan.order_served && !plan.distinct {
+                if let Some(n) = limit {
+                    ids.truncate(n.saturating_add(offset.unwrap_or(0)));
+                }
+            }
+            catalog.note_range_scan();
+            ids.iter()
+                .filter_map(|id| table.get(*id).cloned())
+                .collect()
+        }
+    };
+
+    // Residual WHERE — always the full predicate.
+    let mut kept = Vec::with_capacity(rows.len());
+    for row in rows {
+        let keep = match &plan.filter {
+            Some(pred) => {
+                let rc = BoundCtx {
+                    row: Some(&row),
+                    ..ctx
+                };
+                evals.pred(pred, &rc)?
+            }
+            None => true,
+        };
+        if keep {
+            kept.push(row);
+        }
+    }
+
+    // Limit pushdown (mirrors the interpreter): with the order served by
+    // the walk and no DISTINCT, only the first OFFSET+LIMIT survivors can
+    // reach the output.
+    if plan.order_served && !plan.distinct {
+        if let Some(n) = limit {
+            kept.truncate(n.saturating_add(offset.unwrap_or(0)));
+        }
+    }
+
+    // Projection + ORDER BY keys, optionally through the top-K heap.
+    let descs: Vec<bool> = plan.order.iter().map(|(_, d)| *d).collect();
+    let mut topk = match limit {
+        Some(n) if !plan.order.is_empty() && !plan.order_served && !plan.distinct => {
+            catalog.note_topk_sort();
+            Some(TopK::new(
+                n.saturating_add(offset.unwrap_or(0)),
+                descs.clone(),
+            ))
+        }
+        _ => None,
+    };
+
+    let mut out_rows: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(kept.len());
+    for (seq, row) in kept.iter().enumerate() {
+        let rc = BoundCtx {
+            row: Some(row),
+            ..ctx
+        };
+        let mut out = Vec::with_capacity(plan.projections.len());
+        for e in &plan.projections {
+            out.push(evals.eval(e, &rc)?);
+        }
+        let mut keys = Vec::with_capacity(plan.order.len());
+        for (key, _) in &plan.order {
+            keys.push(match key {
+                OrderKey::Output(i) => out[*i].clone(),
+                OrderKey::Row(e) => evals.eval(e, &rc)?,
+            });
+        }
+        match &mut topk {
+            Some(t) => t.push(keys, seq, out),
+            None => out_rows.push((out, keys)),
+        }
+    }
+
+    if plan.distinct {
+        let mut seen: std::collections::HashSet<Vec<Value>> = std::collections::HashSet::new();
+        out_rows.retain(|(r, _)| seen.insert(r.clone()));
+    }
+
+    let mut rows: Vec<Vec<Value>> = match topk {
+        Some(t) => t.into_sorted_rows(),
+        None => {
+            if !plan.order.is_empty() && !plan.order_served {
+                out_rows.sort_by(|(_, ka), (_, kb)| cmp_keys(ka, kb, &descs));
+            }
+            out_rows.into_iter().map(|(r, _)| r).collect()
+        }
+    };
+
+    if let Some(n) = offset {
+        rows = rows.into_iter().skip(n).collect();
+    }
+    if let Some(n) = limit {
+        rows.truncate(n);
+    }
+
+    catalog.note_bound_evals(evals.0);
+    Ok(QueryResult {
+        columns: plan.columns.clone(),
+        rows,
+    })
+}
+
+/// Execute a compiled `UPDATE` in the interpreter's two phases: evaluate
+/// against an immutable snapshot (avoiding the Halloween problem), then
+/// apply with undo records for statement atomicity.
+pub fn run_update_plan(
+    catalog: &mut Catalog,
+    plan: &UpdatePlan,
+    params: &[Value],
+    named_params: &HashMap<String, Value>,
+    undo: &mut UndoLog,
+) -> SqlResult<usize> {
+    let mut evals = Evals(0);
+    let changes: Vec<(RowId, Vec<Value>)> = {
+        let table = catalog.table(&plan.table)?;
+        let ctx = BoundCtx {
+            catalog,
+            params,
+            named_params,
+            row: None,
+        };
+        let mut changes = Vec::new();
+        for (id, row) in table.iter() {
+            let rc = BoundCtx {
+                row: Some(row),
+                ..ctx
+            };
+            let hit = match &plan.filter {
+                Some(pred) => evals.pred(pred, &rc)?,
+                None => true,
+            };
+            if !hit {
+                continue;
+            }
+            let mut new_row = (**row).clone();
+            for (pos, e) in &plan.assignments {
+                new_row[*pos] = evals.eval(e, &rc)?;
+            }
+            changes.push((id, new_row));
+        }
+        changes
+    };
+
+    let table_name = catalog.table(&plan.table)?.schema.name.clone();
+    let mut n = 0;
+    for (id, new_row) in changes {
+        let table = catalog.table_mut(&plan.table)?;
+        let old = table.update(id, new_row)?;
+        undo.record(UndoOp::Update {
+            table: table_name.clone(),
+            row_id: id,
+            old,
+        });
+        n += 1;
+    }
+    catalog.note_bound_evals(evals.0);
+    Ok(n)
+}
+
+/// Execute a compiled `DELETE` (two-phase, like the interpreter).
+pub fn run_delete_plan(
+    catalog: &mut Catalog,
+    plan: &DeletePlan,
+    params: &[Value],
+    named_params: &HashMap<String, Value>,
+    undo: &mut UndoLog,
+) -> SqlResult<usize> {
+    let mut evals = Evals(0);
+    let victims: Vec<RowId> = {
+        let table = catalog.table(&plan.table)?;
+        let ctx = BoundCtx {
+            catalog,
+            params,
+            named_params,
+            row: None,
+        };
+        let mut out = Vec::new();
+        for (id, row) in table.iter() {
+            let hit = match &plan.filter {
+                Some(pred) => {
+                    let rc = BoundCtx {
+                        row: Some(row),
+                        ..ctx
+                    };
+                    evals.pred(pred, &rc)?
+                }
+                None => true,
+            };
+            if hit {
+                out.push(id);
+            }
+        }
+        out
+    };
+
+    let table_name = catalog.table(&plan.table)?.schema.name.clone();
+    let mut n = 0;
+    for id in victims {
+        let table = catalog.table_mut(&plan.table)?;
+        let row = table.delete(id)?;
+        undo.record(UndoOp::Delete {
+            table: table_name.clone(),
+            row_id: id,
+            row,
+        });
+        n += 1;
+    }
+    catalog.note_bound_evals(evals.0);
+    Ok(n)
+}

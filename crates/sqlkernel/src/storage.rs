@@ -94,6 +94,67 @@ impl Index {
     pub fn key_count(&self) -> usize {
         self.map.len()
     }
+
+    /// Row ids whose (single-column) key falls within the given bounds,
+    /// emitted in key order — descending when `rev`. Each bound is
+    /// `(value, inclusive)`; `None` means unbounded on that side.
+    ///
+    /// SQL comparison semantics: a NULL bound compares UNKNOWN against
+    /// every key, so the range is empty. NULL *keys* never satisfy a
+    /// comparison predicate either, so an unbounded-from-below range
+    /// excludes them — unless `include_null_keys` is set, which the
+    /// executor uses for pure ORDER BY (no range predicate) walks where
+    /// NULL keys must appear in their NULLS-first sort position.
+    ///
+    /// Within one key, row ids come out ascending even when `rev`: the
+    /// interpreted path's stable sort preserves scan order (ascending row
+    /// id) among equal keys, and index emission must match it exactly.
+    pub fn lookup_range(
+        &self,
+        lower: Option<(&Value, bool)>,
+        upper: Option<(&Value, bool)>,
+        rev: bool,
+        include_null_keys: bool,
+    ) -> Vec<RowId> {
+        use std::ops::Bound;
+        if lower.is_some_and(|(v, _)| v.is_null()) || upper.is_some_and(|(v, _)| v.is_null()) {
+            return Vec::new();
+        }
+        // BTreeMap::range panics on inverted bounds (and on equal bounds
+        // with either end excluded); such ranges are simply empty.
+        if let (Some((lo, lo_inc)), Some((hi, hi_inc))) = (lower, upper) {
+            match lo.total_cmp(hi) {
+                Ordering::Greater => return Vec::new(),
+                Ordering::Equal if !(lo_inc && hi_inc) => return Vec::new(),
+                _ => {}
+            }
+        }
+        let start: Bound<SortKey> = match lower {
+            Some((v, true)) => Bound::Included(SortKey(vec![v.clone()])),
+            Some((v, false)) => Bound::Excluded(SortKey(vec![v.clone()])),
+            None if include_null_keys => Bound::Unbounded,
+            // NULL sorts before every non-NULL value, so excluding the
+            // NULL key is the same as starting just past it.
+            None => Bound::Excluded(SortKey(vec![Value::Null])),
+        };
+        let end: Bound<SortKey> = match upper {
+            Some((v, true)) => Bound::Included(SortKey(vec![v.clone()])),
+            Some((v, false)) => Bound::Excluded(SortKey(vec![v.clone()])),
+            None => Bound::Unbounded,
+        };
+        let mut out = Vec::new();
+        let entries = self.map.range((start, end));
+        if rev {
+            for (_, ids) in entries.rev() {
+                out.extend(ids.iter().copied());
+            }
+        } else {
+            for (_, ids) in entries {
+                out.extend(ids.iter().copied());
+            }
+        }
+        out
+    }
 }
 
 /// A stored table: schema + rows + indexes.
@@ -259,7 +320,7 @@ impl Table {
                         }
                     }
                     let new_key = idx.key_of(&row);
-                idx.map.entry(new_key).or_default().insert(id);
+                    idx.map.entry(new_key).or_default().insert(id);
                 }
             }
         }

@@ -220,11 +220,7 @@ fn readers_never_observe_torn_rows() {
                     let a = i % 101;
                     conn.execute_prepared(
                         &stmt,
-                        &[
-                            Value::Int(a),
-                            Value::Int(100 - a),
-                            Value::Int(i % 3 + 1),
-                        ],
+                        &[Value::Int(a), Value::Int(100 - a), Value::Int(i % 3 + 1)],
                     )
                     .unwrap();
                 }

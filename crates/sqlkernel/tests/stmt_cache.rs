@@ -79,8 +79,11 @@ fn drop_table_evicts_cached_plans() {
 
     // Re-create with a different shape; the old SELECT text must plan
     // against the new schema, not any stale cached artifact.
-    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT, extra INT)", &[])
-        .unwrap();
+    conn.execute(
+        "CREATE TABLE t (id INT PRIMARY KEY, v TEXT, extra INT)",
+        &[],
+    )
+    .unwrap();
     conn.execute("INSERT INTO t VALUES (1, 'x', 5)", &[])
         .unwrap();
     let rs = conn.query("SELECT v FROM t", &[]).unwrap();
@@ -137,8 +140,11 @@ fn temp_table_drop_invalidates_plans() {
     let db = Database::new("cache7");
     {
         let conn = db.connect();
-        conn.execute("CREATE TEMP TABLE session_scratch (id INT PRIMARY KEY)", &[])
-            .unwrap();
+        conn.execute(
+            "CREATE TEMP TABLE session_scratch (id INT PRIMARY KEY)",
+            &[],
+        )
+        .unwrap();
         conn.execute("INSERT INTO session_scratch VALUES (1)", &[])
             .unwrap();
         conn.query("SELECT COUNT(*) FROM session_scratch", &[])
@@ -157,7 +163,11 @@ fn temp_table_drop_invalidates_plans() {
             .unwrap_err();
         (map_len, err)
     };
-    assert!(evicted.1.to_string().to_lowercase().contains("session_scratch"));
+    assert!(evicted
+        .1
+        .to_string()
+        .to_lowercase()
+        .contains("session_scratch"));
 }
 
 #[test]

@@ -380,11 +380,7 @@ impl DataAdapter {
             .join(" AND ")
     }
 
-    fn push_key_params(
-        table: &DataTable,
-        row: &DataRow,
-        params: &mut Vec<Value>,
-    ) -> SqlResult<()> {
+    fn push_key_params(table: &DataTable, row: &DataRow, params: &mut Vec<Value>) -> SqlResult<()> {
         let original = row.original.as_ref().ok_or_else(|| {
             SqlError::Semantic("modified/deleted row lost its original values".into())
         })?;

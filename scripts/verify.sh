@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Full verification gate: release build, the whole workspace test suite,
+# and formatting. Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+# NB: plain `cargo test` at the root only tests the root `flowsql`
+# package — `--workspace` is what runs the crate suites.
+cargo test --workspace -q
+cargo fmt --all --check
+
+echo "verify: OK"

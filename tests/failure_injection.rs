@@ -5,9 +5,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use flowsql::bis::{
-    BisDeployment, DataSourceRegistry, RetrieveSetActivity, SqlActivity,
-};
+use flowsql::bis::{BisDeployment, DataSourceRegistry, RetrieveSetActivity, SqlActivity};
 use flowsql::flowcore::builtins::{CopyFrom, Invoke, Scope, Sequence, Snippet};
 use flowsql::flowcore::{Engine, FlowError, Message, ProcessDefinition, Variables};
 use flowsql::patterns::probe::seed_orders;
@@ -18,9 +16,9 @@ fn flaky_supplier_engine(poison: &'static str) -> (Engine, Arc<AtomicUsize>) {
     let calls = Arc::new(AtomicUsize::new(0));
     let counter = calls.clone();
     let mut engine = Engine::new();
-    engine
-        .services_mut()
-        .register_fn(flowsql::patterns::ORDER_FROM_SUPPLIER, move |input: &Message| {
+    engine.services_mut().register_fn(
+        flowsql::patterns::ORDER_FROM_SUPPLIER,
+        move |input: &Message| {
             counter.fetch_add(1, Ordering::Relaxed);
             let item = input.scalar_part("ItemType")?.render();
             if item == poison {
@@ -29,11 +27,9 @@ fn flaky_supplier_engine(poison: &'static str) -> (Engine, Arc<AtomicUsize>) {
                     format!("no stock for {item}"),
                 ));
             }
-            Ok(Message::new().with_part(
-                "Confirmation",
-                Value::Text(format!("confirmed:{item}")),
-            ))
-        });
+            Ok(Message::new().with_part("Confirmation", Value::Text(format!("confirmed:{item}"))))
+        },
+    );
     (engine, calls)
 }
 
@@ -75,16 +71,19 @@ fn scope_handler_records_failed_orders_and_completes() {
     // failure through a SQL activity and continue with the next item.
     let order_item = Scope::new(
         "order with recovery",
-        Invoke::new("Invoke OrderFromSupplier", flowsql::patterns::ORDER_FROM_SUPPLIER)
-            .input(
-                "ItemType",
-                CopyFrom::path("CurrentItem", "/Row/ItemId").unwrap(),
-            )
-            .input(
-                "Quantity",
-                CopyFrom::path("CurrentItem", "/Row/Quantity").unwrap(),
-            )
-            .output("Confirmation", "OrderConfirmation"),
+        Invoke::new(
+            "Invoke OrderFromSupplier",
+            flowsql::patterns::ORDER_FROM_SUPPLIER,
+        )
+        .input(
+            "ItemType",
+            CopyFrom::path("CurrentItem", "/Row/ItemId").unwrap(),
+        )
+        .input(
+            "Quantity",
+            CopyFrom::path("CurrentItem", "/Row/Quantity").unwrap(),
+        )
+        .output("Confirmation", "OrderConfirmation"),
     )
     .catch(
         "supplierRejected",
@@ -118,7 +117,11 @@ fn scope_handler_records_failed_orders_and_completes() {
     let def = BisDeployment::new(DataSourceRegistry::new().with(db.clone()))
         .bind_data_source("DS_Orders", db.name())
         .input_set("SR_Orders", "Orders")
-        .result_set("SR_ItemList", "DS_Orders", Some("(ItemId TEXT, Quantity INT)"))
+        .result_set(
+            "SR_ItemList",
+            "DS_Orders",
+            Some("(ItemId TEXT, Quantity INT)"),
+        )
         .deploy(ProcessDefinition::new("resilient order flow", body));
 
     let inst = engine.run(&def, Variables::new()).unwrap();
@@ -161,7 +164,10 @@ fn sql_fault_mid_loop_leaves_consistent_partial_state() {
     // cleanly; nothing half-written.
     let conn = db.connect();
     let rs = conn
-        .query("SELECT COUNT(*) FROM OrderConfirmations WHERE Confirmation IS NOT NULL", &[])
+        .query(
+            "SELECT COUNT(*) FROM OrderConfirmations WHERE Confirmation IS NOT NULL",
+            &[],
+        )
         .unwrap();
     assert_eq!(rs.single_value().unwrap(), &Value::Int(1));
     let faults: Vec<_> = inst
@@ -180,10 +186,9 @@ fn snippet_panic_free_error_propagation_through_layers() {
     // fault with its message intact through while → sequence → process.
     let def = ProcessDefinition::new(
         "deep",
-        Sequence::new("outer").then(Sequence::new("inner").then(Snippet::new(
-            "fails",
-            |_| Err(FlowError::Variable("injected failure".into())),
-        ))),
+        Sequence::new("outer").then(Sequence::new("inner").then(Snippet::new("fails", |_| {
+            Err(FlowError::Variable("injected failure".into()))
+        }))),
     );
     let inst = Engine::new().run(&def, Variables::new()).unwrap();
     assert!(inst.is_faulted());

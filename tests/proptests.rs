@@ -267,7 +267,10 @@ fn like_self_match() {
     for case in 0..CASES {
         let mut rng = Rng::new(0x3001 ^ case);
         let s = gen_lower(&mut rng, 0, 13);
-        assert!(flowsql::sqlkernel::expr::like_match(&s, &s), "case {case}: {s}");
+        assert!(
+            flowsql::sqlkernel::expr::like_match(&s, &s),
+            "case {case}: {s}"
+        );
     }
 }
 
@@ -360,7 +363,12 @@ fn dataset_agrees_with_model_and_adapter_syncs() {
             // Cache view matches the model at every step.
             let live: Vec<(i64, i64)> = table
                 .live_rows()
-                .map(|r| (r.values()[0].as_i64().unwrap(), r.values()[1].as_i64().unwrap()))
+                .map(|r| {
+                    (
+                        r.values()[0].as_i64().unwrap(),
+                        r.values()[1].as_i64().unwrap(),
+                    )
+                })
                 .collect();
             assert_eq!(&live, &model, "case {case}");
         }
@@ -518,8 +526,11 @@ fn order_by_sorts() {
                 Value::Null => Value::Null,
                 other => other.coerce(DataType::Text).unwrap(),
             };
-            conn.execute("INSERT INTO t VALUES (?, ?)", &[Value::Int(i as i64), as_text])
-                .unwrap();
+            conn.execute(
+                "INSERT INTO t VALUES (?, ?)",
+                &[Value::Int(i as i64), as_text],
+            )
+            .unwrap();
         }
         let rs = conn.query("SELECT v FROM t ORDER BY v", &[]).unwrap();
         for w in rs.rows.windows(2) {
@@ -559,7 +570,10 @@ fn where_filter_matches_model() {
         for (i, v) in rows.iter().enumerate() {
             conn.execute(
                 "INSERT INTO t VALUES (?, ?)",
-                &[Value::Int(i as i64), v.map(Value::Int).unwrap_or(Value::Null)],
+                &[
+                    Value::Int(i as i64),
+                    v.map(Value::Int).unwrap_or(Value::Null),
+                ],
             )
             .unwrap();
         }
@@ -649,7 +663,9 @@ fn distinct_and_union_match_model() {
         }
 
         // DISTINCT = set semantics.
-        let got = conn.query("SELECT DISTINCT v FROM a ORDER BY v", &[]).unwrap();
+        let got = conn
+            .query("SELECT DISTINCT v FROM a ORDER BY v", &[])
+            .unwrap();
         let mut want: Vec<i64> = left.clone();
         want.sort_unstable();
         want.dedup();
