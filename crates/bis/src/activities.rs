@@ -2,11 +2,12 @@
 //! `retrieve set activity` and `atomic SQL sequence`.
 
 use flowcore::builtins::CopyFrom;
+use flowcore::retry::RetryRuntime;
 use flowcore::{
     exec_activity, Activity, ActivityContext, ExecutionMode, FlowError, FlowResult, VarValue,
     Variables,
 };
-use sqlkernel::{StatementResult, Value};
+use sqlkernel::{Database, StatementResult, Value};
 
 use crate::datasource::BisRuntime;
 use crate::setref::{get_set_ref, substitute_set_refs, SetRef};
@@ -27,9 +28,29 @@ fn var_to_scalar(v: VarValue) -> FlowResult<Value> {
     }
 }
 
+/// Run `op` under the instance's retry runtime (when the deployment
+/// configured one), returning the result plus the recovery log the
+/// caller must surface in the audit trail.
+fn run_with_retry<T>(
+    retry: Option<&mut RetryRuntime>,
+    key: &str,
+    db: &Database,
+    mut op: impl FnMut() -> FlowResult<T>,
+) -> (FlowResult<T>, Vec<String>) {
+    match retry {
+        Some(rt) => {
+            let (r, report) = rt.run(key, Some(db), op);
+            (r, report.log)
+        }
+        None => (op(), Vec::new()),
+    }
+}
+
 /// Execute SQL against the database a data source variable points to,
 /// routing through the open transactional connection when an atomic
-/// scope is active.
+/// scope is active. When the deployment configured a retry policy,
+/// transient failures are retried under it and every retry is recorded
+/// in the audit trail.
 pub fn execute_on_data_source(
     ctx: &mut ActivityContext<'_>,
     data_source_var: &str,
@@ -51,20 +72,33 @@ pub fn execute_on_data_source(
         .get_mut::<BisRuntime>()
         .ok_or_else(|| FlowError::Definition("BIS runtime not installed".into()))?;
     let db = runtime.registry.resolve(&conn_string)?.clone();
-    if runtime.atomic_active {
-        let conn = runtime
-            .atomic_connections
-            .entry(db.name().to_string())
-            .or_insert_with(|| {
-                let c = db.connect();
-                c.execute("BEGIN", &[])
-                    .expect("BEGIN on a fresh connection cannot fail");
-                c
-            });
-        conn.execute(sql, params).map_err(Into::into)
+    let key = db.name().to_string();
+    let BisRuntime {
+        retry,
+        atomic_connections,
+        atomic_active,
+        ..
+    } = runtime;
+    let (result, log) = if *atomic_active {
+        let conn = atomic_connections.entry(key.clone()).or_insert_with(|| {
+            let c = db.connect();
+            c.execute("BEGIN", &[])
+                .expect("BEGIN on a fresh connection cannot fail");
+            c
+        });
+        run_with_retry(retry.as_mut(), &key, &db, || {
+            conn.execute(sql, params).map_err(Into::into)
+        })
     } else {
-        db.connect().execute(sql, params).map_err(Into::into)
+        let conn = db.connect();
+        run_with_retry(retry.as_mut(), &key, &db, || {
+            conn.execute(sql, params).map_err(Into::into)
+        })
+    };
+    for line in log {
+        ctx.note("retry", &key, line);
     }
+    result
 }
 
 /// Execute one parameterized statement once per binding in `rows`,
@@ -94,28 +128,52 @@ pub fn execute_many_on_data_source(
         .get_mut::<BisRuntime>()
         .ok_or_else(|| FlowError::Definition("BIS runtime not installed".into()))?;
     let db = runtime.registry.resolve(&conn_string)?.clone();
-    if runtime.atomic_active {
-        let conn = runtime
-            .atomic_connections
-            .entry(db.name().to_string())
-            .or_insert_with(|| {
+    let key = db.name().to_string();
+    let BisRuntime {
+        retry,
+        atomic_connections,
+        atomic_active,
+        ..
+    } = runtime;
+    let mut logs: Vec<String> = Vec::new();
+    let mut retry = retry.as_mut();
+    let mut outcome = Ok(rows.len());
+    {
+        let fresh;
+        let conn = if *atomic_active {
+            &*atomic_connections.entry(key.clone()).or_insert_with(|| {
                 let c = db.connect();
                 c.execute("BEGIN", &[])
                     .expect("BEGIN on a fresh connection cannot fail");
                 c
-            });
-        let prepared = conn.prepare(sql)?;
-        for row in rows {
-            conn.execute_prepared(&prepared, row)?;
-        }
-    } else {
-        let conn = db.connect();
-        let prepared = conn.prepare(sql)?;
-        for row in rows {
-            conn.execute_prepared(&prepared, row)?;
+            })
+        } else {
+            fresh = db.connect();
+            &fresh
+        };
+        match conn.prepare(sql) {
+            Ok(prepared) => {
+                // Per-row retry: a transient abort rolls back only that
+                // statement, so re-running it is safe and the rows already
+                // applied stand.
+                for row in rows {
+                    let (r, log) = run_with_retry(retry.as_deref_mut(), &key, &db, || {
+                        conn.execute_prepared(&prepared, row).map_err(Into::into)
+                    });
+                    logs.extend(log);
+                    if let Err(e) = r {
+                        outcome = Err(e);
+                        break;
+                    }
+                }
+            }
+            Err(e) => outcome = Err(e.into()),
         }
     }
-    Ok(rows.len())
+    for line in logs {
+        ctx.note("retry", &key, line);
+    }
+    outcome
 }
 
 /// The SQL activity: embeds one SQL statement — query, DML, DDL or stored

@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use flowcore::retry::RetryRuntime;
 use flowcore::{ActivityContext, FlowError, FlowResult};
 use sqlkernel::{Connection, Database};
 
@@ -82,6 +83,10 @@ pub struct BisRuntime {
     /// Result-set tables created for this instance: `(database, table)`
     /// pairs dropped at cleanup.
     pub result_tables: Vec<(String, String)>,
+    /// The recovery layer: when configured by the deployment, every SQL
+    /// sent to a data source runs under this retry policy and its
+    /// per-database circuit breakers.
+    pub retry: Option<RetryRuntime>,
 }
 
 impl BisRuntime {
@@ -92,6 +97,7 @@ impl BisRuntime {
             atomic_connections: HashMap::new(),
             atomic_active: false,
             result_tables: Vec::new(),
+            retry: None,
         }
     }
 }

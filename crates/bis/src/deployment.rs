@@ -5,6 +5,7 @@
 
 use std::sync::Arc;
 
+use flowcore::retry::{BreakerConfig, RetryPolicy, RetryRuntime};
 use flowcore::{ActivityContext, ExecutionMode, FlowError, FlowResult, ProcessDefinition};
 use sqlkernel::Value;
 
@@ -35,6 +36,15 @@ pub struct BisDeployment {
     result_sets: Vec<ResultSetDecl>,
     preparations: Vec<(String, String)>,
     cleanups: Vec<(String, String)>,
+    retry: Option<RetryConfig>,
+}
+
+/// Retry/breaker configuration installed into the instance runtime.
+#[derive(Debug, Clone)]
+struct RetryConfig {
+    seed: u64,
+    policy: RetryPolicy,
+    breaker: BreakerConfig,
 }
 
 impl BisDeployment {
@@ -100,6 +110,35 @@ impl BisDeployment {
         self
     }
 
+    /// Configure the recovery layer: every SQL statement an information
+    /// service activity sends to a data source runs under `policy`, with
+    /// a per-database circuit breaker and backoff jitter seeded by
+    /// `seed` (deterministic replay).
+    pub fn with_retry(mut self, seed: u64, policy: RetryPolicy) -> BisDeployment {
+        let breaker = self.retry.take().map(|c| c.breaker).unwrap_or_default();
+        self.retry = Some(RetryConfig {
+            seed,
+            policy,
+            breaker,
+        });
+        self
+    }
+
+    /// Configure the circuit breaker used with [`BisDeployment::with_retry`].
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> BisDeployment {
+        let (seed, policy) = self
+            .retry
+            .take()
+            .map(|c| (c.seed, c.policy))
+            .unwrap_or((0, RetryPolicy::default()));
+        self.retry = Some(RetryConfig {
+            seed,
+            policy,
+            breaker,
+        });
+        self
+    }
+
     /// The registry (for re-use by probes).
     pub fn registry(&self) -> &DataSourceRegistry {
         &self.registry
@@ -118,8 +157,15 @@ impl BisDeployment {
     }
 
     fn run_setup(&self, ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
-        ctx.extensions
-            .insert(BisRuntime::new(self.registry.clone()));
+        let mut runtime = BisRuntime::new(self.registry.clone());
+        if let Some(cfg) = &self.retry {
+            runtime.retry = Some(
+                RetryRuntime::new(cfg.seed)
+                    .with_policy(cfg.policy.clone())
+                    .with_breaker(cfg.breaker.clone()),
+            );
+        }
+        ctx.extensions.insert(runtime);
 
         for (var, db_name) in &self.data_source_bindings {
             ctx.variables
@@ -130,7 +176,8 @@ impl BisDeployment {
                 .set(var.clone(), SetRef::input(table.clone()).into_var());
         }
 
-        for (ds_var, script) in &self.preparations {
+        let preparations = self.preparations.clone();
+        for (ds_var, script) in &preparations {
             self.run_script(ctx, ds_var, script)?;
         }
 
@@ -176,7 +223,8 @@ impl BisDeployment {
             }
         }
 
-        for (ds_var, script) in &self.cleanups {
+        let cleanups = self.cleanups.clone();
+        for (ds_var, script) in &cleanups {
             self.run_script(ctx, ds_var, script)?;
         }
 
@@ -188,8 +236,28 @@ impl BisDeployment {
             .unwrap_or_default();
         for (db_name, table) in tables {
             let db = self.registry.resolve(&connection_string(&db_name))?.clone();
-            db.connect()
-                .execute(&format!("DROP TABLE IF EXISTS {table}"), &[])?;
+            let conn = db.connect();
+            let drop = format!("DROP TABLE IF EXISTS {table}");
+            let retry = ctx
+                .extensions
+                .get_mut::<BisRuntime>()
+                .and_then(|r| r.retry.as_mut());
+            match retry {
+                Some(rt) => {
+                    let (r, report) = rt.run(db.name(), Some(&db), || {
+                        conn.execute(&drop, &[])
+                            .map(|_| ())
+                            .map_err(FlowError::from)
+                    });
+                    for line in report.log {
+                        ctx.note("retry", db.name(), line);
+                    }
+                    r?;
+                }
+                None => {
+                    conn.execute(&drop, &[])?;
+                }
+            }
         }
         Ok(())
     }
@@ -199,13 +267,41 @@ impl BisDeployment {
         Ok(self.registry.resolve(&conn_string)?.name().to_string())
     }
 
-    fn run_script(&self, ctx: &ActivityContext<'_>, ds_var: &str, script: &str) -> FlowResult<()> {
+    /// Run a deployment script under the instance's retry policy (when
+    /// configured). Retries re-run the whole script, so multi-statement
+    /// scripts should be idempotent; single-statement scripts (result-set
+    /// DDL, drops) always retry safely because a gated fault fires before
+    /// anything executes.
+    fn run_script(
+        &self,
+        ctx: &mut ActivityContext<'_>,
+        ds_var: &str,
+        script: &str,
+    ) -> FlowResult<()> {
         let conn_string = ctx.variables.require_scalar(ds_var)?.render();
-        let db = self.registry.resolve(&conn_string)?;
-        db.connect()
-            .execute_script(script)
-            .map_err(FlowError::from)?;
-        Ok(())
+        let db = self.registry.resolve(&conn_string)?.clone();
+        let conn = db.connect();
+        let retry = ctx
+            .extensions
+            .get_mut::<BisRuntime>()
+            .and_then(|r| r.retry.as_mut());
+        match retry {
+            Some(rt) => {
+                let (r, report) = rt.run(db.name(), Some(&db), || {
+                    conn.execute_script(script)
+                        .map(|_| ())
+                        .map_err(FlowError::from)
+                });
+                for line in report.log {
+                    ctx.note("retry", db.name(), line);
+                }
+                r
+            }
+            None => conn
+                .execute_script(script)
+                .map(|_| ())
+                .map_err(FlowError::from),
+        }
     }
 }
 

@@ -40,5 +40,5 @@ pub use cursor::cursor_loop;
 pub use datasource::{connection_string, BisRuntime, DataSourceRegistry};
 pub use deployment::BisDeployment;
 pub use integration::BisProduct;
-pub use sample::figure4_process;
+pub use sample::{figure4_process, figure4_process_with_recovery};
 pub use setref::{SetRef, SetRefKind};

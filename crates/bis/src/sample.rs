@@ -30,6 +30,39 @@ pub const SQL_2: &str = "INSERT INTO {SR_OrderConfirmations} \
 /// be registered in `registry` and carry the probe schema of
 /// [`patterns::probe::seed_orders`]).
 pub fn figure4_process(registry: DataSourceRegistry, orders_db: &str) -> ProcessDefinition {
+    figure4_deployment(registry, orders_db).deploy(figure4_definition())
+}
+
+/// [`figure4_process`] with the recovery layer enabled: every SQL
+/// statement the instance sends retries transient faults under `policy`
+/// with jitter seeded by `seed`, guarded by a per-database circuit
+/// breaker configured by `breaker`.
+pub fn figure4_process_with_recovery(
+    registry: DataSourceRegistry,
+    orders_db: &str,
+    seed: u64,
+    policy: flowcore::retry::RetryPolicy,
+    breaker: flowcore::retry::BreakerConfig,
+) -> ProcessDefinition {
+    figure4_deployment(registry, orders_db)
+        .with_retry(seed, policy)
+        .with_breaker(breaker)
+        .deploy(figure4_definition())
+}
+
+fn figure4_deployment(registry: DataSourceRegistry, orders_db: &str) -> BisDeployment {
+    BisDeployment::new(registry)
+        .bind_data_source("DS_Orders", orders_db)
+        .input_set("SR_Orders", "Orders")
+        .input_set("SR_OrderConfirmations", "OrderConfirmations")
+        .result_set(
+            "SR_ItemList",
+            "DS_Orders",
+            Some("(ItemId TEXT, Quantity INT)"),
+        )
+}
+
+fn figure4_definition() -> ProcessDefinition {
     let loop_body = Sequence::new("order item")
         .then(
             Invoke::new("Invoke OrderFromSupplier", patterns::ORDER_FROM_SUPPLIER)
@@ -65,19 +98,7 @@ pub fn figure4_process(registry: DataSourceRegistry, orders_db: &str) -> Process
             loop_body,
         ));
 
-    BisDeployment::new(registry)
-        .bind_data_source("DS_Orders", orders_db)
-        .input_set("SR_Orders", "Orders")
-        .input_set("SR_OrderConfirmations", "OrderConfirmations")
-        .result_set(
-            "SR_ItemList",
-            "DS_Orders",
-            Some("(ItemId TEXT, Quantity INT)"),
-        )
-        .deploy(ProcessDefinition::new(
-            "OrderAggregation/BIS (Fig. 4)",
-            body,
-        ))
+    ProcessDefinition::new("OrderAggregation/BIS (Fig. 4)", body)
 }
 
 #[cfg(test)]

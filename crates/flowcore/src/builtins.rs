@@ -709,10 +709,13 @@ impl Activity for Scope {
                     FlowError::Fault { name, message } => (name.clone(), message.clone()),
                     other => ("systemFault".to_string(), other.to_string()),
                 };
-                let handler = self.handlers.iter().find(|h| match &h.catches {
-                    Some(f) => *f == fault_name,
-                    None => true,
-                });
+                // BPEL catch semantics: a catch naming the fault beats a
+                // catch-all, regardless of declaration order.
+                let handler = self
+                    .handlers
+                    .iter()
+                    .find(|h| h.catches.as_deref() == Some(fault_name.as_str()))
+                    .or_else(|| self.handlers.iter().find(|h| h.catches.is_none()));
                 match handler {
                     Some(h) => {
                         ctx.variables

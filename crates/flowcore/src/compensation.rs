@@ -1,0 +1,133 @@
+//! Compensation: saga-style undo for multi-step sequences.
+//!
+//! A [`CompensableSequence`] pairs each step with an optional
+//! *compensation* activity. Steps run in order; if one faults, the
+//! compensations of every already-completed step run in **reverse
+//! completion order** — the classic saga pattern — and the original
+//! fault is then rethrown so enclosing `Scope` handlers still see it.
+//! `Exit` is not a fault: [`FlowError::Exited`] passes straight through
+//! without compensating, matching `Scope` semantics.
+//!
+//! Every compensation run is visible in the audit trail: the sequence
+//! records a `compensate` note naming the fault and the number of steps
+//! being undone, and each compensation body executes through
+//! [`exec_activity`], so its own Started/Completed records appear too.
+
+use crate::activity::{exec_activity, Activity, ActivityContext};
+use crate::error::{FlowError, FlowResult};
+
+struct CompensableStep {
+    step: Box<dyn Activity>,
+    compensation: Option<Box<dyn Activity>>,
+}
+
+/// A sequence whose completed steps are undone, in reverse order, when a
+/// later step faults.
+pub struct CompensableSequence {
+    name: String,
+    steps: Vec<CompensableStep>,
+}
+
+impl CompensableSequence {
+    /// Empty compensable sequence.
+    pub fn new(name: impl Into<String>) -> CompensableSequence {
+        CompensableSequence {
+            name: name.into(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Builder: append a step with no compensation (nothing to undo).
+    pub fn step(mut self, step: impl Activity + 'static) -> CompensableSequence {
+        self.steps.push(CompensableStep {
+            step: Box::new(step),
+            compensation: None,
+        });
+        self
+    }
+
+    /// Builder: append a step with a compensation to run if a *later*
+    /// step faults.
+    pub fn step_with(
+        mut self,
+        step: impl Activity + 'static,
+        compensation: impl Activity + 'static,
+    ) -> CompensableSequence {
+        self.steps.push(CompensableStep {
+            step: Box::new(step),
+            compensation: Some(Box::new(compensation)),
+        });
+        self
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Is the sequence empty?
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+impl Activity for CompensableSequence {
+    fn kind(&self) -> &str {
+        "compensableSequence"
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn children(&self) -> Vec<&dyn Activity> {
+        let mut out: Vec<&dyn Activity> = Vec::new();
+        for s in &self.steps {
+            out.push(s.step.as_ref());
+            if let Some(c) = &s.compensation {
+                out.push(c.as_ref());
+            }
+        }
+        out
+    }
+    fn execute(&self, ctx: &mut ActivityContext<'_>) -> FlowResult<()> {
+        let mut completed: Vec<usize> = Vec::new();
+        for (i, s) in self.steps.iter().enumerate() {
+            match exec_activity(s.step.as_ref(), ctx) {
+                Ok(()) => completed.push(i),
+                // Exit is a normal termination, not a fault: committed
+                // steps stand and nothing is compensated.
+                Err(FlowError::Exited) => return Err(FlowError::Exited),
+                Err(e) => {
+                    let to_undo = completed
+                        .iter()
+                        .filter(|&&j| self.steps[j].compensation.is_some())
+                        .count();
+                    ctx.note(
+                        "compensate",
+                        &self.name,
+                        format!(
+                            "step '{}' faulted ({e}); compensating {to_undo} completed step(s) \
+                             in reverse order",
+                            s.step.name()
+                        ),
+                    );
+                    for &j in completed.iter().rev() {
+                        if let Some(comp) = &self.steps[j].compensation {
+                            if let Err(ce) = exec_activity(comp.as_ref(), ctx) {
+                                // A failing compensation must not mask the
+                                // original fault; record it and continue
+                                // undoing the rest.
+                                ctx.note(
+                                    "compensate",
+                                    &self.name,
+                                    format!("compensation '{}' failed: {ce}", comp.name()),
+                                );
+                            }
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -35,6 +35,23 @@ impl FlowError {
         }
     }
 
+    /// Is this a *transient* infrastructure failure worth retrying?
+    ///
+    /// Only two shapes qualify: an embedded SQL error the kernel marks
+    /// transient (connection reset, deadlock victim, serialization
+    /// failure), and a service failure whose message carries the
+    /// `transient:` prefix — the convention for function-layer services
+    /// that want the retry layer to re-invoke them. Everything else
+    /// (named faults, variable/definition problems, `Exited`) is
+    /// deterministic and must not be retried.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            FlowError::Sql(e) => e.is_transient(),
+            FlowError::Service(m) => m.starts_with("transient:"),
+            _ => false,
+        }
+    }
+
     /// Machine-readable class for assertions.
     pub fn class(&self) -> &'static str {
         match self {
@@ -86,6 +103,19 @@ mod tests {
         let f = FlowError::fault("orderFailed", "supplier unavailable");
         assert_eq!(f.class(), "fault");
         assert!(f.to_string().contains("orderFailed"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(
+            FlowError::Sql(sqlkernel::SqlError::Transient("connection reset".into()))
+                .is_transient()
+        );
+        assert!(FlowError::Service("transient: endpoint flapped".into()).is_transient());
+        assert!(!FlowError::Service("no such service".into()).is_transient());
+        assert!(!FlowError::Sql(sqlkernel::SqlError::Constraint("pk".into())).is_transient());
+        assert!(!FlowError::fault("f", "m").is_transient());
+        assert!(!FlowError::Exited.is_transient());
     }
 
     #[test]

@@ -57,9 +57,11 @@ pub mod activity;
 pub mod audit;
 pub mod bpel;
 pub mod builtins;
+pub mod compensation;
 pub mod engine;
 pub mod error;
 pub mod process;
+pub mod retry;
 pub mod service;
 pub mod value;
 
@@ -68,9 +70,11 @@ pub use activity::{
 };
 pub use audit::{AuditEvent, AuditStatus, AuditTrail};
 pub use bpel::{export_bpel, extension_activity_count};
+pub use compensation::CompensableSequence;
 pub use engine::Engine;
 pub use error::{FlowError, FlowResult};
 pub use process::{CompletedInstance, Outcome, ProcessDefinition};
+pub use retry::{BreakerConfig, BreakerState, RetryPolicy, RetryReport, RetryRuntime};
 pub use service::{Message, Service, ServiceRegistry};
 pub use value::{OpaqueValue, VarValue, Variables};
 
@@ -84,9 +88,11 @@ pub mod prelude {
         Assign, Condition, Copy, CopyFrom, CopyTo, Empty, Exit, FaultHandler, Flow, If, Invoke,
         RepeatUntil, Scope, Sequence, Snippet, Throw, While,
     };
+    pub use crate::compensation::CompensableSequence;
     pub use crate::engine::Engine;
     pub use crate::error::{FlowError, FlowResult};
     pub use crate::process::{CompletedInstance, Outcome, ProcessDefinition};
+    pub use crate::retry::{BreakerConfig, BreakerState, RetryPolicy, RetryReport, RetryRuntime};
     pub use crate::service::{Message, Service, ServiceRegistry};
     pub use crate::value::{OpaqueValue, VarValue, Variables};
 }

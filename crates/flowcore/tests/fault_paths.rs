@@ -1,0 +1,189 @@
+//! Fault-path semantics: catch precedence, reverse-order compensation,
+//! and `Exit` passing through the recovery machinery untouched.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use flowcore::prelude::*;
+
+type Trace = Rc<RefCell<Vec<String>>>;
+
+fn tracer(trace: &Trace, label: &str) -> Snippet {
+    let trace = trace.clone();
+    let label = label.to_string();
+    Snippet::new(label.clone(), move |_ctx| {
+        trace.borrow_mut().push(label.clone());
+        Ok(())
+    })
+}
+
+fn failing(trace: &Trace, label: &str, fault: &str) -> Snippet {
+    let trace = trace.clone();
+    let label = label.to_string();
+    let fault = fault.to_string();
+    Snippet::new(label.clone(), move |_ctx| {
+        trace.borrow_mut().push(label.clone());
+        Err(FlowError::fault(fault.clone(), "injected"))
+    })
+}
+
+fn run(root: impl Activity + 'static) -> CompletedInstance {
+    Engine::new()
+        .run(&ProcessDefinition::new("test", root), Variables::new())
+        .unwrap()
+}
+
+// ------------------------------------------------- catch precedence
+
+#[test]
+fn named_catch_wins_over_catch_all_declared_first() {
+    let trace: Trace = Rc::new(RefCell::new(Vec::new()));
+    // The catch-all is declared *before* the named catch; the named one
+    // must still win for its fault.
+    let inst = run(
+        Scope::new("s", Throw::new("t", "orderFailed", "supplier down"))
+            .catch_all(tracer(&trace, "generic-handler"))
+            .catch("orderFailed", tracer(&trace, "named-handler")),
+    );
+    assert!(inst.is_completed());
+    assert_eq!(*trace.borrow(), vec!["named-handler"]);
+    assert_eq!(
+        inst.variables.require_scalar("$faultName").unwrap(),
+        &sqlkernel::Value::text("orderFailed")
+    );
+}
+
+#[test]
+fn catch_all_still_catches_unnamed_faults() {
+    let trace: Trace = Rc::new(RefCell::new(Vec::new()));
+    let inst = run(Scope::new("s", Throw::new("t", "somethingElse", "boom"))
+        .catch_all(tracer(&trace, "generic-handler"))
+        .catch("orderFailed", tracer(&trace, "named-handler")));
+    assert!(inst.is_completed());
+    assert_eq!(*trace.borrow(), vec!["generic-handler"]);
+}
+
+// -------------------------------------------------- compensation
+
+#[test]
+fn compensations_run_in_reverse_completion_order() {
+    let trace: Trace = Rc::new(RefCell::new(Vec::new()));
+    let inst = run(CompensableSequence::new("saga")
+        .step_with(
+            tracer(&trace, "book-flight"),
+            tracer(&trace, "cancel-flight"),
+        )
+        .step_with(tracer(&trace, "book-hotel"), tracer(&trace, "cancel-hotel"))
+        .step_with(tracer(&trace, "book-car"), tracer(&trace, "cancel-car"))
+        .step(failing(&trace, "charge-card", "paymentFailed")));
+    assert!(inst.is_faulted(), "original fault must be rethrown");
+    assert_eq!(
+        *trace.borrow(),
+        vec![
+            "book-flight",
+            "book-hotel",
+            "book-car",
+            "charge-card",
+            // reverse completion order:
+            "cancel-car",
+            "cancel-hotel",
+            "cancel-flight",
+        ]
+    );
+    // The compensation run is visible in the audit trail.
+    assert!(inst
+        .audit
+        .events()
+        .iter()
+        .any(|e| e.kind == "compensate" && e.detail.contains("reverse order")));
+    assert!(inst.audit.completed("cancel-hotel"));
+}
+
+#[test]
+fn steps_without_compensation_are_skipped_during_undo() {
+    let trace: Trace = Rc::new(RefCell::new(Vec::new()));
+    let inst = run(CompensableSequence::new("saga")
+        .step(tracer(&trace, "read-only-check"))
+        .step_with(tracer(&trace, "reserve"), tracer(&trace, "unreserve"))
+        .step(failing(&trace, "confirm", "confirmFailed")));
+    assert!(inst.is_faulted());
+    assert_eq!(
+        *trace.borrow(),
+        vec!["read-only-check", "reserve", "confirm", "unreserve"]
+    );
+}
+
+#[test]
+fn compensable_sequence_inside_scope_hands_fault_to_handler() {
+    let trace: Trace = Rc::new(RefCell::new(Vec::new()));
+    let inst = run(Scope::new(
+        "s",
+        CompensableSequence::new("saga")
+            .step_with(tracer(&trace, "step1"), tracer(&trace, "undo1"))
+            .step(failing(&trace, "step2", "oops")),
+    )
+    .catch("oops", tracer(&trace, "handler")));
+    assert!(inst.is_completed(), "scope handler absorbs the fault");
+    assert_eq!(*trace.borrow(), vec!["step1", "step2", "undo1", "handler"]);
+}
+
+#[test]
+fn failed_compensation_does_not_mask_original_fault() {
+    let trace: Trace = Rc::new(RefCell::new(Vec::new()));
+    let t2 = trace.clone();
+    let bad_comp = Snippet::new("bad-comp", move |_ctx| {
+        t2.borrow_mut().push("bad-comp".into());
+        Err(FlowError::fault("compBroke", "undo failed"))
+    });
+    let inst = run(CompensableSequence::new("saga")
+        .step_with(tracer(&trace, "a"), bad_comp)
+        .step_with(tracer(&trace, "b"), tracer(&trace, "undo-b"))
+        .step(failing(&trace, "c", "originalFault")));
+    assert!(inst.is_faulted());
+    match inst.fault() {
+        Some(FlowError::Fault { name, .. }) => assert_eq!(name, "originalFault"),
+        other => panic!("expected the original fault, got {other:?}"),
+    }
+    // Both compensations were attempted, in reverse order, despite the
+    // first one (of the reversed pair: undo-b then bad-comp) failing.
+    assert_eq!(*trace.borrow(), vec!["a", "b", "c", "undo-b", "bad-comp"]);
+    assert!(inst
+        .audit
+        .events()
+        .iter()
+        .any(|e| e.kind == "compensate" && e.detail.contains("compensation 'bad-comp' failed")));
+}
+
+// ------------------------------------------------------- exit
+
+#[test]
+fn exit_does_not_trigger_compensation() {
+    let trace: Trace = Rc::new(RefCell::new(Vec::new()));
+    let inst = run(CompensableSequence::new("saga")
+        .step_with(tracer(&trace, "commit-1"), tracer(&trace, "undo-1"))
+        .step(Exit::new("bail"))
+        .step_with(tracer(&trace, "never"), tracer(&trace, "undo-never")));
+    assert!(
+        inst.is_exited(),
+        "Exit is a normal termination, not a fault"
+    );
+    assert_eq!(
+        *trace.borrow(),
+        vec!["commit-1"],
+        "no compensation and no further steps after Exit"
+    );
+}
+
+#[test]
+fn exit_passes_through_scope_without_handlers_firing() {
+    let trace: Trace = Rc::new(RefCell::new(Vec::new()));
+    let inst = run(Scope::new(
+        "s",
+        CompensableSequence::new("saga")
+            .step_with(tracer(&trace, "step"), tracer(&trace, "undo"))
+            .step(Exit::new("bail")),
+    )
+    .catch_all(tracer(&trace, "handler")));
+    assert!(inst.is_exited());
+    assert_eq!(*trace.borrow(), vec!["step"]);
+}

@@ -19,6 +19,7 @@
 //! * [`paper`] — the published Tables as ground-truth constants,
 //! * [`report`] — text renderers that regenerate every table and figure.
 
+pub mod chaos;
 pub mod paper;
 pub mod pattern;
 pub mod probe;
@@ -27,6 +28,7 @@ pub mod report;
 pub mod support;
 pub mod taxonomy;
 
+pub use chaos::{db_fingerprint, rows_fingerprint, scripted_storm, storm_longest_run};
 pub use pattern::DataPattern;
 pub use probe::{Demonstration, ProbeEnv, ProbeError, ORDER_FROM_SUPPLIER};
 pub use product::{ArchLayer, Architecture, ProductInfo, SqlIntegration};

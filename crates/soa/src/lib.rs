@@ -39,4 +39,4 @@ pub use functions::{
 };
 pub use integration::OracleProduct;
 pub use sample::figure8_process;
-pub use xsql::process_xsql;
+pub use xsql::{process_xsql, process_xsql_with_retry};

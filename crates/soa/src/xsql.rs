@@ -20,6 +20,7 @@
 //! document with one child per action: an XML RowSet for queries and
 //! result-returning calls, a `<status rows="…"/>` element for DML/DDL.
 
+use flowcore::retry::RetryRuntime;
 use sqlkernel::{Database, StatementResult, Value};
 use xmlval::{Element, XmlNode};
 
@@ -30,6 +31,34 @@ const ACTIONS: [&str; 4] = ["xsql:query", "xsql:dml", "xsql:ddl", "xsql:call"];
 
 /// Execute an XSQL page text against a database with named parameters.
 pub fn process_xsql(db: &Database, page: &str, params: &[(String, Value)]) -> FlowResult<XmlNode> {
+    let mut log = Vec::new();
+    process_page(db, page, params, None, &mut log, false)
+}
+
+/// [`process_xsql`] with a retry policy: each action retries transient
+/// failures under `retry`, and the recovery trace is appended to `log`
+/// for the caller's audit trail.
+pub fn process_xsql_with_retry(
+    db: &Database,
+    page: &str,
+    params: &[(String, Value)],
+    retry: &mut RetryRuntime,
+    log: &mut Vec<String>,
+) -> FlowResult<XmlNode> {
+    process_page(db, page, params, Some(retry), log, true)
+}
+
+/// Shared page processor. With `atomic`, the whole page runs as one
+/// transaction: any action failing (after its retries, when a runtime is
+/// given) rolls back every earlier action of the page.
+fn process_page(
+    db: &Database,
+    page: &str,
+    params: &[(String, Value)],
+    mut retry: Option<&mut RetryRuntime>,
+    log: &mut Vec<String>,
+    atomic: bool,
+) -> FlowResult<XmlNode> {
     let doc = xmlval::parse(page).map_err(FlowError::from)?;
     if doc.name != "xsql:page" {
         return Err(FlowError::Definition(format!(
@@ -37,46 +66,76 @@ pub fn process_xsql(db: &Database, page: &str, params: &[(String, Value)]) -> Fl
             doc.name
         )));
     }
-    let mut results = Element::new("xsql-results");
     let conn = db.connect();
-    let mut executed = 0usize;
-    for action in doc.child_elements() {
-        if !ACTIONS.contains(&action.name.as_str()) {
-            return Err(FlowError::Definition(format!(
-                "unknown XSQL action <{}>",
-                action.name
-            )));
+    let own_txn = atomic && !conn.in_transaction();
+    if own_txn {
+        conn.execute("BEGIN", &[])?;
+    }
+    let body = (|| -> FlowResult<Element> {
+        let mut results = Element::new("xsql-results");
+        let mut executed = 0usize;
+        for action in doc.child_elements() {
+            if !ACTIONS.contains(&action.name.as_str()) {
+                return Err(FlowError::Definition(format!(
+                    "unknown XSQL action <{}>",
+                    action.name
+                )));
+            }
+            let sql = substitute_params(&action.text_content(), params)?;
+            let result = match retry.as_deref_mut() {
+                Some(rt) => {
+                    let (r, report) = rt.run(db.name(), Some(db), || {
+                        conn.execute(&sql, &[]).map_err(FlowError::from)
+                    });
+                    log.extend(report.log);
+                    r?
+                }
+                None => conn.execute(&sql, &[]).map_err(FlowError::from)?,
+            };
+            executed += 1;
+            match result {
+                StatementResult::Rows(rs) => {
+                    results.children.push(xmlval::rowset::encode(&rs));
+                }
+                StatementResult::Affected(n) => {
+                    results.children.push(XmlNode::Element(
+                        Element::new("status")
+                            .with_attr("action", action.name.clone())
+                            .with_attr("rows", n.to_string()),
+                    ));
+                }
+                StatementResult::Ddl => {
+                    results.children.push(XmlNode::Element(
+                        Element::new("status")
+                            .with_attr("action", action.name.clone())
+                            .with_attr("rows", "0"),
+                    ));
+                }
+                StatementResult::TxnControl => {}
+            }
         }
-        let sql = substitute_params(&action.text_content(), params)?;
-        let result = conn.execute(&sql, &[]).map_err(FlowError::from)?;
-        executed += 1;
-        match result {
-            StatementResult::Rows(rs) => {
-                results.children.push(xmlval::rowset::encode(&rs));
+        if executed == 0 {
+            return Err(FlowError::Definition(
+                "XSQL page contains no action elements".into(),
+            ));
+        }
+        Ok(results)
+    })();
+    match body {
+        Ok(results) => {
+            if own_txn {
+                conn.execute("COMMIT", &[])?;
             }
-            StatementResult::Affected(n) => {
-                results.children.push(XmlNode::Element(
-                    Element::new("status")
-                        .with_attr("action", action.name.clone())
-                        .with_attr("rows", n.to_string()),
-                ));
+            Ok(XmlNode::Element(results))
+        }
+        Err(e) => {
+            if own_txn {
+                conn.rollback_if_open();
+                log.push(format!("XSQL page rolled back after {e}"));
             }
-            StatementResult::Ddl => {
-                results.children.push(XmlNode::Element(
-                    Element::new("status")
-                        .with_attr("action", action.name.clone())
-                        .with_attr("rows", "0"),
-                ));
-            }
-            StatementResult::TxnControl => {}
+            Err(e)
         }
     }
-    if executed == 0 {
-        return Err(FlowError::Definition(
-            "XSQL page contains no action elements".into(),
-        ));
-    }
-    Ok(XmlNode::Element(results))
 }
 
 /// Replace `{@name}` references with SQL literals.
@@ -198,6 +257,64 @@ mod tests {
         .is_err());
         assert!(process_xsql(&db(), "<xsql:page xmlns:xsql=\"urn:x\"/>", &[]).is_err());
         assert!(process_xsql(&db(), "not xml", &[]).is_err());
+    }
+
+    #[test]
+    fn retrying_page_recovers_from_transient_faults() {
+        use sqlkernel::fault::{Fault, FaultPlan, TransientKind};
+        let d = db();
+        d.set_fault_plan(Some(
+            FaultPlan::new(2).fault_at(0, Fault::Transient(TransientKind::SerializationFailure)),
+        ));
+        let mut rt = RetryRuntime::new(11);
+        let mut log = Vec::new();
+        let out = process_xsql_with_retry(
+            &d,
+            "<xsql:page xmlns:xsql=\"urn:x\">\
+               <xsql:dml>INSERT INTO t VALUES (3, 'cog')</xsql:dml>\
+               <xsql:query>SELECT COUNT(*) FROM t</xsql:query>\
+             </xsql:page>",
+            &[],
+            &mut rt,
+            &mut log,
+        )
+        .unwrap();
+        assert!(out.to_xml().contains(">3<"), "row landed exactly once");
+        assert!(log.iter().any(|l| l.contains("retry 1")));
+        assert_eq!(d.stats().retries, 1);
+    }
+
+    #[test]
+    fn exhausted_retries_roll_back_the_whole_page() {
+        use sqlkernel::fault::{Fault, FaultPlan, TransientKind};
+        let d = db();
+        // The second action fails on every attempt (default budget is 4
+        // attempts; indices 1..=4 cover them all — index 0 is the first
+        // action, BEGIN/COMMIT are never gated).
+        let mut plan = FaultPlan::new(2);
+        for i in 1..=4 {
+            plan = plan.fault_at(i, Fault::Transient(TransientKind::ConnectionReset));
+        }
+        d.set_fault_plan(Some(plan));
+        let mut rt = RetryRuntime::new(11);
+        let mut log = Vec::new();
+        let err = process_xsql_with_retry(
+            &d,
+            "<xsql:page xmlns:xsql=\"urn:x\">\
+               <xsql:dml>INSERT INTO t VALUES (3, 'cog')</xsql:dml>\
+               <xsql:dml>INSERT INTO t VALUES (4, 'nut')</xsql:dml>\
+             </xsql:page>",
+            &[],
+            &mut rt,
+            &mut log,
+        )
+        .unwrap_err();
+        assert!(err.is_transient());
+        assert!(log.iter().any(|l| l.contains("rolled back")));
+        d.set_fault_plan(None);
+        // The page is atomic: the first INSERT was rolled back too.
+        let rs = d.connect().query("SELECT COUNT(*) FROM t", &[]).unwrap();
+        assert_eq!(rs.single_value().unwrap(), &Value::Int(2));
     }
 
     #[test]

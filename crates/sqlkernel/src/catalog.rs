@@ -4,9 +4,11 @@
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::ast::{CreateProcedureStmt, SelectStmt};
 use crate::error::{SqlError, SqlResult};
+use crate::fault::FaultInjector;
 use crate::storage::Table;
 
 /// A monotonically advancing sequence generator.
@@ -100,6 +102,10 @@ pub struct Catalog {
     /// including undo-log rollback, which funnels through the same
     /// methods). Plain `u64`: every bump site already holds `&mut self`.
     epoch: u64,
+    /// Fault injector installed by [`crate::Database::set_fault_plan`].
+    /// Held here (in addition to the database facade) so the executor's
+    /// row-apply loops — which only see the catalog — can reach it.
+    fault: Option<Arc<FaultInjector>>,
 }
 
 thread_local! {
@@ -186,6 +192,33 @@ impl Catalog {
             .collect();
         names.sort();
         names
+    }
+
+    // ------------------------------------------------------------- faults
+
+    /// Install (or clear) the fault injector. Called by the database
+    /// facade under the exclusive catalog lock.
+    pub(crate) fn set_fault_injector(&mut self, fault: Option<Arc<FaultInjector>>) {
+        self.fault = fault;
+    }
+
+    /// Row hook for DML apply loops: delivers armed torn-statement
+    /// faults. No-op (and branch-predictable) when no injector is set.
+    #[inline]
+    pub fn fault_row_applied(&self) -> SqlResult<()> {
+        match &self.fault {
+            Some(f) => f.on_row_applied(),
+            None => Ok(()),
+        }
+    }
+
+    /// Bind hook: delivers armed after-bind faults.
+    #[inline]
+    pub fn fault_bind_complete(&self) -> SqlResult<()> {
+        match &self.fault {
+            Some(f) => f.on_bind_complete(),
+            None => Ok(()),
+        }
     }
 
     /// Record that a statement used an index fast path.

@@ -8,6 +8,7 @@ use std::sync::Arc;
 use crate::ast::Statement;
 use crate::catalog::Catalog;
 use crate::error::{SqlError, SqlResult};
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::parser::{parse_script, parse_statement};
 use crate::plan::CompiledPlan;
 use crate::sync::{Mutex, RwLock};
@@ -167,6 +168,18 @@ pub struct DbStats {
     pub bound_evals: u64,
     /// `ORDER BY … LIMIT` sorts served by the bounded top-K heap.
     pub topk_sorts: u64,
+    /// Faults delivered by the installed [`FaultInjector`] (cumulative
+    /// across plan swaps).
+    pub faults_injected: u64,
+    /// Statement retries reported by the recovery layer above the engine
+    /// (via [`Database::note_retry`]).
+    pub retries: u64,
+    /// Rollbacks performed: statement-atomicity undo after a failed or
+    /// panicked statement, explicit `ROLLBACK`, and rollback-on-drop.
+    pub rollbacks: u64,
+    /// Circuit-breaker trips reported by the recovery layer (via
+    /// [`Database::note_breaker_trip`]).
+    pub breaker_trips: u64,
 }
 
 /// A parsed statement plus the catalog object names it references —
@@ -250,6 +263,17 @@ struct DbInner {
     parse_counter: AtomicU64,
     cache_hit_counter: AtomicU64,
     cache_miss_counter: AtomicU64,
+    /// The installed fault injector, if any. The same `Arc` is mirrored
+    /// into the catalog so executor apply loops can reach it; this copy
+    /// serves the per-statement gate without touching the catalog lock.
+    injector: Mutex<Option<Arc<FaultInjector>>>,
+    /// Fault/tick counts carried over from injectors replaced by
+    /// [`Database::set_fault_plan`], so stats stay cumulative.
+    faults_base: AtomicU64,
+    ticks_base: AtomicU64,
+    retry_counter: AtomicU64,
+    rollback_counter: AtomicU64,
+    breaker_counter: AtomicU64,
 }
 
 /// A named in-memory database. Cloning is cheap (`Arc`); all clones see
@@ -286,8 +310,70 @@ impl Database {
                 parse_counter: AtomicU64::new(0),
                 cache_hit_counter: AtomicU64::new(0),
                 cache_miss_counter: AtomicU64::new(0),
+                injector: Mutex::new(None),
+                faults_base: AtomicU64::new(0),
+                ticks_base: AtomicU64::new(0),
+                retry_counter: AtomicU64::new(0),
+                rollback_counter: AtomicU64::new(0),
+                breaker_counter: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// Install a fault plan (or clear it with `None`). Replacing an
+    /// injector folds its delivered-fault and virtual-clock counts into
+    /// the database totals, so [`DbStats`] stays cumulative.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        let injector = plan.map(|p| Arc::new(FaultInjector::new(p)));
+        self.inner
+            .catalog
+            .write()
+            .set_fault_injector(injector.clone());
+        let mut slot = self.inner.injector.lock();
+        if let Some(old) = slot.take() {
+            self.inner
+                .faults_base
+                .fetch_add(old.injected(), Ordering::Relaxed);
+            self.inner
+                .ticks_base
+                .fetch_add(old.ticks(), Ordering::Relaxed);
+        }
+        *slot = injector;
+    }
+
+    /// The installed fault injector, if any — the retry layer shares its
+    /// virtual clock so backoff and slow queries live on one timeline.
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.inner.injector.lock().clone()
+    }
+
+    /// Virtual-clock reading: ticks accumulated by slow-query faults
+    /// (cumulative across plan swaps).
+    pub fn fault_ticks(&self) -> u64 {
+        let live = self
+            .inner
+            .injector
+            .lock()
+            .as_ref()
+            .map(|i| i.ticks())
+            .unwrap_or(0);
+        self.inner.ticks_base.load(Ordering::Relaxed) + live
+    }
+
+    /// Record that a client retried a statement after a transient fault.
+    /// Called by the recovery layer (flowcore and the product stacks).
+    pub fn note_retry(&self) {
+        self.inner.retry_counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record that a client's circuit breaker tripped open for this
+    /// database.
+    pub fn note_breaker_trip(&self) {
+        self.inner.breaker_counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_rollback(&self) {
+        self.inner.rollback_counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Fetch (or parse and cache) the plan for one statement text.
@@ -382,6 +468,17 @@ impl Database {
             plan_binds: catalog.plan_binds(),
             bound_evals: catalog.bound_evals(),
             topk_sorts: catalog.topk_sorts(),
+            faults_injected: self.inner.faults_base.load(Ordering::Relaxed)
+                + self
+                    .inner
+                    .injector
+                    .lock()
+                    .as_ref()
+                    .map(|i| i.injected())
+                    .unwrap_or(0),
+            retries: self.inner.retry_counter.load(Ordering::Relaxed),
+            rollbacks: self.inner.rollback_counter.load(Ordering::Relaxed),
+            breaker_trips: self.inner.breaker_counter.load(Ordering::Relaxed),
         }
     }
 
@@ -459,10 +556,55 @@ impl Connection {
         })
     }
 
+    /// Fault-injection gate: every statement entering through the public
+    /// execution surface passes here exactly once. Transaction control is
+    /// never gated — failing a `COMMIT`/`ROLLBACK` artificially would
+    /// corrupt the very atomicity semantics the chaos layer exists to
+    /// test, and `BEGIN` is pure bookkeeping.
+    fn fault_gate(&self, stmt: &Statement) -> SqlResult<()> {
+        if matches!(
+            stmt,
+            Statement::Begin | Statement::Commit | Statement::Rollback
+        ) {
+            return Ok(());
+        }
+        let injector = self.db.inner.injector.lock().clone();
+        match injector {
+            Some(inj) => inj.on_statement(),
+            None => Ok(()),
+        }
+    }
+
+    /// Was this abort caused by the fault layer (injected transient or a
+    /// contained panic)? Such aborts also invalidate the statement's
+    /// compiled-plan slot: the plan may have been bound mid-flight, and
+    /// a defensive re-bind on the next use is cheap insurance.
+    fn fault_aborted(e: &SqlError) -> bool {
+        matches!(e, SqlError::Transient(_))
+            || matches!(e, SqlError::Runtime(m) if m.starts_with("statement panicked"))
+    }
+
+    /// Drop the compiled-plan slot of `cached` so the next execution
+    /// re-binds against the current catalog.
+    fn invalidate_plan_slot(cached: &CachedStmt) {
+        *cached.plan.lock() = None;
+    }
+
+    /// Convert a caught panic payload into a clean engine error.
+    fn panic_error(payload: Box<dyn std::any::Any + Send>) -> SqlError {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".into());
+        SqlError::Runtime(format!("statement panicked: {msg}"))
+    }
+
     /// Execute one statement, parsing it at most once per distinct text
     /// (the plan is reused from the statement cache on repeat calls).
     pub fn execute(&self, sql: &str, params: &[Value]) -> SqlResult<StatementResult> {
         let cached = self.db.cached_statement(sql)?;
+        self.fault_gate(&cached.stmt)?;
         self.execute_cached(&cached, params)
     }
 
@@ -472,6 +614,7 @@ impl Connection {
         prepared: &Prepared,
         params: &[Value],
     ) -> SqlResult<StatementResult> {
+        self.fault_gate(&prepared.cached.stmt)?;
         self.execute_cached(&prepared.cached, params)
     }
 
@@ -502,6 +645,10 @@ impl Connection {
                 let named: HashMap<String, Value> = HashMap::new();
                 let catalog = self.db.inner.catalog.read();
                 let plan = self.compiled_plan(cached, &catalog);
+                if let Err(e) = catalog.fault_bind_complete() {
+                    Self::invalidate_plan_slot(cached);
+                    return Err(e);
+                }
                 let rs = match &*plan {
                     CompiledPlan::Select(p) => {
                         crate::plan::run_select_plan(&catalog, p, params, &named)?
@@ -520,19 +667,36 @@ impl Connection {
                 let plan = self.compiled_plan(cached, &catalog);
                 if matches!(&*plan, CompiledPlan::Unsupported) {
                     drop(catalog);
-                    return self.execute_ast(&cached.stmt, params);
+                    return self.execute_ast_inner(&cached.stmt, params);
                 }
                 self.db.inner.stmt_counter.fetch_add(1, Ordering::Relaxed);
+                if let Err(e) = catalog.fault_bind_complete() {
+                    Self::invalidate_plan_slot(cached);
+                    return Err(e);
+                }
                 let mut scratch = UndoLog::new();
-                let result = match &*plan {
-                    CompiledPlan::Update(p) => {
-                        crate::plan::run_update_plan(&mut catalog, p, params, &named, &mut scratch)
-                    }
-                    CompiledPlan::Delete(p) => {
-                        crate::plan::run_delete_plan(&mut catalog, p, params, &named, &mut scratch)
-                    }
-                    _ => unreachable!("SELECT plans handled above"),
-                };
+                // Contain panics (injected or genuine) so a crashing
+                // statement surfaces as an error with its partial work
+                // undone instead of poisoning the catalog lock.
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &*plan {
+                        CompiledPlan::Update(p) => crate::plan::run_update_plan(
+                            &mut catalog,
+                            p,
+                            params,
+                            &named,
+                            &mut scratch,
+                        ),
+                        CompiledPlan::Delete(p) => crate::plan::run_delete_plan(
+                            &mut catalog,
+                            p,
+                            params,
+                            &named,
+                            &mut scratch,
+                        ),
+                        _ => unreachable!("SELECT plans handled above"),
+                    }))
+                    .unwrap_or_else(|payload| Err(Self::panic_error(payload)));
                 match result {
                     Ok(n) => {
                         if let Some(txn) = self.txn.borrow_mut().as_mut() {
@@ -543,11 +707,15 @@ impl Connection {
                     Err(e) => {
                         // Statement atomicity: wipe this statement's effects.
                         scratch.rollback(&mut catalog);
+                        self.db.note_rollback();
+                        if Self::fault_aborted(&e) {
+                            Self::invalidate_plan_slot(cached);
+                        }
                         Err(e)
                     }
                 }
             }
-            _ => self.execute_ast(&cached.stmt, params),
+            _ => self.execute_ast_inner(&cached.stmt, params),
         }
     }
 
@@ -570,9 +738,17 @@ impl Connection {
             .fetch_add(stmts.len() as u64, Ordering::Relaxed);
         let mut out = Vec::with_capacity(stmts.len());
         for s in &stmts {
-            out.push(self.execute_ast(s, &[])?);
+            self.fault_gate(s)?;
+            out.push(self.execute_ast_inner(s, &[])?);
         }
         Ok(out)
+    }
+
+    /// Execute an already-parsed statement (public surface; gated by the
+    /// fault injector like every other entry point).
+    pub fn execute_ast(&self, stmt: &Statement, params: &[Value]) -> SqlResult<StatementResult> {
+        self.fault_gate(stmt)?;
+        self.execute_ast_inner(stmt, params)
     }
 
     /// Execute an already-parsed statement.
@@ -583,7 +759,7 @@ impl Connection {
     /// never sees a torn row (rows swap atomically behind the lock), and a
     /// writer's partial statement is invisible because the write lock is
     /// held for the whole statement.
-    pub fn execute_ast(&self, stmt: &Statement, params: &[Value]) -> SqlResult<StatementResult> {
+    fn execute_ast_inner(&self, stmt: &Statement, params: &[Value]) -> SqlResult<StatementResult> {
         self.db.inner.stmt_counter.fetch_add(1, Ordering::Relaxed);
         match stmt {
             Statement::Begin => {
@@ -609,6 +785,7 @@ impl Connection {
                     .ok_or_else(|| SqlError::Txn("ROLLBACK without open transaction".into()))?;
                 let mut catalog = self.db.inner.catalog.write();
                 log.rollback(&mut catalog);
+                self.db.note_rollback();
                 Ok(StatementResult::TxnControl)
             }
             Statement::Select(s) => {
@@ -625,7 +802,13 @@ impl Connection {
                 let named: HashMap<String, Value> = HashMap::new();
                 let mut catalog = self.db.inner.catalog.write();
                 let mut scratch = UndoLog::new();
-                match crate::exec::execute(&mut catalog, other, params, &named, &mut scratch) {
+                // Contain panics so they surface as errors (with this
+                // statement's effects undone) instead of poisoning the lock.
+                let exec_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    crate::exec::execute(&mut catalog, other, params, &named, &mut scratch)
+                }))
+                .unwrap_or_else(|payload| Err(Self::panic_error(payload)));
+                match exec_result {
                     Ok(result) => {
                         if let StatementResult::Rows(rs) = &result {
                             self.db
@@ -668,6 +851,7 @@ impl Connection {
                     Err(e) => {
                         // Statement atomicity: wipe this statement's effects.
                         scratch.rollback(&mut catalog);
+                        self.db.note_rollback();
                         Err(e)
                     }
                 }
@@ -680,6 +864,7 @@ impl Connection {
         if let Some(log) = self.txn.borrow_mut().take() {
             let mut catalog = self.db.inner.catalog.write();
             log.rollback(&mut catalog);
+            self.db.note_rollback();
         }
     }
 }

@@ -29,6 +29,11 @@ pub enum SqlError {
     Runtime(String),
     /// The connection was refused (unknown database, provider restriction…).
     Connection(String),
+    /// A transient infrastructure failure (connection reset, deadlock
+    /// victim, serialization failure). The statement had no durable
+    /// effect — its partial work was rolled back — so retrying the same
+    /// statement is safe and is expected to eventually succeed.
+    Transient(String),
 }
 
 impl SqlError {
@@ -45,7 +50,15 @@ impl SqlError {
             SqlError::Binding(_) => "binding",
             SqlError::Runtime(_) => "runtime",
             SqlError::Connection(_) => "connection",
+            SqlError::Transient(_) => "transient",
         }
+    }
+
+    /// Is this error safe to retry? Only [`SqlError::Transient`] failures
+    /// qualify: everything else (constraint violations, parse errors, …)
+    /// is deterministic and would fail again identically.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SqlError::Transient(_))
     }
 }
 
@@ -62,6 +75,7 @@ impl fmt::Display for SqlError {
             SqlError::Binding(m) => write!(f, "binding error: {m}"),
             SqlError::Runtime(m) => write!(f, "runtime error: {m}"),
             SqlError::Connection(m) => write!(f, "connection error: {m}"),
+            SqlError::Transient(m) => write!(f, "transient error: {m}"),
         }
     }
 }
@@ -92,6 +106,7 @@ mod tests {
             SqlError::Binding(String::new()),
             SqlError::Runtime(String::new()),
             SqlError::Connection(String::new()),
+            SqlError::Transient(String::new()),
         ];
         let mut classes: Vec<_> = all.iter().map(|e| e.class()).collect();
         classes.sort_unstable();

@@ -103,6 +103,7 @@ pub fn run_insert(
             row_id: id,
         });
         n += 1;
+        catalog.fault_row_applied()?;
     }
     Ok(n)
 }
@@ -172,6 +173,7 @@ pub fn run_update(
             old,
         });
         n += 1;
+        catalog.fault_row_applied()?;
     }
     Ok(n)
 }
@@ -229,6 +231,7 @@ pub fn run_delete(
             row,
         });
         n += 1;
+        catalog.fault_row_applied()?;
     }
     Ok(n)
 }

@@ -429,6 +429,10 @@ fn derive_column_name(expr: &Expr, ordinal: usize) -> String {
     }
 }
 
+/// Rows produced by an index scan, plus `(column ordinal, descending)`
+/// when the access path already emitted them in `ORDER BY` order.
+type ServedScan = (Rows, Option<(usize, bool)>);
+
 /// Index fast path: for single-table statements, serve the scan through a
 /// B-tree index instead of a full walk — a point lookup for an equality
 /// conjunct, a range walk for `<`/`<=`/`>`/`>=`/`BETWEEN` conjuncts, or a
@@ -443,7 +447,7 @@ fn try_index_scan(
     where_clause: Option<&Expr>,
     order_by: &[OrderItem],
     ctx: &EvalCtx<'_>,
-) -> SqlResult<Option<(Rows, Option<(usize, bool)>)>> {
+) -> SqlResult<Option<ServedScan>> {
     let TableSource::Named(name) = &from.base.source else {
         return Ok(None);
     };

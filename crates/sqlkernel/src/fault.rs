@@ -1,0 +1,442 @@
+//! Deterministic fault injection for the engine.
+//!
+//! A [`FaultInjector`] sits between the connection layer and the
+//! executor and perturbs statement execution according to a
+//! [`FaultPlan`]: transient infrastructure errors ("connection reset",
+//! "deadlock victim", "serialization failure"), torn statements that
+//! die after N applied rows (exercising statement-atomicity rollback),
+//! mid-statement panics (exercising lock-poison recovery), and slow
+//! queries. Everything is deterministic: randomness comes from an
+//! in-tree SplitMix64 PRNG seeded by the plan, and "time" is a virtual
+//! tick counter — no wall-clock anywhere, so a fault schedule replays
+//! identically on any host.
+//!
+//! Faults address statements by a monotone *statement index*: the
+//! injector counts every gated statement (transaction control is never
+//! gated — injecting into COMMIT/ROLLBACK would corrupt the very
+//! atomicity semantics the layer exists to test). A scripted fault is
+//! consumed when it fires, so a retry of the same statement draws the
+//! next index and succeeds unless the plan scheduled another fault
+//! there — which is exactly how "fails k times, then succeeds"
+//! schedules are written.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::{SqlError, SqlResult};
+use crate::sync::Mutex;
+
+/// SplitMix64: tiny, seedable, statistically solid for fault schedules.
+/// Kept in-tree (the kernel has no dependencies, and the bench crate's
+/// copy sits on the wrong side of the dependency arrow).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// The three transient failure shapes commercial engines report. All are
+/// safe to retry: the failed statement rolled back before surfacing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransientKind {
+    /// The server closed the connection mid-flight.
+    ConnectionReset,
+    /// This statement lost a deadlock and was chosen as the victim.
+    DeadlockVictim,
+    /// Optimistic concurrency check failed at serialization point.
+    SerializationFailure,
+}
+
+impl TransientKind {
+    /// Human-readable message, mirroring real server error text.
+    pub fn message(self) -> &'static str {
+        match self {
+            TransientKind::ConnectionReset => "connection reset",
+            TransientKind::DeadlockVictim => "deadlock victim",
+            TransientKind::SerializationFailure => "serialization failure",
+        }
+    }
+
+    /// The corresponding retryable error.
+    pub fn error(self) -> SqlError {
+        SqlError::Transient(self.message().into())
+    }
+
+    /// Pick a kind from an arbitrary draw (round-robin over the three).
+    pub fn from_index(i: u64) -> TransientKind {
+        match i % 3 {
+            0 => TransientKind::ConnectionReset,
+            1 => TransientKind::DeadlockVictim,
+            _ => TransientKind::SerializationFailure,
+        }
+    }
+}
+
+/// One injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Fail the statement up front, before it touches any row.
+    Transient(TransientKind),
+    /// Fail after plan binding but before execution — the plan-cache
+    /// invalidation regression hook.
+    AfterBind(TransientKind),
+    /// Let the statement apply `rows` rows, then kill it. The engine
+    /// must roll the applied prefix back (statement atomicity) before
+    /// the error surfaces.
+    TornAfterRows { rows: u64, kind: TransientKind },
+    /// Like `TornAfterRows`, but panic instead of returning an error —
+    /// exercises panic containment and lock-poison recovery.
+    PanicAfterRows { rows: u64 },
+    /// Succeed, but advance the virtual clock by `ticks` first.
+    SlowQuery { ticks: u64 },
+}
+
+/// A deterministic fault schedule: scripted faults pinned to statement
+/// indices, plus optional seeded random rates for soak/bench runs.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    scripted: Vec<(u64, Fault)>,
+    transient_rate: f64,
+    slow_rate: f64,
+    slow_ticks: u64,
+}
+
+impl FaultPlan {
+    /// Empty plan with a PRNG seed (only used once random rates are set).
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Schedule `fault` for the statement with the given injector index.
+    /// Scripted faults are consumed when they fire; scheduling faults at
+    /// `i, i+1, … i+k` makes a retried statement fail `k+1` times.
+    pub fn fault_at(mut self, statement_index: u64, fault: Fault) -> FaultPlan {
+        self.scripted.push((statement_index, fault));
+        self
+    }
+
+    /// Fail this fraction of unscripted statements with a transient
+    /// error (kind drawn from the seeded PRNG).
+    pub fn transient_rate(mut self, rate: f64) -> FaultPlan {
+        self.transient_rate = rate;
+        self
+    }
+
+    /// Slow down this fraction of unscripted statements by `ticks`
+    /// virtual ticks each.
+    pub fn slow_queries(mut self, rate: f64, ticks: u64) -> FaultPlan {
+        self.slow_rate = rate;
+        self.slow_ticks = ticks;
+        self
+    }
+}
+
+/// A row-level fault armed by the statement gate, consumed by the
+/// executor's apply loop.
+#[derive(Debug, Clone, Copy)]
+enum ArmedRowFault {
+    Error { remaining: u64, kind: TransientKind },
+    Panic { remaining: u64 },
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    rng: SplitMix64,
+    /// Scripted faults not yet fired, keyed by statement index.
+    scripted: HashMap<u64, Fault>,
+    /// Row fault armed for the statement currently executing.
+    row_fault: Option<ArmedRowFault>,
+    /// After-bind fault armed for the statement currently executing.
+    after_bind: Option<TransientKind>,
+}
+
+/// The injector installed on a [`crate::Database`]. Thread-safe; the
+/// statement gate serializes index assignment so a schedule means the
+/// same thing regardless of how calls interleave.
+#[derive(Debug)]
+pub struct FaultInjector {
+    transient_rate: f64,
+    slow_rate: f64,
+    slow_ticks: u64,
+    /// True when the plan can never fire (no scripted faults, zero
+    /// rates): the gate reduces to a lock-free index increment, keeping
+    /// the cost of an installed-but-idle plan within measurement noise.
+    passive: bool,
+    /// Next statement index to be assigned by the gate.
+    next_index: AtomicU64,
+    state: Mutex<InjectorState>,
+    /// Faults actually delivered (transients, torn rows, panics, slow ticks).
+    injected: AtomicU64,
+    /// Virtual clock, advanced by slow-query faults (and by the retry
+    /// layer above, which shares the same notion of time).
+    ticks: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Build an injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            transient_rate: plan.transient_rate,
+            slow_rate: plan.slow_rate,
+            slow_ticks: plan.slow_ticks,
+            passive: plan.scripted.is_empty()
+                && plan.transient_rate <= 0.0
+                && plan.slow_rate <= 0.0,
+            next_index: AtomicU64::new(0),
+            state: Mutex::new(InjectorState {
+                rng: SplitMix64::new(plan.seed),
+                scripted: plan.scripted.into_iter().collect(),
+                row_fault: None,
+                after_bind: None,
+            }),
+            injected: AtomicU64::new(0),
+            ticks: AtomicU64::new(0),
+        }
+    }
+
+    /// Faults delivered so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Current virtual-clock reading.
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Advance the virtual clock (used by retry backoff as well as
+    /// slow-query faults, so one timeline covers both layers).
+    pub fn advance_ticks(&self, n: u64) {
+        self.ticks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Statement gate: called once per non-transaction-control statement
+    /// before execution. Immediate transient faults return `Err` here;
+    /// torn/panic/after-bind faults are armed for the hooks below; slow
+    /// queries advance the virtual clock and let the statement proceed.
+    pub fn on_statement(&self) -> SqlResult<()> {
+        let index = self.next_index.fetch_add(1, Ordering::Relaxed);
+        if self.passive {
+            // Nothing can ever fire and nothing was ever armed.
+            return Ok(());
+        }
+        let mut st = self.state.lock();
+        // A fault armed for a previous statement that never reached its
+        // trigger point (e.g. torn-row fault on a statement that matched
+        // fewer rows) dies here rather than leaking onto this statement.
+        st.row_fault = None;
+        st.after_bind = None;
+
+        let fault = match st.scripted.remove(&index) {
+            Some(f) => Some(f),
+            None if self.transient_rate > 0.0 || self.slow_rate > 0.0 => {
+                let draw = st.rng.next_f64();
+                if draw < self.transient_rate {
+                    let kind = TransientKind::from_index(st.rng.next_u64());
+                    Some(Fault::Transient(kind))
+                } else if draw < self.transient_rate + self.slow_rate {
+                    Some(Fault::SlowQuery {
+                        ticks: self.slow_ticks,
+                    })
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
+
+        match fault {
+            None => Ok(()),
+            Some(Fault::Transient(kind)) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                Err(kind.error())
+            }
+            Some(Fault::AfterBind(kind)) => {
+                st.after_bind = Some(kind);
+                Ok(())
+            }
+            Some(Fault::TornAfterRows { rows, kind }) => {
+                st.row_fault = Some(ArmedRowFault::Error {
+                    remaining: rows,
+                    kind,
+                });
+                Ok(())
+            }
+            Some(Fault::PanicAfterRows { rows }) => {
+                st.row_fault = Some(ArmedRowFault::Panic { remaining: rows });
+                Ok(())
+            }
+            Some(Fault::SlowQuery { ticks }) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                self.ticks.fetch_add(ticks, Ordering::Relaxed);
+                Ok(())
+            }
+        }
+    }
+
+    /// Bind hook: called after a compiled plan is (re)bound, before any
+    /// row is touched. Delivers an armed [`Fault::AfterBind`].
+    pub fn on_bind_complete(&self) -> SqlResult<()> {
+        if self.passive {
+            return Ok(());
+        }
+        let kind = self.state.lock().after_bind.take();
+        match kind {
+            Some(kind) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                Err(kind.error())
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Row hook: called by DML apply loops after each applied row.
+    /// Delivers armed torn-statement faults once their row budget is
+    /// exhausted — by returning an error (the caller's undo machinery
+    /// must wipe the applied prefix) or by panicking.
+    pub fn on_row_applied(&self) -> SqlResult<()> {
+        if self.passive {
+            return Ok(());
+        }
+        let mut st = self.state.lock();
+        match &mut st.row_fault {
+            None => Ok(()),
+            Some(ArmedRowFault::Error { remaining, kind }) => {
+                if *remaining > 1 {
+                    *remaining -= 1;
+                    return Ok(());
+                }
+                let kind = *kind;
+                st.row_fault = None;
+                drop(st);
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                Err(kind.error())
+            }
+            Some(ArmedRowFault::Panic { remaining }) => {
+                if *remaining > 1 {
+                    *remaining -= 1;
+                    return Ok(());
+                }
+                st.row_fault = None;
+                drop(st);
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                panic!("fault injection: forced panic mid-statement");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spread() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), xs.len());
+        let f = SplitMix64::new(7).next_f64();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn scripted_fault_fires_once_then_clears() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(1).fault_at(1, Fault::Transient(TransientKind::DeadlockVictim)),
+        );
+        assert!(inj.on_statement().is_ok()); // index 0
+        let err = inj.on_statement().unwrap_err(); // index 1
+        assert_eq!(err.class(), "transient");
+        assert!(err.to_string().contains("deadlock victim"));
+        assert!(inj.on_statement().is_ok()); // index 2: consumed
+        assert_eq!(inj.injected(), 1);
+    }
+
+    #[test]
+    fn torn_fault_fires_on_nth_row() {
+        let inj = FaultInjector::new(FaultPlan::new(1).fault_at(
+            0,
+            Fault::TornAfterRows {
+                rows: 2,
+                kind: TransientKind::SerializationFailure,
+            },
+        ));
+        inj.on_statement().unwrap();
+        assert!(inj.on_row_applied().is_ok()); // row 1
+        assert!(inj.on_row_applied().is_err()); // row 2 → boom
+        assert!(inj.on_row_applied().is_ok()); // disarmed
+    }
+
+    #[test]
+    fn unfired_row_fault_does_not_leak_to_next_statement() {
+        let inj = FaultInjector::new(FaultPlan::new(1).fault_at(
+            0,
+            Fault::TornAfterRows {
+                rows: 5,
+                kind: TransientKind::ConnectionReset,
+            },
+        ));
+        inj.on_statement().unwrap();
+        assert!(inj.on_row_applied().is_ok()); // only one row applied
+        inj.on_statement().unwrap(); // next statement disarms
+        for _ in 0..10 {
+            assert!(inj.on_row_applied().is_ok());
+        }
+    }
+
+    #[test]
+    fn slow_queries_advance_virtual_clock_only() {
+        let inj =
+            FaultInjector::new(FaultPlan::new(1).fault_at(0, Fault::SlowQuery { ticks: 250 }));
+        assert!(inj.on_statement().is_ok());
+        assert_eq!(inj.ticks(), 250);
+        assert_eq!(inj.injected(), 1);
+    }
+
+    #[test]
+    fn random_rate_is_reproducible_per_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let inj = FaultInjector::new(FaultPlan::new(seed).transient_rate(0.3));
+            (0..64).map(|_| inj.on_statement().is_err()).collect()
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+        let failures = run(99).iter().filter(|b| **b).count();
+        assert!(failures > 5 && failures < 40, "rate wildly off: {failures}");
+    }
+}

@@ -40,6 +40,7 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod fault;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
@@ -52,5 +53,6 @@ pub mod types;
 
 pub use db::{Connection, Database, DbStats, Prepared, QueryResult, StatementResult};
 pub use error::{SqlError, SqlResult};
+pub use fault::{Fault, FaultInjector, FaultPlan, SplitMix64, TransientKind};
 pub use schema::{Column, TableSchema};
 pub use types::{DataType, Value};

@@ -109,7 +109,9 @@ pub struct DeletePlan {
 /// The result of compiling one statement against one catalog epoch.
 #[derive(Debug)]
 pub enum CompiledPlan {
-    Select(SelectPlan),
+    /// Boxed: a `SelectPlan` is an order of magnitude larger than the
+    /// other variants, and plans are built once then executed many times.
+    Select(Box<SelectPlan>),
     Update(UpdatePlan),
     Delete(DeletePlan),
     /// Compilation declined; execute through the interpreter.
@@ -254,7 +256,7 @@ fn compile_select(catalog: &Catalog, stmt: &SelectStmt) -> Option<CompiledPlan> 
     let limit = bind_opt(stmt.limit.as_ref(), &empty)?;
     let offset = bind_opt(stmt.offset.as_ref(), &empty)?;
 
-    Some(CompiledPlan::Select(SelectPlan {
+    Some(CompiledPlan::Select(Box::new(SelectPlan {
         table: name.clone(),
         access,
         filter,
@@ -265,7 +267,7 @@ fn compile_select(catalog: &Catalog, stmt: &SelectStmt) -> Option<CompiledPlan> 
         order_served,
         limit,
         offset,
-    }))
+    })))
 }
 
 fn compile_update(catalog: &Catalog, stmt: &UpdateStmt) -> Option<CompiledPlan> {
@@ -563,6 +565,7 @@ pub fn run_update_plan(
             old,
         });
         n += 1;
+        catalog.fault_row_applied()?;
     }
     catalog.note_bound_evals(evals.0);
     Ok(n)
@@ -615,6 +618,7 @@ pub fn run_delete_plan(
             row,
         });
         n += 1;
+        catalog.fault_row_applied()?;
     }
     catalog.note_bound_evals(evals.0);
     Ok(n)

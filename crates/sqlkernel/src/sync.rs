@@ -104,6 +104,22 @@ mod tests {
     }
 
     #[test]
+    fn rwlock_survives_poisoned_writer() {
+        // A writer that panics while holding the exclusive guard must not
+        // wedge later readers or writers: the shim recovers the poison.
+        let l = std::sync::Arc::new(RwLock::new(1u32));
+        let l2 = l.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write();
+            panic!("poison the rwlock");
+        })
+        .join();
+        assert_eq!(*l.read(), 1);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
+    }
+
+    #[test]
     fn rwlock_allows_parallel_readers() {
         let l = RwLock::new(5);
         let a = l.read();

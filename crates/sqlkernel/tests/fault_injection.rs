@@ -1,0 +1,277 @@
+//! Integration tests for the deterministic fault injector: transient
+//! errors, torn statements, contained panics, after-bind aborts, and the
+//! fault counters in `DbStats`.
+//!
+//! Statement indices referenced by `fault_at` count gated statements
+//! *after* the plan is installed (setup runs uninjected), and never count
+//! BEGIN/COMMIT/ROLLBACK.
+
+use sqlkernel::fault::{Fault, FaultPlan, TransientKind};
+use sqlkernel::{Database, Value};
+
+fn seeded_db() -> Database {
+    let db = Database::new("chaos");
+    let conn = db.connect();
+    conn.execute_script(
+        "CREATE TABLE Orders (OrderId INT PRIMARY KEY, ItemId TEXT, \
+         Quantity INT, Approved BOOL);
+         INSERT INTO Orders VALUES
+           (1, 'widget', 10, TRUE),
+           (2, 'widget', 5, TRUE),
+           (3, 'gadget', 7, FALSE),
+           (4, 'gadget', 3, TRUE),
+           (5, 'sprocket', 2, TRUE);",
+    )
+    .unwrap();
+    db
+}
+
+fn count(db: &Database, sql: &str) -> i64 {
+    let conn = db.connect();
+    match conn.query(sql, &[]).unwrap().single_value().unwrap() {
+        Value::Int(n) => *n,
+        other => panic!("expected int, got {other:?}"),
+    }
+}
+
+#[test]
+fn scripted_transient_fails_then_retry_succeeds() {
+    let db = seeded_db();
+    db.set_fault_plan(Some(
+        FaultPlan::new(1).fault_at(0, Fault::Transient(TransientKind::ConnectionReset)),
+    ));
+    let conn = db.connect();
+    let err = conn
+        .execute(
+            "UPDATE Orders SET Approved = TRUE WHERE ItemId = 'gadget'",
+            &[],
+        )
+        .unwrap_err();
+    assert_eq!(err.class(), "transient");
+    assert!(err.is_transient());
+    assert!(err.to_string().contains("connection reset"));
+    // Nothing changed.
+    assert_eq!(
+        count(&db, "SELECT COUNT(*) FROM Orders WHERE Approved = FALSE"),
+        1
+    );
+    // The fault was consumed: the identical statement now succeeds.
+    conn.execute(
+        "UPDATE Orders SET Approved = TRUE WHERE ItemId = 'gadget'",
+        &[],
+    )
+    .unwrap();
+    assert_eq!(
+        count(&db, "SELECT COUNT(*) FROM Orders WHERE Approved = FALSE"),
+        0
+    );
+    assert_eq!(db.stats().faults_injected, 1);
+}
+
+#[test]
+fn torn_insert_rolls_back_all_applied_rows() {
+    let db = seeded_db();
+    db.set_fault_plan(Some(FaultPlan::new(1).fault_at(
+        0,
+        Fault::TornAfterRows {
+            rows: 2,
+            kind: TransientKind::DeadlockVictim,
+        },
+    )));
+    let conn = db.connect();
+    // Multi-row INSERT (interpreter path): dies after two applied rows.
+    let err = conn
+        .execute(
+            "INSERT INTO Orders VALUES (10, 'a', 1, TRUE), (11, 'b', 1, TRUE), (12, 'c', 1, TRUE)",
+            &[],
+        )
+        .unwrap_err();
+    assert_eq!(err.class(), "transient");
+    // Statement atomicity: the two applied rows are gone.
+    assert_eq!(count(&db, "SELECT COUNT(*) FROM Orders"), 5);
+    assert!(db.stats().rollbacks >= 1);
+}
+
+#[test]
+fn torn_compiled_update_rolls_back_cleanly() {
+    let db = seeded_db();
+    let conn = db.connect();
+    // Warm the compiled plan first so the torn statement runs the
+    // compiled (not interpreted) path.
+    conn.execute("UPDATE Orders SET Quantity = Quantity + 0", &[])
+        .unwrap();
+    let before: Vec<Vec<Value>> = conn
+        .query("SELECT OrderId, Quantity FROM Orders ORDER BY OrderId", &[])
+        .unwrap()
+        .rows;
+    db.set_fault_plan(Some(FaultPlan::new(1).fault_at(
+        0,
+        Fault::TornAfterRows {
+            rows: 3,
+            kind: TransientKind::SerializationFailure,
+        },
+    )));
+    let err = conn
+        .execute("UPDATE Orders SET Quantity = Quantity + 100", &[])
+        .unwrap_err();
+    assert!(err.to_string().contains("serialization failure"));
+    let after: Vec<Vec<Value>> = conn
+        .query("SELECT OrderId, Quantity FROM Orders ORDER BY OrderId", &[])
+        .unwrap()
+        .rows;
+    assert_eq!(before, after, "torn UPDATE must leave no partial effects");
+}
+
+#[test]
+fn torn_statement_inside_open_transaction_preserves_prior_work() {
+    let db = seeded_db();
+    let conn = db.connect();
+    conn.execute("BEGIN", &[]).unwrap();
+    conn.execute("INSERT INTO Orders VALUES (20, 'kept', 1, TRUE)", &[])
+        .unwrap();
+    db.set_fault_plan(Some(FaultPlan::new(1).fault_at(
+        0,
+        Fault::TornAfterRows {
+            rows: 1,
+            kind: TransientKind::DeadlockVictim,
+        },
+    )));
+    let err = conn
+        .execute(
+            "INSERT INTO Orders VALUES (21, 'x', 1, TRUE), (22, 'y', 1, TRUE)",
+            &[],
+        )
+        .unwrap_err();
+    assert_eq!(err.class(), "transient");
+    db.set_fault_plan(None);
+    // The failed statement's rows are gone; the earlier statement's row
+    // survives and commits.
+    conn.execute("COMMIT", &[]).unwrap();
+    assert_eq!(
+        count(&db, "SELECT COUNT(*) FROM Orders WHERE OrderId >= 20"),
+        1
+    );
+}
+
+#[test]
+fn injected_panic_is_contained_and_rolled_back() {
+    let db = seeded_db();
+    let conn = db.connect();
+    db.set_fault_plan(Some(
+        FaultPlan::new(1).fault_at(0, Fault::PanicAfterRows { rows: 2 }),
+    ));
+    let err = conn
+        .execute("UPDATE Orders SET Quantity = 0", &[])
+        .unwrap_err();
+    assert_eq!(err.class(), "runtime");
+    assert!(err.to_string().contains("statement panicked"));
+    // No partial effects, and the database still serves everyone —
+    // including readers on other threads (the lock is not wedged).
+    assert_eq!(
+        count(&db, "SELECT COUNT(*) FROM Orders WHERE Quantity = 0"),
+        0
+    );
+    let db2 = db.clone();
+    std::thread::spawn(move || {
+        let c = db2.connect();
+        c.query("SELECT COUNT(*) FROM Orders", &[]).unwrap()
+    })
+    .join()
+    .unwrap();
+    // And writes keep working.
+    conn.execute("INSERT INTO Orders VALUES (30, 'after', 1, TRUE)", &[])
+        .unwrap();
+    assert_eq!(count(&db, "SELECT COUNT(*) FROM Orders"), 6);
+}
+
+#[test]
+fn after_bind_fault_invalidates_plan_and_rebinds() {
+    let db = seeded_db();
+    let conn = db.connect();
+    // Bind the compiled plan once.
+    conn.execute("UPDATE Orders SET Approved = TRUE WHERE OrderId = 1", &[])
+        .unwrap();
+    let binds_before = db.stats().plan_binds;
+    db.set_fault_plan(Some(
+        FaultPlan::new(1).fault_at(0, Fault::AfterBind(TransientKind::SerializationFailure)),
+    ));
+    let err = conn
+        .execute("UPDATE Orders SET Approved = TRUE WHERE OrderId = 1", &[])
+        .unwrap_err();
+    assert_eq!(err.class(), "transient");
+    // The abort dropped the compiled-plan slot: the retry re-binds and
+    // succeeds with correct results.
+    conn.execute("UPDATE Orders SET Approved = TRUE WHERE OrderId = 1", &[])
+        .unwrap();
+    assert_eq!(
+        db.stats().plan_binds,
+        binds_before + 1,
+        "retry after an after-bind abort must re-bind the plan"
+    );
+}
+
+#[test]
+fn select_transients_and_slow_queries() {
+    let db = seeded_db();
+    db.set_fault_plan(Some(
+        FaultPlan::new(1)
+            .fault_at(0, Fault::Transient(TransientKind::SerializationFailure))
+            .fault_at(1, Fault::SlowQuery { ticks: 500 }),
+    ));
+    let conn = db.connect();
+    let err = conn.query("SELECT COUNT(*) FROM Orders", &[]).unwrap_err();
+    assert_eq!(err.class(), "transient");
+    // The slow query still answers, but the virtual clock moved.
+    assert_eq!(count(&db, "SELECT COUNT(*) FROM Orders"), 5);
+    assert_eq!(db.fault_ticks(), 500);
+    assert_eq!(db.stats().faults_injected, 2);
+}
+
+#[test]
+fn random_schedule_is_deterministic_per_seed() {
+    let run = |seed: u64| -> Vec<bool> {
+        let db = seeded_db();
+        db.set_fault_plan(Some(FaultPlan::new(seed).transient_rate(0.25)));
+        let conn = db.connect();
+        (0..40)
+            .map(|_| conn.query("SELECT COUNT(*) FROM Orders", &[]).is_err())
+            .collect()
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8));
+}
+
+#[test]
+fn clearing_the_plan_stops_faults_and_keeps_cumulative_stats() {
+    let db = seeded_db();
+    db.set_fault_plan(Some(FaultPlan::new(1).transient_rate(1.0)));
+    let conn = db.connect();
+    assert!(conn.query("SELECT COUNT(*) FROM Orders", &[]).is_err());
+    db.set_fault_plan(None);
+    assert_eq!(count(&db, "SELECT COUNT(*) FROM Orders"), 5);
+    assert_eq!(db.stats().faults_injected, 1, "stats survive plan removal");
+}
+
+#[test]
+fn txn_control_is_never_gated() {
+    let db = seeded_db();
+    // Every gated statement fails — but BEGIN/COMMIT/ROLLBACK stay clean.
+    db.set_fault_plan(Some(FaultPlan::new(1).transient_rate(1.0)));
+    let conn = db.connect();
+    conn.execute("BEGIN", &[]).unwrap();
+    assert!(conn.execute("DELETE FROM Orders", &[]).is_err());
+    conn.execute("COMMIT", &[]).unwrap();
+    conn.execute("BEGIN", &[]).unwrap();
+    conn.execute("ROLLBACK", &[]).unwrap();
+}
+
+#[test]
+fn recovery_counters_flow_into_stats() {
+    let db = seeded_db();
+    db.note_retry();
+    db.note_retry();
+    db.note_breaker_trip();
+    let stats = db.stats();
+    assert_eq!(stats.retries, 2);
+    assert_eq!(stats.breaker_trips, 1);
+}

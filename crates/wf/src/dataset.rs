@@ -10,6 +10,8 @@
 //! statements for sync-back — a cache *“holding no connection to the
 //! original data”*.
 
+use flowcore::retry::RetryRuntime;
+use flowcore::FlowError;
 use sqlkernel::{Connection, Prepared, QueryResult, SqlError, SqlResult, Value};
 
 /// Change state of one cached row.
@@ -316,6 +318,79 @@ impl DataAdapter {
                 "DataAdapter requires key columns for sync-back".into(),
             ));
         }
+        let executed = Self::sync_rows(conn, table, target_table, &mut |p, params| {
+            conn.execute_prepared(p, params).map(|_| ())
+        })?;
+        table.accept_changes();
+        Ok(executed)
+    }
+
+    /// Transactional, retrying sync-back: the whole reconciliation runs
+    /// as one transaction (unless the connection already has one open),
+    /// each generated statement retries transient failures under
+    /// `retry`, and the recovery trace is appended to `log` for the
+    /// caller's audit trail. On failure the transaction rolls back and
+    /// the cache keeps its pending changes, so a later sync can redo the
+    /// whole reconciliation — all-or-nothing semantics.
+    pub fn update_with_retry(
+        conn: &Connection,
+        table: &mut DataTable,
+        target_table: &str,
+        retry: &mut RetryRuntime,
+        log: &mut Vec<String>,
+    ) -> SqlResult<usize> {
+        if table.key_columns.is_empty() {
+            return Err(SqlError::Semantic(
+                "DataAdapter requires key columns for sync-back".into(),
+            ));
+        }
+        let db = conn.database().clone();
+        let key = db.name().to_string();
+        let own_txn = !conn.in_transaction();
+        if own_txn {
+            conn.execute("BEGIN", &[])?;
+        }
+        let result = Self::sync_rows(conn, table, target_table, &mut |p, params| {
+            let (r, report) = retry.run(&key, Some(&db), || {
+                conn.execute_prepared(p, params)
+                    .map(|_| ())
+                    .map_err(FlowError::from)
+            });
+            log.extend(report.log);
+            r.map_err(|e| match e {
+                FlowError::Sql(s) => s,
+                other => SqlError::Runtime(other.to_string()),
+            })
+        });
+        match result {
+            Ok(executed) => {
+                if own_txn {
+                    conn.execute("COMMIT", &[])?;
+                }
+                table.accept_changes();
+                Ok(executed)
+            }
+            Err(e) => {
+                if own_txn {
+                    conn.rollback_if_open();
+                    log.push(format!(
+                        "sync-back of '{target_table}' rolled back after {e}; cache changes kept"
+                    ));
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// The shared reconciliation loop: generate per-kind prepared
+    /// statements once, re-bind per changed row, and run each through
+    /// `exec` (plain execution or the retry wrapper).
+    fn sync_rows(
+        conn: &Connection,
+        table: &DataTable,
+        target_table: &str,
+        exec: &mut dyn FnMut(&Prepared, &[Value]) -> SqlResult<()>,
+    ) -> SqlResult<usize> {
         // The statement text for each change kind is fixed per table, so
         // each kind is prepared at most once and re-bound per row.
         let mut executed = 0;
@@ -333,7 +408,7 @@ impl DataAdapter {
                             "INSERT INTO {target_table} ({cols}) VALUES ({placeholders})"
                         ))?);
                     }
-                    conn.execute_prepared(insert.as_ref().expect("just prepared"), &row.values)?;
+                    exec(insert.as_ref().expect("just prepared"), &row.values)?;
                     executed += 1;
                 }
                 RowState::Modified => {
@@ -348,7 +423,7 @@ impl DataAdapter {
                     }
                     let mut params = row.values.clone();
                     Self::push_key_params(table, row, &mut params)?;
-                    conn.execute_prepared(update.as_ref().expect("just prepared"), &params)?;
+                    exec(update.as_ref().expect("just prepared"), &params)?;
                     executed += 1;
                 }
                 RowState::Deleted => {
@@ -360,12 +435,11 @@ impl DataAdapter {
                     }
                     let mut params = Vec::new();
                     Self::push_key_params(table, row, &mut params)?;
-                    conn.execute_prepared(delete.as_ref().expect("just prepared"), &params)?;
+                    exec(delete.as_ref().expect("just prepared"), &params)?;
                     executed += 1;
                 }
             }
         }
-        table.accept_changes();
         Ok(executed)
     }
 
@@ -524,6 +598,78 @@ mod tests {
         t.set_cell(0, "qty", Value::Int(0)).unwrap();
         let conn = db.connect();
         assert!(DataAdapter::update(&conn, &mut t, "items").is_err());
+    }
+
+    #[test]
+    fn retrying_adapter_recovers_from_transient_faults() {
+        use sqlkernel::fault::{Fault, FaultPlan, TransientKind};
+        let db = seeded_db();
+        let mut t = filled_table(&db);
+        t.set_cell(0, "qty", Value::Int(99)).unwrap();
+        t.delete_row(1).unwrap();
+        t.add_row(vec![Value::Int(4), Value::text("nut"), Value::Int(1)])
+            .unwrap();
+        // Fail the first two sync statements once each (BEGIN is never
+        // gated, so indices 0/1 are the first two generated statements).
+        db.set_fault_plan(Some(
+            FaultPlan::new(3)
+                .fault_at(0, Fault::Transient(TransientKind::ConnectionReset))
+                .fault_at(1, Fault::Transient(TransientKind::DeadlockVictim)),
+        ));
+        let conn = db.connect();
+        let mut rt = RetryRuntime::new(7);
+        let mut log = Vec::new();
+        let n = DataAdapter::update_with_retry(&conn, &mut t, "items", &mut rt, &mut log).unwrap();
+        assert_eq!(n, 3);
+        assert!(t.changes().is_empty(), "cache accepted after recovery");
+        assert_eq!(db.stats().retries, 2);
+        assert!(log.iter().any(|l| l.contains("retry 1")));
+        let rs = conn
+            .query("SELECT id, name, qty FROM items ORDER BY id", &[])
+            .unwrap();
+        assert_eq!(
+            rs.rows,
+            vec![
+                vec![Value::Int(1), Value::text("widget"), Value::Int(99)],
+                vec![Value::Int(3), Value::text("cog"), Value::Int(7)],
+                vec![Value::Int(4), Value::text("nut"), Value::Int(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_roll_back_sync_and_keep_cache_changes() {
+        use sqlkernel::fault::FaultPlan;
+        let db = seeded_db();
+        let mut t = filled_table(&db);
+        t.set_cell(0, "qty", Value::Int(99)).unwrap();
+        t.delete_row(1).unwrap();
+        // Every gated statement fails: the retry budget runs out.
+        db.set_fault_plan(Some(FaultPlan::new(1).transient_rate(1.0)));
+        let conn = db.connect();
+        let mut rt = RetryRuntime::new(7);
+        let mut log = Vec::new();
+        let err =
+            DataAdapter::update_with_retry(&conn, &mut t, "items", &mut rt, &mut log).unwrap_err();
+        assert!(err.is_transient());
+        assert!(log.iter().any(|l| l.contains("rolled back")));
+        // The source is untouched and the cache still holds its changes…
+        db.set_fault_plan(None);
+        let rs = conn
+            .query("SELECT id, name, qty FROM items ORDER BY id", &[])
+            .unwrap();
+        assert_eq!(rs.rows.len(), 3);
+        assert_eq!(rs.rows[0][2], Value::Int(10));
+        assert_eq!(t.changes().len(), 2);
+        // …so the same sync succeeds once the fault storm passes.
+        let n = DataAdapter::update_with_retry(&conn, &mut t, "items", &mut rt, &mut log).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(
+            conn.query("SELECT qty FROM items WHERE id = 1", &[])
+                .unwrap()
+                .rows[0][0],
+            Value::Int(99)
+        );
     }
 
     #[test]

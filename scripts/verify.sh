@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full verification gate: release build, the whole workspace test suite,
-# and formatting. Run from anywhere; operates on the repo root.
+# lints, formatting, and the chaos suite under three fixed fault-storm
+# seeds. Run from anywhere; operates on the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -8,6 +9,13 @@ cargo build --release --workspace
 # NB: plain `cargo test` at the root only tests the root `flowsql`
 # package — `--workspace` is what runs the crate suites.
 cargo test --workspace -q
+cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
+
+# Chaos: the differential exactly-once suite under rotating storm seeds
+# (each run adds CHAOS_SEED to the three built-in schedules).
+for seed in 20260807 271828 31337; do
+  CHAOS_SEED="$seed" cargo test -q --test chaos_exactly_once
+done
 
 echo "verify: OK"

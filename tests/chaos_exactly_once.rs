@@ -1,0 +1,380 @@
+//! The headline robustness claim, tested differentially: for any fault
+//! schedule that eventually permits success, a workflow run under
+//! injected faults must leave the database — and emit rowsets —
+//! **byte-identical** to the fault-free run (exactly-once recovery);
+//! and when retries are exhausted, compensation restores the
+//! pre-sequence state.
+//!
+//! Each product stack (BIS information services, WF DataAdapter, SOA
+//! XSQL) runs its Figure-4-style scenario fault-free once, then again
+//! under ≥3 seeded fault storms with the recovery layer enabled, and the
+//! [`patterns::chaos`] fingerprints are compared byte-for-byte.
+//!
+//! The `CHAOS_SEED` environment variable adds one more storm seed — the
+//! CI chaos step uses it to rotate schedules without editing the test.
+
+use flowsql::bis::{
+    figure4_process, figure4_process_with_recovery, AtomicSqlSequence, BisDeployment,
+    DataSourceRegistry, SqlActivity,
+};
+use flowsql::flowcore::retry::{BreakerConfig, RetryPolicy, RetryRuntime};
+use flowsql::flowcore::{CompensableSequence, Engine, FlowError, ProcessDefinition, Variables};
+use flowsql::patterns::chaos::{
+    db_fingerprint, rows_fingerprint, scripted_storm, storm_longest_run,
+};
+use flowsql::patterns::probe::{seed_orders, ProbeEnv};
+use flowsql::sqlkernel::Database;
+use flowsql::{soa, wf};
+
+/// Indices covered by every storm — comfortably more than any scenario
+/// executes, retries included.
+const HORIZON: u64 = 400;
+/// Per-index fault probability (percent).
+const PERCENT: u64 = 25;
+
+/// The three fixed schedules, plus an optional CI-provided one.
+fn storm_seeds() -> Vec<u64> {
+    let mut seeds = vec![11, 42, 1337];
+    if let Some(extra) = std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+    {
+        if !seeds.contains(&extra) {
+            seeds.push(extra);
+        }
+    }
+    seeds
+}
+
+/// A retry budget sized above the storm's longest failure run, so the
+/// schedule is guaranteed to eventually permit success.
+fn storm_policy(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: storm_longest_run(seed, HORIZON, PERCENT) + 2,
+        ..RetryPolicy::default()
+    }
+}
+
+/// A breaker that never trips: the differential claim is about retry
+/// pushing through, not about fail-fast (the breaker has its own tests).
+fn no_trip() -> BreakerConfig {
+    BreakerConfig {
+        failure_threshold: 1_000_000,
+        cooldown_ticks: 1,
+    }
+}
+
+fn storm_runtime(seed: u64) -> RetryRuntime {
+    RetryRuntime::new(seed)
+        .with_policy(storm_policy(seed))
+        .with_breaker(no_trip())
+}
+
+// ---------------------------------------------------------------------
+// BIS: the full Figure 4 process (information service activities,
+// retrieve set, per-instance result table lifecycle).
+// ---------------------------------------------------------------------
+
+#[test]
+fn bis_figure4_storms_are_exactly_once() {
+    // Fault-free baseline.
+    let baseline = ProbeEnv::fresh();
+    let registry = DataSourceRegistry::new().with(baseline.db.clone());
+    let def = figure4_process(registry, baseline.db.name());
+    let inst = baseline.engine.run(&def, Variables::new()).unwrap();
+    assert!(inst.is_completed(), "{:?}", inst.outcome);
+    let want_db = db_fingerprint(&baseline.db);
+    let want_confirmations = baseline.confirmations();
+
+    let mut total_faults = 0;
+    let mut total_retries = 0;
+    for seed in storm_seeds() {
+        let env = ProbeEnv::fresh();
+        env.db
+            .set_fault_plan(Some(scripted_storm(seed, HORIZON, PERCENT)));
+        let registry = DataSourceRegistry::new().with(env.db.clone());
+        let def = figure4_process_with_recovery(
+            registry,
+            env.db.name(),
+            seed,
+            storm_policy(seed),
+            no_trip(),
+        );
+        let inst = env.engine.run(&def, Variables::new()).unwrap();
+        assert!(inst.is_completed(), "seed {seed}: {:?}", inst.outcome);
+
+        env.db.set_fault_plan(None);
+        assert_eq!(
+            db_fingerprint(&env.db),
+            want_db,
+            "seed {seed}: database state diverged from the fault-free run"
+        );
+        // Emitted effects: the supplier was invoked exactly once per item
+        // — statement-level retry never re-runs the service call.
+        assert_eq!(
+            env.confirmations(),
+            want_confirmations,
+            "seed {seed}: emitted confirmations diverged"
+        );
+        let stats = env.db.stats();
+        total_faults += stats.faults_injected;
+        total_retries += stats.retries;
+        // Every recovery left a trace in the audit trail.
+        if stats.retries > 0 {
+            assert!(
+                inst.audit.events().iter().any(|e| e.kind == "retry"),
+                "seed {seed}: retries happened but none audited"
+            );
+        }
+    }
+    assert!(total_faults > 0, "the storms never injected anything");
+    assert!(total_retries > 0, "the storms never forced a retry");
+}
+
+// ---------------------------------------------------------------------
+// BIS: the Table II atomic-sequence row, re-run under storms — the
+// bundle commits exactly once however many statements faulted inside.
+// ---------------------------------------------------------------------
+
+fn atomic_db() -> Database {
+    let db = Database::new("orders_db");
+    db.connect()
+        .execute_script(
+            "CREATE TABLE t (id INT PRIMARY KEY, v INT);
+             INSERT INTO t VALUES (1, 10), (2, 20);",
+        )
+        .unwrap();
+    db
+}
+
+fn atomic_bundle() -> AtomicSqlSequence {
+    AtomicSqlSequence::new("bundle")
+        .then(SqlActivity::new(
+            "a",
+            "DS",
+            "UPDATE t SET v = v + 1 WHERE id = 1",
+        ))
+        .then(SqlActivity::new("b", "DS", "INSERT INTO t VALUES (3, 30)"))
+        .then(SqlActivity::new("c", "DS", "DELETE FROM t WHERE id = 2"))
+}
+
+#[test]
+fn bis_atomic_sequence_storms_are_exactly_once() {
+    let base = atomic_db();
+    let def = BisDeployment::new(DataSourceRegistry::new().with(base.clone()))
+        .bind_data_source("DS", base.name())
+        .deploy(ProcessDefinition::new("atomic", atomic_bundle()));
+    let inst = Engine::new().run(&def, Variables::new()).unwrap();
+    assert!(inst.is_completed(), "{:?}", inst.outcome);
+    let want = db_fingerprint(&base);
+
+    for seed in storm_seeds() {
+        let db = atomic_db();
+        db.set_fault_plan(Some(scripted_storm(seed, HORIZON, PERCENT)));
+        let def = BisDeployment::new(DataSourceRegistry::new().with(db.clone()))
+            .bind_data_source("DS", db.name())
+            .with_retry(seed, storm_policy(seed))
+            .with_breaker(no_trip())
+            .deploy(ProcessDefinition::new("atomic", atomic_bundle()));
+        let inst = Engine::new().run(&def, Variables::new()).unwrap();
+        assert!(inst.is_completed(), "seed {seed}: {:?}", inst.outcome);
+        db.set_fault_plan(None);
+        assert_eq!(db_fingerprint(&db), want, "seed {seed}: bundle diverged");
+    }
+}
+
+// ---------------------------------------------------------------------
+// WF: DataAdapter fill → offline edits → sync-back, under storms.
+// ---------------------------------------------------------------------
+
+/// The offline edit session every WF run performs: bump a quantity,
+/// add an order, delete an order.
+fn edit_orders(t: &mut wf::DataTable) {
+    t.set_key_columns(&["OrderId"]).unwrap();
+    let widget_rows = t.select(|r| r.values()[1].render() == "widget");
+    t.set_cell(
+        widget_rows[0],
+        "Quantity",
+        flowsql::sqlkernel::Value::Int(11),
+    )
+    .unwrap();
+    t.add_row(vec![
+        flowsql::sqlkernel::Value::Int(7),
+        flowsql::sqlkernel::Value::text("cog"),
+        flowsql::sqlkernel::Value::Int(9),
+        flowsql::sqlkernel::Value::Bool(true),
+    ])
+    .unwrap();
+    let gadget_rejected = t.select(|r| r.values()[0].render() == "3");
+    t.delete_row(gadget_rejected[0]).unwrap();
+}
+
+#[test]
+fn wf_dataadapter_storms_are_exactly_once() {
+    // Fault-free baseline.
+    let base = Database::new("orders_db");
+    seed_orders(&base);
+    let conn = base.connect();
+    let rs = conn.query("SELECT * FROM Orders", &[]).unwrap();
+    let mut t = wf::DataTable::from_result("Orders", &rs);
+    edit_orders(&mut t);
+    wf::DataAdapter::update(&conn, &mut t, "Orders").unwrap();
+    let emitted = conn
+        .query("SELECT * FROM Orders ORDER BY OrderId", &[])
+        .unwrap();
+    let want_rows = rows_fingerprint(&emitted);
+    let want_db = db_fingerprint(&base);
+
+    for seed in storm_seeds() {
+        let db = Database::new("orders_db");
+        seed_orders(&db);
+        db.set_fault_plan(Some(scripted_storm(seed, HORIZON, PERCENT)));
+        let mut rt = storm_runtime(seed);
+        let mut log = Vec::new();
+        let conn = db.connect();
+        // The fill query itself runs under the storm, so retry it too.
+        let (fill, report) = rt.run(db.name(), Some(&db), || {
+            conn.query("SELECT * FROM Orders", &[])
+                .map_err(FlowError::from)
+        });
+        log.extend(report.log);
+        let mut t = wf::DataTable::from_result("Orders", &fill.unwrap());
+        edit_orders(&mut t);
+        wf::DataAdapter::update_with_retry(&conn, &mut t, "Orders", &mut rt, &mut log)
+            .unwrap_or_else(|e| panic!("seed {seed}: sync-back failed: {e}"));
+        let (emitted, report) = rt.run(db.name(), Some(&db), || {
+            conn.query("SELECT * FROM Orders ORDER BY OrderId", &[])
+                .map_err(FlowError::from)
+        });
+        log.extend(report.log);
+        assert_eq!(
+            rows_fingerprint(&emitted.unwrap()),
+            want_rows,
+            "seed {seed}: emitted rowset diverged"
+        );
+        db.set_fault_plan(None);
+        assert_eq!(db_fingerprint(&db), want_db, "seed {seed}: db diverged");
+        let stats = db.stats();
+        assert_eq!(
+            stats.retries as usize,
+            log.iter().filter(|l| l.contains("retry ")).count(),
+            "seed {seed}: every retry shows up in the recovery trace"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// SOA: an XSQL page (DML + query + stored-procedure call) under storms
+// — the page's XML result must be byte-identical too.
+// ---------------------------------------------------------------------
+
+const XSQL_PAGE: &str = "<xsql:page xmlns:xsql=\"urn:oracle-xsql\">\
+     <xsql:dml>UPDATE Orders SET Approved = TRUE WHERE OrderId = 3</xsql:dml>\
+     <xsql:dml>INSERT INTO OrderConfirmations VALUES \
+       (NEXTVAL('conf_ids'), 'widget', 15, 'confirmed:widget:15')</xsql:dml>\
+     <xsql:query>SELECT ItemId, SUM(Quantity) AS Quantity FROM Orders \
+       WHERE Approved = TRUE GROUP BY ItemId ORDER BY ItemId</xsql:query>\
+     <xsql:call>CALL item_total('widget')</xsql:call>\
+   </xsql:page>";
+
+#[test]
+fn soa_xsql_storms_are_exactly_once() {
+    let base = Database::new("orders_db");
+    seed_orders(&base);
+    let want_xml = soa::process_xsql(&base, XSQL_PAGE, &[]).unwrap().to_xml();
+    let want_db = db_fingerprint(&base);
+
+    for seed in storm_seeds() {
+        let db = Database::new("orders_db");
+        seed_orders(&db);
+        db.set_fault_plan(Some(scripted_storm(seed, HORIZON, PERCENT)));
+        let mut rt = storm_runtime(seed);
+        let mut log = Vec::new();
+        let out = soa::process_xsql_with_retry(&db, XSQL_PAGE, &[], &mut rt, &mut log)
+            .unwrap_or_else(|e| panic!("seed {seed}: page failed: {e}"));
+        assert_eq!(
+            out.to_xml(),
+            want_xml,
+            "seed {seed}: emitted XML result diverged"
+        );
+        db.set_fault_plan(None);
+        assert_eq!(db_fingerprint(&db), want_db, "seed {seed}: db diverged");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exhausted retries: the compensable sequence restores the
+// pre-sequence state, in reverse completion order.
+// ---------------------------------------------------------------------
+
+#[test]
+fn exhausted_retries_compensate_back_to_the_pre_sequence_state() {
+    use flowsql::sqlkernel::fault::{Fault, FaultPlan, TransientKind};
+
+    let db = atomic_db();
+    let before = db_fingerprint(&db);
+
+    // Statement indices: step 1 commits at 0, step 2 at 1; step 3 then
+    // faults on every one of its 3 attempts (indices 2..=4), exhausting
+    // the budget. The compensations run on clean indices 5 and 6.
+    let mut plan = FaultPlan::new(7);
+    for i in 2..=4 {
+        plan = plan.fault_at(i, Fault::Transient(TransientKind::DeadlockVictim));
+    }
+    db.set_fault_plan(Some(plan));
+
+    let saga = CompensableSequence::new("saga")
+        .step_with(
+            SqlActivity::new("book", "DS", "INSERT INTO t VALUES (3, 30)"),
+            SqlActivity::new("unbook", "DS", "DELETE FROM t WHERE id = 3"),
+        )
+        .step_with(
+            SqlActivity::new("mark", "DS", "UPDATE t SET v = 999 WHERE id = 1"),
+            SqlActivity::new("unmark", "DS", "UPDATE t SET v = 10 WHERE id = 1"),
+        )
+        .step(SqlActivity::new(
+            "doomed",
+            "DS",
+            "INSERT INTO t VALUES (4, 40)",
+        ));
+
+    let def = BisDeployment::new(DataSourceRegistry::new().with(db.clone()))
+        .bind_data_source("DS", db.name())
+        .with_retry(
+            99,
+            RetryPolicy {
+                max_attempts: 3,
+                ..RetryPolicy::default()
+            },
+        )
+        .with_breaker(no_trip())
+        .deploy(ProcessDefinition::new("saga-under-fire", saga));
+
+    let inst = Engine::new().run(&def, Variables::new()).unwrap();
+    assert!(inst.is_faulted(), "{:?}", inst.outcome);
+    assert!(
+        inst.fault().unwrap().to_string().contains("transient"),
+        "the surviving fault is the exhausted transient: {:?}",
+        inst.fault()
+    );
+
+    db.set_fault_plan(None);
+    assert_eq!(
+        db_fingerprint(&db),
+        before,
+        "compensation must restore the pre-sequence state"
+    );
+
+    // The undo is visible in the audit trail, newest compensation first
+    // in reverse completion order: unmark before unbook.
+    let events = inst.audit.events();
+    assert!(events.iter().any(|e| e.kind == "compensate"));
+    let pos = |name: &str| {
+        events
+            .iter()
+            .position(|e| e.name == name)
+            .unwrap_or_else(|| panic!("no audit record for {name}"))
+    };
+    assert!(pos("unmark") < pos("unbook"));
+    assert_eq!(db.stats().retries, 2, "two retries before exhaustion");
+}
