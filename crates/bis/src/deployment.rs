@@ -5,7 +5,9 @@
 
 use std::sync::Arc;
 
+use flowcore::persistence::{DurableProcess, DurableRun, PersistenceService};
 use flowcore::retry::{BreakerConfig, RetryPolicy, RetryRuntime};
+use flowcore::value::Variables;
 use flowcore::{ActivityContext, ExecutionMode, FlowError, FlowResult, ProcessDefinition};
 use sqlkernel::Value;
 
@@ -142,6 +144,41 @@ impl BisDeployment {
     /// The registry (for re-use by probes).
     pub fn registry(&self) -> &DataSourceRegistry {
         &self.registry
+    }
+
+    /// Build the recovery runtime this deployment configures (defaults
+    /// when [`BisDeployment::with_retry`] was never called).
+    pub fn retry_runtime(&self) -> RetryRuntime {
+        match &self.retry {
+            Some(cfg) => RetryRuntime::new(cfg.seed)
+                .with_policy(cfg.policy.clone())
+                .with_breaker(cfg.breaker.clone()),
+            None => RetryRuntime::new(0).with_policy(RetryPolicy::no_retry()),
+        }
+    }
+
+    /// Run (or resume) a *durable* activity sequence against one of this
+    /// deployment's data sources.
+    ///
+    /// This is the deployment-resume path: instance state dehydrates into
+    /// the data source's `FLOW_INSTANCES` table at every step boundary,
+    /// in the same transaction as the step's own SQL. When the data
+    /// source is durable (opened with a WAL), re-deploying after a crash
+    /// and calling `run_durable` with the same `instance_key` resumes at
+    /// the interrupted step — committed steps never re-execute. The
+    /// deployment's retry/breaker configuration wraps every step, and the
+    /// breaker state itself dehydrates with the instance.
+    pub fn run_durable(
+        &self,
+        db_name: &str,
+        process: &DurableProcess,
+        instance_key: &str,
+        initial: &Variables,
+    ) -> FlowResult<DurableRun> {
+        let db = self.registry.resolve(&connection_string(db_name))?.clone();
+        let service = PersistenceService::new(&db)?;
+        let mut rt = self.retry_runtime();
+        service.run(process, instance_key, initial, &mut rt)
     }
 
     /// Install this deployment onto a process definition: adds the setup
@@ -412,6 +449,79 @@ mod tests {
         let inst = engine.run(&def, Variables::new()).unwrap();
         assert!(inst.is_completed(), "{:?}", inst.outcome);
         assert!(!db.has_table("staging"));
+    }
+
+    #[test]
+    fn run_durable_resumes_after_crash_without_replaying_steps() {
+        use flowcore::value::VarValue;
+        use sqlkernel::{CrashPoint, Fault, FaultPlan, MemLogStore};
+        use std::sync::Arc;
+
+        let two_steps = || {
+            DurableProcess::new("intake")
+                .step("stage", |conn, vars| {
+                    conn.execute("INSERT INTO intake VALUES (1, 'staged')", &[])?;
+                    vars.set("phase", VarValue::Scalar(Value::Int(1)));
+                    Ok(())
+                })
+                .step("post", |conn, vars| {
+                    conn.execute("INSERT INTO intake VALUES (2, 'posted')", &[])?;
+                    vars.set("phase", VarValue::Scalar(Value::Int(2)));
+                    Ok(())
+                })
+        };
+
+        let store = MemLogStore::new();
+        {
+            let db = Database::with_wal("orders_db", Arc::new(store.clone()));
+            db.connect()
+                .execute("CREATE TABLE intake (id INT PRIMARY KEY, s TEXT)", &[])
+                .unwrap();
+        }
+
+        let mut crashed = false;
+        for idx in 0..24 {
+            let db = Database::recover("orders_db", Arc::new(store.clone())).unwrap();
+            let deployment =
+                BisDeployment::new(registry_with(&db)).with_retry(5, RetryPolicy::default());
+            db.set_fault_plan(Some(
+                FaultPlan::new(5).fault_at(idx, Fault::Crash(CrashPoint::AfterLog)),
+            ));
+            let r = deployment.run_durable("orders_db", &two_steps(), "job-1", &Variables::new());
+            if db.fault_injector().map(|i| i.frozen()).unwrap_or(false) {
+                assert!(r.is_err());
+                crashed = true;
+                break;
+            }
+            if r.is_ok() {
+                let conn = db.connect();
+                conn.execute(
+                    "DELETE FROM FLOW_INSTANCES WHERE InstanceKey = 'job-1'",
+                    &[],
+                )
+                .unwrap();
+                conn.execute("DELETE FROM intake", &[]).unwrap();
+            }
+        }
+        assert!(crashed, "no probe index produced a crash");
+
+        // Re-deploy over the recovered database and resume.
+        let db = Database::recover("orders_db", Arc::new(store.clone())).unwrap();
+        let deployment =
+            BisDeployment::new(registry_with(&db)).with_retry(5, RetryPolicy::default());
+        let run = deployment
+            .run_durable("orders_db", &two_steps(), "job-1", &Variables::new())
+            .unwrap();
+        assert!(!run.already_completed);
+        assert_eq!(
+            run.variables.require_scalar("phase").unwrap(),
+            &Value::Int(2)
+        );
+        let rs = db
+            .connect()
+            .query("SELECT id FROM intake ORDER BY id", &[])
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2, "each step committed exactly once");
     }
 
     #[test]

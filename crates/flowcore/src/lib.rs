@@ -60,6 +60,7 @@ pub mod builtins;
 pub mod compensation;
 pub mod engine;
 pub mod error;
+pub mod persistence;
 pub mod process;
 pub mod retry;
 pub mod service;
@@ -73,6 +74,9 @@ pub use bpel::{export_bpel, extension_activity_count};
 pub use compensation::CompensableSequence;
 pub use engine::Engine;
 pub use error::{FlowError, FlowResult};
+pub use persistence::{
+    DurableProcess, DurableRun, DurableStep, HydratedInstance, PersistenceService,
+};
 pub use process::{CompletedInstance, Outcome, ProcessDefinition};
 pub use retry::{BreakerConfig, BreakerState, RetryPolicy, RetryReport, RetryRuntime};
 pub use service::{Message, Service, ServiceRegistry};
@@ -91,6 +95,9 @@ pub mod prelude {
     pub use crate::compensation::CompensableSequence;
     pub use crate::engine::Engine;
     pub use crate::error::{FlowError, FlowResult};
+    pub use crate::persistence::{
+        DurableProcess, DurableRun, DurableStep, HydratedInstance, PersistenceService,
+    };
     pub use crate::process::{CompletedInstance, Outcome, ProcessDefinition};
     pub use crate::retry::{BreakerConfig, BreakerState, RetryPolicy, RetryReport, RetryRuntime};
     pub use crate::service::{Message, Service, ServiceRegistry};

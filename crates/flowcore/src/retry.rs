@@ -103,6 +103,11 @@ pub enum BreakerState {
     HalfOpen,
 }
 
+/// A dehydrated breaker: `(key, state, consecutive_failures, opened_at)`.
+/// The wire form of [`RetryRuntime::export_breakers`] /
+/// [`RetryRuntime::import_breakers`].
+pub type BreakerSnapshot = (String, BreakerState, u32, u64);
+
 /// Per-service circuit breaker (keyed by service/database name inside
 /// [`RetryRuntime`]).
 #[derive(Debug)]
@@ -118,6 +123,20 @@ impl CircuitBreaker {
             state: BreakerState::Closed,
             consecutive_failures: 0,
             opened_at: 0,
+        }
+    }
+
+    /// Rebuild a breaker from a dehydrated snapshot (see
+    /// [`RetryRuntime::import_breakers`]).
+    fn from_parts(
+        state: BreakerState,
+        consecutive_failures: u32,
+        opened_at: u64,
+    ) -> CircuitBreaker {
+        CircuitBreaker {
+            state,
+            consecutive_failures,
+            opened_at,
         }
     }
 
@@ -250,6 +269,39 @@ impl RetryRuntime {
     /// Breaker trips over the runtime's lifetime.
     pub fn total_breaker_trips(&self) -> u64 {
         self.total_breaker_trips
+    }
+
+    /// Dehydrate every breaker as `(key, state, consecutive_failures,
+    /// opened_at)`, sorted by key so the encoding is deterministic. Used
+    /// by the persistence layer to park breaker state alongside process
+    /// variables when an instance dehydrates.
+    pub fn export_breakers(&self) -> Vec<BreakerSnapshot> {
+        let mut out: Vec<BreakerSnapshot> = self
+            .breakers
+            .iter()
+            .map(|(k, b)| (k.clone(), b.state, b.consecutive_failures, b.opened_at))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Rehydrate breakers from an [`export_breakers`](Self::export_breakers)
+    /// snapshot, replacing any same-keyed breaker. Breakers for keys not
+    /// in the snapshot are left untouched.
+    pub fn import_breakers(&mut self, snapshot: &[BreakerSnapshot]) {
+        for (key, state, failures, opened_at) in snapshot {
+            self.breakers.insert(
+                key.clone(),
+                CircuitBreaker::from_parts(*state, *failures, *opened_at),
+            );
+        }
+    }
+
+    /// Fast-forward the virtual clock to at least `ticks` (rehydration:
+    /// a restored `opened_at` is only meaningful against the clock it
+    /// was recorded under). Never moves the clock backwards.
+    pub fn restore_clock(&mut self, ticks: u64) {
+        self.clock = self.clock.max(ticks);
     }
 
     /// Breaker state for `key` (`Closed` if never used).

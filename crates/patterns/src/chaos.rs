@@ -8,7 +8,7 @@
 //! [`rows_fingerprint`] produce the canonical byte strings compared;
 //! [`scripted_storm`] produces the seeded schedules.
 
-use sqlkernel::fault::{Fault, FaultPlan, SplitMix64, TransientKind};
+use sqlkernel::fault::{CrashPoint, Fault, FaultPlan, SplitMix64, TransientKind};
 use sqlkernel::{Database, QueryResult};
 
 /// Canonical fingerprint of a database's full logical state: every table
@@ -19,8 +19,17 @@ use sqlkernel::{Database, QueryResult};
 /// The fingerprint runs plain SELECTs, so clear any active fault plan
 /// (`db.set_fault_plan(None)`) before calling.
 pub fn db_fingerprint(db: &Database) -> String {
+    db_fingerprint_excluding(db, &[])
+}
+
+/// [`db_fingerprint`] over every table EXCEPT the named ones. The crash
+/// tests use this to compare user data while skipping bookkeeping whose
+/// bytes legitimately differ between a crashed and a clean run (the
+/// `FLOW_INSTANCES` breaker column records retry clocks).
+pub fn db_fingerprint_excluding(db: &Database, exclude: &[&str]) -> String {
     let conn = db.connect();
     let mut tables = db.table_names();
+    tables.retain(|t| !exclude.iter().any(|e| e.eq_ignore_ascii_case(t)));
     tables.sort_unstable();
     let mut out = String::new();
     for t in &tables {
@@ -90,6 +99,96 @@ pub fn scripted_storm(seed: u64, horizon: u64, percent: u64) -> FaultPlan {
         }
     }
     plan
+}
+
+/// A crash schedule: `statement_crashes` pins [`Fault::Crash`] points to
+/// statement indices, `checkpoint_crashes` kills the process during the
+/// given checkpoint attempts. Built by [`crash_storm`] /
+/// [`combined_storm`]; applied with [`CrashSchedule::plan`].
+///
+/// Unlike transient storms, a crash storm describes a *sequence of
+/// process lifetimes*: each crash freezes the injector, the test
+/// "reboots" with `Database::recover`, installs the schedule's next
+/// crash, and continues. [`CrashSchedule::crashes`] is the number of
+/// lifetimes minus one.
+#[derive(Debug, Clone, Default)]
+pub struct CrashSchedule {
+    /// `(statement_index, crash_point)` pairs, one per process lifetime.
+    pub statement_crashes: Vec<(u64, CrashPoint)>,
+    /// Checkpoint indices at which `DuringCheckpoint` crashes fire.
+    pub checkpoint_crashes: Vec<u64>,
+    /// Transient-fault plan mixed into every lifetime (empty horizon =
+    /// pure crash storm).
+    pub transient: Option<(u64, u64, u64)>,
+}
+
+impl CrashSchedule {
+    /// Number of scheduled crashes across all lifetimes.
+    pub fn crashes(&self) -> usize {
+        self.statement_crashes.len() + self.checkpoint_crashes.len()
+    }
+
+    /// The fault plan for process lifetime `life` (0-based): the
+    /// lifetime's scheduled crash (if any) plus the shared transient
+    /// storm. Lifetimes past the schedule run crash-free — the final,
+    /// completing lifetime.
+    pub fn plan(&self, life: usize) -> FaultPlan {
+        let seed = match self.transient {
+            Some((seed, _, _)) => seed,
+            None => 0,
+        };
+        let mut plan = match self.transient {
+            Some((seed, horizon, percent)) => scripted_storm(seed, horizon, percent),
+            None => FaultPlan::new(seed),
+        };
+        if let Some((idx, point)) = self.statement_crashes.get(life) {
+            plan = plan.fault_at(*idx, Fault::Crash(*point));
+        }
+        let ckpt_life = life.saturating_sub(self.statement_crashes.len());
+        if self.statement_crashes.get(life).is_none() {
+            if let Some(ckpt) = self.checkpoint_crashes.get(ckpt_life) {
+                plan = plan.crash_at_checkpoint(*ckpt);
+            }
+        }
+        plan
+    }
+}
+
+/// Build a pure crash storm: `crashes` process deaths at seeded
+/// statement indices below `horizon`, cycling through the crash points
+/// (`BeforeLog`, `AfterLog`, `MidApply`) so every protocol window is
+/// exercised. Deterministic in `seed`.
+pub fn crash_storm(seed: u64, horizon: u64, crashes: usize) -> CrashSchedule {
+    let mut rng = SplitMix64::new(seed);
+    let points = [
+        CrashPoint::BeforeLog,
+        CrashPoint::AfterLog,
+        CrashPoint::MidApply,
+    ];
+    let mut schedule = CrashSchedule::default();
+    for i in 0..crashes {
+        let idx = rng.next_below(horizon.max(1));
+        schedule
+            .statement_crashes
+            .push((idx, points[i % points.len()]));
+    }
+    schedule
+}
+
+/// Build a combined storm: the crash schedule of [`crash_storm`] with a
+/// [`scripted_storm`] of transient faults layered onto every lifetime.
+/// This is the harshest schedule the differential tests run: statements
+/// are failing transiently *and* the process keeps dying, yet the final
+/// database fingerprint must equal the clean run's.
+pub fn combined_storm(
+    seed: u64,
+    horizon: u64,
+    crashes: usize,
+    transient_percent: u64,
+) -> CrashSchedule {
+    let mut schedule = crash_storm(seed, horizon, crashes);
+    schedule.transient = Some((seed.wrapping_add(1), horizon, transient_percent));
+    schedule
 }
 
 /// Longest run of consecutive faulted indices a [`scripted_storm`] with
@@ -177,6 +276,71 @@ mod tests {
         };
         assert_eq!(runs(42), runs(42));
         assert_ne!(runs(42), runs(43));
+    }
+
+    #[test]
+    fn crash_storms_are_deterministic_and_cycle_crash_points() {
+        let a = crash_storm(9, 40, 4);
+        let b = crash_storm(9, 40, 4);
+        assert_eq!(a.statement_crashes, b.statement_crashes);
+        assert_eq!(a.crashes(), 4);
+        let points: Vec<CrashPoint> = a.statement_crashes.iter().map(|(_, p)| *p).collect();
+        assert_eq!(points[0], CrashPoint::BeforeLog);
+        assert_eq!(points[1], CrashPoint::AfterLog);
+        assert_eq!(points[2], CrashPoint::MidApply);
+        assert_eq!(points[3], CrashPoint::BeforeLog);
+        assert_ne!(
+            crash_storm(9, 40, 4).statement_crashes,
+            crash_storm(10, 40, 4).statement_crashes,
+        );
+    }
+
+    #[test]
+    fn crash_schedule_plans_one_crash_per_lifetime() {
+        let mut schedule = crash_storm(3, 30, 2);
+        schedule.checkpoint_crashes.push(0);
+        assert_eq!(schedule.crashes(), 3);
+        // Lifetimes 0..=1 carry statement crashes, lifetime 2 the
+        // checkpoint crash, lifetime 3 is clean. Verify by driving a
+        // database with each plan and watching which ones freeze.
+        for life in 0..4 {
+            let db = Database::new("c");
+            let store = std::sync::Arc::new(sqlkernel::MemLogStore::new());
+            let db = {
+                drop(db);
+                Database::with_wal("c", store)
+            };
+            db.connect()
+                .execute("CREATE TABLE t (v INT PRIMARY KEY)", &[])
+                .unwrap();
+            db.set_fault_plan(Some(schedule.plan(life)));
+            let conn = db.connect();
+            for i in 0..40 {
+                let _ = conn.execute(&format!("INSERT INTO t VALUES ({i})"), &[]);
+            }
+            let _ = db.checkpoint();
+            let frozen = db.fault_injector().map(|i| i.frozen()).unwrap_or(false);
+            assert_eq!(frozen, life < 3, "lifetime {life}");
+        }
+    }
+
+    #[test]
+    fn combined_storm_layers_transients_onto_crashes() {
+        let schedule = combined_storm(5, 50, 2, 30);
+        assert_eq!(schedule.crashes(), 2);
+        assert!(schedule.transient.is_some());
+        // A late lifetime's plan still carries the transient storm.
+        let db = small_db("m");
+        db.set_fault_plan(Some(schedule.plan(9)));
+        let conn = db.connect();
+        let failures = (0..50)
+            .filter(|_| conn.query("SELECT COUNT(*) FROM a", &[]).is_err())
+            .count();
+        assert!(failures > 0, "transient layer must fire");
+        assert!(
+            !db.fault_injector().unwrap().frozen(),
+            "no crash scheduled past the storm"
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub mod report;
 pub mod support;
 pub mod taxonomy;
 
-pub use chaos::{db_fingerprint, rows_fingerprint, scripted_storm, storm_longest_run};
+pub use chaos::{
+    combined_storm, crash_storm, db_fingerprint, db_fingerprint_excluding, rows_fingerprint,
+    scripted_storm, storm_longest_run, CrashSchedule,
+};
 pub use pattern::DataPattern;
 pub use probe::{Demonstration, ProbeEnv, ProbeError, ORDER_FROM_SUPPLIER};
 pub use product::{ArchLayer, Architecture, ProductInfo, SqlIntegration};

@@ -24,6 +24,7 @@
 
 pub mod bpelx;
 pub mod cursor;
+pub mod durable;
 pub mod env;
 pub mod functions;
 pub mod integration;
@@ -32,6 +33,7 @@ pub mod xsql;
 
 pub use bpelx::{BpelxAssign, BpelxOp};
 pub use cursor::rowset_while;
+pub use durable::{durable_page_process, run_durable_pages};
 pub use env::{connection_string, SoaEnvironment};
 pub use functions::{
     get_variable_data, get_variable_node, java_snippet, lookup_table, query_database,
@@ -39,4 +41,4 @@ pub use functions::{
 };
 pub use integration::OracleProduct;
 pub use sample::figure8_process;
-pub use xsql::{process_xsql, process_xsql_with_retry};
+pub use xsql::{process_xsql, process_xsql_on, process_xsql_with_retry};

@@ -48,11 +48,39 @@ pub fn process_xsql_with_retry(
     process_page(db, page, params, Some(retry), log, true)
 }
 
+/// Execute a page's actions on an EXISTING connection, joining whatever
+/// transaction it has open (no `BEGIN`/`COMMIT` is issued when the
+/// connection is already inside one). This is the dehydration hook: the
+/// durable page runner executes each page inside its step transaction so
+/// the page's effects and the instance checkpoint commit together.
+pub fn process_xsql_on(
+    db: &Database,
+    conn: &sqlkernel::Connection,
+    page: &str,
+    params: &[(String, Value)],
+) -> FlowResult<XmlNode> {
+    let mut log = Vec::new();
+    process_page_on(db, conn, page, params, None, &mut log, true)
+}
+
 /// Shared page processor. With `atomic`, the whole page runs as one
 /// transaction: any action failing (after its retries, when a runtime is
 /// given) rolls back every earlier action of the page.
 fn process_page(
     db: &Database,
+    page: &str,
+    params: &[(String, Value)],
+    retry: Option<&mut RetryRuntime>,
+    log: &mut Vec<String>,
+    atomic: bool,
+) -> FlowResult<XmlNode> {
+    let conn = db.connect();
+    process_page_on(db, &conn, page, params, retry, log, atomic)
+}
+
+fn process_page_on(
+    db: &Database,
+    conn: &sqlkernel::Connection,
     page: &str,
     params: &[(String, Value)],
     mut retry: Option<&mut RetryRuntime>,
@@ -66,7 +94,6 @@ fn process_page(
             doc.name
         )));
     }
-    let conn = db.connect();
     let own_txn = atomic && !conn.in_transaction();
     if own_txn {
         conn.execute("BEGIN", &[])?;

@@ -45,6 +45,13 @@ impl Sequence {
     pub fn peek(&self) -> i64 {
         self.next.load(Ordering::Relaxed)
     }
+
+    /// Force the counter to a specific value (recovery only): committed
+    /// `NEXTVAL` draws are replayed from commit records so a recovered
+    /// sequence never re-issues a value a committed transaction consumed.
+    pub fn set_current(&self, value: i64) {
+        self.next.store(value, Ordering::Relaxed);
+    }
 }
 
 /// A named stored query (`CREATE VIEW`).
@@ -135,6 +142,13 @@ impl Catalog {
     /// Advance the schema epoch, invalidating every compiled plan.
     fn bump_epoch(&mut self) {
         self.epoch += 1;
+    }
+
+    /// Force the schema epoch (recovery only): a recovered catalog takes
+    /// an epoch strictly above everything the log ever saw, so any plan
+    /// bound before the crash re-binds on its next use.
+    pub(crate) fn force_epoch(&mut self, epoch: u64) {
+        self.epoch = self.epoch.max(epoch);
     }
 
     // ------------------------------------------------------------- tables
@@ -393,6 +407,19 @@ impl Catalog {
     /// Does a sequence exist?
     pub fn has_sequence(&self, name: &str) -> bool {
         self.sequences.contains_key(&key(name))
+    }
+
+    /// Snapshot of every sequence as `(name, current, increment)`,
+    /// sorted by name. Commit records and checkpoints carry this so
+    /// committed `NEXTVAL` draws survive a crash.
+    pub fn sequence_states(&self) -> Vec<(String, i64, i64)> {
+        let mut states: Vec<(String, i64, i64)> = self
+            .sequences
+            .values()
+            .map(|s| (s.name.clone(), s.peek(), s.increment))
+            .collect();
+        states.sort();
+        states
     }
 
     // ------------------------------------------------------------- procedures

@@ -8,12 +8,20 @@ use std::sync::Arc;
 use crate::ast::Statement;
 use crate::catalog::Catalog;
 use crate::error::{SqlError, SqlResult};
-use crate::fault::{FaultInjector, FaultPlan};
+use crate::fault::{crashed_error, CrashPoint, FaultInjector, FaultPlan};
 use crate::parser::{parse_script, parse_statement};
 use crate::plan::CompiledPlan;
 use crate::sync::{Mutex, RwLock};
 use crate::txn::UndoLog;
 use crate::types::Value;
+use crate::wal::{self, AppendMode, FileLogStore, LogStore, Wal, WalRecord};
+
+/// Process-wide database instance counter. Each [`Database`] gets a
+/// unique tag; compiled-plan slots are keyed by `(tag, epoch)` so a plan
+/// bound by one instance can never satisfy another — in particular, a
+/// plan bound before a crash is never served to the recovered instance
+/// (whose epoch counter restarts from what the log happened to record).
+static GLOBAL_DB_TAG: AtomicU64 = AtomicU64::new(1);
 
 /// A materialized query result: column names plus a row grid.
 #[derive(Debug, Clone, PartialEq)]
@@ -180,6 +188,15 @@ pub struct DbStats {
     /// Circuit-breaker trips reported by the recovery layer (via
     /// [`Database::note_breaker_trip`]).
     pub breaker_trips: u64,
+    /// WAL append batches written (one per logged statement or commit).
+    pub wal_appends: u64,
+    /// Bytes appended to the write-ahead log (checkpoints included).
+    pub wal_bytes: u64,
+    /// Checkpoints completed.
+    pub checkpoints: u64,
+    /// Crash recoveries this instance was born from (0 or 1: a recovered
+    /// database is a fresh instance; counters do not leak across reopen).
+    pub recoveries: u64,
 }
 
 /// A parsed statement plus the catalog object names it references —
@@ -189,10 +206,13 @@ pub(crate) struct CachedStmt {
     pub(crate) stmt: Statement,
     /// Lowercased referenced object names, for DDL invalidation.
     objects: Vec<String>,
-    /// The compiled plan, tagged with the catalog epoch it was bound
-    /// against. Any DDL bumps the epoch, so a stale plan is never
-    /// executed — it is silently re-bound on the next use.
-    plan: Mutex<Option<(u64, Arc<CompiledPlan>)>>,
+    /// The compiled plan, tagged with the database instance tag and the
+    /// catalog epoch it was bound against. Any DDL bumps the epoch, so a
+    /// stale plan is never executed — it is silently re-bound on the next
+    /// use. The instance tag guards the cross-instance case: epochs are
+    /// per-catalog counters, so after crash recovery (a new instance) an
+    /// epoch match alone would be meaningless.
+    plan: Mutex<Option<(u64, u64, Arc<CompiledPlan>)>>,
 }
 
 /// Bounded LRU map from SQL text to parsed plan. Recency is tracked with
@@ -255,6 +275,12 @@ impl StmtCache {
 
 struct DbInner {
     name: String,
+    /// Unique instance tag (see [`GLOBAL_DB_TAG`]).
+    tag: u64,
+    /// The write-ahead log, when this database is durable.
+    wal: Option<Wal>,
+    /// 1 when this instance was born from [`Database::recover`].
+    recovery_counter: AtomicU64,
     catalog: RwLock<Catalog>,
     stmt_cache: Mutex<StmtCache>,
     stmt_counter: AtomicU64,
@@ -297,11 +323,13 @@ impl std::fmt::Debug for Database {
 const STMT_CACHE_CAPACITY: usize = 256;
 
 impl Database {
-    /// Create an empty database.
-    pub fn new(name: impl Into<String>) -> Database {
+    fn build(name: String, wal: Option<Wal>) -> Database {
         Database {
             inner: Arc::new(DbInner {
-                name: name.into(),
+                name,
+                tag: GLOBAL_DB_TAG.fetch_add(1, Ordering::Relaxed),
+                wal,
+                recovery_counter: AtomicU64::new(0),
                 catalog: RwLock::new(Catalog::new()),
                 stmt_cache: Mutex::new(StmtCache::new(STMT_CACHE_CAPACITY)),
                 stmt_counter: AtomicU64::new(0),
@@ -318,6 +346,92 @@ impl Database {
                 breaker_counter: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// Create an empty, purely in-memory database (no durability).
+    pub fn new(name: impl Into<String>) -> Database {
+        Database::build(name.into(), None)
+    }
+
+    /// Create an empty database whose writes are logged to `store`.
+    /// The store is assumed empty (or disposable): use
+    /// [`Database::recover`] to resurrect an existing log.
+    pub fn with_wal(name: impl Into<String>, store: Arc<dyn LogStore>) -> Database {
+        Database::build(name.into(), Some(Wal::new(store, 1, 1)))
+    }
+
+    /// Open (or create) a file-backed durable database: recovers whatever
+    /// the log at `path` holds — nothing, a clean history, or the torn
+    /// tail of a crash — and continues logging to it.
+    pub fn open_durable(
+        name: impl Into<String>,
+        path: impl Into<std::path::PathBuf>,
+    ) -> SqlResult<Database> {
+        Database::recover(name, Arc::new(FileLogStore::new(path)))
+    }
+
+    /// Rebuild a database from its log alone. The in-memory state of the
+    /// instance that wrote the log is deliberately not consulted — this
+    /// is the crash path. Replays committed transactions, rolls back
+    /// uncommitted ones, discards any torn tail, then writes a fresh
+    /// checkpoint so the log is compact going forward.
+    pub fn recover(name: impl Into<String>, store: Arc<dyn LogStore>) -> SqlResult<Database> {
+        let bytes = store.read_all()?;
+        let outcome = wal::replay(&bytes);
+        let db = Database::build(
+            name.into(),
+            Some(Wal::new(store, outcome.next_lsn, outcome.next_txn)),
+        );
+        *db.inner.catalog.write() = outcome.catalog;
+        db.inner.recovery_counter.store(1, Ordering::Relaxed);
+        db.checkpoint()?;
+        Ok(db)
+    }
+
+    /// Is a write-ahead log attached?
+    pub fn wal_enabled(&self) -> bool {
+        self.inner.wal.is_some()
+    }
+
+    /// The attached log store, if any — tests keep a handle so they can
+    /// recover from the bytes a "crashed" instance left behind.
+    pub fn log_store(&self) -> Option<Arc<dyn LogStore>> {
+        self.inner.wal.as_ref().map(|w| w.store())
+    }
+
+    /// Compact the log into a single catalog snapshot record.
+    ///
+    /// Requires quiescence: fails with a `txn` error while any explicit
+    /// transaction has logged records without a terminator (its undo
+    /// information lives only in the log being replaced). Auto-commit
+    /// statements are invisible here — each is fully terminated by its
+    /// own append.
+    pub fn checkpoint(&self) -> SqlResult<()> {
+        let Some(wal) = &self.inner.wal else {
+            return Ok(());
+        };
+        let catalog = self.inner.catalog.write();
+        if wal.active_txns() > 0 {
+            return Err(SqlError::Txn(
+                "cannot checkpoint while explicit transactions are open".into(),
+            ));
+        }
+        let injector = self.inner.injector.lock().clone();
+        if let Some(inj) = &injector {
+            if inj.frozen() {
+                return Err(crashed_error());
+            }
+            if inj.on_checkpoint() {
+                // Crash mid-checkpoint: half of the snapshot record lands
+                // *appended* after the intact history (modelling death
+                // before the atomic swap), then the process freezes.
+                // Recovery must fall back to the pre-checkpoint history.
+                wal.write_checkpoint(&catalog, true)?;
+                inj.deliver_crash();
+                return Err(crashed_error());
+            }
+        }
+        wal.write_checkpoint(&catalog, false)
     }
 
     /// Install a fault plan (or clear it with `None`). Replacing an
@@ -435,6 +549,7 @@ impl Database {
             id,
             txn: std::cell::RefCell::new(None),
             temp_tables: std::cell::RefCell::new(Vec::new()),
+            wal_txn: std::cell::Cell::new(None),
         }
     }
 
@@ -479,6 +594,20 @@ impl Database {
             retries: self.inner.retry_counter.load(Ordering::Relaxed),
             rollbacks: self.inner.rollback_counter.load(Ordering::Relaxed),
             breaker_trips: self.inner.breaker_counter.load(Ordering::Relaxed),
+            wal_appends: self.inner.wal.as_ref().map(|w| w.appends()).unwrap_or(0),
+            wal_bytes: self
+                .inner
+                .wal
+                .as_ref()
+                .map(|w| w.bytes_written())
+                .unwrap_or(0),
+            checkpoints: self
+                .inner
+                .wal
+                .as_ref()
+                .map(|w| w.checkpoints())
+                .unwrap_or(0),
+            recoveries: self.inner.recovery_counter.load(Ordering::Relaxed),
         }
     }
 
@@ -519,6 +648,10 @@ pub struct Connection {
     id: u64,
     txn: std::cell::RefCell<Option<UndoLog>>,
     temp_tables: std::cell::RefCell<Vec<String>>,
+    /// WAL transaction id of the open explicit transaction, allocated
+    /// lazily on its first logged write (read-only transactions never
+    /// touch the log).
+    wal_txn: std::cell::Cell<Option<u64>>,
 }
 
 impl std::fmt::Debug for Connection {
@@ -624,16 +757,135 @@ impl Connection {
     /// with a catalog lock held so the epoch cannot move underneath.
     fn compiled_plan(&self, cached: &CachedStmt, catalog: &Catalog) -> Arc<CompiledPlan> {
         let epoch = catalog.epoch();
+        let tag = self.db.inner.tag;
         let mut slot = cached.plan.lock();
-        if let Some((bound_at, plan)) = slot.as_ref() {
-            if *bound_at == epoch {
+        if let Some((bound_tag, bound_at, plan)) = slot.as_ref() {
+            if *bound_tag == tag && *bound_at == epoch {
                 return Arc::clone(plan);
             }
         }
         catalog.note_plan_bind();
         let plan = Arc::new(crate::plan::compile(catalog, &cached.stmt));
-        *slot = Some((epoch, Arc::clone(&plan)));
+        *slot = Some((tag, epoch, Arc::clone(&plan)));
         plan
+    }
+
+    /// Log a successful mutating statement to the WAL, before its success
+    /// is acknowledged to the caller. Must run while the statement's
+    /// exclusive catalog lock is still held, so the after-images derived
+    /// from the scratch undo log are exactly what the statement wrote.
+    ///
+    /// Auto-commit statements append `[Begin, ops…, Commit]` in one
+    /// write; statements inside an explicit transaction append their ops
+    /// under a lazily allocated transaction id whose `Commit`/`Abort`
+    /// arrives with the `COMMIT`/`ROLLBACK` statement.
+    ///
+    /// Armed crash points fire here: `AfterLog` appends everything then
+    /// kills the process (the statement is durable but its caller never
+    /// learns); `MidApply` tears the final record mid-write (the log ends
+    /// in garbage recovery must discard). An error return means the
+    /// caller must treat the statement as failed and undo its in-memory
+    /// effects.
+    fn wal_log_statement(&self, catalog: &Catalog, scratch: &UndoLog) -> SqlResult<()> {
+        let injector = self.db.inner.injector.lock().clone();
+        if let Some(inj) = &injector {
+            if inj.frozen() {
+                return Err(crashed_error());
+            }
+        }
+        let armed = injector.as_ref().and_then(|i| i.take_armed_crash());
+        let Some(wal) = self.db.inner.wal.as_ref() else {
+            // No log attached: a crash point still kills the process —
+            // there is simply nothing durable to come back to.
+            if armed.is_some() {
+                if let Some(inj) = &injector {
+                    inj.deliver_crash();
+                }
+                return Err(crashed_error());
+            }
+            return Ok(());
+        };
+        let ops = wal::ops_from_undo(catalog, scratch.ops());
+        if ops.is_empty() && armed.is_none() {
+            return Ok(());
+        }
+        let in_txn = self.txn.borrow().is_some();
+        let mut records = Vec::with_capacity(ops.len() + 2);
+        let txn_id = if in_txn {
+            match self.wal_txn.get() {
+                Some(id) => id,
+                None => {
+                    let id = wal.alloc_txn();
+                    self.wal_txn.set(Some(id));
+                    records.push(WalRecord::Begin { txn: id });
+                    wal.note_txn_open();
+                    id
+                }
+            }
+        } else {
+            let id = wal.alloc_txn();
+            records.push(WalRecord::Begin { txn: id });
+            id
+        };
+        for op in ops {
+            records.push(WalRecord::Op { txn: txn_id, op });
+        }
+        if !in_txn {
+            records.push(WalRecord::Commit {
+                txn: txn_id,
+                epoch: catalog.epoch(),
+                sequences: catalog.sequence_states(),
+            });
+        }
+        match armed {
+            None => wal.append(&records, AppendMode::Full),
+            Some(CrashPoint::AfterLog) => {
+                wal.append(&records, AppendMode::Full)?;
+                if let Some(inj) = &injector {
+                    inj.deliver_crash();
+                }
+                Err(crashed_error())
+            }
+            Some(CrashPoint::MidApply) => {
+                wal.append(&records, AppendMode::Torn)?;
+                if let Some(inj) = &injector {
+                    inj.deliver_crash();
+                }
+                Err(crashed_error())
+            }
+            // These are delivered at the statement gate / checkpoint and
+            // never reach the armed state; treat defensively as a crash
+            // before any append.
+            Some(CrashPoint::BeforeLog | CrashPoint::DuringCheckpoint) => {
+                if let Some(inj) = &injector {
+                    inj.deliver_crash();
+                }
+                Err(crashed_error())
+            }
+        }
+    }
+
+    /// Append the `Abort` terminator for this connection's logged
+    /// transaction, if any. Skipped silently when the process is frozen
+    /// (crashed): recovery treats the unterminated transaction as a
+    /// loser and rolls it back from the log — same outcome.
+    fn wal_abort(&self) {
+        let Some(wal) = self.db.inner.wal.as_ref() else {
+            return;
+        };
+        if let Some(id) = self.wal_txn.take() {
+            let frozen = self
+                .db
+                .inner
+                .injector
+                .lock()
+                .as_ref()
+                .is_some_and(|i| i.frozen());
+            if !frozen {
+                let _ = wal.append(&[WalRecord::Abort { txn: id }], AppendMode::Full);
+            }
+            wal.note_txn_closed();
+        }
     }
 
     /// Execute through the compiled plan when one applies; otherwise
@@ -699,6 +951,14 @@ impl Connection {
                     .unwrap_or_else(|payload| Err(Self::panic_error(payload)));
                 match result {
                     Ok(n) => {
+                        if let Err(e) = self.wal_log_statement(&catalog, &scratch) {
+                            // The write never became durable; statement
+                            // atomicity demands its in-memory effects go too.
+                            scratch.rollback(&mut catalog);
+                            self.db.note_rollback();
+                            Self::invalidate_plan_slot(cached);
+                            return Err(e);
+                        }
                         if let Some(txn) = self.txn.borrow_mut().as_mut() {
                             txn.absorb(scratch);
                         }
@@ -771,9 +1031,36 @@ impl Connection {
                 Ok(StatementResult::TxnControl)
             }
             Statement::Commit => {
+                // A frozen (crashed) process must not acknowledge a
+                // commit: the terminator would never reach the log.
+                if self
+                    .db
+                    .inner
+                    .injector
+                    .lock()
+                    .as_ref()
+                    .is_some_and(|i| i.frozen())
+                {
+                    return Err(crashed_error());
+                }
                 let mut txn = self.txn.borrow_mut();
                 if txn.take().is_none() {
                     return Err(SqlError::Txn("COMMIT without open transaction".into()));
+                }
+                drop(txn);
+                if let Some(wal) = self.db.inner.wal.as_ref() {
+                    if let Some(id) = self.wal_txn.take() {
+                        let catalog = self.db.inner.catalog.read();
+                        wal.append(
+                            &[WalRecord::Commit {
+                                txn: id,
+                                epoch: catalog.epoch(),
+                                sequences: catalog.sequence_states(),
+                            }],
+                            AppendMode::Full,
+                        )?;
+                        wal.note_txn_closed();
+                    }
                 }
                 Ok(StatementResult::TxnControl)
             }
@@ -786,6 +1073,8 @@ impl Connection {
                 let mut catalog = self.db.inner.catalog.write();
                 log.rollback(&mut catalog);
                 self.db.note_rollback();
+                drop(catalog);
+                self.wal_abort();
                 Ok(StatementResult::TxnControl)
             }
             Statement::Select(s) => {
@@ -810,6 +1099,13 @@ impl Connection {
                 .unwrap_or_else(|payload| Err(Self::panic_error(payload)));
                 match exec_result {
                     Ok(result) => {
+                        if let Err(e) = self.wal_log_statement(&catalog, &scratch) {
+                            // The write never became durable; statement
+                            // atomicity demands its in-memory effects go too.
+                            scratch.rollback(&mut catalog);
+                            self.db.note_rollback();
+                            return Err(e);
+                        }
                         if let StatementResult::Rows(rs) = &result {
                             self.db
                                 .inner
@@ -865,6 +1161,8 @@ impl Connection {
             let mut catalog = self.db.inner.catalog.write();
             log.rollback(&mut catalog);
             self.db.note_rollback();
+            drop(catalog);
+            self.wal_abort();
         }
     }
 }
@@ -1576,5 +1874,215 @@ mod tests {
         conn.execute("INSERT INTO tmp1 VALUES (1)", &[]).unwrap();
         conn.execute("ROLLBACK", &[]).unwrap();
         assert!(!db.has_table("tmp1"));
+    }
+
+    // ------------------------------------------------------------- WAL
+
+    use crate::wal::MemLogStore;
+
+    fn durable_setup() -> (Database, MemLogStore) {
+        let store = MemLogStore::new();
+        let db = Database::with_wal("d", Arc::new(store.clone()));
+        let conn = db.connect();
+        conn.execute_script(
+            "CREATE TABLE Orders (OrderId INT PRIMARY KEY, ItemId TEXT, Quantity INT);
+             INSERT INTO Orders VALUES (1, 'widget', 10), (2, 'gadget', 7);",
+        )
+        .unwrap();
+        (db, store)
+    }
+
+    #[test]
+    fn recovery_replays_committed_work() {
+        let (db, store) = durable_setup();
+        let conn = db.connect();
+        conn.execute("UPDATE Orders SET Quantity = 99 WHERE OrderId = 1", &[])
+            .unwrap();
+        conn.execute("DELETE FROM Orders WHERE OrderId = 2", &[])
+            .unwrap();
+        drop(conn);
+        drop(db); // the "crash": in-memory state is gone
+
+        let db2 = Database::recover("d", Arc::new(store)).unwrap();
+        assert_eq!(db2.stats().recoveries, 1);
+        let c2 = db2.connect();
+        let rs = c2
+            .query("SELECT OrderId, Quantity FROM Orders ORDER BY OrderId", &[])
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(1), Value::Int(99)]]);
+        // Row-id allocation continues where the original left off.
+        c2.execute("INSERT INTO Orders VALUES (3, 'sprocket', 1)", &[])
+            .unwrap();
+        assert_eq!(db2.table_len("Orders").unwrap(), 2);
+    }
+
+    #[test]
+    fn recovery_rolls_back_open_transaction() {
+        let (db, store) = durable_setup();
+        let conn = db.connect();
+        conn.execute("BEGIN", &[]).unwrap();
+        conn.execute("DELETE FROM Orders", &[]).unwrap();
+        conn.execute("INSERT INTO Orders VALUES (9, 'x', 1)", &[])
+            .unwrap();
+        // No COMMIT: simulate the process dying here by never terminating
+        // the logged transaction (std::mem::forget keeps Drop's rollback
+        // terminator off the log, exactly like a kill -9).
+        std::mem::forget(conn);
+        drop(db);
+
+        let db2 = Database::recover("d", Arc::new(store)).unwrap();
+        let c2 = db2.connect();
+        let rs = c2.query("SELECT COUNT(*) FROM Orders", &[]).unwrap();
+        assert_eq!(rs.single_value().unwrap(), &Value::Int(2));
+    }
+
+    #[test]
+    fn recovery_honours_explicit_commit_and_abort() {
+        let (db, store) = durable_setup();
+        let conn = db.connect();
+        conn.execute("BEGIN", &[]).unwrap();
+        conn.execute("UPDATE Orders SET Quantity = 1 WHERE OrderId = 1", &[])
+            .unwrap();
+        conn.execute("COMMIT", &[]).unwrap();
+        conn.execute("BEGIN", &[]).unwrap();
+        conn.execute("UPDATE Orders SET Quantity = 555 WHERE OrderId = 2", &[])
+            .unwrap();
+        conn.execute("ROLLBACK", &[]).unwrap();
+        drop(conn);
+        drop(db);
+
+        let db2 = Database::recover("d", Arc::new(store)).unwrap();
+        let c2 = db2.connect();
+        let rs = c2
+            .query("SELECT Quantity FROM Orders ORDER BY OrderId", &[])
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(1)], vec![Value::Int(7)]]);
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_preserves_state() {
+        let (db, store) = durable_setup();
+        let size_before = db.log_store().unwrap().size().unwrap();
+        db.checkpoint().unwrap();
+        assert_eq!(db.stats().checkpoints, 1);
+        let conn = db.connect();
+        conn.execute("INSERT INTO Orders VALUES (3, 's', 4)", &[])
+            .unwrap();
+        drop(conn);
+        drop(db);
+        let db2 = Database::recover("d", Arc::new(store)).unwrap();
+        assert_eq!(db2.table_len("Orders").unwrap(), 3);
+        let _ = size_before;
+    }
+
+    #[test]
+    fn checkpoint_refused_with_open_transaction() {
+        let (db, _store) = durable_setup();
+        let conn = db.connect();
+        conn.execute("BEGIN", &[]).unwrap();
+        conn.execute("INSERT INTO Orders VALUES (3, 's', 4)", &[])
+            .unwrap();
+        assert_eq!(db.checkpoint().unwrap_err().class(), "txn");
+        conn.execute("COMMIT", &[]).unwrap();
+        db.checkpoint().unwrap();
+    }
+
+    #[test]
+    fn sequences_survive_recovery() {
+        let (db, store) = durable_setup();
+        let conn = db.connect();
+        conn.execute("CREATE SEQUENCE ids START WITH 100", &[])
+            .unwrap();
+        // Draw two values inside a logged write so the commit record
+        // carries the advanced counter.
+        conn.execute("INSERT INTO Orders VALUES (NEXTVAL('ids'), 'a', 1)", &[])
+            .unwrap();
+        conn.execute("INSERT INTO Orders VALUES (NEXTVAL('ids'), 'b', 1)", &[])
+            .unwrap();
+        drop(conn);
+        drop(db);
+        let db2 = Database::recover("d", Arc::new(store)).unwrap();
+        let c2 = db2.connect();
+        // The recovered sequence must not re-issue 100 or 101.
+        c2.execute("INSERT INTO Orders VALUES (NEXTVAL('ids'), 'c', 1)", &[])
+            .unwrap();
+        let rs = c2.query("SELECT MAX(OrderId) FROM Orders", &[]).unwrap();
+        assert_eq!(rs.single_value().unwrap(), &Value::Int(102));
+    }
+
+    #[test]
+    fn temp_tables_not_logged_or_recovered() {
+        let (db, store) = durable_setup();
+        let conn = db.connect();
+        conn.execute("CREATE TEMP TABLE scratch (v INT)", &[])
+            .unwrap();
+        conn.execute("INSERT INTO scratch VALUES (1)", &[]).unwrap();
+        std::mem::forget(conn);
+        drop(db);
+        let db2 = Database::recover("d", Arc::new(store)).unwrap();
+        assert!(!db2.has_table("scratch"));
+        assert!(db2.has_table("Orders"));
+    }
+
+    #[test]
+    fn stale_prepared_plan_rebinds_on_recovered_instance() {
+        // Regression (cross-instance plan reuse): a Prepared bound on the
+        // pre-crash instance must re-bind — not execute a stale plan —
+        // when run against the recovered instance, even if the two
+        // catalogs happen to be at the same epoch number.
+        let (db, store) = durable_setup();
+        let conn = db.connect();
+        let p = conn
+            .prepare("UPDATE Orders SET Quantity = Quantity + 1 WHERE OrderId = ?")
+            .unwrap();
+        conn.execute_prepared(&p, &[Value::Int(1)]).unwrap();
+        drop(conn);
+        drop(db);
+
+        let db2 = Database::recover("d", Arc::new(store)).unwrap();
+        let binds_before = db2.stats().plan_binds;
+        let c2 = db2.connect();
+        c2.execute_prepared(&p, &[Value::Int(1)]).unwrap();
+        assert!(db2.stats().plan_binds > binds_before);
+        let rs = c2
+            .query("SELECT Quantity FROM Orders WHERE OrderId = 1", &[])
+            .unwrap();
+        assert_eq!(rs.single_value().unwrap(), &Value::Int(12));
+    }
+
+    #[test]
+    fn wal_counters_reported() {
+        let (db, _store) = durable_setup();
+        let stats = db.stats();
+        assert!(stats.wal_appends >= 2);
+        assert!(stats.wal_bytes > 0);
+        assert_eq!(stats.recoveries, 0);
+    }
+
+    #[test]
+    fn file_backed_database_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "sqlkernel_wal_test_{}_{}",
+            std::process::id(),
+            GLOBAL_DB_TAG.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.wal");
+        {
+            let db = Database::open_durable("f", &path).unwrap();
+            let conn = db.connect();
+            conn.execute("CREATE TABLE T (a INT PRIMARY KEY)", &[])
+                .unwrap();
+            conn.execute("INSERT INTO T VALUES (1), (2)", &[]).unwrap();
+        }
+        {
+            let db = Database::open_durable("f", &path).unwrap();
+            assert_eq!(db.table_len("T").unwrap(), 2);
+            let conn = db.connect();
+            conn.execute("INSERT INTO T VALUES (3)", &[]).unwrap();
+        }
+        let db = Database::open_durable("f", &path).unwrap();
+        assert_eq!(db.table_len("T").unwrap(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -34,6 +34,11 @@ pub enum SqlError {
     /// effect — its partial work was rolled back — so retrying the same
     /// statement is safe and is expected to eventually succeed.
     Transient(String),
+    /// The process hosting the database "died" (crash fault injection).
+    /// Unlike [`SqlError::Transient`], this is **not** retryable on the
+    /// same handle: every subsequent statement fails the same way until
+    /// the database is re-opened from its log via recovery.
+    Crashed(String),
 }
 
 impl SqlError {
@@ -51,6 +56,7 @@ impl SqlError {
             SqlError::Runtime(_) => "runtime",
             SqlError::Connection(_) => "connection",
             SqlError::Transient(_) => "transient",
+            SqlError::Crashed(_) => "crashed",
         }
     }
 
@@ -76,6 +82,7 @@ impl fmt::Display for SqlError {
             SqlError::Runtime(m) => write!(f, "runtime error: {m}"),
             SqlError::Connection(m) => write!(f, "connection error: {m}"),
             SqlError::Transient(m) => write!(f, "transient error: {m}"),
+            SqlError::Crashed(m) => write!(f, "crashed: {m}"),
         }
     }
 }
@@ -107,6 +114,7 @@ mod tests {
             SqlError::Runtime(String::new()),
             SqlError::Connection(String::new()),
             SqlError::Transient(String::new()),
+            SqlError::Crashed(String::new()),
         ];
         let mut classes: Vec<_> = all.iter().map(|e| e.class()).collect();
         classes.sort_unstable();

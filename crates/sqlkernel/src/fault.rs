@@ -20,11 +20,18 @@
 //! there — which is exactly how "fails k times, then succeeds"
 //! schedules are written.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::error::{SqlError, SqlResult};
 use crate::sync::Mutex;
+
+/// The error every statement surfaces once the injector is frozen by a
+/// crash fault. Deliberately **not** transient: a retry loop must stop —
+/// the "process" is dead, and only recovery from the log brings it back.
+pub fn crashed_error() -> SqlError {
+    SqlError::Crashed("process killed by fault injection".into())
+}
 
 /// SplitMix64: tiny, seedable, statistically solid for fault schedules.
 /// Kept in-tree (the kernel has no dependencies, and the bench crate's
@@ -97,6 +104,28 @@ impl TransientKind {
     }
 }
 
+/// Where, relative to the write-ahead log protocol, a scripted crash
+/// kills the process. The point determines what the log contains when
+/// recovery later reads it — which is the whole observable difference
+/// between the variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Die before the statement's records reach the log: recovery sees
+    /// nothing of the statement, as if it never ran.
+    BeforeLog,
+    /// Die after the records are durably appended but "before" the
+    /// in-memory apply is acknowledged: recovery replays the statement.
+    AfterLog,
+    /// Die mid-append, leaving a torn record at the log tail: recovery
+    /// must detect the tear and truncate at the first corrupt record.
+    MidApply,
+    /// Die while a checkpoint is being written (scheduled via
+    /// [`FaultPlan::crash_at_checkpoint`], not by statement index): the
+    /// partial snapshot lands after the intact old log, and recovery
+    /// must fall back to the previous consistent state.
+    DuringCheckpoint,
+}
+
 /// One injectable fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
@@ -114,6 +143,12 @@ pub enum Fault {
     PanicAfterRows { rows: u64 },
     /// Succeed, but advance the virtual clock by `ticks` first.
     SlowQuery { ticks: u64 },
+    /// Kill the process at the given WAL protocol point. `BeforeLog`
+    /// fires at the statement gate (any statement); `AfterLog` and
+    /// `MidApply` are armed here and consumed by the WAL append path,
+    /// so they only bite statements that actually log (DML/DDL) — on a
+    /// read they die unfired, like an unreached row fault.
+    Crash(CrashPoint),
 }
 
 /// A deterministic fault schedule: scripted faults pinned to statement
@@ -122,6 +157,9 @@ pub enum Fault {
 pub struct FaultPlan {
     seed: u64,
     scripted: Vec<(u64, Fault)>,
+    /// Checkpoint indices (0-based, counted per checkpoint attempt) at
+    /// which a [`CrashPoint::DuringCheckpoint`] crash fires.
+    checkpoint_crashes: Vec<u64>,
     transient_rate: f64,
     slow_rate: f64,
     slow_ticks: u64,
@@ -158,6 +196,14 @@ impl FaultPlan {
         self.slow_ticks = ticks;
         self
     }
+
+    /// Crash the process while the `checkpoint_index`-th checkpoint (per
+    /// this injector, 0-based) is being written. Consumed when it fires,
+    /// like statement-scripted faults.
+    pub fn crash_at_checkpoint(mut self, checkpoint_index: u64) -> FaultPlan {
+        self.checkpoint_crashes.push(checkpoint_index);
+        self
+    }
 }
 
 /// A row-level fault armed by the statement gate, consumed by the
@@ -173,10 +219,15 @@ struct InjectorState {
     rng: SplitMix64,
     /// Scripted faults not yet fired, keyed by statement index.
     scripted: HashMap<u64, Fault>,
+    /// Checkpoint crashes not yet fired, keyed by checkpoint index.
+    checkpoint_crashes: HashSet<u64>,
     /// Row fault armed for the statement currently executing.
     row_fault: Option<ArmedRowFault>,
     /// After-bind fault armed for the statement currently executing.
     after_bind: Option<TransientKind>,
+    /// Crash point armed for the statement currently executing, consumed
+    /// by the WAL append path.
+    armed_crash: Option<CrashPoint>,
 }
 
 /// The injector installed on a [`crate::Database`]. Thread-safe; the
@@ -193,12 +244,19 @@ pub struct FaultInjector {
     passive: bool,
     /// Next statement index to be assigned by the gate.
     next_index: AtomicU64,
+    /// Next checkpoint index to be assigned by the checkpoint hook.
+    next_checkpoint: AtomicU64,
     state: Mutex<InjectorState>,
     /// Faults actually delivered (transients, torn rows, panics, slow ticks).
     injected: AtomicU64,
     /// Virtual clock, advanced by slow-query faults (and by the retry
     /// layer above, which shares the same notion of time).
     ticks: AtomicU64,
+    /// Set once a crash fault fires. A frozen injector models a dead
+    /// process: every subsequent gated statement fails with
+    /// [`crashed_error`] and the WAL layer refuses further appends. Only
+    /// [`crate::Database::recover`] (a fresh database) escapes.
+    frozen: AtomicBool,
 }
 
 impl FaultInjector {
@@ -209,18 +267,58 @@ impl FaultInjector {
             slow_rate: plan.slow_rate,
             slow_ticks: plan.slow_ticks,
             passive: plan.scripted.is_empty()
+                && plan.checkpoint_crashes.is_empty()
                 && plan.transient_rate <= 0.0
                 && plan.slow_rate <= 0.0,
             next_index: AtomicU64::new(0),
+            next_checkpoint: AtomicU64::new(0),
             state: Mutex::new(InjectorState {
                 rng: SplitMix64::new(plan.seed),
                 scripted: plan.scripted.into_iter().collect(),
+                checkpoint_crashes: plan.checkpoint_crashes.into_iter().collect(),
                 row_fault: None,
                 after_bind: None,
+                armed_crash: None,
             }),
             injected: AtomicU64::new(0),
             ticks: AtomicU64::new(0),
+            frozen: AtomicBool::new(false),
         }
+    }
+
+    /// Has a crash fault fired? A frozen injector means the "process"
+    /// hosting this database is dead; only the log survives.
+    pub fn frozen(&self) -> bool {
+        self.frozen.load(Ordering::Relaxed)
+    }
+
+    /// Mark the crash as delivered: freeze the injector and count the
+    /// fault. Called by the WAL layer after it has staged whatever bytes
+    /// the crash point lets reach the log.
+    pub fn deliver_crash(&self) {
+        self.frozen.store(true, Ordering::Relaxed);
+        self.injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consume the crash point armed for the current statement, if any.
+    /// The caller (the WAL append path) decides how many bytes reach the
+    /// log, then calls [`FaultInjector::deliver_crash`].
+    pub fn take_armed_crash(&self) -> Option<CrashPoint> {
+        if self.passive {
+            return None;
+        }
+        self.state.lock().armed_crash.take()
+    }
+
+    /// Checkpoint hook: called once per checkpoint attempt. Returns true
+    /// when this checkpoint is scheduled to crash mid-write (consumed on
+    /// fire, like scripted statement faults).
+    pub fn on_checkpoint(&self) -> bool {
+        let index = self.next_checkpoint.fetch_add(1, Ordering::Relaxed);
+        if self.passive {
+            return false;
+        }
+        self.state.lock().checkpoint_crashes.remove(&index)
     }
 
     /// Faults delivered so far.
@@ -249,12 +347,16 @@ impl FaultInjector {
             // Nothing can ever fire and nothing was ever armed.
             return Ok(());
         }
+        if self.frozen() {
+            return Err(crashed_error());
+        }
         let mut st = self.state.lock();
         // A fault armed for a previous statement that never reached its
         // trigger point (e.g. torn-row fault on a statement that matched
         // fewer rows) dies here rather than leaking onto this statement.
         st.row_fault = None;
         st.after_bind = None;
+        st.armed_crash = None;
 
         let fault = match st.scripted.remove(&index) {
             Some(f) => Some(f),
@@ -298,6 +400,18 @@ impl FaultInjector {
             Some(Fault::SlowQuery { ticks }) => {
                 self.injected.fetch_add(1, Ordering::Relaxed);
                 self.ticks.fetch_add(ticks, Ordering::Relaxed);
+                Ok(())
+            }
+            // BeforeLog (and a DuringCheckpoint misfiled onto a statement
+            // index) kills right here: nothing of the statement reaches
+            // the log, whatever kind of statement it is.
+            Some(Fault::Crash(CrashPoint::BeforeLog | CrashPoint::DuringCheckpoint)) => {
+                drop(st);
+                self.deliver_crash();
+                Err(crashed_error())
+            }
+            Some(Fault::Crash(point)) => {
+                st.armed_crash = Some(point);
                 Ok(())
             }
         }

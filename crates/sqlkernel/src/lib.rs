@@ -50,9 +50,13 @@ pub mod sync;
 pub mod token;
 pub mod txn;
 pub mod types;
+pub mod wal;
 
 pub use db::{Connection, Database, DbStats, Prepared, QueryResult, StatementResult};
 pub use error::{SqlError, SqlResult};
-pub use fault::{Fault, FaultInjector, FaultPlan, SplitMix64, TransientKind};
+pub use fault::{
+    crashed_error, CrashPoint, Fault, FaultInjector, FaultPlan, SplitMix64, TransientKind,
+};
 pub use schema::{Column, TableSchema};
 pub use types::{DataType, Value};
+pub use wal::{FileLogStore, LogStore, MemLogStore};

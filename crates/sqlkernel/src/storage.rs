@@ -450,6 +450,26 @@ impl Table {
     pub fn index_names(&self) -> Vec<String> {
         self.indexes.iter().map(|i| i.name.clone()).collect()
     }
+
+    /// Iterate index definitions (name, column positions, uniqueness) —
+    /// used by checkpoint serialization, which must rebuild the exact
+    /// index set on recovery.
+    pub fn index_iter(&self) -> impl Iterator<Item = &Index> {
+        self.indexes.iter()
+    }
+
+    /// The row id the next insert will take. Serialized by checkpoints so
+    /// a recovered table allocates ids exactly as the original would
+    /// have — recovery must be byte-identical, row ids included.
+    pub fn next_row_id(&self) -> RowId {
+        self.next_row_id
+    }
+
+    /// Restore the row-id allocator (recovery only). Never moves it
+    /// backwards: ids already in use stay unreachable.
+    pub fn set_next_row_id(&mut self, next: RowId) {
+        self.next_row_id = self.next_row_id.max(next);
+    }
 }
 
 #[cfg(test)]

@@ -90,6 +90,12 @@ impl UndoLog {
         self.ops.is_empty()
     }
 
+    /// The recorded entries in apply order — the WAL derives its redo
+    /// records from a successful statement's scratch log.
+    pub fn ops(&self) -> &[UndoOp] {
+        &self.ops
+    }
+
     /// Fold `other` into this log (statement commit inside a transaction).
     pub fn absorb(&mut self, other: UndoLog) {
         self.ops.extend(other.ops);

@@ -27,6 +27,7 @@ pub mod bpel_import;
 pub mod dataset;
 pub mod host;
 pub mod integration;
+pub mod persistence;
 pub mod sample;
 pub mod tracking;
 pub mod xoml;
@@ -39,6 +40,7 @@ pub use bpel_import::{import_bpel, BpelBindings};
 pub use dataset::{DataAdapter, DataRow, DataSet, DataTable, RowState};
 pub use host::{connection_string, parse_connection_string, Provider, WfHost};
 pub use integration::WfProduct;
+pub use persistence::SqlWorkflowPersistenceService;
 pub use sample::figure6_process;
 pub use tracking::TrackingService;
 pub use xoml::{load_xoml, CodeBehind};

@@ -18,4 +18,10 @@ for seed in 20260807 271828 31337; do
   CHAOS_SEED="$seed" cargo test -q --test chaos_exactly_once
 done
 
+# Crash recovery: kill-and-recover schedules across all three stacks
+# (each run adds CRASH_SEED to the three built-in schedule seeds).
+for seed in 20260807 271828 31337; do
+  CRASH_SEED="$seed" cargo test -q --test crash_recovery
+done
+
 echo "verify: OK"
