@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use flowcore::persistence::{DurableProcess, DurableRun, PersistenceService};
 use flowcore::retry::{BreakerConfig, RetryPolicy, RetryRuntime};
+use flowcore::scheduler::InstanceScheduler;
 use flowcore::value::Variables;
 use flowcore::{ActivityContext, ExecutionMode, FlowError, FlowResult, ProcessDefinition};
 use sqlkernel::Value;
@@ -176,9 +177,47 @@ impl BisDeployment {
         initial: &Variables,
     ) -> FlowResult<DurableRun> {
         let db = self.registry.resolve(&connection_string(db_name))?.clone();
-        let service = PersistenceService::new(&db)?;
         let mut rt = self.retry_runtime();
-        service.run(process, instance_key, initial, &mut rt)
+        // The FLOW_INSTANCES bootstrap DDL runs under the same retry
+        // envelope as the steps — a transient on the first statement of
+        // a fresh lifetime must not fail the whole run.
+        let (service, _) = rt.run("persistence:init", Some(&db), || {
+            PersistenceService::new(&db)
+        });
+        service?.run(process, instance_key, initial, &mut rt)
+    }
+
+    /// Drive N durable instances across `scheduler`'s worker pool — the
+    /// BIS analog of WebSphere running many process instances from its
+    /// application-server thread pool.
+    ///
+    /// Step bodies are not `Send`, so each worker builds its own process
+    /// definition via `process(index)` rather than sharing one. Results
+    /// come back in job order. Each job runs exactly as `run_durable`
+    /// would — same dehydration, retry, and breaker behavior — so a
+    /// one-worker scheduler is byte-for-byte equivalent to a sequential
+    /// loop, and N workers are equivalent whenever the instances touch
+    /// disjoint rows (the *multiple parallel instances* pattern the
+    /// paper's products all assume).
+    pub fn run_many_durable<P>(
+        &self,
+        db_name: &str,
+        process: P,
+        instance_keys: &[String],
+        initial: &Variables,
+        scheduler: &InstanceScheduler,
+    ) -> Vec<FlowResult<DurableRun>>
+    where
+        P: Fn(usize) -> DurableProcess + Send + Sync,
+    {
+        // Create FLOW_INSTANCES up front so concurrent first-steppers
+        // never race on the table's DDL.
+        if let Ok(db) = self.registry.resolve(&connection_string(db_name)) {
+            let _ = PersistenceService::new(db);
+        }
+        scheduler.run_indexed(instance_keys.len(), |i| {
+            self.run_durable(db_name, &process(i), &instance_keys[i], initial)
+        })
     }
 
     /// Install this deployment onto a process definition: adds the setup

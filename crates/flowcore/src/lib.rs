@@ -63,6 +63,7 @@ pub mod error;
 pub mod persistence;
 pub mod process;
 pub mod retry;
+pub mod scheduler;
 pub mod service;
 pub mod value;
 
@@ -79,6 +80,7 @@ pub use persistence::{
 };
 pub use process::{CompletedInstance, Outcome, ProcessDefinition};
 pub use retry::{BreakerConfig, BreakerState, RetryPolicy, RetryReport, RetryRuntime};
+pub use scheduler::InstanceScheduler;
 pub use service::{Message, Service, ServiceRegistry};
 pub use value::{OpaqueValue, VarValue, Variables};
 
@@ -100,6 +102,7 @@ pub mod prelude {
     };
     pub use crate::process::{CompletedInstance, Outcome, ProcessDefinition};
     pub use crate::retry::{BreakerConfig, BreakerState, RetryPolicy, RetryReport, RetryRuntime};
+    pub use crate::scheduler::InstanceScheduler;
     pub use crate::service::{Message, Service, ServiceRegistry};
     pub use crate::value::{OpaqueValue, VarValue, Variables};
 }

@@ -16,6 +16,7 @@
 
 use flowcore::persistence::{DurableProcess, DurableRun, PersistenceService};
 use flowcore::retry::RetryRuntime;
+use flowcore::scheduler::InstanceScheduler;
 use flowcore::value::{VarValue, Variables};
 use flowcore::FlowResult;
 use sqlkernel::{Database, Value};
@@ -66,13 +67,53 @@ pub fn run_durable_pages(
     initial_params: &[(String, Value)],
     rt: &mut RetryRuntime,
 ) -> FlowResult<DurableRun> {
-    let service = PersistenceService::new(db)?;
+    // Bootstrap DDL under the retry envelope: a transient on the first
+    // statement of a fresh lifetime must not fail the whole run.
+    let (service, _) = rt.run("persistence:init", Some(db), || PersistenceService::new(db));
+    let service = service?;
     let mut vars = Variables::new();
     for (name, value) in initial_params {
         vars.set(name.clone(), VarValue::Scalar(value.clone()));
     }
     let process = durable_page_process(db, process_name, pages);
     service.run(&process, instance_key, &vars, rt)
+}
+
+/// Run N page-sequence instances across `scheduler`'s worker pool — the
+/// BPEL Process Manager dispatcher pulling many dehydrated instances
+/// from the store at once. `params(index)` supplies each instance's
+/// initial scalar parameters; `runtime(index)` builds each instance's
+/// retry runtime — seed it with the index so jitter is per-instance
+/// deterministic regardless of worker assignment, and size its policy
+/// to the fault environment (the default budget is 4 attempts).
+/// Results come back in job order.
+pub fn run_durable_pages_many<F, R>(
+    db: &Database,
+    process_name: &str,
+    pages: &[(&str, &str)],
+    instance_keys: &[String],
+    params: F,
+    runtime: R,
+    scheduler: &InstanceScheduler,
+) -> Vec<FlowResult<DurableRun>>
+where
+    F: Fn(usize) -> Vec<(String, Value)> + Send + Sync,
+    R: Fn(usize) -> RetryRuntime + Send + Sync,
+{
+    // Create FLOW_INSTANCES before fanning out, so first-step workers
+    // never race on its DDL.
+    let _ = PersistenceService::new(db);
+    scheduler.run_indexed(instance_keys.len(), |i| {
+        let mut rt = runtime(i);
+        run_durable_pages(
+            db,
+            process_name,
+            pages,
+            &instance_keys[i],
+            &params(i),
+            &mut rt,
+        )
+    })
 }
 
 #[cfg(test)]

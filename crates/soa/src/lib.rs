@@ -33,7 +33,7 @@ pub mod xsql;
 
 pub use bpelx::{BpelxAssign, BpelxOp};
 pub use cursor::rowset_while;
-pub use durable::{durable_page_process, run_durable_pages};
+pub use durable::{durable_page_process, run_durable_pages, run_durable_pages_many};
 pub use env::{connection_string, SoaEnvironment};
 pub use functions::{
     get_variable_data, get_variable_node, java_snippet, lookup_table, query_database,

@@ -570,6 +570,23 @@ impl Expr {
         }
     }
 
+    /// Does evaluating this expression run a subquery? Subqueries
+    /// re-enter the catalog's table map, so the fast single-table DML
+    /// path (which evaluates while holding a table guard) must refuse
+    /// statements containing one.
+    pub fn contains_subquery(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(
+                e,
+                Expr::InSubquery { .. } | Expr::Exists { .. } | Expr::ScalarSubquery(_)
+            ) {
+                found = true;
+            }
+        });
+        found
+    }
+
     /// Does this expression (not descending into subqueries) contain an
     /// aggregate function call?
     pub fn contains_aggregate(&self) -> bool {

@@ -103,6 +103,51 @@ impl BoundExpr {
             _ => None,
         }
     }
+
+    /// Does evaluating this expression run a subquery? Subqueries go
+    /// through the interpreted executor and re-enter the catalog's table
+    /// map, so the fast DML path — which evaluates while holding a table
+    /// guard — is only safe for subquery-free statements.
+    pub fn contains_subquery(&self) -> bool {
+        match self {
+            BoundExpr::Const(_)
+            | BoundExpr::Column(_)
+            | BoundExpr::Param(_)
+            | BoundExpr::NamedParam(_) => false,
+            BoundExpr::Unary { expr, .. } | BoundExpr::IsNull { expr, .. } => {
+                expr.contains_subquery()
+            }
+            BoundExpr::Binary { left, right, .. } => {
+                left.contains_subquery() || right.contains_subquery()
+            }
+            BoundExpr::InList { expr, list, .. } => {
+                expr.contains_subquery() || list.iter().any(BoundExpr::contains_subquery)
+            }
+            BoundExpr::InSubquery { .. }
+            | BoundExpr::Exists { .. }
+            | BoundExpr::ScalarSubquery(_) => true,
+            BoundExpr::Between {
+                expr, low, high, ..
+            } => expr.contains_subquery() || low.contains_subquery() || high.contains_subquery(),
+            BoundExpr::Like { expr, pattern, .. } => {
+                expr.contains_subquery() || pattern.contains_subquery()
+            }
+            BoundExpr::Case {
+                operand,
+                branches,
+                else_branch,
+            } => {
+                operand.as_deref().is_some_and(BoundExpr::contains_subquery)
+                    || branches
+                        .iter()
+                        .any(|(w, t)| w.contains_subquery() || t.contains_subquery())
+                    || else_branch
+                        .as_deref()
+                        .is_some_and(BoundExpr::contains_subquery)
+            }
+            BoundExpr::Function { args, .. } => args.iter().any(BoundExpr::contains_subquery),
+        }
+    }
 }
 
 /// Everything a bound expression may need at evaluation time. Unlike

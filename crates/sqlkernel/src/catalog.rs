@@ -10,19 +10,50 @@ use crate::ast::{CreateProcedureStmt, SelectStmt};
 use crate::error::{SqlError, SqlResult};
 use crate::fault::FaultInjector;
 use crate::storage::Table;
+use crate::sync::{TableLock, TableReadGuard, TableWriteGuard};
 
 /// A monotonically advancing sequence generator.
 ///
-/// Like the sequence objects of commercial engines (and unlike row data),
-/// sequence advancement is **non-transactional**: a rolled-back transaction
-/// does not give values back. The counter is atomic so that `NEXTVAL` can
-/// advance from the read-locked (shared) query path: many concurrent
-/// readers still draw unique values.
+/// The counter is atomic so that `NEXTVAL` can advance from the
+/// read-locked (shared) query path: many concurrent readers still draw
+/// unique values. Unlike the sequence objects of commercial engines,
+/// a *failed statement's* (or rolled-back transaction's) draws are given
+/// back when no later draw intervened — see [`draw_mark`]: the engine's
+/// deterministic-retry story requires a retried statement to redraw the
+/// same value. Draws consumed by committed statements are never
+/// re-issued (they ride the WAL commit record).
 #[derive(Debug)]
 pub struct Sequence {
     pub name: String,
     next: AtomicI64,
     pub increment: i64,
+}
+
+thread_local! {
+    /// Journal of `NEXTVAL` draws made by the statement currently
+    /// executing on this thread: `(sequence name, drawn value)` in draw
+    /// order. Statements run start-to-finish on one thread, so the
+    /// journal needs no cross-thread view; the statement entry points
+    /// take a mark on entry and settle the suffix on exit.
+    static DRAW_JOURNAL: std::cell::RefCell<Vec<(String, i64)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Position of this thread's draw journal — take before running a
+/// statement, pass to [`drain_draws`] after.
+pub fn draw_mark() -> usize {
+    DRAW_JOURNAL.with(|j| j.borrow().len())
+}
+
+/// Remove and return every draw journaled since `mark`, in draw order.
+pub fn drain_draws(mark: usize) -> Vec<(String, i64)> {
+    DRAW_JOURNAL.with(|j| {
+        let mut j = j.borrow_mut();
+        if mark >= j.len() {
+            return Vec::new();
+        }
+        j.split_off(mark)
+    })
 }
 
 impl Sequence {
@@ -35,10 +66,29 @@ impl Sequence {
         }
     }
 
-    /// Return the next value and advance.
+    /// Return the next value and advance, journaling the draw for
+    /// statement-failure restoration.
     pub fn next_value(&self) -> i64 {
         // fetch_add wraps on overflow, matching the previous wrapping_add.
-        self.next.fetch_add(self.increment, Ordering::Relaxed)
+        let drawn = self.next.fetch_add(self.increment, Ordering::Relaxed);
+        DRAW_JOURNAL.with(|j| j.borrow_mut().push((self.name.clone(), drawn)));
+        drawn
+    }
+
+    /// Give back a draw: rewind the cursor to `drawn` if — and only if —
+    /// no later draw intervened (compare-and-swap against
+    /// `drawn + increment`). Under concurrent draws from a shared
+    /// sequence the CAS loses and the value stays consumed, which is the
+    /// only safe answer there.
+    pub fn undo_draw(&self, drawn: i64) -> bool {
+        self.next
+            .compare_exchange(
+                drawn.wrapping_add(self.increment),
+                drawn,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            )
+            .is_ok()
     }
 
     /// Peek at the value the next call will return.
@@ -81,9 +131,17 @@ impl From<CreateProcedureStmt> for Procedure {
 
 /// All named objects of one database. Object names are case-insensitive;
 /// the original spelling is preserved inside the object.
+///
+/// Concurrency shape (see DESIGN.md §10): the database facade wraps the
+/// whole catalog in a *catalog-shape* reader-writer lock that guards the
+/// object maps themselves; each table's row data additionally sits
+/// behind its own [`TableLock`], so statements holding the shape lock in
+/// *shared* mode can still write disjoint tables in parallel. Lock order
+/// is always shape → table; [`Catalog::table_mut`] therefore takes
+/// `&self` and hands out a per-table write guard.
 #[derive(Debug, Default)]
 pub struct Catalog {
-    tables: HashMap<String, Table>,
+    tables: HashMap<String, TableLock<Table>>,
     sequences: HashMap<String, Sequence>,
     procedures: HashMap<String, Procedure>,
     /// index name (lowered) → table name (lowered)
@@ -162,22 +220,31 @@ impl Catalog {
                 table.schema.name
             )));
         }
-        self.tables.insert(k, table);
+        self.tables.insert(k, TableLock::new(table));
         self.bump_epoch();
         Ok(())
     }
 
-    /// Look up a table.
-    pub fn table(&self, name: &str) -> SqlResult<&Table> {
+    /// Look up a table: returns a shared per-table guard. Reader
+    /// preference makes re-acquiring a table this thread already reads
+    /// safe (self-joins, subqueries over the scanned table).
+    pub fn table(&self, name: &str) -> SqlResult<TableReadGuard<'_, Table>> {
         self.tables
             .get(&key(name))
+            .map(|l| l.read())
             .ok_or_else(|| SqlError::NotFound(format!("table '{name}'")))
     }
 
-    /// Look up a table mutably.
-    pub fn table_mut(&mut self, name: &str) -> SqlResult<&mut Table> {
+    /// Look up a table for writing: returns the exclusive per-table
+    /// guard. Takes `&self` — exclusion is per table, not per catalog —
+    /// so DML holding the catalog-shape lock in shared mode can write.
+    /// A thread must never request this guard while holding any guard on
+    /// the same table (self-deadlock); the executor's two-phase scans
+    /// drop their read guards before applying.
+    pub fn table_mut(&self, name: &str) -> SqlResult<TableWriteGuard<'_, Table>> {
         self.tables
-            .get_mut(&key(name))
+            .get(&key(name))
+            .map(|l| l.write())
             .ok_or_else(|| SqlError::NotFound(format!("table '{name}'")))
     }
 
@@ -191,7 +258,8 @@ impl Catalog {
         let t = self
             .tables
             .remove(&key(name))
-            .ok_or_else(|| SqlError::NotFound(format!("table '{name}'")))?;
+            .ok_or_else(|| SqlError::NotFound(format!("table '{name}'")))?
+            .into_inner();
         self.index_owner.retain(|_, owner| owner != &key(name));
         self.bump_epoch();
         Ok(t)
@@ -202,7 +270,7 @@ impl Catalog {
         let mut names: Vec<String> = self
             .tables
             .values()
-            .map(|t| t.schema.name.clone())
+            .map(|t| t.read().schema.name.clone())
             .collect();
         names.sort();
         names
@@ -407,6 +475,17 @@ impl Catalog {
     /// Does a sequence exist?
     pub fn has_sequence(&self, name: &str) -> bool {
         self.sequences.contains_key(&key(name))
+    }
+
+    /// Give back a failed statement's `NEXTVAL` draws, latest first.
+    /// Needs only shared access — the cursors are atomic and the
+    /// give-back is CAS-guarded per draw.
+    pub fn undo_draws(&self, draws: &[(String, i64)]) {
+        for (name, drawn) in draws.iter().rev() {
+            if let Ok(seq) = self.sequence(name) {
+                let _ = seq.undo_draw(*drawn);
+            }
+        }
     }
 
     /// Snapshot of every sequence as `(name, current, increment)`,

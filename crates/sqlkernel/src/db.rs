@@ -11,8 +11,9 @@ use crate::error::{SqlError, SqlResult};
 use crate::fault::{crashed_error, CrashPoint, FaultInjector, FaultPlan};
 use crate::parser::{parse_script, parse_statement};
 use crate::plan::CompiledPlan;
+use crate::storage::Table;
 use crate::sync::{Mutex, RwLock};
-use crate::txn::UndoLog;
+use crate::txn::{UndoLog, UndoOp};
 use crate::types::Value;
 use crate::wal::{self, AppendMode, FileLogStore, LogStore, Wal, WalRecord};
 
@@ -192,6 +193,9 @@ pub struct DbStats {
     pub wal_appends: u64,
     /// Bytes appended to the write-ahead log (checkpoints included).
     pub wal_bytes: u64,
+    /// Commit records appended to the WAL (group-commit members each
+    /// count once, so `wal_appends / wal_commits` measures coalescing).
+    pub wal_commits: u64,
     /// Checkpoints completed.
     pub checkpoints: u64,
     /// Crash recoveries this instance was born from (0 or 1: a recovered
@@ -289,6 +293,10 @@ struct DbInner {
     parse_counter: AtomicU64,
     cache_hit_counter: AtomicU64,
     cache_miss_counter: AtomicU64,
+    /// Bumped by every statement-cache invalidation; connection-local
+    /// statement memos compare it to discard stale entries without ever
+    /// touching the global cache mutex on the hit path.
+    cache_generation: AtomicU64,
     /// The installed fault injector, if any. The same `Arc` is mirrored
     /// into the catalog so executor apply loops can reach it; this copy
     /// serves the per-statement gate without touching the catalog lock.
@@ -338,6 +346,7 @@ impl Database {
                 parse_counter: AtomicU64::new(0),
                 cache_hit_counter: AtomicU64::new(0),
                 cache_miss_counter: AtomicU64::new(0),
+                cache_generation: AtomicU64::new(0),
                 injector: Mutex::new(None),
                 faults_base: AtomicU64::new(0),
                 ticks_base: AtomicU64::new(0),
@@ -432,6 +441,18 @@ impl Database {
             }
         }
         wal.write_checkpoint(&catalog, false)
+    }
+
+    /// Set the WAL group-commit flush window, in scheduler yields a
+    /// commit leader holds the window open for concurrent arrivals to
+    /// coalesce into one physical append. 0 (the default) appends each
+    /// statement's records directly — single-threaded behavior is
+    /// byte-identical either way; only the append *batching* changes.
+    /// No-op on a non-durable database.
+    pub fn set_group_commit_window(&self, window: u64) {
+        if let Some(wal) = &self.inner.wal {
+            wal.set_group_window(window);
+        }
     }
 
     /// Install a fault plan (or clear it with `None`). Replacing an
@@ -529,6 +550,7 @@ impl Database {
     /// (already lowercased). Called after DDL executes or rolls back.
     fn invalidate_statements(&self, objects: &[String]) {
         self.inner.stmt_cache.lock().invalidate(objects);
+        self.inner.cache_generation.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of statements currently held by the statement cache.
@@ -549,6 +571,7 @@ impl Database {
             id,
             txn: std::cell::RefCell::new(None),
             temp_tables: std::cell::RefCell::new(Vec::new()),
+            stmt_memo: std::cell::RefCell::new(StmtMemo::default()),
             wal_txn: std::cell::Cell::new(None),
         }
     }
@@ -568,9 +591,26 @@ impl Database {
         Ok(self.inner.catalog.read().table(name)?.len())
     }
 
-    /// Engine counters.
+    /// Engine counters. Cheap but *racy* under concurrent load: each
+    /// counter is read independently, so a statement in flight on
+    /// another thread may be half-reflected. Use [`Database::snapshot`]
+    /// when the numbers must be mutually consistent.
     pub fn stats(&self) -> DbStats {
         let catalog = self.inner.catalog.read();
+        self.stats_from(&catalog)
+    }
+
+    /// Consistent point-in-time counters: briefly acquires the exclusive
+    /// catalog-shape lock, which waits out every in-flight statement, so
+    /// no counter reflects half of anything. Used by benchmarks and
+    /// differential tests; for monitoring-style reads prefer
+    /// [`Database::stats`].
+    pub fn snapshot(&self) -> DbStats {
+        let catalog = self.inner.catalog.write();
+        self.stats_from(&catalog)
+    }
+
+    fn stats_from(&self, catalog: &Catalog) -> DbStats {
         DbStats {
             statements_executed: self.inner.stmt_counter.load(Ordering::Relaxed),
             rows_returned: self.inner.rows_counter.load(Ordering::Relaxed),
@@ -601,6 +641,7 @@ impl Database {
                 .as_ref()
                 .map(|w| w.bytes_written())
                 .unwrap_or(0),
+            wal_commits: self.inner.wal.as_ref().map(|w| w.commits()).unwrap_or(0),
             checkpoints: self
                 .inner
                 .wal
@@ -638,6 +679,19 @@ impl Prepared {
     }
 }
 
+/// Entries a connection keeps out of the global statement cache's way.
+/// `generation` is the database cache generation the entries were taken
+/// at; a mismatch means DDL ran somewhere and everything here is suspect.
+#[derive(Debug, Default)]
+struct StmtMemo {
+    generation: u64,
+    entries: HashMap<String, Arc<CachedStmt>>,
+}
+
+/// Per-connection memo bound: plenty for a workflow instance's statement
+/// repertoire, small enough that clearing on overflow is painless.
+const STMT_MEMO_CAPACITY: usize = 64;
+
 /// A connection: the unit of transaction scope and temp-table ownership.
 ///
 /// Connections are intentionally *not* `Sync`; each workflow instance in
@@ -648,6 +702,12 @@ pub struct Connection {
     id: u64,
     txn: std::cell::RefCell<Option<UndoLog>>,
     temp_tables: std::cell::RefCell<Vec<String>>,
+    /// Connection-local statement memo: repeat executions of the same
+    /// text skip the global statement-cache mutex entirely. Entries are
+    /// discarded wholesale whenever the database's cache generation
+    /// moves (any DDL), so a memoized plan can never outlive the schema
+    /// it was parsed against.
+    stmt_memo: std::cell::RefCell<StmtMemo>,
     /// WAL transaction id of the open explicit transaction, allocated
     /// lazily on its first logged write (read-only transactions never
     /// touch the log).
@@ -723,6 +783,20 @@ impl Connection {
         *cached.plan.lock() = None;
     }
 
+    /// Is this `INSERT` eligible for the fast path (shared shape lock,
+    /// exclusive only on its target table)? Requires a `VALUES` source —
+    /// `INSERT ... SELECT` reads other tables — with every expression
+    /// subquery-free, so execution never re-enters the table map while
+    /// the target's guard is held.
+    fn insert_is_fast(stmt: &crate::ast::InsertStmt) -> bool {
+        match &stmt.source {
+            crate::ast::InsertSource::Values(rows) => rows
+                .iter()
+                .all(|row| row.iter().all(|e| !e.contains_subquery())),
+            crate::ast::InsertSource::Select(_) => false,
+        }
+    }
+
     /// Convert a caught panic payload into a clean engine error.
     fn panic_error(payload: Box<dyn std::any::Any + Send>) -> SqlError {
         let msg = payload
@@ -736,9 +810,71 @@ impl Connection {
     /// Execute one statement, parsing it at most once per distinct text
     /// (the plan is reused from the statement cache on repeat calls).
     pub fn execute(&self, sql: &str, params: &[Value]) -> SqlResult<StatementResult> {
-        let cached = self.db.cached_statement(sql)?;
+        let cached = self.memoized_statement(sql)?;
         self.fault_gate(&cached.stmt)?;
-        self.execute_cached(&cached, params)
+        let mark = crate::catalog::draw_mark();
+        let result = self.execute_cached(&cached, params);
+        self.settle_draws(mark, result.is_err());
+        result
+    }
+
+    /// Settle this statement's `NEXTVAL` draws once it resolves: a
+    /// failed statement gives the values back immediately (statement
+    /// atomicity covers sequence cursors, not just rows); a successful
+    /// one inside an open transaction parks them in the transaction's
+    /// undo log so a later ROLLBACK returns them too. Committed draws
+    /// are simply dropped.
+    fn settle_draws(&self, mark: usize, failed: bool) {
+        let draws = crate::catalog::drain_draws(mark);
+        if draws.is_empty() {
+            return;
+        }
+        if failed {
+            self.db.inner.catalog.read().undo_draws(&draws);
+        } else if let Some(txn) = self.txn.borrow_mut().as_mut() {
+            for (name, drawn) in draws {
+                txn.record(UndoOp::SequenceDraw { name, drawn });
+            }
+        }
+    }
+
+    /// Resolve a statement text through the connection-local memo first,
+    /// falling back to the database-wide cache on a miss. A memo hit
+    /// costs one atomic load and a hash lookup — no global mutex — which
+    /// is what keeps N workers executing the same prepared texts from
+    /// convoying on statement-cache bookkeeping.
+    fn memoized_statement(&self, sql: &str) -> SqlResult<Arc<CachedStmt>> {
+        let generation = self.db.inner.cache_generation.load(Ordering::Relaxed);
+        {
+            let mut memo = self.stmt_memo.borrow_mut();
+            if memo.generation != generation {
+                memo.generation = generation;
+                memo.entries.clear();
+            } else if let Some(hit) = memo.entries.get(sql) {
+                self.db
+                    .inner
+                    .cache_hit_counter
+                    .fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(hit));
+            }
+        }
+        let cached = self.db.cached_statement(sql)?;
+        // Mirror the global cache's policy: DDL and transaction control
+        // stay out, so a memoized `DROP` can never dodge invalidation.
+        let memoable = !matches!(
+            cached.stmt,
+            Statement::Begin | Statement::Commit | Statement::Rollback
+        ) && !cached.stmt.is_ddl();
+        if memoable {
+            let mut memo = self.stmt_memo.borrow_mut();
+            if memo.generation == generation {
+                if memo.entries.len() >= STMT_MEMO_CAPACITY {
+                    memo.entries.clear();
+                }
+                memo.entries.insert(sql.to_string(), Arc::clone(&cached));
+            }
+        }
+        Ok(cached)
     }
 
     /// Execute a previously prepared statement.
@@ -748,7 +884,171 @@ impl Connection {
         params: &[Value],
     ) -> SqlResult<StatementResult> {
         self.fault_gate(&prepared.cached.stmt)?;
-        self.execute_cached(&prepared.cached, params)
+        let mark = crate::catalog::draw_mark();
+        let result = self.execute_cached(&prepared.cached, params);
+        self.settle_draws(mark, result.is_err());
+        result
+    }
+
+    /// Run one DML statement once per parameter set, as a single atomic
+    /// unit: one statement-cache resolution, one table (or catalog)
+    /// lock acquisition, one undo scope, and one WAL append cover the
+    /// whole batch. Either every set applies or none does — a failure on
+    /// set *k* rolls back sets *0..k* too. Returns the total number of
+    /// rows affected.
+    ///
+    /// This is the set-oriented path the workflow layers use to post N
+    /// audit rows or advance N instances in one call, instead of paying
+    /// per-statement locking and logging N times.
+    pub fn execute_batch(&self, sql: &str, param_sets: &[Vec<Value>]) -> SqlResult<usize> {
+        let mark = crate::catalog::draw_mark();
+        let result = self.execute_batch_inner(sql, param_sets);
+        self.settle_draws(mark, result.is_err());
+        result
+    }
+
+    fn execute_batch_inner(&self, sql: &str, param_sets: &[Vec<Value>]) -> SqlResult<usize> {
+        if param_sets.is_empty() {
+            return Err(SqlError::Semantic(
+                "execute_batch requires at least one parameter set".into(),
+            ));
+        }
+        let cached = self.memoized_statement(sql)?;
+        if !matches!(
+            cached.stmt,
+            Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_)
+        ) {
+            return Err(SqlError::Semantic(
+                "execute_batch supports only INSERT, UPDATE, and DELETE".into(),
+            ));
+        }
+        self.fault_gate(&cached.stmt)?;
+        self.db.inner.stmt_counter.fetch_add(1, Ordering::Relaxed);
+        let named: HashMap<String, Value> = HashMap::new();
+
+        // Subquery-free single-table DML batches run on the fast path:
+        // shared shape lock, exclusive only on the target table.
+        let fast_table = match &cached.stmt {
+            Statement::Insert(i) if Self::insert_is_fast(i) => Some(i.table.clone()),
+            Statement::Update(u)
+                if !u.assignments.iter().any(|(_, e)| e.contains_subquery())
+                    && !u
+                        .where_clause
+                        .as_ref()
+                        .is_some_and(|e| e.contains_subquery()) =>
+            {
+                Some(u.table.clone())
+            }
+            Statement::Delete(d)
+                if !d
+                    .where_clause
+                    .as_ref()
+                    .is_some_and(|e| e.contains_subquery()) =>
+            {
+                Some(d.table.clone())
+            }
+            _ => None,
+        };
+
+        if let Some(table_name) = fast_table {
+            let catalog = self.db.inner.catalog.read();
+            let mut table = catalog.table_mut(&table_name)?;
+            let mut scratch = UndoLog::new();
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut total = 0;
+                for params in param_sets {
+                    total += match &cached.stmt {
+                        Statement::Insert(s) => crate::exec::dml::run_insert_on(
+                            &catalog,
+                            &mut table,
+                            s,
+                            params,
+                            &named,
+                            &mut scratch,
+                        )?,
+                        Statement::Update(s) => crate::exec::dml::run_update_on(
+                            &catalog,
+                            &mut table,
+                            s,
+                            params,
+                            &named,
+                            &mut scratch,
+                        )?,
+                        Statement::Delete(s) => crate::exec::dml::run_delete_on(
+                            &catalog,
+                            &mut table,
+                            s,
+                            params,
+                            &named,
+                            &mut scratch,
+                        )?,
+                        _ => unreachable!("verb checked above"),
+                    };
+                }
+                Ok(total)
+            }))
+            .unwrap_or_else(|payload| Err(Self::panic_error(payload)));
+            return match result {
+                Ok(total) => {
+                    if let Err(e) = self.wal_log_statement_on(&catalog, &table, &scratch) {
+                        scratch.rollback_on_table(&mut table);
+                        self.db.note_rollback();
+                        return Err(e);
+                    }
+                    if let Some(txn) = self.txn.borrow_mut().as_mut() {
+                        txn.absorb(scratch);
+                    }
+                    Ok(total)
+                }
+                Err(e) => {
+                    // Batch atomicity: every already-applied set unwinds.
+                    scratch.rollback_on_table(&mut table);
+                    self.db.note_rollback();
+                    Err(e)
+                }
+            };
+        }
+
+        // Subquery-bearing batch: the exclusive general path.
+        let mut catalog = self.db.inner.catalog.write();
+        let mut scratch = UndoLog::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut total = 0;
+            for params in param_sets {
+                total += match &cached.stmt {
+                    Statement::Insert(s) => {
+                        crate::exec::dml::run_insert(&catalog, s, params, &named, &mut scratch)?
+                    }
+                    Statement::Update(s) => {
+                        crate::exec::dml::run_update(&catalog, s, params, &named, &mut scratch)?
+                    }
+                    Statement::Delete(s) => {
+                        crate::exec::dml::run_delete(&catalog, s, params, &named, &mut scratch)?
+                    }
+                    _ => unreachable!("verb checked above"),
+                };
+            }
+            Ok(total)
+        }))
+        .unwrap_or_else(|payload| Err(Self::panic_error(payload)));
+        match result {
+            Ok(total) => {
+                if let Err(e) = self.wal_log_statement(&catalog, &scratch) {
+                    scratch.rollback(&mut catalog);
+                    self.db.note_rollback();
+                    return Err(e);
+                }
+                if let Some(txn) = self.txn.borrow_mut().as_mut() {
+                    txn.absorb(scratch);
+                }
+                Ok(total)
+            }
+            Err(e) => {
+                scratch.rollback(&mut catalog);
+                self.db.note_rollback();
+                Err(e)
+            }
+        }
     }
 
     /// Fetch the cached compiled plan for this statement, re-binding it
@@ -787,6 +1087,28 @@ impl Connection {
     /// caller must treat the statement as failed and undo its in-memory
     /// effects.
     fn wal_log_statement(&self, catalog: &Catalog, scratch: &UndoLog) -> SqlResult<()> {
+        self.wal_log_with(catalog, || wal::ops_from_undo(catalog, scratch.ops()))
+    }
+
+    /// Fast-path variant of [`Connection::wal_log_statement`]: derives
+    /// the redo ops from the *held* table guard instead of re-entering
+    /// the catalog's table map (which would self-deadlock). Everything
+    /// else — crash points, transaction framing, group commit — is
+    /// identical.
+    fn wal_log_statement_on(
+        &self,
+        catalog: &Catalog,
+        table: &Table,
+        scratch: &UndoLog,
+    ) -> SqlResult<()> {
+        self.wal_log_with(catalog, || wal::ops_from_undo_on(table, scratch.ops()))
+    }
+
+    fn wal_log_with(
+        &self,
+        catalog: &Catalog,
+        derive_ops: impl FnOnce() -> Vec<wal::WalOp>,
+    ) -> SqlResult<()> {
         let injector = self.db.inner.injector.lock().clone();
         if let Some(inj) = &injector {
             if inj.frozen() {
@@ -805,7 +1127,7 @@ impl Connection {
             }
             return Ok(());
         };
-        let ops = wal::ops_from_undo(catalog, scratch.ops());
+        let ops = derive_ops();
         if ops.is_empty() && armed.is_none() {
             return Ok(());
         }
@@ -915,6 +1237,86 @@ impl Connection {
             }
             Statement::Update(_) | Statement::Delete(_) => {
                 let named: HashMap<String, Value> = HashMap::new();
+                // Bind (or fetch) the plan under the *shared* shape lock:
+                // a compiled, subquery-free single-table statement runs on
+                // the fast path — exclusive only on its own table — so DML
+                // on disjoint tables proceeds truly concurrently.
+                let catalog = self.db.inner.catalog.read();
+                let plan = self.compiled_plan(cached, &catalog);
+                let fast_table = match &*plan {
+                    CompiledPlan::Update(p) if !p.has_subquery() => {
+                        Some(p.table_name().to_string())
+                    }
+                    CompiledPlan::Delete(p) if !p.has_subquery() => {
+                        Some(p.table_name().to_string())
+                    }
+                    _ => None,
+                };
+                if let Some(table_name) = fast_table {
+                    self.db.inner.stmt_counter.fetch_add(1, Ordering::Relaxed);
+                    if let Err(e) = catalog.fault_bind_complete() {
+                        Self::invalidate_plan_slot(cached);
+                        return Err(e);
+                    }
+                    // One exclusive table guard held across both DML
+                    // phases: the whole statement is atomic to readers.
+                    let mut table = catalog.table_mut(&table_name)?;
+                    let mut scratch = UndoLog::new();
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &*plan {
+                            CompiledPlan::Update(p) => crate::plan::run_update_plan_on(
+                                &catalog,
+                                &mut table,
+                                p,
+                                params,
+                                &named,
+                                &mut scratch,
+                            ),
+                            CompiledPlan::Delete(p) => crate::plan::run_delete_plan_on(
+                                &catalog,
+                                &mut table,
+                                p,
+                                params,
+                                &named,
+                                &mut scratch,
+                            ),
+                            _ => unreachable!("eligibility checked above"),
+                        }))
+                        .unwrap_or_else(|payload| Err(Self::panic_error(payload)));
+                    return match result {
+                        Ok(n) => {
+                            if let Err(e) = self.wal_log_statement_on(&catalog, &table, &scratch) {
+                                // The write never became durable; statement
+                                // atomicity demands its in-memory effects go.
+                                scratch.rollback_on_table(&mut table);
+                                self.db.note_rollback();
+                                Self::invalidate_plan_slot(cached);
+                                return Err(e);
+                            }
+                            if let Some(txn) = self.txn.borrow_mut().as_mut() {
+                                txn.absorb(scratch);
+                            }
+                            Ok(StatementResult::Affected(n))
+                        }
+                        Err(e) => {
+                            // Statement atomicity: wipe this statement's
+                            // effects, using the guard we still hold.
+                            scratch.rollback_on_table(&mut table);
+                            self.db.note_rollback();
+                            if Self::fault_aborted(&e) {
+                                Self::invalidate_plan_slot(cached);
+                            }
+                            Err(e)
+                        }
+                    };
+                }
+                drop(catalog);
+                if matches!(&*plan, CompiledPlan::Unsupported) {
+                    return self.execute_ast_inner(&cached.stmt, params);
+                }
+                // Subquery-bearing compiled plan: the exclusive path. The
+                // plan must be re-fetched under the write lock — DDL may
+                // have moved the epoch in the lock gap.
                 let mut catalog = self.db.inner.catalog.write();
                 let plan = self.compiled_plan(cached, &catalog);
                 if matches!(&*plan, CompiledPlan::Unsupported) {
@@ -932,20 +1334,12 @@ impl Connection {
                 // undone instead of poisoning the catalog lock.
                 let result =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &*plan {
-                        CompiledPlan::Update(p) => crate::plan::run_update_plan(
-                            &mut catalog,
-                            p,
-                            params,
-                            &named,
-                            &mut scratch,
-                        ),
-                        CompiledPlan::Delete(p) => crate::plan::run_delete_plan(
-                            &mut catalog,
-                            p,
-                            params,
-                            &named,
-                            &mut scratch,
-                        ),
+                        CompiledPlan::Update(p) => {
+                            crate::plan::run_update_plan(&catalog, p, params, &named, &mut scratch)
+                        }
+                        CompiledPlan::Delete(p) => {
+                            crate::plan::run_delete_plan(&catalog, p, params, &named, &mut scratch)
+                        }
                         _ => unreachable!("SELECT plans handled above"),
                     }))
                     .unwrap_or_else(|payload| Err(Self::panic_error(payload)));
@@ -975,6 +1369,44 @@ impl Connection {
                     }
                 }
             }
+            Statement::Insert(ins) if Self::insert_is_fast(ins) => {
+                // Subquery-free `INSERT … VALUES`: runs under the shared
+                // shape lock, exclusive only on its target table.
+                self.db.inner.stmt_counter.fetch_add(1, Ordering::Relaxed);
+                let named: HashMap<String, Value> = HashMap::new();
+                let catalog = self.db.inner.catalog.read();
+                let mut table = catalog.table_mut(&ins.table)?;
+                let mut scratch = UndoLog::new();
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    crate::exec::dml::run_insert_on(
+                        &catalog,
+                        &mut table,
+                        ins,
+                        params,
+                        &named,
+                        &mut scratch,
+                    )
+                }))
+                .unwrap_or_else(|payload| Err(Self::panic_error(payload)));
+                match result {
+                    Ok(n) => {
+                        if let Err(e) = self.wal_log_statement_on(&catalog, &table, &scratch) {
+                            scratch.rollback_on_table(&mut table);
+                            self.db.note_rollback();
+                            return Err(e);
+                        }
+                        if let Some(txn) = self.txn.borrow_mut().as_mut() {
+                            txn.absorb(scratch);
+                        }
+                        Ok(StatementResult::Affected(n))
+                    }
+                    Err(e) => {
+                        scratch.rollback_on_table(&mut table);
+                        self.db.note_rollback();
+                        Err(e)
+                    }
+                }
+            }
             _ => self.execute_ast_inner(&cached.stmt, params),
         }
     }
@@ -999,7 +1431,10 @@ impl Connection {
         let mut out = Vec::with_capacity(stmts.len());
         for s in &stmts {
             self.fault_gate(s)?;
-            out.push(self.execute_ast_inner(s, &[])?);
+            let mark = crate::catalog::draw_mark();
+            let result = self.execute_ast_inner(s, &[]);
+            self.settle_draws(mark, result.is_err());
+            out.push(result?);
         }
         Ok(out)
     }

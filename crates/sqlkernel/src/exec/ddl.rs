@@ -91,9 +91,11 @@ pub fn create_index(
         }
         return Err(SqlError::AlreadyExists(format!("index '{name}'")));
     }
-    let t = catalog.table_mut(table)?;
-    t.create_index(name, columns, unique)?;
-    let table_name = t.schema.name.clone();
+    let table_name = {
+        let mut t = catalog.table_mut(table)?;
+        t.create_index(name, columns, unique)?;
+        t.schema.name.clone()
+    };
     catalog.register_index(name, &table_name)?;
     undo.record(UndoOp::CreateIndex {
         table: table_name,
@@ -118,8 +120,7 @@ pub fn drop_index(
             return Err(SqlError::NotFound(format!("index '{name}'")));
         }
     };
-    let t = catalog.table_mut(&owner)?;
-    let index = t.drop_index(name)?;
+    let index = catalog.table_mut(&owner)?.drop_index(name)?;
     catalog.unregister_index(name);
     undo.record(UndoOp::DropIndex {
         table: owner,

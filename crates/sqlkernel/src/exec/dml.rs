@@ -5,6 +5,15 @@
 //! that applies the collected changes. This sidesteps the Halloween
 //! problem (an `UPDATE` whose predicate matches its own output) and lets
 //! every change record an undo entry for statement atomicity.
+//!
+//! Each runner comes in two flavors. The plain `run_*` functions acquire
+//! the target table's guards themselves (shared for the collect phase —
+//! subqueries may re-read the same table — exclusive for the apply phase)
+//! and rely on the catalog-shape write lock to make the guard gap
+//! invisible. The `run_*_on` variants execute both phases against a guard
+//! the *caller* already holds, which is what the fast path under the
+//! shared catalog-shape lock uses; they are only safe for subquery-free
+//! statements, since a subquery would re-enter the catalog's table map.
 
 use std::collections::HashMap;
 
@@ -12,91 +21,90 @@ use crate::ast::*;
 use crate::catalog::Catalog;
 use crate::error::{SqlError, SqlResult};
 use crate::expr::{eval, eval_predicate, EvalCtx, RowSchema};
-use crate::storage::RowId;
+use crate::storage::{RowId, Table};
 use crate::txn::{UndoLog, UndoOp};
 use crate::types::Value;
 
-/// Execute an `INSERT`; returns the number of rows inserted.
-pub fn run_insert(
-    catalog: &mut Catalog,
+/// Phase 1 of an `INSERT`: compute the full rows to insert.
+fn collect_insert(
+    catalog: &Catalog,
+    table: &Table,
     stmt: &InsertStmt,
     params: &[Value],
     named_params: &HashMap<String, Value>,
+) -> SqlResult<Vec<Vec<Value>>> {
+    let width = table.schema.columns.len();
+
+    // Map provided columns → schema positions.
+    let positions: Vec<usize> = match &stmt.columns {
+        Some(cols) => {
+            let mut out = Vec::with_capacity(cols.len());
+            for c in cols {
+                let i = table.schema.resolve(c)?;
+                if out.contains(&i) {
+                    return Err(SqlError::Semantic(format!(
+                        "column '{c}' listed twice in INSERT"
+                    )));
+                }
+                out.push(i);
+            }
+            out
+        }
+        None => (0..width).collect(),
+    };
+
+    let source_rows: Vec<Vec<Value>> = match &stmt.source {
+        InsertSource::Values(rows) => {
+            let ctx = EvalCtx {
+                catalog,
+                params,
+                named_params,
+                row: None,
+                aggregates: None,
+            };
+            let mut out = Vec::with_capacity(rows.len());
+            for exprs in rows {
+                let mut row = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    row.push(eval(e, &ctx)?);
+                }
+                out.push(row);
+            }
+            out
+        }
+        InsertSource::Select(sel) => {
+            super::select::run_select(catalog, sel, params, named_params)?.rows
+        }
+    };
+
+    let mut full_rows = Vec::with_capacity(source_rows.len());
+    for src in source_rows {
+        if src.len() != positions.len() {
+            return Err(SqlError::Semantic(format!(
+                "INSERT expects {} values per row, got {}",
+                positions.len(),
+                src.len()
+            )));
+        }
+        let mut row = vec![Value::Null; width];
+        for (v, &pos) in src.into_iter().zip(&positions) {
+            row[pos] = v;
+        }
+        full_rows.push(row);
+    }
+    Ok(full_rows)
+}
+
+/// Phase 2 of an `INSERT`: apply under the caller's exclusive guard.
+fn apply_insert(
+    catalog: &Catalog,
+    table: &mut Table,
+    rows: Vec<Vec<Value>>,
     undo: &mut UndoLog,
 ) -> SqlResult<usize> {
-    // Phase 1 (immutable): compute the full rows to insert.
-    let rows: Vec<Vec<Value>> = {
-        let table = catalog.table(&stmt.table)?;
-        let width = table.schema.columns.len();
-
-        // Map provided columns → schema positions.
-        let positions: Vec<usize> = match &stmt.columns {
-            Some(cols) => {
-                let mut out = Vec::with_capacity(cols.len());
-                for c in cols {
-                    let i = table.schema.resolve(c)?;
-                    if out.contains(&i) {
-                        return Err(SqlError::Semantic(format!(
-                            "column '{c}' listed twice in INSERT"
-                        )));
-                    }
-                    out.push(i);
-                }
-                out
-            }
-            None => (0..width).collect(),
-        };
-
-        let source_rows: Vec<Vec<Value>> = match &stmt.source {
-            InsertSource::Values(rows) => {
-                let ctx = EvalCtx {
-                    catalog,
-                    params,
-                    named_params,
-                    row: None,
-                    aggregates: None,
-                };
-                let mut out = Vec::with_capacity(rows.len());
-                for exprs in rows {
-                    let mut row = Vec::with_capacity(exprs.len());
-                    for e in exprs {
-                        row.push(eval(e, &ctx)?);
-                    }
-                    out.push(row);
-                }
-                out
-            }
-            InsertSource::Select(sel) => {
-                super::select::run_select(catalog, sel, params, named_params)?.rows
-            }
-        };
-
-        let mut full_rows = Vec::with_capacity(source_rows.len());
-        for src in source_rows {
-            if src.len() != positions.len() {
-                return Err(SqlError::Semantic(format!(
-                    "INSERT expects {} values per row, got {}",
-                    positions.len(),
-                    src.len()
-                )));
-            }
-            let mut row = vec![Value::Null; width];
-            for (v, &pos) in src.into_iter().zip(&positions) {
-                row[pos] = v;
-            }
-            full_rows.push(row);
-        }
-        full_rows
-    };
-
-    // Phase 2 (mutable): apply.
-    let table_name = {
-        let table = catalog.table_mut(&stmt.table)?;
-        table.schema.name.clone()
-    };
+    let table_name = table.schema.name.clone();
     let mut n = 0;
     for row in rows {
-        let table = catalog.table_mut(&stmt.table)?;
         let id = table.insert(row)?;
         undo.record(UndoOp::Insert {
             table: table_name.clone(),
@@ -108,64 +116,97 @@ pub fn run_insert(
     Ok(n)
 }
 
-/// Execute an `UPDATE`; returns the number of rows changed.
-pub fn run_update(
-    catalog: &mut Catalog,
-    stmt: &UpdateStmt,
+/// Execute an `INSERT`; returns the number of rows inserted.
+pub fn run_insert(
+    catalog: &Catalog,
+    stmt: &InsertStmt,
     params: &[Value],
     named_params: &HashMap<String, Value>,
     undo: &mut UndoLog,
 ) -> SqlResult<usize> {
-    // Phase 1: collect (row_id, new_row).
-    let changes: Vec<(RowId, Vec<Value>)> = {
+    let rows = {
         let table = catalog.table(&stmt.table)?;
-        let binding = table.schema.name.clone();
-        let schema = RowSchema::new(
-            table
-                .schema
-                .columns
-                .iter()
-                .map(|c| (Some(binding.clone()), c.name.clone()))
-                .collect(),
-        );
-        let assignments: Vec<(usize, &Expr)> = {
-            let mut out = Vec::with_capacity(stmt.assignments.len());
-            for (col, e) in &stmt.assignments {
-                out.push((table.schema.resolve(col)?, e));
-            }
-            out
-        };
-        let ctx = EvalCtx {
-            catalog,
-            params,
-            named_params,
-            row: None,
-            aggregates: None,
-        };
-        let mut changes = Vec::new();
-        for (id, row) in table.iter() {
-            let rc = ctx.with_row(&schema, row);
-            let hit = match &stmt.where_clause {
-                Some(pred) => eval_predicate(pred, &rc)?,
-                None => true,
-            };
-            if !hit {
-                continue;
-            }
-            let mut new_row = (**row).clone();
-            for (pos, e) in &assignments {
-                new_row[*pos] = eval(e, &rc)?;
-            }
-            changes.push((id, new_row));
-        }
-        changes
+        collect_insert(catalog, &table, stmt, params, named_params)?
     };
+    let mut table = catalog.table_mut(&stmt.table)?;
+    apply_insert(catalog, &mut table, rows, undo)
+}
 
-    // Phase 2: apply.
-    let table_name = catalog.table(&stmt.table)?.schema.name.clone();
+/// Fast-path `INSERT` against a held table guard. The caller must have
+/// checked that every source expression is subquery-free and that the
+/// source is `VALUES` (an `INSERT ... SELECT` reads other tables).
+pub fn run_insert_on(
+    catalog: &Catalog,
+    table: &mut Table,
+    stmt: &InsertStmt,
+    params: &[Value],
+    named_params: &HashMap<String, Value>,
+    undo: &mut UndoLog,
+) -> SqlResult<usize> {
+    let rows = collect_insert(catalog, table, stmt, params, named_params)?;
+    apply_insert(catalog, table, rows, undo)
+}
+
+/// Phase 1 of an `UPDATE`: collect `(row_id, new_row)` pairs.
+fn collect_update(
+    catalog: &Catalog,
+    table: &Table,
+    stmt: &UpdateStmt,
+    params: &[Value],
+    named_params: &HashMap<String, Value>,
+) -> SqlResult<Vec<(RowId, Vec<Value>)>> {
+    let binding = table.schema.name.clone();
+    let schema = RowSchema::new(
+        table
+            .schema
+            .columns
+            .iter()
+            .map(|c| (Some(binding.clone()), c.name.clone()))
+            .collect(),
+    );
+    let assignments: Vec<(usize, &Expr)> = {
+        let mut out = Vec::with_capacity(stmt.assignments.len());
+        for (col, e) in &stmt.assignments {
+            out.push((table.schema.resolve(col)?, e));
+        }
+        out
+    };
+    let ctx = EvalCtx {
+        catalog,
+        params,
+        named_params,
+        row: None,
+        aggregates: None,
+    };
+    let mut changes = Vec::new();
+    for (id, row) in table.iter() {
+        let rc = ctx.with_row(&schema, row);
+        let hit = match &stmt.where_clause {
+            Some(pred) => eval_predicate(pred, &rc)?,
+            None => true,
+        };
+        if !hit {
+            continue;
+        }
+        let mut new_row = (**row).clone();
+        for (pos, e) in &assignments {
+            new_row[*pos] = eval(e, &rc)?;
+        }
+        changes.push((id, new_row));
+    }
+    Ok(changes)
+}
+
+/// Phase 2 of an `UPDATE`: apply under the caller's exclusive guard.
+fn apply_update(
+    catalog: &Catalog,
+    table: &mut Table,
+    changes: Vec<(RowId, Vec<Value>)>,
+    undo: &mut UndoLog,
+) -> SqlResult<usize> {
+    let table_name = table.schema.name.clone();
     let mut n = 0;
     for (id, new_row) in changes {
-        let table = catalog.table_mut(&stmt.table)?;
         let old = table.update(id, new_row)?;
         undo.record(UndoOp::Update {
             table: table_name.clone(),
@@ -178,52 +219,86 @@ pub fn run_update(
     Ok(n)
 }
 
-/// Execute a `DELETE`; returns the number of rows removed.
-pub fn run_delete(
-    catalog: &mut Catalog,
-    stmt: &DeleteStmt,
+/// Execute an `UPDATE`; returns the number of rows changed.
+pub fn run_update(
+    catalog: &Catalog,
+    stmt: &UpdateStmt,
     params: &[Value],
     named_params: &HashMap<String, Value>,
     undo: &mut UndoLog,
 ) -> SqlResult<usize> {
-    let victims: Vec<RowId> = {
+    let changes = {
         let table = catalog.table(&stmt.table)?;
-        let binding = table.schema.name.clone();
-        let schema = RowSchema::new(
-            table
-                .schema
-                .columns
-                .iter()
-                .map(|c| (Some(binding.clone()), c.name.clone()))
-                .collect(),
-        );
-        let ctx = EvalCtx {
-            catalog,
-            params,
-            named_params,
-            row: None,
-            aggregates: None,
-        };
-        let mut out = Vec::new();
-        for (id, row) in table.iter() {
-            let hit = match &stmt.where_clause {
-                Some(pred) => {
-                    let rc = ctx.with_row(&schema, row);
-                    eval_predicate(pred, &rc)?
-                }
-                None => true,
-            };
-            if hit {
-                out.push(id);
-            }
-        }
-        out
+        collect_update(catalog, &table, stmt, params, named_params)?
     };
+    let mut table = catalog.table_mut(&stmt.table)?;
+    apply_update(catalog, &mut table, changes, undo)
+}
 
-    let table_name = catalog.table(&stmt.table)?.schema.name.clone();
+/// Fast-path `UPDATE` against a held table guard; the caller must have
+/// checked the statement subquery-free.
+pub fn run_update_on(
+    catalog: &Catalog,
+    table: &mut Table,
+    stmt: &UpdateStmt,
+    params: &[Value],
+    named_params: &HashMap<String, Value>,
+    undo: &mut UndoLog,
+) -> SqlResult<usize> {
+    let changes = collect_update(catalog, table, stmt, params, named_params)?;
+    apply_update(catalog, table, changes, undo)
+}
+
+/// Phase 1 of a `DELETE`: collect victim row ids.
+fn collect_delete(
+    catalog: &Catalog,
+    table: &Table,
+    stmt: &DeleteStmt,
+    params: &[Value],
+    named_params: &HashMap<String, Value>,
+) -> SqlResult<Vec<RowId>> {
+    let binding = table.schema.name.clone();
+    let schema = RowSchema::new(
+        table
+            .schema
+            .columns
+            .iter()
+            .map(|c| (Some(binding.clone()), c.name.clone()))
+            .collect(),
+    );
+    let ctx = EvalCtx {
+        catalog,
+        params,
+        named_params,
+        row: None,
+        aggregates: None,
+    };
+    let mut out = Vec::new();
+    for (id, row) in table.iter() {
+        let hit = match &stmt.where_clause {
+            Some(pred) => {
+                let rc = ctx.with_row(&schema, row);
+                eval_predicate(pred, &rc)?
+            }
+            None => true,
+        };
+        if hit {
+            out.push(id);
+        }
+    }
+    Ok(out)
+}
+
+/// Phase 2 of a `DELETE`: apply under the caller's exclusive guard.
+fn apply_delete(
+    catalog: &Catalog,
+    table: &mut Table,
+    victims: Vec<RowId>,
+    undo: &mut UndoLog,
+) -> SqlResult<usize> {
+    let table_name = table.schema.name.clone();
     let mut n = 0;
     for id in victims {
-        let table = catalog.table_mut(&stmt.table)?;
         let row = table.delete(id)?;
         undo.record(UndoOp::Delete {
             table: table_name.clone(),
@@ -234,4 +309,34 @@ pub fn run_delete(
         catalog.fault_row_applied()?;
     }
     Ok(n)
+}
+
+/// Execute a `DELETE`; returns the number of rows removed.
+pub fn run_delete(
+    catalog: &Catalog,
+    stmt: &DeleteStmt,
+    params: &[Value],
+    named_params: &HashMap<String, Value>,
+    undo: &mut UndoLog,
+) -> SqlResult<usize> {
+    let victims = {
+        let table = catalog.table(&stmt.table)?;
+        collect_delete(catalog, &table, stmt, params, named_params)?
+    };
+    let mut table = catalog.table_mut(&stmt.table)?;
+    apply_delete(catalog, &mut table, victims, undo)
+}
+
+/// Fast-path `DELETE` against a held table guard; the caller must have
+/// checked the statement subquery-free.
+pub fn run_delete_on(
+    catalog: &Catalog,
+    table: &mut Table,
+    stmt: &DeleteStmt,
+    params: &[Value],
+    named_params: &HashMap<String, Value>,
+    undo: &mut UndoLog,
+) -> SqlResult<usize> {
+    let victims = collect_delete(catalog, table, stmt, params, named_params)?;
+    apply_delete(catalog, table, victims, undo)
 }

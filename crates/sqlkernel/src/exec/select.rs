@@ -477,7 +477,7 @@ fn try_index_scan(
     );
 
     // Equality probe first: a point lookup beats any range walk.
-    if let Some((col, value_expr)) = find_eq_candidate(&conjuncts, &binding, table) {
+    if let Some((col, value_expr)) = find_eq_candidate(&conjuncts, &binding, &table) {
         let index = table.find_index(&[col]).expect("candidate implies index");
         let key = eval(value_expr, ctx)?;
         catalog.note_index_scan();
@@ -493,10 +493,10 @@ fn try_index_scan(
         return Ok(Some((Rows { schema, rows }, None)));
     }
 
-    let order_hint = naive_order_hint(order_by, &binding, table);
+    let order_hint = naive_order_hint(order_by, &binding, &table);
 
     // Range walk over the first indexed column with a range conjunct.
-    if let Some(spec) = find_range_candidate(&conjuncts, &binding, table) {
+    if let Some(spec) = find_range_candidate(&conjuncts, &binding, &table) {
         let index = table
             .find_index(&[spec.col])
             .expect("candidate implies index");

@@ -99,11 +99,41 @@ pub struct UpdatePlan {
     assignments: Vec<(usize, BoundExpr)>,
 }
 
+impl UpdatePlan {
+    /// The target table, as written in the statement.
+    pub fn table_name(&self) -> &str {
+        &self.table
+    }
+
+    /// Does any filter or assignment expression run a subquery? If so
+    /// the statement must not take the fast single-table-guard path.
+    pub fn has_subquery(&self) -> bool {
+        self.filter
+            .as_ref()
+            .is_some_and(BoundExpr::contains_subquery)
+            || self.assignments.iter().any(|(_, e)| e.contains_subquery())
+    }
+}
+
 /// A compiled `DELETE`.
 #[derive(Debug)]
 pub struct DeletePlan {
     table: String,
     filter: Option<BoundExpr>,
+}
+
+impl DeletePlan {
+    /// The target table, as written in the statement.
+    pub fn table_name(&self) -> &str {
+        &self.table
+    }
+
+    /// Does the filter run a subquery? See [`UpdatePlan::has_subquery`].
+    pub fn has_subquery(&self) -> bool {
+        self.filter
+            .as_ref()
+            .is_some_and(BoundExpr::contains_subquery)
+    }
 }
 
 /// The result of compiling one statement against one catalog epoch.
@@ -174,7 +204,7 @@ fn compile_select(catalog: &Catalog, stmt: &SelectStmt) -> Option<CompiledPlan> 
     }
     let table = catalog.table(name).ok()?;
     let binding = from.base.binding_name().unwrap_or(name).to_string();
-    let schema = table_row_schema(table, &binding);
+    let schema = table_row_schema(&table, &binding);
 
     // Projection expansion + binding. Aggregates fail `bind`, sending
     // grouped queries to the interpreter.
@@ -191,12 +221,12 @@ fn compile_select(catalog: &Catalog, stmt: &SelectStmt) -> Option<CompiledPlan> 
     if let Some(pred) = &stmt.where_clause {
         flatten_and(pred, &mut conjuncts);
     }
-    let order_hint = naive_order_hint(&stmt.order_by, &binding, table);
+    let order_hint = naive_order_hint(&stmt.order_by, &binding, &table);
     let (access, index_order) =
-        if let Some((col, value_expr)) = find_eq_candidate(&conjuncts, &binding, table) {
+        if let Some((col, value_expr)) = find_eq_candidate(&conjuncts, &binding, &table) {
             let key = bind(value_expr, &schema).ok()?;
             (Access::IndexEq { col, key }, None)
-        } else if let Some(spec) = find_range_candidate(&conjuncts, &binding, table) {
+        } else if let Some(spec) = find_range_candidate(&conjuncts, &binding, &table) {
             let rev = order_hint.is_some_and(|(c, desc)| c == spec.col && desc);
             let bind_bound = |b: Option<(&crate::ast::Expr, bool)>| match b {
                 Some((e, inc)) => bind(e, &schema).ok().map(|be| Some((be, inc))),
@@ -273,7 +303,7 @@ fn compile_select(catalog: &Catalog, stmt: &SelectStmt) -> Option<CompiledPlan> 
 fn compile_update(catalog: &Catalog, stmt: &UpdateStmt) -> Option<CompiledPlan> {
     let table = catalog.table(&stmt.table).ok()?;
     // The interpreter binds the scan under the table's declared name.
-    let schema = table_row_schema(table, &table.schema.name.clone());
+    let schema = table_row_schema(&table, &table.schema.name.clone());
     let mut assignments = Vec::with_capacity(stmt.assignments.len());
     for (col, e) in &stmt.assignments {
         let pos = table.schema.resolve(col).ok()?;
@@ -289,7 +319,7 @@ fn compile_update(catalog: &Catalog, stmt: &UpdateStmt) -> Option<CompiledPlan> 
 
 fn compile_delete(catalog: &Catalog, stmt: &DeleteStmt) -> Option<CompiledPlan> {
     let table = catalog.table(&stmt.table).ok()?;
-    let schema = table_row_schema(table, &table.schema.name.clone());
+    let schema = table_row_schema(&table, &table.schema.name.clone());
     let filter = bind_opt(stmt.where_clause.as_ref(), &schema)?;
     Some(CompiledPlan::Delete(DeletePlan {
         table: stmt.table.clone(),
@@ -513,51 +543,55 @@ pub fn run_select_plan(
     })
 }
 
-/// Execute a compiled `UPDATE` in the interpreter's two phases: evaluate
-/// against an immutable snapshot (avoiding the Halloween problem), then
-/// apply with undo records for statement atomicity.
-pub fn run_update_plan(
-    catalog: &mut Catalog,
+/// Collect phase of a compiled `UPDATE`: evaluate filter + assignments
+/// against an immutable snapshot (avoiding the Halloween problem).
+fn collect_update(
+    catalog: &Catalog,
+    table: &Table,
     plan: &UpdatePlan,
     params: &[Value],
     named_params: &HashMap<String, Value>,
+    evals: &mut Evals,
+) -> SqlResult<Vec<(RowId, Vec<Value>)>> {
+    let ctx = BoundCtx {
+        catalog,
+        params,
+        named_params,
+        row: None,
+    };
+    let mut changes = Vec::new();
+    for (id, row) in table.iter() {
+        let rc = BoundCtx {
+            row: Some(row),
+            ..ctx
+        };
+        let hit = match &plan.filter {
+            Some(pred) => evals.pred(pred, &rc)?,
+            None => true,
+        };
+        if !hit {
+            continue;
+        }
+        let mut new_row = (**row).clone();
+        for (pos, e) in &plan.assignments {
+            new_row[*pos] = evals.eval(e, &rc)?;
+        }
+        changes.push((id, new_row));
+    }
+    Ok(changes)
+}
+
+/// Apply phase of a compiled `UPDATE`: write the precomputed rows under
+/// the caller's exclusive table guard, recording undo for atomicity.
+fn apply_update(
+    catalog: &Catalog,
+    table: &mut Table,
+    changes: Vec<(RowId, Vec<Value>)>,
     undo: &mut UndoLog,
 ) -> SqlResult<usize> {
-    let mut evals = Evals(0);
-    let changes: Vec<(RowId, Vec<Value>)> = {
-        let table = catalog.table(&plan.table)?;
-        let ctx = BoundCtx {
-            catalog,
-            params,
-            named_params,
-            row: None,
-        };
-        let mut changes = Vec::new();
-        for (id, row) in table.iter() {
-            let rc = BoundCtx {
-                row: Some(row),
-                ..ctx
-            };
-            let hit = match &plan.filter {
-                Some(pred) => evals.pred(pred, &rc)?,
-                None => true,
-            };
-            if !hit {
-                continue;
-            }
-            let mut new_row = (**row).clone();
-            for (pos, e) in &plan.assignments {
-                new_row[*pos] = evals.eval(e, &rc)?;
-            }
-            changes.push((id, new_row));
-        }
-        changes
-    };
-
-    let table_name = catalog.table(&plan.table)?.schema.name.clone();
+    let table_name = table.schema.name.clone();
     let mut n = 0;
     for (id, new_row) in changes {
-        let table = catalog.table_mut(&plan.table)?;
         let old = table.update(id, new_row)?;
         undo.record(UndoOp::Update {
             table: table_name.clone(),
@@ -567,50 +601,98 @@ pub fn run_update_plan(
         n += 1;
         catalog.fault_row_applied()?;
     }
-    catalog.note_bound_evals(evals.0);
     Ok(n)
 }
 
-/// Execute a compiled `DELETE` (two-phase, like the interpreter).
-pub fn run_delete_plan(
-    catalog: &mut Catalog,
-    plan: &DeletePlan,
+/// Execute a compiled `UPDATE` in the interpreter's two phases: collect
+/// under a shared table guard (subqueries in the filter may re-read this
+/// very table), then apply under the exclusive guard. The guard gap is
+/// harmless: this path runs with the catalog-shape lock held exclusively,
+/// so no other statement can slip in between.
+pub fn run_update_plan(
+    catalog: &Catalog,
+    plan: &UpdatePlan,
     params: &[Value],
     named_params: &HashMap<String, Value>,
     undo: &mut UndoLog,
 ) -> SqlResult<usize> {
     let mut evals = Evals(0);
-    let victims: Vec<RowId> = {
+    let changes = {
         let table = catalog.table(&plan.table)?;
-        let ctx = BoundCtx {
-            catalog,
-            params,
-            named_params,
-            row: None,
-        };
-        let mut out = Vec::new();
-        for (id, row) in table.iter() {
-            let hit = match &plan.filter {
-                Some(pred) => {
-                    let rc = BoundCtx {
-                        row: Some(row),
-                        ..ctx
-                    };
-                    evals.pred(pred, &rc)?
-                }
-                None => true,
-            };
-            if hit {
-                out.push(id);
-            }
-        }
-        out
+        collect_update(catalog, &table, plan, params, named_params, &mut evals)?
     };
+    let mut table = catalog.table_mut(&plan.table)?;
+    let n = apply_update(catalog, &mut table, changes, undo)?;
+    drop(table);
+    catalog.note_bound_evals(evals.0);
+    Ok(n)
+}
 
-    let table_name = catalog.table(&plan.table)?.schema.name.clone();
+/// Fast-path variant of [`run_update_plan`]: both phases run against a
+/// table guard the *caller* already holds, so the whole statement is one
+/// atomic unit even under the shared catalog-shape lock. Callers must
+/// have checked [`UpdatePlan::has_subquery`] — a subquery would re-enter
+/// the catalog's table map and self-deadlock on the held guard.
+pub fn run_update_plan_on(
+    catalog: &Catalog,
+    table: &mut Table,
+    plan: &UpdatePlan,
+    params: &[Value],
+    named_params: &HashMap<String, Value>,
+    undo: &mut UndoLog,
+) -> SqlResult<usize> {
+    let mut evals = Evals(0);
+    let changes = collect_update(catalog, table, plan, params, named_params, &mut evals)?;
+    let n = apply_update(catalog, table, changes, undo)?;
+    catalog.note_bound_evals(evals.0);
+    Ok(n)
+}
+
+/// Collect phase of a compiled `DELETE`: gather victim row ids against
+/// an immutable snapshot.
+fn collect_delete(
+    catalog: &Catalog,
+    table: &Table,
+    plan: &DeletePlan,
+    params: &[Value],
+    named_params: &HashMap<String, Value>,
+    evals: &mut Evals,
+) -> SqlResult<Vec<RowId>> {
+    let ctx = BoundCtx {
+        catalog,
+        params,
+        named_params,
+        row: None,
+    };
+    let mut out = Vec::new();
+    for (id, row) in table.iter() {
+        let hit = match &plan.filter {
+            Some(pred) => {
+                let rc = BoundCtx {
+                    row: Some(row),
+                    ..ctx
+                };
+                evals.pred(pred, &rc)?
+            }
+            None => true,
+        };
+        if hit {
+            out.push(id);
+        }
+    }
+    Ok(out)
+}
+
+/// Apply phase of a compiled `DELETE` under the caller's table guard.
+fn apply_delete(
+    catalog: &Catalog,
+    table: &mut Table,
+    victims: Vec<RowId>,
+    undo: &mut UndoLog,
+) -> SqlResult<usize> {
+    let table_name = table.schema.name.clone();
     let mut n = 0;
     for id in victims {
-        let table = catalog.table_mut(&plan.table)?;
         let row = table.delete(id)?;
         undo.record(UndoOp::Delete {
             table: table_name.clone(),
@@ -620,6 +702,43 @@ pub fn run_delete_plan(
         n += 1;
         catalog.fault_row_applied()?;
     }
+    Ok(n)
+}
+
+/// Execute a compiled `DELETE` (two-phase, like the interpreter; see
+/// [`run_update_plan`] for the guard discipline).
+pub fn run_delete_plan(
+    catalog: &Catalog,
+    plan: &DeletePlan,
+    params: &[Value],
+    named_params: &HashMap<String, Value>,
+    undo: &mut UndoLog,
+) -> SqlResult<usize> {
+    let mut evals = Evals(0);
+    let victims = {
+        let table = catalog.table(&plan.table)?;
+        collect_delete(catalog, &table, plan, params, named_params, &mut evals)?
+    };
+    let mut table = catalog.table_mut(&plan.table)?;
+    let n = apply_delete(catalog, &mut table, victims, undo)?;
+    drop(table);
+    catalog.note_bound_evals(evals.0);
+    Ok(n)
+}
+
+/// Fast-path variant of [`run_delete_plan`] against a held table guard;
+/// see [`run_update_plan_on`] for the subquery-freedom requirement.
+pub fn run_delete_plan_on(
+    catalog: &Catalog,
+    table: &mut Table,
+    plan: &DeletePlan,
+    params: &[Value],
+    named_params: &HashMap<String, Value>,
+    undo: &mut UndoLog,
+) -> SqlResult<usize> {
+    let mut evals = Evals(0);
+    let victims = collect_delete(catalog, table, plan, params, named_params, &mut evals)?;
+    let n = apply_delete(catalog, table, victims, undo)?;
     catalog.note_bound_evals(evals.0);
     Ok(n)
 }

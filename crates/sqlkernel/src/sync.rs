@@ -86,6 +86,161 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+// ---------------------------------------------------------------- TableLock
+
+/// Admission bookkeeping for [`TableLock`].
+#[derive(Debug, Default)]
+struct TableLockState {
+    /// Readers currently admitted (holding or about to take the data lock).
+    readers: usize,
+    /// Is a writer currently admitted?
+    writer: bool,
+}
+
+/// A *reader-preference* reader-writer lock for per-table data.
+///
+/// `std::sync::RwLock` documents that a thread re-acquiring a read lock
+/// it already holds may deadlock when a writer is queued in between —
+/// and the query engine does exactly that: a `SELECT` scanning table `t`
+/// under a read guard can evaluate a subquery that reads `t` again
+/// (self-joins do it too). This lock therefore runs its own admission
+/// control — a mutex + condvar — in front of an internal `RwLock` that
+/// is never contended in the dangerous way:
+///
+/// * readers are admitted whenever no writer is **active** (waiting
+///   writers do not block them), so recursive read acquisition is always
+///   safe;
+/// * a writer is admitted only once `readers == 0`, at which point the
+///   internal data lock is free, so its `write()` succeeds immediately.
+///
+/// The price of reader preference is potential writer starvation under a
+/// saturating read load; the engine's statement-scoped guards keep every
+/// hold short, and the catalog-shape lock above this one bounds how long
+/// a starvation window can last (DDL drains everything).
+#[derive(Debug, Default)]
+pub struct TableLock<T> {
+    state: Mutex<TableLockState>,
+    admitted: std::sync::Condvar,
+    data: RwLock<T>,
+}
+
+impl<T> TableLock<T> {
+    /// Wrap `value` in a new table lock.
+    pub fn new(value: T) -> TableLock<T> {
+        TableLock {
+            state: Mutex::new(TableLockState::default()),
+            admitted: std::sync::Condvar::new(),
+            data: RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    /// Acquire a shared read guard. Never blocks on *waiting* writers,
+    /// so a thread may hold any number of read guards on the same lock.
+    pub fn read(&self) -> TableReadGuard<'_, T> {
+        let mut state = self.state.lock();
+        while state.writer {
+            state = self
+                .admitted
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        state.readers += 1;
+        drop(state);
+        // No writer is admitted while readers > 0, so this cannot block.
+        TableReadGuard {
+            lock: self,
+            guard: Some(self.data.read()),
+        }
+    }
+
+    /// Acquire the exclusive write guard, waiting out current readers.
+    pub fn write(&self) -> TableWriteGuard<'_, T> {
+        let mut state = self.state.lock();
+        while state.writer || state.readers > 0 {
+            state = self
+                .admitted
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        state.writer = true;
+        drop(state);
+        // All reader guards released the data lock before decrementing
+        // their admission count, so this cannot block either.
+        TableWriteGuard {
+            lock: self,
+            guard: Some(self.data.write()),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+/// Shared guard returned by [`TableLock::read`].
+#[derive(Debug)]
+pub struct TableReadGuard<'a, T> {
+    lock: &'a TableLock<T>,
+    guard: Option<RwLockReadGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for TableReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for TableReadGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the data lock *before* the admission slot: a writer
+        // admitted by the decrement must find the data lock free.
+        self.guard.take();
+        let mut state = self.lock.state.lock();
+        state.readers -= 1;
+        if state.readers == 0 {
+            drop(state);
+            self.lock.admitted.notify_all();
+        }
+    }
+}
+
+/// Exclusive guard returned by [`TableLock::write`].
+#[derive(Debug)]
+pub struct TableWriteGuard<'a, T> {
+    lock: &'a TableLock<T>,
+    guard: Option<RwLockWriteGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for TableWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for TableWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for TableWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.guard.take();
+        let mut state = self.lock.state.lock();
+        state.writer = false;
+        drop(state);
+        self.lock.admitted.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +289,59 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn table_lock_read_write_round_trip() {
+        let l = TableLock::new(1u32);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 2);
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
+        assert_eq!(l.into_inner(), 2);
+    }
+
+    #[test]
+    fn table_lock_recursive_read_survives_waiting_writer() {
+        // The scenario std::sync::RwLock documents as a deadlock: thread A
+        // holds a read guard, thread B queues a write, thread A re-acquires
+        // a read. Reader preference must admit A's second read anyway.
+        let l = std::sync::Arc::new(TableLock::new(0u32));
+        let first = l.read();
+        let l2 = l.clone();
+        let writer = std::thread::spawn(move || {
+            *l2.write() += 1;
+        });
+        // Give the writer time to start waiting.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let second = l.read(); // must not deadlock
+        assert_eq!(*first + *second, 0);
+        drop(first);
+        drop(second);
+        writer.join().unwrap();
+        assert_eq!(*l.read(), 1);
+    }
+
+    #[test]
+    fn table_lock_writer_excludes_readers_and_writers() {
+        let l = std::sync::Arc::new(TableLock::new(0u64));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let l = l.clone();
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        let mut g = l.write();
+                        // Non-atomic read-modify-write: torn under any
+                        // failure of mutual exclusion.
+                        let v = *g;
+                        *g = v + 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*l.read(), 4000);
     }
 }

@@ -51,6 +51,10 @@ pub enum UndoOp {
     DropIndex { table: String, index: Index },
     /// A sequence was created → undo removes it.
     CreateSequence { name: String },
+    /// A `NEXTVAL` draw by a statement that later joined this log → undo
+    /// gives the value back (CAS-guarded: skipped if a later draw
+    /// intervened), so a rolled-back transaction's retry redraws it.
+    SequenceDraw { name: String, drawn: i64 },
     /// A sequence was dropped → undo restores it (current value included).
     DropSequence { seq: Sequence },
     /// A procedure was created → undo removes it.
@@ -101,6 +105,27 @@ impl UndoLog {
         self.ops.extend(other.ops);
     }
 
+    /// Roll back a statement log whose entries are all row operations on
+    /// the caller's held table — the fast path's rollback, which must not
+    /// re-enter the catalog's table map while its guard is held. Non-row
+    /// entries cannot occur on that path (DDL never takes it).
+    pub fn rollback_on_table(self, table: &mut Table) {
+        for op in self.ops.into_iter().rev() {
+            match op {
+                UndoOp::Insert { row_id, .. } => {
+                    let _ = table.delete(row_id);
+                }
+                UndoOp::Delete { row_id, row, .. } => {
+                    table.restore(row_id, row);
+                }
+                UndoOp::Update { row_id, old, .. } => {
+                    table.raw_replace(row_id, old);
+                }
+                _ => debug_assert!(false, "fast-path undo log holds only row ops"),
+            }
+        }
+    }
+
     /// Apply all entries in reverse, restoring the pre-log state.
     ///
     /// Undo application is infallible by construction: every entry restores
@@ -111,17 +136,17 @@ impl UndoLog {
         for op in self.ops.into_iter().rev() {
             match op {
                 UndoOp::Insert { table, row_id } => {
-                    if let Ok(t) = catalog.table_mut(&table) {
+                    if let Ok(mut t) = catalog.table_mut(&table) {
                         let _ = t.delete(row_id);
                     }
                 }
                 UndoOp::Delete { table, row_id, row } => {
-                    if let Ok(t) = catalog.table_mut(&table) {
+                    if let Ok(mut t) = catalog.table_mut(&table) {
                         t.restore(row_id, row);
                     }
                 }
                 UndoOp::Update { table, row_id, old } => {
-                    if let Ok(t) = catalog.table_mut(&table) {
+                    if let Ok(mut t) = catalog.table_mut(&table) {
                         t.raw_replace(row_id, old);
                     }
                 }
@@ -141,18 +166,23 @@ impl UndoLog {
                 }
                 UndoOp::CreateIndex { table, index } => {
                     catalog.unregister_index(&index);
-                    if let Ok(t) = catalog.table_mut(&table) {
+                    if let Ok(mut t) = catalog.table_mut(&table) {
                         let _ = t.drop_index(&index);
                     }
                 }
                 UndoOp::DropIndex { table, index } => {
                     let _ = catalog.register_index(&index.name, &table);
-                    if let Ok(t) = catalog.table_mut(&table) {
+                    if let Ok(mut t) = catalog.table_mut(&table) {
                         t.restore_index(index);
                     }
                 }
                 UndoOp::CreateSequence { name } => {
                     let _ = catalog.remove_sequence(&name);
+                }
+                UndoOp::SequenceDraw { name, drawn } => {
+                    if let Ok(seq) = catalog.sequence(&name) {
+                        let _ = seq.undo_draw(drawn);
+                    }
                 }
                 UndoOp::DropSequence { seq } => {
                     let _ = catalog.add_sequence(seq);
@@ -267,7 +297,7 @@ mod tests {
         // insert then update then delete of the same row rolls back cleanly.
         let mut c = catalog_with_table();
         let mut log = UndoLog::new();
-        let t = c.table_mut("t").unwrap();
+        let mut t = c.table_mut("t").unwrap();
         let id = t.insert(vec![Value::Int(9), Value::text("x")]).unwrap();
         log.record(UndoOp::Insert {
             table: "t".into(),
@@ -285,6 +315,7 @@ mod tests {
             row_id: id,
             row,
         });
+        drop(t);
         log.rollback(&mut c);
         assert_eq!(c.table("t").unwrap().len(), 0);
     }

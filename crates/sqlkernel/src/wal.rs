@@ -837,11 +837,8 @@ pub fn scan(bytes: &[u8]) -> ScannedLog {
 // ------------------------------------------------------------ op derivation
 
 fn row_of(catalog: &Catalog, table: &str, row_id: RowId) -> Option<Row> {
-    catalog
-        .table(table)
-        .ok()
-        .and_then(|t| t.get(row_id))
-        .map(|arc| (**arc).clone())
+    let t = catalog.table(table).ok()?;
+    t.get(row_id).map(|arc| (**arc).clone())
 }
 
 fn is_temp(catalog: &Catalog, table: &str) -> bool {
@@ -885,7 +882,7 @@ pub fn snapshot_catalog(catalog: &Catalog) -> CheckpointSnapshot {
         if t.schema.temporary {
             continue;
         }
-        tables.push(image_of(catalog, t));
+        tables.push(image_of(catalog, &t));
     }
     CheckpointSnapshot {
         epoch: catalog.epoch(),
@@ -1029,6 +1026,65 @@ pub fn ops_from_undo(catalog: &Catalog, undo_ops: &[UndoOp]) -> Vec<WalOp> {
             | UndoOp::DropProcedure { .. }
             | UndoOp::CreateView { .. }
             | UndoOp::DropView { .. } => {}
+            // No redo needed: the Commit record's sequence snapshot
+            // carries the cursor; draws only matter for in-memory undo.
+            UndoOp::SequenceDraw { .. } => {}
+        }
+    }
+    out
+}
+
+/// Fast-path variant of [`ops_from_undo`]: the after-images are read
+/// from the caller's *held* table guard instead of re-entering the
+/// catalog's table map (which would self-deadlock on the per-table
+/// lock). Only row operations can occur on that path — the fast path is
+/// restricted to single-table, subquery-free DML — so any other entry is
+/// a logic error.
+pub fn ops_from_undo_on(table: &Table, undo_ops: &[UndoOp]) -> Vec<WalOp> {
+    if table.schema.temporary {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(undo_ops.len());
+    for op in undo_ops {
+        match op {
+            UndoOp::Insert {
+                table: name,
+                row_id,
+            } => {
+                if let Some(after) = table.get(*row_id) {
+                    out.push(WalOp::Insert {
+                        table: name.clone(),
+                        row_id: *row_id,
+                        after: (**after).clone(),
+                    });
+                }
+            }
+            UndoOp::Update {
+                table: name,
+                row_id,
+                old,
+            } => {
+                if let Some(after) = table.get(*row_id) {
+                    out.push(WalOp::Update {
+                        table: name.clone(),
+                        row_id: *row_id,
+                        before: old.clone(),
+                        after: (**after).clone(),
+                    });
+                }
+            }
+            UndoOp::Delete {
+                table: name,
+                row_id,
+                row,
+            } => {
+                out.push(WalOp::Delete {
+                    table: name.clone(),
+                    row_id: *row_id,
+                    before: row.clone(),
+                });
+            }
+            _ => debug_assert!(false, "fast-path undo log holds only row ops"),
         }
     }
     out
@@ -1091,7 +1147,7 @@ fn apply_redo(catalog: &mut Catalog, op: &WalOp) {
             row_id,
             after,
         } => {
-            if let Ok(t) = catalog.table_mut(table) {
+            if let Ok(mut t) = catalog.table_mut(table) {
                 t.restore(*row_id, after.clone());
             }
         }
@@ -1101,12 +1157,12 @@ fn apply_redo(catalog: &mut Catalog, op: &WalOp) {
             after,
             ..
         } => {
-            if let Ok(t) = catalog.table_mut(table) {
+            if let Ok(mut t) = catalog.table_mut(table) {
                 t.raw_replace(*row_id, after.clone());
             }
         }
         WalOp::Delete { table, row_id, .. } => {
-            if let Ok(t) = catalog.table_mut(table) {
+            if let Ok(mut t) = catalog.table_mut(table) {
                 let _ = t.delete(*row_id);
             }
         }
@@ -1117,7 +1173,7 @@ fn apply_redo(catalog: &mut Catalog, op: &WalOp) {
             let _ = catalog.remove_table(&image.schema.name);
         }
         WalOp::CreateIndex { table, def } => {
-            if let Ok(t) = catalog.table_mut(table) {
+            if let Ok(mut t) = catalog.table_mut(table) {
                 if !t.has_index(&def.name) {
                     let cols = column_names(&t.schema, &def.columns);
                     let _ = t.create_index(def.name.clone(), &cols, def.unique);
@@ -1129,7 +1185,7 @@ fn apply_redo(catalog: &mut Catalog, op: &WalOp) {
         }
         WalOp::DropIndex { table, def } => {
             catalog.unregister_index(&def.name);
-            if let Ok(t) = catalog.table_mut(table) {
+            if let Ok(mut t) = catalog.table_mut(table) {
                 let _ = t.drop_index(&def.name);
             }
         }
@@ -1150,7 +1206,7 @@ fn apply_redo(catalog: &mut Catalog, op: &WalOp) {
 fn apply_undo(catalog: &mut Catalog, op: &WalOp) {
     match op {
         WalOp::Insert { table, row_id, .. } => {
-            if let Ok(t) = catalog.table_mut(table) {
+            if let Ok(mut t) = catalog.table_mut(table) {
                 let _ = t.delete(*row_id);
             }
         }
@@ -1160,7 +1216,7 @@ fn apply_undo(catalog: &mut Catalog, op: &WalOp) {
             before,
             ..
         } => {
-            if let Ok(t) = catalog.table_mut(table) {
+            if let Ok(mut t) = catalog.table_mut(table) {
                 t.raw_replace(*row_id, before.clone());
             }
         }
@@ -1169,7 +1225,7 @@ fn apply_undo(catalog: &mut Catalog, op: &WalOp) {
             row_id,
             before,
         } => {
-            if let Ok(t) = catalog.table_mut(table) {
+            if let Ok(mut t) = catalog.table_mut(table) {
                 t.restore(*row_id, before.clone());
             }
         }
@@ -1181,12 +1237,12 @@ fn apply_undo(catalog: &mut Catalog, op: &WalOp) {
         }
         WalOp::CreateIndex { table, def } => {
             catalog.unregister_index(&def.name);
-            if let Ok(t) = catalog.table_mut(table) {
+            if let Ok(mut t) = catalog.table_mut(table) {
                 let _ = t.drop_index(&def.name);
             }
         }
         WalOp::DropIndex { table, def } => {
-            if let Ok(t) = catalog.table_mut(table) {
+            if let Ok(mut t) = catalog.table_mut(table) {
                 if !t.has_index(&def.name) {
                     let cols = column_names(&t.schema, &def.columns);
                     let _ = t.create_index(def.name.clone(), &cols, def.unique);
@@ -1354,8 +1410,38 @@ pub enum AppendMode {
     Torn,
 }
 
+/// Shared state of the group-commit sequencer. All LSN assignment and
+/// byte accumulation happens under this mutex, so the byte order of the
+/// log always equals LSN order.
+#[derive(Debug, Default)]
+struct GroupState {
+    /// Encoded, framed bytes of the generation currently accumulating.
+    buf: Vec<u8>,
+    /// Commit records contained in `buf` (for the commits counter).
+    buf_commits: u64,
+    /// Generation currently accumulating; bumped when a leader takes the
+    /// buffer to flush it.
+    gen: u64,
+    /// Is a leader currently flushing a taken generation?
+    flushing: bool,
+    /// Highest generation whose flush has completed (ok or failed).
+    done_gen: u64,
+    /// Generations whose flush failed: every member of such a generation
+    /// must report failure so its caller rolls back its in-memory
+    /// effects. Only ever populated by genuine store errors, so growth is
+    /// not a concern.
+    failed: Vec<u64>,
+}
+
 /// The per-database WAL manager: assigns LSNs and transaction ids,
 /// encodes and appends records, and writes checkpoints.
+///
+/// Appends go through a *group-commit sequencer*: records arriving from
+/// concurrent statements are coalesced into one store append per flush
+/// window. The window is measured in scheduler yields (virtual ticks,
+/// like the fault clock) so single-threaded behavior is untouched at the
+/// default window of 0 — an uncontended append with an empty buffer
+/// bypasses grouping entirely and hits the store directly.
 #[derive(Debug)]
 pub struct Wal {
     store: Arc<dyn LogStore>,
@@ -1364,8 +1450,17 @@ pub struct Wal {
     appends: AtomicU64,
     bytes_written: AtomicU64,
     checkpoints: AtomicU64,
+    /// Commit records appended (the denominator of appends-per-commit).
+    commits: AtomicU64,
     /// Explicit transactions with a logged `Begin` but no terminator yet.
     active_txns: AtomicU64,
+    /// Flush window in scheduler yields a group-commit leader waits
+    /// before taking the buffer. 0 disables the wait (but concurrent
+    /// arrivals during a flush still coalesce into the next generation).
+    group_window: AtomicU64,
+    group: Mutex<GroupState>,
+    /// Signalled when a flush generation completes or a leader steps down.
+    group_done: std::sync::Condvar,
 }
 
 impl Wal {
@@ -1378,7 +1473,11 @@ impl Wal {
             appends: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
             active_txns: AtomicU64::new(0),
+            group_window: AtomicU64::new(0),
+            group: Mutex::new(GroupState::default()),
+            group_done: std::sync::Condvar::new(),
         }
     }
 
@@ -1422,12 +1521,27 @@ impl Wal {
         self.checkpoints.load(Ordering::Relaxed)
     }
 
-    /// Encode `records` with fresh LSNs and append them in one write.
-    /// `Torn` mode chops the final record to model a mid-write crash.
-    pub fn append(&self, records: &[WalRecord], mode: AppendMode) -> SqlResult<()> {
-        if records.is_empty() {
-            return Ok(());
-        }
+    /// Commit records appended so far (group members included).
+    pub fn commits(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    /// Set the group-commit flush window, in scheduler yields a leader
+    /// waits before taking the buffer. 0 (the default) disables grouping
+    /// for uncontended appends entirely.
+    pub fn set_group_window(&self, window: u64) {
+        self.group_window.store(window, Ordering::Relaxed);
+    }
+
+    /// The configured group-commit flush window.
+    pub fn group_window(&self) -> u64 {
+        self.group_window.load(Ordering::Relaxed)
+    }
+
+    /// Encode `records` with fresh LSNs. Must be called with the group
+    /// mutex held so byte order in the log equals LSN order. Returns the
+    /// framed bytes and the framed length of the final record.
+    fn encode_all_locked(&self, records: &[WalRecord]) -> (Vec<u8>, usize) {
         let mut buf = Vec::new();
         let mut last_len = 0usize;
         for r in records {
@@ -1436,17 +1550,157 @@ impl Wal {
             last_len = framed.len();
             buf.extend_from_slice(&framed);
         }
-        if mode == AppendMode::Torn {
-            // Keep a strict, non-empty prefix of the final record (every
-            // framed record is ≥ 21 bytes, so half is always both).
-            let keep = buf.len() - last_len + last_len / 2;
-            buf.truncate(keep);
-        }
-        self.store.append(&buf)?;
+        (buf, last_len)
+    }
+
+    /// One physical store append, with counter upkeep.
+    fn store_write(&self, bytes: &[u8]) -> SqlResult<()> {
+        self.store.append(bytes)?;
         self.appends.fetch_add(1, Ordering::Relaxed);
         self.bytes_written
-            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Encode `records` with fresh LSNs and append them. `Torn` mode
+    /// chops the final record to model a mid-write crash.
+    ///
+    /// `Full` appends run through the group-commit sequencer: if other
+    /// appends are pending or in flight, this one coalesces into a
+    /// *generation* that a single leader thread writes with one store
+    /// append, acknowledging every member once the shared write lands.
+    /// A failed generation write fails every member, whose callers each
+    /// roll back their own in-memory effects — all-or-nothing per
+    /// member transaction is preserved because each member's records are
+    /// individually framed and terminated (recovery never sees a group
+    /// boundary; it replays the stream record by record).
+    pub fn append(&self, records: &[WalRecord], mode: AppendMode) -> SqlResult<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let n_commits = records
+            .iter()
+            .filter(|r| matches!(r, WalRecord::Commit { .. }))
+            .count() as u64;
+        match mode {
+            AppendMode::Torn => self.append_torn(records),
+            AppendMode::Full => self.append_grouped(records, n_commits),
+        }
+    }
+
+    /// A torn append models the process dying mid-write, so its bytes
+    /// must be the *last* thing on the log: any pending generation is
+    /// flushed first (those members' records are complete and committed),
+    /// then the truncated tail goes down. Recovery stops at the tear, so
+    /// the group members stay durable and only the torn transaction is
+    /// discarded — all-or-nothing per member.
+    fn append_torn(&self, records: &[WalRecord]) -> SqlResult<()> {
+        let mut state = self.group.lock();
+        while state.flushing {
+            state = self
+                .group_done
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if !state.buf.is_empty() {
+            let bytes = std::mem::take(&mut state.buf);
+            let commits = std::mem::take(&mut state.buf_commits);
+            let gen = state.gen;
+            state.gen += 1;
+            state.done_gen = gen;
+            // Holding the lock across the write is fine here: the
+            // process is about to freeze, so throughput is irrelevant.
+            if self.store_write(&bytes).is_err() {
+                state.failed.push(gen);
+            } else {
+                self.commits.fetch_add(commits, Ordering::Relaxed);
+            }
+            self.group_done.notify_all();
+        }
+        let (mut buf, last_len) = self.encode_all_locked(records);
+        // Keep a strict, non-empty prefix of the final record (every
+        // framed record is ≥ 21 bytes, so half is always both).
+        let keep = buf.len() - last_len + last_len / 2;
+        buf.truncate(keep);
+        self.store_write(&buf)
+    }
+
+    fn append_grouped(&self, records: &[WalRecord], n_commits: u64) -> SqlResult<()> {
+        let window = self.group_window.load(Ordering::Relaxed);
+        let mut state = self.group.lock();
+
+        // Window 0, nothing pending: append directly under the mutex.
+        // This is the single-threaded path — byte-for-byte and
+        // count-for-count identical to an ungrouped WAL.
+        if window == 0 && !state.flushing && state.buf.is_empty() {
+            let (buf, _) = self.encode_all_locked(records);
+            let res = self.store_write(&buf);
+            if res.is_ok() {
+                self.commits.fetch_add(n_commits, Ordering::Relaxed);
+            }
+            return res;
+        }
+
+        // Join the accumulating generation.
+        let my_gen = state.gen;
+        let (bytes, _) = self.encode_all_locked(records);
+        state.buf.extend_from_slice(&bytes);
+        state.buf_commits += n_commits;
+
+        if state.flushing {
+            // A leader is writing the previous generation; it keeps
+            // flushing while the buffer refills, so it will pick this
+            // generation up. Wait to be acknowledged.
+            while state.done_gen < my_gen {
+                state = self
+                    .group_done
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            return if state.failed.contains(&my_gen) {
+                Err(SqlError::Runtime("wal group append failed".into()))
+            } else {
+                Ok(())
+            };
+        }
+
+        // Become the leader: hold the flush window open so concurrent
+        // arrivals coalesce, then write generation after generation until
+        // the buffer stays empty.
+        state.flushing = true;
+        drop(state);
+        for _ in 0..window {
+            std::thread::yield_now();
+        }
+        let mut my_result = Ok(());
+        let mut state = self.group.lock();
+        loop {
+            let bytes = std::mem::take(&mut state.buf);
+            let commits = std::mem::take(&mut state.buf_commits);
+            let gen = state.gen;
+            state.gen += 1;
+            drop(state);
+            let res = self.store_write(&bytes);
+            if res.is_ok() {
+                self.commits.fetch_add(commits, Ordering::Relaxed);
+            }
+            state = self.group.lock();
+            state.done_gen = gen;
+            if res.is_err() {
+                state.failed.push(gen);
+            }
+            if gen == my_gen {
+                my_result = res;
+            }
+            self.group_done.notify_all();
+            if state.buf.is_empty() {
+                state.flushing = false;
+                drop(state);
+                // Wake torn appends waiting for the flusher to step down.
+                self.group_done.notify_all();
+                return my_result;
+            }
+        }
     }
 
     /// Write a checkpoint: snapshot the catalog and atomically replace

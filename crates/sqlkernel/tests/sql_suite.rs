@@ -425,6 +425,50 @@ fn nextval_in_insert_generates_distinct_keys() {
 }
 
 #[test]
+fn nextval_draw_is_returned_when_the_statement_fails() {
+    // The failing INSERT evaluates NEXTVAL before hitting the duplicate
+    // key; statement atomicity must give the drawn value back so a
+    // fault-retry loop regenerates the *same* key stream.
+    let db = Database::new("suite");
+    let conn = db.connect();
+    conn.execute_script(
+        "CREATE SEQUENCE ids START WITH 100;
+         CREATE TABLE k (id INT PRIMARY KEY, seq INT);
+         INSERT INTO k VALUES (1, NEXTVAL('ids'));",
+    )
+    .unwrap();
+    let err = conn
+        .execute("INSERT INTO k VALUES (1, NEXTVAL('ids'))", &[])
+        .unwrap_err();
+    assert_eq!(err.class(), "constraint");
+    conn.execute("INSERT INTO k VALUES (2, NEXTVAL('ids'))", &[])
+        .unwrap();
+    let rs = conn.query("SELECT seq FROM k ORDER BY id", &[]).unwrap();
+    assert_eq!(format!("{:?}", rs.rows), "[[Int(100)], [Int(101)]]");
+}
+
+#[test]
+fn nextval_draw_is_returned_on_transaction_rollback() {
+    let db = Database::new("suite");
+    let conn = db.connect();
+    conn.execute_script(
+        "CREATE SEQUENCE ids START WITH 7;
+         CREATE TABLE k (id INT PRIMARY KEY);",
+    )
+    .unwrap();
+    conn.execute_script(
+        "BEGIN;
+         INSERT INTO k VALUES (NEXTVAL('ids'));
+         ROLLBACK;",
+    )
+    .unwrap();
+    conn.execute("INSERT INTO k VALUES (NEXTVAL('ids'))", &[])
+        .unwrap();
+    let rs = conn.query("SELECT id FROM k", &[]).unwrap();
+    assert_eq!(format!("{:?}", rs.rows), "[[Int(7)]]");
+}
+
+#[test]
 fn boolean_columns_and_literals() {
     let setup = "CREATE TABLE flags (id INT PRIMARY KEY, ok BOOL);
         INSERT INTO flags VALUES (1, TRUE), (2, FALSE), (3, NULL);";

@@ -17,6 +17,7 @@
 
 use flowcore::persistence::{DurableProcess, DurableRun, HydratedInstance, PersistenceService};
 use flowcore::retry::RetryRuntime;
+use flowcore::scheduler::InstanceScheduler;
 use flowcore::value::Variables;
 use flowcore::FlowResult;
 use sqlkernel::{Database, Value};
@@ -87,6 +88,34 @@ impl SqlWorkflowPersistenceService {
         rt: &mut RetryRuntime,
     ) -> FlowResult<DurableRun> {
         self.inner.run(process, instance_key, initial, rt)
+    }
+
+    /// Run N workflows across `scheduler`'s worker pool — WF's runtime
+    /// scheduling many instances onto CLR threads, with this service as
+    /// their shared persistence store. `process(index)` builds each
+    /// worker's own definition (step bodies are not `Send`);
+    /// `runtime(index)` builds each job's retry runtime — seed it with
+    /// the index so backoff jitter is per-instance deterministic
+    /// regardless of which worker runs it, and size its policy to the
+    /// fault environment (the default budget is 4 attempts). Results
+    /// come back in job order.
+    pub fn run_workflows<P, R>(
+        &self,
+        process: P,
+        instance_keys: &[String],
+        initial: &Variables,
+        runtime: R,
+        scheduler: &InstanceScheduler,
+    ) -> Vec<FlowResult<DurableRun>>
+    where
+        P: Fn(usize) -> DurableProcess + Send + Sync,
+        R: Fn(usize) -> RetryRuntime + Send + Sync,
+    {
+        scheduler.run_indexed(instance_keys.len(), |i| {
+            let mut rt = runtime(i);
+            self.inner
+                .run(&process(i), &instance_keys[i], initial, &mut rt)
+        })
     }
 
     /// Number of instances currently parked in the store.

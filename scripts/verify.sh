@@ -19,9 +19,16 @@ for seed in 20260807 271828 31337; do
 done
 
 # Crash recovery: kill-and-recover schedules across all three stacks
-# (each run adds CRASH_SEED to the three built-in schedule seeds).
+# (each run adds CRASH_SEED to the three built-in schedule seeds),
+# plus the torn-group-append suite under the same rotation.
 for seed in 20260807 271828 31337; do
   CRASH_SEED="$seed" cargo test -q --test crash_recovery
+  CRASH_SEED="$seed" cargo test -q -p sqlkernel --test group_commit_crash
 done
+
+# Throughput bench smoke: prove the binary runs end-to-end without
+# overwriting the recorded JSON (BENCH_SMOKE shortens the window and
+# skips the write).
+BENCH_SMOKE=1 ./target/release/bench_throughput >/dev/null
 
 echo "verify: OK"

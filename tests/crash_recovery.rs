@@ -223,6 +223,40 @@ fn bis_deployment_survives_combined_transient_and_crash_storm() {
     }
 }
 
+#[test]
+fn bis_deployment_with_group_commit_recovers_identically_under_crash_storms() {
+    // Routing every commit through the WAL group sequencer must change
+    // nothing about what a crash can destroy: the same storms, with
+    // grouping enabled in every lifetime, recover to the same bytes as
+    // the ungrouped crash-free baseline.
+    let baseline = bis_baseline();
+    for seed in schedule_seeds() {
+        let schedule = crash_storm(seed, HORIZON, 3);
+        let store = MemLogStore::new();
+        bis_schema(&Database::with_wal("crash_db", Arc::new(store.clone())));
+        run_to_completion(&store, &schedule, |db| {
+            db.set_group_commit_window(2);
+            bis_run(db)
+        });
+        assert_recovers_to(&store, &baseline, "intake-1");
+    }
+}
+
+#[test]
+fn bis_deployment_with_group_commit_survives_combined_storm() {
+    let baseline = bis_baseline();
+    for seed in schedule_seeds() {
+        let schedule = combined_storm(seed, HORIZON, 2, 10);
+        let store = MemLogStore::new();
+        bis_schema(&Database::with_wal("crash_db", Arc::new(store.clone())));
+        run_to_completion(&store, &schedule, |db| {
+            db.set_group_commit_window(3);
+            bis_run(db)
+        });
+        assert_recovers_to(&store, &baseline, "intake-1");
+    }
+}
+
 // ---------------------------------------------------------------------------
 // WF: SqlWorkflowPersistenceService (Fig. 5)
 // ---------------------------------------------------------------------------
