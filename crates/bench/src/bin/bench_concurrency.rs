@@ -79,7 +79,7 @@ fn main() {
          \"stmt_cache_hits\": {hits},\n    \"stmt_cache_misses\": {misses},\n    \
          \"plan_binds\": {binds},\n    \"bound_evals\": {bevals},\n    \
          \"index_scans\": {idx},\n    \"range_scans\": {range},\n    \
-         \"full_scans\": {full},\n    \"topk_sorts\": {topk}\n  }}\n}}\n",
+         \"full_scans\": {full},\n    \"full_scan_rows\": {fsrows},\n    \"topk_sorts\": {topk},\n    \"batch_evals\": {batch},\n    \"batched_rows\": {brows},\n    \"hash_aggs\": {haggs}\n  }}\n}}\n",
         query = QUERY,
         rows = DB_ROWS,
         window = WINDOW.as_millis(),
@@ -93,7 +93,11 @@ fn main() {
         idx = stats.index_scans,
         range = stats.range_scans,
         full = stats.full_scans,
+        fsrows = stats.full_scan_rows,
         topk = stats.topk_sorts,
+        batch = stats.batch_evals,
+        brows = stats.batched_rows,
+        haggs = stats.hash_aggs,
     );
 
     let path = "docs/outputs/BENCH_concurrency.json";

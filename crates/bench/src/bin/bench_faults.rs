@@ -108,14 +108,18 @@ fn main() {
     }
 
     eprintln!("0%-plan overhead vs no plan: {:.2}%", overhead_0 * 100.0);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let json = format!(
         "{{\n  \"bench\": \"fault_injection\",\n  \"statements_per_run\": {OPS},\n  \
-         \"reps\": {REPS},\n  \"seed\": {SEED},\n  \
+         \"reps\": {REPS},\n  \"seed\": {SEED},\n  \"host_cpus\": {cpus},\n  \
          \"no_injector_stmts_per_sec\": {base_ops_per_sec:.1},\n  \
          \"zero_rate_overhead_pct\": {overhead:.2},\n  \
          \"note\": \"every run completes all statements: faulted ones are retried to \
          success, so the 1%/10% rows are recovered throughput, not loss\",\n  \
          \"points\": [\n{points}\n  ]\n}}\n",
+        cpus = cpus,
         overhead = overhead_0 * 100.0,
         points = points.join(",\n"),
     );

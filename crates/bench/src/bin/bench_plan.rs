@@ -223,8 +223,11 @@ fn main() {
         per_stmt_us(idxord, 200)
     );
 
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let json = format!(
-        "{{\n  \"bench\": \"compiled_plan_cache\",\n  \"db_rows\": {rows},\n  \
+        "{{\n  \"bench\": \"compiled_plan_cache\",\n  \"db_rows\": {rows},\n  \"host_cpus\": {cpus},\n  \
          \"note\": \"per_stmt_us is wall-clock per statement, median of 3 runs; \
          speedups compare against the first workload of each pair/triple; \
          engine_stats sums counters over all benchmark databases\",\n  \
@@ -235,6 +238,7 @@ fn main() {
          \"range_scans\": {range_scans},\n    \"full_scans\": {full_scans},\n    \
          \"topk_sorts\": {topk}\n  }}\n}}\n",
         rows = DB_ROWS,
+        cpus = cpus,
         points = points.join(",\n"),
         exec = agg.statements_executed,
         parses = agg.parses,

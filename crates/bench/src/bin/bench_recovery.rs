@@ -139,9 +139,12 @@ fn main() {
         ));
     }
 
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let json = format!(
         "{{\n  \"bench\": \"crash_recovery\",\n  \"statements_per_run\": {OPS},\n  \
-         \"reps\": {REPS},\n  \"plain_stmts_per_sec\": {mem_sps:.1},\n  \
+         \"reps\": {REPS},\n  \"host_cpus\": {cpus},\n  \"plain_stmts_per_sec\": {mem_sps:.1},\n  \
          \"wal_stmts_per_sec\": {wal_sps:.1},\n  \
          \"wal_overhead_pct\": {overhead_pct:.2},\n  \
          \"wal_overhead_budget_pct\": 10.0,\n  \
@@ -152,6 +155,7 @@ fn main() {
          compact log and near-instant recovery\",\n  \
          \"checkpoint_intervals\": [\n{rows}\n  ]\n}}\n",
         log_bytes.len(),
+        cpus = cpus,
         rows = interval_rows.join(",\n"),
     );
 

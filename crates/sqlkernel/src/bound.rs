@@ -493,6 +493,180 @@ pub fn eval_bound(expr: &BoundExpr, ctx: &BoundCtx<'_>) -> SqlResult<Value> {
     }
 }
 
+// ------------------------------------------------------------- batch eval
+//
+// The batch executor (`exec::batch`) evaluates expressions over row
+// batches instead of driving `eval_bound` through per-row plumbing in the
+// pipeline. Evaluation stays *row-major within a pass*: a pass visits the
+// batch's rows in order, so an erroring row surfaces its error at exactly
+// the position the row-at-a-time interpreter would — batching changes the
+// memory access pattern and the bookkeeping granularity, never the
+// evaluation order.
+
+/// One `column <cmp> constant` conjunct of a comparison-only WHERE
+/// clause, extracted for the tight filter loop. `key` may come from a
+/// plan constant or a resolved `?` parameter.
+pub(crate) struct ColCmp<'a> {
+    col: usize,
+    op: BinOp,
+    key: &'a Value,
+}
+
+impl ColCmp<'_> {
+    /// Does `row` satisfy this conjunct? Infallible: a pure comparison
+    /// yields `Bool` or `NULL` (which fails), never an error.
+    pub(crate) fn passes(&self, row: &[Value]) -> bool {
+        cmp_passes(self.op, row[self.col].sql_cmp(self.key))
+    }
+}
+
+fn flip_cmp(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::LtEq => BinOp::GtEq,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::GtEq => BinOp::LtEq,
+        other => other,
+    }
+}
+
+/// Does `ord` (from [`Value::sql_cmp`]) satisfy the comparison? `None`
+/// (a NULL operand) fails every comparison — exactly the three-valued
+/// outcome [`eval_bound_predicate`] produces for a NULL result.
+fn cmp_passes(op: BinOp, ord: Option<std::cmp::Ordering>) -> bool {
+    use std::cmp::Ordering;
+    match ord {
+        None => false,
+        Some(o) => match op {
+            BinOp::Eq => o == Ordering::Equal,
+            BinOp::NotEq => o != Ordering::Equal,
+            BinOp::Lt => o == Ordering::Less,
+            BinOp::LtEq => o != Ordering::Greater,
+            BinOp::Gt => o == Ordering::Greater,
+            BinOp::GtEq => o != Ordering::Less,
+            _ => unreachable!("only comparison ops are flattened"),
+        },
+    }
+}
+
+/// Try to flatten `pred` into an AND-chain of `column <cmp> constant`
+/// conjuncts. Succeeds only when *every* leaf is such a comparison, so
+/// the caller can run the tight loop below knowing the general evaluator
+/// could never have produced an error or a different row set: a pure
+/// comparison yields `Bool` or `NULL` (never an error, never another
+/// type), and a 3VL AND of those is TRUE iff every conjunct is TRUE.
+pub(crate) fn flatten_col_cmps<'a>(
+    pred: &'a BoundExpr,
+    ctx: &BoundCtx<'a>,
+    out: &mut Vec<ColCmp<'a>>,
+) -> bool {
+    match pred {
+        BoundExpr::Binary {
+            left,
+            op: BinOp::And,
+            right,
+        } => flatten_col_cmps(left, ctx, out) && flatten_col_cmps(right, ctx, out),
+        BoundExpr::Binary { left, op, right }
+            if matches!(
+                op,
+                BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+            ) =>
+        {
+            let leaf = |e: &'a BoundExpr| match e {
+                BoundExpr::Const(v) => Some(v),
+                // A missing `?` binding falls back to the general path,
+                // which raises the canonical error on the first row.
+                BoundExpr::Param(i) => ctx.params.get(*i),
+                _ => None,
+            };
+            match (&**left, &**right) {
+                (BoundExpr::Column(c), r) => match leaf(r) {
+                    Some(key) => {
+                        out.push(ColCmp {
+                            col: *c,
+                            op: *op,
+                            key,
+                        });
+                        true
+                    }
+                    None => false,
+                },
+                (l, BoundExpr::Column(c)) => match leaf(l) {
+                    Some(key) => {
+                        out.push(ColCmp {
+                            col: *c,
+                            op: flip_cmp(*op),
+                            key,
+                        });
+                        true
+                    }
+                    None => false,
+                },
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Evaluate a bound predicate over one batch of rows, appending the
+/// ordinals (offset by `base`) of passing rows to the selection vector.
+/// One call is one expression-over-batch pass.
+///
+/// The dominant WHERE shape — an AND-chain of `column <cmp> constant`
+/// comparisons — takes a tight loop that compares stored values in
+/// place: no per-row context, no `Value` clones, no recursion. Anything
+/// else goes through the general evaluator row by row.
+pub fn filter_bound_batch(
+    pred: &BoundExpr,
+    ctx: &BoundCtx<'_>,
+    rows: &[&[Value]],
+    base: u32,
+    sel: &mut Vec<u32>,
+) -> SqlResult<()> {
+    let mut cmps = Vec::new();
+    if flatten_col_cmps(pred, ctx, &mut cmps) {
+        for (i, row) in rows.iter().enumerate() {
+            if cmps.iter().all(|c| c.passes(row)) {
+                sel.push(base + i as u32);
+            }
+        }
+        return Ok(());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let rc = BoundCtx {
+            row: Some(row),
+            ..*ctx
+        };
+        if eval_bound_predicate(pred, &rc)? {
+            sel.push(base + i as u32);
+        }
+    }
+    Ok(())
+}
+
+/// Evaluate one bound expression for every selected row, appending the
+/// results to `out` (a reusable scratch buffer — the caller clears it).
+/// Row-major over the selection, so error positions match the
+/// interpreter's per-row loop.
+pub fn eval_bound_batch(
+    expr: &BoundExpr,
+    ctx: &BoundCtx<'_>,
+    rows: &[&[Value]],
+    sel: &[u32],
+    out: &mut Vec<Value>,
+) -> SqlResult<()> {
+    out.reserve(sel.len());
+    for &i in sel {
+        let rc = BoundCtx {
+            row: Some(rows[i as usize]),
+            ..*ctx
+        };
+        out.push(eval_bound(expr, &rc)?);
+    }
+    Ok(())
+}
+
 /// Evaluate a bound predicate: NULL and FALSE both drop the row.
 pub fn eval_bound_predicate(expr: &BoundExpr, ctx: &BoundCtx<'_>) -> SqlResult<bool> {
     match eval_bound(expr, ctx)? {

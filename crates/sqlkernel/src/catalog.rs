@@ -162,6 +162,17 @@ pub struct Catalog {
     /// How many ORDER BY + LIMIT statements used the bounded top-K heap
     /// instead of a full materialize-then-sort.
     topk_sorts: AtomicU64,
+    /// How many expression-over-batch passes the vectorized executor ran
+    /// (one per expression per batch of rows, not one per row).
+    batch_evals: AtomicU64,
+    /// How many input rows flowed through the batch executor.
+    batched_rows: AtomicU64,
+    /// How many statements ran grouped aggregation through the one-pass
+    /// hash aggregator instead of the interpreter's grouping loop.
+    hash_aggs: AtomicU64,
+    /// How many rows full table scans have walked (for rows/sec
+    /// reporting; `full_scans` counts scans, this counts their rows).
+    full_scan_rows: AtomicU64,
     /// Schema epoch: bumped on every change that can invalidate a compiled
     /// plan (table/index/view/sequence/procedure creation or removal,
     /// including undo-log rollback, which funnels through the same
@@ -362,6 +373,48 @@ impl Catalog {
     /// Number of top-K sorts so far.
     pub fn topk_sorts(&self) -> u64 {
         self.topk_sorts.load(Ordering::Relaxed)
+    }
+
+    /// Record `n` expression-over-batch passes. Callers batch one add per
+    /// statement rather than one per pass.
+    pub fn note_batch_evals(&self, n: u64) {
+        self.batch_evals.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Number of expression-over-batch passes so far.
+    pub fn batch_evals(&self) -> u64 {
+        self.batch_evals.load(Ordering::Relaxed)
+    }
+
+    /// Record `n` input rows processed by the batch executor.
+    pub fn note_batched_rows(&self, n: u64) {
+        self.batched_rows.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Number of rows that flowed through the batch executor so far.
+    pub fn batched_rows(&self) -> u64 {
+        self.batched_rows.load(Ordering::Relaxed)
+    }
+
+    /// Record that a statement ran through the one-pass hash aggregator.
+    pub fn note_hash_agg(&self) {
+        self.hash_aggs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of hash-aggregated statements so far.
+    pub fn hash_aggs(&self) -> u64 {
+        self.hash_aggs.load(Ordering::Relaxed)
+    }
+
+    /// Record `n` rows walked by a full table scan. A batched scan counts
+    /// its rows once here and the scan itself once in `full_scans`.
+    pub fn note_full_scan_rows(&self, n: u64) {
+        self.full_scan_rows.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Number of rows walked by full table scans so far.
+    pub fn full_scan_rows(&self) -> u64 {
+        self.full_scan_rows.load(Ordering::Relaxed)
     }
 
     // ------------------------------------------------------------- indexes

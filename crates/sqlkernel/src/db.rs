@@ -177,6 +177,16 @@ pub struct DbStats {
     pub bound_evals: u64,
     /// `ORDER BY … LIMIT` sorts served by the bounded top-K heap.
     pub topk_sorts: u64,
+    /// Expression-over-batch passes run by the vectorized executor (one
+    /// per expression per batch, not one per row).
+    pub batch_evals: u64,
+    /// Input rows that flowed through the batch executor.
+    pub batched_rows: u64,
+    /// Statements aggregated through the one-pass hash aggregator.
+    pub hash_aggs: u64,
+    /// Rows walked by full table scans (`full_scans` counts scans once
+    /// each; this counts their rows, for rows/sec reporting).
+    pub full_scan_rows: u64,
     /// Faults delivered by the installed [`FaultInjector`] (cumulative
     /// across plan swaps).
     pub faults_injected: u64,
@@ -573,6 +583,7 @@ impl Database {
             temp_tables: std::cell::RefCell::new(Vec::new()),
             stmt_memo: std::cell::RefCell::new(StmtMemo::default()),
             wal_txn: std::cell::Cell::new(None),
+            batch: std::cell::RefCell::new(crate::exec::batch::BatchScratch::default()),
         }
     }
 
@@ -623,6 +634,10 @@ impl Database {
             plan_binds: catalog.plan_binds(),
             bound_evals: catalog.bound_evals(),
             topk_sorts: catalog.topk_sorts(),
+            batch_evals: catalog.batch_evals(),
+            batched_rows: catalog.batched_rows(),
+            hash_aggs: catalog.hash_aggs(),
+            full_scan_rows: catalog.full_scan_rows(),
             faults_injected: self.inner.faults_base.load(Ordering::Relaxed)
                 + self
                     .inner
@@ -712,6 +727,10 @@ pub struct Connection {
     /// lazily on its first logged write (read-only transactions never
     /// touch the log).
     wal_txn: std::cell::Cell<Option<u64>>,
+    /// Reusable batch-execution buffers (selection vector, group keys,
+    /// aggregate values). Never re-entered: compiled plans delegate
+    /// subqueries to the interpreter, not to another compiled plan.
+    batch: std::cell::RefCell<crate::exec::batch::BatchScratch>,
 }
 
 impl std::fmt::Debug for Connection {
@@ -1224,9 +1243,20 @@ impl Connection {
                     return Err(e);
                 }
                 let rs = match &*plan {
-                    CompiledPlan::Select(p) => {
-                        crate::plan::run_select_plan(&catalog, p, params, &named)?
-                    }
+                    CompiledPlan::Select(p) => crate::exec::batch::run_select_batched(
+                        &catalog,
+                        p,
+                        params,
+                        &named,
+                        &mut self.batch.borrow_mut(),
+                    )?,
+                    CompiledPlan::Aggregate(p) => crate::exec::batch::run_agg_plan(
+                        &catalog,
+                        p,
+                        params,
+                        &named,
+                        &mut self.batch.borrow_mut(),
+                    )?,
                     _ => crate::exec::select::run_select(&catalog, s, params, &named)?,
                 };
                 self.db

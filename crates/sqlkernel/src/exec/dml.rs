@@ -179,7 +179,9 @@ fn collect_update(
         aggregates: None,
     };
     let mut changes = Vec::new();
+    let mut walked = 0u64;
     for (id, row) in table.iter() {
+        walked += 1;
         let rc = ctx.with_row(&schema, row);
         let hit = match &stmt.where_clause {
             Some(pred) => eval_predicate(pred, &rc)?,
@@ -194,6 +196,7 @@ fn collect_update(
         }
         changes.push((id, new_row));
     }
+    catalog.note_full_scan_rows(walked);
     Ok(changes)
 }
 
@@ -274,7 +277,9 @@ fn collect_delete(
         aggregates: None,
     };
     let mut out = Vec::new();
+    let mut walked = 0u64;
     for (id, row) in table.iter() {
+        walked += 1;
         let hit = match &stmt.where_clause {
             Some(pred) => {
                 let rc = ctx.with_row(&schema, row);
@@ -286,6 +291,7 @@ fn collect_delete(
             out.push(id);
         }
     }
+    catalog.note_full_scan_rows(walked);
     Ok(out)
 }
 

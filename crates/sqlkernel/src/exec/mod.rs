@@ -6,6 +6,7 @@
 //! which also provides statement-level atomicity by rolling the statement
 //! undo log back on error.
 
+pub mod batch;
 pub mod ddl;
 pub mod dml;
 pub mod select;

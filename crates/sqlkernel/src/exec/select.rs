@@ -844,11 +844,10 @@ fn scan_table_ref(catalog: &Catalog, tref: &TableRef, ctx: &EvalCtx<'_>) -> SqlR
                     .collect(),
             );
             catalog.note_full_scan();
-            Ok(Rows {
-                schema,
-                // Arc clones: the scan shares stored rows, no deep copy.
-                rows: table.iter().map(|(_, r)| Arc::clone(r)).collect(),
-            })
+            // Arc clones: the scan shares stored rows, no deep copy.
+            let rows: Vec<Arc<Row>> = table.iter().map(|(_, r)| Arc::clone(r)).collect();
+            catalog.note_full_scan_rows(rows.len() as u64);
+            Ok(Rows { schema, rows })
         }
         TableSource::Subquery(sub) => {
             let rs = run_select(ctx.catalog, sub, ctx.params, ctx.named_params)?;
@@ -1039,15 +1038,16 @@ fn join_rows(left: Rows, right: Rows, join: &Join, ctx: &EvalCtx<'_>) -> SqlResu
 
 // ---------------------------------------------------------------- grouping
 
-/// One aggregate call site found in the statement.
-struct AggSpec {
-    key: String,
-    name: String,
-    arg: Option<Expr>,
-    distinct: bool,
+/// One aggregate call site found in the statement. Shared with the plan
+/// compiler, which lowers each spec into a synthetic virtual-row column.
+pub(crate) struct AggSpec {
+    pub(crate) key: String,
+    pub(crate) name: String,
+    pub(crate) arg: Option<Expr>,
+    pub(crate) distinct: bool,
 }
 
-fn collect_aggregates(stmt: &SelectStmt) -> Vec<AggSpec> {
+pub(crate) fn collect_aggregates(stmt: &SelectStmt) -> Vec<AggSpec> {
     let mut specs: Vec<AggSpec> = Vec::new();
     let mut visit = |e: &Expr| {
         e.walk(&mut |node| {
@@ -1153,12 +1153,25 @@ fn compute_aggregate(
             values.push(v);
         }
     }
-    if spec.distinct {
+    combine_agg_values(&spec.name, &mut values, spec.distinct)
+}
+
+/// Fold a group's already-collected non-NULL argument values into one
+/// aggregate result. Shared by the interpreter (above) and the batch
+/// executor's hash aggregator — keeping the combine step single-sourced
+/// is what makes their results byte-identical, including the
+/// first-of-equals tie behavior of MIN and last-of-equals of MAX.
+pub(crate) fn combine_agg_values(
+    name: &str,
+    values: &mut Vec<Value>,
+    distinct: bool,
+) -> SqlResult<Value> {
+    if distinct {
         let mut seen = std::collections::HashSet::new();
         values.retain(|v| seen.insert(v.clone()));
     }
 
-    match spec.name.as_str() {
+    match name {
         "COUNT" => Ok(Value::Int(values.len() as i64)),
         "SUM" | "AVG" => {
             if values.is_empty() {
@@ -1166,12 +1179,12 @@ fn compute_aggregate(
             }
             let all_int = values.iter().all(|v| matches!(v, Value::Int(_)));
             let mut total = 0f64;
-            for v in &values {
+            for v in values.iter() {
                 total += v.as_f64().ok_or_else(|| {
-                    SqlError::Semantic(format!("{}() over non-numeric value", spec.name))
+                    SqlError::Semantic(format!("{name}() over non-numeric value"))
                 })?;
             }
-            if spec.name == "AVG" {
+            if name == "AVG" {
                 Ok(Value::Float(total / values.len() as f64))
             } else if all_int {
                 Ok(Value::Int(total as i64))
@@ -1180,12 +1193,14 @@ fn compute_aggregate(
             }
         }
         "MIN" => Ok(values
-            .into_iter()
+            .iter()
             .min_by(|a, b| a.total_cmp(b))
+            .cloned()
             .unwrap_or(Value::Null)),
         "MAX" => Ok(values
-            .into_iter()
+            .iter()
             .max_by(|a, b| a.total_cmp(b))
+            .cloned()
             .unwrap_or(Value::Null)),
         other => Err(SqlError::Semantic(format!("unknown aggregate '{other}'"))),
     }

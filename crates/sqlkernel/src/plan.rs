@@ -24,25 +24,30 @@
 //! path — bumps the epoch and forces a re-bind on next execution.
 
 use std::collections::HashMap;
-use std::sync::Arc;
 
-use crate::ast::{DeleteStmt, SelectStmt, Statement, TableSource, UpdateStmt};
+use crate::ast::{
+    DeleteStmt, Expr, OrderItem, SelectItem, SelectStmt, Statement, TableSource, UpdateStmt,
+};
 use crate::bound::{bind, eval_bound, eval_bound_predicate, BoundCtx, BoundExpr};
 use crate::catalog::Catalog;
-use crate::db::QueryResult;
 use crate::error::{SqlError, SqlResult};
 use crate::exec::select::{
-    cmp_keys, find_eq_candidate, find_range_candidate, flatten_and, naive_order_hint,
-    order_targets_column, projection_plan, TopK,
+    collect_aggregates, find_eq_candidate, find_range_candidate, flatten_and, naive_order_hint,
+    order_targets_column, projection_plan,
 };
-use crate::expr::RowSchema;
-use crate::storage::{Row, RowId, SortKey, Table};
+use crate::expr::{aggregate_key, is_aggregate_name, RowSchema};
+use crate::storage::{RowId, Table};
 use crate::txn::{UndoLog, UndoOp};
 use crate::types::Value;
 
+/// Synthetic binding under which aggregate results appear in the virtual
+/// row schema of an [`AggPlan`]. Contains `#`, which the parser cannot
+/// produce in an identifier, so it can never capture a user column.
+pub(crate) const AGG_BINDING: &str = "#agg";
+
 /// How a compiled single-table `SELECT` reaches its rows.
 #[derive(Debug)]
-enum Access {
+pub(crate) enum Access {
     /// Walk the whole table in rowid order.
     Full,
     /// Point lookup: `col = key` over a single-column index.
@@ -65,30 +70,76 @@ enum Access {
 /// bare name matching an output alias → output column; anything else →
 /// expression over the source row.
 #[derive(Debug)]
-enum OrderKey {
+pub(crate) enum OrderKey {
     /// The already-projected output value at this position.
     Output(usize),
     /// An expression evaluated against the source row.
     Row(BoundExpr),
 }
 
-/// A compiled single-table `SELECT`.
+/// A compiled single-table `SELECT`. Executed batch-at-a-time by
+/// [`crate::exec::batch::run_select_batched`].
 #[derive(Debug)]
 pub struct SelectPlan {
-    table: String,
-    access: Access,
+    pub(crate) table: String,
+    pub(crate) access: Access,
     /// The full WHERE clause; always re-checked, so the access path is
     /// purely an optimization.
-    filter: Option<BoundExpr>,
-    columns: Vec<String>,
-    projections: Vec<BoundExpr>,
-    distinct: bool,
+    pub(crate) filter: Option<BoundExpr>,
+    pub(crate) columns: Vec<String>,
+    pub(crate) projections: Vec<BoundExpr>,
+    pub(crate) distinct: bool,
     /// `(key source, descending)` per ORDER BY item.
-    order: Vec<(OrderKey, bool)>,
+    pub(crate) order: Vec<(OrderKey, bool)>,
     /// Does the access path already emit rows in ORDER BY order?
-    order_served: bool,
-    limit: Option<BoundExpr>,
-    offset: Option<BoundExpr>,
+    pub(crate) order_served: bool,
+    pub(crate) limit: Option<BoundExpr>,
+    pub(crate) offset: Option<BoundExpr>,
+}
+
+/// One aggregate call site of an [`AggPlan`], argument pre-bound against
+/// the base row. `arg == None` encodes `COUNT(*)`; lowering declines
+/// `*` under any other aggregate so the interpreter raises its canonical
+/// error.
+#[derive(Debug)]
+pub(crate) struct BoundAggSpec {
+    /// Upper-cased aggregate name (the parser canonicalizes case).
+    pub(crate) name: String,
+    pub(crate) arg: Option<BoundExpr>,
+    pub(crate) distinct: bool,
+}
+
+/// A compiled single-table grouped `SELECT`, executed through the
+/// one-pass hash aggregator in [`crate::exec::batch::run_agg_plan`].
+///
+/// Aggregate call sites in the projection / HAVING / ORDER BY are
+/// rewritten at compile time into references to *synthetic columns*
+/// appended after the base row: the executor materializes one virtual
+/// row per group — representative base row values followed by one slot
+/// per aggregate — and every downstream expression is bound against
+/// that widened schema. This reproduces the interpreter's "pre-computed
+/// aggregates map" semantics with plain ordinal loads.
+#[derive(Debug)]
+pub struct AggPlan {
+    pub(crate) table: String,
+    pub(crate) access: Access,
+    pub(crate) filter: Option<BoundExpr>,
+    /// GROUP BY key expressions over the base row.
+    pub(crate) group_by: Vec<BoundExpr>,
+    /// Aggregate call sites in the interpreter's discovery order
+    /// (projections, then HAVING, then ORDER BY), deduplicated by call
+    /// site; slot `i` of the virtual row tail holds spec `i`'s value.
+    pub(crate) specs: Vec<BoundAggSpec>,
+    /// Width of the base row; aggregate slots start here.
+    pub(crate) base_width: usize,
+    /// HAVING over the virtual row (aggregates already rewritten).
+    pub(crate) having: Option<BoundExpr>,
+    pub(crate) columns: Vec<String>,
+    pub(crate) projections: Vec<BoundExpr>,
+    pub(crate) distinct: bool,
+    pub(crate) order: Vec<(OrderKey, bool)>,
+    pub(crate) limit: Option<BoundExpr>,
+    pub(crate) offset: Option<BoundExpr>,
 }
 
 /// A compiled `UPDATE`: filter plus `(column ordinal, value)` pairs.
@@ -142,6 +193,8 @@ pub enum CompiledPlan {
     /// Boxed: a `SelectPlan` is an order of magnitude larger than the
     /// other variants, and plans are built once then executed many times.
     Select(Box<SelectPlan>),
+    /// Grouped/aggregating `SELECT`, run through the hash aggregator.
+    Aggregate(Box<AggPlan>),
     Update(UpdatePlan),
     Delete(DeletePlan),
     /// Compilation declined; execute through the interpreter.
@@ -182,14 +235,99 @@ fn bind_opt(expr: Option<&crate::ast::Expr>, schema: &RowSchema) -> Option<Optio
     }
 }
 
-fn compile_select(catalog: &Catalog, stmt: &SelectStmt) -> Option<CompiledPlan> {
-    // The compilable subset: one named base table, no set operations, no
-    // grouping machinery. Everything else runs interpreted.
-    if !stmt.unions.is_empty()
-        || !stmt.group_by.is_empty()
-        || stmt.having.is_some()
-        || stmt.order_by.iter().any(|o| o.expr.contains_aggregate())
+/// Choose the access path exactly as the interpreter's `try_index_scan`
+/// does — same candidate search over the same flattened conjunct list —
+/// so both executors emit rows in the same physical order. Returns the
+/// access plus `(col, desc)` when the path serves that key order.
+/// `None` when a bound expression fails to bind (decline compilation).
+fn choose_access(
+    where_clause: Option<&Expr>,
+    order_by: &[OrderItem],
+    binding: &str,
+    table: &Table,
+    schema: &RowSchema,
+) -> Option<(Access, Option<(usize, bool)>)> {
+    let mut conjuncts = Vec::new();
+    if let Some(pred) = where_clause {
+        flatten_and(pred, &mut conjuncts);
+    }
+    let order_hint = naive_order_hint(order_by, binding, table);
+    if let Some((col, value_expr)) = find_eq_candidate(&conjuncts, binding, table) {
+        let key = bind(value_expr, schema).ok()?;
+        Some((Access::IndexEq { col, key }, None))
+    } else if let Some(spec) = find_range_candidate(&conjuncts, binding, table) {
+        let rev = order_hint.is_some_and(|(c, desc)| c == spec.col && desc);
+        let bind_bound = |b: Option<(&Expr, bool)>| match b {
+            Some((e, inc)) => bind(e, schema).ok().map(|be| Some((be, inc))),
+            None => Some(None),
+        };
+        Some((
+            Access::IndexRange {
+                col: spec.col,
+                lower: bind_bound(spec.lower)?,
+                upper: bind_bound(spec.upper)?,
+                rev,
+            },
+            Some((spec.col, rev)),
+        ))
+    } else if let Some((col, desc)) =
+        order_hint.filter(|(col, _)| table.find_index(&[*col]).is_some())
     {
+        Some((Access::IndexOrder { col, desc }, Some((col, desc))))
+    } else {
+        Some((Access::Full, None))
+    }
+}
+
+/// Resolve one ORDER BY item the way the interpreter's `order_key`
+/// resolves it: in-range ordinal literal → output column; bare name
+/// matching an output alias → output column; anything else → bound
+/// expression over the (virtual) source row. An out-of-range ordinal
+/// declines compilation — the interpreter only errors when a row
+/// actually reaches the sort.
+fn compile_order_key(
+    item_expr: &Expr,
+    columns: &[String],
+    n_outputs: usize,
+    bind_row: impl Fn(&Expr) -> Option<BoundExpr>,
+) -> Option<OrderKey> {
+    match item_expr {
+        Expr::Literal(Value::Int(n)) => {
+            if *n >= 1 && (*n as usize) <= n_outputs {
+                Some(OrderKey::Output(*n as usize - 1))
+            } else {
+                None
+            }
+        }
+        Expr::Column { table: None, name } => {
+            match columns.iter().position(|c| c.eq_ignore_ascii_case(name)) {
+                Some(i) => Some(OrderKey::Output(i)),
+                None => Some(OrderKey::Row(bind_row(item_expr)?)),
+            }
+        }
+        e => Some(OrderKey::Row(bind_row(e)?)),
+    }
+}
+
+fn compile_select(catalog: &Catalog, stmt: &SelectStmt) -> Option<CompiledPlan> {
+    // The compilable subset: one named base table, no set operations.
+    if !stmt.unions.is_empty() {
+        return None;
+    }
+    // Grouping machinery — mirror the interpreter's `needs_grouping`
+    // test exactly, then lower through the hash-aggregate path.
+    let needs_grouping = !stmt.group_by.is_empty()
+        || stmt.projections.iter().any(|p| match p {
+            SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        })
+        || stmt.having.as_ref().is_some_and(|h| h.contains_aggregate())
+        || stmt.order_by.iter().any(|o| o.expr.contains_aggregate());
+    if needs_grouping {
+        return compile_select_agg(catalog, stmt);
+    }
+    // HAVING without grouping: rare and interpreter-defined; decline.
+    if stmt.having.is_some() {
         return None;
     }
     let from = stmt.from.as_ref()?;
@@ -207,7 +345,7 @@ fn compile_select(catalog: &Catalog, stmt: &SelectStmt) -> Option<CompiledPlan> 
     let schema = table_row_schema(&table, &binding);
 
     // Projection expansion + binding. Aggregates fail `bind`, sending
-    // grouped queries to the interpreter.
+    // anything the grouping test above missed to the interpreter.
     let (columns, proj_exprs) = projection_plan(stmt, &schema).ok()?;
     let projections: Vec<BoundExpr> = proj_exprs
         .iter()
@@ -215,63 +353,21 @@ fn compile_select(catalog: &Catalog, stmt: &SelectStmt) -> Option<CompiledPlan> 
         .collect::<SqlResult<_>>()
         .ok()?;
 
-    // Access path: the same candidate search as the interpreter's
-    // `try_index_scan`, over the same flattened conjunct list.
-    let mut conjuncts = Vec::new();
-    if let Some(pred) = &stmt.where_clause {
-        flatten_and(pred, &mut conjuncts);
-    }
-    let order_hint = naive_order_hint(&stmt.order_by, &binding, &table);
-    let (access, index_order) =
-        if let Some((col, value_expr)) = find_eq_candidate(&conjuncts, &binding, &table) {
-            let key = bind(value_expr, &schema).ok()?;
-            (Access::IndexEq { col, key }, None)
-        } else if let Some(spec) = find_range_candidate(&conjuncts, &binding, &table) {
-            let rev = order_hint.is_some_and(|(c, desc)| c == spec.col && desc);
-            let bind_bound = |b: Option<(&crate::ast::Expr, bool)>| match b {
-                Some((e, inc)) => bind(e, &schema).ok().map(|be| Some((be, inc))),
-                None => Some(None),
-            };
-            (
-                Access::IndexRange {
-                    col: spec.col,
-                    lower: bind_bound(spec.lower)?,
-                    upper: bind_bound(spec.upper)?,
-                    rev,
-                },
-                Some((spec.col, rev)),
-            )
-        } else if let Some((col, desc)) =
-            order_hint.filter(|(col, _)| table.find_index(&[*col]).is_some())
-        {
-            (Access::IndexOrder { col, desc }, Some((col, desc)))
-        } else {
-            (Access::Full, None)
-        };
+    let (access, index_order) = choose_access(
+        stmt.where_clause.as_ref(),
+        &stmt.order_by,
+        &binding,
+        &table,
+        &schema,
+    )?;
 
     let filter = bind_opt(stmt.where_clause.as_ref(), &schema)?;
 
-    // ORDER BY keys, resolved the way `order_key` resolves them. An
-    // out-of-range ordinal is left to the interpreter: it only errors
-    // when a row actually reaches the sort.
     let mut order = Vec::with_capacity(stmt.order_by.len());
     for item in &stmt.order_by {
-        let key = match &item.expr {
-            crate::ast::Expr::Literal(Value::Int(n)) => {
-                if *n >= 1 && (*n as usize) <= projections.len() {
-                    OrderKey::Output(*n as usize - 1)
-                } else {
-                    return None;
-                }
-            }
-            crate::ast::Expr::Column { table: None, name } => {
-                match columns.iter().position(|c| c.eq_ignore_ascii_case(name)) {
-                    Some(i) => OrderKey::Output(i),
-                    None => OrderKey::Row(bind(&item.expr, &schema).ok()?),
-                }
-            }
-            e => OrderKey::Row(bind(e, &schema).ok()?),
-        };
+        let key = compile_order_key(&item.expr, &columns, projections.len(), |e| {
+            bind(e, &schema).ok()
+        })?;
         order.push((key, item.desc));
     }
 
@@ -295,6 +391,235 @@ fn compile_select(catalog: &Catalog, stmt: &SelectStmt) -> Option<CompiledPlan> 
         distinct: stmt.distinct,
         order,
         order_served,
+        limit,
+        offset,
+    })))
+}
+
+/// Replace every aggregate call site in `e` with a reference to its
+/// synthetic column (`"#agg"."#<i>"`, where `i` is the spec's slot).
+/// Call sites were deduplicated by [`aggregate_key`], so textually equal
+/// aggregates share a slot — exactly the interpreter's pre-computed-map
+/// behavior. Subqueries are left untouched (their aggregates are their
+/// own; the AST walk that collected specs does not descend either).
+fn rewrite_aggs(e: &Expr, keys: &[String]) -> Expr {
+    if let Expr::Function { name, .. } = e {
+        if is_aggregate_name(name) {
+            let key = aggregate_key(e);
+            let i = keys
+                .iter()
+                .position(|k| *k == key)
+                .expect("every aggregate call site was collected");
+            return Expr::Column {
+                table: Some(AGG_BINDING.to_string()),
+                name: format!("#{i}"),
+            };
+        }
+    }
+    match e {
+        Expr::Literal(_)
+        | Expr::Column { .. }
+        | Expr::Param(_)
+        | Expr::NamedParam(_)
+        | Expr::Exists { .. }
+        | Expr::ScalarSubquery(_) => e.clone(),
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(rewrite_aggs(expr, keys)),
+        },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(rewrite_aggs(left, keys)),
+            op: *op,
+            right: Box::new(rewrite_aggs(right, keys)),
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(rewrite_aggs(expr, keys)),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(rewrite_aggs(expr, keys)),
+            list: list.iter().map(|x| rewrite_aggs(x, keys)).collect(),
+            negated: *negated,
+        },
+        Expr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => Expr::InSubquery {
+            expr: Box::new(rewrite_aggs(expr, keys)),
+            subquery: subquery.clone(),
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(rewrite_aggs(expr, keys)),
+            low: Box::new(rewrite_aggs(low, keys)),
+            high: Box::new(rewrite_aggs(high, keys)),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(rewrite_aggs(expr, keys)),
+            pattern: Box::new(rewrite_aggs(pattern, keys)),
+            negated: *negated,
+        },
+        Expr::Case {
+            operand,
+            branches,
+            else_branch,
+        } => Expr::Case {
+            operand: operand.as_ref().map(|o| Box::new(rewrite_aggs(o, keys))),
+            branches: branches
+                .iter()
+                .map(|(w, t)| (rewrite_aggs(w, keys), rewrite_aggs(t, keys)))
+                .collect(),
+            else_branch: else_branch
+                .as_ref()
+                .map(|e| Box::new(rewrite_aggs(e, keys))),
+        },
+        Expr::Function {
+            name,
+            args,
+            distinct,
+            star,
+        } => Expr::Function {
+            name: name.clone(),
+            args: args.iter().map(|a| rewrite_aggs(a, keys)).collect(),
+            distinct: *distinct,
+            star: *star,
+        },
+    }
+}
+
+/// Lower a grouped/aggregating single-table `SELECT` into an [`AggPlan`].
+/// Declines (→ interpreter) on joins, views, nested aggregates, `*` under
+/// non-COUNT aggregates, unresolvable names, and anything whose canonical
+/// error the interpreter must report.
+fn compile_select_agg(catalog: &Catalog, stmt: &SelectStmt) -> Option<CompiledPlan> {
+    let from = stmt.from.as_ref()?;
+    if !from.joins.is_empty() {
+        return None;
+    }
+    let TableSource::Named(name) = &from.base.source else {
+        return None;
+    };
+    if catalog.has_view(name) {
+        return None;
+    }
+    let table = catalog.table(name).ok()?;
+    let binding = from.base.binding_name().unwrap_or(name).to_string();
+    let schema = table_row_schema(&table, &binding);
+
+    // Aggregate call sites, discovered in the interpreter's walk order
+    // (projections, HAVING, ORDER BY; deduplicated by call-site key).
+    let ast_specs = collect_aggregates(stmt);
+    let mut specs = Vec::with_capacity(ast_specs.len());
+    for s in &ast_specs {
+        let arg = match &s.arg {
+            Some(e) => {
+                // Nested aggregates error at runtime in the interpreter;
+                // let it report that canonically.
+                if e.contains_aggregate() {
+                    return None;
+                }
+                Some(bind(e, &schema).ok()?)
+            }
+            None => {
+                // `*` under non-COUNT raises per-group in the
+                // interpreter; decline rather than re-implement it.
+                if s.name != "COUNT" {
+                    return None;
+                }
+                None
+            }
+        };
+        specs.push(BoundAggSpec {
+            name: s.name.clone(),
+            arg,
+            distinct: s.distinct,
+        });
+    }
+    let spec_keys: Vec<String> = ast_specs.into_iter().map(|s| s.key).collect();
+
+    // GROUP BY keys evaluate against the base row. Aggregates inside
+    // GROUP BY fail `bind` here → interpreter's canonical error.
+    let group_by: Vec<BoundExpr> = stmt
+        .group_by
+        .iter()
+        .map(|e| bind(e, &schema))
+        .collect::<SqlResult<_>>()
+        .ok()?;
+
+    // WHERE also sees only the base row (aggregates fail bind →
+    // interpreter raises "aggregates are not allowed in WHERE").
+    let filter = bind_opt(stmt.where_clause.as_ref(), &schema)?;
+
+    // Everything downstream of grouping sees the virtual row: the base
+    // columns followed by one synthetic column per aggregate slot.
+    let mut virt_cols = schema.columns().to_vec();
+    for i in 0..specs.len() {
+        virt_cols.push((Some(AGG_BINDING.to_string()), format!("#{i}")));
+    }
+    let virt_schema = RowSchema::new(virt_cols);
+
+    let (columns, proj_exprs) = projection_plan(stmt, &schema).ok()?;
+    let projections: Vec<BoundExpr> = proj_exprs
+        .iter()
+        .map(|e| bind(&rewrite_aggs(e, &spec_keys), &virt_schema))
+        .collect::<SqlResult<_>>()
+        .ok()?;
+
+    let having = match &stmt.having {
+        Some(h) => Some(bind(&rewrite_aggs(h, &spec_keys), &virt_schema).ok()?),
+        None => None,
+    };
+
+    let mut order = Vec::with_capacity(stmt.order_by.len());
+    for item in &stmt.order_by {
+        let key = compile_order_key(&item.expr, &columns, projections.len(), |e| {
+            bind(&rewrite_aggs(e, &spec_keys), &virt_schema).ok()
+        })?;
+        order.push((key, item.desc));
+    }
+
+    // Access path: shared with the plain-select compiler so group
+    // first-seen order matches the interpreter's row arrival order.
+    // (`order_served` never applies to grouped queries.)
+    let (access, _) = choose_access(
+        stmt.where_clause.as_ref(),
+        &stmt.order_by,
+        &binding,
+        &table,
+        &schema,
+    )?;
+
+    let empty = RowSchema::empty();
+    let limit = bind_opt(stmt.limit.as_ref(), &empty)?;
+    let offset = bind_opt(stmt.offset.as_ref(), &empty)?;
+
+    Some(CompiledPlan::Aggregate(Box::new(AggPlan {
+        table: name.clone(),
+        access,
+        filter,
+        group_by,
+        specs,
+        base_width: schema.len(),
+        having,
+        columns,
+        projections,
+        distinct: stmt.distinct,
+        order,
         limit,
         offset,
     })))
@@ -331,21 +656,21 @@ fn compile_delete(catalog: &Catalog, stmt: &DeleteStmt) -> Option<CompiledPlan> 
 
 /// Bound-evaluation tally for one statement, flushed to the catalog's
 /// `bound_evals` counter in one atomic add at the end.
-struct Evals(u64);
+pub(crate) struct Evals(pub(crate) u64);
 
 impl Evals {
-    fn eval(&mut self, e: &BoundExpr, ctx: &BoundCtx<'_>) -> SqlResult<Value> {
+    pub(crate) fn eval(&mut self, e: &BoundExpr, ctx: &BoundCtx<'_>) -> SqlResult<Value> {
         self.0 += 1;
         eval_bound(e, ctx)
     }
 
-    fn pred(&mut self, e: &BoundExpr, ctx: &BoundCtx<'_>) -> SqlResult<bool> {
+    pub(crate) fn pred(&mut self, e: &BoundExpr, ctx: &BoundCtx<'_>) -> SqlResult<bool> {
         self.0 += 1;
         eval_bound_predicate(e, ctx)
     }
 }
 
-fn bound_usize(
+pub(crate) fn bound_usize(
     e: &BoundExpr,
     ctx: &BoundCtx<'_>,
     evals: &mut Evals,
@@ -359,189 +684,9 @@ fn bound_usize(
     }
 }
 
-/// Execute a compiled `SELECT`. Mirrors `run_select`'s single-table
-/// pipeline stage for stage; counters (`index_scans`, `range_scans`,
-/// `full_scans`, `topk_sorts`) tick exactly as on the interpreted path.
-pub fn run_select_plan(
-    catalog: &Catalog,
-    plan: &SelectPlan,
-    params: &[Value],
-    named_params: &HashMap<String, Value>,
-) -> SqlResult<QueryResult> {
-    let ctx = BoundCtx {
-        catalog,
-        params,
-        named_params,
-        row: None,
-    };
-    let mut evals = Evals(0);
-
-    // OFFSET/LIMIT once per statement, before any row work.
-    let offset = match &plan.offset {
-        Some(e) => Some(bound_usize(e, &ctx, &mut evals, "OFFSET")?),
-        None => None,
-    };
-    let limit = match &plan.limit {
-        Some(e) => Some(bound_usize(e, &ctx, &mut evals, "LIMIT")?),
-        None => None,
-    };
-
-    let table = catalog.table(&plan.table)?;
-
-    // Access path.
-    let rows: Vec<Arc<Row>> = match &plan.access {
-        Access::Full => {
-            catalog.note_full_scan();
-            table.iter().map(|(_, r)| Arc::clone(r)).collect()
-        }
-        Access::IndexEq { col, key } => {
-            let index = table.find_index(&[*col]).expect("plan epoch guards index");
-            let key = evals.eval(key, &ctx)?;
-            catalog.note_index_scan();
-            if key.is_null() {
-                Vec::new()
-            } else {
-                index
-                    .lookup(&SortKey(vec![key]))
-                    .filter_map(|id| table.get(id).cloned())
-                    .collect()
-            }
-        }
-        Access::IndexRange {
-            col,
-            lower,
-            upper,
-            rev,
-        } => {
-            let index = table.find_index(&[*col]).expect("plan epoch guards index");
-            let lower = match lower {
-                Some((e, inc)) => Some((evals.eval(e, &ctx)?, *inc)),
-                None => None,
-            };
-            let upper = match upper {
-                Some((e, inc)) => Some((evals.eval(e, &ctx)?, *inc)),
-                None => None,
-            };
-            let ids = index.lookup_range(
-                lower.as_ref().map(|(v, i)| (v, *i)),
-                upper.as_ref().map(|(v, i)| (v, *i)),
-                *rev,
-                false,
-            );
-            catalog.note_range_scan();
-            ids.iter()
-                .filter_map(|id| table.get(*id).cloned())
-                .collect()
-        }
-        Access::IndexOrder { col, desc } => {
-            let index = table.find_index(&[*col]).expect("plan epoch guards index");
-            let mut ids = index.lookup_range(None, None, *desc, true);
-            // Limit pushdown into the walk itself: with no filter, the
-            // id→row mapping is 1:1, so rows past OFFSET+LIMIT can never
-            // reach the output when the walk serves the ORDER BY.
-            if plan.filter.is_none() && plan.order_served && !plan.distinct {
-                if let Some(n) = limit {
-                    ids.truncate(n.saturating_add(offset.unwrap_or(0)));
-                }
-            }
-            catalog.note_range_scan();
-            ids.iter()
-                .filter_map(|id| table.get(*id).cloned())
-                .collect()
-        }
-    };
-
-    // Residual WHERE — always the full predicate.
-    let mut kept = Vec::with_capacity(rows.len());
-    for row in rows {
-        let keep = match &plan.filter {
-            Some(pred) => {
-                let rc = BoundCtx {
-                    row: Some(&row),
-                    ..ctx
-                };
-                evals.pred(pred, &rc)?
-            }
-            None => true,
-        };
-        if keep {
-            kept.push(row);
-        }
-    }
-
-    // Limit pushdown (mirrors the interpreter): with the order served by
-    // the walk and no DISTINCT, only the first OFFSET+LIMIT survivors can
-    // reach the output.
-    if plan.order_served && !plan.distinct {
-        if let Some(n) = limit {
-            kept.truncate(n.saturating_add(offset.unwrap_or(0)));
-        }
-    }
-
-    // Projection + ORDER BY keys, optionally through the top-K heap.
-    let descs: Vec<bool> = plan.order.iter().map(|(_, d)| *d).collect();
-    let mut topk = match limit {
-        Some(n) if !plan.order.is_empty() && !plan.order_served && !plan.distinct => {
-            catalog.note_topk_sort();
-            Some(TopK::new(
-                n.saturating_add(offset.unwrap_or(0)),
-                descs.clone(),
-            ))
-        }
-        _ => None,
-    };
-
-    let mut out_rows: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(kept.len());
-    for (seq, row) in kept.iter().enumerate() {
-        let rc = BoundCtx {
-            row: Some(row),
-            ..ctx
-        };
-        let mut out = Vec::with_capacity(plan.projections.len());
-        for e in &plan.projections {
-            out.push(evals.eval(e, &rc)?);
-        }
-        let mut keys = Vec::with_capacity(plan.order.len());
-        for (key, _) in &plan.order {
-            keys.push(match key {
-                OrderKey::Output(i) => out[*i].clone(),
-                OrderKey::Row(e) => evals.eval(e, &rc)?,
-            });
-        }
-        match &mut topk {
-            Some(t) => t.push(keys, seq, out),
-            None => out_rows.push((out, keys)),
-        }
-    }
-
-    if plan.distinct {
-        let mut seen: std::collections::HashSet<Vec<Value>> = std::collections::HashSet::new();
-        out_rows.retain(|(r, _)| seen.insert(r.clone()));
-    }
-
-    let mut rows: Vec<Vec<Value>> = match topk {
-        Some(t) => t.into_sorted_rows(),
-        None => {
-            if !plan.order.is_empty() && !plan.order_served {
-                out_rows.sort_by(|(_, ka), (_, kb)| cmp_keys(ka, kb, &descs));
-            }
-            out_rows.into_iter().map(|(r, _)| r).collect()
-        }
-    };
-
-    if let Some(n) = offset {
-        rows = rows.into_iter().skip(n).collect();
-    }
-    if let Some(n) = limit {
-        rows.truncate(n);
-    }
-
-    catalog.note_bound_evals(evals.0);
-    Ok(QueryResult {
-        columns: plan.columns.clone(),
-        rows,
-    })
-}
+// Compiled `SELECT` execution lives in [`crate::exec::batch`]: both the
+// plain plan (`run_select_batched`) and the aggregate plan
+// (`run_agg_plan`) run batch-at-a-time over borrowed storage rows.
 
 /// Collect phase of a compiled `UPDATE`: evaluate filter + assignments
 /// against an immutable snapshot (avoiding the Halloween problem).
@@ -560,7 +705,9 @@ fn collect_update(
         row: None,
     };
     let mut changes = Vec::new();
+    let mut walked = 0u64;
     for (id, row) in table.iter() {
+        walked += 1;
         let rc = BoundCtx {
             row: Some(row),
             ..ctx
@@ -578,6 +725,7 @@ fn collect_update(
         }
         changes.push((id, new_row));
     }
+    catalog.note_full_scan_rows(walked);
     Ok(changes)
 }
 
@@ -665,7 +813,9 @@ fn collect_delete(
         row: None,
     };
     let mut out = Vec::new();
+    let mut walked = 0u64;
     for (id, row) in table.iter() {
+        walked += 1;
         let hit = match &plan.filter {
             Some(pred) => {
                 let rc = BoundCtx {
@@ -680,6 +830,7 @@ fn collect_delete(
             out.push(id);
         }
     }
+    catalog.note_full_scan_rows(walked);
     Ok(out)
 }
 

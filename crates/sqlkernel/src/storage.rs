@@ -221,6 +221,15 @@ impl Table {
         self.rows.iter().map(|(id, r)| (*id, r))
     }
 
+    /// Iterate row data in row-id order *by reference* — the batch
+    /// executor's scan primitive. Unlike [`Table::iter`] the `Arc` is
+    /// never cloned: the borrow pins each row to the caller's table
+    /// guard, so a whole-table scan costs zero refcount traffic and
+    /// zero per-row allocation.
+    pub fn scan(&self) -> impl Iterator<Item = &Arc<Row>> {
+        self.rows.values()
+    }
+
     /// Fetch one row.
     pub fn get(&self, id: RowId) -> Option<&Arc<Row>> {
         self.rows.get(&id)

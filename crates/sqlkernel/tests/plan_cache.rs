@@ -522,6 +522,157 @@ fn differential_update_delete_corpus() {
     }
 }
 
+/// Random grouped SELECT: mixed inline-foldable aggregates (bare
+/// columns, COUNT(*)), DISTINCT and computed-argument shapes that force
+/// the member-list fallback, optional WHERE/HAVING/ORDER BY/LIMIT, and
+/// single- and multi-column (and absent) group keys.
+fn gen_aggregate(rng: &mut Rng) -> String {
+    let group = rng.pick(&["", "a", "b", "s", "a, b"]);
+    let aggs = [
+        "COUNT(*)",
+        "COUNT(b)",
+        "SUM(a)",
+        "AVG(b)",
+        "MIN(s)",
+        "MAX(a)",
+        "SUM(DISTINCT a)",
+        "COUNT(DISTINCT s)",
+        "SUM(a + b)",
+        "MIN(b * 2)",
+    ];
+    let mut proj: Vec<String> = Vec::new();
+    if !group.is_empty() && rng.range(0, 4) != 0 {
+        proj.push(group.to_string());
+    }
+    for _ in 0..rng.range(1, 4) {
+        proj.push(rng.pick(&aggs).to_string());
+    }
+    let mut sql = format!("SELECT {} FROM t", proj.join(", "));
+    if rng.range(0, 3) == 0 {
+        sql.push_str(&format!(" WHERE {}", gen_predicate(rng)));
+    }
+    if !group.is_empty() {
+        sql.push_str(&format!(" GROUP BY {group}"));
+        if rng.range(0, 3) == 0 {
+            let having = rng.pick(&[
+                "COUNT(*) > 1",
+                "SUM(a) > 10",
+                "MIN(s) IS NOT NULL",
+                "AVG(b) >= 5",
+            ]);
+            sql.push_str(&format!(" HAVING {having}"));
+        }
+    }
+    if rng.range(0, 3) == 0 {
+        sql.push_str(" ORDER BY 1");
+        if rng.bool() {
+            sql.push_str(&format!(" LIMIT {}", rng.range(0, 6)));
+        }
+    }
+    sql
+}
+
+/// Aggregate corpus round: the hash aggregator (streamed, one-pass, and
+/// member-list fallback alike) must be byte-identical to the
+/// interpreter — including group emission order, NULL group keys,
+/// empty-input behavior, and HAVING over completed groups.
+#[test]
+fn differential_aggregate_corpus() {
+    for case in 0..48 {
+        let mut rng = Rng::new(0xA66E ^ case);
+        let (cdb, idb) = twin_dbs(&mut rng);
+        let (cc, ic) = (cdb.connect(), idb.connect());
+        for _ in 0..8 {
+            let sql = gen_aggregate(&mut rng);
+            run_both(&cc, &ic, &sql, case);
+        }
+    }
+}
+
+/// Hand-picked aggregate edges the random corpus reaches only rarely:
+/// global aggregates over an empty table (one all-NULL/zero row), GROUP
+/// BY over an empty table (zero rows), NULL group keys grouping
+/// together, duplicate aggregate call sites, and overflow-adjacent SUMs
+/// (both executors accumulate in f64, so the cast back must agree).
+#[test]
+fn aggregate_edge_cases_match_interpreter() {
+    let cdb = Database::new("agg_edge_c");
+    let idb = Database::new("agg_edge_i");
+    let (cc, ic) = (cdb.connect(), idb.connect());
+    let ddl = "CREATE TABLE t (id INT PRIMARY KEY, a INT, b INT, s TEXT);";
+    cc.execute_script(ddl).unwrap();
+    ic.execute_script(ddl).unwrap();
+
+    // Empty table first.
+    for sql in [
+        "SELECT COUNT(*), SUM(a), AVG(a), MIN(s), MAX(b) FROM t",
+        "SELECT a, COUNT(*) FROM t GROUP BY a",
+        "SELECT s, SUM(a) FROM t GROUP BY s HAVING COUNT(*) > 0",
+    ] {
+        run_both(&cc, &ic, sql, 0);
+    }
+
+    let rows = "INSERT INTO t VALUES
+        (1, 9223372036854775806, 1, 'x'),
+        (2, 1, 1, 'x'),
+        (3, -9223372036854775807, NULL, 'y'),
+        (4, NULL, NULL, 'y'),
+        (5, 7, 2, NULL),
+        (6, 7, 2, NULL),
+        (7, 0, 3, 'x');";
+    cc.execute_script(rows).unwrap();
+    ic.execute_script(rows).unwrap();
+
+    for sql in [
+        // Overflow-adjacent SUM, globally and per group.
+        "SELECT SUM(a), AVG(a) FROM t",
+        "SELECT s, SUM(a) FROM t GROUP BY s",
+        // NULL group keys form one group; NULL-only aggregate inputs.
+        "SELECT b, COUNT(*), COUNT(b), SUM(a) FROM t GROUP BY b",
+        "SELECT s, MIN(b), MAX(b) FROM t GROUP BY s",
+        // Duplicate rows without DISTINCT vs the same with DISTINCT.
+        "SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY 1",
+        "SELECT COUNT(s), COUNT(DISTINCT s), SUM(a), SUM(DISTINCT a) FROM t",
+        // Duplicate call sites share one synthetic slot.
+        "SELECT SUM(a), SUM(a), COUNT(*) FROM t",
+        // SUM over a non-numeric column errors identically.
+        "SELECT SUM(s) FROM t",
+        "SELECT b, AVG(s) FROM t GROUP BY b",
+    ] {
+        run_both(&cc, &ic, sql, 1);
+    }
+}
+
+/// The corpus must actually exercise the batch executor: grouped
+/// statements tick `hash_aggs`, and every compiled SELECT ticks
+/// `batch_evals`/`batched_rows`. Guards against a silent fallback to
+/// the interpreter making the differential tests vacuous.
+#[test]
+fn grouped_queries_engage_the_hash_aggregator() {
+    let (db, conn) = setup();
+    for _ in 0..2 {
+        conn.query(
+            "SELECT ItemId, SUM(Quantity), COUNT(*) FROM Orders \
+             WHERE Approved = TRUE GROUP BY ItemId",
+            &[],
+        )
+        .unwrap();
+        conn.query(
+            "SELECT ItemId, SUM(DISTINCT Quantity) FROM Orders GROUP BY ItemId",
+            &[],
+        )
+        .unwrap();
+    }
+    let s = db.stats();
+    assert!(
+        s.hash_aggs >= 4,
+        "grouped statements must run through the hash aggregator (got {})",
+        s.hash_aggs
+    );
+    assert!(s.batch_evals > 0, "batched passes must be recorded");
+    assert!(s.batched_rows > 0, "batched row traffic must be recorded");
+}
+
 #[test]
 fn differential_parameterized_statements() {
     for case in 0..24 {

@@ -26,9 +26,12 @@ for seed in 20260807 271828 31337; do
   CRASH_SEED="$seed" cargo test -q -p sqlkernel --test group_commit_crash
 done
 
-# Throughput bench smoke: prove the binary runs end-to-end without
-# overwriting the recorded JSON (BENCH_SMOKE shortens the window and
-# skips the write).
+# Bench smokes: prove the binaries run end-to-end without overwriting
+# the recorded JSONs (BENCH_SMOKE shortens the workload and skips the
+# write). bench_vectorized additionally asserts in-process that the
+# batched executor engaged and that batched results are byte-identical
+# to the interpreter.
 BENCH_SMOKE=1 ./target/release/bench_throughput >/dev/null
+BENCH_SMOKE=1 ./target/release/bench_vectorized >/dev/null
 
 echo "verify: OK"

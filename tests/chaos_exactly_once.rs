@@ -378,3 +378,64 @@ fn exhausted_retries_compensate_back_to_the_pre_sequence_state() {
     assert!(pos("unmark") < pos("unbook"));
     assert_eq!(db.stats().retries, 2, "two retries before exhaustion");
 }
+
+// ---------------------------------------------------------------------
+// Batched execution under a storm: after a fault storm has pushed the
+// Figure 4 process through its retries, the compiled/batched read path
+// and the row-at-a-time interpreter must agree byte-for-byte — on every
+// table and on a grouped aggregate over the storm's end state.
+// ---------------------------------------------------------------------
+
+#[test]
+fn batched_reads_match_interpreter_after_fault_storm() {
+    use flowsql::sqlkernel::parser::parse_statement;
+    use flowsql::sqlkernel::{QueryResult, StatementResult};
+
+    let seed = 1337;
+    let env = ProbeEnv::fresh();
+    env.db
+        .set_fault_plan(Some(scripted_storm(seed, HORIZON, PERCENT)));
+    let registry = DataSourceRegistry::new().with(env.db.clone());
+    let def =
+        figure4_process_with_recovery(registry, env.db.name(), seed, storm_policy(seed), no_trip());
+    let inst = env.engine.run(&def, Variables::new()).unwrap();
+    assert!(inst.is_completed(), "{:?}", inst.outcome);
+    env.db.set_fault_plan(None);
+
+    let conn = env.db.connect();
+    let interpreted = |sql: &str| -> QueryResult {
+        let stmt = parse_statement(sql).unwrap();
+        match conn.execute_ast(&stmt, &[]).unwrap() {
+            StatementResult::Rows(rs) => rs,
+            other => panic!("expected rows from {sql}, got {other:?}"),
+        }
+    };
+
+    let before = env.db.stats().batch_evals;
+    let mut tables = env.db.table_names();
+    tables.sort_unstable();
+    for t in &tables {
+        let sql = format!("SELECT * FROM {t}");
+        let batched = conn.query(&sql, &[]).unwrap();
+        assert_eq!(
+            rows_fingerprint(&batched),
+            rows_fingerprint(&interpreted(&sql)),
+            "table {t}: batched read diverged from the interpreter after the storm"
+        );
+    }
+    let agg = "SELECT ItemId, COUNT(*), SUM(Quantity) FROM Orders \
+               WHERE Approved = TRUE GROUP BY ItemId";
+    let batched = conn.query(agg, &[]).unwrap();
+    assert_eq!(
+        rows_fingerprint(&batched),
+        rows_fingerprint(&interpreted(agg)),
+        "grouped aggregate diverged between executors after the storm"
+    );
+
+    let stats = env.db.stats();
+    assert!(
+        stats.batch_evals > before,
+        "the batched path must have engaged for the comparison to mean anything"
+    );
+    assert!(stats.hash_aggs > 0, "the aggregate probe must have hashed");
+}
