@@ -1,25 +1,141 @@
 //! Regenerates `docs/outputs/BENCH_concurrency.json` — read-throughput
-//! scaling of the `sqlkernel` concurrent read path.
+//! scaling of the `sqlkernel` concurrent read path, uncontended and
+//! **contended** (readers scanning while a writer commits).
 //!
-//! For each thread count, N reader threads hammer the shared database
-//! with the standard aggregation probe for a fixed wall-clock window;
-//! throughput is total completed queries over the window. With the
-//! catalog behind a reader-writer lock, throughput should scale with
-//! the thread count instead of staying flat behind a global mutex. The
-//! emitted JSON also records the engine's statement-cache and scan
-//! counters, demonstrating that the probe text is parsed once and
-//! served from the plan cache thereafter.
+//! Phase 1 (uncontended): for each thread count, N reader threads
+//! hammer the shared database with the standard aggregation probe for a
+//! fixed wall-clock window; throughput is total completed queries over
+//! the window.
+//!
+//! Phase 2 (correctness gate, before any timing): a fixed budget of
+//! balance-transfer transactions runs once serialized and once under
+//! concurrent snapshot readers; the final table bytes must be identical
+//! and no concurrent scan may observe a torn transfer (the quantity sum
+//! is invariant). A bench that publishes numbers for a broken engine is
+//! worse than no bench.
+//!
+//! Phase 3 (contended): N readers scan while one writer continuously
+//! commits transfers. With MVCC snapshots, readers never block on the
+//! writer; the same sweep runs against the legacy table-lock protocol
+//! (`Database::set_legacy_locking`) as the A/B baseline. On a
+//! multi-core host (≥4 CPUs) MVCC readers must beat legacy readers ≥3×
+//! at 4 threads. A single-CPU host cannot show a reader speedup (both
+//! sides time-share one core), so the bar there is *utilization*: with
+//! R = readers-alone rate and W = writer-alone rate, a non-blocking
+//! engine must reach r/R + w/W ≥ 0.9 under contention (blocked time
+//! would show up as cycles delivered to neither side); best-of-3
+//! windows filters scheduler noise.
+//!
+//! `BENCH_SMOKE=1` shrinks the windows, skips the JSON write, and skips
+//! the timing bars (correctness gates still run) — used by CI.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
+use sqlkernel::{Database, Value};
+
 const QUERY: &str =
     "SELECT ItemId, SUM(Quantity) FROM Orders WHERE Approved = TRUE GROUP BY ItemId";
 const DB_ROWS: usize = 2_000;
-const WINDOW: Duration = Duration::from_millis(500);
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const CONTENDED_COUNTS: [usize; 3] = [1, 2, 4];
+/// Transfer transactions in the identity gate.
+const IDENTITY_TRANSFERS: usize = 600;
 
-fn measure(db: &sqlkernel::Database, threads: usize) -> (u64, f64) {
+fn window(smoke: bool) -> Duration {
+    Duration::from_millis(if smoke { 60 } else { 500 })
+}
+
+/// One balance transfer: moves one unit between two orders inside a
+/// transaction, preserving `SUM(Quantity)` — the torn-read detector.
+fn transfer(conn: &sqlkernel::Connection, i: usize, rows: usize) {
+    let a = (i % rows) as i64 + 1;
+    let b = ((i + rows / 2) % rows) as i64 + 1;
+    if a == b {
+        return;
+    }
+    conn.execute("BEGIN", &[]).unwrap();
+    conn.execute(
+        "UPDATE Orders SET Quantity = Quantity + 1 WHERE OrderId = ?",
+        &[Value::Int(a)],
+    )
+    .unwrap();
+    conn.execute(
+        "UPDATE Orders SET Quantity = Quantity - 1 WHERE OrderId = ?",
+        &[Value::Int(b)],
+    )
+    .unwrap();
+    conn.execute("COMMIT", &[]).unwrap();
+}
+
+/// Full-table bytes, for the serialized-vs-concurrent identity check.
+fn table_bytes(db: &Database) -> String {
+    let rs = db
+        .connect()
+        .query(
+            "SELECT OrderId, ItemId, Quantity, Approved FROM Orders ORDER BY OrderId",
+            &[],
+        )
+        .unwrap();
+    format!("{:?}", rs.rows)
+}
+
+fn quantity_sum(conn: &sqlkernel::Connection) -> i64 {
+    match conn
+        .query("SELECT SUM(Quantity) FROM Orders", &[])
+        .unwrap()
+        .rows[0][0]
+    {
+        Value::Int(v) => v,
+        ref other => panic!("expected int sum, got {other:?}"),
+    }
+}
+
+/// The correctness gate: same transfer budget serialized and contended
+/// must leave identical bytes, and every concurrent scan must see the
+/// invariant sum.
+fn verify_snapshot_identity(rows: usize, transfers: usize) {
+    let serial = bench::seeded_orders_db("ident_serial", rows);
+    {
+        let conn = serial.connect();
+        for i in 0..transfers {
+            transfer(&conn, i, rows);
+        }
+    }
+    let want = table_bytes(&serial);
+
+    let db = bench::seeded_orders_db("ident_concurrent", rows);
+    let expected_sum = quantity_sum(&db.connect());
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for _ in 0..2 {
+            let conn = db.connect();
+            let stop = &stop;
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    assert_eq!(
+                        quantity_sum(&conn),
+                        expected_sum,
+                        "a concurrent scan observed a torn transfer"
+                    );
+                }
+            });
+        }
+        let conn = db.connect();
+        for i in 0..transfers {
+            transfer(&conn, i, rows);
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert_eq!(
+        table_bytes(&db),
+        want,
+        "contended run diverged from the serialized run"
+    );
+}
+
+/// Readers-only window (uncontended baseline).
+fn measure(db: &Database, threads: usize, win: Duration) -> (u64, f64) {
     let stop = AtomicBool::new(false);
     let start = Instant::now();
     let total: u64 = std::thread::scope(|s| {
@@ -37,7 +153,7 @@ fn measure(db: &sqlkernel::Database, threads: usize) -> (u64, f64) {
                 })
             })
             .collect();
-        std::thread::sleep(WINDOW);
+        std::thread::sleep(win);
         stop.store(true, Ordering::Relaxed);
         handles.into_iter().map(|h| h.join().unwrap()).sum()
     });
@@ -45,10 +161,72 @@ fn measure(db: &sqlkernel::Database, threads: usize) -> (u64, f64) {
     (total, total as f64 / elapsed)
 }
 
+/// Writer-alone window: transfer commits/s with no readers running.
+fn measure_writer_alone(db: &Database, win: Duration) -> f64 {
+    let conn = db.connect();
+    let start = Instant::now();
+    let mut i = 0usize;
+    while start.elapsed() < win {
+        transfer(&conn, i, DB_ROWS);
+        i += 1;
+    }
+    i as f64 / start.elapsed().as_secs_f64()
+}
+
+/// N readers scanning while one writer commits transfers continuously.
+/// Returns (reader queries/s, writer commits/s).
+fn measure_contended(db: &Database, threads: usize, win: Duration) -> (f64, f64) {
+    let stop = AtomicBool::new(false);
+    let start = Instant::now();
+    let (reads, commits) = std::thread::scope(|s| {
+        let readers: Vec<_> = (0..threads)
+            .map(|_| {
+                let conn = db.connect();
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut done = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        std::hint::black_box(conn.query(QUERY, &[]).unwrap());
+                        done += 1;
+                    }
+                    done
+                })
+            })
+            .collect();
+        let writer = {
+            let conn = db.connect();
+            let stop = &stop;
+            s.spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    transfer(&conn, i, DB_ROWS);
+                    i += 1;
+                }
+                i as u64
+            })
+        };
+        std::thread::sleep(win);
+        stop.store(true, Ordering::Relaxed);
+        let reads: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+        (reads, writer.join().unwrap())
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    (reads as f64 / elapsed, commits as f64 / elapsed)
+}
+
 fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let win = window(smoke);
+    let rows = if smoke { 200 } else { DB_ROWS };
+    let transfers = if smoke { 60 } else { IDENTITY_TRANSFERS };
+
+    // Correctness gate first: no timing for an engine that tears reads.
+    verify_snapshot_identity(rows, transfers);
+    eprintln!("identity gate: serialized and contended runs byte-identical");
+
     let db = bench::seeded_orders_db("concurrency", DB_ROWS);
 
     // Warm the statement cache so measurement covers the cached path.
@@ -57,7 +235,7 @@ fn main() {
     let mut points = Vec::new();
     let mut base_qps = 0.0f64;
     for &threads in &THREAD_COUNTS {
-        let (queries, qps) = measure(&db, threads);
+        let (queries, qps) = measure(&db, threads, win);
         if threads == 1 {
             base_qps = qps;
         }
@@ -69,21 +247,113 @@ fn main() {
         ));
     }
 
+    // Writer-alone baseline (headline number; the utilization bar
+    // re-measures its own adjacent baselines below).
+    let writer_alone = measure_writer_alone(&db, win);
+    eprintln!("writer alone: {writer_alone:.0} commits/s");
+
+    // Contended sweep: MVCC snapshots vs the legacy table-lock protocol.
+    // Best-of-3 windows per point — a 1-CPU host's scheduler can starve
+    // either side for a whole window; the claim is what the engine *can*
+    // sustain, not what one unlucky quantum delivered. Each rep measures
+    // its *own* readers-alone and writer-alone baselines in the windows
+    // directly adjacent to the contended one: on a shared host the
+    // available cycles drift minute to minute, and a ratio of windows
+    // taken far apart compares two different machines.
+    let reps = if smoke { 1 } else { 3 };
+    let mut contended_points = Vec::new();
+    let mut mvcc_read_qps = std::collections::HashMap::new();
+    let mut legacy_read_qps = std::collections::HashMap::new();
+    let mut utilization = std::collections::HashMap::new();
+    for &threads in &CONTENDED_COUNTS {
+        let mut best: Option<(f64, f64, f64)> = None;
+        for _ in 0..reps {
+            let (_, r_base) = measure(&db, threads, win);
+            let w_base = measure_writer_alone(&db, win);
+            let (r2, w2) = measure_contended(&db, threads, win);
+            let u2 = r2 / r_base.max(1.0) + w2 / w_base.max(1.0);
+            if best.is_none_or(|(_, _, u)| u2 > u) {
+                best = Some((r2, w2, u2));
+            }
+        }
+        let (rq, wc, util) = best.unwrap();
+        mvcc_read_qps.insert(threads, rq);
+        utilization.insert(threads, util);
+
+        let legacy_db = bench::seeded_orders_db("concurrency_legacy", DB_ROWS);
+        legacy_db.set_legacy_locking(true);
+        legacy_db.connect().query(QUERY, &[]).unwrap();
+        let (mut lrq, mut lwc) = measure_contended(&legacy_db, threads, win);
+        for _ in 1..reps {
+            let (r2, w2) = measure_contended(&legacy_db, threads, win);
+            if r2 > lrq {
+                (lrq, lwc) = (r2, w2);
+            }
+        }
+        legacy_read_qps.insert(threads, lrq);
+
+        let ratio = if lrq > 0.0 { rq / lrq } else { 0.0 };
+        eprintln!(
+            "{threads} readers + writer: mvcc {rq:>9.0} q/s ({wc:.0} commits/s, \
+             util {util:.2}), legacy {lrq:>9.0} q/s ({lwc:.0} commits/s), ×{ratio:.2}"
+        );
+        contended_points.push(format!(
+            "    {{ \"threads\": {threads}, \"mvcc_queries_per_sec\": {rq:.1}, \
+             \"mvcc_commits_per_sec\": {wc:.1}, \"utilization\": {util:.3}, \
+             \"legacy_queries_per_sec\": {lrq:.1}, \
+             \"legacy_commits_per_sec\": {lwc:.1}, \"mvcc_vs_legacy\": {ratio:.3} }}"
+        ));
+    }
+
+    // Acceptance bars (skipped in smoke mode: windows are too short for
+    // stable ratios, and CI runs the correctness gate above regardless).
+    if !smoke {
+        if cpus >= 4 {
+            let mvcc = mvcc_read_qps[&4];
+            let legacy = legacy_read_qps[&4];
+            assert!(
+                mvcc >= 3.0 * legacy,
+                "MVCC readers must be ≥3x legacy at 4 threads: {mvcc:.0} vs {legacy:.0}"
+            );
+        } else {
+            for &threads in &CONTENDED_COUNTS {
+                let util = utilization[&threads];
+                assert!(
+                    util >= 0.9,
+                    "{threads} readers + writer utilization fell below 0.9: {util:.2} \
+                     (blocking is burning cycles)"
+                );
+            }
+        }
+    }
+
+    // Force a GC pass so versions_gced reflects reclamation, then prove
+    // the MVCC machinery engaged during the sweep.
+    db.checkpoint().unwrap();
     let stats = db.stats();
+    assert!(stats.snapshots_taken > 0, "no snapshots taken");
+    assert!(stats.version_chains_walked > 0, "no version chains walked");
+    assert!(stats.versions_gced > 0, "GC never reclaimed a version");
+
     let json = format!(
         "{{\n  \"bench\": \"concurrent_readers\",\n  \"query\": {query:?},\n  \
          \"db_rows\": {rows},\n  \"window_ms\": {window},\n  \"host_cpus\": {cpus},\n  \
          \"note\": \"speedup is bounded by host_cpus; on a single-core host reads \
-         overlap but cannot exceed 1x wall-clock throughput\",\n  \"points\": [\n{points}\n  ],\n  \
+         overlap but cannot exceed 1x wall-clock throughput. Contended points run one \
+         transfer-committing writer against N snapshot readers; identity gate verified \
+         the contended run byte-identical to a serialized run before timing\",\n  \
+         \"points\": [\n{points}\n  ],\n  \"contended_points\": [\n{cpoints}\n  ],\n  \
          \"engine_stats\": {{\n    \"statements_executed\": {exec},\n    \"parses\": {parses},\n    \
          \"stmt_cache_hits\": {hits},\n    \"stmt_cache_misses\": {misses},\n    \
          \"plan_binds\": {binds},\n    \"bound_evals\": {bevals},\n    \
          \"index_scans\": {idx},\n    \"range_scans\": {range},\n    \
-         \"full_scans\": {full},\n    \"full_scan_rows\": {fsrows},\n    \"topk_sorts\": {topk},\n    \"batch_evals\": {batch},\n    \"batched_rows\": {brows},\n    \"hash_aggs\": {haggs}\n  }}\n}}\n",
+         \"full_scans\": {full},\n    \"full_scan_rows\": {fsrows},\n    \"topk_sorts\": {topk},\n    \"batch_evals\": {batch},\n    \"batched_rows\": {brows},\n    \"hash_aggs\": {haggs},\n    \
+         \"snapshots_taken\": {snaps},\n    \"version_chains_walked\": {chains},\n    \"versions_gced\": {gced}\n  }}\n}}\n",
         query = QUERY,
         rows = DB_ROWS,
-        window = WINDOW.as_millis(),
+        window = win.as_millis(),
         points = points.join(",\n"),
+        cpoints = contended_points.join(",\n"),
         exec = stats.statements_executed,
         parses = stats.parses,
         hits = stats.stmt_cache_hits,
@@ -98,8 +368,15 @@ fn main() {
         batch = stats.batch_evals,
         brows = stats.batched_rows,
         haggs = stats.hash_aggs,
+        snaps = stats.snapshots_taken,
+        chains = stats.version_chains_walked,
+        gced = stats.versions_gced,
     );
 
+    if smoke {
+        eprintln!("BENCH_SMOKE set; skipping JSON write");
+        return;
+    }
     let path = "docs/outputs/BENCH_concurrency.json";
     std::fs::write(path, &json).expect("write BENCH_concurrency.json");
     print!("{json}");

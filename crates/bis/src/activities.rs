@@ -71,7 +71,7 @@ pub fn execute_on_data_source(
         .extensions
         .get_mut::<BisRuntime>()
         .ok_or_else(|| FlowError::Definition("BIS runtime not installed".into()))?;
-    let db = runtime.registry.resolve(&conn_string)?.clone();
+    let db = runtime.registry.resolve(&conn_string)?;
     let key = db.name().to_string();
     let BisRuntime {
         retry,
@@ -127,7 +127,7 @@ pub fn execute_many_on_data_source(
         .extensions
         .get_mut::<BisRuntime>()
         .ok_or_else(|| FlowError::Definition("BIS runtime not installed".into()))?;
-    let db = runtime.registry.resolve(&conn_string)?.clone();
+    let db = runtime.registry.resolve(&conn_string)?;
     let key = db.name().to_string();
     let BisRuntime {
         retry,
@@ -319,7 +319,7 @@ fn store_result_externally(
             .extensions
             .get_mut::<BisRuntime>()
             .ok_or_else(|| FlowError::Definition("BIS runtime not installed".into()))?;
-        let db = runtime.registry.resolve(&conn_string)?.clone();
+        let db = runtime.registry.resolve(&conn_string)?;
         if !db.has_table(table) {
             let cols: Vec<String> = rs
                 .columns

@@ -53,11 +53,18 @@ impl DataSourceRegistry {
         self
     }
 
-    /// Resolve a connection string to a database.
-    pub fn resolve(&self, conn_string: &str) -> FlowResult<&Database> {
+    /// Resolve a connection string to a database. Names missing from
+    /// the local directory fall back to the process-wide shared handle
+    /// registry ([`Database::lookup`]), so a database another component
+    /// opened via [`Database::open`] (or published with
+    /// [`Database::publish`]) is reachable without re-registering it
+    /// here. The fallback never creates: unknown names still fail.
+    pub fn resolve(&self, conn_string: &str) -> FlowResult<Database> {
         let name = parse_connection_string(conn_string)?;
-        self.databases
-            .get(name)
+        if let Some(db) = self.databases.get(name) {
+            return Ok(db.clone());
+        }
+        Database::lookup(name)
             .ok_or_else(|| FlowError::Variable(format!("unknown data source '{name}'")))
     }
 
@@ -123,7 +130,7 @@ pub fn resolve_data_source(
         .extensions
         .get::<BisRuntime>()
         .ok_or_else(|| FlowError::Definition("BIS runtime not installed".into()))?;
-    runtime.registry.resolve(&conn_string).cloned()
+    runtime.registry.resolve(&conn_string)
 }
 
 #[cfg(test)]

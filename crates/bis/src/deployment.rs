@@ -176,7 +176,7 @@ impl BisDeployment {
         instance_key: &str,
         initial: &Variables,
     ) -> FlowResult<DurableRun> {
-        let db = self.registry.resolve(&connection_string(db_name))?.clone();
+        let db = self.registry.resolve(&connection_string(db_name))?;
         let mut rt = self.retry_runtime();
         // The FLOW_INSTANCES bootstrap DDL runs under the same retry
         // envelope as the steps — a transient on the first statement of
@@ -213,7 +213,7 @@ impl BisDeployment {
         // Create FLOW_INSTANCES up front so concurrent first-steppers
         // never race on the table's DDL.
         if let Ok(db) = self.registry.resolve(&connection_string(db_name)) {
-            let _ = PersistenceService::new(db);
+            let _ = PersistenceService::new(&db);
         }
         scheduler.run_indexed(instance_keys.len(), |i| {
             self.run_durable(db_name, &process(i), &instance_keys[i], initial)
@@ -311,7 +311,7 @@ impl BisDeployment {
             .map(|r| std::mem::take(&mut r.result_tables))
             .unwrap_or_default();
         for (db_name, table) in tables {
-            let db = self.registry.resolve(&connection_string(&db_name))?.clone();
+            let db = self.registry.resolve(&connection_string(&db_name))?;
             let conn = db.connect();
             let drop = format!("DROP TABLE IF EXISTS {table}");
             let retry = ctx
@@ -355,7 +355,7 @@ impl BisDeployment {
         script: &str,
     ) -> FlowResult<()> {
         let conn_string = ctx.variables.require_scalar(ds_var)?.render();
-        let db = self.registry.resolve(&conn_string)?.clone();
+        let db = self.registry.resolve(&conn_string)?;
         let conn = db.connect();
         let retry = ctx
             .extensions

@@ -41,12 +41,16 @@ impl SoaEnvironment {
         self
     }
 
-    /// Resolve a static connection string.
+    /// Resolve a static connection string. Names missing from the
+    /// server directory fall back to the process-wide shared handle
+    /// registry ([`Database::lookup`]) — never creating, so unknown
+    /// names still fail.
     pub fn resolve(&self, conn_string: &str) -> FlowResult<Database> {
         let name = parse_connection_string(conn_string)?;
-        self.databases
-            .get(name)
-            .cloned()
+        if let Some(db) = self.databases.get(name) {
+            return Ok(db.clone());
+        }
+        Database::lookup(name)
             .ok_or_else(|| FlowError::Variable(format!("unknown database '{name}'")))
     }
 

@@ -9,8 +9,29 @@ use std::sync::Arc;
 use crate::ast::{CreateProcedureStmt, SelectStmt};
 use crate::error::{SqlError, SqlResult};
 use crate::fault::FaultInjector;
-use crate::storage::Table;
-use crate::sync::{TableLock, TableReadGuard, TableWriteGuard};
+use crate::storage::{MvccShared, Table};
+use crate::sync::{Mutex, MutexGuard, TableLock, TableReadGuard, TableWriteGuard};
+
+/// A table's concurrency envelope: the row-data lock plus a *statement*
+/// mutex that serializes write statements on the table. Under MVCC a
+/// write statement holds the statement mutex for its whole duration
+/// (collect → apply → WAL) but the row-data write lock only for the
+/// brief apply phase, so snapshot readers are never blocked for longer
+/// than an in-memory apply.
+#[derive(Debug)]
+struct TableSlot {
+    stmt: Mutex<()>,
+    lock: TableLock<Table>,
+}
+
+impl TableSlot {
+    fn new(table: Table) -> TableSlot {
+        TableSlot {
+            stmt: Mutex::new(()),
+            lock: TableLock::new(table),
+        }
+    }
+}
 
 /// A monotonically advancing sequence generator.
 ///
@@ -141,7 +162,11 @@ impl From<CreateProcedureStmt> for Procedure {
 /// `&self` and hands out a per-table write guard.
 #[derive(Debug, Default)]
 pub struct Catalog {
-    tables: HashMap<String, TableLock<Table>>,
+    tables: HashMap<String, TableSlot>,
+    /// MVCC bookkeeping shared with every table (GC watermark + version
+    /// counters). The owning database installs its own instance via
+    /// [`Catalog::attach_mvcc`]; a standalone catalog gets a private one.
+    mvcc: Arc<MvccShared>,
     sequences: HashMap<String, Sequence>,
     procedures: HashMap<String, Procedure>,
     /// index name (lowered) → table name (lowered)
@@ -223,7 +248,7 @@ impl Catalog {
     // ------------------------------------------------------------- tables
 
     /// Register a table. Fails if the name is taken.
-    pub fn add_table(&mut self, table: Table) -> SqlResult<()> {
+    pub fn add_table(&mut self, mut table: Table) -> SqlResult<()> {
         let k = key(&table.schema.name);
         if self.tables.contains_key(&k) {
             return Err(SqlError::AlreadyExists(format!(
@@ -231,9 +256,38 @@ impl Catalog {
                 table.schema.name
             )));
         }
-        self.tables.insert(k, TableLock::new(table));
+        table.attach_mvcc(Arc::clone(&self.mvcc));
+        self.tables.insert(k, TableSlot::new(table));
         self.bump_epoch();
         Ok(())
+    }
+
+    /// Install the owning database's shared MVCC state (GC watermark +
+    /// version counters), re-attaching every existing table. Called at
+    /// database construction and again after recovery swaps in a
+    /// replayed catalog.
+    pub(crate) fn attach_mvcc(&mut self, shared: Arc<MvccShared>) {
+        self.mvcc = Arc::clone(&shared);
+        for slot in self.tables.values_mut() {
+            slot.lock.get_mut().attach_mvcc(Arc::clone(&shared));
+        }
+    }
+
+    /// The shared MVCC state currently attached to this catalog's tables.
+    pub(crate) fn mvcc(&self) -> &Arc<MvccShared> {
+        &self.mvcc
+    }
+
+    /// Drop row versions superseded before the `floor` watermark in every
+    /// table, taking each table's write lock briefly. Returns versions
+    /// dropped. Safe under the shared shape lock; the caller must not
+    /// hold any table guard.
+    pub fn gc_tables(&self, floor: u64) -> u64 {
+        let mut dropped = 0;
+        for slot in self.tables.values() {
+            dropped += slot.lock.write().gc_versions(floor);
+        }
+        dropped
     }
 
     /// Look up a table: returns a shared per-table guard. Reader
@@ -242,7 +296,18 @@ impl Catalog {
     pub fn table(&self, name: &str) -> SqlResult<TableReadGuard<'_, Table>> {
         self.tables
             .get(&key(name))
-            .map(|l| l.read())
+            .map(|s| s.lock.read())
+            .ok_or_else(|| SqlError::NotFound(format!("table '{name}'")))
+    }
+
+    /// Acquire the table's *statement* mutex: serializes write statements
+    /// against each other for their full duration without excluding
+    /// readers. Lock order: statement mutex before any row-data guard on
+    /// the same table.
+    pub fn table_stmt(&self, name: &str) -> SqlResult<MutexGuard<'_, ()>> {
+        self.tables
+            .get(&key(name))
+            .map(|s| s.stmt.lock())
             .ok_or_else(|| SqlError::NotFound(format!("table '{name}'")))
     }
 
@@ -255,7 +320,7 @@ impl Catalog {
     pub fn table_mut(&self, name: &str) -> SqlResult<TableWriteGuard<'_, Table>> {
         self.tables
             .get(&key(name))
-            .map(|l| l.write())
+            .map(|s| s.lock.write())
             .ok_or_else(|| SqlError::NotFound(format!("table '{name}'")))
     }
 
@@ -270,6 +335,7 @@ impl Catalog {
             .tables
             .remove(&key(name))
             .ok_or_else(|| SqlError::NotFound(format!("table '{name}'")))?
+            .lock
             .into_inner();
         self.index_owner.retain(|_, owner| owner != &key(name));
         self.bump_epoch();
@@ -281,7 +347,7 @@ impl Catalog {
         let mut names: Vec<String> = self
             .tables
             .values()
-            .map(|t| t.read().schema.name.clone())
+            .map(|s| s.lock.read().schema.name.clone())
             .collect();
         names.sort();
         names

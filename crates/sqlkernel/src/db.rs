@@ -1,8 +1,8 @@
 //! The embeddable database facade: [`Database`], [`Connection`],
 //! prepared statements and result grids.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::ast::Statement;
@@ -11,7 +11,9 @@ use crate::error::{SqlError, SqlResult};
 use crate::fault::{crashed_error, CrashPoint, FaultInjector, FaultPlan};
 use crate::parser::{parse_script, parse_statement};
 use crate::plan::CompiledPlan;
-use crate::storage::Table;
+use crate::storage::{
+    enter_snapshot, new_stamp, MvccShared, Snapshot, SnapshotScope, Table, TxnStamp,
+};
 use crate::sync::{Mutex, RwLock};
 use crate::txn::{UndoLog, UndoOp};
 use crate::types::Value;
@@ -211,6 +213,14 @@ pub struct DbStats {
     /// Crash recoveries this instance was born from (0 or 1: a recovered
     /// database is a fresh instance; counters do not leak across reopen).
     pub recoveries: u64,
+    /// MVCC read snapshots registered (per statement in autocommit, per
+    /// transaction under BEGIN…COMMIT).
+    pub snapshots_taken: u64,
+    /// Visibility resolutions that had to walk a multi-version chain
+    /// (single-version rows resolve without a walk and are not counted).
+    pub version_chains_walked: u64,
+    /// Superseded row versions dropped by inline trims and GC sweeps.
+    pub versions_gced: u64,
 }
 
 /// A parsed statement plus the catalog object names it references —
@@ -318,6 +328,30 @@ struct DbInner {
     retry_counter: AtomicU64,
     rollback_counter: AtomicU64,
     breaker_counter: AtomicU64,
+    /// Shared MVCC state (GC watermark + counters), also attached to
+    /// every table in the catalog so storage-level trims can see the
+    /// oldest-active-snapshot floor without reaching back up here.
+    mvcc: Arc<MvccShared>,
+    /// Active read snapshots: commit timestamp → number of holders. The
+    /// smallest key is the GC floor; versions superseded before it are
+    /// unreachable. This mutex also fences commit stamping: a commit
+    /// timestamp is allocated *and stored* under it, so a snapshot never
+    /// observes a half-stamped commit (all of a transaction's versions
+    /// share one stamp cell, made visible by a single atomic store).
+    snapshots: Mutex<BTreeMap<u64, usize>>,
+    /// Latest committed timestamp. Starts at 1 (the bootstrap stamp) so
+    /// the first real commit gets 2.
+    commit_clock: AtomicU64,
+    snapshot_counter: AtomicU64,
+    /// Commits since the last auto-GC sweep (see `maybe_gc`).
+    commits_since_gc: AtomicU64,
+    gc_due: AtomicBool,
+    /// Benchmark A/B knob: `true` restores the PR 5 lock shape (WAL
+    /// append under the statement-long exclusive table guard) on the
+    /// fast write paths. Data stays fully versioned either way — only
+    /// the contention profile changes. Set before the workload, not
+    /// mid-flight.
+    legacy_locking: AtomicBool,
 }
 
 /// A named in-memory database. Cloning is cheap (`Arc`); all clones see
@@ -342,13 +376,15 @@ const STMT_CACHE_CAPACITY: usize = 256;
 
 impl Database {
     fn build(name: String, wal: Option<Wal>) -> Database {
+        let catalog = Catalog::new();
+        let mvcc = Arc::clone(catalog.mvcc());
         Database {
             inner: Arc::new(DbInner {
                 name,
                 tag: GLOBAL_DB_TAG.fetch_add(1, Ordering::Relaxed),
                 wal,
                 recovery_counter: AtomicU64::new(0),
-                catalog: RwLock::new(Catalog::new()),
+                catalog: RwLock::new(catalog),
                 stmt_cache: Mutex::new(StmtCache::new(STMT_CACHE_CAPACITY)),
                 stmt_counter: AtomicU64::new(0),
                 rows_counter: AtomicU64::new(0),
@@ -363,6 +399,13 @@ impl Database {
                 retry_counter: AtomicU64::new(0),
                 rollback_counter: AtomicU64::new(0),
                 breaker_counter: AtomicU64::new(0),
+                mvcc,
+                snapshots: Mutex::new(BTreeMap::new()),
+                commit_clock: AtomicU64::new(1),
+                snapshot_counter: AtomicU64::new(0),
+                commits_since_gc: AtomicU64::new(0),
+                gc_due: AtomicBool::new(false),
+                legacy_locking: AtomicBool::new(false),
             }),
         }
     }
@@ -401,7 +444,14 @@ impl Database {
             name.into(),
             Some(Wal::new(store, outcome.next_lsn, outcome.next_txn)),
         );
-        *db.inner.catalog.write() = outcome.catalog;
+        {
+            let mut catalog = db.inner.catalog.write();
+            *catalog = outcome.catalog;
+            // The replayed catalog was built with its own MVCC state;
+            // re-attach this instance's so the GC watermark and counters
+            // the connections maintain reach the recovered tables.
+            catalog.attach_mvcc(Arc::clone(&db.inner.mvcc));
+        }
         db.inner.recovery_counter.store(1, Ordering::Relaxed);
         db.checkpoint()?;
         Ok(db)
@@ -427,6 +477,11 @@ impl Database {
     /// own append.
     pub fn checkpoint(&self) -> SqlResult<()> {
         let Some(wal) = &self.inner.wal else {
+            // Non-durable databases have no log to compact, but the
+            // version-chain sweep still runs so delete-heavy in-memory
+            // workloads reclaim superseded versions and tombstones.
+            let catalog = self.inner.catalog.write();
+            catalog.gc_tables(self.inner.mvcc.floor.load(Ordering::Acquire));
             return Ok(());
         };
         let catalog = self.inner.catalog.write();
@@ -435,6 +490,10 @@ impl Database {
                 "cannot checkpoint while explicit transactions are open".into(),
             ));
         }
+        // Reclaim versions below the oldest-active-snapshot watermark
+        // before serializing: the checkpoint image carries only the
+        // newest committed version of each row anyway.
+        catalog.gc_tables(self.inner.mvcc.floor.load(Ordering::Acquire));
         let injector = self.inner.injector.lock().clone();
         if let Some(inj) = &injector {
             if inj.frozen() {
@@ -521,6 +580,79 @@ impl Database {
         self.inner.rollback_counter.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Register a read snapshot at the current commit timestamp. Returns
+    /// the snapshot timestamp and a fresh write stamp (0 = uncommitted)
+    /// for any versions written under it. Taken under the registry mutex
+    /// so a concurrent commit is either fully stamped before the
+    /// timestamp is read or gets a strictly later timestamp.
+    fn register_snapshot(&self) -> (u64, TxnStamp) {
+        let mut reg = self.inner.snapshots.lock();
+        let ts = self.inner.commit_clock.load(Ordering::Acquire).max(1);
+        *reg.entry(ts).or_insert(0) += 1;
+        if let Some(&floor) = reg.keys().next() {
+            self.inner.mvcc.floor.store(floor, Ordering::Release);
+        }
+        drop(reg);
+        self.inner.snapshot_counter.fetch_add(1, Ordering::Relaxed);
+        (ts, new_stamp())
+    }
+
+    /// Release a snapshot registration and advance the GC floor to the
+    /// new oldest-active snapshot (`u64::MAX` when none are active).
+    fn release_snapshot(&self, ts: u64) {
+        let mut reg = self.inner.snapshots.lock();
+        if let Some(n) = reg.get_mut(&ts) {
+            *n -= 1;
+            if *n == 0 {
+                reg.remove(&ts);
+            }
+        }
+        let floor = reg.keys().next().copied().unwrap_or(u64::MAX);
+        self.inner.mvcc.floor.store(floor, Ordering::Release);
+    }
+
+    /// The commit point: allocate the next commit timestamp and store it
+    /// into `stamp`, making every row version written under that stamp
+    /// visible in one atomic step. Runs under the registry mutex (see
+    /// `snapshots`) and must only be called once the statement's WAL
+    /// append — its durability point — has been acknowledged.
+    fn commit_stamp(&self, stamp: &TxnStamp) {
+        let reg = self.inner.snapshots.lock();
+        let ts = self.inner.commit_clock.fetch_add(1, Ordering::AcqRel) + 1;
+        stamp.store(ts, Ordering::Release);
+        drop(reg);
+        const GC_COMMIT_INTERVAL: u64 = 256;
+        if self.inner.commits_since_gc.fetch_add(1, Ordering::Relaxed) % GC_COMMIT_INTERVAL
+            == GC_COMMIT_INTERVAL - 1
+        {
+            self.inner.gc_due.store(true, Ordering::Release);
+        }
+    }
+
+    /// Periodic version-chain sweep, run from statement entry points with
+    /// no locks held. Inline trims keep actively updated chains short;
+    /// this pass reclaims chains that stopped being written (including
+    /// committed delete tombstones, which only a sweep can remove).
+    fn maybe_gc(&self) {
+        if !self.inner.gc_due.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        let floor = self.inner.mvcc.floor.load(Ordering::Acquire);
+        let catalog = self.inner.catalog.read();
+        catalog.gc_tables(floor);
+    }
+
+    /// Restore the PR 5 lock shape (WAL append under the statement-long
+    /// exclusive table guard) on the fast write paths — a benchmark A/B
+    /// knob. Rows stay versioned either way; only contention changes.
+    pub fn set_legacy_locking(&self, on: bool) {
+        self.inner.legacy_locking.store(on, Ordering::Release);
+    }
+
+    fn legacy_locking(&self) -> bool {
+        self.inner.legacy_locking.load(Ordering::Acquire)
+    }
+
     /// Fetch (or parse and cache) the plan for one statement text.
     ///
     /// Every `execute`/`query`/`prepare` call funnels through here, so a
@@ -529,6 +661,27 @@ impl Database {
     /// not cached: they are not hot, and caching them would let a `DROP`
     /// outlive its own invalidation.
     pub(crate) fn cached_statement(&self, sql: &str) -> SqlResult<Arc<CachedStmt>> {
+        // Transaction control is hot on the write path — every
+        // transaction utters a BEGIN and a COMMIT — yet deliberately
+        // uncacheable. Recognize the bare keywords without invoking the
+        // parser; anything fancier ("BEGIN TRANSACTION") still parses.
+        let trimmed = sql.trim().trim_end_matches(';').trim_end();
+        let txn_ctl = if trimmed.eq_ignore_ascii_case("BEGIN") {
+            Some(Statement::Begin)
+        } else if trimmed.eq_ignore_ascii_case("COMMIT") {
+            Some(Statement::Commit)
+        } else if trimmed.eq_ignore_ascii_case("ROLLBACK") {
+            Some(Statement::Rollback)
+        } else {
+            None
+        };
+        if let Some(stmt) = txn_ctl {
+            return Ok(Arc::new(CachedStmt {
+                objects: Vec::new(),
+                stmt,
+                plan: Mutex::new(None),
+            }));
+        }
         if let Some(hit) = self.inner.stmt_cache.lock().get(sql) {
             self.inner.cache_hit_counter.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
@@ -580,6 +733,7 @@ impl Database {
             db: self.clone(),
             id,
             txn: std::cell::RefCell::new(None),
+            txn_stamp: std::cell::RefCell::new(None),
             temp_tables: std::cell::RefCell::new(Vec::new()),
             stmt_memo: std::cell::RefCell::new(StmtMemo::default()),
             wal_txn: std::cell::Cell::new(None),
@@ -664,6 +818,9 @@ impl Database {
                 .map(|w| w.checkpoints())
                 .unwrap_or(0),
             recoveries: self.inner.recovery_counter.load(Ordering::Relaxed),
+            snapshots_taken: self.inner.snapshot_counter.load(Ordering::Relaxed),
+            version_chains_walked: self.inner.mvcc.chains_walked.load(Ordering::Relaxed),
+            versions_gced: self.inner.mvcc.versions_gced.load(Ordering::Relaxed),
         }
     }
 
@@ -671,6 +828,59 @@ impl Database {
     pub fn same_as(&self, other: &Database) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
     }
+
+    /// Name part of a DSN: `sqlkernel://name`, or a bare name.
+    fn dsn_name(dsn: &str) -> &str {
+        dsn.strip_prefix("sqlkernel://").unwrap_or(dsn)
+    }
+
+    /// Open the shared in-memory database named by `dsn`, creating it on
+    /// first use. Every `open` of the same name returns a handle to the
+    /// same engine, so independent components (the product stacks) share
+    /// one database instead of maintaining ad-hoc registries.
+    pub fn open(dsn: &str) -> Database {
+        let name = Database::dsn_name(dsn);
+        let mut reg = shared_registry().lock();
+        if let Some(db) = reg.get(name) {
+            return db.clone();
+        }
+        let db = Database::new(name);
+        reg.insert(name.to_string(), db.clone());
+        db
+    }
+
+    /// Fetch the shared database named by `dsn` if some component has
+    /// already opened or published it. Never creates — callers that want
+    /// creation-on-miss use [`Database::open`].
+    pub fn lookup(dsn: &str) -> Option<Database> {
+        shared_registry()
+            .lock()
+            .get(Database::dsn_name(dsn))
+            .cloned()
+    }
+
+    /// Publish this handle under its name so other components can reach
+    /// it via [`Database::open`]/[`Database::lookup`] — e.g. a durable
+    /// database created with [`Database::open_durable`]. Replaces any
+    /// previous entry under the same name.
+    pub fn publish(&self) {
+        shared_registry()
+            .lock()
+            .insert(self.inner.name.clone(), self.clone());
+    }
+
+    /// Remove a name from the shared registry, returning the handle if
+    /// one was registered. Existing handles stay fully usable.
+    pub fn unpublish(dsn: &str) -> Option<Database> {
+        shared_registry().lock().remove(Database::dsn_name(dsn))
+    }
+}
+
+/// Process-wide registry backing [`Database::open`]: name → shared handle.
+fn shared_registry() -> &'static Mutex<HashMap<String, Database>> {
+    static REGISTRY: std::sync::OnceLock<Mutex<HashMap<String, Database>>> =
+        std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
 /// A pre-parsed statement, reusable with different `?` bindings. The
@@ -716,6 +926,11 @@ pub struct Connection {
     db: Database,
     id: u64,
     txn: std::cell::RefCell<Option<UndoLog>>,
+    /// Write stamp and snapshot timestamp of the open explicit
+    /// transaction: every statement inside BEGIN…COMMIT reads the same
+    /// snapshot (repeatable read) and writes under the same stamp, which
+    /// `COMMIT` stores the commit timestamp into at the WAL-ack point.
+    txn_stamp: std::cell::RefCell<Option<(TxnStamp, u64)>>,
     temp_tables: std::cell::RefCell<Vec<String>>,
     /// Connection-local statement memo: repeat executions of the same
     /// text skip the global statement-cache mutex entirely. Entries are
@@ -743,10 +958,79 @@ impl std::fmt::Debug for Connection {
     }
 }
 
+/// RAII around one statement's MVCC snapshot. Installs the thread-local
+/// snapshot scope so storage resolves row visibility against it, and —
+/// for a per-statement (autocommit) snapshot — releases the registry
+/// entry on drop. Inert when the thread already runs under a snapshot
+/// (nested execution: CALL bodies, delegated interpreter runs): the
+/// outer scope rules, and this ctx merely reuses its stamp.
+struct SnapshotCtx<'a> {
+    /// `Some` when this ctx owns a registry entry to release.
+    db: Option<&'a Database>,
+    ts: u64,
+    stamp: TxnStamp,
+    scope: Option<SnapshotScope>,
+}
+
+impl SnapshotCtx<'_> {
+    /// The write stamp for versions created under this snapshot.
+    fn stamp(&self) -> TxnStamp {
+        Arc::clone(&self.stamp)
+    }
+}
+
+impl Drop for SnapshotCtx<'_> {
+    fn drop(&mut self) {
+        // Uninstall the thread-local scope before releasing the registry
+        // entry, so no reader can resolve against a released snapshot.
+        self.scope.take();
+        if let Some(db) = self.db {
+            db.release_snapshot(self.ts);
+        }
+    }
+}
+
 impl Connection {
     /// The owning database.
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// Establish the snapshot this statement reads under: the enclosing
+    /// scope's when nested, the transaction's under BEGIN…COMMIT, or a
+    /// freshly registered per-statement snapshot in autocommit.
+    fn snapshot_ctx(&self) -> SnapshotCtx<'_> {
+        if let Some(outer) = crate::storage::current_snapshot() {
+            return SnapshotCtx {
+                db: None,
+                ts: outer.ts,
+                stamp: outer.stamp,
+                scope: None,
+            };
+        }
+        if let Some((stamp, ts)) = self.txn_stamp.borrow().clone() {
+            let scope = enter_snapshot(Snapshot {
+                ts,
+                stamp: Arc::clone(&stamp),
+            });
+            return SnapshotCtx {
+                db: None,
+                ts,
+                stamp,
+                scope: Some(scope),
+            };
+        }
+        let (ts, stamp) = self.db.register_snapshot();
+        let scope = enter_snapshot(Snapshot {
+            ts,
+            stamp: Arc::clone(&stamp),
+        });
+        SnapshotCtx {
+            db: Some(&self.db),
+            ts,
+            stamp,
+            scope: Some(scope),
+        }
     }
 
     /// Connection id (unique within the database).
@@ -834,6 +1118,7 @@ impl Connection {
         let mark = crate::catalog::draw_mark();
         let result = self.execute_cached(&cached, params);
         self.settle_draws(mark, result.is_err());
+        self.db.maybe_gc();
         result
     }
 
@@ -906,6 +1191,7 @@ impl Connection {
         let mark = crate::catalog::draw_mark();
         let result = self.execute_cached(&prepared.cached, params);
         self.settle_draws(mark, result.is_err());
+        self.db.maybe_gc();
         result
     }
 
@@ -923,6 +1209,7 @@ impl Connection {
         let mark = crate::catalog::draw_mark();
         let result = self.execute_batch_inner(sql, param_sets);
         self.settle_draws(mark, result.is_err());
+        self.db.maybe_gc();
         result
     }
 
@@ -971,8 +1258,12 @@ impl Connection {
 
         if let Some(table_name) = fast_table {
             let catalog = self.db.inner.catalog.read();
+            // Writer-writer serialization without excluding readers: one
+            // write statement per table at a time.
+            let _stmt = catalog.table_stmt(&table_name)?;
+            let ctx = self.snapshot_ctx();
             let mut table = catalog.table_mut(&table_name)?;
-            let mut scratch = UndoLog::new();
+            let mut scratch = UndoLog::with_stamp(ctx.stamp());
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let mut total = 0;
                 for params in param_sets {
@@ -1009,14 +1300,7 @@ impl Connection {
             .unwrap_or_else(|payload| Err(Self::panic_error(payload)));
             return match result {
                 Ok(total) => {
-                    if let Err(e) = self.wal_log_statement_on(&catalog, &table, &scratch) {
-                        scratch.rollback_on_table(&mut table);
-                        self.db.note_rollback();
-                        return Err(e);
-                    }
-                    if let Some(txn) = self.txn.borrow_mut().as_mut() {
-                        txn.absorb(scratch);
-                    }
+                    self.finish_fast_write(&catalog, &table_name, table, scratch, &ctx)?;
                     Ok(total)
                 }
                 Err(e) => {
@@ -1029,8 +1313,9 @@ impl Connection {
         }
 
         // Subquery-bearing batch: the exclusive general path.
+        let ctx = self.snapshot_ctx();
         let mut catalog = self.db.inner.catalog.write();
-        let mut scratch = UndoLog::new();
+        let mut scratch = UndoLog::with_stamp(ctx.stamp());
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut total = 0;
             for params in param_sets {
@@ -1059,6 +1344,8 @@ impl Connection {
                 }
                 if let Some(txn) = self.txn.borrow_mut().as_mut() {
                     txn.absorb(scratch);
+                } else {
+                    self.db.commit_stamp(&ctx.stamp);
                 }
                 Ok(total)
             }
@@ -1229,6 +1516,57 @@ impl Connection {
         }
     }
 
+    /// Durability + commit phase shared by the fast write paths.
+    ///
+    /// Default (MVCC) mode drops the exclusive table guard *before* the
+    /// WAL append and re-derives the after-images under a shared guard:
+    /// the statement's versions are still unstamped — invisible to every
+    /// snapshot — so readers proceed against the pre-statement state
+    /// while the append (and any group-commit window) runs. The caller's
+    /// per-table statement mutex keeps other writers out, so the rows the
+    /// shared guard exposes are exactly what this statement wrote. Only
+    /// after the append is acknowledged does the commit stamp (autocommit)
+    /// or the enclosing transaction's eventual COMMIT publish the
+    /// versions. Legacy mode keeps the PR 5 shape — append under the
+    /// statement-long exclusive guard — as a benchmark A/B baseline.
+    ///
+    /// On append failure the statement's versions are unwound under a
+    /// re-taken exclusive guard and the error is returned; nothing was
+    /// ever visible.
+    fn finish_fast_write(
+        &self,
+        catalog: &Catalog,
+        table_name: &str,
+        mut table: crate::sync::TableWriteGuard<'_, Table>,
+        scratch: UndoLog,
+        ctx: &SnapshotCtx<'_>,
+    ) -> SqlResult<()> {
+        if self.db.legacy_locking() {
+            if let Err(e) = self.wal_log_statement_on(catalog, &table, &scratch) {
+                scratch.rollback_on_table(&mut table);
+                self.db.note_rollback();
+                return Err(e);
+            }
+            drop(table);
+        } else {
+            drop(table);
+            let read = catalog.table(table_name)?;
+            if let Err(e) = self.wal_log_statement_on(catalog, &read, &scratch) {
+                drop(read);
+                let mut table = catalog.table_mut(table_name)?;
+                scratch.rollback_on_table(&mut table);
+                self.db.note_rollback();
+                return Err(e);
+            }
+        }
+        if let Some(txn) = self.txn.borrow_mut().as_mut() {
+            txn.absorb(scratch);
+        } else {
+            self.db.commit_stamp(&ctx.stamp);
+        }
+        Ok(())
+    }
+
     /// Execute through the compiled plan when one applies; otherwise
     /// fall back to [`Connection::execute_ast`] (the interpreter).
     fn execute_cached(&self, cached: &CachedStmt, params: &[Value]) -> SqlResult<StatementResult> {
@@ -1236,6 +1574,10 @@ impl Connection {
             Statement::Select(s) => {
                 self.db.inner.stmt_counter.fetch_add(1, Ordering::Relaxed);
                 let named: HashMap<String, Value> = HashMap::new();
+                // Readers resolve row visibility against this snapshot;
+                // they take per-table guards only in shared mode and
+                // never observe an unstamped (uncommitted) version.
+                let _snap = self.snapshot_ctx();
                 let catalog = self.db.inner.catalog.read();
                 let plan = self.compiled_plan(cached, &catalog);
                 if let Err(e) = catalog.fault_bind_complete() {
@@ -1288,10 +1630,16 @@ impl Connection {
                         Self::invalidate_plan_slot(cached);
                         return Err(e);
                     }
-                    // One exclusive table guard held across both DML
-                    // phases: the whole statement is atomic to readers.
+                    // Writer-writer serialization without excluding
+                    // readers: one write statement per table at a time.
+                    let _stmt = catalog.table_stmt(&table_name)?;
+                    let ctx = self.snapshot_ctx();
+                    // The exclusive guard covers only the in-memory
+                    // apply; versions stay unstamped (invisible) until
+                    // the WAL append is acknowledged, so readers are
+                    // never atomicity witnesses.
                     let mut table = catalog.table_mut(&table_name)?;
-                    let mut scratch = UndoLog::new();
+                    let mut scratch = UndoLog::with_stamp(ctx.stamp());
                     let result =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &*plan {
                             CompiledPlan::Update(p) => crate::plan::run_update_plan_on(
@@ -1315,16 +1663,13 @@ impl Connection {
                         .unwrap_or_else(|payload| Err(Self::panic_error(payload)));
                     return match result {
                         Ok(n) => {
-                            if let Err(e) = self.wal_log_statement_on(&catalog, &table, &scratch) {
-                                // The write never became durable; statement
-                                // atomicity demands its in-memory effects go.
-                                scratch.rollback_on_table(&mut table);
-                                self.db.note_rollback();
+                            if let Err(e) =
+                                self.finish_fast_write(&catalog, &table_name, table, scratch, &ctx)
+                            {
+                                // The write never became durable; its
+                                // in-memory versions were unwound.
                                 Self::invalidate_plan_slot(cached);
                                 return Err(e);
-                            }
-                            if let Some(txn) = self.txn.borrow_mut().as_mut() {
-                                txn.absorb(scratch);
                             }
                             Ok(StatementResult::Affected(n))
                         }
@@ -1358,7 +1703,8 @@ impl Connection {
                     Self::invalidate_plan_slot(cached);
                     return Err(e);
                 }
-                let mut scratch = UndoLog::new();
+                let ctx = self.snapshot_ctx();
+                let mut scratch = UndoLog::with_stamp(ctx.stamp());
                 // Contain panics (injected or genuine) so a crashing
                 // statement surfaces as an error with its partial work
                 // undone instead of poisoning the catalog lock.
@@ -1385,6 +1731,8 @@ impl Connection {
                         }
                         if let Some(txn) = self.txn.borrow_mut().as_mut() {
                             txn.absorb(scratch);
+                        } else {
+                            self.db.commit_stamp(&ctx.stamp);
                         }
                         Ok(StatementResult::Affected(n))
                     }
@@ -1405,8 +1753,11 @@ impl Connection {
                 self.db.inner.stmt_counter.fetch_add(1, Ordering::Relaxed);
                 let named: HashMap<String, Value> = HashMap::new();
                 let catalog = self.db.inner.catalog.read();
+                // Writer-writer serialization without excluding readers.
+                let _stmt = catalog.table_stmt(&ins.table)?;
+                let ctx = self.snapshot_ctx();
                 let mut table = catalog.table_mut(&ins.table)?;
-                let mut scratch = UndoLog::new();
+                let mut scratch = UndoLog::with_stamp(ctx.stamp());
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     crate::exec::dml::run_insert_on(
                         &catalog,
@@ -1420,14 +1771,7 @@ impl Connection {
                 .unwrap_or_else(|payload| Err(Self::panic_error(payload)));
                 match result {
                     Ok(n) => {
-                        if let Err(e) = self.wal_log_statement_on(&catalog, &table, &scratch) {
-                            scratch.rollback_on_table(&mut table);
-                            self.db.note_rollback();
-                            return Err(e);
-                        }
-                        if let Some(txn) = self.txn.borrow_mut().as_mut() {
-                            txn.absorb(scratch);
-                        }
+                        self.finish_fast_write(&catalog, &ins.table, table, scratch, &ctx)?;
                         Ok(StatementResult::Affected(n))
                     }
                     Err(e) => {
@@ -1466,6 +1810,7 @@ impl Connection {
             self.settle_draws(mark, result.is_err());
             out.push(result?);
         }
+        self.db.maybe_gc();
         Ok(out)
     }
 
@@ -1479,11 +1824,13 @@ impl Connection {
     /// Execute an already-parsed statement.
     ///
     /// `SELECT` runs under a *shared* catalog lock — any number of readers
-    /// proceed in parallel — while DML, DDL, `CALL`, and rollback take the
-    /// exclusive lock. Isolation is read-committed-per-statement: a reader
-    /// never sees a torn row (rows swap atomically behind the lock), and a
-    /// writer's partial statement is invisible because the write lock is
-    /// held for the whole statement.
+    /// proceed in parallel — while DDL, `CALL`, subquery-bearing DML, and
+    /// rollback take the exclusive lock. Isolation is snapshot-per-
+    /// statement (snapshot-per-transaction under BEGIN…COMMIT): every
+    /// read resolves row visibility against a commit-timestamped
+    /// snapshot, so a reader sees either all of a statement's writes or
+    /// none of them, never a torn mix — and never another connection's
+    /// uncommitted work.
     fn execute_ast_inner(&self, stmt: &Statement, params: &[Value]) -> SqlResult<StatementResult> {
         self.db.inner.stmt_counter.fetch_add(1, Ordering::Relaxed);
         match stmt {
@@ -1492,7 +1839,12 @@ impl Connection {
                 if txn.is_some() {
                     return Err(SqlError::Txn("transaction already open".into()));
                 }
-                *txn = Some(UndoLog::new());
+                // One snapshot and one write stamp for the whole
+                // transaction: repeatable reads, and a single COMMIT-time
+                // store publishes every row it wrote.
+                let (ts, stamp) = self.db.register_snapshot();
+                *txn = Some(UndoLog::with_stamp(Arc::clone(&stamp)));
+                *self.txn_stamp.borrow_mut() = Some((stamp, ts));
                 Ok(StatementResult::TxnControl)
             }
             Statement::Commit => {
@@ -1513,21 +1865,38 @@ impl Connection {
                     return Err(SqlError::Txn("COMMIT without open transaction".into()));
                 }
                 drop(txn);
-                if let Some(wal) = self.db.inner.wal.as_ref() {
-                    if let Some(id) = self.wal_txn.take() {
-                        let catalog = self.db.inner.catalog.read();
-                        wal.append(
-                            &[WalRecord::Commit {
-                                txn: id,
-                                epoch: catalog.epoch(),
-                                sequences: catalog.sequence_states(),
-                            }],
-                            AppendMode::Full,
-                        )?;
-                        wal.note_txn_closed();
+                let finished = self.txn_stamp.borrow_mut().take();
+                let appended = (|| -> SqlResult<()> {
+                    if let Some(wal) = self.db.inner.wal.as_ref() {
+                        if let Some(id) = self.wal_txn.take() {
+                            let catalog = self.db.inner.catalog.read();
+                            wal.append(
+                                &[WalRecord::Commit {
+                                    txn: id,
+                                    epoch: catalog.epoch(),
+                                    sequences: catalog.sequence_states(),
+                                }],
+                                AppendMode::Full,
+                            )?;
+                            wal.note_txn_closed();
+                        }
                     }
+                    Ok(())
+                })();
+                if let Some((stamp, ts)) = finished {
+                    if appended.is_ok() {
+                        // The commit point: stamping at WAL-ack makes
+                        // every version this transaction wrote visible
+                        // in one atomic store, and crash recovery
+                        // reconstructs exactly this committed state. A
+                        // failed append leaves the versions unstamped —
+                        // invisible forever, the same outcome recovery
+                        // would produce.
+                        self.db.commit_stamp(&stamp);
+                    }
+                    self.db.release_snapshot(ts);
                 }
-                Ok(StatementResult::TxnControl)
+                appended.map(|_| StatementResult::TxnControl)
             }
             Statement::Rollback => {
                 let log = self
@@ -1540,10 +1909,14 @@ impl Connection {
                 self.db.note_rollback();
                 drop(catalog);
                 self.wal_abort();
+                if let Some((_stamp, ts)) = self.txn_stamp.borrow_mut().take() {
+                    self.db.release_snapshot(ts);
+                }
                 Ok(StatementResult::TxnControl)
             }
             Statement::Select(s) => {
                 let named: HashMap<String, Value> = HashMap::new();
+                let _snap = self.snapshot_ctx();
                 let catalog = self.db.inner.catalog.read();
                 let rs = crate::exec::select::run_select(&catalog, s, params, &named)?;
                 self.db
@@ -1554,8 +1927,9 @@ impl Connection {
             }
             other => {
                 let named: HashMap<String, Value> = HashMap::new();
+                let ctx = self.snapshot_ctx();
                 let mut catalog = self.db.inner.catalog.write();
-                let mut scratch = UndoLog::new();
+                let mut scratch = UndoLog::with_stamp(ctx.stamp());
                 // Contain panics so they surface as errors (with this
                 // statement's effects undone) instead of poisoning the lock.
                 let exec_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -1590,6 +1964,8 @@ impl Connection {
                         }
                         if let Some(txn) = self.txn.borrow_mut().as_mut() {
                             txn.absorb(scratch);
+                        } else {
+                            self.db.commit_stamp(&ctx.stamp);
                         }
                         // DDL invalidates dependent cached plans. For CALL,
                         // the procedure body may itself run DDL; collect its
@@ -1628,6 +2004,9 @@ impl Connection {
             self.db.note_rollback();
             drop(catalog);
             self.wal_abort();
+            if let Some((_stamp, ts)) = self.txn_stamp.borrow_mut().take() {
+                self.db.release_snapshot(ts);
+            }
         }
     }
 }

@@ -117,9 +117,10 @@ fn gather_rows<'t>(
             if key.is_null() {
                 Vec::new()
             } else {
-                index
-                    .lookup(&SortKey(vec![key]))
-                    .filter_map(|id| table.get(id).map(|r| r.as_slice()))
+                table
+                    .index_eq_entries(index, &SortKey(vec![key]))
+                    .into_iter()
+                    .map(|(_, row)| row.as_slice())
                     .collect()
             }
         }
@@ -138,27 +139,31 @@ fn gather_rows<'t>(
                 Some((e, inc)) => Some((evals.eval(e, ctx)?, *inc)),
                 None => None,
             };
-            let ids = index.lookup_range(
-                lower.as_ref().map(|(v, i)| (v, *i)),
-                upper.as_ref().map(|(v, i)| (v, *i)),
-                *rev,
-                false,
-            );
             catalog.note_range_scan();
-            ids.iter()
-                .filter_map(|id| table.get(*id).map(|r| r.as_slice()))
+            table
+                .index_range_entries(
+                    index,
+                    lower.as_ref().map(|(v, i)| (v, *i)),
+                    upper.as_ref().map(|(v, i)| (v, *i)),
+                    *rev,
+                    false,
+                )
+                .into_iter()
+                .map(|(_, row)| row.as_slice())
                 .collect()
         }
         Access::IndexOrder { col, desc } => {
             let index = table.find_index(&[*col]).expect("plan epoch guards index");
-            let mut ids = index.lookup_range(None, None, *desc, true);
+            let mut rows: Vec<&[Value]> = table
+                .index_range_entries(index, None, None, *desc, true)
+                .into_iter()
+                .map(|(_, row)| row.as_slice())
+                .collect();
             if let Some(n) = pushdown {
-                ids.truncate(n);
+                rows.truncate(n);
             }
             catalog.note_range_scan();
-            ids.iter()
-                .filter_map(|id| table.get(*id).map(|r| r.as_slice()))
-                .collect()
+            rows
         }
     })
 }

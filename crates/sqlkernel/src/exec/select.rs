@@ -485,9 +485,10 @@ fn try_index_scan(
         let rows: Vec<Arc<Row>> = if key.is_null() {
             Vec::new()
         } else {
-            index
-                .lookup(&crate::storage::SortKey(vec![key]))
-                .filter_map(|id| table.get(id).cloned())
+            table
+                .index_eq_entries(index, &crate::storage::SortKey(vec![key]))
+                .into_iter()
+                .map(|(_, row)| Arc::clone(row))
                 .collect()
         };
         return Ok(Some((Rows { schema, rows }, None)));
@@ -511,15 +512,16 @@ fn try_index_scan(
         // Walk backwards when a single-item ORDER BY … DESC targets the
         // range column, so the emission order serves the sort.
         let rev = order_hint.is_some_and(|(c, desc)| c == spec.col && desc);
-        let ids = index.lookup_range(
-            lower.as_ref().map(|(v, i)| (v, *i)),
-            upper.as_ref().map(|(v, i)| (v, *i)),
-            rev,
-            false,
-        );
-        let rows: Vec<Arc<Row>> = ids
-            .iter()
-            .filter_map(|id| table.get(*id).cloned())
+        let rows: Vec<Arc<Row>> = table
+            .index_range_entries(
+                index,
+                lower.as_ref().map(|(v, i)| (v, *i)),
+                upper.as_ref().map(|(v, i)| (v, *i)),
+                rev,
+                false,
+            )
+            .into_iter()
+            .map(|(_, row)| Arc::clone(row))
             .collect();
         catalog.note_range_scan();
         return Ok(Some((Rows { schema, rows }, Some((spec.col, rev)))));
@@ -530,10 +532,10 @@ fn try_index_scan(
     // (or, descending, NULLS-last) sort position.
     if let Some((col, desc)) = order_hint {
         if let Some(index) = table.find_index(&[col]) {
-            let ids = index.lookup_range(None, None, desc, true);
-            let rows: Vec<Arc<Row>> = ids
-                .iter()
-                .filter_map(|id| table.get(*id).cloned())
+            let rows: Vec<Arc<Row>> = table
+                .index_range_entries(index, None, None, desc, true)
+                .into_iter()
+                .map(|(_, row)| Arc::clone(row))
                 .collect();
             catalog.note_range_scan();
             return Ok(Some((Rows { schema, rows }, Some((col, desc)))));

@@ -354,9 +354,13 @@ impl FaultInjector {
         // A fault armed for a previous statement that never reached its
         // trigger point (e.g. torn-row fault on a statement that matched
         // fewer rows) dies here rather than leaking onto this statement.
+        // An armed *crash* is different: it models the whole process
+        // dying, not a per-statement hiccup, so it stays pending until
+        // some statement's append delivers it — with concurrent
+        // connections, another statement's gate must not wipe a crash a
+        // peer thread armed but has not yet carried to the WAL layer.
         st.row_fault = None;
         st.after_bind = None;
-        st.armed_crash = None;
 
         let fault = match st.scripted.remove(&index) {
             Some(f) => Some(f),

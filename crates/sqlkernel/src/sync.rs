@@ -95,6 +95,23 @@ struct TableLockState {
     readers: usize,
     /// Is a writer currently admitted?
     writer: bool,
+    /// Writers queued for admission. *Fresh* readers wait behind them
+    /// (starvation gate); readers that already hold this lock do not
+    /// (recursion safety).
+    writers_waiting: usize,
+}
+
+thread_local! {
+    /// Read-guard hold counts per lock (keyed by the lock's address) for
+    /// the calling thread. Lets [`TableLock::read`] distinguish a
+    /// recursive re-read — which must bypass the pending-writer gate to
+    /// stay deadlock-free — from a fresh reader, which yields to queued
+    /// writers. Addresses are stable keys here: an entry exists only
+    /// while the thread holds a guard, and a guard pins its lock in
+    /// place (the catalog shape lock prevents the table from being
+    /// dropped or moved while any statement uses it).
+    static READ_HOLDS: std::cell::RefCell<std::collections::HashMap<usize, usize>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
 }
 
 /// A *reader-preference* reader-writer lock for per-table data.
@@ -107,16 +124,20 @@ struct TableLockState {
 /// control — a mutex + condvar — in front of an internal `RwLock` that
 /// is never contended in the dangerous way:
 ///
-/// * readers are admitted whenever no writer is **active** (waiting
-///   writers do not block them), so recursive read acquisition is always
+/// * readers *already holding* a guard on this lock are admitted whenever
+///   no writer is **active**, so recursive read acquisition is always
 ///   safe;
+/// * **fresh** readers additionally wait while a writer is *queued* — the
+///   pending-writer gate — so a continuous reader stream cannot starve a
+///   writer: at most the readers admitted before the writer queued run
+///   ahead of it;
 /// * a writer is admitted only once `readers == 0`, at which point the
 ///   internal data lock is free, so its `write()` succeeds immediately.
 ///
-/// The price of reader preference is potential writer starvation under a
-/// saturating read load; the engine's statement-scoped guards keep every
-/// hold short, and the catalog-shape lock above this one bounds how long
-/// a starvation window can last (DDL drains everything).
+/// Under MVCC the gate window is short by construction: writers hold this
+/// lock only for the in-memory apply phase of a statement (snapshot reads
+/// carry the long work), so gated readers wait out one apply, not a whole
+/// statement.
 #[derive(Debug, Default)]
 pub struct TableLock<T> {
     state: Mutex<TableLockState>,
@@ -139,11 +160,14 @@ impl<T> TableLock<T> {
         self.data.into_inner()
     }
 
-    /// Acquire a shared read guard. Never blocks on *waiting* writers,
-    /// so a thread may hold any number of read guards on the same lock.
+    /// Acquire a shared read guard. A thread already holding a read guard
+    /// on this lock is re-admitted past *waiting* writers (recursion
+    /// safety); a fresh reader yields to them (starvation gate).
     pub fn read(&self) -> TableReadGuard<'_, T> {
+        let lock_key = self as *const TableLock<T> as usize;
+        let recursive = READ_HOLDS.with(|h| h.borrow().get(&lock_key).copied().unwrap_or(0) > 0);
         let mut state = self.state.lock();
-        while state.writer {
+        while state.writer || (!recursive && state.writers_waiting > 0) {
             state = self
                 .admitted
                 .wait(state)
@@ -151,6 +175,7 @@ impl<T> TableLock<T> {
         }
         state.readers += 1;
         drop(state);
+        READ_HOLDS.with(|h| *h.borrow_mut().entry(lock_key).or_insert(0) += 1);
         // No writer is admitted while readers > 0, so this cannot block.
         TableReadGuard {
             lock: self,
@@ -159,14 +184,17 @@ impl<T> TableLock<T> {
     }
 
     /// Acquire the exclusive write guard, waiting out current readers.
+    /// While queued, fresh readers are gated behind this writer.
     pub fn write(&self) -> TableWriteGuard<'_, T> {
         let mut state = self.state.lock();
+        state.writers_waiting += 1;
         while state.writer || state.readers > 0 {
             state = self
                 .admitted
                 .wait(state)
                 .unwrap_or_else(PoisonError::into_inner);
         }
+        state.writers_waiting -= 1;
         state.writer = true;
         drop(state);
         // All reader guards released the data lock before decrementing
@@ -202,6 +230,16 @@ impl<T> Drop for TableReadGuard<'_, T> {
         // Release the data lock *before* the admission slot: a writer
         // admitted by the decrement must find the data lock free.
         self.guard.take();
+        let lock_key = self.lock as *const TableLock<T> as usize;
+        READ_HOLDS.with(|h| {
+            let mut h = h.borrow_mut();
+            if let Some(n) = h.get_mut(&lock_key) {
+                *n -= 1;
+                if *n == 0 {
+                    h.remove(&lock_key);
+                }
+            }
+        });
         let mut state = self.lock.state.lock();
         state.readers -= 1;
         if state.readers == 0 {
@@ -323,6 +361,59 @@ mod tests {
         drop(second);
         writer.join().unwrap();
         assert_eq!(*l.read(), 1);
+    }
+
+    #[test]
+    fn table_lock_pending_writer_gates_fresh_readers() {
+        // Writer-starvation regression: once a writer queues, a *fresh*
+        // reader must not be admitted ahead of it. R1 holds a read guard,
+        // the writer queues, R2 then attempts a read — R2 must observe
+        // the writer's store, proving it was admitted after the write.
+        let l = std::sync::Arc::new(TableLock::new(0u32));
+        let r1 = l.read();
+        let lw = l.clone();
+        let writer = std::thread::spawn(move || {
+            *lw.write() = 1;
+        });
+        // Give the writer time to queue behind r1.
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        let lr = l.clone();
+        let r2 = std::thread::spawn(move || *lr.read());
+        // Give r2 time to hit the pending-writer gate.
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        drop(r1);
+        writer.join().unwrap();
+        assert_eq!(r2.join().unwrap(), 1, "fresh reader jumped the writer");
+    }
+
+    #[test]
+    fn table_lock_writer_not_starved_by_reader_stream() {
+        // A continuous stream of overlapping readers must not starve a
+        // writer indefinitely: the gate lets the writer in as soon as the
+        // pre-queue readers drain.
+        let l = std::sync::Arc::new(TableLock::new(0u32));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let l = l.clone();
+                let stop = stop.clone();
+                scope.spawn(move || {
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        let _g = l.read();
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            {
+                let l = l.clone();
+                let stop = stop.clone();
+                scope.spawn(move || {
+                    *l.write() = 7;
+                    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(*l.read(), 7);
     }
 
     #[test]

@@ -7,18 +7,18 @@
 //! nothing behind), and — inside an explicit transaction — the
 //! *transaction log* the statement log is folded into on success.
 //!
-//! Concurrency note: the catalog sits behind a reader-writer lock —
-//! SELECTs share a read lock and run concurrently; mutating statements
-//! take the write lock and are statement-atomic. Transactions are atomic
-//! via this undo log, but interleaved transactions from different
-//! connections are not isolated from each other (a reader between two
-//! statements of an open transaction sees its uncommitted writes). The
-//! workflow layers built on top use short, connection-confined
-//! transactions over disjoint rows, which is exactly the pattern the
-//! paper's *atomic SQL sequence* activity models.
+//! Concurrency note: statements run under MVCC snapshots (see
+//! `storage.rs`): an open transaction's writes are versions stamped with
+//! its [`TxnStamp`] and stay invisible to other connections until COMMIT
+//! publishes the commit timestamp. A *stamped* log therefore rolls row
+//! ops back surgically — `undo_insert`/`undo_update`/`undo_delete`
+//! remove exactly the version this transaction pushed, leaving versions
+//! other transactions stacked above or below untouched. A stampless log
+//! (WAL recovery, direct `Table` tests) falls back to flat physical
+//! undo, byte-identical to the single-version engine.
 
 use crate::catalog::{Catalog, Procedure, Sequence, View};
-use crate::storage::{Index, Row, RowId, Table};
+use crate::storage::{Index, Row, RowId, Table, TxnStamp};
 
 /// One compensation entry.
 ///
@@ -71,12 +71,29 @@ pub enum UndoOp {
 #[derive(Debug, Default)]
 pub struct UndoLog {
     ops: Vec<UndoOp>,
+    /// The version stamp this log's row writes carry. When set, rollback
+    /// removes exactly the stamped versions; when `None` (recovery,
+    /// direct-table tests), rollback applies flat physical compensation.
+    stamp: Option<TxnStamp>,
 }
 
 impl UndoLog {
     /// Empty log.
     pub fn new() -> UndoLog {
         UndoLog::default()
+    }
+
+    /// Empty log whose row writes are stamped with `stamp`.
+    pub fn with_stamp(stamp: TxnStamp) -> UndoLog {
+        UndoLog {
+            ops: Vec::new(),
+            stamp: Some(stamp),
+        }
+    }
+
+    /// This log's version stamp, if any.
+    pub fn stamp(&self) -> Option<&TxnStamp> {
+        self.stamp.as_ref()
     }
 
     /// Record one entry.
@@ -110,17 +127,23 @@ impl UndoLog {
     /// re-enter the catalog's table map while its guard is held. Non-row
     /// entries cannot occur on that path (DDL never takes it).
     pub fn rollback_on_table(self, table: &mut Table) {
+        let stamp = self.stamp;
         for op in self.ops.into_iter().rev() {
             match op {
-                UndoOp::Insert { row_id, .. } => {
-                    let _ = table.delete(row_id);
-                }
-                UndoOp::Delete { row_id, row, .. } => {
-                    table.restore(row_id, row);
-                }
-                UndoOp::Update { row_id, old, .. } => {
-                    table.raw_replace(row_id, old);
-                }
+                UndoOp::Insert { row_id, .. } => match &stamp {
+                    Some(s) => table.undo_insert(row_id, s),
+                    None => {
+                        let _ = table.delete(row_id);
+                    }
+                },
+                UndoOp::Delete { row_id, row, .. } => match &stamp {
+                    Some(s) => table.undo_delete(row_id, s),
+                    None => table.restore(row_id, row),
+                },
+                UndoOp::Update { row_id, old, .. } => match &stamp {
+                    Some(s) => table.undo_update(row_id, s),
+                    None => table.raw_replace(row_id, old),
+                },
                 _ => debug_assert!(false, "fast-path undo log holds only row ops"),
             }
         }
@@ -133,21 +156,33 @@ impl UndoLog {
     /// the intermediate states exactly. Failures (which would indicate
     /// corruption) are ignored rather than panicking.
     pub fn rollback(self, catalog: &mut Catalog) {
+        let stamp = self.stamp;
         for op in self.ops.into_iter().rev() {
             match op {
                 UndoOp::Insert { table, row_id } => {
                     if let Ok(mut t) = catalog.table_mut(&table) {
-                        let _ = t.delete(row_id);
+                        match &stamp {
+                            Some(s) => t.undo_insert(row_id, s),
+                            None => {
+                                let _ = t.delete(row_id);
+                            }
+                        }
                     }
                 }
                 UndoOp::Delete { table, row_id, row } => {
                     if let Ok(mut t) = catalog.table_mut(&table) {
-                        t.restore(row_id, row);
+                        match &stamp {
+                            Some(s) => t.undo_delete(row_id, s),
+                            None => t.restore(row_id, row),
+                        }
                     }
                 }
                 UndoOp::Update { table, row_id, old } => {
                     if let Ok(mut t) = catalog.table_mut(&table) {
-                        t.raw_replace(row_id, old);
+                        match &stamp {
+                            Some(s) => t.undo_update(row_id, s),
+                            None => t.raw_replace(row_id, old),
+                        }
                     }
                 }
                 UndoOp::CreateTable { name } => {

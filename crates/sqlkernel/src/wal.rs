@@ -52,11 +52,12 @@
 
 use std::collections::HashMap;
 use std::io::Write;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::catalog::{Catalog, Sequence};
 use crate::error::{SqlError, SqlResult};
+use crate::fault::crashed_error;
 use crate::schema::{Column, TableSchema};
 use crate::storage::{Row, RowId, Table};
 use crate::sync::Mutex;
@@ -1461,6 +1462,15 @@ pub struct Wal {
     group: Mutex<GroupState>,
     /// Signalled when a flush generation completes or a leader steps down.
     group_done: std::sync::Condvar,
+    /// Set (under the group mutex) once a torn append has put its
+    /// truncated tail on the log: the modeled process is dead and the
+    /// tear must stay the *last* bytes of the stream. Recovery stops
+    /// scanning at the tear, so any append accepted after it would be
+    /// acknowledged to its caller and then silently discarded — a
+    /// durability violation. Concurrent appends that passed the
+    /// injector's frozen check before the crash landed are refused here
+    /// instead.
+    sealed: AtomicBool,
 }
 
 impl Wal {
@@ -1478,6 +1488,7 @@ impl Wal {
             group_window: AtomicU64::new(0),
             group: Mutex::new(GroupState::default()),
             group_done: std::sync::Condvar::new(),
+            sealed: AtomicBool::new(false),
         }
     }
 
@@ -1596,6 +1607,9 @@ impl Wal {
     /// discarded — all-or-nothing per member.
     fn append_torn(&self, records: &[WalRecord]) -> SqlResult<()> {
         let mut state = self.group.lock();
+        if self.sealed.load(Ordering::Relaxed) {
+            return Err(crashed_error());
+        }
         while state.flushing {
             state = self
                 .group_done
@@ -1622,12 +1636,27 @@ impl Wal {
         // framed record is ≥ 21 bytes, so half is always both).
         let keep = buf.len() - last_len + last_len / 2;
         buf.truncate(keep);
-        self.store_write(&buf)
+        let res = self.store_write(&buf);
+        // The tear is the last thing this "process" ever writes: seal
+        // the log (still under the group mutex) so concurrent appends
+        // that raced past the injector's frozen check cannot land bytes
+        // after it — recovery stops at the tear and would silently drop
+        // them despite their callers having been acknowledged.
+        self.sealed.store(true, Ordering::Relaxed);
+        drop(state);
+        res
     }
 
     fn append_grouped(&self, records: &[WalRecord], n_commits: u64) -> SqlResult<()> {
         let window = self.group_window.load(Ordering::Relaxed);
         let mut state = self.group.lock();
+        // Checked under the group mutex: a torn append seals the log
+        // before releasing it, so an append that arrives here after a
+        // modeled process death is refused rather than written past the
+        // tear (where recovery would never see it).
+        if self.sealed.load(Ordering::Relaxed) {
+            return Err(crashed_error());
+        }
 
         // Window 0, nothing pending: append directly under the mutex.
         // This is the single-threaded path — byte-for-byte and
@@ -1710,14 +1739,26 @@ impl Wal {
     /// exactly like a crash before the atomic rename, and recovery falls
     /// back to it.
     pub fn write_checkpoint(&self, catalog: &Catalog, partial: bool) -> SqlResult<()> {
+        // Serialized against appends so the checkpoint cannot interleave
+        // with a group flush, and so the sealed flag is read consistently
+        // (a torn tail must stay the last bytes on the log).
+        let state = self.group.lock();
+        if self.sealed.load(Ordering::Relaxed) {
+            return Err(crashed_error());
+        }
         let snap = snapshot_catalog(catalog);
         let lsn = self.next_lsn.fetch_add(1, Ordering::Relaxed);
         let framed = encode_record(lsn, &WalRecord::Checkpoint(snap));
         if partial {
+            // A mid-write checkpoint crash is a tear like any other:
+            // the half-record is the last thing this process writes.
             let keep = (framed.len() / 2).max(1);
-            self.store.append(&framed[..keep])?;
-            return Ok(());
+            let res = self.store.append(&framed[..keep]);
+            self.sealed.store(true, Ordering::Relaxed);
+            drop(state);
+            return res.map(|_| ());
         }
+        drop(state);
         self.store.reset(&framed)?;
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
         self.bytes_written

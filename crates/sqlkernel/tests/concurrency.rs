@@ -97,10 +97,10 @@ fn primary_key_contention_admits_exactly_one_winner_per_key() {
 fn transactions_from_parallel_connections_do_not_corrupt() {
     // Each thread repeatedly runs BEGIN / transfer / COMMIT or ROLLBACK
     // over its *own* pair of accounts; the invariant (total balance)
-    // must hold at the end. The engine provides per-transaction
-    // atomicity but not isolation (documented read-uncommitted), so
-    // threads must not write the same rows — this test checks atomicity
-    // under scheduler interleaving, not serializability.
+    // must hold at the end. Write-write conflicts stay last-writer-wins
+    // at statement granularity (snapshot reads, not first-committer-wins
+    // SI), so threads must not write the same rows — this test checks
+    // atomicity under scheduler interleaving, not serializability.
     let db = Database::new("mt3");
     db.connect()
         .execute_script(

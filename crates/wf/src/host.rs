@@ -109,10 +109,20 @@ impl WfHost {
     /// the SQL database activity.
     pub fn resolve_for_sql_activity(&self, conn_string: &str) -> FlowResult<Database> {
         let (provider, name) = parse_connection_string(conn_string)?;
-        let (registered, db) = self
-            .databases
-            .get(name)
-            .ok_or_else(|| FlowError::Variable(format!("unknown database '{name}'")))?;
+        let Some((registered, db)) = self.databases.get(name) else {
+            // Shared-handle fallback: a database another component opened
+            // via `Database::open` / published. The provider whitelist
+            // still applies to the provider the string claims, and
+            // `lookup` never creates, so unknown names still fail.
+            if !provider.supported_by_sql_database_activity() {
+                return Err(FlowError::Service(format!(
+                    "SQL database activity supports SqlServer and Oracle only; '{name}' is {}",
+                    provider.name()
+                )));
+            }
+            return Database::lookup(name)
+                .ok_or_else(|| FlowError::Variable(format!("unknown database '{name}'")));
+        };
         if *registered != provider {
             return Err(FlowError::Variable(format!(
                 "database '{name}' is registered as {} (connection string says {})",

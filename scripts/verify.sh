@@ -26,6 +26,13 @@ for seed in 20260807 271828 31337; do
   CRASH_SEED="$seed" cargo test -q -p sqlkernel --test group_commit_crash
 done
 
+# MVCC snapshot isolation: the differential snapshot suite (repeatable
+# read, torn-commit scans, GC, shared handles) under the same chaos and
+# crash seed rotations — its storm tests pick up both variables.
+for seed in 20260807 271828 31337; do
+  CHAOS_SEED="$seed" CRASH_SEED="$seed" cargo test -q --test mvcc_snapshots
+done
+
 # Bench smokes: prove the binaries run end-to-end without overwriting
 # the recorded JSONs (BENCH_SMOKE shortens the workload and skips the
 # write). bench_vectorized additionally asserts in-process that the
@@ -33,5 +40,9 @@ done
 # to the interpreter.
 BENCH_SMOKE=1 ./target/release/bench_throughput >/dev/null
 BENCH_SMOKE=1 ./target/release/bench_vectorized >/dev/null
+# bench_concurrency's smoke runs the read-while-write identity gate:
+# a fixed transfer budget under concurrent snapshot readers must leave
+# bytes identical to the serialized run, with no torn scans.
+BENCH_SMOKE=1 ./target/release/bench_concurrency >/dev/null
 
 echo "verify: OK"
