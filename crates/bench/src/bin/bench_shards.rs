@@ -1,0 +1,215 @@
+//! Regenerates `docs/outputs/BENCH_shards.json` — throughput scaling of
+//! sharded multi-engine execution and the price of crossing shards.
+//!
+//! Two measurements:
+//!
+//! 1. **Routed traffic**: W workers hash-route single-shard INSERTs
+//!    across a fleet of 1/2/4 engines. Each engine has its own WAL and
+//!    table locks, so a wider fleet should spread the write path the
+//!    same way disjoint tables do inside one engine.
+//! 2. **Cross-shard 2PC overhead**: microseconds per committed
+//!    transaction for a single-shard `transact` (fast path: plain
+//!    COMMIT) versus a two-shard one (prepare → decision → notify,
+//!    three WAL forces plus a coordinator write) on the same fleet.
+//!
+//! `BENCH_SMOKE=1` shrinks the window and skips the JSON write — used
+//! by `scripts/verify.sh` to prove the binary runs without clobbering
+//! recorded results.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use sqlkernel::shard::ShardedDatabase;
+use sqlkernel::{LogStore, MemLogStore, Value};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const WORKERS: usize = 4;
+
+struct RoutedPoint {
+    shards: usize,
+    workers: usize,
+    statements: u64,
+    stmts_per_sec: f64,
+    speedup_vs_1: f64,
+}
+
+fn fresh_fleet(shards: usize) -> ShardedDatabase {
+    let stores: Vec<Arc<dyn LogStore>> = (0..shards)
+        .map(|_| Arc::new(MemLogStore::new()) as Arc<dyn LogStore>)
+        .collect();
+    let sdb = ShardedDatabase::recover("bench", &stores, Arc::new(MemLogStore::new()), 7).unwrap();
+    for shard in sdb.shards() {
+        shard
+            .connect()
+            .execute("CREATE TABLE KV (K TEXT PRIMARY KEY, V INT)", &[])
+            .unwrap();
+    }
+    sdb
+}
+
+/// W workers hammering routed single-shard INSERTs until the window
+/// closes. Keys are `w{worker}-{id}`, routed by the canonical hash; each
+/// worker keeps one connection per shard.
+fn measure_routed(shards: usize, window: Duration) -> RoutedPoint {
+    let sdb = fresh_fleet(shards);
+    let stop = AtomicBool::new(false);
+    let start = Instant::now();
+    let statements: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                let sdb = sdb.clone();
+                let stop = &stop;
+                s.spawn(move || {
+                    let conns: Vec<_> = sdb.shards().iter().map(|db| db.connect()).collect();
+                    let mut done = 0u64;
+                    let mut id = 0i64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let key = format!("w{w}-{id}");
+                        let conn = &conns[sdb.shard_for(&key)];
+                        conn.execute(
+                            "INSERT INTO KV VALUES (?, ?)",
+                            &[Value::text(&key), Value::Int(id)],
+                        )
+                        .unwrap();
+                        done += 1;
+                        id += 1;
+                    }
+                    done
+                })
+            })
+            .collect();
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    RoutedPoint {
+        shards,
+        workers: WORKERS,
+        statements,
+        stmts_per_sec: statements as f64 / elapsed,
+        speedup_vs_1: 0.0,
+    }
+}
+
+/// Commit cost: run `transact` bodies touching one shard (fast path) and
+/// two shards (full 2PC) back to back on a 2-shard fleet; report µs per
+/// committed transaction for each.
+fn measure_two_pc(window: Duration) -> (f64, f64, u64) {
+    let sdb = fresh_fleet(2);
+    // Two keys pinned to different shards.
+    let mut keys = (0..64).map(|i| format!("k{i}"));
+    let a = keys.by_ref().find(|k| sdb.shard_for(k) == 0).unwrap();
+    let b = keys.by_ref().find(|k| sdb.shard_for(k) == 1).unwrap();
+
+    let time_commits = |cross: bool| -> f64 {
+        let start = Instant::now();
+        let mut commits = 0u64;
+        let mut id = 0i64;
+        while start.elapsed() < window {
+            let second = if cross { &b } else { &a };
+            sdb.transact(|txn| {
+                txn.execute(
+                    &a,
+                    "INSERT INTO KV VALUES (?, ?)",
+                    &[Value::text(format!("{a}-{cross}-{id}")), Value::Int(id)],
+                )?;
+                txn.execute(
+                    second,
+                    "INSERT INTO KV VALUES (?, ?)",
+                    &[
+                        Value::text(format!("{second}-x{cross}-{id}")),
+                        Value::Int(id),
+                    ],
+                )?;
+                Ok(())
+            })
+            .unwrap();
+            commits += 1;
+            id += 1;
+        }
+        start.elapsed().as_secs_f64() * 1e6 / commits as f64
+    };
+
+    let single_us = time_commits(false);
+    let cross_us = time_commits(true);
+    let prepares: u64 = sdb.shards().iter().map(|db| db.stats().wal_prepares).sum();
+    assert!(sdb.single_shard_commits() > 0 && sdb.cross_shard_commits() > 0);
+    (single_us, cross_us, prepares)
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok();
+    let window = if smoke {
+        Duration::from_millis(40)
+    } else {
+        Duration::from_millis(400)
+    };
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut points = Vec::new();
+    let mut base_qps = 0.0f64;
+    for &shards in &SHARD_COUNTS {
+        let mut p = measure_routed(shards, window);
+        if shards == 1 {
+            base_qps = p.stmts_per_sec;
+        }
+        p.speedup_vs_1 = if base_qps > 0.0 {
+            p.stmts_per_sec / base_qps
+        } else {
+            0.0
+        };
+        eprintln!(
+            "{shards} shards, {workers} workers: {qps:>9.0} stmts/s (×{speedup:.2} vs 1 shard)",
+            workers = p.workers,
+            qps = p.stmts_per_sec,
+            speedup = p.speedup_vs_1,
+        );
+        points.push(p);
+    }
+
+    let (single_us, cross_us, prepares) = measure_two_pc(window);
+    eprintln!(
+        "2PC: {single_us:.1} µs/commit single-shard, {cross_us:.1} µs/commit cross-shard \
+         (×{ratio:.2}, {prepares} prepares logged)",
+        ratio = cross_us / single_us,
+    );
+
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{ \"shards\": {}, \"workers\": {}, \"statements\": {}, \
+                 \"stmts_per_sec\": {:.1}, \"speedup_vs_1\": {:.3} }}",
+                p.shards, p.workers, p.statements, p.stmts_per_sec, p.speedup_vs_1,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"sharded_execution\",\n  \
+         \"workload\": \"hash-routed single-shard INSERTs across independent engines; \
+         then transact() commit cost, 1 vs 2 participants\",\n  \
+         \"window_ms\": {window},\n  \"host_cpus\": {cpus},\n  \
+         \"note\": \"speedup is bounded by host_cpus; cross-shard overhead buys atomicity \
+         across engines (prepare records + coordinator decision write)\",\n  \
+         \"routed\": [\n{points}\n  ],\n  \
+         \"two_phase_commit\": {{\n    \"single_shard_us_per_commit\": {single_us:.1},\n    \
+         \"cross_shard_us_per_commit\": {cross_us:.1},\n    \
+         \"overhead_ratio\": {ratio:.3},\n    \"wal_prepares\": {prepares}\n  }}\n}}\n",
+        window = window.as_millis(),
+        points = rows.join(",\n"),
+        ratio = cross_us / single_us,
+    );
+
+    if smoke {
+        eprintln!("smoke mode: skipping JSON write");
+    } else {
+        let path = "docs/outputs/BENCH_shards.json";
+        std::fs::write(path, &json).expect("write BENCH_shards.json");
+        eprintln!("wrote {path}");
+    }
+    print!("{json}");
+}

@@ -64,7 +64,11 @@ impl DataSourceRegistry {
         if let Some(db) = self.databases.get(name) {
             return Ok(db.clone());
         }
-        Database::lookup(name)
+        // `try_lookup`: a poisoned registry (a crashed shard thread died
+        // holding the lock) surfaces as a DbError here instead of a
+        // panic, so one dead stack cannot wedge this resolver.
+        Database::try_lookup(name)
+            .map_err(FlowError::Sql)?
             .ok_or_else(|| FlowError::Variable(format!("unknown data source '{name}'")))
     }
 

@@ -80,7 +80,7 @@ pub use persistence::{
 };
 pub use process::{CompletedInstance, Outcome, ProcessDefinition};
 pub use retry::{BreakerConfig, BreakerState, RetryPolicy, RetryReport, RetryRuntime};
-pub use scheduler::InstanceScheduler;
+pub use scheduler::{InstanceScheduler, JobFailure};
 pub use service::{Message, Service, ServiceRegistry};
 pub use value::{OpaqueValue, VarValue, Variables};
 
@@ -102,7 +102,7 @@ pub mod prelude {
     };
     pub use crate::process::{CompletedInstance, Outcome, ProcessDefinition};
     pub use crate::retry::{BreakerConfig, BreakerState, RetryPolicy, RetryReport, RetryRuntime};
-    pub use crate::scheduler::InstanceScheduler;
+    pub use crate::scheduler::{InstanceScheduler, JobFailure};
     pub use crate::service::{Message, Service, ServiceRegistry};
     pub use crate::value::{OpaqueValue, VarValue, Variables};
 }

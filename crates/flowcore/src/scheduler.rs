@@ -28,6 +28,8 @@
 use std::sync::Mutex;
 
 use sqlkernel::fault::SplitMix64;
+use sqlkernel::shard::shard_of;
+use sqlkernel::Database;
 
 /// A fixed worker pool driving N instance jobs with a seeded,
 /// deterministic assignment of jobs to workers.
@@ -72,42 +74,143 @@ impl InstanceScheduler {
         R: Send,
         F: Fn(usize) -> R + Send + Sync,
     {
+        self.try_run_indexed(count, |i| Ok::<R, std::convert::Infallible>(job(i)))
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(v) => v,
+                Err(JobFailure::Panicked(msg)) => {
+                    panic!("scheduler job panicked: {msg}")
+                }
+            })
+            .collect()
+    }
+
+    /// [`InstanceScheduler::run_indexed`], but with per-job failure
+    /// isolation: each job returns a `Result`, a *panicking* job is
+    /// contained (caught on its worker, surfaced as
+    /// [`JobFailure::Panicked`] in that job's slot) instead of taking
+    /// the whole pool down, and a crashed job can never wedge its
+    /// siblings — the result slots are poison-transparent, so a panic
+    /// mid-store on one worker does not cascade into `expect` panics on
+    /// the others. This is the entry point sharded storms use: one
+    /// shard's crash is a per-instance error, not a process abort.
+    pub fn try_run_indexed<R, E, F>(&self, count: usize, job: F) -> Vec<Result<R, JobFailure<E>>>
+    where
+        R: Send,
+        E: Send,
+        F: Fn(usize) -> Result<R, E> + Send + Sync,
+    {
         // Partition deterministically before any thread starts.
         let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); self.workers];
         for index in 0..count {
             assignments[self.worker_for(index)].push(index);
         }
 
-        let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        type Slot<R, E> = Mutex<Option<Result<R, JobFailure<E>>>>;
+        let slots: Vec<Slot<R, E>> = (0..count).map(|_| Mutex::new(None)).collect();
         let job = &job;
         let slots_ref = &slots;
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(self.workers);
             for list in &assignments {
                 if list.is_empty() {
                     continue;
                 }
-                handles.push(scope.spawn(move || {
+                scope.spawn(move || {
                     for &index in list {
-                        *slots_ref[index].lock().expect("result slot poisoned") = Some(job(index));
+                        // Contain the job's panic so the rest of this
+                        // worker's list (and every other worker) still
+                        // runs; the payload lands in the job's own slot.
+                        let outcome: Result<R, JobFailure<E>> =
+                            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                job(index)
+                            })) {
+                                Ok(Ok(v)) => Ok(v),
+                                Ok(Err(e)) => Err(JobFailure::Failed(e)),
+                                Err(payload) => Err(JobFailure::Panicked(panic_message(&payload))),
+                            };
+                        // Poison-transparent store: a peer that panicked
+                        // while holding a slot lock must not wedge us.
+                        let mut guard = match slots_ref[index].lock() {
+                            Ok(g) => g,
+                            Err(poisoned) => poisoned.into_inner(),
+                        };
+                        *guard = Some(outcome);
                     }
-                }));
-            }
-            for h in handles {
-                // A worker panic reaches the caller as this join panic.
-                if let Err(payload) = h.join() {
-                    std::panic::resume_unwind(payload);
-                }
+                });
             }
         });
         slots
             .into_iter()
             .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every job index was assigned exactly once")
+                let inner = match slot.into_inner() {
+                    Ok(v) => v,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                inner.expect("every job index was assigned exactly once")
             })
             .collect()
+    }
+
+    /// Run one job per instance key across the pool, handing each job
+    /// the shard engine its key hash-routes to (`shard_of`, the same
+    /// canonical router the storage layer uses — so the scheduler and
+    /// the data agree on placement by construction). Job→worker
+    /// assignment stays the seeded `worker_for` partition, independent
+    /// of shard count: the same seed runs the same instances on the
+    /// same workers whether state lives on 1 engine or 16.
+    pub fn run_sharded<R, E, F>(
+        &self,
+        keys: &[String],
+        shards: &[Database],
+        job: F,
+    ) -> Vec<Result<R, JobFailure<E>>>
+    where
+        R: Send,
+        E: Send,
+        F: Fn(usize, &str, &Database) -> Result<R, E> + Send + Sync,
+    {
+        assert!(!shards.is_empty(), "run_sharded over zero shards");
+        self.try_run_indexed(keys.len(), |i| {
+            let key = &keys[i];
+            let shard = &shards[shard_of(key, shards.len())];
+            job(i, key, shard)
+        })
+    }
+}
+
+/// Why a job slot holds no result: the job returned its own error, or it
+/// panicked and the panic was contained on its worker.
+#[derive(Debug)]
+pub enum JobFailure<E> {
+    /// The job's own error.
+    Failed(E),
+    /// The job panicked; the payload's message, best-effort.
+    Panicked(String),
+}
+
+impl<E> From<E> for JobFailure<E> {
+    fn from(e: E) -> JobFailure<E> {
+        JobFailure::Failed(e)
+    }
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for JobFailure<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobFailure::Failed(e) => write!(f, "job failed: {e}"),
+            JobFailure::Panicked(msg) => write!(f, "job panicked: {msg}"),
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -146,6 +249,45 @@ mod tests {
         assert_eq!(sched.workers(), 1);
         let out: Vec<usize> = sched.run_indexed(0, |i| i);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panicking_job_is_contained_per_slot() {
+        let sched = InstanceScheduler::new(4).with_seed(9);
+        let out = sched.try_run_indexed(8, |i| -> Result<usize, String> {
+            if i == 3 {
+                panic!("job {i} exploded");
+            }
+            if i == 5 {
+                return Err(format!("job {i} failed politely"));
+            }
+            Ok(i)
+        });
+        assert_eq!(out.len(), 8);
+        for (i, slot) in out.iter().enumerate() {
+            match (i, slot) {
+                (3, Err(JobFailure::Panicked(msg))) => assert!(msg.contains("exploded")),
+                (5, Err(JobFailure::Failed(msg))) => assert!(msg.contains("politely")),
+                (_, Ok(v)) => assert_eq!(*v, i),
+                (_, other) => panic!("job {i}: unexpected outcome {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn run_sharded_routes_keys_to_their_owning_engine() {
+        use sqlkernel::shard::shard_of;
+        let shards: Vec<Database> = (0..4).map(|i| Database::new(format!("rs{i}"))).collect();
+        let keys: Vec<String> = (0..32).map(|i| format!("inst-{i}")).collect();
+        let sched = InstanceScheduler::new(4).with_seed(11);
+        let out = sched.run_sharded(&keys, &shards, |i, key, db| -> Result<String, String> {
+            assert_eq!(key, &keys[i]);
+            Ok(db.name().to_string())
+        });
+        for (key, slot) in keys.iter().zip(&out) {
+            let name = slot.as_ref().expect("job failed");
+            assert_eq!(name, &format!("rs{}", shard_of(key, 4)));
+        }
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! [`rows_fingerprint`] produce the canonical byte strings compared;
 //! [`scripted_storm`] produces the seeded schedules.
 
-use sqlkernel::fault::{CrashPoint, Fault, FaultPlan, SplitMix64, TransientKind};
+use sqlkernel::fault::{CrashPoint, Fault, FaultPlan, PrepareCrash, SplitMix64, TransientKind};
+use sqlkernel::shard::ShardedDatabase;
 use sqlkernel::{Database, QueryResult};
 
 /// Canonical fingerprint of a database's full logical state: every table
@@ -191,6 +192,185 @@ pub fn combined_storm(
     schedule
 }
 
+/// Merged fingerprint of a *sharded* database: same-named tables across
+/// the given engines are unioned row-wise before sorting, producing
+/// exactly the [`db_fingerprint_excluding`] byte format — so a sharded
+/// run compares directly against its unsharded baseline. Hash routing
+/// partitions rows disjointly, so the union is a true merge.
+pub fn merged_fingerprint(dbs: &[Database], exclude: &[&str]) -> String {
+    use std::collections::BTreeMap;
+    // table name → (columns header, merged rendered rows)
+    let mut tables: BTreeMap<String, (String, Vec<String>)> = BTreeMap::new();
+    for db in dbs {
+        let conn = db.connect();
+        let mut names = db.table_names();
+        names.retain(|t| !exclude.iter().any(|e| e.eq_ignore_ascii_case(t)));
+        for t in names {
+            let rs = conn
+                .query(&format!("SELECT * FROM {t}"), &[])
+                .expect("fingerprint SELECT on an existing table");
+            let entry = tables
+                .entry(t)
+                .or_insert_with(|| (rs.columns.join(", "), Vec::new()));
+            entry.1.extend(rs.rows.iter().map(|r| {
+                r.iter()
+                    .map(sqlkernel::Value::render)
+                    .collect::<Vec<_>>()
+                    .join("|")
+            }));
+        }
+    }
+    let mut out = String::new();
+    for (name, (columns, mut rows)) in tables {
+        out.push_str("== ");
+        out.push_str(&name);
+        out.push_str(" (");
+        out.push_str(&columns);
+        out.push_str(")\n");
+        rows.sort_unstable();
+        for row in rows {
+            out.push_str(&row);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// One scheduled process death inside a sharded 2PC deployment — each
+/// variant targets a different protocol window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardCrash {
+    /// Kill shard `shard` right after its `prepare_index`-th prepare is
+    /// acknowledged: the classic in-doubt window, where only the
+    /// coordinator's decision log knows the transaction's fate.
+    ParticipantPrepared { shard: usize, prepare_index: u64 },
+    /// Kill the coordinator after its `statement_index`-th gated
+    /// statement (a decision `INSERT`) is durably logged but before any
+    /// participant is notified: the decision exists, nobody heard it.
+    CoordinatorPreNotify { statement_index: u64 },
+    /// Kill shard `shard` mid-append of its `prepare_index`-th prepare,
+    /// leaving a torn `Prepare` frame: a torn vote is no vote, so
+    /// recovery treats the transaction as a loser.
+    TornPrepare { shard: usize, prepare_index: u64 },
+    /// Plain statement crash on shard `shard` (the PR 4 crash points,
+    /// aimed at one shard of the fleet).
+    Statement {
+        shard: usize,
+        index: u64,
+        point: CrashPoint,
+    },
+}
+
+/// A shard-targeted crash schedule: one process death per lifetime,
+/// cycling through every 2PC protocol window. Applied per lifetime with
+/// [`ShardCrashSchedule::install`]; lifetimes past the schedule run
+/// crash-free (the final, completing lifetime).
+#[derive(Debug, Clone, Default)]
+pub struct ShardCrashSchedule {
+    /// The crash for each lifetime, in order.
+    pub crashes: Vec<ShardCrash>,
+    seed: u64,
+}
+
+impl ShardCrashSchedule {
+    /// Number of scheduled crashes (= lifetimes minus the clean last one).
+    pub fn crashes(&self) -> usize {
+        self.crashes.len()
+    }
+
+    /// Install lifetime `life`'s fault plans across the fleet: the
+    /// targeted engine gets the scheduled crash, everyone else an empty
+    /// plan (cleared), so exactly one process dies per lifetime.
+    pub fn install(&self, life: usize, sdb: &ShardedDatabase) {
+        for shard in sdb.shards() {
+            shard.set_fault_plan(None);
+        }
+        sdb.coordinator().set_fault_plan(None);
+        let Some(crash) = self.crashes.get(life) else {
+            return;
+        };
+        let seed = self.seed ^ (life as u64);
+        match *crash {
+            ShardCrash::ParticipantPrepared {
+                shard,
+                prepare_index,
+            } => sdb.shard(shard % sdb.num_shards()).set_fault_plan(Some(
+                FaultPlan::new(seed).crash_at_prepare(prepare_index, PrepareCrash::AfterAck),
+            )),
+            ShardCrash::TornPrepare {
+                shard,
+                prepare_index,
+            } => sdb.shard(shard % sdb.num_shards()).set_fault_plan(Some(
+                FaultPlan::new(seed).crash_at_prepare(prepare_index, PrepareCrash::Torn),
+            )),
+            ShardCrash::CoordinatorPreNotify { statement_index } => {
+                // The coordinator's gated statements are the decision
+                // INSERTs; AfterLog lands the decision durably and then
+                // kills the process before anyone hears it.
+                sdb.coordinator().set_fault_plan(Some(
+                    FaultPlan::new(seed)
+                        .fault_at(statement_index, Fault::Crash(CrashPoint::AfterLog)),
+                ));
+            }
+            ShardCrash::Statement {
+                shard,
+                index,
+                point,
+            } => sdb.shard(shard % sdb.num_shards()).set_fault_plan(Some(
+                FaultPlan::new(seed).fault_at(index, Fault::Crash(point)),
+            )),
+        }
+    }
+}
+
+/// Build a shard-targeted crash storm: `crashes` process deaths cycling
+/// through the four [`ShardCrash`] variants, aimed at seeded shards and
+/// protocol indices. `xshard_txns` bounds the prepare/decision indices
+/// (how many cross-shard commits a lifetime attempts); `horizon` bounds
+/// plain statement indices. Deterministic in `seed`.
+pub fn sharded_crash_storm(
+    seed: u64,
+    num_shards: usize,
+    horizon: u64,
+    xshard_txns: u64,
+    crashes: usize,
+) -> ShardCrashSchedule {
+    let mut rng = SplitMix64::new(seed);
+    let points = [
+        CrashPoint::BeforeLog,
+        CrashPoint::AfterLog,
+        CrashPoint::MidApply,
+    ];
+    let mut schedule = ShardCrashSchedule {
+        crashes: Vec::with_capacity(crashes),
+        seed,
+    };
+    for i in 0..crashes {
+        let shard = rng.next_below(num_shards.max(1) as u64) as usize;
+        let prepare_index = rng.next_below(xshard_txns.max(1));
+        let crash = match i % 4 {
+            0 => ShardCrash::ParticipantPrepared {
+                shard,
+                prepare_index,
+            },
+            1 => ShardCrash::CoordinatorPreNotify {
+                statement_index: prepare_index,
+            },
+            2 => ShardCrash::TornPrepare {
+                shard,
+                prepare_index,
+            },
+            _ => ShardCrash::Statement {
+                shard,
+                index: rng.next_below(horizon.max(1)),
+                point: points[(i / 4) % points.len()],
+            },
+        };
+        schedule.crashes.push(crash);
+    }
+    schedule
+}
+
 /// Longest run of consecutive faulted indices a [`scripted_storm`] with
 /// these arguments contains — callers size their retry budget above it.
 pub fn storm_longest_run(seed: u64, horizon: u64, percent: u64) -> u32 {
@@ -340,6 +520,57 @@ mod tests {
         assert!(
             !db.fault_injector().unwrap().frozen(),
             "no crash scheduled past the storm"
+        );
+    }
+
+    #[test]
+    fn merged_fingerprint_equals_unsharded_fingerprint() {
+        // The same logical rows, whole on one engine vs split across
+        // two, must fingerprint byte-identically.
+        let whole = Database::new("whole");
+        whole
+            .connect()
+            .execute_script(
+                "CREATE TABLE kv (k TEXT PRIMARY KEY, v INT);
+                 INSERT INTO kv VALUES ('a', 1), ('b', 2), ('c', 3);",
+            )
+            .unwrap();
+        let s0 = Database::new("s0");
+        let s1 = Database::new("s1");
+        for s in [&s0, &s1] {
+            s.connect()
+                .execute("CREATE TABLE kv (k TEXT PRIMARY KEY, v INT)", &[])
+                .unwrap();
+        }
+        s0.connect()
+            .execute("INSERT INTO kv VALUES ('b', 2)", &[])
+            .unwrap();
+        s1.connect()
+            .execute_script("INSERT INTO kv VALUES ('c', 3); INSERT INTO kv VALUES ('a', 1);")
+            .unwrap();
+        assert_eq!(merged_fingerprint(&[s0, s1], &[]), db_fingerprint(&whole),);
+    }
+
+    #[test]
+    fn sharded_storms_are_deterministic_and_cycle_variants() {
+        let a = sharded_crash_storm(17, 4, 100, 10, 8);
+        let b = sharded_crash_storm(17, 4, 100, 10, 8);
+        assert_eq!(a.crashes, b.crashes);
+        assert_eq!(a.crashes(), 8);
+        assert!(matches!(
+            a.crashes[0],
+            ShardCrash::ParticipantPrepared { .. }
+        ));
+        assert!(matches!(
+            a.crashes[1],
+            ShardCrash::CoordinatorPreNotify { .. }
+        ));
+        assert!(matches!(a.crashes[2], ShardCrash::TornPrepare { .. }));
+        assert!(matches!(a.crashes[3], ShardCrash::Statement { .. }));
+        assert_ne!(
+            sharded_crash_storm(18, 4, 100, 10, 8).crashes,
+            a.crashes,
+            "seed must matter"
         );
     }
 

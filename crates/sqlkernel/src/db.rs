@@ -8,7 +8,7 @@ use std::sync::Arc;
 use crate::ast::Statement;
 use crate::catalog::Catalog;
 use crate::error::{SqlError, SqlResult};
-use crate::fault::{crashed_error, CrashPoint, FaultInjector, FaultPlan};
+use crate::fault::{crashed_error, CrashPoint, FaultInjector, FaultPlan, PrepareCrash};
 use crate::parser::{parse_script, parse_statement};
 use crate::plan::CompiledPlan;
 use crate::storage::{
@@ -210,6 +210,15 @@ pub struct DbStats {
     pub wal_commits: u64,
     /// Checkpoints completed.
     pub checkpoints: u64,
+    /// 2PC `Prepare` records appended to the WAL.
+    pub wal_prepares: u64,
+    /// Transactions currently sitting in the prepared (in-doubt) window.
+    pub prepared_txns: u64,
+    /// In-doubt transactions this instance resolved to commit at recovery.
+    pub in_doubt_commits: u64,
+    /// In-doubt transactions this instance resolved to abort at recovery
+    /// (presumed abort included).
+    pub in_doubt_aborts: u64,
     /// Crash recoveries this instance was born from (0 or 1: a recovered
     /// database is a fresh instance; counters do not leak across reopen).
     pub recoveries: u64,
@@ -305,6 +314,10 @@ struct DbInner {
     wal: Option<Wal>,
     /// 1 when this instance was born from [`Database::recover`].
     recovery_counter: AtomicU64,
+    /// In-doubt transactions resolved to commit / abort when this
+    /// instance was recovered (see [`Database::recover_resolving`]).
+    in_doubt_commit_counter: AtomicU64,
+    in_doubt_abort_counter: AtomicU64,
     catalog: RwLock<Catalog>,
     stmt_cache: Mutex<StmtCache>,
     stmt_counter: AtomicU64,
@@ -384,6 +397,8 @@ impl Database {
                 tag: GLOBAL_DB_TAG.fetch_add(1, Ordering::Relaxed),
                 wal,
                 recovery_counter: AtomicU64::new(0),
+                in_doubt_commit_counter: AtomicU64::new(0),
+                in_doubt_abort_counter: AtomicU64::new(0),
                 catalog: RwLock::new(catalog),
                 stmt_cache: Mutex::new(StmtCache::new(STMT_CACHE_CAPACITY)),
                 stmt_counter: AtomicU64::new(0),
@@ -438,8 +453,29 @@ impl Database {
     /// uncommitted ones, discards any torn tail, then writes a fresh
     /// checkpoint so the log is compact going forward.
     pub fn recover(name: impl Into<String>, store: Arc<dyn LogStore>) -> SqlResult<Database> {
+        // A standalone database has no coordinator to consult, so any
+        // in-doubt 2PC transaction resolves by the presumed-abort rule.
+        Database::recover_resolving(name, store, |_| Ok(false))
+    }
+
+    /// [`Database::recover`], but with a caller-supplied decision for
+    /// in-doubt two-phase-commit transactions: `decide` is called once
+    /// per prepared-but-undecided transaction found in the log and
+    /// returns `true` to commit it (typically by consulting the 2PC
+    /// coordinator's decision log — see `shard::ShardedDatabase`).
+    /// Resolutions are appended to the log as ordinary `Commit`/`Abort`
+    /// records before the post-recovery checkpoint, so the next recovery
+    /// finds every transaction decided. An error from `decide` fails the
+    /// whole recovery: guessing would break cross-shard atomicity.
+    pub fn recover_resolving(
+        name: impl Into<String>,
+        store: Arc<dyn LogStore>,
+        decide: impl FnMut(&wal::InDoubtTxn) -> SqlResult<bool>,
+    ) -> SqlResult<Database> {
         let bytes = store.read_all()?;
-        let outcome = wal::replay(&bytes);
+        let mut outcome = wal::replay(&bytes);
+        let in_doubt = std::mem::take(&mut outcome.in_doubt);
+        let resolution = wal::resolve_in_doubt(&mut outcome.catalog, in_doubt, decide)?;
         let db = Database::build(
             name.into(),
             Some(Wal::new(store, outcome.next_lsn, outcome.next_txn)),
@@ -452,6 +488,20 @@ impl Database {
             // the connections maintain reach the recovered tables.
             catalog.attach_mvcc(Arc::clone(&db.inner.mvcc));
         }
+        if !resolution.records.is_empty() {
+            let wal = db
+                .inner
+                .wal
+                .as_ref()
+                .expect("recovery always attaches a wal");
+            wal.append(&resolution.records, wal::AppendMode::Full)?;
+        }
+        db.inner
+            .in_doubt_commit_counter
+            .store(resolution.committed, Ordering::Relaxed);
+        db.inner
+            .in_doubt_abort_counter
+            .store(resolution.aborted, Ordering::Relaxed);
         db.inner.recovery_counter.store(1, Ordering::Relaxed);
         db.checkpoint()?;
         Ok(db)
@@ -485,6 +535,17 @@ impl Database {
             return Ok(());
         };
         let catalog = self.inner.catalog.write();
+        // Check the prepared window first: a prepared transaction also
+        // counts as active (its `Prepare` is not a terminator), but it
+        // deserves the sharper error — its fate belongs to the 2PC
+        // coordinator, and a checkpoint here would bake an undecided
+        // transaction into the snapshot.
+        if wal.prepared_txns() > 0 {
+            return Err(SqlError::Txn(
+                "cannot checkpoint while a two-phase commit participant is prepared (in-doubt window)"
+                    .into(),
+            ));
+        }
         if wal.active_txns() > 0 {
             return Err(SqlError::Txn(
                 "cannot checkpoint while explicit transactions are open".into(),
@@ -737,6 +798,7 @@ impl Database {
             temp_tables: std::cell::RefCell::new(Vec::new()),
             stmt_memo: std::cell::RefCell::new(StmtMemo::default()),
             wal_txn: std::cell::Cell::new(None),
+            prepared: std::cell::Cell::new(false),
             batch: std::cell::RefCell::new(crate::exec::batch::BatchScratch::default()),
         }
     }
@@ -817,6 +879,15 @@ impl Database {
                 .as_ref()
                 .map(|w| w.checkpoints())
                 .unwrap_or(0),
+            wal_prepares: self.inner.wal.as_ref().map(|w| w.prepares()).unwrap_or(0),
+            prepared_txns: self
+                .inner
+                .wal
+                .as_ref()
+                .map(|w| w.prepared_txns())
+                .unwrap_or(0),
+            in_doubt_commits: self.inner.in_doubt_commit_counter.load(Ordering::Relaxed),
+            in_doubt_aborts: self.inner.in_doubt_abort_counter.load(Ordering::Relaxed),
             recoveries: self.inner.recovery_counter.load(Ordering::Relaxed),
             snapshots_taken: self.inner.snapshot_counter.load(Ordering::Relaxed),
             version_chains_walked: self.inner.mvcc.chains_walked.load(Ordering::Relaxed),
@@ -857,6 +928,33 @@ impl Database {
             .lock()
             .get(Database::dsn_name(dsn))
             .cloned()
+    }
+
+    /// [`Database::lookup`], but registry failure (a panic while the
+    /// registry lock was held — e.g. a crashed shard thread) surfaces as
+    /// a [`DbError`](crate::DbError) instead of propagating, so one dead
+    /// stack cannot wedge the others' resolvers. `Ok(None)` still means
+    /// "no such database".
+    pub fn try_lookup(dsn: &str) -> SqlResult<Option<Database>> {
+        let name = Database::dsn_name(dsn).to_string();
+        std::panic::catch_unwind(move || shared_registry().lock().get(name.as_str()).cloned())
+            .map_err(|_| {
+                SqlError::Connection(
+                    "database registry unavailable (lock poisoned by a crashed thread)".into(),
+                )
+            })
+    }
+
+    /// [`Database::open`], but registry failure surfaces as a
+    /// [`DbError`](crate::DbError) instead of propagating (see
+    /// [`Database::try_lookup`]).
+    pub fn try_open(dsn: &str) -> SqlResult<Database> {
+        let dsn = dsn.to_string();
+        std::panic::catch_unwind(move || Database::open(&dsn)).map_err(|_| {
+            SqlError::Connection(
+                "database registry unavailable (lock poisoned by a crashed thread)".into(),
+            )
+        })
     }
 
     /// Publish this handle under its name so other components can reach
@@ -942,6 +1040,10 @@ pub struct Connection {
     /// lazily on its first logged write (read-only transactions never
     /// touch the log).
     wal_txn: std::cell::Cell<Option<u64>>,
+    /// True while this connection's open transaction sits in the 2PC
+    /// prepared window: a `Prepare` record is on the log and the vote is
+    /// cast, so only `COMMIT` / `ROLLBACK` (phase 2) may follow.
+    prepared: std::cell::Cell<bool>,
     /// Reusable batch-execution buffers (selection vector, group keys,
     /// aggregate values). Never re-entered: compiled plans delegate
     /// subqueries to the interpreter, not to another compiled plan.
@@ -1865,6 +1967,7 @@ impl Connection {
                     return Err(SqlError::Txn("COMMIT without open transaction".into()));
                 }
                 drop(txn);
+                self.clear_prepared();
                 let finished = self.txn_stamp.borrow_mut().take();
                 let appended = (|| -> SqlResult<()> {
                     if let Some(wal) = self.db.inner.wal.as_ref() {
@@ -1904,6 +2007,7 @@ impl Connection {
                     .borrow_mut()
                     .take()
                     .ok_or_else(|| SqlError::Txn("ROLLBACK without open transaction".into()))?;
+                self.clear_prepared();
                 let mut catalog = self.db.inner.catalog.write();
                 log.rollback(&mut catalog);
                 self.db.note_rollback();
@@ -1997,8 +2101,27 @@ impl Connection {
     }
 
     /// Roll back any open transaction (no-op otherwise).
+    ///
+    /// A transaction in the 2PC *prepared* window is not rolled back: the
+    /// yes-vote is durable and the transaction's fate belongs to the
+    /// coordinator, so unilaterally aborting here would break cross-shard
+    /// atomicity (the decision log may already say commit). It is
+    /// *detached* instead — the connection forgets it, its snapshot is
+    /// released, and the unterminated `Prepare` on the log leaves it
+    /// in-doubt for the next recovery to resolve against the decision
+    /// log. Its writes stay unstamped (invisible) in this instance, and
+    /// the open-transaction and prepared gauges keep blocking checkpoints
+    /// so the undecided transaction can never be baked into a snapshot.
     pub fn rollback_if_open(&self) {
+        if self.prepared.get() {
+            let _ = self.txn.borrow_mut().take();
+            if let Some((_stamp, ts)) = self.txn_stamp.borrow_mut().take() {
+                self.db.release_snapshot(ts);
+            }
+            return;
+        }
         if let Some(log) = self.txn.borrow_mut().take() {
+            self.clear_prepared();
             let mut catalog = self.db.inner.catalog.write();
             log.rollback(&mut catalog);
             self.db.note_rollback();
@@ -2008,6 +2131,148 @@ impl Connection {
                 self.db.release_snapshot(ts);
             }
         }
+    }
+
+    /// Leave the prepared window, decrementing the WAL gauge that blocks
+    /// checkpoints. Idempotent; called by every path that terminates the
+    /// transaction (COMMIT, ROLLBACK, rollback-on-drop).
+    fn clear_prepared(&self) {
+        if self.prepared.replace(false) {
+            if let Some(wal) = self.db.inner.wal.as_ref() {
+                wal.note_prepared_resolved();
+            }
+        }
+    }
+
+    /// Is this connection's transaction sitting in the prepared window?
+    pub fn is_prepared(&self) -> bool {
+        self.prepared.get()
+    }
+
+    /// Phase 1 of two-phase commit: durably record this participant's
+    /// *yes* vote for the open explicit transaction under global
+    /// transaction id `gid`. The `Prepare` record carries the catalog
+    /// epoch and sequence states a later `Commit` needs, so recovery can
+    /// finish the commit from the log alone. After `Ok`, the transaction
+    /// is in-doubt: this connection may only [`commit_prepared`]
+    /// (coordinator said commit) or [`abort_prepared`] (coordinator said
+    /// abort) — and if the process dies first, recovery resolves the
+    /// transaction against the coordinator's decision log.
+    ///
+    /// [`commit_prepared`]: Connection::commit_prepared
+    /// [`abort_prepared`]: Connection::abort_prepared
+    pub fn prepare_transaction(&self, gid: u64) -> SqlResult<()> {
+        let injector = self.db.inner.injector.lock().clone();
+        if let Some(inj) = &injector {
+            if inj.frozen() {
+                return Err(crashed_error());
+            }
+        }
+        if self.txn.borrow().is_none() {
+            return Err(SqlError::Txn("PREPARE without open transaction".into()));
+        }
+        if self.prepared.get() {
+            return Err(SqlError::Txn("transaction already prepared".into()));
+        }
+        let Some(wal) = self.db.inner.wal.as_ref() else {
+            return Err(SqlError::Txn(
+                "two-phase commit requires a durable (WAL-backed) database".into(),
+            ));
+        };
+        let crash = injector.as_ref().and_then(|i| i.on_prepare());
+        if crash == Some(PrepareCrash::Before) {
+            // Die before the vote reaches the log: recovery sees an
+            // ordinary loser and undoes it; the coordinator sees a dead
+            // participant and presumes abort. Consistent either way.
+            if let Some(inj) = &injector {
+                inj.deliver_crash();
+            }
+            return Err(crashed_error());
+        }
+        let mut records = Vec::with_capacity(2);
+        let txn_id = match self.wal_txn.get() {
+            Some(id) => id,
+            None => {
+                // A participant that only read still votes; its Prepare
+                // must name a logged transaction, so open one now.
+                let id = wal.alloc_txn();
+                self.wal_txn.set(Some(id));
+                records.push(WalRecord::Begin { txn: id });
+                wal.note_txn_open();
+                id
+            }
+        };
+        {
+            let catalog = self.db.inner.catalog.read();
+            records.push(WalRecord::Prepare {
+                txn: txn_id,
+                gid,
+                epoch: catalog.epoch(),
+                sequences: catalog.sequence_states(),
+            });
+        }
+        match crash {
+            Some(PrepareCrash::AfterWrite) => {
+                // The vote lands durably but is never acknowledged: the
+                // coordinator presumes abort, and recovery must resolve
+                // the in-doubt transaction to abort from the decision log.
+                wal.append(&records, AppendMode::Full)?;
+                if let Some(inj) = &injector {
+                    inj.deliver_crash();
+                }
+                Err(crashed_error())
+            }
+            Some(PrepareCrash::Torn) => {
+                // A torn vote is no vote: recovery truncates at the tear
+                // and treats the transaction as a loser.
+                wal.append(&records, AppendMode::Torn)?;
+                if let Some(inj) = &injector {
+                    inj.deliver_crash();
+                }
+                Err(crashed_error())
+            }
+            Some(PrepareCrash::AfterAck) => {
+                // The classic in-doubt window: vote cast and acknowledged,
+                // then the process dies before phase 2 arrives. The later
+                // COMMIT fails `Crashed`; recovery consults the decision
+                // log, which may well say commit.
+                wal.append(&records, AppendMode::Full)?;
+                self.prepared.set(true);
+                wal.note_prepared();
+                if let Some(inj) = &injector {
+                    inj.deliver_crash();
+                }
+                Ok(())
+            }
+            Some(PrepareCrash::Before) | None => {
+                wal.append(&records, AppendMode::Full)?;
+                self.prepared.set(true);
+                wal.note_prepared();
+                Ok(())
+            }
+        }
+    }
+
+    /// Phase 2, commit side: finish a prepared transaction after the
+    /// coordinator logged a commit decision.
+    pub fn commit_prepared(&self) -> SqlResult<()> {
+        if !self.prepared.get() {
+            return Err(SqlError::Txn(
+                "COMMIT PREPARED without a prepared transaction".into(),
+            ));
+        }
+        self.execute("COMMIT", &[]).map(|_| ())
+    }
+
+    /// Phase 2, abort side: roll a prepared transaction back after the
+    /// coordinator decided (or presumed) abort.
+    pub fn abort_prepared(&self) -> SqlResult<()> {
+        if !self.prepared.get() {
+            return Err(SqlError::Txn(
+                "ROLLBACK PREPARED without a prepared transaction".into(),
+            ));
+        }
+        self.execute("ROLLBACK", &[]).map(|_| ())
     }
 }
 

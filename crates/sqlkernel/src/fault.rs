@@ -126,6 +126,32 @@ pub enum CrashPoint {
     DuringCheckpoint,
 }
 
+/// Where, relative to the two-phase-commit `Prepare` record, a scripted
+/// crash kills a participant. Scheduled by prepare index (0-based,
+/// counted per prepare attempt on this injector) via
+/// [`FaultPlan::crash_at_prepare`], mirroring checkpoint crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrepareCrash {
+    /// Die before the `Prepare` record reaches the log: recovery sees an
+    /// ordinary loser transaction and undoes it; the coordinator's
+    /// prepare call fails, so it presumes abort.
+    Before,
+    /// The `Prepare` record lands durably, then the process dies before
+    /// acknowledging the vote. The coordinator sees a dead participant
+    /// and presumes abort — recovery finds the in-doubt transaction and
+    /// must resolve it to *abort* against the decision log.
+    AfterWrite,
+    /// Die mid-append, leaving a torn `Prepare` frame at the log tail:
+    /// recovery truncates at the tear and treats the transaction as a
+    /// loser (a torn vote is no vote).
+    Torn,
+    /// The `Prepare` lands and the vote is acknowledged (`Ok`), then the
+    /// process dies before the coordinator's phase-2 notify arrives.
+    /// This is the classic in-doubt window: recovery must consult the
+    /// decision log, which may say *commit*.
+    AfterAck,
+}
+
 /// One injectable fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
@@ -160,6 +186,9 @@ pub struct FaultPlan {
     /// Checkpoint indices (0-based, counted per checkpoint attempt) at
     /// which a [`CrashPoint::DuringCheckpoint`] crash fires.
     checkpoint_crashes: Vec<u64>,
+    /// Prepare indices (0-based, counted per 2PC prepare attempt) at
+    /// which a [`PrepareCrash`] fires.
+    prepare_crashes: Vec<(u64, PrepareCrash)>,
     transient_rate: f64,
     slow_rate: f64,
     slow_ticks: u64,
@@ -204,6 +233,14 @@ impl FaultPlan {
         self.checkpoint_crashes.push(checkpoint_index);
         self
     }
+
+    /// Crash the process around the `prepare_index`-th 2PC prepare (per
+    /// this injector, 0-based); `kind` picks the protocol point. Consumed
+    /// when it fires, like statement-scripted faults.
+    pub fn crash_at_prepare(mut self, prepare_index: u64, kind: PrepareCrash) -> FaultPlan {
+        self.prepare_crashes.push((prepare_index, kind));
+        self
+    }
 }
 
 /// A row-level fault armed by the statement gate, consumed by the
@@ -221,6 +258,8 @@ struct InjectorState {
     scripted: HashMap<u64, Fault>,
     /// Checkpoint crashes not yet fired, keyed by checkpoint index.
     checkpoint_crashes: HashSet<u64>,
+    /// Prepare crashes not yet fired, keyed by prepare index.
+    prepare_crashes: HashMap<u64, PrepareCrash>,
     /// Row fault armed for the statement currently executing.
     row_fault: Option<ArmedRowFault>,
     /// After-bind fault armed for the statement currently executing.
@@ -246,6 +285,8 @@ pub struct FaultInjector {
     next_index: AtomicU64,
     /// Next checkpoint index to be assigned by the checkpoint hook.
     next_checkpoint: AtomicU64,
+    /// Next prepare index to be assigned by the prepare hook.
+    next_prepare: AtomicU64,
     state: Mutex<InjectorState>,
     /// Faults actually delivered (transients, torn rows, panics, slow ticks).
     injected: AtomicU64,
@@ -268,14 +309,17 @@ impl FaultInjector {
             slow_ticks: plan.slow_ticks,
             passive: plan.scripted.is_empty()
                 && plan.checkpoint_crashes.is_empty()
+                && plan.prepare_crashes.is_empty()
                 && plan.transient_rate <= 0.0
                 && plan.slow_rate <= 0.0,
             next_index: AtomicU64::new(0),
             next_checkpoint: AtomicU64::new(0),
+            next_prepare: AtomicU64::new(0),
             state: Mutex::new(InjectorState {
                 rng: SplitMix64::new(plan.seed),
                 scripted: plan.scripted.into_iter().collect(),
                 checkpoint_crashes: plan.checkpoint_crashes.into_iter().collect(),
+                prepare_crashes: plan.prepare_crashes.into_iter().collect(),
                 row_fault: None,
                 after_bind: None,
                 armed_crash: None,
@@ -319,6 +363,19 @@ impl FaultInjector {
             return false;
         }
         self.state.lock().checkpoint_crashes.remove(&index)
+    }
+
+    /// Prepare hook: called once per 2PC prepare attempt. Returns the
+    /// crash kind scheduled for this prepare, if any (consumed on fire);
+    /// the prepare path decides how many bytes reach the log and whether
+    /// the vote is acknowledged, then calls
+    /// [`FaultInjector::deliver_crash`].
+    pub fn on_prepare(&self) -> Option<PrepareCrash> {
+        let index = self.next_prepare.fetch_add(1, Ordering::Relaxed);
+        if self.passive {
+            return None;
+        }
+        self.state.lock().prepare_crashes.remove(&index)
     }
 
     /// Faults delivered so far.

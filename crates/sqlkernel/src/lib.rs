@@ -45,6 +45,7 @@ pub mod lexer;
 pub mod parser;
 pub mod plan;
 pub mod schema;
+pub mod shard;
 pub mod storage;
 pub mod sync;
 pub mod token;
@@ -55,8 +56,15 @@ pub mod wal;
 pub use db::{Connection, Database, DbStats, Prepared, QueryResult, StatementResult};
 pub use error::{SqlError, SqlResult};
 pub use fault::{
-    crashed_error, CrashPoint, Fault, FaultInjector, FaultPlan, SplitMix64, TransientKind,
+    crashed_error, CrashPoint, Fault, FaultInjector, FaultPlan, PrepareCrash, SplitMix64,
+    TransientKind,
 };
 pub use schema::{Column, TableSchema};
+pub use shard::{shard_of, CrossShardTxn, ShardedDatabase};
 pub use types::{DataType, Value};
-pub use wal::{FileLogStore, LogStore, MemLogStore};
+pub use wal::{FileLogStore, InDoubtTxn, LogStore, MemLogStore};
+
+/// The error type the database layer surfaces — an alias for
+/// [`SqlError`], under the name the workflow stacks use when talking
+/// about connection/registry failures rather than SQL ones.
+pub type DbError = SqlError;

@@ -299,6 +299,18 @@ pub enum WalRecord {
         txn: u64,
     },
     Checkpoint(CheckpointSnapshot),
+    /// Two-phase-commit participant vote: the transaction's ops are
+    /// durable and the participant promises to commit or abort on the
+    /// coordinator's decision. Carries everything a later `Commit` needs
+    /// (epoch, sequence states at prepare time) so recovery can finish
+    /// the transaction from the log alone. `gid` is the coordinator's
+    /// global transaction id — the key into its decision log.
+    Prepare {
+        txn: u64,
+        gid: u64,
+        epoch: u64,
+        sequences: Vec<(String, i64, i64)>,
+    },
 }
 
 // ---------------------------------------------------------------- encoding
@@ -522,6 +534,18 @@ pub fn encode_record(lsn: u64, record: &WalRecord) -> Vec<u8> {
                 put_image(&mut payload, t);
             }
             put_sequences(&mut payload, &snap.sequences);
+        }
+        WalRecord::Prepare {
+            txn,
+            gid,
+            epoch,
+            sequences,
+        } => {
+            payload.push(6);
+            put_u64(&mut payload, *txn);
+            put_u64(&mut payload, *gid);
+            put_u64(&mut payload, *epoch);
+            put_sequences(&mut payload, sequences);
         }
     }
     let mut framed = Vec::with_capacity(payload.len() + 12);
@@ -786,6 +810,12 @@ pub fn decode_payload(payload: &[u8]) -> SqlResult<(u64, WalRecord)> {
                 sequences,
             })
         }
+        6 => WalRecord::Prepare {
+            txn: r.u64()?,
+            gid: r.u64()?,
+            epoch: r.u64()?,
+            sequences: r.sequences()?,
+        },
         t => return Err(SqlError::Runtime(format!("wal: bad record tag {t}"))),
     };
     if r.pos != payload.len() {
@@ -1278,6 +1308,25 @@ fn catalog_from_snapshot(snap: &CheckpointSnapshot) -> Catalog {
     catalog
 }
 
+/// A transaction the crash interrupted *after* its `Prepare` record but
+/// before a decision terminator: its ops are durable (and stay applied
+/// in the replayed catalog) but only the coordinator's decision log
+/// knows whether they stand. [`resolve_in_doubt`] finishes the job.
+#[derive(Debug, Clone)]
+pub struct InDoubtTxn {
+    /// Participant-local transaction id.
+    pub txn: u64,
+    /// Coordinator's global transaction id (decision-log key).
+    pub gid: u64,
+    /// Catalog epoch carried by the prepare record.
+    pub epoch: u64,
+    /// Sequence states at prepare time — applied only on commit.
+    pub sequences: Vec<(String, i64, i64)>,
+    /// The transaction's redone ops, in LSN order, still applied in the
+    /// replayed catalog. An abort decision undoes them in reverse.
+    pub ops: Vec<(u64, WalOp)>,
+}
+
 /// Everything [`crate::Database::recover`] needs to resurrect a database.
 #[derive(Debug)]
 pub struct RecoveryOutcome {
@@ -1296,6 +1345,10 @@ pub struct RecoveryOutcome {
     pub rolled_back: u64,
     /// Individual ops redone during replay.
     pub replayed_ops: u64,
+    /// Prepared-but-undecided transactions awaiting a coordinator
+    /// decision. Their ops are applied in `catalog`; the caller MUST run
+    /// [`resolve_in_doubt`] before serving traffic from it.
+    pub in_doubt: Vec<InDoubtTxn>,
 }
 
 /// Replay a raw log: load the last valid checkpoint, redo every op after
@@ -1318,6 +1371,9 @@ pub fn replay(bytes: &[u8]) -> RecoveryOutcome {
     };
 
     let mut open: HashMap<u64, Vec<(u64, WalOp)>> = HashMap::new();
+    // gid, epoch, and the prepare-time sequence states, keyed by txn id.
+    type PreparedState = (u64, u64, Vec<(String, i64, i64)>);
+    let mut prepared: HashMap<u64, PreparedState> = HashMap::new();
     let mut max_lsn = 0u64;
     let mut max_txn = 0u64;
     let mut committed = 0u64;
@@ -1349,6 +1405,7 @@ pub fn replay(bytes: &[u8]) -> RecoveryOutcome {
             } => {
                 max_txn = max_txn.max(*txn);
                 max_epoch = max_epoch.max(*epoch);
+                prepared.remove(txn);
                 if open.remove(txn).is_some() {
                     committed += 1;
                 }
@@ -1360,6 +1417,7 @@ pub fn replay(bytes: &[u8]) -> RecoveryOutcome {
             }
             WalRecord::Abort { txn } => {
                 max_txn = max_txn.max(*txn);
+                prepared.remove(txn);
                 if let Some(mut ops) = open.remove(txn) {
                     rolled_back += 1;
                     while let Some((_, op)) = ops.pop() {
@@ -1367,8 +1425,36 @@ pub fn replay(bytes: &[u8]) -> RecoveryOutcome {
                     }
                 }
             }
+            WalRecord::Prepare {
+                txn,
+                gid,
+                epoch,
+                sequences,
+            } => {
+                max_txn = max_txn.max(*txn);
+                max_epoch = max_epoch.max(*epoch);
+                prepared.insert(*txn, (*gid, *epoch, sequences.clone()));
+            }
         }
     }
+
+    // Prepared-but-undecided transactions are NOT losers: their ops stay
+    // applied and the caller resolves them against the coordinator's
+    // decision log ([`resolve_in_doubt`]). Everything else without a
+    // terminator is a loser and gets undone below.
+    let mut in_doubt = Vec::new();
+    for (txn, (gid, epoch, sequences)) in prepared {
+        let ops = open.remove(&txn).unwrap_or_default();
+        in_doubt.push(InDoubtTxn {
+            txn,
+            gid,
+            epoch,
+            sequences,
+            ops,
+        });
+    }
+    // Deterministic resolution order regardless of hash-map iteration.
+    in_doubt.sort_by_key(|t| t.txn);
 
     // Loser transactions: no commit, no abort — the crash interrupted
     // them. Undo all their ops in reverse global LSN order.
@@ -1396,7 +1482,61 @@ pub fn replay(bytes: &[u8]) -> RecoveryOutcome {
         committed,
         rolled_back,
         replayed_ops,
+        in_doubt,
     }
+}
+
+/// What [`resolve_in_doubt`] did, plus the decision terminators the
+/// caller must append to the revived log so the next recovery finds
+/// every transaction decided.
+#[derive(Debug, Default)]
+pub struct InDoubtResolution {
+    /// `Commit` / `Abort` terminators to append, in resolution order.
+    pub records: Vec<WalRecord>,
+    /// In-doubt transactions resolved to commit.
+    pub committed: u64,
+    /// In-doubt transactions resolved to abort (presumed abort included).
+    pub aborted: u64,
+}
+
+/// Resolve replay's in-doubt transactions against a coordinator
+/// decision: `decide` returns `true` to commit (the 2PC presumed-abort
+/// rule means "no decision on record" must map to `false`). Commit
+/// applies the prepare-time sequence states; abort undoes the
+/// transactions' ops in reverse global LSN order. An error from `decide`
+/// (e.g. the decision log is unreachable after retries) aborts the whole
+/// recovery — guessing would break cross-shard atomicity.
+pub fn resolve_in_doubt(
+    catalog: &mut Catalog,
+    in_doubt: Vec<InDoubtTxn>,
+    mut decide: impl FnMut(&InDoubtTxn) -> SqlResult<bool>,
+) -> SqlResult<InDoubtResolution> {
+    let mut out = InDoubtResolution::default();
+    let mut abort_ops: Vec<(u64, WalOp)> = Vec::new();
+    for txn in in_doubt {
+        if decide(&txn)? {
+            for (name, current, _inc) in &txn.sequences {
+                if let Ok(s) = catalog.sequence(name) {
+                    s.set_current(*current);
+                }
+            }
+            out.records.push(WalRecord::Commit {
+                txn: txn.txn,
+                epoch: txn.epoch,
+                sequences: txn.sequences,
+            });
+            out.committed += 1;
+        } else {
+            abort_ops.extend(txn.ops);
+            out.records.push(WalRecord::Abort { txn: txn.txn });
+            out.aborted += 1;
+        }
+    }
+    abort_ops.sort_by_key(|(lsn, _)| *lsn);
+    for (_, op) in abort_ops.iter().rev() {
+        apply_undo(catalog, op);
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------- manager
@@ -1455,6 +1595,14 @@ pub struct Wal {
     commits: AtomicU64,
     /// Explicit transactions with a logged `Begin` but no terminator yet.
     active_txns: AtomicU64,
+    /// Transactions sitting in the 2PC prepared window: a `Prepare`
+    /// record is on the log but the coordinator's decision has not been
+    /// applied yet. Checkpointing while this is non-zero would bake an
+    /// undecided transaction into the snapshot, so `Database::checkpoint`
+    /// refuses while it is non-zero.
+    prepared_txns: AtomicU64,
+    /// Cumulative `Prepare` records appended (monotonic counter).
+    prepares: AtomicU64,
     /// Flush window in scheduler yields a group-commit leader waits
     /// before taking the buffer. 0 disables the wait (but concurrent
     /// arrivals during a flush still coalesce into the next generation).
@@ -1485,6 +1633,8 @@ impl Wal {
             checkpoints: AtomicU64::new(0),
             commits: AtomicU64::new(0),
             active_txns: AtomicU64::new(0),
+            prepared_txns: AtomicU64::new(0),
+            prepares: AtomicU64::new(0),
             group_window: AtomicU64::new(0),
             group: Mutex::new(GroupState::default()),
             group_done: std::sync::Condvar::new(),
@@ -1515,6 +1665,27 @@ impl Wal {
     /// Explicit transactions currently open on the log.
     pub fn active_txns(&self) -> u64 {
         self.active_txns.load(Ordering::Relaxed)
+    }
+
+    /// A transaction logged its `Prepare` and entered the in-doubt window.
+    pub fn note_prepared(&self) {
+        self.prepared_txns.fetch_add(1, Ordering::Relaxed);
+        self.prepares.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A prepared transaction was decided (committed or aborted).
+    pub fn note_prepared_resolved(&self) {
+        self.prepared_txns.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Transactions currently sitting in the prepared (in-doubt) window.
+    pub fn prepared_txns(&self) -> u64 {
+        self.prepared_txns.load(Ordering::Relaxed)
+    }
+
+    /// `Prepare` records appended so far.
+    pub fn prepares(&self) -> u64 {
+        self.prepares.load(Ordering::Relaxed)
     }
 
     /// Append batches appended so far.

@@ -120,7 +120,11 @@ impl WfHost {
                     provider.name()
                 )));
             }
-            return Database::lookup(name)
+            // `try_lookup`: a poisoned registry surfaces as a DbError
+            // instead of a panic, so a crashed shard thread in another
+            // stack cannot wedge this resolver.
+            return Database::try_lookup(name)
+                .map_err(FlowError::Sql)?
                 .ok_or_else(|| FlowError::Variable(format!("unknown database '{name}'")));
         };
         if *registered != provider {

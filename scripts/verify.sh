@@ -20,10 +20,13 @@ done
 
 # Crash recovery: kill-and-recover schedules across all three stacks
 # (each run adds CRASH_SEED to the three built-in schedule seeds),
-# plus the torn-group-append suite under the same rotation.
+# plus the torn-group-append suite and the sharded 2PC storm (fleet
+# deaths in every protocol window, merged bytes vs the unsharded run)
+# under the same rotation.
 for seed in 20260807 271828 31337; do
   CRASH_SEED="$seed" cargo test -q --test crash_recovery
   CRASH_SEED="$seed" cargo test -q -p sqlkernel --test group_commit_crash
+  CRASH_SEED="$seed" CHAOS_SEED="$seed" cargo test -q --test sharded_2pc
 done
 
 # MVCC snapshot isolation: the differential snapshot suite (repeatable
@@ -44,5 +47,8 @@ BENCH_SMOKE=1 ./target/release/bench_vectorized >/dev/null
 # a fixed transfer budget under concurrent snapshot readers must leave
 # bytes identical to the serialized run, with no torn scans.
 BENCH_SMOKE=1 ./target/release/bench_concurrency >/dev/null
+# bench_shards' smoke asserts in-process that both the single-shard
+# fast path and the cross-shard 2PC path committed.
+BENCH_SMOKE=1 ./target/release/bench_shards >/dev/null
 
 echo "verify: OK"

@@ -1,0 +1,609 @@
+//! The headline sharded-execution claim, tested differentially across
+//! all three product stacks: a fleet of independent engines — each with
+//! its own WAL — running routed single-shard workflow traffic *plus*
+//! cross-shard transfers under two-phase commit must, after a storm of
+//! process deaths aimed at every protocol window (participant prepared,
+//! coordinator decided-but-silent, torn prepare vote, plain statement
+//! crash), recover to the **same merged bytes** as a fault-free
+//! unsharded run. No committed cross-shard transaction may be
+//! half-applied; no aborted one may leave residue on any shard.
+//!
+//! Every "reboot" is a real one: [`ShardedDatabase::recover`] rebuilds
+//! the whole fleet strictly from the log bytes, resolving in-doubt
+//! participants against the coordinator's durable decision table.
+//!
+//! The `CRASH_SEED` environment variable adds one more schedule seed —
+//! the CI crash-recovery step uses it to rotate schedules without
+//! editing the test.
+
+use std::sync::Arc;
+
+use flowsql::bis::{BisDeployment, DataSourceRegistry};
+use flowsql::flowcore::persistence::{DurableProcess, PersistenceService, STATUS_COMPLETED};
+use flowsql::flowcore::retry::{BreakerConfig, RetryPolicy, RetryRuntime};
+use flowsql::flowcore::value::{VarValue, Variables};
+use flowsql::flowcore::{FlowError, InstanceScheduler};
+use flowsql::patterns::chaos::{
+    merged_fingerprint, rows_fingerprint, sharded_crash_storm, ShardCrashSchedule,
+};
+use flowsql::soa::run_durable_pages;
+use flowsql::sqlkernel::shard::ShardedDatabase;
+use flowsql::sqlkernel::{Database, LogStore, MemLogStore, Value};
+use flowsql::wf::SqlWorkflowPersistenceService;
+
+/// Fleet width under test (the baseline runs the same traffic at 1).
+const SHARDS: usize = 4;
+/// Accounts spread across the fleet by key hash.
+const ACCTS: i64 = 8;
+/// Cross-shard transfers attempted per run.
+const XFERS: i64 = 10;
+/// Statement indices covered by plain statement crashes.
+const HORIZON: u64 = 200;
+/// Process deaths per storm — enough to cycle all four crash variants.
+const CRASHES: usize = 6;
+
+/// The three fixed schedule seeds, plus an optional CI-provided one.
+fn schedule_seeds() -> Vec<u64> {
+    let mut seeds = vec![11, 42, 1337];
+    if let Some(extra) = std::env::var("CRASH_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+    {
+        if !seeds.contains(&extra) {
+            seeds.push(extra);
+        }
+    }
+    seeds
+}
+
+fn storm_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: HORIZON as u32 + 2,
+        max_backoff_ticks: 8,
+        ..RetryPolicy::default()
+    }
+}
+
+fn no_trip() -> BreakerConfig {
+    BreakerConfig {
+        failure_threshold: u32::MAX,
+        cooldown_ticks: 1,
+    }
+}
+
+/// Fresh per-shard stores plus the coordinator's store.
+fn fresh_stores(n: usize) -> (Vec<MemLogStore>, MemLogStore) {
+    (
+        (0..n).map(|_| MemLogStore::new()).collect(),
+        MemLogStore::new(),
+    )
+}
+
+/// Recover the whole fleet from its logs — the only state a crash
+/// leaves behind.
+fn recover_fleet(stores: &[MemLogStore], coord: &MemLogStore, seed: u64) -> ShardedDatabase {
+    let arcs: Vec<Arc<dyn LogStore>> = stores
+        .iter()
+        .map(|s| Arc::new(s.clone()) as Arc<dyn LogStore>)
+        .collect();
+    ShardedDatabase::recover("fleet", &arcs, Arc::new(coord.clone()), seed).unwrap()
+}
+
+/// Bootstrap the fleet fault-free: every shard gets the transfer tables
+/// and the stack's schema, and the accounts are seeded round-robin by
+/// key hash (each shard owns whichever accounts route to it).
+fn bootstrap(sdb: &ShardedDatabase, stack_schema: fn(&Database)) {
+    for shard in sdb.shards() {
+        shard
+            .connect()
+            .execute_script(
+                "CREATE TABLE Accounts (Acct TEXT PRIMARY KEY, Balance INT);
+                 CREATE TABLE Transfers (Tid INT PRIMARY KEY, Amount INT);",
+            )
+            .unwrap();
+        stack_schema(shard);
+    }
+    for a in 0..ACCTS {
+        let key = format!("acct-{a}");
+        sdb.shard_db_for(&key)
+            .connect()
+            .execute("INSERT INTO Accounts VALUES (?, 100)", &[Value::text(&key)])
+            .unwrap();
+    }
+}
+
+/// The cross-shard traffic: `XFERS` transfers, each moving a seeded
+/// amount between two accounts that usually live on different shards,
+/// committed through the 2PC path with an idempotence marker row
+/// (`Transfers`) written on the source shard *inside the same
+/// transaction* — so a retry after any crash can tell a committed
+/// transfer from an aborted one and never applies money twice.
+fn run_transfers(sdb: &ShardedDatabase) -> Result<(), flowsql::sqlkernel::SqlError> {
+    for t in 0..XFERS {
+        let src = format!("acct-{}", t % ACCTS);
+        let dst = format!("acct-{}", (t + 3) % ACCTS);
+        let amount = 1 + (t % 5);
+        sdb.transact(|txn| {
+            let seen = txn.query(
+                &src,
+                "SELECT Tid FROM Transfers WHERE Tid = ?",
+                &[Value::Int(t)],
+            )?;
+            if !seen.rows.is_empty() {
+                return Ok(()); // committed in an earlier lifetime
+            }
+            txn.execute(
+                &src,
+                "UPDATE Accounts SET Balance = Balance - ? WHERE Acct = ?",
+                &[Value::Int(amount), Value::text(&src)],
+            )?;
+            txn.execute(
+                &dst,
+                "UPDATE Accounts SET Balance = Balance + ? WHERE Acct = ?",
+                &[Value::Int(amount), Value::text(&dst)],
+            )?;
+            txn.execute(
+                &src,
+                "INSERT INTO Transfers VALUES (?, ?)",
+                &[Value::Int(t), Value::Int(amount)],
+            )?;
+            Ok(())
+        })?;
+    }
+    Ok(())
+}
+
+/// Merged durable fingerprint of the fleet: the union of every shard's
+/// user tables (byte-comparable against an unsharded run) plus the
+/// durable columns of the instance row on its owning shard.
+fn fleet_fingerprint(sdb: &ShardedDatabase, instance_key: &str) -> String {
+    let user = merged_fingerprint(sdb.shards(), &["FLOW_INSTANCES"]);
+    let instances = sdb
+        .shard_db_for(instance_key)
+        .connect()
+        .query(
+            "SELECT InstanceKey, Process, Pc, Status, Vars FROM FLOW_INSTANCES \
+             ORDER BY InstanceKey",
+            &[],
+        )
+        .map(|rs| rows_fingerprint(&rs))
+        .unwrap_or_default();
+    format!("{user}\n-- instances --\n{instances}")
+}
+
+/// Is any engine of the fleet a dead process?
+fn fleet_frozen(sdb: &ShardedDatabase) -> bool {
+    sdb.shards()
+        .iter()
+        .chain(std::iter::once(sdb.coordinator()))
+        .any(|db| db.fault_injector().map(|i| i.frozen()).unwrap_or(false))
+}
+
+/// Drive `run` under a shard-targeted crash schedule: one fleet
+/// lifetime per scheduled crash, then a clean one. Every lifetime
+/// recovers the whole fleet from the logs; exactly one engine carries
+/// the lifetime's scheduled death. Returns how many crashes fired.
+fn run_fleet_to_completion(
+    stores: &[MemLogStore],
+    coord: &MemLogStore,
+    schedule: &ShardCrashSchedule,
+    seed: u64,
+    mut run: impl FnMut(&ShardedDatabase) -> Result<(), FlowError>,
+) -> usize {
+    let mut fired = 0usize;
+    for life in 0..=schedule.crashes() {
+        let sdb = recover_fleet(stores, coord, seed);
+        schedule.install(life, &sdb);
+        let result = run(&sdb);
+        if fleet_frozen(&sdb) {
+            assert!(result.is_err(), "a crash must surface as an error");
+            fired += 1;
+            continue; // reboot: next lifetime recovers the fleet
+        }
+        if result.is_ok() {
+            if sdb.checkpoint_all().is_err() {
+                fired += 1;
+            }
+            return fired;
+        }
+        panic!("run failed without a crash: {result:?}");
+    }
+    let sdb = recover_fleet(stores, coord, seed);
+    assert!(
+        run(&sdb).is_ok(),
+        "clean lifetime after the storm must complete"
+    );
+    fired
+}
+
+/// Final verification shared by every stack: recover once more from the
+/// logs alone, compare the merged bytes against the fault-free unsharded
+/// baseline, and check the money-conservation and exactly-once
+/// invariants directly.
+fn assert_fleet_recovers_to(
+    stores: &[MemLogStore],
+    coord: &MemLogStore,
+    seed: u64,
+    baseline: &str,
+    instance_key: &str,
+) {
+    let sdb = recover_fleet(stores, coord, seed);
+    assert_eq!(
+        fleet_fingerprint(&sdb, instance_key),
+        baseline,
+        "recovered fleet must merge to the bytes of the fault-free unsharded run"
+    );
+    // Money conservation: a half-applied transfer would break the sum.
+    let mut total = 0i64;
+    let mut accounts = 0usize;
+    let mut transfers = 0usize;
+    for shard in sdb.shards() {
+        let conn = shard.connect();
+        let rs = conn.query("SELECT Balance FROM Accounts", &[]).unwrap();
+        accounts += rs.rows.len();
+        for row in &rs.rows {
+            if let Value::Int(b) = &row[0] {
+                total += b;
+            }
+        }
+        transfers += conn
+            .query("SELECT Tid FROM Transfers", &[])
+            .unwrap()
+            .rows
+            .len();
+    }
+    assert_eq!(accounts, ACCTS as usize);
+    assert_eq!(
+        total,
+        ACCTS * 100,
+        "cross-shard transfers must conserve money"
+    );
+    assert_eq!(
+        transfers, XFERS as usize,
+        "every transfer commits exactly once (marker row count)"
+    );
+    let svc = PersistenceService::new(sdb.shard_db_for(instance_key)).unwrap();
+    let (_, status) = svc.instance_status(instance_key).unwrap().unwrap();
+    assert_eq!(status, STATUS_COMPLETED);
+}
+
+/// One full storm scenario for a stack: fault-free unsharded baseline,
+/// then for every seed a 4-shard fleet under a shard-targeted crash
+/// storm, verified to merge back to the baseline bytes.
+fn storm_scenario(
+    stack_schema: fn(&Database),
+    stack_run: fn(&Database) -> Result<(), FlowError>,
+    instance_key: &str,
+) {
+    let run = |sdb: &ShardedDatabase| -> Result<(), FlowError> {
+        stack_run(sdb.shard_db_for(instance_key))?;
+        run_transfers(sdb).map_err(FlowError::Sql)
+    };
+
+    // Fault-free, unsharded (N=1) baseline.
+    let (stores, coord) = fresh_stores(1);
+    let baseline_fleet = recover_fleet(&stores, &coord, 7);
+    bootstrap(&baseline_fleet, stack_schema);
+    run(&baseline_fleet).unwrap();
+    assert_eq!(
+        baseline_fleet.single_shard_commits(),
+        XFERS as u64,
+        "one shard: every transfer takes the fast path"
+    );
+    let baseline = fleet_fingerprint(&baseline_fleet, instance_key);
+
+    let mut total_fired = 0usize;
+    for seed in schedule_seeds() {
+        let schedule = sharded_crash_storm(seed, SHARDS, HORIZON, XFERS as u64, CRASHES);
+        let (stores, coord) = fresh_stores(SHARDS);
+        bootstrap(&recover_fleet(&stores, &coord, seed), stack_schema);
+        total_fired += run_fleet_to_completion(&stores, &coord, &schedule, seed, run);
+        assert_fleet_recovers_to(&stores, &coord, seed, &baseline, instance_key);
+    }
+    assert!(
+        total_fired > 0,
+        "across all seeds at least one scheduled crash must actually fire"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// BIS: deployment-resume routed to the owning shard
+// ---------------------------------------------------------------------------
+
+fn bis_schema(db: &Database) {
+    db.connect()
+        .execute_script(
+            "CREATE TABLE Orders (OrderId INT PRIMARY KEY, Item TEXT, Qty INT);
+             CREATE TABLE Shipments (ShipId INT PRIMARY KEY, OrderId INT);
+             CREATE SEQUENCE ship_seq START WITH 100;",
+        )
+        .unwrap();
+}
+
+fn bis_process() -> DurableProcess {
+    DurableProcess::new("order-intake")
+        .step("record", |conn, vars| {
+            conn.execute("INSERT INTO Orders VALUES (1, 'widget', 3)", &[])?;
+            vars.set("order", VarValue::Scalar(Value::Int(1)));
+            Ok(())
+        })
+        .step("ship", |conn, vars| {
+            conn.execute("INSERT INTO Shipments VALUES (NEXTVAL('ship_seq'), 1)", &[])?;
+            vars.set("shipped", VarValue::Scalar(Value::Bool(true)));
+            Ok(())
+        })
+}
+
+fn bis_run(db: &Database) -> Result<(), FlowError> {
+    let deployment = BisDeployment::new(DataSourceRegistry::new().with(db.clone()))
+        .with_retry(77, storm_policy())
+        .with_breaker(no_trip());
+    deployment
+        .run_durable(db.name(), &bis_process(), "intake-1", &Variables::new())
+        .map(|_| ())
+}
+
+#[test]
+fn bis_sharded_storm_recovers_to_unsharded_bytes() {
+    storm_scenario(bis_schema, bis_run, "intake-1");
+}
+
+// ---------------------------------------------------------------------------
+// WF: persistence service on the owning shard
+// ---------------------------------------------------------------------------
+
+fn wf_schema(db: &Database) {
+    db.connect()
+        .execute_script(
+            "CREATE TABLE Approvals (Id INT PRIMARY KEY, Decision TEXT);
+             CREATE TABLE Audit (Seq INT PRIMARY KEY, What TEXT);",
+        )
+        .unwrap();
+}
+
+fn wf_process() -> DurableProcess {
+    DurableProcess::new("approval")
+        .step("submit", |conn, vars| {
+            conn.execute("INSERT INTO Approvals VALUES (7, 'pending')", &[])?;
+            conn.execute("INSERT INTO Audit VALUES (1, 'submitted')", &[])?;
+            vars.set("state", VarValue::Scalar(Value::text("pending")));
+            Ok(())
+        })
+        .step("decide", |conn, vars| {
+            conn.execute(
+                "UPDATE Approvals SET Decision = 'approved' WHERE Id = 7",
+                &[],
+            )?;
+            vars.set("state", VarValue::Scalar(Value::text("approved")));
+            Ok(())
+        })
+}
+
+fn wf_run(db: &Database) -> Result<(), FlowError> {
+    let svc = SqlWorkflowPersistenceService::new(db)?;
+    let mut rt = RetryRuntime::new(77)
+        .with_policy(storm_policy())
+        .with_breaker(no_trip());
+    svc.run_workflow(&wf_process(), "appr-7", &Variables::new(), &mut rt)
+        .map(|_| ())
+}
+
+#[test]
+fn wf_sharded_storm_recovers_to_unsharded_bytes() {
+    storm_scenario(wf_schema, wf_run, "appr-7");
+}
+
+// ---------------------------------------------------------------------------
+// SOA: XSQL page dehydration on the owning shard
+// ---------------------------------------------------------------------------
+
+const SOA_PAGES: [(&str, &str); 2] = [
+    (
+        "stage",
+        "<xsql:page xmlns:xsql=\"urn:oracle-xsql\">\
+         <xsql:dml>INSERT INTO Staging VALUES (1, {@item})</xsql:dml>\
+         </xsql:page>",
+    ),
+    (
+        "publish",
+        "<xsql:page xmlns:xsql=\"urn:oracle-xsql\">\
+         <xsql:dml>INSERT INTO Published VALUES (1, {@item})</xsql:dml>\
+         </xsql:page>",
+    ),
+];
+
+fn soa_schema(db: &Database) {
+    db.connect()
+        .execute_script(
+            "CREATE TABLE Staging (Id INT PRIMARY KEY, Item TEXT);
+             CREATE TABLE Published (Id INT PRIMARY KEY, Item TEXT);",
+        )
+        .unwrap();
+}
+
+fn soa_run(db: &Database) -> Result<(), FlowError> {
+    let mut rt = RetryRuntime::new(77)
+        .with_policy(storm_policy())
+        .with_breaker(no_trip());
+    run_durable_pages(
+        db,
+        "xsql-seq",
+        &SOA_PAGES,
+        "page-run-1",
+        &[("item".into(), Value::text("widget"))],
+        &mut rt,
+    )
+    .map(|_| ())
+}
+
+#[test]
+fn soa_sharded_storm_recovers_to_unsharded_bytes() {
+    storm_scenario(soa_schema, soa_run, "page-run-1");
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler determinism across shard counts: the same CHAOS_SEED and
+// instance set must leave byte-identical durable state — FLOW_INSTANCES
+// included — whether the fleet is 1 engine or 4. Worker assignment is
+// seeded per job index (independent of shard count), routing is the
+// canonical key hash, and transient-fault retries absorb the storm, so
+// the final bytes are a pure function of the workload.
+// ---------------------------------------------------------------------------
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(20260807)
+}
+
+/// Union of the durable instance-row columns across the fleet (the
+/// breaker clock column legitimately differs under faults and is
+/// excluded, as in the unsharded crash tests).
+fn instances_union(shards: &[Database]) -> String {
+    let mut rows: Vec<String> = Vec::new();
+    for db in shards {
+        if let Ok(rs) = db.connect().query(
+            "SELECT InstanceKey, Process, Pc, Status, Vars FROM FLOW_INSTANCES \
+             ORDER BY InstanceKey",
+            &[],
+        ) {
+            rows.extend(rs.rows.iter().map(|r| format!("{r:?}")));
+        }
+    }
+    rows.sort();
+    rows.join("\n")
+}
+
+/// Run `stack` (one durable instance per key, routed by the scheduler to
+/// the owning shard) over a fresh `n`-shard fleet under a CHAOS_SEED
+/// transient storm, and return the merged durable bytes.
+fn sharded_stack_bytes(
+    n: usize,
+    keys: &[String],
+    stack_schema: fn(&Database),
+    job: fn(usize, &Database) -> Result<(), FlowError>,
+) -> String {
+    let shards: Vec<Database> = (0..n).map(|i| Database::new(format!("det#{i}"))).collect();
+    for shard in &shards {
+        stack_schema(shard);
+        PersistenceService::new(shard).unwrap();
+    }
+    let seed = chaos_seed();
+    for (i, shard) in shards.iter().enumerate() {
+        shard.set_fault_plan(Some(flowsql::patterns::chaos::scripted_storm(
+            seed ^ (i as u64),
+            HORIZON,
+            10,
+        )));
+    }
+    let scheduler = InstanceScheduler::new(3).with_seed(seed);
+    let results = scheduler.run_sharded(keys, &shards, |i, _key, shard| job(i, shard));
+    for slot in results {
+        slot.unwrap_or_else(|e| panic!("instance failed under the storm: {e}"));
+    }
+    for shard in &shards {
+        shard.set_fault_plan(None); // fingerprint reads run storm-free
+    }
+    format!(
+        "{}\n-- instances --\n{}",
+        merged_fingerprint(&shards, &["FLOW_INSTANCES"]),
+        instances_union(&shards)
+    )
+}
+
+fn det_keys() -> Vec<String> {
+    (0..12).map(|i| format!("inst-{i}")).collect()
+}
+
+fn det_schema(db: &Database) {
+    db.connect()
+        .execute_script(
+            "CREATE TABLE Jobs (Id INT PRIMARY KEY, Tag TEXT);
+             CREATE TABLE Pages (Id INT PRIMARY KEY, Item TEXT);",
+        )
+        .unwrap();
+}
+
+fn det_process(i: usize) -> DurableProcess {
+    DurableProcess::new("det").step("write", move |conn, vars| {
+        conn.execute(
+            "INSERT INTO Jobs VALUES (?, 'done')",
+            &[Value::Int(i as i64)],
+        )?;
+        vars.set("n", VarValue::Scalar(Value::Int(i as i64)));
+        Ok(())
+    })
+}
+
+fn det_rt(i: usize) -> RetryRuntime {
+    RetryRuntime::new(i as u64)
+        .with_policy(storm_policy())
+        .with_breaker(no_trip())
+}
+
+fn bis_det_job(i: usize, shard: &Database) -> Result<(), FlowError> {
+    BisDeployment::new(DataSourceRegistry::new().with(shard.clone()))
+        .with_retry(i as u64, storm_policy())
+        .with_breaker(no_trip())
+        .run_durable(
+            shard.name(),
+            &det_process(i),
+            &format!("inst-{i}"),
+            &Variables::new(),
+        )
+        .map(|_| ())
+}
+
+fn wf_det_job(i: usize, shard: &Database) -> Result<(), FlowError> {
+    SqlWorkflowPersistenceService::new(shard)?
+        .run_workflow(
+            &det_process(i),
+            &format!("inst-{i}"),
+            &Variables::new(),
+            &mut det_rt(i),
+        )
+        .map(|_| ())
+}
+
+fn soa_det_job(i: usize, shard: &Database) -> Result<(), FlowError> {
+    let page = format!(
+        "<xsql:page xmlns:xsql=\"urn:oracle-xsql\">\
+         <xsql:dml>INSERT INTO Pages VALUES ({i}, {{@item}})</xsql:dml>\
+         </xsql:page>"
+    );
+    let pages = [("write", page.as_str())];
+    run_durable_pages(
+        shard,
+        "det",
+        &pages,
+        &format!("inst-{i}"),
+        &[("item".into(), Value::text("x"))],
+        &mut det_rt(i),
+    )
+    .map(|_| ())
+}
+
+#[test]
+fn scheduler_state_is_byte_identical_across_shard_counts() {
+    let keys = det_keys();
+    for (name, job) in [
+        (
+            "bis",
+            bis_det_job as fn(usize, &Database) -> Result<(), FlowError>,
+        ),
+        ("wf", wf_det_job),
+        ("soa", soa_det_job),
+    ] {
+        let one = sharded_stack_bytes(1, &keys, det_schema, job);
+        let four = sharded_stack_bytes(4, &keys, det_schema, job);
+        assert!(
+            one.contains("inst-0") && one.contains("inst-11"),
+            "{name}: all instances must reach durable state"
+        );
+        assert_eq!(
+            one, four,
+            "{name}: same CHAOS_SEED must leave byte-identical state at 1 and 4 shards"
+        );
+    }
+}
