@@ -1,0 +1,324 @@
+//! A small clock-eviction buffer pool between the paged engine and the
+//! fault-injected pager.
+//!
+//! Frames are pinned implicitly: [`BufferPool::get`] hands out an `Arc`
+//! of the page bytes, and a frame whose `Arc` is still held elsewhere
+//! (strong count > 1) is never evicted. Dirty frames are written back on
+//! eviction (steal) and by [`BufferPool::flush_all`] (no-force), always
+//! under the write-ahead ordering invariant: a dirty page may reach the
+//! store only once the WAL is flushed through that page's LSN
+//! (`page_lsn <= flush_lsn`). The engine keeps `flush_lsn` current via
+//! [`BufferPool::set_flush_lsn`]; a violation is a hard engine bug and
+//! surfaces as an error rather than silently breaking recoverability.
+//!
+//! Eviction is the classic clock: each frame has a reference bit set on
+//! access; the hand sweeps, clearing bits, and evicts the first
+//! unpinned, unreferenced frame it finds.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::{SqlError, SqlResult};
+use crate::pager::Pager;
+use crate::sync::Mutex;
+
+#[derive(Debug)]
+struct Frame {
+    page_no: u64,
+    data: Arc<Vec<u8>>,
+    dirty: bool,
+    /// WAL position the (dirty) contents are consistent with.
+    page_lsn: u64,
+    /// Clock reference bit (second chance).
+    referenced: bool,
+}
+
+#[derive(Debug, Default)]
+struct Frames {
+    slots: Vec<Frame>,
+    /// page_no → slot index.
+    map: HashMap<u64, usize>,
+    /// Clock hand.
+    hand: usize,
+}
+
+/// The pool. All frame state lives under one mutex; the engine drives it
+/// single-threaded (recovery and checkpoint both run under the exclusive
+/// catalog lock), so the lock is about consistency, not contention.
+#[derive(Debug)]
+pub struct BufferPool {
+    pager: Pager,
+    capacity: usize,
+    /// Highest WAL LSN known durably flushed; the writeback gate.
+    flush_lsn: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    frames: Mutex<Frames>,
+}
+
+impl BufferPool {
+    /// Pool of `capacity` frames over `pager`. Capacity is clamped to at
+    /// least 2 so a reader and a writer can always coexist.
+    pub fn new(pager: Pager, capacity: usize) -> BufferPool {
+        BufferPool {
+            pager,
+            capacity: capacity.max(2),
+            flush_lsn: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            frames: Mutex::new(Frames::default()),
+        }
+    }
+
+    /// The underlying pager.
+    pub fn pager(&self) -> &Pager {
+        &self.pager
+    }
+
+    /// Number of frames the pool may hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Advance the WAL flush point the writeback gate compares against.
+    pub fn set_flush_lsn(&self, lsn: u64) {
+        self.flush_lsn.store(lsn, Ordering::Release);
+    }
+
+    /// Cache hits served without touching the pager.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Misses that went to the pager.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Frames evicted to make room (steal writebacks included).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Read a page through the pool. The returned `Arc` pins the frame
+    /// for as long as the caller holds it.
+    pub fn get(&self, page_no: u64) -> SqlResult<Arc<Vec<u8>>> {
+        let mut frames = self.frames.lock();
+        if let Some(&i) = frames.map.get(&page_no) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            frames.slots[i].referenced = true;
+            return Ok(Arc::clone(&frames.slots[i].data));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let data = Arc::new(self.pager.read_page(page_no)?);
+        self.install(
+            &mut frames,
+            Frame {
+                page_no,
+                data: Arc::clone(&data),
+                dirty: false,
+                page_lsn: 0,
+                referenced: true,
+            },
+        )?;
+        Ok(data)
+    }
+
+    /// Install freshly built page bytes as a dirty frame (no-force: the
+    /// store is written at eviction or [`BufferPool::flush_all`], never
+    /// synchronously here unless eviction makes room by stealing).
+    pub fn put(&self, page_no: u64, data: Vec<u8>, page_lsn: u64) -> SqlResult<()> {
+        let mut frames = self.frames.lock();
+        if let Some(&i) = frames.map.get(&page_no) {
+            let f = &mut frames.slots[i];
+            f.data = Arc::new(data);
+            f.dirty = true;
+            f.page_lsn = page_lsn;
+            f.referenced = true;
+            return Ok(());
+        }
+        self.install(
+            &mut frames,
+            Frame {
+                page_no,
+                data: Arc::new(data),
+                dirty: true,
+                page_lsn,
+                referenced: true,
+            },
+        )
+    }
+
+    /// Write every dirty frame back (ordering-checked) and sync the
+    /// store. Frames stay cached, now clean.
+    pub fn flush_all(&self) -> SqlResult<()> {
+        let mut frames = self.frames.lock();
+        let flush_lsn = self.flush_lsn.load(Ordering::Acquire);
+        for f in frames.slots.iter_mut() {
+            if f.dirty {
+                Self::write_back(&self.pager, f, flush_lsn)?;
+            }
+        }
+        drop(frames);
+        self.pager.sync()
+    }
+
+    /// Drop every cached frame. Dirty frames are discarded — used only
+    /// when abandoning a half-written checkpoint epoch whose pages are
+    /// unreferenced anyway.
+    pub fn discard_all(&self) {
+        let mut frames = self.frames.lock();
+        frames.slots.clear();
+        frames.map.clear();
+        frames.hand = 0;
+    }
+
+    fn write_back(pager: &Pager, f: &mut Frame, flush_lsn: u64) -> SqlResult<()> {
+        if f.page_lsn > flush_lsn {
+            return Err(SqlError::Runtime(format!(
+                "bufferpool: write-ahead violation — page {} has lsn {} past flush lsn {}",
+                f.page_no, f.page_lsn, flush_lsn
+            )));
+        }
+        pager.write_page(f.page_no, &f.data)?;
+        f.dirty = false;
+        Ok(())
+    }
+
+    /// Insert `frame`, evicting via the clock if the pool is full.
+    fn install(&self, frames: &mut Frames, frame: Frame) -> SqlResult<()> {
+        if frames.slots.len() < self.capacity {
+            let i = frames.slots.len();
+            frames.map.insert(frame.page_no, i);
+            frames.slots.push(frame);
+            return Ok(());
+        }
+        let victim = self.pick_victim(frames)?;
+        let flush_lsn = self.flush_lsn.load(Ordering::Acquire);
+        if frames.slots[victim].dirty {
+            // Steal: the dirty victim is written back early, gated by
+            // the same write-ahead check as a normal flush.
+            Self::write_back(&self.pager, &mut frames.slots[victim], flush_lsn)?;
+        }
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        let old_no = frames.slots[victim].page_no;
+        frames.map.remove(&old_no);
+        frames.map.insert(frame.page_no, victim);
+        frames.slots[victim] = frame;
+        Ok(())
+    }
+
+    fn pick_victim(&self, frames: &mut Frames) -> SqlResult<usize> {
+        // Two full sweeps: the first may only clear reference bits; the
+        // second must find an unreferenced, unpinned frame — unless
+        // every frame is pinned, which is a capacity-misuse bug.
+        for _ in 0..frames.slots.len() * 2 {
+            let i = frames.hand;
+            frames.hand = (frames.hand + 1) % frames.slots.len();
+            let f = &mut frames.slots[i];
+            if Arc::strong_count(&f.data) > 1 {
+                continue; // pinned
+            }
+            if f.referenced {
+                f.referenced = false;
+                continue; // second chance
+            }
+            return Ok(i);
+        }
+        Err(SqlError::Runtime(
+            "bufferpool: all frames pinned — pool smaller than concurrent pin set".into(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::{PageBuilder, PageKind};
+    use crate::pager::{MemPageStore, PageStore, Pager};
+
+    fn page_bytes(no: u64, fill: u8) -> Vec<u8> {
+        let mut b = PageBuilder::new(PageKind::Data, no);
+        b.try_push(&[fill; 64]);
+        b.finalize(1, 0)
+    }
+
+    fn pool(capacity: usize) -> (BufferPool, MemPageStore) {
+        let store = MemPageStore::new();
+        let pool = BufferPool::new(Pager::new(Arc::new(store.clone())), capacity);
+        (pool, store)
+    }
+
+    #[test]
+    fn read_through_counts_hits_and_misses() {
+        let (pool, store) = pool(4);
+        store.write_page(3, &page_bytes(3, 7)).unwrap();
+        let a = pool.get(3).unwrap();
+        let b = pool.get(3).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(pool.misses(), 1);
+        assert_eq!(pool.hits(), 1);
+    }
+
+    #[test]
+    fn eviction_fires_when_working_set_exceeds_capacity() {
+        let (pool, store) = pool(2);
+        for no in 0..6 {
+            store.write_page(no, &page_bytes(no, no as u8)).unwrap();
+        }
+        for no in 0..6 {
+            pool.get(no).unwrap();
+        }
+        assert_eq!(pool.misses(), 6);
+        assert!(
+            pool.evictions() >= 4,
+            "4+ evictions for 6 pages in 2 frames"
+        );
+    }
+
+    #[test]
+    fn pinned_frames_survive_eviction_pressure() {
+        let (pool, store) = pool(2);
+        for no in 0..5 {
+            store.write_page(no, &page_bytes(no, no as u8)).unwrap();
+        }
+        let pinned = pool.get(0).unwrap();
+        for no in 1..5 {
+            pool.get(no).unwrap();
+        }
+        // Page 0 must still be cached: its re-read is a hit.
+        let hits = pool.hits();
+        let again = pool.get(0).unwrap();
+        assert_eq!(pool.hits(), hits + 1, "pinned page evicted");
+        assert_eq!(pinned, again);
+    }
+
+    #[test]
+    fn steal_writes_dirty_victim_back() {
+        let (pool, store) = pool(2);
+        pool.set_flush_lsn(10);
+        pool.put(5, page_bytes(5, 1), 9).unwrap();
+        // Fill the pool past capacity so page 5 is stolen.
+        pool.put(6, page_bytes(6, 2), 9).unwrap();
+        pool.put(7, page_bytes(7, 3), 9).unwrap();
+        assert!(pool.evictions() >= 1);
+        // The stolen page must be durable in the store already.
+        let on_disk = store.read_page(5).unwrap();
+        assert_eq!(on_disk, page_bytes(5, 1));
+    }
+
+    #[test]
+    fn write_ahead_violation_is_refused() {
+        let (pool, _store) = pool(4);
+        pool.set_flush_lsn(5);
+        pool.put(1, page_bytes(1, 1), 9).unwrap();
+        let err = pool.flush_all().unwrap_err();
+        assert!(err.to_string().contains("write-ahead violation"));
+        // Advancing the flush point unblocks the same page.
+        pool.set_flush_lsn(9);
+        pool.flush_all().unwrap();
+    }
+}

@@ -9,6 +9,7 @@ use crate::ast::Statement;
 use crate::catalog::Catalog;
 use crate::error::{SqlError, SqlResult};
 use crate::fault::{crashed_error, CrashPoint, FaultInjector, FaultPlan, PrepareCrash};
+use crate::pager::{self, FilePageStore, PageStore, PagedEngine};
 use crate::parser::{parse_script, parse_statement};
 use crate::plan::CompiledPlan;
 use crate::storage::{
@@ -230,6 +231,18 @@ pub struct DbStats {
     pub version_chains_walked: u64,
     /// Superseded row versions dropped by inline trims and GC sweeps.
     pub versions_gced: u64,
+    /// Torn-tail bytes the WAL scan dropped when this instance was
+    /// recovered — recorded, never silently discarded.
+    pub torn_tails_dropped: u64,
+    /// Checksum-failing pages detected and rebuilt from the previous
+    /// checkpoint epoch + WAL redo (paged storage only).
+    pub pages_repaired: u64,
+    /// Buffer-pool frames evicted to make room (paged storage only).
+    pub pool_evictions: u64,
+    /// Buffer-pool reads served from cache (paged storage only).
+    pub pool_hits: u64,
+    /// Buffer-pool reads that went to the page store (paged storage only).
+    pub pool_misses: u64,
 }
 
 /// A parsed statement plus the catalog object names it references —
@@ -312,8 +325,15 @@ struct DbInner {
     tag: u64,
     /// The write-ahead log, when this database is durable.
     wal: Option<Wal>,
+    /// The paged storage engine, when this database was opened with
+    /// [`Database::open_paged`]. MVCC version chains stay the in-memory
+    /// representation; the engine is consulted only at checkpoint (dirty
+    /// page flush) and open (base image + repair).
+    paged: Option<Arc<PagedEngine>>,
     /// 1 when this instance was born from [`Database::recover`].
     recovery_counter: AtomicU64,
+    /// Torn-tail bytes the recovery scan dropped from the log.
+    torn_tail_counter: AtomicU64,
     /// In-doubt transactions resolved to commit / abort when this
     /// instance was recovered (see [`Database::recover_resolving`]).
     in_doubt_commit_counter: AtomicU64,
@@ -388,7 +408,7 @@ impl std::fmt::Debug for Database {
 const STMT_CACHE_CAPACITY: usize = 256;
 
 impl Database {
-    fn build(name: String, wal: Option<Wal>) -> Database {
+    fn build(name: String, wal: Option<Wal>, paged: Option<Arc<PagedEngine>>) -> Database {
         let catalog = Catalog::new();
         let mvcc = Arc::clone(catalog.mvcc());
         Database {
@@ -396,7 +416,9 @@ impl Database {
                 name,
                 tag: GLOBAL_DB_TAG.fetch_add(1, Ordering::Relaxed),
                 wal,
+                paged,
                 recovery_counter: AtomicU64::new(0),
+                torn_tail_counter: AtomicU64::new(0),
                 in_doubt_commit_counter: AtomicU64::new(0),
                 in_doubt_abort_counter: AtomicU64::new(0),
                 catalog: RwLock::new(catalog),
@@ -427,14 +449,14 @@ impl Database {
 
     /// Create an empty, purely in-memory database (no durability).
     pub fn new(name: impl Into<String>) -> Database {
-        Database::build(name.into(), None)
+        Database::build(name.into(), None, None)
     }
 
     /// Create an empty database whose writes are logged to `store`.
     /// The store is assumed empty (or disposable): use
     /// [`Database::recover`] to resurrect an existing log.
     pub fn with_wal(name: impl Into<String>, store: Arc<dyn LogStore>) -> Database {
-        Database::build(name.into(), Some(Wal::new(store, 1, 1)))
+        Database::build(name.into(), Some(Wal::new(store, 1, 1)), None)
     }
 
     /// Open (or create) a file-backed durable database: recovers whatever
@@ -479,6 +501,7 @@ impl Database {
         let db = Database::build(
             name.into(),
             Some(Wal::new(store, outcome.next_lsn, outcome.next_txn)),
+            None,
         );
         {
             let mut catalog = db.inner.catalog.write();
@@ -503,6 +526,96 @@ impl Database {
             .in_doubt_abort_counter
             .store(resolution.aborted, Ordering::Relaxed);
         db.inner.recovery_counter.store(1, Ordering::Relaxed);
+        db.inner
+            .torn_tail_counter
+            .store(outcome.dropped_bytes, Ordering::Relaxed);
+        db.checkpoint()?;
+        Ok(db)
+    }
+
+    /// Open (or create) a disk-backed paged database rooted at `dir`:
+    /// WAL in `dir/wal.log`, heap pages in `dir/pages.db`. See
+    /// [`Database::open_paged`] for the recovery semantics. `pool_pages`
+    /// bounds the buffer pool — tables larger than the pool spill to
+    /// disk and are demand-paged back.
+    pub fn open_paged_durable(
+        name: impl Into<String>,
+        dir: impl AsRef<std::path::Path>,
+        pool_pages: usize,
+    ) -> SqlResult<Database> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| SqlError::Transient(format!("page io: {e}")))?;
+        Database::open_paged(
+            name,
+            Arc::new(FileLogStore::new(dir.join("wal.log"))),
+            Arc::new(FilePageStore::new(dir.join("pages.db"))),
+            pool_pages,
+        )
+    }
+
+    /// Open (or create) a database over a paged heap-file store plus a
+    /// WAL. Recovery loads the newest intact checkpoint epoch from the
+    /// page store — rebuilding any checksum-failing page from the
+    /// previous epoch + WAL redo instead of failing the whole database —
+    /// then replays the WAL tail past the epoch's anchor. In-doubt 2PC
+    /// transactions resolve by presumed abort, as in
+    /// [`Database::recover`].
+    pub fn open_paged(
+        name: impl Into<String>,
+        log_store: Arc<dyn LogStore>,
+        page_store: Arc<dyn PageStore>,
+        pool_pages: usize,
+    ) -> SqlResult<Database> {
+        Database::open_paged_resolving(name, log_store, page_store, pool_pages, |_| Ok(false))
+    }
+
+    /// [`Database::open_paged`] with a caller-supplied in-doubt decision,
+    /// mirroring [`Database::recover_resolving`].
+    pub fn open_paged_resolving(
+        name: impl Into<String>,
+        log_store: Arc<dyn LogStore>,
+        page_store: Arc<dyn PageStore>,
+        pool_pages: usize,
+        decide: impl FnMut(&wal::InDoubtTxn) -> SqlResult<bool>,
+    ) -> SqlResult<Database> {
+        let engine = Arc::new(PagedEngine::open(page_store, pool_pages)?);
+        let bytes = log_store.read_all()?;
+        let scanned = wal::scan(&bytes);
+        let base = engine.load_base(&scanned)?;
+        let mut outcome =
+            wal::replay_onto(base.catalog, base.catalog_epoch, &scanned, base.anchor_lsn);
+        let in_doubt = std::mem::take(&mut outcome.in_doubt);
+        let resolution = wal::resolve_in_doubt(&mut outcome.catalog, in_doubt, decide)?;
+        let db = Database::build(
+            name.into(),
+            Some(Wal::new(log_store, outcome.next_lsn, outcome.next_txn)),
+            Some(engine),
+        );
+        {
+            let mut catalog = db.inner.catalog.write();
+            *catalog = outcome.catalog;
+            catalog.attach_mvcc(Arc::clone(&db.inner.mvcc));
+        }
+        if !resolution.records.is_empty() {
+            let wal = db
+                .inner
+                .wal
+                .as_ref()
+                .expect("paged open always attaches a wal");
+            wal.append(&resolution.records, wal::AppendMode::Full)?;
+        }
+        db.inner
+            .in_doubt_commit_counter
+            .store(resolution.committed, Ordering::Relaxed);
+        db.inner
+            .in_doubt_abort_counter
+            .store(resolution.aborted, Ordering::Relaxed);
+        db.inner.recovery_counter.store(1, Ordering::Relaxed);
+        db.inner
+            .torn_tail_counter
+            .store(outcome.dropped_bytes, Ordering::Relaxed);
+        // Fold the tail (and any repair) into a fresh epoch immediately,
+        // so the store is compact and repaired extents are rewritten.
         db.checkpoint()?;
         Ok(db)
     }
@@ -556,6 +669,36 @@ impl Database {
         // newest committed version of each row anyway.
         catalog.gc_tables(self.inner.mvcc.floor.load(Ordering::Acquire));
         let injector = self.inner.injector.lock().clone();
+        if let Some(engine) = &self.inner.paged {
+            // Paged checkpoint: incremental dirty-page flush + metadata
+            // flip + WAL head truncation, instead of a whole-catalog
+            // snapshot record. The dirty set is derived from the WAL
+            // tail — every mutation is logged anyway, so the log *is*
+            // the dirty tracking.
+            let anchor = wal.last_lsn();
+            let scanned = wal::scan(&wal.store().read_all()?);
+            let dirty = pager::dirty_tables(&scanned, engine.anchor());
+            if let Some(inj) = &injector {
+                if inj.frozen() {
+                    return Err(crashed_error());
+                }
+                if inj.on_checkpoint() {
+                    // Crash mid-checkpoint: some new-epoch data pages
+                    // land, the metadata flip never happens, and the
+                    // process freezes. Recovery falls back to the old
+                    // epoch + the (sealed) WAL tail.
+                    engine.checkpoint(&catalog, anchor, &dirty, true)?;
+                    wal.seal();
+                    inj.deliver_crash();
+                    return Err(crashed_error());
+                }
+            }
+            engine.checkpoint(&catalog, anchor, &dirty, false)?;
+            // Only after the flip is durable may the log shed history —
+            // and it keeps everything past the *previous* anchor, the
+            // window torn-page repair replays.
+            return wal.truncate_before(engine.retain_after());
+        }
         if let Some(inj) = &injector {
             if inj.frozen() {
                 return Err(crashed_error());
@@ -594,6 +737,10 @@ impl Database {
             .catalog
             .write()
             .set_fault_injector(injector.clone());
+        if let Some(engine) = &self.inner.paged {
+            // Mirror into the pager so scripted PageFaults reach disk I/O.
+            engine.set_injector(injector.clone());
+        }
         let mut slot = self.inner.injector.lock();
         if let Some(old) = slot.take() {
             self.inner
@@ -892,6 +1039,31 @@ impl Database {
             snapshots_taken: self.inner.snapshot_counter.load(Ordering::Relaxed),
             version_chains_walked: self.inner.mvcc.chains_walked.load(Ordering::Relaxed),
             versions_gced: self.inner.mvcc.versions_gced.load(Ordering::Relaxed),
+            torn_tails_dropped: self.inner.torn_tail_counter.load(Ordering::Relaxed),
+            pages_repaired: self
+                .inner
+                .paged
+                .as_ref()
+                .map(|e| e.pages_repaired())
+                .unwrap_or(0),
+            pool_evictions: self
+                .inner
+                .paged
+                .as_ref()
+                .map(|e| e.pool().evictions())
+                .unwrap_or(0),
+            pool_hits: self
+                .inner
+                .paged
+                .as_ref()
+                .map(|e| e.pool().hits())
+                .unwrap_or(0),
+            pool_misses: self
+                .inner
+                .paged
+                .as_ref()
+                .map(|e| e.pool().misses())
+                .unwrap_or(0),
         }
     }
 

@@ -152,6 +152,43 @@ pub enum PrepareCrash {
     AfterAck,
 }
 
+/// One injectable *disk* fault, fired at the page-store I/O boundary by
+/// the pager. Scheduled by page-read or page-write index (0-based,
+/// counted per I/O attempt on this injector) via
+/// [`FaultPlan::fault_at_page_read`] / [`FaultPlan::fault_at_page_write`],
+/// and consumed when it fires, like statement-scripted faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageFault {
+    /// The process dies mid-write: only a prefix of the page reaches the
+    /// store, then the injector freezes. Recovery must detect the torn
+    /// page by checksum and fall back to the previous checkpoint epoch.
+    TornWrite,
+    /// A *silent* short write: a prefix lands, the call reports success,
+    /// and the process lives on. The corruption is latent until a later
+    /// read fails the page checksum and triggers repair.
+    PartialWrite,
+    /// One bit of the transferred page flips (position drawn from the
+    /// seeded PRNG). On a read this models media/cable corruption on the
+    /// way in; on a write the corrupted bytes land at rest.
+    ReadBitFlip,
+    /// The I/O fails outright with a retryable error (`EIO`/`ENOSPC`
+    /// class). Nothing is transferred; the caller surfaces a transient
+    /// [`SqlError`] its retry layer can absorb.
+    IoError,
+    /// The I/O succeeds but advances the virtual clock by `ticks` first.
+    SlowIo { ticks: u64 },
+}
+
+/// A page fault taken from the schedule, plus one PRNG draw for faults
+/// that need a deterministic parameter (the bit position of
+/// [`PageFault::ReadBitFlip`]).
+#[derive(Debug, Clone, Copy)]
+pub struct FiredPageFault {
+    pub fault: PageFault,
+    /// Seeded draw; interpretation is up to the fault kind.
+    pub draw: u64,
+}
+
 /// One injectable fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
@@ -189,6 +226,12 @@ pub struct FaultPlan {
     /// Prepare indices (0-based, counted per 2PC prepare attempt) at
     /// which a [`PrepareCrash`] fires.
     prepare_crashes: Vec<(u64, PrepareCrash)>,
+    /// Page-read indices (0-based, counted per page-store read) at which
+    /// a [`PageFault`] fires.
+    page_read_faults: Vec<(u64, PageFault)>,
+    /// Page-write indices (0-based, counted per page-store write) at
+    /// which a [`PageFault`] fires.
+    page_write_faults: Vec<(u64, PageFault)>,
     transient_rate: f64,
     slow_rate: f64,
     slow_ticks: u64,
@@ -241,6 +284,20 @@ impl FaultPlan {
         self.prepare_crashes.push((prepare_index, kind));
         self
     }
+
+    /// Schedule `fault` for the `read_index`-th page-store read (per
+    /// this injector, 0-based). Consumed when it fires.
+    pub fn fault_at_page_read(mut self, read_index: u64, fault: PageFault) -> FaultPlan {
+        self.page_read_faults.push((read_index, fault));
+        self
+    }
+
+    /// Schedule `fault` for the `write_index`-th page-store write (per
+    /// this injector, 0-based). Consumed when it fires.
+    pub fn fault_at_page_write(mut self, write_index: u64, fault: PageFault) -> FaultPlan {
+        self.page_write_faults.push((write_index, fault));
+        self
+    }
 }
 
 /// A row-level fault armed by the statement gate, consumed by the
@@ -260,6 +317,10 @@ struct InjectorState {
     checkpoint_crashes: HashSet<u64>,
     /// Prepare crashes not yet fired, keyed by prepare index.
     prepare_crashes: HashMap<u64, PrepareCrash>,
+    /// Page faults not yet fired, keyed by page-read index.
+    page_read_faults: HashMap<u64, PageFault>,
+    /// Page faults not yet fired, keyed by page-write index.
+    page_write_faults: HashMap<u64, PageFault>,
     /// Row fault armed for the statement currently executing.
     row_fault: Option<ArmedRowFault>,
     /// After-bind fault armed for the statement currently executing.
@@ -287,6 +348,10 @@ pub struct FaultInjector {
     next_checkpoint: AtomicU64,
     /// Next prepare index to be assigned by the prepare hook.
     next_prepare: AtomicU64,
+    /// Next page-read index to be assigned by the pager's read hook.
+    next_page_read: AtomicU64,
+    /// Next page-write index to be assigned by the pager's write hook.
+    next_page_write: AtomicU64,
     state: Mutex<InjectorState>,
     /// Faults actually delivered (transients, torn rows, panics, slow ticks).
     injected: AtomicU64,
@@ -310,16 +375,22 @@ impl FaultInjector {
             passive: plan.scripted.is_empty()
                 && plan.checkpoint_crashes.is_empty()
                 && plan.prepare_crashes.is_empty()
+                && plan.page_read_faults.is_empty()
+                && plan.page_write_faults.is_empty()
                 && plan.transient_rate <= 0.0
                 && plan.slow_rate <= 0.0,
             next_index: AtomicU64::new(0),
             next_checkpoint: AtomicU64::new(0),
             next_prepare: AtomicU64::new(0),
+            next_page_read: AtomicU64::new(0),
+            next_page_write: AtomicU64::new(0),
             state: Mutex::new(InjectorState {
                 rng: SplitMix64::new(plan.seed),
                 scripted: plan.scripted.into_iter().collect(),
                 checkpoint_crashes: plan.checkpoint_crashes.into_iter().collect(),
                 prepare_crashes: plan.prepare_crashes.into_iter().collect(),
+                page_read_faults: plan.page_read_faults.into_iter().collect(),
+                page_write_faults: plan.page_write_faults.into_iter().collect(),
                 row_fault: None,
                 after_bind: None,
                 armed_crash: None,
@@ -376,6 +447,40 @@ impl FaultInjector {
             return None;
         }
         self.state.lock().prepare_crashes.remove(&index)
+    }
+
+    /// Page-read hook: called once per page-store read attempt. Returns
+    /// the fault scheduled for this read, if any (consumed on fire),
+    /// with a fresh PRNG draw for parameterized faults.
+    pub fn on_page_read(&self) -> Option<FiredPageFault> {
+        let index = self.next_page_read.fetch_add(1, Ordering::Relaxed);
+        if self.passive {
+            return None;
+        }
+        let mut st = self.state.lock();
+        let fault = st.page_read_faults.remove(&index)?;
+        let draw = st.rng.next_u64();
+        Some(FiredPageFault { fault, draw })
+    }
+
+    /// Page-write hook: called once per page-store write attempt.
+    /// Returns the fault scheduled for this write, if any (consumed on
+    /// fire), with a fresh PRNG draw for parameterized faults.
+    pub fn on_page_write(&self) -> Option<FiredPageFault> {
+        let index = self.next_page_write.fetch_add(1, Ordering::Relaxed);
+        if self.passive {
+            return None;
+        }
+        let mut st = self.state.lock();
+        let fault = st.page_write_faults.remove(&index)?;
+        let draw = st.rng.next_u64();
+        Some(FiredPageFault { fault, draw })
+    }
+
+    /// Count one delivered non-crash fault (used by the pager for page
+    /// faults that do not freeze the process).
+    pub fn note_injected(&self) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Faults delivered so far.
@@ -601,6 +706,38 @@ mod tests {
         assert!(inj.on_statement().is_ok());
         assert_eq!(inj.ticks(), 250);
         assert_eq!(inj.injected(), 1);
+    }
+
+    #[test]
+    fn page_faults_fire_once_at_their_io_index() {
+        let inj = FaultInjector::new(
+            FaultPlan::new(5)
+                .fault_at_page_read(1, PageFault::ReadBitFlip)
+                .fault_at_page_write(0, PageFault::IoError),
+        );
+        // Write index 0 faults; write index 1 is clean.
+        assert!(matches!(
+            inj.on_page_write().map(|f| f.fault),
+            Some(PageFault::IoError)
+        ));
+        assert!(inj.on_page_write().is_none());
+        // Read index 0 is clean; read index 1 faults, then clears.
+        assert!(inj.on_page_read().is_none());
+        let fired = inj.on_page_read().expect("scheduled read fault");
+        assert_eq!(fired.fault, PageFault::ReadBitFlip);
+        assert!(inj.on_page_read().is_none());
+    }
+
+    #[test]
+    fn page_fault_draws_are_deterministic_per_seed() {
+        let draw = |seed: u64| {
+            let inj = FaultInjector::new(
+                FaultPlan::new(seed).fault_at_page_read(0, PageFault::ReadBitFlip),
+            );
+            inj.on_page_read().unwrap().draw
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
     }
 
     #[test]

@@ -35,6 +35,7 @@
 
 pub mod ast;
 pub mod bound;
+pub mod bufferpool;
 pub mod catalog;
 pub mod db;
 pub mod error;
@@ -42,6 +43,8 @@ pub mod exec;
 pub mod expr;
 pub mod fault;
 pub mod lexer;
+pub mod page;
+pub mod pager;
 pub mod parser;
 pub mod plan;
 pub mod schema;
@@ -53,12 +56,15 @@ pub mod txn;
 pub mod types;
 pub mod wal;
 
+pub use bufferpool::BufferPool;
 pub use db::{Connection, Database, DbStats, Prepared, QueryResult, StatementResult};
 pub use error::{SqlError, SqlResult};
 pub use fault::{
-    crashed_error, CrashPoint, Fault, FaultInjector, FaultPlan, PrepareCrash, SplitMix64,
-    TransientKind,
+    crashed_error, CrashPoint, Fault, FaultInjector, FaultPlan, PageFault, PrepareCrash,
+    SplitMix64, TransientKind,
 };
+pub use page::{PageKind, PAGE_SIZE};
+pub use pager::{FilePageStore, MemPageStore, PageStore, PagedEngine, Pager};
 pub use schema::{Column, TableSchema};
 pub use shard::{shard_of, CrossShardTxn, ShardedDatabase};
 pub use types::{DataType, Value};

@@ -143,7 +143,9 @@ impl LogStore for MemLogStore {
 }
 
 fn io_err(e: std::io::Error) -> SqlError {
-    SqlError::Runtime(format!("wal io: {e}"))
+    // Disk-full and friends are environmental, not logic bugs: surface
+    // them as transient so the retry runtime can absorb the failure.
+    SqlError::Transient(format!("wal io: {e}"))
 }
 
 /// File-backed log store used by [`crate::Database::open_durable`].
@@ -174,7 +176,10 @@ impl LogStore for FileLogStore {
             .append(true)
             .open(&self.path)
             .map_err(io_err)?;
-        f.write_all(bytes).map_err(io_err)
+        f.write_all(bytes).map_err(io_err)?;
+        // Commit-acknowledge durability: the append must survive power
+        // loss before the caller reports success.
+        f.sync_data().map_err(io_err)
     }
 
     fn read_all(&self) -> SqlResult<Vec<u8>> {
@@ -188,6 +193,9 @@ impl LogStore for FileLogStore {
     fn reset(&self, bytes: &[u8]) -> SqlResult<()> {
         let tmp = self.path.with_extension("tmp");
         std::fs::write(&tmp, bytes).map_err(io_err)?;
+        std::fs::File::open(&tmp)
+            .and_then(|f| f.sync_data())
+            .map_err(io_err)?;
         std::fs::rename(&tmp, &self.path).map_err(io_err)
     }
 
@@ -315,11 +323,11 @@ pub enum WalRecord {
 
 // ---------------------------------------------------------------- encoding
 
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -358,14 +366,14 @@ fn put_value(buf: &mut Vec<u8>, v: &Value) {
     }
 }
 
-fn put_row(buf: &mut Vec<u8>, row: &Row) {
+pub(crate) fn put_row(buf: &mut Vec<u8>, row: &Row) {
     put_u32(buf, row.len() as u32);
     for v in row {
         put_value(buf, v);
     }
 }
 
-fn put_schema(buf: &mut Vec<u8>, schema: &TableSchema) {
+pub(crate) fn put_schema(buf: &mut Vec<u8>, schema: &TableSchema) {
     put_str(buf, &schema.name);
     put_bool(buf, schema.temporary);
     put_u32(buf, schema.columns.len() as u32);
@@ -390,7 +398,7 @@ fn put_schema(buf: &mut Vec<u8>, schema: &TableSchema) {
     }
 }
 
-fn put_index_def(buf: &mut Vec<u8>, def: &IndexDef) {
+pub(crate) fn put_index_def(buf: &mut Vec<u8>, def: &IndexDef) {
     put_str(buf, &def.name);
     put_u32(buf, def.columns.len() as u32);
     for c in &def.columns {
@@ -414,7 +422,7 @@ fn put_image(buf: &mut Vec<u8>, image: &TableImage) {
     }
 }
 
-fn put_sequences(buf: &mut Vec<u8>, seqs: &[(String, i64, i64)]) {
+pub(crate) fn put_sequences(buf: &mut Vec<u8>, seqs: &[(String, i64, i64)]) {
     put_u32(buf, seqs.len() as u32);
     for (name, current, increment) in seqs {
         put_str(buf, name);
@@ -557,7 +565,7 @@ pub fn encode_record(lsn: u64, record: &WalRecord) -> Vec<u8> {
 
 // ---------------------------------------------------------------- decoding
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
@@ -567,8 +575,14 @@ fn short() -> SqlError {
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Reader<'a> {
         Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed — full-consumption checks by out-of-module
+    /// decoders (the paged engine's directory/meta codecs).
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     fn take(&mut self, n: usize) -> SqlResult<&'a [u8]> {
@@ -584,11 +598,11 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> SqlResult<u32> {
+    pub(crate) fn u32(&mut self) -> SqlResult<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> SqlResult<u64> {
+    pub(crate) fn u64(&mut self) -> SqlResult<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
@@ -622,7 +636,7 @@ impl<'a> Reader<'a> {
         }
     }
 
-    fn row(&mut self) -> SqlResult<Row> {
+    pub(crate) fn row(&mut self) -> SqlResult<Row> {
         let n = self.u32()? as usize;
         if n > self.buf.len() - self.pos {
             // A row can't have more cells than remaining bytes; reject
@@ -636,7 +650,7 @@ impl<'a> Reader<'a> {
         Ok(row)
     }
 
-    fn schema(&mut self) -> SqlResult<TableSchema> {
+    pub(crate) fn schema(&mut self) -> SqlResult<TableSchema> {
         let name = self.str()?;
         let temporary = self.bool()?;
         let n = self.u32()? as usize;
@@ -665,7 +679,7 @@ impl<'a> Reader<'a> {
         TableSchema::new(name, columns, temporary)
     }
 
-    fn index_def(&mut self) -> SqlResult<IndexDef> {
+    pub(crate) fn index_def(&mut self) -> SqlResult<IndexDef> {
         let name = self.str()?;
         let n = self.u32()? as usize;
         if n > self.buf.len() - self.pos {
@@ -713,7 +727,7 @@ impl<'a> Reader<'a> {
         })
     }
 
-    fn sequences(&mut self) -> SqlResult<Vec<(String, i64, i64)>> {
+    pub(crate) fn sequences(&mut self) -> SqlResult<Vec<(String, i64, i64)>> {
         let n = self.u32()? as usize;
         if n > self.buf.len() - self.pos {
             return Err(short());
@@ -834,6 +848,9 @@ pub struct ScannedLog {
     /// True when bytes past `valid_len` were discarded (torn tail or
     /// checksum corruption).
     pub truncated: bool,
+    /// How many tail bytes were dropped — recorded, not silently lost,
+    /// so recovery can report the damage in [`crate::DbStats`].
+    pub dropped_bytes: u64,
 }
 
 /// Scan a log, stopping at the first record that is short, fails its
@@ -862,6 +879,7 @@ pub fn scan(bytes: &[u8]) -> ScannedLog {
         records,
         valid_len: pos,
         truncated: pos < bytes.len(),
+        dropped_bytes: (bytes.len() - pos) as u64,
     }
 }
 
@@ -891,7 +909,7 @@ fn index_defs_of(catalog: &Catalog, table: &Table) -> Vec<IndexDef> {
         .collect()
 }
 
-fn image_of(catalog: &Catalog, table: &Table) -> TableImage {
+pub(crate) fn image_of(catalog: &Catalog, table: &Table) -> TableImage {
     TableImage {
         schema: table.schema.clone(),
         next_row_id: table.next_row_id(),
@@ -1143,7 +1161,7 @@ fn column_names(schema: &TableSchema, positions: &[u32]) -> Vec<String> {
         .collect()
 }
 
-fn install_image(catalog: &mut Catalog, image: &TableImage) {
+pub(crate) fn install_image(catalog: &mut Catalog, image: &TableImage) {
     if catalog.has_table(&image.schema.name) {
         return;
     }
@@ -1171,7 +1189,7 @@ fn install_image(catalog: &mut Catalog, image: &TableImage) {
 
 /// Apply one op forward (redo). Individual failures are ignored: redo is
 /// idempotent over already-present state by construction.
-fn apply_redo(catalog: &mut Catalog, op: &WalOp) {
+pub(crate) fn apply_redo(catalog: &mut Catalog, op: &WalOp) {
     match op {
         WalOp::Insert {
             table,
@@ -1349,6 +1367,8 @@ pub struct RecoveryOutcome {
     /// decision. Their ops are applied in `catalog`; the caller MUST run
     /// [`resolve_in_doubt`] before serving traffic from it.
     pub in_doubt: Vec<InDoubtTxn>,
+    /// Torn-tail bytes dropped by the scan, surfaced for observability.
+    pub dropped_bytes: u64,
 }
 
 /// Replay a raw log: load the last valid checkpoint, redo every op after
@@ -1360,16 +1380,45 @@ pub fn replay(bytes: &[u8]) -> RecoveryOutcome {
         .records
         .iter()
         .rposition(|(_, r)| matches!(r, WalRecord::Checkpoint(_)));
-    let (mut catalog, mut max_epoch, start) = match checkpoint_at {
+    let (catalog, max_epoch, anchor_lsn) = match checkpoint_at {
         Some(i) => {
             let WalRecord::Checkpoint(snap) = &scanned.records[i].1 else {
                 unreachable!("rposition matched a checkpoint");
             };
-            (catalog_from_snapshot(snap), snap.epoch, i + 1)
+            // Records at or before the checkpoint's LSN are folded into
+            // the snapshot; the byte order of a log is its LSN order, so
+            // the LSN gate below is exactly the old index gate.
+            (
+                catalog_from_snapshot(snap),
+                snap.epoch,
+                scanned.records[i].0,
+            )
         }
         None => (Catalog::new(), 0, 0),
     };
+    replay_scanned(catalog, max_epoch, &scanned, anchor_lsn)
+}
 
+/// Replay a scanned log on top of an externally loaded base catalog —
+/// the paged engine's recovery path, where the base comes from the page
+/// store's last checkpoint epoch rather than an in-log snapshot. Only
+/// records with `lsn > anchor_lsn` are redone; everything at or before
+/// the anchor is already folded into `base`.
+pub fn replay_onto(
+    base: Catalog,
+    base_epoch: u64,
+    scanned: &ScannedLog,
+    anchor_lsn: u64,
+) -> RecoveryOutcome {
+    replay_scanned(base, base_epoch, scanned, anchor_lsn)
+}
+
+fn replay_scanned(
+    mut catalog: Catalog,
+    mut max_epoch: u64,
+    scanned: &ScannedLog,
+    anchor_lsn: u64,
+) -> RecoveryOutcome {
     let mut open: HashMap<u64, Vec<(u64, WalOp)>> = HashMap::new();
     // gid, epoch, and the prepare-time sequence states, keyed by txn id.
     type PreparedState = (u64, u64, Vec<(String, i64, i64)>);
@@ -1380,7 +1429,7 @@ pub fn replay(bytes: &[u8]) -> RecoveryOutcome {
     let mut rolled_back = 0u64;
     let mut replayed_ops = 0u64;
 
-    for (i, (lsn, record)) in scanned.records.iter().enumerate() {
+    for (lsn, record) in scanned.records.iter() {
         max_lsn = max_lsn.max(*lsn);
         match record {
             WalRecord::Checkpoint(_) => {}
@@ -1389,9 +1438,9 @@ pub fn replay(bytes: &[u8]) -> RecoveryOutcome {
             }
             WalRecord::Op { txn, op } => {
                 max_txn = max_txn.max(*txn);
-                // Ops before the checkpoint are already folded into the
-                // snapshot; only replay from `start` onwards.
-                if i < start {
+                // Ops at or before the anchor are already folded into
+                // the base image; only replay past it.
+                if *lsn <= anchor_lsn {
                     continue;
                 }
                 apply_redo(&mut catalog, op);
@@ -1408,6 +1457,11 @@ pub fn replay(bytes: &[u8]) -> RecoveryOutcome {
                 prepared.remove(txn);
                 if open.remove(txn).is_some() {
                     committed += 1;
+                }
+                if *lsn <= anchor_lsn {
+                    // Pre-anchor sequence states are older than the base
+                    // image's; applying them would regress the counters.
+                    continue;
                 }
                 for (name, current, _inc) in sequences {
                     if let Ok(s) = catalog.sequence(name) {
@@ -1483,6 +1537,7 @@ pub fn replay(bytes: &[u8]) -> RecoveryOutcome {
         rolled_back,
         replayed_ops,
         in_doubt,
+        dropped_bytes: scanned.dropped_bytes,
     }
 }
 
@@ -1645,6 +1700,45 @@ impl Wal {
     /// The backing store.
     pub fn store(&self) -> Arc<dyn LogStore> {
         Arc::clone(&self.store)
+    }
+
+    /// Highest LSN handed out so far (0 if none).
+    pub fn last_lsn(&self) -> u64 {
+        self.next_lsn.load(Ordering::Relaxed).saturating_sub(1)
+    }
+
+    /// Seal the log: refuse every further append, as if the process died
+    /// with this tail. Used when a paged checkpoint is killed mid-flight.
+    pub fn seal(&self) {
+        self.sealed.store(true, Ordering::Relaxed);
+    }
+
+    /// Drop every record with `lsn <= keep_after_lsn` from the head of
+    /// the log — the paged engine's incremental checkpoint: once a page
+    /// epoch is durable at anchor A(N), only the tail past the *previous*
+    /// anchor is still needed (the extra window backs torn-page repair).
+    /// Walks whole frames so the retained suffix stays self-framing.
+    pub fn truncate_before(&self, keep_after_lsn: u64) -> SqlResult<()> {
+        let _guard = self.group.lock();
+        if self.sealed.load(Ordering::Relaxed) {
+            return Err(crashed_error());
+        }
+        let bytes = self.store.read_all()?;
+        let mut pos = 0usize;
+        while bytes.len() - pos >= 12 {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            if bytes.len() - pos - 12 < len || len < 8 {
+                break; // torn or undecodable frame: keep it and the rest
+            }
+            let lsn = u64::from_le_bytes(bytes[pos + 12..pos + 20].try_into().unwrap());
+            if lsn > keep_after_lsn {
+                break;
+            }
+            pos += 12 + len;
+        }
+        self.store.reset(&bytes[pos..])?;
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Allocate a transaction id.

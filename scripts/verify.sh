@@ -25,6 +25,7 @@ done
 # under the same rotation.
 for seed in 20260807 271828 31337; do
   CRASH_SEED="$seed" cargo test -q --test crash_recovery
+  CRASH_SEED="$seed" cargo test -q --test paged_storage
   CRASH_SEED="$seed" cargo test -q -p sqlkernel --test group_commit_crash
   CRASH_SEED="$seed" CHAOS_SEED="$seed" cargo test -q --test sharded_2pc
 done
@@ -50,5 +51,9 @@ BENCH_SMOKE=1 ./target/release/bench_concurrency >/dev/null
 # bench_shards' smoke asserts in-process that both the single-shard
 # fast path and the cross-shard 2PC path committed.
 BENCH_SMOKE=1 ./target/release/bench_shards >/dev/null
+# bench_storage's smoke asserts in-process that paged recovery preserves
+# every row at each working-set ratio and that a working set past the
+# pool actually evicts.
+BENCH_SMOKE=1 ./target/release/bench_storage >/dev/null
 
 echo "verify: OK"
