@@ -609,6 +609,120 @@ pub(crate) fn flatten_col_cmps<'a>(
     }
 }
 
+// ---------------------------------------------------------- join pushdown
+//
+// The join compiler pushes one-sided WHERE/ON conjuncts into the side's
+// scan. Pushing never *removes* a conjunct from its original position —
+// the full WHERE and every ON residual still run — so a pushed conjunct
+// is a pure prefilter. Safety then needs exactly two properties, both
+// enforced structurally here: the pushed conjunct is infallible and false
+// on NULL (so pad rows cascading from a removed row, whose side columns
+// are NULL, are re-killed by the retained copy), and the *whole* WHERE
+// plus every residual is infallible (so the engines' differing
+// intermediate row sets cannot surface different evaluation errors).
+
+/// An owned `column <cmp> constant` conjunct, storable inside a compiled
+/// plan: the pushed-down prefilter a join side applies while gathering.
+/// The column ordinal is local to that side's table schema.
+#[derive(Debug, Clone)]
+pub(crate) struct OwnedColCmp {
+    pub(crate) col: usize,
+    pub(crate) op: BinOp,
+    pub(crate) key: Value,
+}
+
+impl OwnedColCmp {
+    /// Does `row` satisfy this conjunct? Infallible and NULL-rejecting,
+    /// like [`ColCmp::passes`] — the properties the pushdown proof needs.
+    pub(crate) fn passes(&self, row: &[Value]) -> bool {
+        cmp_passes(self.op, row[self.col].sql_cmp(&self.key))
+    }
+}
+
+/// Extract the pushable `column <cmp> constant` shape from a bound
+/// conjunct. `BETWEEN` (non-negated) splits into its two bounding
+/// comparisons. Returns `None` for every other shape — parameters fold
+/// to constants only at bind time, so a `?` that reached here stays
+/// unpushed rather than freezing one execution's binding into the plan.
+pub(crate) fn as_col_cmps(e: &BoundExpr) -> Option<Vec<OwnedColCmp>> {
+    match e {
+        BoundExpr::Binary { left, op, right }
+            if matches!(
+                op,
+                BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+            ) =>
+        {
+            match (&**left, &**right) {
+                (BoundExpr::Column(c), BoundExpr::Const(v)) => Some(vec![OwnedColCmp {
+                    col: *c,
+                    op: *op,
+                    key: v.clone(),
+                }]),
+                (BoundExpr::Const(v), BoundExpr::Column(c)) => Some(vec![OwnedColCmp {
+                    col: *c,
+                    op: flip_cmp(*op),
+                    key: v.clone(),
+                }]),
+                _ => None,
+            }
+        }
+        BoundExpr::Between {
+            expr,
+            low,
+            high,
+            negated: false,
+        } => match (&**expr, &**low, &**high) {
+            (BoundExpr::Column(c), BoundExpr::Const(lo), BoundExpr::Const(hi)) => Some(vec![
+                OwnedColCmp {
+                    col: *c,
+                    op: BinOp::GtEq,
+                    key: lo.clone(),
+                },
+                OwnedColCmp {
+                    col: *c,
+                    op: BinOp::LtEq,
+                    key: hi.clone(),
+                },
+            ]),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Is this bound predicate structurally incapable of raising an error,
+/// whatever row it sees? Conservative: comparisons, `IS [NOT] NULL`, and
+/// `[NOT] BETWEEN` over column/constant operands yield `Bool` or `NULL`
+/// for *any* operand values (mixed types order by type rank rather than
+/// erroring), and `AND`/`OR`/`NOT` over such predicates are three-valued
+/// and total. Everything else — arithmetic (division), `LIKE` (pattern
+/// must be text), parameters (may be unbound), functions, subqueries —
+/// is treated as fallible.
+pub(crate) fn infallible_predicate(e: &BoundExpr) -> bool {
+    fn value_leaf(e: &BoundExpr) -> bool {
+        matches!(e, BoundExpr::Const(_) | BoundExpr::Column(_))
+    }
+    match e {
+        BoundExpr::Const(v) => matches!(v, Value::Bool(_) | Value::Null),
+        BoundExpr::Binary { left, op, right } => match op {
+            BinOp::And | BinOp::Or => infallible_predicate(left) && infallible_predicate(right),
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+                value_leaf(left) && value_leaf(right)
+            }
+            _ => false,
+        },
+        BoundExpr::Unary {
+            op: UnOp::Not,
+            expr,
+        } => infallible_predicate(expr),
+        BoundExpr::IsNull { expr, .. } => value_leaf(expr),
+        BoundExpr::Between {
+            expr, low, high, ..
+        } => value_leaf(expr) && value_leaf(low) && value_leaf(high),
+        _ => false,
+    }
+}
+
 /// Evaluate a bound predicate over one batch of rows, appending the
 /// ordinals (offset by `base`) of passing rows to the selection vector.
 /// One call is one expression-over-batch pass.

@@ -198,6 +198,17 @@ pub struct Catalog {
     /// How many rows full table scans have walked (for rows/sec
     /// reporting; `full_scans` counts scans, this counts their rows).
     full_scan_rows: AtomicU64,
+    /// How many compiled join steps executed as a vectorized hash join.
+    hash_joins: AtomicU64,
+    /// How many compiled join steps executed as an index nested-loop
+    /// probe through the visibility-aware index entry API.
+    index_nl_joins: AtomicU64,
+    /// How many rows were inserted into hash-join build tables.
+    join_build_rows: AtomicU64,
+    /// How many rows probed hash-join tables or index nested loops.
+    join_probe_rows: AtomicU64,
+    /// How many WHERE/ON conjuncts were pushed into join-side scans.
+    pushed_predicates: AtomicU64,
     /// Schema epoch: bumped on every change that can invalidate a compiled
     /// plan (table/index/view/sequence/procedure creation or removal,
     /// including undo-log rollback, which funnels through the same
@@ -481,6 +492,56 @@ impl Catalog {
     /// Number of rows walked by full table scans so far.
     pub fn full_scan_rows(&self) -> u64 {
         self.full_scan_rows.load(Ordering::Relaxed)
+    }
+
+    /// Record that a compiled join step ran as a vectorized hash join.
+    pub fn note_hash_join(&self) {
+        self.hash_joins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of hash-join steps executed so far.
+    pub fn hash_joins(&self) -> u64 {
+        self.hash_joins.load(Ordering::Relaxed)
+    }
+
+    /// Record that a compiled join step ran as an index nested loop.
+    pub fn note_index_nl_join(&self) {
+        self.index_nl_joins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of index nested-loop join steps executed so far.
+    pub fn index_nl_joins(&self) -> u64 {
+        self.index_nl_joins.load(Ordering::Relaxed)
+    }
+
+    /// Record `n` rows inserted into a hash-join build table.
+    pub fn note_join_build_rows(&self, n: u64) {
+        self.join_build_rows.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Number of hash-join build rows so far.
+    pub fn join_build_rows(&self) -> u64 {
+        self.join_build_rows.load(Ordering::Relaxed)
+    }
+
+    /// Record `n` rows that probed a hash table or index nested loop.
+    pub fn note_join_probe_rows(&self, n: u64) {
+        self.join_probe_rows.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Number of join probe rows so far.
+    pub fn join_probe_rows(&self) -> u64 {
+        self.join_probe_rows.load(Ordering::Relaxed)
+    }
+
+    /// Record `n` conjuncts pushed into join-side scans for one execution.
+    pub fn note_pushed_predicates(&self, n: u64) {
+        self.pushed_predicates.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Number of pushed-down join-side conjuncts so far.
+    pub fn pushed_predicates(&self) -> u64 {
+        self.pushed_predicates.load(Ordering::Relaxed)
     }
 
     // ------------------------------------------------------------- indexes

@@ -190,6 +190,16 @@ pub struct DbStats {
     /// Rows walked by full table scans (`full_scans` counts scans once
     /// each; this counts their rows, for rows/sec reporting).
     pub full_scan_rows: u64,
+    /// Compiled join steps executed as a vectorized hash join.
+    pub hash_joins: u64,
+    /// Compiled join steps executed as an index nested-loop probe.
+    pub index_nl_joins: u64,
+    /// Rows inserted into hash-join build tables.
+    pub join_build_rows: u64,
+    /// Rows that probed a hash-join table or index nested loop.
+    pub join_probe_rows: u64,
+    /// WHERE/ON conjuncts pushed into join-side scans.
+    pub pushed_predicates: u64,
     /// Faults delivered by the installed [`FaultInjector`] (cumulative
     /// across plan swaps).
     pub faults_injected: u64,
@@ -1001,6 +1011,11 @@ impl Database {
             batched_rows: catalog.batched_rows(),
             hash_aggs: catalog.hash_aggs(),
             full_scan_rows: catalog.full_scan_rows(),
+            hash_joins: catalog.hash_joins(),
+            index_nl_joins: catalog.index_nl_joins(),
+            join_build_rows: catalog.join_build_rows(),
+            join_probe_rows: catalog.join_probe_rows(),
+            pushed_predicates: catalog.pushed_predicates(),
             faults_injected: self.inner.faults_base.load(Ordering::Relaxed)
                 + self
                     .inner

@@ -28,13 +28,18 @@
 
 use std::collections::{HashMap, HashSet};
 
+use crate::ast::JoinKind;
 use crate::bound::{eval_bound_batch, filter_bound_batch, BoundCtx, BoundExpr};
 use crate::catalog::Catalog;
 use crate::db::QueryResult;
 use crate::error::SqlResult;
 use crate::exec::select::{cmp_keys, combine_agg_values, TopK};
-use crate::plan::{bound_usize, Access, AggPlan, Evals, OrderKey, SelectPlan};
-use crate::storage::{SortKey, Table};
+use crate::plan::{
+    bound_usize, Access, AggPlan, Evals, InputPlan, JoinPlan, JoinSide, JoinStep, OrderKey,
+    SelectPlan,
+};
+use crate::storage::{RowId, SortKey, Table};
+use crate::sync::TableReadGuard;
 use crate::types::Value;
 
 /// Rows per filter batch. Large enough to amortize per-batch overhead,
@@ -68,7 +73,13 @@ impl std::hash::Hasher for FxHasher {
     }
 
     fn finish(&self) -> u64 {
-        self.0
+        // Fold the high half into the low bits. The multiply in
+        // `write_u64` only propagates entropy upward, and integer keys
+        // hashed through f64 bit patterns (see `Value::hash`) have
+        // all-zero low mantissa bits — without this fold every small
+        // int would share its low 38 hash bits, and the bucket index
+        // (taken from the low bits) would degenerate to one chain.
+        self.0 ^ (self.0 >> 32)
     }
 }
 
@@ -166,6 +177,468 @@ fn gather_rows<'t>(
             rows
         }
     })
+}
+
+/// Gather one join side as *borrowed* rows in rowid order — the order
+/// the interpreter's full scan of that side would produce — applying
+/// the pushed-down prefilter conjuncts during the walk and ticking the
+/// scan counters for the access path actually used. Keys and bounds in
+/// a join side's access are plan constants (they come from pushed
+/// column-vs-constant comparisons), so evaluation cannot error on a row.
+fn gather_side<'t>(
+    catalog: &Catalog,
+    table: &'t Table,
+    side: &JoinSide,
+    ctx: &BoundCtx<'_>,
+    evals: &mut Evals,
+) -> SqlResult<Vec<&'t [Value]>> {
+    let keep = |row: &[Value]| side.prefilter.iter().all(|c| c.passes(row));
+    Ok(match &side.access {
+        Access::Full => {
+            catalog.note_full_scan();
+            let mut walked = 0u64;
+            let rows: Vec<&[Value]> = table
+                .scan()
+                .map(|r| r.as_slice())
+                .inspect(|_| walked += 1)
+                .filter(|r| keep(r))
+                .collect();
+            catalog.note_full_scan_rows(walked);
+            rows
+        }
+        Access::IndexEq { col, key } => {
+            let index = table.find_index(&[*col]).expect("plan epoch guards index");
+            let key = evals.eval(key, ctx)?;
+            catalog.note_index_scan();
+            if key.is_null() {
+                Vec::new()
+            } else {
+                // Entries for one key arrive rowid-ascending already.
+                table
+                    .index_eq_entries(index, &SortKey(vec![key]))
+                    .into_iter()
+                    .map(|(_, row)| row.as_slice())
+                    .filter(|r| keep(r))
+                    .collect()
+            }
+        }
+        Access::IndexRange {
+            col,
+            lower,
+            upper,
+            rev,
+        } => {
+            let index = table.find_index(&[*col]).expect("plan epoch guards index");
+            let lower = match lower {
+                Some((e, inc)) => Some((evals.eval(e, ctx)?, *inc)),
+                None => None,
+            };
+            let upper = match upper {
+                Some((e, inc)) => Some((evals.eval(e, ctx)?, *inc)),
+                None => None,
+            };
+            catalog.note_range_scan();
+            // A range walk is key-major; re-sort to rowid order so the
+            // side is indistinguishable from the interpreter's scan.
+            let mut entries: Vec<(RowId, &[Value])> = table
+                .index_range_entries(
+                    index,
+                    lower.as_ref().map(|(v, i)| (v, *i)),
+                    upper.as_ref().map(|(v, i)| (v, *i)),
+                    *rev,
+                    false,
+                )
+                .into_iter()
+                .map(|(id, row)| (id, row.as_slice()))
+                .filter(|(_, r)| keep(r))
+                .collect();
+            entries.sort_unstable_by_key(|(id, _)| *id);
+            entries.into_iter().map(|(_, r)| r).collect()
+        }
+        // Join sides never take an order-only walk: output order is
+        // rowid order regardless of access, so order can't be served.
+        Access::IndexOrder { .. } => unreachable!("join sides never compile IndexOrder"),
+    })
+}
+
+/// Equi-key hash side of a join step. Single-column keys index the map
+/// by borrowed `&Value` directly (no per-row allocation); composite
+/// keys use borrowed slices. Rows with any NULL key column are never
+/// inserted and NULL probes never match — SQL equality cannot match
+/// NULL — which is also what gives LEFT/RIGHT pads their semantics.
+enum JoinHash<'r> {
+    One(FxMap<&'r Value, Vec<u32>>),
+    Many(FxMap<Vec<&'r Value>, Vec<u32>>),
+}
+
+impl<'r> JoinHash<'r> {
+    fn build(rows: &[&'r [Value]], cols: &[usize]) -> JoinHash<'r> {
+        if let [c] = cols {
+            let mut h: FxMap<&Value, Vec<u32>> = FxMap::default();
+            for (i, r) in rows.iter().enumerate() {
+                let k = &r[*c];
+                if !k.is_null() {
+                    h.entry(k).or_default().push(i as u32);
+                }
+            }
+            JoinHash::One(h)
+        } else {
+            let mut h: FxMap<Vec<&Value>, Vec<u32>> = FxMap::default();
+            for (i, r) in rows.iter().enumerate() {
+                let key: Vec<&Value> = cols.iter().map(|&c| &r[c]).collect();
+                if key.iter().any(|v| v.is_null()) {
+                    continue;
+                }
+                h.entry(key).or_default().push(i as u32);
+            }
+            JoinHash::Many(h)
+        }
+    }
+
+    /// Candidate row indexes for one probe row (empty on NULL keys).
+    /// `probe` is a reusable key-assembly buffer for composite keys.
+    fn candidates(&self, row: &'r [Value], cols: &[usize], probe: &mut Vec<&'r Value>) -> &[u32] {
+        match self {
+            JoinHash::One(h) => {
+                let k = &row[cols[0]];
+                if k.is_null() {
+                    &[]
+                } else {
+                    h.get(k).map(Vec::as_slice).unwrap_or(&[])
+                }
+            }
+            JoinHash::Many(h) => {
+                probe.clear();
+                probe.extend(cols.iter().map(|&c| &row[c]));
+                if probe.iter().any(|v| v.is_null()) {
+                    &[]
+                } else {
+                    h.get(probe.as_slice()).map(Vec::as_slice).unwrap_or(&[])
+                }
+            }
+        }
+    }
+}
+
+/// Emit the joined rows for one accumulated-left row given its
+/// candidate right rows, replicating the interpreter's inner loop:
+/// candidates in rowid order, residual conjuncts evaluated in flatten
+/// order over the combined row (short-circuiting on the first false),
+/// a LEFT pad inline when nothing matched. `skip_residual` is the
+/// interpreter's fast pass — an equi-join whose ON had no residual.
+#[allow(clippy::too_many_arguments)]
+fn join_emit<I: IntoIterator<Item = u32>>(
+    step: &JoinStep,
+    l: &[Value],
+    candidates: I,
+    right: &[&[Value]],
+    rw: usize,
+    skip_residual: bool,
+    ctx: &BoundCtx<'_>,
+    evals: &mut Evals,
+    right_matched: &mut [bool],
+    out: &mut Vec<Vec<Value>>,
+) -> SqlResult<()> {
+    let mut matched = false;
+    for ri in candidates {
+        let r = right[ri as usize];
+        let mut row = Vec::with_capacity(l.len() + rw);
+        row.extend_from_slice(l);
+        row.extend_from_slice(r);
+        let ok = if skip_residual {
+            true
+        } else {
+            let rc = BoundCtx {
+                row: Some(&row),
+                ..*ctx
+            };
+            let mut pass = true;
+            for cond in &step.residual {
+                if !evals.pred(cond, &rc)? {
+                    pass = false;
+                    break;
+                }
+            }
+            pass
+        };
+        if ok {
+            matched = true;
+            right_matched[ri as usize] = true;
+            out.push(row);
+        }
+    }
+    if !matched && step.kind == JoinKind::Left {
+        let mut row = Vec::with_capacity(l.len() + rw);
+        row.extend_from_slice(l);
+        row.extend(std::iter::repeat_n(Value::Null, rw));
+        out.push(row);
+    }
+    Ok(())
+}
+
+/// Index nested-loop step: probe the new side's B-tree index once per
+/// accumulated-left row instead of scanning it. `index_eq_entries` is
+/// visibility-aware (MVCC) and compares keys with the same total order
+/// `Value`'s `Eq`/`Hash` use, and its entries arrive rowid-ascending —
+/// so the emitted rows are indistinguishable from the hash path's.
+fn inl_join(
+    catalog: &Catalog,
+    step: &JoinStep,
+    left: &[&[Value]],
+    side: &JoinSide,
+    table: &Table,
+    ctx: &BoundCtx<'_>,
+    evals: &mut Evals,
+) -> SqlResult<Vec<Vec<Value>>> {
+    let (lcol, rcol) = step.pairs[0];
+    let index = table.find_index(&[rcol]).expect("plan epoch guards index");
+    catalog.note_index_nl_join();
+    catalog.note_join_probe_rows(left.len() as u64);
+    let skip_residual = step.residual.is_empty();
+    let mut out: Vec<Vec<Value>> = Vec::new();
+    let mut probe = SortKey(vec![Value::Null]);
+    for l in left {
+        let key = &l[lcol];
+        let mut matched = false;
+        if !key.is_null() {
+            probe.0[0] = key.clone();
+            for (_, r) in table.index_eq_entries(index, &probe) {
+                let r: &[Value] = r;
+                if !side.prefilter.iter().all(|c| c.passes(r)) {
+                    continue;
+                }
+                let mut row = Vec::with_capacity(l.len() + side.width);
+                row.extend_from_slice(l);
+                row.extend_from_slice(r);
+                let ok = if skip_residual {
+                    true
+                } else {
+                    let rc = BoundCtx {
+                        row: Some(&row),
+                        ..*ctx
+                    };
+                    let mut pass = true;
+                    for cond in &step.residual {
+                        if !evals.pred(cond, &rc)? {
+                            pass = false;
+                            break;
+                        }
+                    }
+                    pass
+                };
+                if ok {
+                    matched = true;
+                    out.push(row);
+                }
+            }
+        }
+        if !matched && step.kind == JoinKind::Left {
+            let mut row = Vec::with_capacity(l.len() + side.width);
+            row.extend_from_slice(l);
+            row.extend(std::iter::repeat_n(Value::Null, side.width));
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+/// Execute one join step: combine the accumulated left rows with the
+/// next side. Strategy is chosen here, at execution time, because the
+/// accumulated left cardinality is only known now — and every strategy
+/// (hash either direction, index nested loop, nested loop) emits
+/// byte-identical rows, so the choice is free.
+fn exec_join_step(
+    catalog: &Catalog,
+    step: &JoinStep,
+    left: &[&[Value]],
+    side: &JoinSide,
+    table: &Table,
+    ctx: &BoundCtx<'_>,
+    evals: &mut Evals,
+) -> SqlResult<Vec<Vec<Value>>> {
+    let rw = side.width;
+
+    // CROSS: plain product, no ON clause to evaluate.
+    if step.kind == JoinKind::Cross {
+        let right = gather_side(catalog, table, side, ctx, evals)?;
+        let mut out = Vec::with_capacity(left.len().saturating_mul(right.len()));
+        for l in left {
+            for r in &right {
+                let mut row = Vec::with_capacity(l.len() + rw);
+                row.extend_from_slice(l);
+                row.extend_from_slice(r);
+                out.push(row);
+            }
+        }
+        return Ok(out);
+    }
+
+    // Index nested loop beats building a hash table when the outer side
+    // is much smaller than the indexed side — probing k rows costs
+    // O(k log n) against O(n) just to gather and hash the scan.
+    if step.inl_eligible && left.len().saturating_mul(8) <= table.len() {
+        return inl_join(catalog, step, left, side, table, ctx, evals);
+    }
+
+    let right = gather_side(catalog, table, side, ctx, evals)?;
+    let mut out: Vec<Vec<Value>> = Vec::new();
+    let mut right_matched = vec![false; right.len()];
+
+    if step.pairs.is_empty() {
+        // No equi pairs: nested loop with the full ON as residual.
+        for l in left {
+            join_emit(
+                step,
+                l,
+                0..right.len() as u32,
+                &right,
+                rw,
+                false,
+                ctx,
+                evals,
+                &mut right_matched,
+                &mut out,
+            )?;
+        }
+    } else {
+        catalog.note_hash_join();
+        let skip_residual = step.residual.is_empty();
+        let lcols: Vec<usize> = step.pairs.iter().map(|(i, _)| *i).collect();
+        let rcols: Vec<usize> = step.pairs.iter().map(|(_, j)| *j).collect();
+        let mut probe: Vec<&Value> = Vec::with_capacity(step.pairs.len());
+        if left.len() < right.len() {
+            // Build on the smaller accumulated left, probe the right
+            // scan, then replay the matches left-major so the output
+            // order is exactly the probe-left order the interpreter
+            // produces.
+            catalog.note_join_build_rows(left.len() as u64);
+            catalog.note_join_probe_rows(right.len() as u64);
+            let hash = JoinHash::build(left, &lcols);
+            let mut matches: Vec<(u32, u32)> = Vec::new();
+            for (ri, r) in right.iter().enumerate() {
+                for &li in hash.candidates(r, &rcols, &mut probe) {
+                    matches.push((li, ri as u32));
+                }
+            }
+            matches.sort_unstable();
+            let mut pos = 0;
+            for (li, l) in left.iter().enumerate() {
+                let start = pos;
+                while pos < matches.len() && matches[pos].0 as usize == li {
+                    pos += 1;
+                }
+                join_emit(
+                    step,
+                    l,
+                    matches[start..pos].iter().map(|&(_, ri)| ri),
+                    &right,
+                    rw,
+                    skip_residual,
+                    ctx,
+                    evals,
+                    &mut right_matched,
+                    &mut out,
+                )?;
+            }
+        } else {
+            // Build on the right, probe left rows in order — the
+            // interpreter's own shape.
+            catalog.note_join_build_rows(right.len() as u64);
+            catalog.note_join_probe_rows(left.len() as u64);
+            let hash = JoinHash::build(&right, &rcols);
+            for l in left {
+                let cands = hash.candidates(l, &lcols, &mut probe);
+                join_emit(
+                    step,
+                    l,
+                    cands.iter().copied(),
+                    &right,
+                    rw,
+                    skip_residual,
+                    ctx,
+                    evals,
+                    &mut right_matched,
+                    &mut out,
+                )?;
+            }
+        }
+    }
+
+    // RIGHT pads append at the end, in right-scan order — exactly where
+    // the interpreter puts rows whose right side never matched.
+    if step.kind == JoinKind::Right {
+        for (ri, r) in right.iter().enumerate() {
+            if !right_matched[ri] {
+                let mut row = Vec::with_capacity(step.left_width + rw);
+                row.extend(std::iter::repeat_n(Value::Null, step.left_width));
+                row.extend_from_slice(r);
+                out.push(row);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Execute a compiled join chain: acquire every side's table guard up
+/// front (sorted unique-name order, so concurrent compiled joins can
+/// never deadlock through the writer-starvation gate), gather each
+/// side in rowid order, and fold the steps left-to-right. Returns
+/// owned combined rows; the guards drop on return.
+fn run_join(
+    catalog: &Catalog,
+    jp: &JoinPlan,
+    ctx: &BoundCtx<'_>,
+    evals: &mut Evals,
+) -> SqlResult<Vec<Vec<Value>>> {
+    let mut names: Vec<String> = jp
+        .sides
+        .iter()
+        .map(|s| s.table.to_ascii_lowercase())
+        .collect();
+    names.sort();
+    names.dedup();
+    let mut guards: Vec<TableReadGuard<'_, Table>> = Vec::with_capacity(names.len());
+    for n in &names {
+        guards.push(catalog.table(n)?);
+    }
+    let tables: Vec<&Table> = jp
+        .sides
+        .iter()
+        .map(|s| {
+            let i = names
+                .binary_search(&s.table.to_ascii_lowercase())
+                .expect("guard acquired above");
+            &*guards[i]
+        })
+        .collect();
+
+    catalog.note_pushed_predicates(jp.pushed);
+
+    let left0 = gather_side(catalog, tables[0], &jp.sides[0], ctx, evals)?;
+    let mut cur = exec_join_step(
+        catalog,
+        &jp.steps[0],
+        &left0,
+        &jp.sides[1],
+        tables[1],
+        ctx,
+        evals,
+    )?;
+    for (i, step) in jp.steps.iter().enumerate().skip(1) {
+        let view: Vec<&[Value]> = cur.iter().map(Vec::as_slice).collect();
+        let next = exec_join_step(
+            catalog,
+            step,
+            &view,
+            &jp.sides[i + 1],
+            tables[i + 1],
+            ctx,
+            evals,
+        )?;
+        drop(view);
+        cur = next;
+    }
+    Ok(cur)
 }
 
 /// Run the WHERE clause batch-at-a-time into the selection vector.
@@ -505,21 +978,49 @@ pub fn run_select_batched(
         None => None,
     };
 
-    let table = catalog.table(&plan.table)?;
+    match &plan.input {
+        InputPlan::Single { table, access } => {
+            let table = catalog.table(table)?;
 
-    // Limit pushdown into an order-serving index walk: with no filter
-    // the id→row mapping is 1:1, so rows past OFFSET+LIMIT can never
-    // reach the output.
-    let pushdown = if plan.filter.is_none() && plan.order_served && !plan.distinct {
-        limit.map(|n| n.saturating_add(offset.unwrap_or(0)))
-    } else {
-        None
-    };
+            // Limit pushdown into an order-serving index walk: with no
+            // filter the id→row mapping is 1:1, so rows past
+            // OFFSET+LIMIT can never reach the output.
+            let pushdown = if plan.filter.is_none() && plan.order_served && !plan.distinct {
+                limit.map(|n| n.saturating_add(offset.unwrap_or(0)))
+            } else {
+                None
+            };
 
-    let rows = gather_rows(catalog, &table, &plan.access, &ctx, &mut evals, pushdown)?;
-    catalog.note_batched_rows(rows.len() as u64);
+            let rows = gather_rows(catalog, &table, access, &ctx, &mut evals, pushdown)?;
+            catalog.note_batched_rows(rows.len() as u64);
+            select_tail(catalog, plan, &ctx, evals, scratch, &rows, offset, limit)
+        }
+        InputPlan::Join(jp) => {
+            let joined = run_join(catalog, jp, &ctx, &mut evals)?;
+            catalog.note_batched_rows(joined.len() as u64);
+            let rows: Vec<&[Value]> = joined.iter().map(Vec::as_slice).collect();
+            select_tail(catalog, plan, &ctx, evals, scratch, &rows, offset, limit)
+        }
+    }
+}
 
-    let mut passes = fill_selection(&plan.filter, &ctx, &rows, &mut evals, &mut scratch.sel)?;
+/// The shared `SELECT` tail over gathered (or joined) input rows:
+/// WHERE selection → fused projection/ORDER-key pass (optionally into a
+/// top-K heap) → DISTINCT/sort/OFFSET/LIMIT. Joined inputs never have
+/// `order_served` set, so the truncate and top-K conditions degrade to
+/// the plain paths for them.
+#[allow(clippy::too_many_arguments)]
+fn select_tail(
+    catalog: &Catalog,
+    plan: &SelectPlan,
+    ctx: &BoundCtx<'_>,
+    mut evals: Evals,
+    scratch: &mut BatchScratch,
+    rows: &[&[Value]],
+    offset: Option<usize>,
+    limit: Option<usize>,
+) -> SqlResult<QueryResult> {
+    let mut passes = fill_selection(&plan.filter, ctx, rows, &mut evals, &mut scratch.sel)?;
 
     // Post-filter limit pushdown (mirrors the interpreter's truncate of
     // the kept set when the walk serves the order).
@@ -548,7 +1049,7 @@ pub fn run_select_batched(
         let row = rows[i as usize];
         let rc = BoundCtx {
             row: Some(row),
-            ..ctx
+            ..*ctx
         };
         let mut out = Vec::with_capacity(plan.projections.len());
         for e in &plan.projections {
@@ -593,13 +1094,13 @@ pub fn run_select_batched(
     })
 }
 
-/// The staged grouped path: gather → selection vector → grouping pass →
-/// virtual-row build, returning one completed virtual row per group.
-/// When every spec folds a stored column (or is `COUNT(*)`),
-/// accumulation happens *inline* during the grouping pass — the
-/// one-pass path — and no member lists are built; only DISTINCT or
-/// computed arguments fall back to member lists plus a second fold
-/// pass.
+/// The staged grouped path: selection vector → grouping pass →
+/// virtual-row build over already-gathered (or joined) input rows,
+/// returning one completed virtual row per group. When every spec folds
+/// a stored column (or is `COUNT(*)`), accumulation happens *inline*
+/// during the grouping pass — the one-pass path — and no member lists
+/// are built; only DISTINCT or computed arguments fall back to member
+/// lists plus a second fold pass.
 #[allow(clippy::too_many_arguments)]
 fn run_agg_staged(
     catalog: &Catalog,
@@ -608,14 +1109,12 @@ fn run_agg_staged(
     evals: &mut Evals,
     passes: &mut u64,
     scratch: &mut BatchScratch,
-    table: &Table,
+    rows: &[&[Value]],
     inline: &Option<Vec<Acc>>,
     single_col: Option<usize>,
 ) -> SqlResult<Vec<Vec<Value>>> {
     let one_pass = inline.is_some();
-    let rows = gather_rows(catalog, table, &plan.access, ctx, evals, None)?;
-    catalog.note_batched_rows(rows.len() as u64);
-    *passes += fill_selection(&plan.filter, ctx, &rows, evals, &mut scratch.sel)?;
+    *passes += fill_selection(&plan.filter, ctx, rows, evals, &mut scratch.sel)?;
 
     // Pass 1 — group keys over the selection, row-major, groups kept in
     // first-seen order.
@@ -726,13 +1225,13 @@ fn run_agg_staged(
                     Some(BoundExpr::Column(c)) if !spec.distinct => {
                         evals.0 += members.len() as u64;
                         *passes += 1;
-                        fold_column_agg(&spec.name, &rows, members, *c)?
+                        fold_column_agg(&spec.name, rows, members, *c)?
                     }
                     Some(arg) => {
                         scratch.agg_values.clear();
                         evals.0 += members.len() as u64;
                         *passes += 1;
-                        eval_bound_batch(arg, ctx, &rows, members, &mut scratch.agg_values)?;
+                        eval_bound_batch(arg, ctx, rows, members, &mut scratch.agg_values)?;
                         scratch.agg_values.retain(|v| !v.is_null());
                         combine_agg_values(&spec.name, &mut scratch.agg_values, spec.distinct)?
                     }
@@ -780,8 +1279,6 @@ pub fn run_agg_plan(
         None => None,
     };
 
-    let table = catalog.table(&plan.table)?;
-
     let inline: Option<Vec<Acc>> = plan.specs.iter().map(Acc::of).collect();
     let single_col = match plan.group_by.as_slice() {
         [BoundExpr::Column(c)] => Some(*c),
@@ -794,82 +1291,106 @@ pub fn run_agg_plan(
     };
     let mut passes = 0u64;
 
-    // Fully-streamed specialization: full scan + comparison-only filter
-    // + single stored-column key + inline accumulators means the whole
-    // aggregation folds in ONE walk over the table — no gathered row
-    // vector, no selection vector. Fusing the stages is unobservable
-    // because every per-row step here is infallible (comparisons and
-    // column loads cannot error; accumulation defers its sole error to
-    // finalization), so no cross-stage error precedence exists to
-    // disturb, and groups still appear in first-seen scan order.
-    let streamable = match (single_col, &inline) {
-        (Some(c), Some(tmpl)) if matches!(plan.access, Access::Full) && tight_filter => {
-            Some((c, tmpl))
+    // Fully-streamed specialization (single-table full scans only):
+    // full scan + comparison-only filter + single stored-column key +
+    // inline accumulators means the whole aggregation folds in ONE walk
+    // over the table — no gathered row vector, no selection vector.
+    // Fusing the stages is unobservable because every per-row step here
+    // is infallible (comparisons and column loads cannot error;
+    // accumulation defers its sole error to finalization), so no
+    // cross-stage error precedence exists to disturb, and groups still
+    // appear in first-seen scan order.
+    let mut vrows: Vec<Vec<Value>> = match &plan.input {
+        InputPlan::Join(jp) => {
+            let joined = run_join(catalog, jp, &ctx, &mut evals)?;
+            catalog.note_batched_rows(joined.len() as u64);
+            let rows: Vec<&[Value]> = joined.iter().map(Vec::as_slice).collect();
+            run_agg_staged(
+                catalog,
+                plan,
+                &ctx,
+                &mut evals,
+                &mut passes,
+                scratch,
+                &rows,
+                &inline,
+                single_col,
+            )?
         }
-        _ => None,
-    };
-    let mut vrows: Vec<Vec<Value>> = if let Some((c, tmpl)) = streamable {
-        catalog.note_full_scan();
-        let mut groups: FxMap<Value, usize> = FxMap::default();
-        // (representative base row, accumulators), first-seen order.
-        let mut sgroups: Vec<(Vec<Value>, Vec<Acc>)> = Vec::new();
-        let mut walked = 0u64;
-        let mut kept = 0u64;
-        for row in table.scan() {
-            walked += 1;
-            let row: &[Value] = row;
-            if !cmps.iter().all(|m| m.passes(row)) {
-                continue;
-            }
-            kept += 1;
-            let g = match groups.get(&row[c]) {
-                Some(&g) => g,
-                None => {
-                    let g = sgroups.len();
-                    groups.insert(row[c].clone(), g);
-                    sgroups.push((row.to_vec(), tmpl.clone()));
-                    g
+        InputPlan::Single { table, access } => {
+            let table = catalog.table(table)?;
+            let streamable = match (single_col, &inline) {
+                (Some(c), Some(tmpl)) if matches!(access, Access::Full) && tight_filter => {
+                    Some((c, tmpl))
                 }
+                _ => None,
             };
-            for a in &mut sgroups[g].1 {
-                a.update(row);
-            }
-        }
-        catalog.note_full_scan_rows(walked);
-        catalog.note_batched_rows(walked);
-        catalog.note_hash_agg();
-        if plan.filter.is_some() {
-            evals.0 += walked;
-            passes += walked.div_ceil(BATCH_SIZE as u64);
-        }
-        let arg_specs = plan.specs.iter().filter(|s| s.arg.is_some()).count() as u64;
-        evals.0 += kept * (1 + arg_specs);
-        passes += kept.div_ceil(BATCH_SIZE as u64) * (1 + arg_specs);
+            if let Some((c, tmpl)) = streamable {
+                catalog.note_full_scan();
+                let mut groups: FxMap<Value, usize> = FxMap::default();
+                // (representative base row, accumulators), first-seen order.
+                let mut sgroups: Vec<(Vec<Value>, Vec<Acc>)> = Vec::new();
+                let mut walked = 0u64;
+                let mut kept = 0u64;
+                for row in table.scan() {
+                    walked += 1;
+                    let row: &[Value] = row;
+                    if !cmps.iter().all(|m| m.passes(row)) {
+                        continue;
+                    }
+                    kept += 1;
+                    let g = match groups.get(&row[c]) {
+                        Some(&g) => g,
+                        None => {
+                            let g = sgroups.len();
+                            groups.insert(row[c].clone(), g);
+                            sgroups.push((row.to_vec(), tmpl.clone()));
+                            g
+                        }
+                    };
+                    for a in &mut sgroups[g].1 {
+                        a.update(row);
+                    }
+                }
+                catalog.note_full_scan_rows(walked);
+                catalog.note_batched_rows(walked);
+                catalog.note_hash_agg();
+                if plan.filter.is_some() {
+                    evals.0 += walked;
+                    passes += walked.div_ceil(BATCH_SIZE as u64);
+                }
+                let arg_specs = plan.specs.iter().filter(|s| s.arg.is_some()).count() as u64;
+                evals.0 += kept * (1 + arg_specs);
+                passes += kept.div_ceil(BATCH_SIZE as u64) * (1 + arg_specs);
 
-        // Finalize group-major, spec-major — the interpreter's
-        // aggregate computation (and error) order.
-        let mut vrows = Vec::with_capacity(sgroups.len());
-        for (repr, accs) in sgroups {
-            let mut vrow = repr;
-            vrow.reserve(plan.specs.len());
-            for acc in &accs {
-                vrow.push(acc.finish()?);
+                // Finalize group-major, spec-major — the interpreter's
+                // aggregate computation (and error) order.
+                let mut vrows = Vec::with_capacity(sgroups.len());
+                for (repr, accs) in sgroups {
+                    let mut vrow = repr;
+                    vrow.reserve(plan.specs.len());
+                    for acc in &accs {
+                        vrow.push(acc.finish()?);
+                    }
+                    vrows.push(vrow);
+                }
+                vrows
+            } else {
+                let rows = gather_rows(catalog, &table, access, &ctx, &mut evals, None)?;
+                catalog.note_batched_rows(rows.len() as u64);
+                run_agg_staged(
+                    catalog,
+                    plan,
+                    &ctx,
+                    &mut evals,
+                    &mut passes,
+                    scratch,
+                    &rows,
+                    &inline,
+                    single_col,
+                )?
             }
-            vrows.push(vrow);
         }
-        vrows
-    } else {
-        run_agg_staged(
-            catalog,
-            plan,
-            &ctx,
-            &mut evals,
-            &mut passes,
-            scratch,
-            &table,
-            &inline,
-            single_col,
-        )?
     };
 
     // HAVING — group-major, after every aggregate has been computed.

@@ -872,7 +872,9 @@ fn scan_table_ref(catalog: &Catalog, tref: &TableRef, ctx: &EvalCtx<'_>) -> SqlR
 }
 
 /// Split an `ON` conjunction into hashable equi-pairs and a residual.
-fn split_equi_join(
+/// Shared with the plan compiler, which reuses the exact same pair
+/// extraction so compiled joins hash on the same keys the interpreter does.
+pub(crate) fn split_equi_join(
     on: &Expr,
     left: &RowSchema,
     right: &RowSchema,
@@ -965,13 +967,15 @@ fn join_rows(left: Rows, right: Rows, join: &Join, ctx: &EvalCtx<'_>) -> SqlResu
             let mut right_matched = vec![false; right.rows.len()];
 
             // Build hash table on the right side when we have equi-pairs.
-            let hash: Option<HashMap<Vec<Value>, Vec<usize>>> = if pairs.is_empty() {
+            // Keys borrow the right rows' values; probes borrow the left
+            // row's — no per-row `Vec<Value>` key clones on either side.
+            let hash: Option<HashMap<Vec<&Value>, Vec<usize>>> = if pairs.is_empty() {
                 None
             } else {
-                let mut h: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                let mut h: HashMap<Vec<&Value>, Vec<usize>> = HashMap::new();
                 for (ri, r) in right.rows.iter().enumerate() {
-                    let key: Vec<Value> = pairs.iter().map(|(_, j)| r[*j].clone()).collect();
-                    if key.iter().any(Value::is_null) {
+                    let key: Vec<&Value> = pairs.iter().map(|(_, j)| &r[*j]).collect();
+                    if key.iter().any(|v| v.is_null()) {
                         continue; // NULL never equi-joins
                     }
                     h.entry(key).or_default().push(ri);
@@ -979,20 +983,30 @@ fn join_rows(left: Rows, right: Rows, join: &Join, ctx: &EvalCtx<'_>) -> SqlResu
                 Some(h)
             };
 
+            // Candidate list for the no-equi-pair nested loop, built once
+            // instead of per outer row.
+            let all_right: Vec<usize> = if hash.is_none() {
+                (0..right.rows.len()).collect()
+            } else {
+                Vec::new()
+            };
+            let mut probe_key: Vec<&Value> = Vec::with_capacity(pairs.len());
+
             for l in &left.rows {
-                let candidates: Vec<usize> = match &hash {
+                let candidates: &[usize] = match &hash {
                     Some(h) => {
-                        let key: Vec<Value> = pairs.iter().map(|(i, _)| l[*i].clone()).collect();
-                        if key.iter().any(Value::is_null) {
-                            Vec::new()
+                        probe_key.clear();
+                        probe_key.extend(pairs.iter().map(|(i, _)| &l[*i]));
+                        if probe_key.iter().any(|v| v.is_null()) {
+                            &[]
                         } else {
-                            h.get(&key).cloned().unwrap_or_default()
+                            h.get(&probe_key).map(Vec::as_slice).unwrap_or(&[])
                         }
                     }
-                    None => (0..right.rows.len()).collect(),
+                    None => all_right.as_slice(),
                 };
                 let mut matched = false;
-                for ri in candidates {
+                for &ri in candidates {
                     let r = &right.rows[ri];
                     let mut row = Vec::with_capacity(left_width + right_width);
                     row.extend(l.iter().cloned());

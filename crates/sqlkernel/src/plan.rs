@@ -26,14 +26,18 @@
 use std::collections::HashMap;
 
 use crate::ast::{
-    DeleteStmt, Expr, OrderItem, SelectItem, SelectStmt, Statement, TableSource, UpdateStmt,
+    BinOp, DeleteStmt, Expr, FromClause, JoinKind, OrderItem, SelectItem, SelectStmt, Statement,
+    TableSource, UpdateStmt,
 };
-use crate::bound::{bind, eval_bound, eval_bound_predicate, BoundCtx, BoundExpr};
+use crate::bound::{
+    as_col_cmps, bind, eval_bound, eval_bound_predicate, infallible_predicate, BoundCtx, BoundExpr,
+    OwnedColCmp,
+};
 use crate::catalog::Catalog;
 use crate::error::{SqlError, SqlResult};
 use crate::exec::select::{
     collect_aggregates, find_eq_candidate, find_range_candidate, flatten_and, naive_order_hint,
-    order_targets_column, projection_plan,
+    order_targets_column, projection_plan, split_equi_join,
 };
 use crate::expr::{aggregate_key, is_aggregate_name, RowSchema};
 use crate::storage::{RowId, Table};
@@ -65,6 +69,65 @@ pub(crate) enum Access {
     IndexOrder { col: usize, desc: bool },
 }
 
+/// One base-table side of a compiled join: how to scan it and which
+/// pushed-down conjuncts to apply while gathering. Pushing never removes
+/// a conjunct from the WHERE clause or an ON residual — the prefilter is
+/// purely an optimization, so the retained copies keep the output (and
+/// its error positions) byte-identical to the interpreter's.
+#[derive(Debug)]
+pub(crate) struct JoinSide {
+    /// Catalog table name, as written.
+    pub(crate) table: String,
+    /// Access path chosen from the pushed conjuncts (never `IndexOrder`:
+    /// join sides are re-sorted to rowid order, so order is irrelevant
+    /// and every key below is a plan constant).
+    pub(crate) access: Access,
+    /// Pushed conjuncts, column ordinals local to this side's schema.
+    pub(crate) prefilter: Vec<OwnedColCmp>,
+    /// Number of columns this side contributes to the combined row.
+    pub(crate) width: usize,
+}
+
+/// One join step: combines the accumulated left rows (sides `0..=i`)
+/// with side `i+1`. Pair extraction reuses the interpreter's
+/// `split_equi_join`, so both executors hash on the same keys and
+/// evaluate the same residual conjuncts in the same order.
+#[derive(Debug)]
+pub(crate) struct JoinStep {
+    pub(crate) kind: JoinKind,
+    /// `(ordinal in accumulated left row, ordinal local to the new side)`
+    /// equi-key pairs; empty means nested loop over the full `ON`.
+    pub(crate) pairs: Vec<(usize, usize)>,
+    /// Non-equi `ON` conjuncts, bound against the combined row, in the
+    /// interpreter's flatten order.
+    pub(crate) residual: Vec<BoundExpr>,
+    /// The new side has a single-column index on the lone equi-key, and
+    /// the join kind allows probing it (INNER/LEFT): the executor may
+    /// run this step as an index nested loop when the outer side is
+    /// small. RIGHT would still need the full scan for its end pads.
+    pub(crate) inl_eligible: bool,
+    /// Width of the accumulated left row entering this step.
+    pub(crate) left_width: usize,
+}
+
+/// A compiled multi-table `FROM`: base-table sides joined left-to-right.
+#[derive(Debug)]
+pub(crate) struct JoinPlan {
+    /// `sides[0]` is the base table; `steps[i]` joins `sides[i + 1]`.
+    pub(crate) sides: Vec<JoinSide>,
+    /// Total conjuncts pushed into side scans (for `pushed_predicates`).
+    pub(crate) pushed: u64,
+    pub(crate) steps: Vec<JoinStep>,
+}
+
+/// Where a compiled `SELECT` gets its input rows: one base table scan,
+/// or a chain of joins over base tables.
+#[derive(Debug)]
+pub(crate) enum InputPlan {
+    Single { table: String, access: Access },
+    Join(JoinPlan),
+}
+
 /// Where one ORDER BY sort key comes from, resolved at compile time
 /// following the interpreter's rules: ordinal literal → output column;
 /// bare name matching an output alias → output column; anything else →
@@ -77,12 +140,11 @@ pub(crate) enum OrderKey {
     Row(BoundExpr),
 }
 
-/// A compiled single-table `SELECT`. Executed batch-at-a-time by
-/// [`crate::exec::batch::run_select_batched`].
+/// A compiled `SELECT` over one table or a join chain. Executed
+/// batch-at-a-time by [`crate::exec::batch::run_select_batched`].
 #[derive(Debug)]
 pub struct SelectPlan {
-    pub(crate) table: String,
-    pub(crate) access: Access,
+    pub(crate) input: InputPlan,
     /// The full WHERE clause; always re-checked, so the access path is
     /// purely an optimization.
     pub(crate) filter: Option<BoundExpr>,
@@ -121,8 +183,7 @@ pub(crate) struct BoundAggSpec {
 /// aggregates map" semantics with plain ordinal loads.
 #[derive(Debug)]
 pub struct AggPlan {
-    pub(crate) table: String,
-    pub(crate) access: Access,
+    pub(crate) input: InputPlan,
     pub(crate) filter: Option<BoundExpr>,
     /// GROUP BY key expressions over the base row.
     pub(crate) group_by: Vec<BoundExpr>,
@@ -279,6 +340,295 @@ fn choose_access(
     }
 }
 
+/// Does any expression position of this statement run a subquery?
+/// Compiled joins hold several table guards at once; a subquery would
+/// re-enter the executor (and the catalog's table map) under those
+/// guards, so join compilation declines the whole statement instead.
+fn stmt_contains_subquery(stmt: &SelectStmt) -> bool {
+    stmt.projections.iter().any(|p| match p {
+        SelectItem::Expr { expr, .. } => expr.contains_subquery(),
+        _ => false,
+    }) || stmt
+        .where_clause
+        .as_ref()
+        .is_some_and(Expr::contains_subquery)
+        || stmt.group_by.iter().any(Expr::contains_subquery)
+        || stmt.having.as_ref().is_some_and(Expr::contains_subquery)
+        || stmt.order_by.iter().any(|o| o.expr.contains_subquery())
+        || stmt.limit.as_ref().is_some_and(Expr::contains_subquery)
+        || stmt.offset.as_ref().is_some_and(Expr::contains_subquery)
+        || stmt.from.as_ref().is_some_and(|f| {
+            f.joins
+                .iter()
+                .any(|j| j.on.as_ref().is_some_and(Expr::contains_subquery))
+        })
+}
+
+/// A compiled FROM clause: the input plan, the combined row schema
+/// every downstream expression binds against, and the single-table
+/// index-order hint (`(col, desc)`) consumed by the `order_served`
+/// check — join inputs never serve an order.
+type CompiledInput = (InputPlan, RowSchema, Option<(usize, bool)>);
+
+/// Compile the FROM clause into an input plan plus the combined row
+/// schema every downstream expression binds against.
+fn compile_input(catalog: &Catalog, stmt: &SelectStmt, from: &FromClause) -> Option<CompiledInput> {
+    let TableSource::Named(name) = &from.base.source else {
+        return None;
+    };
+    if catalog.has_view(name) {
+        return None;
+    }
+    if from.joins.is_empty() {
+        let table = catalog.table(name).ok()?;
+        let binding = from.base.binding_name().unwrap_or(name).to_string();
+        let schema = table_row_schema(&table, &binding);
+        let (access, index_order) = choose_access(
+            stmt.where_clause.as_ref(),
+            &stmt.order_by,
+            &binding,
+            &table,
+            &schema,
+        )?;
+        return Some((
+            InputPlan::Single {
+                table: name.clone(),
+                access,
+            },
+            schema,
+            index_order,
+        ));
+    }
+    let (join, schema) = compile_join(catalog, stmt, from)?;
+    Some((InputPlan::Join(join), schema, None))
+}
+
+/// The side whose column range contains every cmp ordinal, if exactly
+/// one side does. Ordinals are in combined-row space here; the caller
+/// rebases them to the side's local schema when pushing.
+fn side_of(cmps: &[OwnedColCmp], offsets: &[usize], widths: &[usize]) -> Option<usize> {
+    let first = cmps.first()?.col;
+    let s = offsets.partition_point(|o| *o <= first) - 1;
+    cmps.iter()
+        .all(|c| c.col >= offsets[s] && c.col < offsets[s] + widths[s])
+        .then_some(s)
+}
+
+/// Choose a join side's access path from its pushed conjuncts. Join
+/// sides are re-sorted to rowid order after gathering, so unlike the
+/// single-table chooser this one owes the interpreter no particular
+/// physical order — any index that serves part of the prefilter is fair
+/// game (the full prefilter still runs over whatever the index yields).
+/// Keys are plan constants, so the scan itself can never raise an
+/// evaluation error the interpreter would not.
+fn access_from_cmps(table: &Table, cmps: &[OwnedColCmp]) -> Access {
+    for c in cmps {
+        if c.op == BinOp::Eq && table.find_index(&[c.col]).is_some() {
+            return Access::IndexEq {
+                col: c.col,
+                key: BoundExpr::Const(c.key.clone()),
+            };
+        }
+    }
+    for c in cmps {
+        if !matches!(c.op, BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq)
+            || table.find_index(&[c.col]).is_none()
+        {
+            continue;
+        }
+        let mut lower = None;
+        let mut upper = None;
+        for c2 in cmps.iter().filter(|c2| c2.col == c.col) {
+            let bound = Some((
+                BoundExpr::Const(c2.key.clone()),
+                matches!(c2.op, BinOp::LtEq | BinOp::GtEq),
+            ));
+            match c2.op {
+                BinOp::Gt | BinOp::GtEq if lower.is_none() => lower = bound,
+                BinOp::Lt | BinOp::LtEq if upper.is_none() => upper = bound,
+                _ => {}
+            }
+        }
+        return Access::IndexRange {
+            col: c.col,
+            lower,
+            upper,
+            rev: false,
+        };
+    }
+    Access::Full
+}
+
+/// Compile a joined FROM clause. Declines (→ interpreter) on views or
+/// derived tables anywhere, subqueries in any expression position, bind
+/// failures, and LEFT/RIGHT joins with no equi-pairs (nested-loop outer
+/// padding stays interpreter-canonical).
+///
+/// Pushdown analysis: a WHERE or residual-ON conjunct of the
+/// `column <cmp> constant` family whose columns land in exactly one side
+/// may run as that side's scan prefilter — WHERE conjuncts into any
+/// side, an ON conjunct of step `i` into the step's new side only for
+/// INNER/LEFT (a RIGHT join must still end-pad the rows it would have
+/// removed) and into a left-part side only for INNER/RIGHT (mirror
+/// argument). Nothing is ever *removed* from the WHERE or a residual,
+/// and no conjunct is pushed unless the whole WHERE and every residual
+/// are structurally infallible, so the engines cannot diverge on output
+/// rows or on which row surfaces an evaluation error first.
+fn compile_join(
+    catalog: &Catalog,
+    stmt: &SelectStmt,
+    from: &FromClause,
+) -> Option<(JoinPlan, RowSchema)> {
+    if stmt_contains_subquery(stmt) {
+        return None;
+    }
+
+    // Every side must be a named base table.
+    let mut refs = vec![&from.base];
+    refs.extend(from.joins.iter().map(|j| &j.table));
+    let mut names: Vec<String> = Vec::with_capacity(refs.len());
+    let mut side_schemas: Vec<RowSchema> = Vec::with_capacity(refs.len());
+    for r in &refs {
+        let TableSource::Named(n) = &r.source else {
+            return None;
+        };
+        if catalog.has_view(n) {
+            return None;
+        }
+        let table = catalog.table(n).ok()?;
+        side_schemas.push(table_row_schema(&table, r.binding_name().unwrap_or(n)));
+        names.push(n.clone());
+    }
+    let widths: Vec<usize> = side_schemas.iter().map(RowSchema::len).collect();
+    let mut offsets = Vec::with_capacity(widths.len());
+    let mut acc = 0usize;
+    for w in &widths {
+        offsets.push(acc);
+        acc += w;
+    }
+
+    // Accumulated prefix schemas: `prefixes[i]` covers sides `0..=i`,
+    // matching the interpreter's left schema entering step `i`. Step
+    // `i`'s expressions bind against `prefixes[i + 1]`; a prefix is a
+    // prefix of the combined schema, so ordinals agree everywhere.
+    let mut prefixes: Vec<RowSchema> = Vec::with_capacity(side_schemas.len());
+    let mut cols: Vec<(Option<String>, String)> = Vec::new();
+    for s in &side_schemas {
+        cols.extend(s.columns().iter().cloned());
+        prefixes.push(RowSchema::new(cols.clone()));
+    }
+    let schema = prefixes.last()?.clone();
+
+    let mut steps = Vec::with_capacity(from.joins.len());
+    for (i, j) in from.joins.iter().enumerate() {
+        let (pairs, residual_ast) = match (j.kind, &j.on) {
+            (JoinKind::Cross, _) => (Vec::new(), Vec::new()),
+            (_, Some(on)) => split_equi_join(on, &prefixes[i], &side_schemas[i + 1]),
+            (_, None) => return None, // parser enforces ON for non-cross
+        };
+        if pairs.is_empty() && matches!(j.kind, JoinKind::Left | JoinKind::Right) {
+            return None;
+        }
+        let residual: Vec<BoundExpr> = residual_ast
+            .iter()
+            .map(|e| bind(e, &prefixes[i + 1]))
+            .collect::<SqlResult<_>>()
+            .ok()?;
+        steps.push(JoinStep {
+            kind: j.kind,
+            // Index presence for INL is checked below, guard in hand.
+            inl_eligible: matches!(j.kind, JoinKind::Inner | JoinKind::Left) && pairs.len() == 1,
+            pairs,
+            residual,
+            left_width: offsets[i + 1],
+        });
+    }
+
+    // Pushdown gate: pushing changes which intermediate rows exist, so
+    // evaluation errors must be impossible everywhere they could surface
+    // differently — the whole WHERE and every step's residual.
+    let mut where_conjs: Vec<Expr> = Vec::new();
+    if let Some(w) = &stmt.where_clause {
+        flatten_and(w, &mut where_conjs);
+    }
+    let bound_where: Vec<BoundExpr> = where_conjs
+        .iter()
+        .map(|e| bind(e, &schema))
+        .collect::<SqlResult<_>>()
+        .ok()?;
+    let pushdown_ok = bound_where.iter().all(infallible_predicate)
+        && steps
+            .iter()
+            .flat_map(|s| s.residual.iter())
+            .all(infallible_predicate);
+
+    let mut prefilters: Vec<Vec<OwnedColCmp>> = vec![Vec::new(); names.len()];
+    let mut pushed = 0u64;
+    if pushdown_ok {
+        for b in &bound_where {
+            let Some(cmps) = as_col_cmps(b) else { continue };
+            let Some(s) = side_of(&cmps, &offsets, &widths) else {
+                continue;
+            };
+            pushed += 1;
+            for mut c in cmps {
+                c.col -= offsets[s];
+                prefilters[s].push(c);
+            }
+        }
+        for (i, step) in steps.iter().enumerate() {
+            for b in &step.residual {
+                let Some(cmps) = as_col_cmps(b) else { continue };
+                let Some(s) = side_of(&cmps, &offsets, &widths) else {
+                    continue;
+                };
+                let allowed = if s == i + 1 {
+                    matches!(step.kind, JoinKind::Inner | JoinKind::Left)
+                } else {
+                    matches!(step.kind, JoinKind::Inner | JoinKind::Right)
+                };
+                if !allowed {
+                    continue;
+                }
+                pushed += 1;
+                for mut c in cmps {
+                    c.col -= offsets[s];
+                    prefilters[s].push(c);
+                }
+            }
+        }
+    }
+
+    let mut sides = Vec::with_capacity(names.len());
+    for (s, n) in names.iter().enumerate() {
+        let table = catalog.table(n).ok()?;
+        if s > 0 {
+            let step = &mut steps[s - 1];
+            if step.inl_eligible {
+                step.inl_eligible = step
+                    .pairs
+                    .first()
+                    .is_some_and(|(_, rc)| table.find_index(&[*rc]).is_some());
+            }
+        }
+        sides.push(JoinSide {
+            table: n.clone(),
+            access: access_from_cmps(&table, &prefilters[s]),
+            prefilter: std::mem::take(&mut prefilters[s]),
+            width: widths[s],
+        });
+    }
+
+    Some((
+        JoinPlan {
+            sides,
+            pushed,
+            steps,
+        },
+        schema,
+    ))
+}
+
 /// Resolve one ORDER BY item the way the interpreter's `order_key`
 /// resolves it: in-range ordinal literal → output column; bare name
 /// matching an output alias → output column; anything else → bound
@@ -331,18 +681,7 @@ fn compile_select(catalog: &Catalog, stmt: &SelectStmt) -> Option<CompiledPlan> 
         return None;
     }
     let from = stmt.from.as_ref()?;
-    if !from.joins.is_empty() {
-        return None;
-    }
-    let TableSource::Named(name) = &from.base.source else {
-        return None;
-    };
-    if catalog.has_view(name) {
-        return None;
-    }
-    let table = catalog.table(name).ok()?;
-    let binding = from.base.binding_name().unwrap_or(name).to_string();
-    let schema = table_row_schema(&table, &binding);
+    let (input, schema, index_order) = compile_input(catalog, stmt, from)?;
 
     // Projection expansion + binding. Aggregates fail `bind`, sending
     // anything the grouping test above missed to the interpreter.
@@ -352,14 +691,6 @@ fn compile_select(catalog: &Catalog, stmt: &SelectStmt) -> Option<CompiledPlan> 
         .map(|e| bind(e, &schema))
         .collect::<SqlResult<_>>()
         .ok()?;
-
-    let (access, index_order) = choose_access(
-        stmt.where_clause.as_ref(),
-        &stmt.order_by,
-        &binding,
-        &table,
-        &schema,
-    )?;
 
     let filter = bind_opt(stmt.where_clause.as_ref(), &schema)?;
 
@@ -383,8 +714,7 @@ fn compile_select(catalog: &Catalog, stmt: &SelectStmt) -> Option<CompiledPlan> 
     let offset = bind_opt(stmt.offset.as_ref(), &empty)?;
 
     Some(CompiledPlan::Select(Box::new(SelectPlan {
-        table: name.clone(),
-        access,
+        input,
         filter,
         columns,
         projections,
@@ -508,18 +838,11 @@ fn rewrite_aggs(e: &Expr, keys: &[String]) -> Expr {
 /// error the interpreter must report.
 fn compile_select_agg(catalog: &Catalog, stmt: &SelectStmt) -> Option<CompiledPlan> {
     let from = stmt.from.as_ref()?;
-    if !from.joins.is_empty() {
-        return None;
-    }
-    let TableSource::Named(name) = &from.base.source else {
-        return None;
-    };
-    if catalog.has_view(name) {
-        return None;
-    }
-    let table = catalog.table(name).ok()?;
-    let binding = from.base.binding_name().unwrap_or(name).to_string();
-    let schema = table_row_schema(&table, &binding);
+    // Access-path choice (for the single-table case) is shared with the
+    // plain-select compiler so group first-seen order matches the
+    // interpreter's row arrival order. (`order_served` never applies to
+    // grouped queries, so the index-order hint is dropped.)
+    let (input, schema, _) = compile_input(catalog, stmt, from)?;
 
     // Aggregate call sites, discovered in the interpreter's walk order
     // (projections, HAVING, ORDER BY; deduplicated by call-site key).
@@ -593,24 +916,12 @@ fn compile_select_agg(catalog: &Catalog, stmt: &SelectStmt) -> Option<CompiledPl
         order.push((key, item.desc));
     }
 
-    // Access path: shared with the plain-select compiler so group
-    // first-seen order matches the interpreter's row arrival order.
-    // (`order_served` never applies to grouped queries.)
-    let (access, _) = choose_access(
-        stmt.where_clause.as_ref(),
-        &stmt.order_by,
-        &binding,
-        &table,
-        &schema,
-    )?;
-
     let empty = RowSchema::empty();
     let limit = bind_opt(stmt.limit.as_ref(), &empty)?;
     let offset = bind_opt(stmt.offset.as_ref(), &empty)?;
 
     Some(CompiledPlan::Aggregate(Box::new(AggPlan {
-        table: name.clone(),
-        access,
+        input,
         filter,
         group_by,
         specs,

@@ -1,0 +1,624 @@
+//! Compiled join execution tests.
+//!
+//! The load-bearing property is the same one `tests/plan_cache.rs`
+//! holds for single-table statements: compiled, batch-at-a-time join
+//! execution must be **byte-identical** to the interpreter — same rows,
+//! same order, same errors — across INNER/LEFT/RIGHT/CROSS joins, NULL
+//! join keys, duplicate build keys, self-joins, residual ON conjuncts,
+//! empty sides, and join + GROUP BY + ORDER BY + LIMIT tails. The
+//! differential harness drives one database through
+//! `Connection::execute` (compiled plans) and a twin through
+//! `parse_statement` + `Connection::execute_ast` (the interpreter).
+//!
+//! On top of the differential corpus, directed tests pin down the
+//! optimizer observables: `hash_joins`/`index_nl_joins` engage on the
+//! shapes that should compile, `pushed_predicates` ticks when a WHERE
+//! conjunct rides a side scan, and decline shapes (views, subqueries in
+//! ON) fall back to the interpreter without result changes.
+//!
+//! `JOIN_SEED` (or `CHAOS_SEED`, which the CI rotation exports) adds
+//! one more corpus seed without editing the test.
+
+use sqlkernel::parser::parse_statement;
+use sqlkernel::{Connection, Database, StatementResult, Value};
+
+/// SplitMix64, as in `tests/plan_cache.rs` — deterministic, dependency-free.
+struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    fn irange(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() % (hi - lo) as u64) as i64
+    }
+
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    fn pick<'a>(&mut self, items: &[&'a str]) -> &'a str {
+        items[self.range(0, items.len())]
+    }
+}
+
+/// The three fixed corpus seeds, plus an optional CI-provided one.
+fn corpus_seeds() -> Vec<u64> {
+    let mut seeds = vec![0x101, 77, 5150];
+    if let Some(extra) = std::env::var("JOIN_SEED")
+        .ok()
+        .or_else(|| std::env::var("CHAOS_SEED").ok())
+        .and_then(|s| s.trim().parse::<u64>().ok())
+    {
+        if !seeds.contains(&extra) {
+            seeds.push(extra);
+        }
+    }
+    seeds
+}
+
+/// Twin databases with identical multi-table schema and data. Join-key
+/// columns (`t.a`, `u.k`, `w.m`) carry NULLs and duplicates by
+/// construction; `case` varies row counts (including empty tables) and
+/// which secondary indexes exist (`u.k` indexed enables index
+/// nested-loop probes).
+fn twin_dbs(rng: &mut Rng) -> (Database, Database) {
+    let compiled = Database::new("join_compiled");
+    let interpreted = Database::new("join_interpreted");
+    let mut ddl = String::from(
+        "CREATE TABLE t (id INT PRIMARY KEY, a INT, b INT, s TEXT);
+         CREATE TABLE u (uid INT PRIMARY KEY, k INT, v INT, tag TEXT);
+         CREATE TABLE w (wid INT PRIMARY KEY, m INT, q INT);",
+    );
+    if rng.bool() {
+        ddl.push_str("CREATE INDEX idx_uk ON u (k);");
+    }
+    if rng.bool() {
+        ddl.push_str("CREATE INDEX idx_uv ON u (v);");
+    }
+    if rng.range(0, 3) == 0 {
+        ddl.push_str("CREATE INDEX idx_ta ON t (a);");
+    }
+    let nt = rng.range(0, 18);
+    for id in 0..nt {
+        let a = if rng.range(0, 4) == 0 {
+            "NULL".into()
+        } else {
+            rng.irange(0, 9).to_string() // dense: guarantees duplicates
+        };
+        let b = if rng.range(0, 5) == 0 {
+            "NULL".into()
+        } else {
+            rng.irange(-5, 20).to_string()
+        };
+        let s = match rng.range(0, 3) {
+            0 => "NULL".into(),
+            1 => "'widget'".into(),
+            _ => format!("'item{}'", rng.range(0, 5)),
+        };
+        ddl.push_str(&format!("INSERT INTO t VALUES ({id}, {a}, {b}, {s});"));
+    }
+    let nu = rng.range(0, 25);
+    for uid in 0..nu {
+        let k = if rng.range(0, 4) == 0 {
+            "NULL".into()
+        } else {
+            rng.irange(0, 9).to_string()
+        };
+        let v = if rng.range(0, 6) == 0 {
+            "NULL".into()
+        } else {
+            rng.irange(-5, 20).to_string()
+        };
+        let tag = if rng.bool() {
+            "'hot'".into()
+        } else {
+            format!("'tag{}'", rng.range(0, 4))
+        };
+        ddl.push_str(&format!("INSERT INTO u VALUES ({uid}, {k}, {v}, {tag});"));
+    }
+    let nw = rng.range(0, 8);
+    for wid in 0..nw {
+        let m = if rng.range(0, 5) == 0 {
+            "NULL".into()
+        } else {
+            rng.irange(0, 9).to_string()
+        };
+        ddl.push_str(&format!(
+            "INSERT INTO w VALUES ({wid}, {m}, {});",
+            rng.irange(0, 30)
+        ));
+    }
+    compiled.connect().execute_script(&ddl).unwrap();
+    interpreted.connect().execute_script(&ddl).unwrap();
+    (compiled, interpreted)
+}
+
+/// A WHERE predicate over the combined row — single-side conjuncts
+/// (pushdown candidates) mixed with cross-side and OR shapes that must
+/// stay in the final filter.
+fn gen_where(rng: &mut Rng) -> String {
+    let atom = |rng: &mut Rng| -> String {
+        match rng.range(0, 7) {
+            0 => format!("t.a = {}", rng.irange(0, 9)),
+            1 => format!(
+                "u.v {} {}",
+                rng.pick(&["<", "<=", ">", ">="]),
+                rng.irange(-5, 20)
+            ),
+            2 => format!(
+                "t.b BETWEEN {} AND {}",
+                rng.irange(-5, 5),
+                rng.irange(5, 20)
+            ),
+            3 => "u.tag = 'hot'".into(),
+            4 => format!("t.b {} u.v", rng.pick(&["<", ">", "="])),
+            5 => format!("t.a IS {}NULL", if rng.bool() { "NOT " } else { "" }),
+            _ => format!("u.k {} {}", rng.pick(&["<>", ">="]), rng.irange(0, 9)),
+        }
+    };
+    let mut pred = atom(rng);
+    for _ in 0..rng.range(0, 3) {
+        pred = format!("{pred} {} {}", rng.pick(&["AND", "OR"]), atom(rng));
+    }
+    pred
+}
+
+fn gen_join_select(rng: &mut Rng) -> String {
+    let kind = rng.pick(&["JOIN", "INNER JOIN", "LEFT JOIN", "RIGHT JOIN"]);
+    let shape = rng.range(0, 6);
+    let (from, proj_pool): (String, &[&str]) = match shape {
+        // The bread-and-butter two-table equi-join, both directions.
+        0 => (
+            format!("t {kind} u ON t.a = u.k"),
+            &["*", "t.id, u.uid", "t.s, u.tag, u.v", "t.id, t.a, u.k"],
+        ),
+        1 => (
+            format!("u {kind} t ON u.k = t.a"),
+            &["*", "u.uid, t.id", "u.v, t.b"],
+        ),
+        // Residual ON conjuncts beyond the equi-pairs.
+        2 => (
+            format!("t {kind} u ON t.a = u.k AND t.b < u.v"),
+            &["*", "t.id, u.uid, u.v"],
+        ),
+        // Three-way chain.
+        3 => (
+            format!("t {kind} u ON t.a = u.k JOIN w ON w.m = u.k"),
+            &["*", "t.id, u.uid, w.wid"],
+        ),
+        // Cross product (kept small by the w table).
+        4 => ("t CROSS JOIN w".to_string(), &["*", "t.id, w.wid, w.q"]),
+        // Self-join under aliases.
+        _ => (
+            format!("t AS x {kind} t AS y ON x.a = y.b"),
+            &["*", "x.id, y.id", "x.a, y.b, y.s"],
+        ),
+    };
+    let mut sql = format!("SELECT {} FROM {from}", rng.pick(proj_pool));
+    if rng.range(0, 3) != 0 && shape != 5 && shape != 4 {
+        sql.push_str(&format!(" WHERE {}", gen_where(rng)));
+    }
+    if rng.range(0, 3) != 0 {
+        let key = match shape {
+            1 => rng.pick(&["u.uid, t.id", "t.b DESC, u.uid", "1"]),
+            4 => rng.pick(&["t.id, w.wid", "w.q DESC, t.id"]),
+            5 => rng.pick(&["x.id, y.id", "y.id DESC, x.id"]),
+            _ => rng.pick(&["t.id, u.uid", "u.v DESC, t.id", "1", "2 DESC, 1"]),
+        };
+        sql.push_str(&format!(" ORDER BY {key}"));
+    }
+    if rng.range(0, 3) == 0 {
+        sql.push_str(&format!(" LIMIT {}", rng.range(0, 10)));
+        if rng.bool() {
+            sql.push_str(&format!(" OFFSET {}", rng.range(0, 4)));
+        }
+    }
+    sql
+}
+
+/// A grouped aggregate over a join, with HAVING/ORDER BY/LIMIT tails.
+fn gen_join_agg(rng: &mut Rng) -> String {
+    let kind = rng.pick(&["JOIN", "LEFT JOIN", "RIGHT JOIN"]);
+    let mut sql = format!(
+        "SELECT t.a, COUNT(*) AS n, {} FROM t {kind} u ON t.a = u.k",
+        rng.pick(&[
+            "SUM(u.v) AS sv",
+            "MIN(u.uid) AS mu",
+            "MAX(t.b) AS mb",
+            "AVG(u.v) AS av"
+        ]),
+    );
+    if rng.bool() {
+        sql.push_str(&format!(" WHERE {}", gen_where(rng)));
+    }
+    sql.push_str(" GROUP BY t.a");
+    if rng.range(0, 3) == 0 {
+        sql.push_str(" HAVING COUNT(*) > 1");
+    }
+    if rng.range(0, 3) != 0 {
+        sql.push_str(&format!(
+            " ORDER BY {}",
+            rng.pick(&["t.a", "n DESC, t.a", "1 DESC"])
+        ));
+    }
+    if rng.range(0, 4) == 0 {
+        sql.push_str(&format!(" LIMIT {}", rng.range(0, 6)));
+    }
+    sql
+}
+
+/// Run one statement both ways: compiled through `execute` (twice, so
+/// the second run exercises the cached plan), interpreted through
+/// `parse_statement` + `execute_ast`. Results must match exactly.
+fn run_both(compiled: &Connection, interpreted: &Connection, sql: &str, case: u64) {
+    let c1 = compiled.execute(sql, &[]);
+    let c2 = compiled.execute(sql, &[]);
+    let stmt = parse_statement(sql).unwrap();
+    let i1 = interpreted.execute_ast(&stmt, &[]);
+    match (&c1, &c2, &i1) {
+        (Ok(a), Ok(b), Ok(c)) => {
+            assert_eq!(a, b, "case {case}: compiled not idempotent: {sql}");
+            assert_eq!(a, c, "case {case}: compiled != interpreted: {sql}");
+        }
+        (Err(a), Err(b), Err(c)) => {
+            assert_eq!(a.class(), b.class(), "case {case}: {sql}");
+            assert_eq!(a.class(), c.class(), "case {case}: {sql}");
+        }
+        _ => panic!("case {case}: divergent outcomes for {sql}: {c1:?} / {c2:?} / {i1:?}"),
+    }
+}
+
+#[test]
+fn differential_join_corpus() {
+    for seed in corpus_seeds() {
+        for case in 0u64..32 {
+            let mut rng = Rng::new(seed ^ (case.wrapping_mul(0x9E37_79B9)));
+            let (cdb, idb) = twin_dbs(&mut rng);
+            let (cc, ic) = (cdb.connect(), idb.connect());
+            for _ in 0..6 {
+                let sql = gen_join_select(&mut rng);
+                run_both(&cc, &ic, &sql, case);
+            }
+        }
+    }
+}
+
+#[test]
+fn differential_join_aggregate_corpus() {
+    for seed in corpus_seeds() {
+        for case in 0u64..24 {
+            let mut rng = Rng::new(seed ^ 0xA66 ^ (case.wrapping_mul(0x9E37_79B9)));
+            let (cdb, idb) = twin_dbs(&mut rng);
+            let (cc, ic) = (cdb.connect(), idb.connect());
+            for _ in 0..5 {
+                let sql = gen_join_agg(&mut rng);
+                run_both(&cc, &ic, &sql, case);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------- directed shapes
+
+fn fixture() -> (Database, Connection) {
+    let db = Database::new("join_fixture");
+    let conn = db.connect();
+    conn.execute_script(
+        "CREATE TABLE l (id INT PRIMARY KEY, jk INT, note TEXT);
+         CREATE TABLE r (id INT PRIMARY KEY, jk INT, amt INT);
+         INSERT INTO l VALUES (1, 10, 'a'), (2, 20, 'b'), (3, NULL, 'c'), (4, 30, 'd');
+         INSERT INTO r VALUES (1, 10, 100), (2, 10, 200), (3, NULL, 300), (4, 40, 400);",
+    )
+    .unwrap();
+    (db, conn)
+}
+
+fn rows(conn: &Connection, sql: &str) -> Vec<Vec<Value>> {
+    conn.query(sql, &[]).unwrap().rows
+}
+
+#[test]
+fn inner_join_null_keys_never_match_and_duplicates_fan_out() {
+    let (db, conn) = fixture();
+    let got = rows(
+        &conn,
+        "SELECT l.id, r.id, r.amt FROM l JOIN r ON l.jk = r.jk ORDER BY l.id, r.id",
+    );
+    // l.jk=10 fans out to both r rows with key 10; the NULL keys on
+    // either side (l.id=3, r.id=3) match nothing.
+    assert_eq!(
+        got,
+        vec![
+            vec![Value::Int(1), Value::Int(1), Value::Int(100)],
+            vec![Value::Int(1), Value::Int(2), Value::Int(200)],
+        ]
+    );
+    assert!(
+        db.stats().hash_joins > 0,
+        "equi-join must take the hash path"
+    );
+}
+
+#[test]
+fn left_join_pads_inline_right_join_pads_at_end() {
+    let (_db, conn) = fixture();
+    let left = rows(
+        &conn,
+        "SELECT l.id, r.id FROM l LEFT JOIN r ON l.jk = r.jk ORDER BY l.id, r.id",
+    );
+    assert_eq!(
+        left,
+        vec![
+            vec![Value::Int(1), Value::Int(1)],
+            vec![Value::Int(1), Value::Int(2)],
+            vec![Value::Int(2), Value::Null],
+            vec![Value::Int(3), Value::Null],
+            vec![Value::Int(4), Value::Null],
+        ]
+    );
+    // Unsorted RIGHT join: matched pairs first (probe order), then the
+    // unmatched right rows in right-scan order — the interpreter's
+    // canonical order, which the compiled path must reproduce.
+    let right = rows(
+        &conn,
+        "SELECT l.id, r.id FROM l RIGHT JOIN r ON l.jk = r.jk",
+    );
+    assert_eq!(
+        right,
+        vec![
+            vec![Value::Int(1), Value::Int(1)],
+            vec![Value::Int(1), Value::Int(2)],
+            vec![Value::Null, Value::Int(3)],
+            vec![Value::Null, Value::Int(4)],
+        ]
+    );
+}
+
+#[test]
+fn residual_on_conjuncts_filter_matches() {
+    let (_db, conn) = fixture();
+    let got = rows(
+        &conn,
+        "SELECT l.id, r.id FROM l JOIN r ON l.jk = r.jk AND r.amt > 150 ORDER BY l.id, r.id",
+    );
+    assert_eq!(got, vec![vec![Value::Int(1), Value::Int(2)]]);
+    // LEFT with a residual that kills every match: the left row pads.
+    let padded = rows(
+        &conn,
+        "SELECT l.id, r.id FROM l LEFT JOIN r ON l.jk = r.jk AND r.amt > 999 \
+         ORDER BY l.id",
+    );
+    assert_eq!(
+        padded,
+        vec![
+            vec![Value::Int(1), Value::Null],
+            vec![Value::Int(2), Value::Null],
+            vec![Value::Int(3), Value::Null],
+            vec![Value::Int(4), Value::Null],
+        ]
+    );
+}
+
+#[test]
+fn empty_sides_produce_interpreter_shapes() {
+    let db = Database::new("join_empty");
+    let conn = db.connect();
+    conn.execute_script(
+        "CREATE TABLE a (id INT PRIMARY KEY, x INT);
+         CREATE TABLE b (id INT PRIMARY KEY, x INT);
+         INSERT INTO a VALUES (1, 1), (2, 2);",
+    )
+    .unwrap();
+    assert_eq!(
+        rows(&conn, "SELECT * FROM a JOIN b ON a.x = b.x"),
+        Vec::<Vec<Value>>::new()
+    );
+    assert_eq!(
+        rows(
+            &conn,
+            "SELECT a.id, b.id FROM a LEFT JOIN b ON a.x = b.x ORDER BY a.id"
+        ),
+        vec![
+            vec![Value::Int(1), Value::Null],
+            vec![Value::Int(2), Value::Null],
+        ]
+    );
+    assert_eq!(
+        rows(&conn, "SELECT a.id, b.id FROM b LEFT JOIN a ON b.x = a.x"),
+        Vec::<Vec<Value>>::new()
+    );
+    assert_eq!(
+        rows(
+            &conn,
+            "SELECT a.id, b.id FROM b RIGHT JOIN a ON b.x = a.x ORDER BY a.id"
+        ),
+        vec![
+            vec![Value::Int(1), Value::Null],
+            vec![Value::Int(2), Value::Null],
+        ]
+    );
+}
+
+#[test]
+fn join_group_by_order_by_limit_composes() {
+    let (db, conn) = fixture();
+    let got = rows(
+        &conn,
+        "SELECT l.note, COUNT(*) AS n, SUM(r.amt) AS total \
+         FROM l JOIN r ON l.jk = r.jk GROUP BY l.note ORDER BY total DESC LIMIT 2",
+    );
+    assert_eq!(
+        got,
+        vec![vec![
+            Value::Text("a".into()),
+            Value::Int(2),
+            Value::Int(300)
+        ]]
+    );
+    assert!(db.stats().hash_joins > 0);
+    assert!(db.stats().hash_aggs > 0, "grouped join must hash-aggregate");
+}
+
+// ------------------------------------------------------------- optimizer
+
+#[test]
+fn where_pushdown_prefilters_side_scans() {
+    let (db, conn) = fixture();
+    let before = db.stats().pushed_predicates;
+    let got = rows(
+        &conn,
+        "SELECT l.id, r.id FROM l JOIN r ON l.jk = r.jk WHERE r.amt >= 200 ORDER BY l.id, r.id",
+    );
+    assert_eq!(got, vec![vec![Value::Int(1), Value::Int(2)]]);
+    assert!(
+        db.stats().pushed_predicates > before,
+        "single-side WHERE conjunct must ride the side scan"
+    );
+}
+
+#[test]
+fn index_nested_loop_engages_for_small_outer_indexed_inner() {
+    let db = Database::new("join_inl");
+    let conn = db.connect();
+    let mut ddl = String::from(
+        "CREATE TABLE probe (id INT PRIMARY KEY, fk INT);
+         CREATE TABLE big (id INT PRIMARY KEY, fk INT, val INT);
+         CREATE INDEX idx_big_fk ON big (fk);",
+    );
+    for id in 0..200 {
+        ddl.push_str(&format!(
+            "INSERT INTO big VALUES ({id}, {}, {});",
+            id % 50,
+            id
+        ));
+    }
+    ddl.push_str("INSERT INTO probe VALUES (1, 7), (2, 13), (3, NULL);");
+    conn.execute_script(&ddl).unwrap();
+
+    let got = rows(
+        &conn,
+        "SELECT probe.id, big.id FROM probe JOIN big ON probe.fk = big.fk \
+         ORDER BY probe.id, big.id",
+    );
+    assert_eq!(got.len(), 8, "two matched keys x 4 duplicate rows each");
+    let stats = db.stats();
+    assert!(
+        stats.index_nl_joins > 0,
+        "3-row outer against a 200-row indexed side must probe the index"
+    );
+    assert_eq!(stats.hash_joins, 0, "INL replaces the hash build entirely");
+
+    // The same query against the interpreter, for byte-identity.
+    let stmt = parse_statement(
+        "SELECT probe.id, big.id FROM probe JOIN big ON probe.fk = big.fk \
+         ORDER BY probe.id, big.id",
+    )
+    .unwrap();
+    let interp = match conn.execute_ast(&stmt, &[]).unwrap() {
+        StatementResult::Rows(rs) => rs.rows,
+        other => panic!("expected rows, got {other:?}"),
+    };
+    assert_eq!(got, interp);
+}
+
+#[test]
+fn join_counters_tick_per_cached_execution() {
+    let (db, conn) = fixture();
+    let sql = "SELECT l.id FROM l JOIN r ON l.jk = r.jk WHERE r.amt > 0";
+    conn.query(sql, &[]).unwrap();
+    let after_first = db.stats();
+    conn.query(sql, &[]).unwrap();
+    let after_second = db.stats();
+    assert_eq!(after_second.hash_joins, after_first.hash_joins + 1);
+    assert_eq!(
+        after_second.pushed_predicates,
+        after_first.pushed_predicates + 1
+    );
+    assert!(after_second.join_build_rows > after_first.join_build_rows);
+    assert!(after_second.join_probe_rows > after_first.join_probe_rows);
+    assert_eq!(
+        after_second.plan_binds, after_first.plan_binds,
+        "second execution must reuse the cached join plan"
+    );
+}
+
+#[test]
+fn decline_shapes_fall_back_to_interpreter_with_same_results() {
+    let (db, conn) = fixture();
+    conn.execute("CREATE VIEW lv AS SELECT id, jk, note FROM l", &[])
+        .unwrap();
+    let before = db.stats().hash_joins;
+    // View side: declines, interpreter answers.
+    let via_view = rows(
+        &conn,
+        "SELECT lv.id, r.id FROM lv JOIN r ON lv.jk = r.jk ORDER BY lv.id, r.id",
+    );
+    // Subquery in ON: declines, interpreter answers.
+    let via_subq = rows(
+        &conn,
+        "SELECT l.id, r.id FROM l JOIN r ON l.jk = r.jk \
+         AND r.amt > (SELECT MIN(amt) FROM r) ORDER BY l.id, r.id",
+    );
+    assert_eq!(
+        via_view,
+        vec![
+            vec![Value::Int(1), Value::Int(1)],
+            vec![Value::Int(1), Value::Int(2)],
+        ]
+    );
+    assert_eq!(via_subq, vec![vec![Value::Int(1), Value::Int(2)]]);
+    assert_eq!(
+        db.stats().hash_joins,
+        before,
+        "declined shapes must not take the compiled join path"
+    );
+}
+
+#[test]
+fn full_scan_rows_tick_for_join_sides() {
+    let (db, conn) = fixture();
+    let before = db.stats().full_scan_rows;
+    conn.query("SELECT l.id FROM l JOIN r ON l.jk = r.jk", &[])
+        .unwrap();
+    // Both sides full-scan: 4 + 4 rows walked.
+    assert_eq!(db.stats().full_scan_rows, before + 8);
+}
+
+#[test]
+fn self_join_matches_interpreter() {
+    let (_db, conn) = fixture();
+    let sql = "SELECT x.id, y.id FROM l AS x JOIN l AS y ON x.jk = y.jk ORDER BY x.id, y.id";
+    let compiled = rows(&conn, sql);
+    let stmt = parse_statement(sql).unwrap();
+    let interp = match conn.execute_ast(&stmt, &[]).unwrap() {
+        StatementResult::Rows(rs) => rs.rows,
+        other => panic!("expected rows, got {other:?}"),
+    };
+    assert_eq!(compiled, interp);
+    // Every non-NULL key is unique in l, so the self-join is the
+    // identity over non-NULL-key rows.
+    assert_eq!(
+        compiled,
+        vec![
+            vec![Value::Int(1), Value::Int(1)],
+            vec![Value::Int(2), Value::Int(2)],
+            vec![Value::Int(4), Value::Int(4)],
+        ]
+    );
+}

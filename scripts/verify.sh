@@ -13,9 +13,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
 
 # Chaos: the differential exactly-once suite under rotating storm seeds
-# (each run adds CHAOS_SEED to the three built-in schedules).
+# (each run adds CHAOS_SEED to the three built-in schedules), plus the
+# compiled-join differential corpus (CHAOS_SEED adds a corpus seed).
 for seed in 20260807 271828 31337; do
   CHAOS_SEED="$seed" cargo test -q --test chaos_exactly_once
+  CHAOS_SEED="$seed" cargo test -q -p sqlkernel --test join_exec
 done
 
 # Crash recovery: kill-and-recover schedules across all three stacks
@@ -55,5 +57,9 @@ BENCH_SMOKE=1 ./target/release/bench_shards >/dev/null
 # every row at each working-set ratio and that a working set past the
 # pool actually evicts.
 BENCH_SMOKE=1 ./target/release/bench_storage >/dev/null
+# bench_joins' smoke asserts in-process that the compiled join executor
+# engaged (hash join, index nested loop, pushed predicates) and that
+# compiled join results are byte-identical to the interpreter's.
+BENCH_SMOKE=1 ./target/release/bench_joins >/dev/null
 
 echo "verify: OK"
